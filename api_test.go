@@ -1,0 +1,271 @@
+package mpcbf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func apiKeys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestPublicMPCBFLifecycle(t *testing.T) {
+	f, err := New(Options{MemoryBits: 1 << 20, ExpectedItems: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("k", 5000)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 5000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative %q", k)
+		}
+		if f.EstimateCount(k) < 1 {
+			t.Fatalf("EstimateCount(%q) = %d", k, f.EstimateCount(k))
+		}
+	}
+	for _, k := range in {
+		if err := f.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", f.Len())
+	}
+	// Eq. 11 sizing targets ~one at-threshold word per filter; the default
+	// policy absorbs the tail, so events stay near zero.
+	if f.OverflowEvents() > 3 {
+		t.Fatalf("overflow events: %d", f.OverflowEvents())
+	}
+}
+
+func TestPublicGeometry(t *testing.T) {
+	f, err := New(Options{MemoryBits: 1 << 20, ExpectedItems: 10000, HashFunctions: 4, MemoryAccesses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Geometry()
+	if g.Words != 1<<20/64 || g.WordBits != 64 || g.HashFunctions != 4 || g.MemoryAccesses != 2 {
+		t.Fatalf("geometry %+v", g)
+	}
+	if g.FirstLevelBits != 64-2*g.WordCapacity {
+		t.Fatalf("improved layout violated: %+v", g)
+	}
+}
+
+func TestPublicCosts(t *testing.T) {
+	f, _ := New(Options{MemoryBits: 1 << 18, ExpectedItems: 1000, Seed: 2})
+	c, err := f.InsertWithCost([]byte("x"))
+	if err != nil || c.MemoryAccesses != 1 || c.HashBits == 0 {
+		t.Fatalf("insert cost %+v err %v", c, err)
+	}
+	ok, qc := f.ContainsWithCost([]byte("x"))
+	if !ok || qc.MemoryAccesses != 1 {
+		t.Fatalf("query cost %+v", qc)
+	}
+	if _, err := f.DeleteWithCost([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCBFAndPCBF(t *testing.T) {
+	for name, mk := range map[string]func() (CountingFilter, error){
+		"cbf": func() (CountingFilter, error) {
+			return NewCBF(Options{MemoryBits: 1 << 18, Seed: 3})
+		},
+		"pcbf1": func() (CountingFilter, error) {
+			return NewPCBF(Options{MemoryBits: 1 << 18, Seed: 3})
+		},
+		"pcbf2": func() (CountingFilter, error) {
+			return NewPCBF(Options{MemoryBits: 1 << 18, MemoryAccesses: 2, Seed: 3})
+		},
+	} {
+		f, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := apiKeys(name, 1000)
+		for _, k := range in {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("%s insert: %v", name, err)
+			}
+		}
+		for _, k := range in {
+			if !f.Contains(k) {
+				t.Fatalf("%s: false negative", name)
+			}
+		}
+		for _, k := range in {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("%s delete: %v", name, err)
+			}
+		}
+		if f.Len() != 0 {
+			t.Fatalf("%s Len = %d", name, f.Len())
+		}
+	}
+}
+
+func TestPublicBloomFilters(t *testing.T) {
+	b, err := NewBloom(Options{MemoryBits: 1 << 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := NewBlockedBloom(Options{MemoryBits: 1 << 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range apiKeys("b", 500) {
+		b.Insert(k)
+		bb.Insert(k)
+	}
+	for _, k := range apiKeys("b", 500) {
+		if !b.Contains(k) || !bb.Contains(k) {
+			t.Fatal("false negative in bloom variants")
+		}
+	}
+	if _, c := bb.ContainsWithCost([]byte("b-1")); c.MemoryAccesses != 1 {
+		t.Fatalf("blocked bloom cost %+v", c)
+	}
+}
+
+func TestExpectedFPRConsistency(t *testing.T) {
+	const mem, n = 1 << 21, 20000
+	mp, _ := New(Options{MemoryBits: mem, ExpectedItems: n, Seed: 5})
+	cb, _ := NewCBF(Options{MemoryBits: mem, Seed: 5})
+	pc, _ := NewPCBF(Options{MemoryBits: mem, Seed: 5})
+	fMP, fCB, fPC := mp.ExpectedFPR(n), cb.ExpectedFPR(n), pc.ExpectedFPR(n)
+	if !(fMP < fCB && fCB < fPC) {
+		t.Fatalf("analytic ordering violated: mpcbf=%g cbf=%g pcbf=%g", fMP, fCB, fPC)
+	}
+	// Measured rate should be within a small factor of analytic.
+	for _, k := range apiKeys("in", n) {
+		if err := mp.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp := 0
+	const probes = 200000
+	for _, k := range apiKeys("out", probes) {
+		if mp.Contains(k) {
+			fp++
+		}
+	}
+	measured := float64(fp) / probes
+	if measured > fMP*3+1e-4 {
+		t.Fatalf("measured fpr %g far above analytic %g", measured, fMP)
+	}
+}
+
+func TestTuneK(t *testing.T) {
+	k1, f1 := TuneK(100000, 8<<20, 1)
+	if k1 < 2 || k1 > 4 {
+		t.Fatalf("TuneK g=1: %d", k1)
+	}
+	k2, f2 := TuneK(100000, 8<<20, 2)
+	if k2 < k1 {
+		t.Fatalf("TuneK g=2 (%d) below g=1 (%d)", k2, k1)
+	}
+	if f2 >= f1 {
+		t.Fatalf("g=2 optimum %g not below g=1 %g", f2, f1)
+	}
+	kc, fc := TuneKCBF(100000, 8<<20)
+	if kc < 10 {
+		t.Fatalf("TuneKCBF = %d, expected ~14 at m/n=21", kc)
+	}
+	if fc <= 0 {
+		t.Fatal("CBF optimum rate must be positive")
+	}
+}
+
+func TestOverflowProbabilitySmallForHeuristic(t *testing.T) {
+	p := OverflowProbability(100000, 8<<20, 64, 1)
+	if p > 0.9 {
+		t.Fatalf("overflow bound %g unexpectedly large", p)
+	}
+	if p2 := OverflowProbability(100000, 64, 64, 1); p2 != 1 {
+		t.Fatalf("degenerate geometry should bound at 1, got %g", p2)
+	}
+}
+
+func TestOptionsValidationSurface(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("empty MPCBF options accepted")
+	}
+	if _, err := NewCBF(Options{}); err == nil {
+		t.Error("empty CBF options accepted")
+	}
+	if _, err := NewPCBF(Options{MemoryBits: 100, WordBits: 63}); err == nil {
+		t.Error("bad word size accepted")
+	}
+	if _, err := NewBloom(Options{}); err == nil {
+		t.Error("empty bloom options accepted")
+	}
+	if _, err := NewBlockedBloom(Options{MemoryBits: 32}); err == nil {
+		t.Error("sub-word blocked bloom accepted")
+	}
+}
+
+func TestSaturatePolicySurface(t *testing.T) {
+	// A deliberately undersized filter: under the default policy the
+	// insert stream must not fail and must never produce false negatives.
+	f, err := New(Options{MemoryBits: 1 << 10, ExpectedItems: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("s", 2000) // 10x the sizing assumption
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("saturating insert failed: %v", err)
+		}
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative under saturation for %q", k)
+		}
+	}
+}
+
+func TestStrictOverflowSurface(t *testing.T) {
+	f, err := New(Options{MemoryBits: 1 << 10, ExpectedItems: 200, Seed: 6, StrictOverflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, k := range apiKeys("s", 2000) {
+		if err := f.Insert(k); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("strict policy never rejected on a 10x-overloaded filter")
+	}
+}
+
+func ExampleNew() {
+	f, err := New(Options{MemoryBits: 1 << 20, ExpectedItems: 10000})
+	if err != nil {
+		panic(err)
+	}
+	f.Insert([]byte("alpha"))
+	fmt.Println(f.Contains([]byte("alpha")))
+	fmt.Println(f.Contains([]byte("beta")))
+	f.Delete([]byte("alpha"))
+	fmt.Println(f.Contains([]byte("alpha")))
+	// Output:
+	// true
+	// false
+	// false
+}

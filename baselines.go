@@ -1,0 +1,197 @@
+package mpcbf
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/bloom"
+	"repro/internal/cbf"
+	"repro/internal/pcbf"
+)
+
+// CBF is the standard counting Bloom filter of Fan et al.: m = MemoryBits/4
+// four-bit saturating counters addressed by k hash functions. It is the
+// paper's primary baseline.
+type CBF struct {
+	f *cbf.Filter
+}
+
+// NewCBF builds a standard CBF occupying o.MemoryBits bits.
+func NewCBF(o Options) (*CBF, error) {
+	f, err := cbf.FromMemory(o.MemoryBits, o.k(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &CBF{f: f}, nil
+}
+
+// Insert adds key (never fails: counters saturate at 15).
+func (c *CBF) Insert(key []byte) error { return c.f.Insert(key) }
+
+// InsertWithCost is Insert with the operation's access cost (k accesses).
+func (c *CBF) InsertWithCost(key []byte) (Cost, error) {
+	st, err := c.f.InsertStats(key)
+	return fromStats(st), err
+}
+
+// Delete removes a previously inserted key.
+func (c *CBF) Delete(key []byte) error { return c.f.Delete(key) }
+
+// DeleteWithCost is Delete with the operation's access cost.
+func (c *CBF) DeleteWithCost(key []byte) (Cost, error) {
+	st, err := c.f.DeleteStats(key)
+	return fromStats(st), err
+}
+
+// Contains reports whether key may be in the set.
+func (c *CBF) Contains(key []byte) bool { return c.f.Contains(key) }
+
+// ContainsWithCost is Contains with the operation's cost; negative queries
+// short-circuit on the first zero counter.
+func (c *CBF) ContainsWithCost(key []byte) (bool, Cost) {
+	ok, st := c.f.Probe(key)
+	return ok, fromStats(st)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity (capped at
+// the 4-bit counter maximum, 15).
+func (c *CBF) EstimateCount(key []byte) int { return int(c.f.CountOf(key)) }
+
+// Len returns the current number of elements.
+func (c *CBF) Len() int { return c.f.Count() }
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (c *CBF) MemoryBits() int { return c.f.MemoryBits() }
+
+// Reset clears the filter.
+func (c *CBF) Reset() { c.f.Reset() }
+
+// ExpectedFPR returns the analytic false positive rate at population n
+// (Eq. 1 of the paper).
+func (c *CBF) ExpectedFPR(n int) float64 {
+	return analytic.FPRBloom(n, c.f.M(), c.f.K())
+}
+
+// PCBF is the partitioned CBF of Section III.A: 4-bit counters packed into
+// machine words, one (or g) memory accesses per operation. It is faster
+// but less accurate than the standard CBF — the baseline MPCBF improves on.
+type PCBF struct {
+	f *pcbf.Filter
+}
+
+// NewPCBF builds a PCBF-g occupying o.MemoryBits bits.
+func NewPCBF(o Options) (*PCBF, error) {
+	f, err := pcbf.FromMemory(o.MemoryBits, o.w(), o.k(), o.g(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PCBF{f: f}, nil
+}
+
+// Insert adds key.
+func (p *PCBF) Insert(key []byte) error { return p.f.Insert(key) }
+
+// InsertWithCost is Insert with the operation's access cost (g accesses).
+func (p *PCBF) InsertWithCost(key []byte) (Cost, error) {
+	st, err := p.f.InsertStats(key)
+	return fromStats(st), err
+}
+
+// Delete removes a previously inserted key.
+func (p *PCBF) Delete(key []byte) error { return p.f.Delete(key) }
+
+// DeleteWithCost is Delete with the operation's access cost.
+func (p *PCBF) DeleteWithCost(key []byte) (Cost, error) {
+	st, err := p.f.DeleteStats(key)
+	return fromStats(st), err
+}
+
+// Contains reports whether key may be in the set.
+func (p *PCBF) Contains(key []byte) bool { return p.f.Contains(key) }
+
+// ContainsWithCost is Contains with the operation's cost.
+func (p *PCBF) ContainsWithCost(key []byte) (bool, Cost) {
+	ok, st := p.f.Probe(key)
+	return ok, fromStats(st)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity.
+func (p *PCBF) EstimateCount(key []byte) int { return int(p.f.CountOf(key)) }
+
+// Len returns the current number of elements.
+func (p *PCBF) Len() int { return p.f.Count() }
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (p *PCBF) MemoryBits() int { return p.f.MemoryBits() }
+
+// Reset clears the filter.
+func (p *PCBF) Reset() { p.f.Reset() }
+
+// ExpectedFPR returns the analytic false positive rate at population n
+// (Eqs. 2-3 of the paper).
+func (p *PCBF) ExpectedFPR(n int) float64 {
+	mCounters := p.f.MemoryBits() / analytic.CounterBits
+	return analytic.FPRPCBFg(n, mCounters, p.f.W(), p.f.K(), p.f.G())
+}
+
+// Bloom is the classic insert-only Bloom filter (one bit per position).
+type Bloom struct {
+	f *bloom.Filter
+}
+
+// NewBloom builds a standard Bloom filter of o.MemoryBits bits.
+func NewBloom(o Options) (*Bloom, error) {
+	f, err := bloom.New(o.MemoryBits, o.k(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Bloom{f: f}, nil
+}
+
+// Insert adds key.
+func (b *Bloom) Insert(key []byte) { b.f.Insert(key) }
+
+// Contains reports whether key may be in the set.
+func (b *Bloom) Contains(key []byte) bool { return b.f.Contains(key) }
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (b *Bloom) MemoryBits() int { return b.f.MemoryBits() }
+
+// Reset clears the filter.
+func (b *Bloom) Reset() { b.f.Reset() }
+
+// ExpectedFPR returns the analytic false positive rate at population n.
+func (b *Bloom) ExpectedFPR(n int) float64 {
+	return analytic.FPRBloom(n, b.f.M(), b.f.K())
+}
+
+// BlockedBloom is the one-memory-access Bloom filter BF-g of Qiao et al.,
+// the structure whose partitioning idea MPCBF extends to counting filters.
+type BlockedBloom struct {
+	f *bloom.Blocked
+}
+
+// NewBlockedBloom builds a BF-g of o.MemoryBits bits.
+func NewBlockedBloom(o Options) (*BlockedBloom, error) {
+	f, err := bloom.NewBlocked(o.MemoryBits/o.w(), o.w(), o.k(), o.g(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockedBloom{f: f}, nil
+}
+
+// Insert adds key.
+func (b *BlockedBloom) Insert(key []byte) { b.f.Insert(key) }
+
+// Contains reports whether key may be in the set.
+func (b *BlockedBloom) Contains(key []byte) bool { return b.f.Contains(key) }
+
+// ContainsWithCost is Contains with the operation's cost (g accesses).
+func (b *BlockedBloom) ContainsWithCost(key []byte) (bool, Cost) {
+	ok, st := b.f.Probe(key)
+	return ok, fromStats(st)
+}
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (b *BlockedBloom) MemoryBits() int { return b.f.MemoryBits() }
+
+// Reset clears the filter.
+func (b *BlockedBloom) Reset() { b.f.Reset() }

@@ -1,0 +1,411 @@
+package mpcbf
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (go test -bench .). Each BenchmarkFigN/BenchmarkTableN prints
+// its table once (stdout) and times a full regeneration; the scale defaults
+// to 5% of the paper's workload sizes and can be raised with
+// MPEXP_SCALE=1.0 for a full reproduction.
+//
+// Micro-benchmarks (BenchmarkOps*) time individual operations of every
+// structure, and BenchmarkAblation* quantify the design choices DESIGN.md
+// calls out.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/hcbf"
+	"repro/internal/sim"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("MPEXP_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+var printedTables sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := sim.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := sim.Options{Scale: benchScale(), Seed: 1}
+	var table *sim.Table
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(opts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		table = t
+	}
+	if _, done := printedTables.LoadOrStore(id, true); !done && table != nil {
+		table.Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "tab4") }
+func BenchmarkExt1(b *testing.B)   { benchExperiment(b, "ext1") }
+func BenchmarkExt2(b *testing.B)   { benchExperiment(b, "ext2") }
+func BenchmarkExt3(b *testing.B)   { benchExperiment(b, "ext3") }
+func BenchmarkExt4(b *testing.B)   { benchExperiment(b, "ext4") }
+
+// --- per-operation micro-benchmarks -------------------------------------
+
+const (
+	microMem = 8 << 20
+	microN   = 100000
+)
+
+func microKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	return keys
+}
+
+func benchInsertDelete(b *testing.B, f CountingFilter) {
+	b.Helper()
+	keys := microKeys(microN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if err := f.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Delete(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQuery(b *testing.B, f CountingFilter, hitRatio float64) {
+	b.Helper()
+	keys := microKeys(microN)
+	inserted := int(float64(len(keys)) * hitRatio)
+	for _, k := range keys[:inserted] {
+		if err := f.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		if f.Contains(keys[i%len(keys)]) {
+			sink++
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkOpsMPCBF1InsertDelete(b *testing.B) {
+	f, _ := New(Options{MemoryBits: microMem, ExpectedItems: microN})
+	benchInsertDelete(b, f)
+}
+
+func BenchmarkOpsMPCBF2InsertDelete(b *testing.B) {
+	f, _ := New(Options{MemoryBits: microMem, ExpectedItems: microN, MemoryAccesses: 2})
+	benchInsertDelete(b, f)
+}
+
+func BenchmarkOpsCBFInsertDelete(b *testing.B) {
+	f, _ := NewCBF(Options{MemoryBits: microMem})
+	benchInsertDelete(b, f)
+}
+
+func BenchmarkOpsPCBF1InsertDelete(b *testing.B) {
+	f, _ := NewPCBF(Options{MemoryBits: microMem})
+	benchInsertDelete(b, f)
+}
+
+func BenchmarkOpsMPCBF1Query(b *testing.B) {
+	f, _ := New(Options{MemoryBits: microMem, ExpectedItems: microN})
+	benchQuery(b, f, 0.8)
+}
+
+func BenchmarkOpsMPCBF2Query(b *testing.B) {
+	f, _ := New(Options{MemoryBits: microMem, ExpectedItems: microN, MemoryAccesses: 2})
+	benchQuery(b, f, 0.8)
+}
+
+func BenchmarkOpsCBFQuery(b *testing.B) {
+	f, _ := NewCBF(Options{MemoryBits: microMem})
+	benchQuery(b, f, 0.8)
+}
+
+func BenchmarkOpsPCBF1Query(b *testing.B) {
+	f, _ := NewPCBF(Options{MemoryBits: microMem})
+	benchQuery(b, f, 0.8)
+}
+
+func BenchmarkOpsPCBF2Query(b *testing.B) {
+	f, _ := NewPCBF(Options{MemoryBits: microMem, MemoryAccesses: 2})
+	benchQuery(b, f, 0.8)
+}
+
+func BenchmarkOpsBloomQuery(b *testing.B) {
+	f, _ := NewBloom(Options{MemoryBits: microMem})
+	keys := microKeys(microN)
+	for _, k := range keys[:microN*8/10] {
+		f.Insert(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		if f.Contains(keys[i%len(keys)]) {
+			sink++
+		}
+	}
+	_ = sink
+}
+
+// --- word engine ---------------------------------------------------------
+
+func BenchmarkHCBFWordInc(b *testing.B) {
+	arena := bitvec.New(64)
+	w, err := hcbf.NewWord(arena, 0, 64, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % 43
+		if _, err := w.Inc(slot); err != nil {
+			b.StopTimer()
+			// Word full: unwind and continue.
+			for s := 0; s < 43; s++ {
+				for w.Has(s) {
+					w.Dec(s)
+				}
+			}
+			b.StartTimer()
+			w.Inc(slot)
+		}
+	}
+}
+
+func BenchmarkHCBFWordCount(b *testing.B) {
+	arena := bitvec.New(64)
+	w, _ := hcbf.NewWord(arena, 0, 64, 43)
+	for s := 0; s < 21; s++ {
+		w.Inc(s % 43)
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += w.Count(i % 43)
+	}
+	_ = sink
+}
+
+// --- concurrency ---------------------------------------------------------
+
+func BenchmarkShardedBatchInsert(b *testing.B) {
+	keys := microKeys(microN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := NewSharded(Options{MemoryBits: microMem, ExpectedItems: microN}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.InsertBatch(keys, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedBatchQuery(b *testing.B) {
+	keys := microKeys(microN)
+	s, err := NewSharded(Options{MemoryBits: microMem, ExpectedItems: microN}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.InsertBatch(keys[:microN*8/10], 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ContainsBatch(keys[:10000], 0)
+	}
+}
+
+func BenchmarkShardedScalarQueryParallel(b *testing.B) {
+	keys := microKeys(microN)
+	s, err := NewSharded(Options{MemoryBits: microMem, ExpectedItems: microN}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range keys[:microN*8/10] {
+		if err := s.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Contains(keys[i%len(keys)])
+			i++
+		}
+	})
+}
+
+// --- ablations -----------------------------------------------------------
+
+// measureFPR inserts n keys and probes fresh keys.
+func measureFPR(b *testing.B, f interface {
+	Insert([]byte) error
+	Contains([]byte) bool
+}, n, probes int) float64 {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		if err := f.Insert([]byte(fmt.Sprintf("in-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(probes)
+}
+
+var ablationOnce sync.Map
+
+func ablationPrint(b *testing.B, key, format string, args ...any) {
+	if _, done := ablationOnce.LoadOrStore(key, true); !done {
+		fmt.Printf("ablation %s: %s\n", key, fmt.Sprintf(format, args...))
+	}
+	_ = b
+}
+
+// BenchmarkAblationImprovedHCBF quantifies the improved layout of Section
+// III.B.3: the heuristic first level (b1 = w - k*nmax) against the basic
+// HCBF's fixed half-word first level at the same memory.
+func BenchmarkAblationImprovedHCBF(b *testing.B) {
+	const mem, n, probes = 1 << 21, 20000, 100000
+	for i := 0; i < b.N; i++ {
+		improved, err := core.New(core.Config{MemoryBits: mem, ExpectedN: n, K: 3,
+			Overflow: core.OverflowSaturate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		basic, err := core.New(core.Config{MemoryBits: mem, B1: 32, K: 3,
+			Overflow: core.OverflowSaturate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fImp := measureFPR(b, improved, n, probes)
+		fBasic := measureFPR(b, basic, n, probes)
+		if i == 0 {
+			ablationPrint(b, "improved-hcbf",
+				"improved b1=%d fpr=%.2e | basic b1=32 fpr=%.2e (improved should win)",
+				improved.B1(), fImp, fBasic)
+		}
+	}
+}
+
+// BenchmarkAblationWordSize sweeps the word width at fixed memory: larger
+// words widen the first level faster than they concentrate load.
+func BenchmarkAblationWordSize(b *testing.B) {
+	const mem, n, probes = 1 << 21, 20000, 100000
+	for i := 0; i < b.N; i++ {
+		line := ""
+		for _, w := range []int{32, 64, 128, 256} {
+			f, err := core.New(core.Config{MemoryBits: mem, ExpectedN: n, K: 3, W: w,
+				Overflow: core.OverflowSaturate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			line += fmt.Sprintf("w=%d fpr=%.2e  ", w, measureFPR(b, f, n, probes))
+		}
+		if i == 0 {
+			ablationPrint(b, "word-size", "%s", line)
+		}
+	}
+}
+
+// BenchmarkAblationOverflowPolicy compares the strict and saturating
+// overflow policies on a deliberately tight filter.
+func BenchmarkAblationOverflowPolicy(b *testing.B) {
+	const mem, n = 1 << 18, 20000 // ~13 bits per key: tight
+	for i := 0; i < b.N; i++ {
+		strict, err := core.New(core.Config{MemoryBits: mem, ExpectedN: n, K: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat, err := core.New(core.Config{MemoryBits: mem, ExpectedN: n, K: 3,
+			Overflow: core.OverflowSaturate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rejected := 0
+		for j := 0; j < n; j++ {
+			key := []byte(fmt.Sprintf("in-%d", j))
+			if err := strict.Insert(key); err != nil {
+				rejected++
+			}
+			if err := sat.Insert(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i == 0 {
+			ablationPrint(b, "overflow-policy",
+				"strict rejected %d of %d inserts; saturate froze %d of %d words",
+				rejected, n, sat.SaturatedWords(), sat.L())
+		}
+	}
+}
+
+// BenchmarkAblationHashCount sweeps k at fixed geometry, showing the
+// near-flat optimum of Fig. 9 empirically.
+func BenchmarkAblationHashCount(b *testing.B) {
+	const mem, n, probes = 1 << 21, 20000, 100000
+	for i := 0; i < b.N; i++ {
+		line := ""
+		for _, k := range []int{2, 3, 4, 5, 6} {
+			f, err := core.New(core.Config{MemoryBits: mem, ExpectedN: n, K: k,
+				Overflow: core.OverflowSaturate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			line += fmt.Sprintf("k=%d fpr=%.2e  ", k, measureFPR(b, f, n, probes))
+		}
+		if i == 0 {
+			ablationPrint(b, "hash-count", "%s", line)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command mpcbf is a small command-line front end to the filter library:
+// it builds a filter over keys read from a file (or stdin), then answers
+// membership queries, reporting the measured false positive budget.
+//
+// Usage:
+//
+//	mpcbf -type mpcbf -mem 1048576 -insert keys.txt -query probes.txt
+//	echo -e "alpha\nbeta" | mpcbf -type cbf -mem 65536 -query -
+//
+// Each line of the insert file is one key; each line of the query file is
+// answered with "yes <key>" or "no <key>".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	mpcbf "repro"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "mpcbf", "filter type: mpcbf | cbf | pcbf | bloom | blocked")
+		mem    = flag.Int("mem", 1<<20, "memory budget in bits")
+		items  = flag.Int("n", 0, "expected distinct items (default: size of the insert set)")
+		k      = flag.Int("k", 3, "hash functions")
+		g      = flag.Int("g", 1, "memory accesses per key (MPCBF-g / PCBF-g / BF-g)")
+		seed   = flag.Uint("seed", 1, "hash seed")
+		insert = flag.String("insert", "", "file of keys to insert, one per line ('-' = stdin)")
+		query  = flag.String("query", "", "file of keys to query, one per line ('-' = stdin)")
+		stats  = flag.Bool("stats", false, "print geometry and expected fpr")
+	)
+	flag.Parse()
+
+	inserts, err := readLines(*insert)
+	if err != nil {
+		fatal(err)
+	}
+	n := *items
+	if n == 0 {
+		n = len(inserts)
+		if n == 0 {
+			n = 1000
+		}
+	}
+
+	opts := mpcbf.Options{
+		MemoryBits:     *mem,
+		ExpectedItems:  n,
+		HashFunctions:  *k,
+		MemoryAccesses: *g,
+		Seed:           uint32(*seed),
+	}
+
+	type filter interface {
+		Contains([]byte) bool
+	}
+	var (
+		f      filter
+		insFn  func([]byte) error
+		expFPR func(int) float64
+	)
+	switch *typ {
+	case "mpcbf":
+		m, err := mpcbf.New(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, insFn, expFPR = m, m.Insert, m.ExpectedFPR
+	case "cbf":
+		c, err := mpcbf.NewCBF(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, insFn, expFPR = c, c.Insert, c.ExpectedFPR
+	case "pcbf":
+		p, err := mpcbf.NewPCBF(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, insFn, expFPR = p, p.Insert, p.ExpectedFPR
+	case "bloom":
+		bl, err := mpcbf.NewBloom(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, insFn, expFPR = bl, func(k []byte) error { bl.Insert(k); return nil }, bl.ExpectedFPR
+	case "blocked":
+		bb, err := mpcbf.NewBlockedBloom(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, insFn = bb, func(k []byte) error { bb.Insert(k); return nil }
+	default:
+		fatal(fmt.Errorf("unknown filter type %q", *typ))
+	}
+
+	for _, key := range inserts {
+		if err := insFn(key); err != nil {
+			fatal(fmt.Errorf("insert %q: %w", key, err))
+		}
+	}
+
+	if *stats {
+		fmt.Printf("type=%s memory=%d bits k=%d g=%d inserted=%d\n",
+			*typ, *mem, *k, *g, len(inserts))
+		if expFPR != nil {
+			fmt.Printf("expected fpr at n=%d: %.3e\n", n, expFPR(n))
+		}
+	}
+
+	if *query != "" {
+		queries, err := readLines(*query)
+		if err != nil {
+			fatal(err)
+		}
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		for _, q := range queries {
+			if f.Contains(q) {
+				fmt.Fprintf(out, "yes %s\n", q)
+			} else {
+				fmt.Fprintf(out, "no %s\n", q)
+			}
+		}
+	}
+}
+
+func readLines(path string) ([][]byte, error) {
+	if path == "" {
+		return nil, nil
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		r = file
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		lines = append(lines, line)
+	}
+	return lines, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mpcbf: %v\n", err)
+	os.Exit(1)
+}

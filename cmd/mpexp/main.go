@@ -1,0 +1,59 @@
+// Command mpexp runs the paper-reproduction experiments: every table and
+// figure of the evaluation (Figs. 2, 5-12, Tables I-IV).
+//
+// Usage:
+//
+//	mpexp -list
+//	mpexp -exp fig7a [-scale 0.1] [-seed 1]
+//	mpexp -exp all -scale 1.0        # full paper-scale reproduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.Float64("scale", 0.1, "workload scale; 1.0 = the paper's sizes")
+		seed  = flag.Uint64("seed", 1, "master seed for workloads and hash families")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range sim.Registry() {
+			fmt.Printf("%-7s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	opts := sim.Options{Scale: *scale, Seed: *seed}
+	var runners []sim.Runner
+	if *exp == "all" {
+		runners = sim.Registry()
+	} else {
+		r, ok := sim.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpexp: unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []sim.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		table, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpexp: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("(%s completed in %v at scale %g)\n\n", r.ID, time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

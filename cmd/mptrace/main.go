@@ -1,0 +1,93 @@
+// Command mptrace generates, saves, and inspects the synthetic IP traces
+// used by the trace experiments (the repository's substitute for the
+// paper's CAIDA captures). Generating a full-scale trace once and reusing
+// it across runs mirrors the paper's fixed-capture methodology.
+//
+// Usage:
+//
+//	mptrace -scale 1.0 -seed 1 -out trace.bin     # synthesize and save
+//	mptrace -in trace.bin -stats                  # inspect a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.1, "trace scale (1.0 = 292K flows / 5.6M packets)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		out   = flag.String("out", "", "write the trace to this file")
+		in    = flag.String("in", "", "read a trace from this file instead of generating")
+		stats = flag.Bool("stats", true, "print trace statistics")
+	)
+	flag.Parse()
+
+	var trace *dataset.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		t, err := dataset.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		trace = t
+	default:
+		t, err := dataset.NewTrace(dataset.DefaultTraceConfig(*scale, *seed))
+		if err != nil {
+			fatal(err)
+		}
+		trace = t
+	}
+
+	if *stats {
+		counts := make(map[dataset.Flow]int, len(trace.Flows))
+		for _, p := range trace.Packets {
+			counts[p]++
+		}
+		sizes := make([]int, 0, len(counts))
+		for _, c := range counts {
+			sizes = append(sizes, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+		top := 0
+		for i := 0; i < len(sizes) && i < 10; i++ {
+			top += sizes[i]
+		}
+		fmt.Printf("flows:   %d unique\n", len(trace.Flows))
+		fmt.Printf("packets: %d total (%.1f per flow)\n",
+			len(trace.Packets), float64(len(trace.Packets))/float64(len(trace.Flows)))
+		fmt.Printf("skew:    top-10 flows carry %.1f%% of packets; max flow %d packets\n",
+			100*float64(top)/float64(len(trace.Packets)), sizes[0])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote:   %s (%d bytes, %.2f bytes/packet)\n",
+			*out, n, float64(n)/float64(len(trace.Packets)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mptrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+package mpcbf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashing"
+)
+
+// Sharded is a thread-safe MPCBF for concurrent packet-processing
+// pipelines: the key space is split over independent shards, each an
+// MPCBF guarded by its own read-write lock, so queries from different
+// goroutines proceed in parallel and updates contend only within a shard.
+//
+// The aggregate geometry matches a single MPCBF of the same total memory:
+// each shard receives MemoryBits/shards and ExpectedItems/shards, so the
+// false positive rate is unchanged while lock contention drops by the
+// shard factor.
+type Sharded struct {
+	shards []shard
+	pick   hashing.Hasher
+	count  atomic.Int64
+}
+
+type shard struct {
+	mu sync.RWMutex
+	f  *MPCBF
+}
+
+// NewSharded builds a sharded filter from o with the given shard count
+// (rounded up to 1). Each shard must still hold at least one word.
+func NewSharded(o Options, shards int) (*Sharded, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	per := o
+	per.MemoryBits = o.MemoryBits / shards
+	per.ExpectedItems = (o.ExpectedItems + shards - 1) / shards
+	s := &Sharded{
+		shards: make([]shard, shards),
+		pick:   pickHasher(o.Seed),
+	}
+	for i := range s.shards {
+		// Distinct per-shard hash families avoid correlated word choices.
+		cfg := per
+		cfg.Seed = o.Seed + uint32(i)*0x9e3779b9
+		f, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mpcbf: shard %d: %w", i, err)
+		}
+		s.shards[i].f = f
+	}
+	return s, nil
+}
+
+// pickHasher derives the shard-selection hash family from the options
+// seed: a distinct stream keeps it independent of the in-filter hashes.
+func pickHasher(seed uint32) hashing.Hasher {
+	return hashing.NewHasher(seed ^ 0x5bd1e995)
+}
+
+func (s *Sharded) shardOf(key []byte) *shard {
+	idx := s.pick.NewIndexStream(key).Word(0, len(s.shards))
+	return &s.shards[idx]
+}
+
+// Insert adds key. Safe for concurrent use.
+func (s *Sharded) Insert(key []byte) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	err := sh.f.Insert(key)
+	sh.mu.Unlock()
+	if err == nil {
+		s.count.Add(1)
+	}
+	return err
+}
+
+// Delete removes key. Safe for concurrent use.
+func (s *Sharded) Delete(key []byte) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	err := sh.f.Delete(key)
+	sh.mu.Unlock()
+	s.count.Add(-1)
+	return err
+}
+
+// Contains reports whether key may be in the set. Concurrent queries to
+// the same shard proceed in parallel (read lock).
+func (s *Sharded) Contains(key []byte) bool {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	ok := sh.f.Contains(key)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// EstimateCount returns an upper bound on key's multiplicity.
+func (s *Sharded) EstimateCount(key []byte) int {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	n := sh.f.EstimateCount(key)
+	sh.mu.RUnlock()
+	return n
+}
+
+// Len returns the current number of elements.
+func (s *Sharded) Len() int { return int(s.count.Load()) }
+
+// MemoryBits returns the aggregate footprint.
+func (s *Sharded) MemoryBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].f.MemoryBits()
+	}
+	return total
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// InsertBatch inserts keys in parallel: keys are grouped by shard and the
+// shard groups are processed concurrently (bounded by workers; 0 means one
+// goroutine per shard), so each shard's lock is taken once per batch
+// instead of once per key. Errors are joined; successfully inserted keys
+// stay inserted.
+func (s *Sharded) InsertBatch(keys [][]byte, workers int) error {
+	groups := s.group(keys)
+	errs := make([]error, len(s.shards))
+	s.parallel(workers, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		inserted := int64(0)
+		for _, k := range groups[i] {
+			if err := sh.f.Insert(k); err != nil {
+				errs[i] = fmt.Errorf("mpcbf: shard %d: %w", i, err)
+				break
+			}
+			inserted++
+		}
+		s.count.Add(inserted)
+	})
+	return errors.Join(errs...)
+}
+
+// ContainsBatch answers membership for keys in parallel, preserving order.
+func (s *Sharded) ContainsBatch(keys [][]byte, workers int) []bool {
+	out := make([]bool, len(keys))
+	// Group key *indices* by shard so results land in place.
+	groups := make([][]int, len(s.shards))
+	for i, k := range keys {
+		idx := s.pick.NewIndexStream(k).Word(0, len(s.shards))
+		groups[idx] = append(groups[idx], i)
+	}
+	s.parallel(workers, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		for _, ki := range groups[i] {
+			out[ki] = sh.f.Contains(keys[ki])
+		}
+	})
+	return out
+}
+
+// group partitions keys by owning shard.
+func (s *Sharded) group(keys [][]byte) [][][]byte {
+	groups := make([][][]byte, len(s.shards))
+	for _, k := range keys {
+		idx := s.pick.NewIndexStream(k).Word(0, len(s.shards))
+		groups[idx] = append(groups[idx], k)
+	}
+	return groups
+}
+
+// parallel runs fn(i) for every shard index with bounded concurrency.
+func (s *Sharded) parallel(workers int, fn func(i int)) {
+	if workers <= 0 || workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Reset clears every shard.
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].f.Reset()
+		s.shards[i].mu.Unlock()
+	}
+	s.count.Store(0)
+}
+
+var _ CountingFilter = (*Sharded)(nil)

@@ -1,0 +1,298 @@
+package mpcbf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 20, ExpectedItems: 10000, Seed: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	if s.MemoryBits() != 1<<20 {
+		t.Fatalf("MemoryBits = %d", s.MemoryBits())
+	}
+	in := apiKeys("s", 10000)
+	for _, k := range in {
+		if err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, k := range in {
+		if !s.Contains(k) {
+			t.Fatalf("false negative %q", k)
+		}
+		if s.EstimateCount(k) < 1 {
+			t.Fatal("EstimateCount < 1 for member")
+		}
+	}
+	for _, k := range in {
+		if err := s.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset broke count")
+	}
+}
+
+func TestShardedDefaultsToOneShard(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 16, ExpectedItems: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 1 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+}
+
+func TestShardedRejectsTinyShards(t *testing.T) {
+	if _, err := NewSharded(Options{MemoryBits: 128, ExpectedItems: 10}, 16); err == nil {
+		t.Fatal("sub-word shards accepted")
+	}
+}
+
+func TestShardedFPRComparableToMonolithic(t *testing.T) {
+	const mem, n = 1 << 21, 20000
+	mono, _ := New(Options{MemoryBits: mem, ExpectedItems: n, Seed: 2})
+	shrd, err := NewSharded(Options{MemoryBits: mem, ExpectedItems: n, Seed: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range apiKeys("in", n) {
+		if err := mono.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := shrd.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fpM, fpS := 0, 0
+	const probes = 200000
+	for _, k := range apiKeys("out", probes) {
+		if mono.Contains(k) {
+			fpM++
+		}
+		if shrd.Contains(k) {
+			fpS++
+		}
+	}
+	// Same aggregate geometry: the rates should be within noise of each
+	// other (sharding must not cost accuracy).
+	lo, hi := fpM/3, fpM*3+20
+	if fpS < lo || fpS > hi {
+		t.Fatalf("sharded fp=%d far from monolithic fp=%d", fpS, fpM)
+	}
+}
+
+// TestShardedConcurrency hammers the filter from many goroutines; run
+// with -race this validates the locking discipline.
+func TestShardedConcurrency(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 20, ExpectedItems: 8000, Seed: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if err := s.Insert(k); err != nil {
+					errs <- err
+					return
+				}
+				if !s.Contains(k) {
+					errs <- fmt.Errorf("false negative under concurrency: %s", k)
+					return
+				}
+			}
+			// Delete half of what this worker inserted.
+			for i := 0; i < perWorker/2; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if err := s.Delete(k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != workers*perWorker/2 {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*perWorker/2)
+	}
+	// Survivors all present.
+	for w := 0; w < workers; w++ {
+		for i := perWorker / 2; i < perWorker; i++ {
+			k := []byte(fmt.Sprintf("w%d-%d", w, i))
+			if !s.Contains(k) {
+				t.Fatalf("lost %s", k)
+			}
+		}
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 20, ExpectedItems: 20000, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("b", 20000)
+	if err := s.InsertBatch(in, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 20000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Mixed probe batch: alternate members and non-members; order must be
+	// preserved.
+	probe := make([][]byte, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		probe = append(probe, in[i*7])
+		probe = append(probe, []byte(fmt.Sprintf("absent-%d", i)))
+	}
+	got := s.ContainsBatch(probe, 0)
+	if len(got) != len(probe) {
+		t.Fatalf("result length %d", len(got))
+	}
+	misses := 0
+	for i, ok := range got {
+		if i%2 == 0 && !ok {
+			t.Fatalf("false negative at batch index %d", i)
+		}
+		if i%2 == 1 && !ok {
+			misses++
+		}
+	}
+	if misses < 900 {
+		t.Fatalf("only %d of 1000 non-members rejected", misses)
+	}
+	// Batch and scalar answers must agree.
+	for i, k := range probe[:100] {
+		if s.Contains(k) != got[i] {
+			t.Fatalf("batch/scalar divergence at %d", i)
+		}
+	}
+}
+
+func TestBatchInsertConcurrentWithQueries(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 20, ExpectedItems: 10000, Seed: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("c", 10000)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.ContainsBatch(in[:200], 2)
+		}
+	}()
+	if err := s.InsertBatch(in, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	for _, k := range in {
+		if !s.Contains(k) {
+			t.Fatalf("lost %q", k)
+		}
+	}
+}
+
+func TestShardedMarshalRoundTrip(t *testing.T) {
+	s, err := NewSharded(Options{MemoryBits: 1 << 19, ExpectedItems: 5000, Seed: 11}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("sm", 5000)
+	if err := s.InsertBatch(in, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalSharded(data, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shards() != 4 || g.Len() != 5000 {
+		t.Fatalf("shards=%d len=%d", g.Shards(), g.Len())
+	}
+	for _, k := range in {
+		if !g.Contains(k) {
+			t.Fatalf("false negative after round trip: %q", k)
+		}
+	}
+	// The clone is functional: delete half and verify counts.
+	for _, k := range in[:2500] {
+		if err := g.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != 2500 {
+		t.Fatalf("Len after deletes = %d", g.Len())
+	}
+	// Garbage rejection.
+	for name, bad := range map[string][]byte{
+		"empty":     {},
+		"truncated": data[:20],
+		"trailing":  append(append([]byte{}, data...), 1),
+	} {
+		if _, err := UnmarshalSharded(bad, 11); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMarshalPublicRoundTrip(t *testing.T) {
+	f, err := New(Options{MemoryBits: 1 << 18, ExpectedItems: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apiKeys("m", 2000)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalMPCBF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() || g.Geometry() != f.Geometry() {
+		t.Fatal("state mismatch after round trip")
+	}
+	for _, k := range in {
+		if !g.Contains(k) {
+			t.Fatalf("false negative after round trip: %q", k)
+		}
+	}
+	if _, err := UnmarshalMPCBF([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package mpcbf implements Multiple-Partitioned Counting Bloom Filters —
+// fast, accurate counting Bloom filters that answer membership queries
+// with a single memory access — together with the classic structures they
+// are evaluated against.
+//
+// It is a from-scratch Go reproduction of:
+//
+//	Kun Huang, Jie Zhang, Dafang Zhang, Gaogang Xie, Kave Salamatian,
+//	Alex X. Liu, Wei Li. "A Multi-Partitioning Approach to Building Fast
+//	and Accurate Counting Bloom Filters". IEEE IPDPS 2013.
+//
+// # The structures
+//
+//   - MPCBF (New): the paper's contribution. The counter vector is split
+//     into machine words, each organized as a hierarchical CBF whose
+//     popcount-indexed levels spend bits only on non-zero counters. A
+//     query reads g words (g=1 by default); at equal memory the false
+//     positive rate is roughly an order of magnitude below the standard
+//     CBF's.
+//   - CBF (NewCBF): the standard counting Bloom filter of Fan et al. —
+//     m 4-bit saturating counters, k memory accesses per operation.
+//   - PCBF (NewPCBF): the naive partitioned CBF — one memory access, but
+//     a worse false positive rate than CBF (Section III.A baseline).
+//   - Bloom / BlockedBloom (NewBloom, NewBlockedBloom): plain membership
+//     filters, including the one-memory-access blocked filter (BF-g) that
+//     inspired MPCBF.
+//
+// # Quick start
+//
+//	f, err := mpcbf.New(mpcbf.Options{
+//		MemoryBits:    8 << 20, // 8 Mb
+//		ExpectedItems: 100000,
+//	})
+//	if err != nil { ... }
+//	f.Insert([]byte("alpha"))
+//	f.Contains([]byte("alpha")) // true
+//	f.Delete([]byte("alpha"))
+//
+// Every structure is deterministic under a fixed Options.Seed, supports
+// Insert/Delete/Contains/EstimateCount, and reports per-operation costs in
+// the paper's memory-access/hash-bit model via the *WithCost methods.
+//
+// The cmd/mpexp binary regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package mpcbf

@@ -1,0 +1,74 @@
+package mpcbf_test
+
+import (
+	"fmt"
+
+	mpcbf "repro"
+)
+
+// Sizing a filter with the analytic model before building it.
+func ExampleTuneK() {
+	const items, memory = 100000, 8 << 20
+	kCBF, _ := mpcbf.TuneKCBF(items, memory)
+	kMP, _ := mpcbf.TuneK(items, memory, 1)
+	fmt.Printf("CBF wants k=%d (and pays k accesses per query)\n", kCBF)
+	fmt.Printf("MPCBF-1 wants k=%d (and pays 1 access per query)\n", kMP)
+	// Output:
+	// CBF wants k=15 (and pays k accesses per query)
+	// MPCBF-1 wants k=4 (and pays 1 access per query)
+}
+
+// Comparing structures at equal memory through the common interface.
+func ExampleCountingFilter() {
+	opts := mpcbf.Options{MemoryBits: 1 << 20, ExpectedItems: 10000}
+	mp, _ := mpcbf.New(opts)
+	cb, _ := mpcbf.NewCBF(opts)
+	for _, f := range []mpcbf.CountingFilter{mp, cb} {
+		f.Insert([]byte("route-10.0.0.0/8"))
+		fmt.Println(f.Contains([]byte("route-10.0.0.0/8")), f.Len())
+	}
+	// Output:
+	// true 1
+	// true 1
+}
+
+// Shipping a loaded filter to another process (the DistributedCache
+// pattern of the paper's MapReduce application).
+func ExampleMPCBF_MarshalBinary() {
+	f, _ := mpcbf.New(mpcbf.Options{MemoryBits: 1 << 16, ExpectedItems: 500})
+	f.Insert([]byte("patent-4683202"))
+
+	wire, _ := f.MarshalBinary()
+	clone, _ := mpcbf.UnmarshalMPCBF(wire)
+
+	fmt.Println(clone.Contains([]byte("patent-4683202")))
+	fmt.Println(clone.Contains([]byte("patent-0000000")))
+	// Output:
+	// true
+	// false
+}
+
+// A thread-safe filter for concurrent pipelines.
+func ExampleNewSharded() {
+	s, _ := mpcbf.NewSharded(mpcbf.Options{MemoryBits: 1 << 20, ExpectedItems: 10000}, 8)
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	if err := s.InsertBatch(keys, 0); err != nil {
+		panic(err)
+	}
+	for _, hit := range s.ContainsBatch([][]byte{[]byte("a"), []byte("z")}, 0) {
+		fmt.Println(hit)
+	}
+	// Output:
+	// true
+	// false
+}
+
+// Inspecting the derived geometry of an MPCBF.
+func ExampleMPCBF_Geometry() {
+	f, _ := mpcbf.New(mpcbf.Options{MemoryBits: 1 << 20, ExpectedItems: 10000})
+	g := f.Geometry()
+	fmt.Printf("words=%d wordBits=%d firstLevel=%d capacity=%d\n",
+		g.Words, g.WordBits, g.FirstLevelBits, g.WordCapacity)
+	// Output:
+	// words=16384 wordBits=64 firstLevel=49 capacity=5
+}

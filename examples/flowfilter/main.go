@@ -1,0 +1,133 @@
+// Flowfilter reproduces the paper's motivating packet-processing scenario
+// (Section IV.D): a line-rate flow-measurement front end that tracks a
+// dynamic set of monitored flows in an MPCBF, admitting packets of
+// monitored flows while flows churn in and out of the set.
+//
+// It synthesizes a CAIDA-shape IPv4 trace, monitors a rotating subset of
+// flows, and reports per-window admit rates, false positives, and the
+// access cost per packet for MPCBF vs the standard CBF.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mpcbf "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.05, "trace scale (1.0 = 292K flows / 5.6M packets)")
+		seed  = flag.Uint64("seed", 7, "workload seed")
+		memMb = flag.Float64("mem", 0.6, "filter memory in Mb")
+	)
+	flag.Parse()
+
+	trace, err := dataset.NewTrace(dataset.DefaultTraceConfig(*scale, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitorN := len(trace.Flows) * 2 / 3
+	monitored, err := trace.SampleFlows(monitorN, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memBits := int(*memMb * (1 << 20))
+
+	fmt.Printf("trace: %d flows, %d packets; monitoring %d flows in %.1f Mb\n",
+		len(trace.Flows), len(trace.Packets), monitorN, *memMb)
+
+	mp, err := mpcbf.New(mpcbf.Options{MemoryBits: memBits, ExpectedItems: monitorN, Seed: uint32(*seed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cb, err := mpcbf.NewCBF(mpcbf.Options{MemoryBits: memBits, Seed: uint32(*seed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fl := range monitored {
+		if err := mp.Insert(fl.Key()); err != nil {
+			log.Fatal(err)
+		}
+		if err := cb.Insert(fl.Key()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	isMonitored := make(map[dataset.Flow]bool, monitorN)
+	for _, fl := range monitored {
+		isMonitored[fl] = true
+	}
+
+	// Process the trace in windows; rotate 5% of the monitored set between
+	// windows (the dynamic-set behavior CBFs exist for).
+	const windows = 4
+	perWindow := len(trace.Packets) / windows
+	rotate := monitorN / 20
+	next := monitorN // index into `monitored` replacement pool — reuse fresh flows
+	fresh := trace.FreshFlows(rotate*windows, *seed+2)
+	_ = next
+
+	for win := 0; win < windows; win++ {
+		packets := trace.Packets[win*perWindow : (win+1)*perWindow]
+		var admitMP, admitCB, fpMP, fpCB, accMP, accCB, negatives int
+		for _, p := range packets {
+			key := p.Key()
+			okM, cM := mp.ContainsWithCost(key)
+			okC, cC := cb.ContainsWithCost(key)
+			accMP += cM.MemoryAccesses
+			accCB += cC.MemoryAccesses
+			if okM {
+				admitMP++
+			}
+			if okC {
+				admitCB++
+			}
+			if !isMonitored[p] {
+				negatives++
+				if okM {
+					fpMP++
+				}
+				if okC {
+					fpCB++
+				}
+			}
+		}
+		fmt.Printf("window %d: %7d packets | MPCBF admit %6d fp %.4f acc/pkt %.2f | CBF admit %6d fp %.4f acc/pkt %.2f\n",
+			win, len(packets),
+			admitMP, rate(fpMP, negatives), float64(accMP)/float64(len(packets)),
+			admitCB, rate(fpCB, negatives), float64(accCB)/float64(len(packets)))
+
+		// Rotate the monitored set: stop monitoring `rotate` flows, start
+		// monitoring `rotate` new ones.
+		if win < windows-1 {
+			out := monitored[win*rotate : (win+1)*rotate]
+			in := fresh[win*rotate : (win+1)*rotate]
+			for i := range out {
+				if err := mp.Delete(out[i].Key()); err != nil {
+					log.Fatal(err)
+				}
+				if err := cb.Delete(out[i].Key()); err != nil {
+					log.Fatal(err)
+				}
+				isMonitored[out[i]] = false
+				if err := mp.Insert(in[i].Key()); err != nil {
+					log.Fatal(err)
+				}
+				if err := cb.Insert(in[i].Key()); err != nil {
+					log.Fatal(err)
+				}
+				isMonitored[in[i]] = true
+			}
+		}
+	}
+	fmt.Printf("final populations: MPCBF %d, CBF %d (equal churn applied)\n", mp.Len(), cb.Len())
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

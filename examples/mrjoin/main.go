@@ -1,0 +1,104 @@
+// Mrjoin demonstrates the paper's Section V application through the
+// public API: accelerating a MapReduce reduce-side join by broadcasting a
+// counting filter to the map tasks. It runs the same join with no filter,
+// a CBF, and an MPCBF, and compares shuffled records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mpcbf "repro"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+)
+
+type membership struct {
+	contains func([]byte) bool
+}
+
+func (m membership) Contains(key []byte) bool { return m.contains(key) }
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.01, "join dataset scale")
+		seed  = flag.Uint64("seed", 3, "workload seed")
+	)
+	flag.Parse()
+
+	ds, err := dataset.NewJoinDataset(dataset.DefaultJoinConfig(*scale, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("join: %d patents x %d citations (%d matching)\n\n",
+		len(ds.Patents), len(ds.Citations), ds.Matching)
+
+	left := make([]mapreduce.KV, len(ds.Patents))
+	keys := make([][]byte, len(ds.Patents))
+	for i, p := range ds.Patents {
+		keys[i] = dataset.PatentKey(p.ID)
+		left[i] = mapreduce.KV{Key: string(keys[i]), Value: fmt.Sprintf("%d,%s", p.Year, p.Country)}
+	}
+	right := make([]mapreduce.KV, len(ds.Citations))
+	for i, c := range ds.Citations {
+		right[i] = mapreduce.KV{Key: string(dataset.PatentKey(c.Cited)), Value: fmt.Sprintf("%d", c.Citing)}
+	}
+
+	memBits := len(ds.Patents) * 24
+	if memBits < 256 {
+		memBits = 256
+	}
+	opts := mpcbf.Options{MemoryBits: memBits, ExpectedItems: len(ds.Patents), Seed: uint32(*seed)}
+
+	filters := []struct {
+		name string
+		mk   func() (membership, error)
+	}{
+		{"none", func() (membership, error) { return membership{}, nil }},
+		{"CBF", func() (membership, error) {
+			f, err := mpcbf.NewCBF(opts)
+			if err != nil {
+				return membership{}, err
+			}
+			for _, k := range keys {
+				if err := f.Insert(k); err != nil {
+					return membership{}, err
+				}
+			}
+			return membership{f.Contains}, nil
+		}},
+		{"MPCBF-1", func() (membership, error) {
+			f, err := mpcbf.New(opts)
+			if err != nil {
+				return membership{}, err
+			}
+			for _, k := range keys {
+				if err := f.Insert(k); err != nil {
+					return membership{}, err
+				}
+			}
+			return membership{f.Contains}, nil
+		}},
+	}
+
+	for _, fc := range filters {
+		m, err := fc.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var filter mapreduce.MembershipFilter
+		if m.contains != nil {
+			filter = m
+		}
+		_, stats, err := mapreduce.ReduceSideJoin(left, right, filter, 8, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s map outputs %8d | shuffle %7d KB | false passes %6d | joined %d | %v\n",
+			fc.name, stats.MapOutputRecords, stats.ShuffleBytes/1024,
+			stats.FilterFalsePositives, stats.JoinedRows, stats.Elapsed.Round(1e6))
+	}
+	fmt.Println("\nThe joined row count is identical across filters: a false positive only")
+	fmt.Println("costs shuffle traffic, never correctness (Section V).")
+}

@@ -1,0 +1,74 @@
+// Quickstart: build an MPCBF, insert, query, delete, and inspect its
+// geometry and cost model — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mpcbf "repro"
+)
+
+func main() {
+	// Size the filter for 100K items in 8 Mb of memory: about an order of
+	// magnitude lower false positive rate than a standard CBF would give
+	// at the same budget, with one memory access per query.
+	f, err := mpcbf.New(mpcbf.Options{
+		MemoryBits:    8 << 20,
+		ExpectedItems: 100000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geo := f.Geometry()
+	fmt.Printf("geometry: %d words x %d bits, first level %d bits, k=%d, g=%d, per-word capacity %d\n",
+		geo.Words, geo.WordBits, geo.FirstLevelBits, geo.HashFunctions, geo.MemoryAccesses, geo.WordCapacity)
+	fmt.Printf("expected fpr at 100K items: %.2e\n", f.ExpectedFPR(100000))
+
+	// Insert a batch.
+	for i := 0; i < 100000; i++ {
+		if err := f.Insert([]byte(fmt.Sprintf("user-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Membership queries cost one memory access each.
+	ok, cost := f.ContainsWithCost([]byte("user-42"))
+	fmt.Printf("user-42 present=%v (%d memory access, %d hash bits)\n",
+		ok, cost.MemoryAccesses, cost.HashBits)
+	fmt.Printf("ghost present=%v\n", f.Contains([]byte("ghost")))
+
+	// Counting filters support deletion — the reason to use a CBF at all.
+	if err := f.Delete([]byte("user-42")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user-42 after delete=%v\n", f.Contains([]byte("user-42")))
+
+	// Measure the actual false positive rate against the analytic value.
+	fp := 0
+	const probes = 200000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	fmt.Printf("measured fpr: %.2e over %d probes\n", float64(fp)/probes, probes)
+
+	// Compare with a standard CBF at the same memory.
+	c, err := mpcbf.NewCBF(mpcbf.Options{MemoryBits: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		c.Insert([]byte(fmt.Sprintf("user-%d", i)))
+	}
+	fpC := 0
+	for i := 0; i < probes; i++ {
+		if c.Contains([]byte(fmt.Sprintf("absent-%d", i))) {
+			fpC++
+		}
+	}
+	fmt.Printf("standard CBF at same memory: fpr %.2e (expected %.2e)\n",
+		float64(fpC)/probes, c.ExpectedFPR(100000))
+}

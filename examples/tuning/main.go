@@ -1,0 +1,66 @@
+// Tuning walks through sizing an MPCBF with the analytic model: optimal
+// hash counts, the accuracy/access trade-off of MPCBF-g, and the overflow
+// safety of a chosen geometry — the reasoning of the paper's Figs. 9-11
+// turned into a design aid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mpcbf "repro"
+)
+
+func main() {
+	var (
+		items = flag.Int("n", 100000, "expected distinct items")
+		memMb = flag.Float64("mem", 8, "memory budget in Mb")
+	)
+	flag.Parse()
+	memBits := int(*memMb * (1 << 20))
+
+	fmt.Printf("sizing for %d items in %.1f Mb (%.1f bits/item)\n\n",
+		*items, *memMb, float64(memBits)/float64(*items))
+
+	// 1. The standard CBF's optimum grows with memory and is expensive to
+	//    run: every query costs k memory accesses.
+	kc, fc := mpcbf.TuneKCBF(*items, memBits)
+	fmt.Printf("standard CBF : optimal k=%-2d  fpr %.2e  (k accesses per query)\n", kc, fc)
+
+	// 2. MPCBF's optimum is nearly flat; queries cost g accesses no matter
+	//    how many hash functions are used.
+	for g := 1; g <= 3; g++ {
+		kg, fg := mpcbf.TuneK(*items, memBits, g)
+		fmt.Printf("MPCBF-%d      : optimal k=%-2d  fpr %.2e  (%d access(es) per query)\n", g, kg, fg, g)
+	}
+
+	// 3. Overflow safety of the chosen geometry.
+	p := mpcbf.OverflowProbability(*items, memBits, 64, 1)
+	fmt.Printf("\nword-overflow probability of the MPCBF-1 geometry: %.2e\n", p)
+
+	// 4. Build the tuned filter and validate the analytic rate empirically.
+	k1, _ := mpcbf.TuneK(*items, memBits, 1)
+	f, err := mpcbf.New(mpcbf.Options{MemoryBits: memBits, ExpectedItems: *items, HashFunctions: k1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *items; i++ {
+		if err := f.Insert([]byte(fmt.Sprintf("item-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	probes := 4 * *items
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	geo := f.Geometry()
+	fmt.Printf("\nbuilt MPCBF-1: l=%d words, b1=%d, nmax=%d, k=%d\n",
+		geo.Words, geo.FirstLevelBits, geo.WordCapacity, geo.HashFunctions)
+	fmt.Printf("measured fpr %.2e over %d probes (analytic %.2e)\n",
+		float64(fp)/float64(probes), probes, f.ExpectedFPR(*items))
+	fmt.Printf("overflow events while loading: %d\n", f.OverflowEvents())
+}

@@ -1,0 +1,98 @@
+package mpcbf
+
+import "repro/internal/metrics"
+
+// Cost is the price of one filter operation under the paper's performance
+// model: how many memory words were fetched and how many hash bits were
+// consumed to address them (the paper's "access bandwidth").
+type Cost struct {
+	MemoryAccesses int
+	HashBits       int
+}
+
+func fromStats(s metrics.OpStats) Cost {
+	return Cost{MemoryAccesses: s.MemAccesses, HashBits: s.HashBits}
+}
+
+// Filter is the read side shared by every structure in this package.
+type Filter interface {
+	// Contains reports whether key may be in the set. False positives
+	// occur at the structure's configured rate; false negatives do not.
+	Contains(key []byte) bool
+	// MemoryBits is the structure's memory footprint in bits.
+	MemoryBits() int
+}
+
+// CountingFilter is a dynamic-set filter supporting deletion.
+type CountingFilter interface {
+	Filter
+	// Insert adds key. An error indicates the structure could not absorb
+	// the insert (MPCBF word overflow under the fail policy).
+	Insert(key []byte) error
+	// Delete removes a previously inserted key. Deleting an absent key
+	// returns an error and, as with any counting filter, risks false
+	// negatives for colliding keys.
+	Delete(key []byte) error
+	// EstimateCount returns an upper bound on key's multiplicity (the
+	// minimum counter over its positions).
+	EstimateCount(key []byte) int
+	// Len returns the current number of elements (inserts minus deletes).
+	Len() int
+}
+
+// Static interface checks for every exported structure.
+var (
+	_ CountingFilter = (*MPCBF)(nil)
+	_ CountingFilter = (*CBF)(nil)
+	_ CountingFilter = (*PCBF)(nil)
+	_ Filter         = (*Bloom)(nil)
+	_ Filter         = (*BlockedBloom)(nil)
+)
+
+// Options configures any of the package's structures. Zero fields take
+// the documented defaults.
+type Options struct {
+	// MemoryBits is the total memory budget in bits (required).
+	MemoryBits int
+	// ExpectedItems is the distinct-element population the structure is
+	// sized for. MPCBF requires it (the word-capacity heuristic, Eq. 11 of
+	// the paper); the other structures use it only for documentation.
+	ExpectedItems int
+	// HashFunctions is k (default 3, the paper's base configuration).
+	HashFunctions int
+	// MemoryAccesses is g, the number of words a key maps to (default 1).
+	// Raising g lowers the false positive rate at the price of g memory
+	// accesses per operation (MPCBF-g / PCBF-g / BF-g).
+	MemoryAccesses int
+	// WordBits is the machine word width w (default 64).
+	WordBits int
+	// Seed selects the hash family; equal seeds give identical layouts.
+	Seed uint32
+	// StrictOverflow makes MPCBF reject inserts that hit a full word
+	// instead of the default graceful policy (freeze the word as
+	// always-positive — bounded stale positives, never false negatives,
+	// never failed inserts). The sizing heuristic keeps either event
+	// rare: it targets about one at-threshold word per filter.
+	StrictOverflow bool
+}
+
+func (o Options) k() int {
+	if o.HashFunctions == 0 {
+		return 3
+	}
+	return o.HashFunctions
+}
+
+func (o Options) g() int {
+	if o.MemoryAccesses == 0 {
+		return 1
+	}
+	return o.MemoryAccesses
+}
+
+func (o Options) w() int {
+	if o.WordBits == 0 {
+		return 64
+	}
+	return o.WordBits
+}

@@ -1,0 +1,122 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters(40)
+	if c.Len() != 40 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 0; i < 40; i++ {
+		if c.Get(i) != 0 {
+			t.Fatalf("fresh counter %d nonzero", i)
+		}
+	}
+	c.Inc(3)
+	c.Inc(3)
+	c.Inc(17)
+	if c.Get(3) != 2 || c.Get(17) != 1 || c.Get(4) != 0 {
+		t.Fatalf("unexpected values: %d %d %d", c.Get(3), c.Get(17), c.Get(4))
+	}
+	c.Dec(3)
+	if c.Get(3) != 1 {
+		t.Fatalf("after dec: %d", c.Get(3))
+	}
+}
+
+func TestCountersSaturation(t *testing.T) {
+	c := NewCounters(4)
+	for i := 0; i < 20; i++ {
+		c.Inc(1)
+	}
+	if c.Get(1) != CounterMax {
+		t.Fatalf("counter should saturate at %d, got %d", CounterMax, c.Get(1))
+	}
+	if c.Saturated() != 1 {
+		t.Fatalf("Saturated = %d", c.Saturated())
+	}
+	// Saturated counters are sticky: decrement must not move them.
+	if c.Dec(1) {
+		t.Fatal("Dec of saturated counter reported underflow")
+	}
+	if c.Get(1) != CounterMax {
+		t.Fatalf("saturated counter moved to %d", c.Get(1))
+	}
+}
+
+func TestCountersUnderflow(t *testing.T) {
+	c := NewCounters(4)
+	if !c.Dec(0) {
+		t.Fatal("Dec of zero counter should report underflow")
+	}
+	if c.Get(0) != 0 {
+		t.Fatal("underflowed counter changed")
+	}
+}
+
+func TestCountersAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100
+	c := NewCounters(n)
+	ref := make([]int, n)
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(n)
+		if rng.Intn(3) != 0 {
+			c.Inc(i)
+			if ref[i] < CounterMax {
+				ref[i]++
+			}
+		} else {
+			c.Dec(i)
+			if ref[i] > 0 && ref[i] < CounterMax {
+				ref[i]--
+			}
+		}
+		if int(c.Get(i)) != ref[i] {
+			t.Fatalf("op %d: counter %d = %d, ref %d", op, i, c.Get(i), ref[i])
+		}
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	c := NewCounters(20)
+	for i := 0; i < 20; i++ {
+		c.Inc(i)
+	}
+	c.Reset()
+	for i := 0; i < 20; i++ {
+		if c.Get(i) != 0 {
+			t.Fatalf("counter %d nonzero after reset", i)
+		}
+	}
+	if c.Saturated() != 0 {
+		t.Fatal("sticky count survived reset")
+	}
+}
+
+func TestCountersPackingBoundaries(t *testing.T) {
+	// Counters 15 and 16 straddle a word boundary (16 counters per word).
+	c := NewCounters(32)
+	c.Inc(15)
+	c.Inc(16)
+	c.Inc(16)
+	if c.Get(15) != 1 || c.Get(16) != 2 {
+		t.Fatalf("boundary counters: %d %d", c.Get(15), c.Get(16))
+	}
+	if c.Get(14) != 0 || c.Get(17) != 0 {
+		t.Fatal("neighbors disturbed")
+	}
+}
+
+func TestCountersPanicOnBadIndex(t *testing.T) {
+	c := NewCounters(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Get(4)
+}

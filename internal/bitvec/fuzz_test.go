@@ -1,0 +1,73 @@
+package bitvec
+
+import "testing"
+
+// FuzzShiftRoundTrip checks the HCBF workhorse identity on arbitrary bit
+// patterns: inserting a zero at any position of a window whose final bit
+// is clear, then removing it, restores the window exactly.
+func FuzzShiftRoundTrip(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint8(3))
+	f.Add([]byte{0x01}, uint8(0))
+	f.Add(make([]byte, 40), uint8(200))
+
+	f.Fuzz(func(t *testing.T, pattern []byte, posRaw uint8) {
+		n := len(pattern) * 8
+		if n < 2 {
+			return
+		}
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if pattern[i/8]&(1<<(i%8)) != 0 {
+				v.Set(i, true)
+			}
+		}
+		v.Set(n-1, false)
+		before := v.Clone()
+		pos := int(posRaw) % n
+		onesBefore := v.Ones(0, n)
+
+		v.InsertZero(pos, n)
+		if v.Get(pos) {
+			t.Fatalf("InsertZero left a one at %d", pos)
+		}
+		if v.Ones(0, n) != onesBefore {
+			t.Fatalf("popcount changed: %d -> %d", onesBefore, v.Ones(0, n))
+		}
+		v.RemoveBit(pos, n)
+		if !v.Equal(before) {
+			t.Fatalf("insert+remove at %d not identity:\nwant %s\n got %s", pos, before, v)
+		}
+	})
+}
+
+// FuzzOnesConsistency cross-checks range popcounts against bit-by-bit
+// counting for arbitrary patterns and ranges.
+func FuzzOnesConsistency(f *testing.F) {
+	f.Add([]byte{0xF0, 0x0F, 0xCC}, uint8(2), uint8(20))
+	f.Fuzz(func(t *testing.T, pattern []byte, aRaw, bRaw uint8) {
+		n := len(pattern) * 8
+		if n == 0 {
+			return
+		}
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if pattern[i/8]&(1<<(i%8)) != 0 {
+				v.Set(i, true)
+			}
+		}
+		a := int(aRaw) % (n + 1)
+		b := int(bRaw) % (n + 1)
+		if a > b {
+			a, b = b, a
+		}
+		want := 0
+		for i := a; i < b; i++ {
+			if v.Get(i) {
+				want++
+			}
+		}
+		if got := v.Ones(a, b); got != want {
+			t.Fatalf("Ones(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Package bloom implements the classic Bloom filter of Bloom [1] and the
+// one-memory-access blocked variant BF-1/BF-g of Qiao, Li and Chen [11],
+// the structure whose idea the paper's PCBF/MPCBF generalize to counting
+// filters. Both are baselines for the evaluation and useful on their own.
+package bloom
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashing"
+	"repro/internal/metrics"
+)
+
+// Filter is a standard m-bit, k-hash Bloom filter.
+type Filter struct {
+	bits   *bitvec.Vector
+	m, k   int
+	hasher hashing.Hasher
+	count  int
+}
+
+// New returns a Bloom filter with m bits and k hash functions.
+func New(m, k int, seed uint32) (*Filter, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive (m=%d, k=%d)", m, k)
+	}
+	return &Filter{bits: bitvec.New(m), m: m, k: k, hasher: hashing.NewHasher(seed)}, nil
+}
+
+// M returns the vector size in bits; K the number of hash functions.
+func (f *Filter) M() int { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count returns the number of Insert calls since creation/reset.
+func (f *Filter) Count() int { return f.count }
+
+// Insert adds key to the set.
+func (f *Filter) Insert(key []byte) {
+	s := f.hasher.NewIndexStream(key)
+	for i := 0; i < f.k; i++ {
+		f.bits.Set(s.Slot(i, f.m), true)
+	}
+	f.count++
+}
+
+// Contains reports whether key may be in the set (the uninstrumented hot
+// path; see Probe).
+func (f *Filter) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	for i := 0; i < f.k; i++ {
+		if !f.bits.Get(s.Slot(i, f.m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Probe is Contains with cost accounting: the standard Bloom filter pays
+// one memory access per probed bit (short-circuiting on the first zero)
+// and log2(m) hash bits per probe.
+func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
+	s := f.hasher.NewIndexStream(key)
+	bitsPerProbe := metrics.Log2Ceil(f.m)
+	var st metrics.OpStats
+	for i := 0; i < f.k; i++ {
+		st.MemAccesses++
+		st.HashBits += bitsPerProbe
+		if !f.bits.Get(s.Slot(i, f.m)) {
+			return false, st
+		}
+	}
+	return true, st
+}
+
+// FillRatio returns the fraction of set bits, used in tests to validate
+// the load against theory.
+func (f *Filter) FillRatio() float64 {
+	return float64(f.bits.Ones(0, f.m)) / float64(f.m)
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	f.bits.Reset()
+	f.count = 0
+}
+
+// MemoryBits returns the configured size in bits.
+func (f *Filter) MemoryBits() int { return f.m }
+
+// Blocked is the BF-g one-memory-access Bloom filter: the bit vector is an
+// array of l machine words; a key hashes to g words and to k bits split
+// over them, so a query costs g memory accesses instead of k.
+type Blocked struct {
+	bits   *bitvec.Vector
+	l      int // number of words
+	w      int // word size in bits
+	k, g   int
+	split  []int
+	hasher hashing.Hasher
+	count  int
+}
+
+// NewBlocked returns a BF-g filter of l words of w bits each, with k hash
+// bits per key spread over g words per the paper's ceil(k/g) allocation.
+func NewBlocked(l, w, k, g int, seed uint32) (*Blocked, error) {
+	switch {
+	case l <= 0 || w <= 0:
+		return nil, fmt.Errorf("bloom: l and w must be positive (l=%d, w=%d)", l, w)
+	case k <= 0 || g <= 0:
+		return nil, fmt.Errorf("bloom: k and g must be positive (k=%d, g=%d)", k, g)
+	case g > k:
+		return nil, fmt.Errorf("bloom: g=%d exceeds k=%d", g, k)
+	case g > l:
+		return nil, fmt.Errorf("bloom: g=%d exceeds word count l=%d", g, l)
+	}
+	return &Blocked{
+		bits:   bitvec.New(l * w),
+		l:      l,
+		w:      w,
+		k:      k,
+		g:      g,
+		split:  hashing.SplitKEven(k, g),
+		hasher: hashing.NewHasher(seed),
+	}, nil
+}
+
+// L returns the number of words; W the word width in bits.
+func (f *Blocked) L() int { return f.l }
+
+// W returns the word width in bits.
+func (f *Blocked) W() int { return f.w }
+
+// Count returns the number of Insert calls since creation/reset.
+func (f *Blocked) Count() int { return f.count }
+
+// Insert adds key to the set.
+func (f *Blocked) Insert(key []byte) {
+	s := f.hasher.NewIndexStream(key)
+	slot := 0
+	for wi := 0; wi < f.g; wi++ {
+		base := s.Word(wi, f.l) * f.w
+		for j := 0; j < f.split[wi]; j++ {
+			f.bits.Set(base+s.Slot(slot, f.w), true)
+			slot++
+		}
+	}
+	f.count++
+}
+
+// Contains reports whether key may be in the set (the uninstrumented hot
+// path; see Probe).
+func (f *Blocked) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	slot := 0
+	for wi := 0; wi < f.g; wi++ {
+		base := s.Word(wi, f.l) * f.w
+		for j := 0; j < f.split[wi]; j++ {
+			if !f.bits.Get(base + s.Slot(slot, f.w)) {
+				return false
+			}
+			slot++
+		}
+	}
+	return true
+}
+
+// Probe is Contains with cost accounting: one memory access per word
+// visited (short-circuiting when a word fails), log2(l) hash bits to pick
+// each word plus log2(w) per bit probed inside it.
+func (f *Blocked) Probe(key []byte) (bool, metrics.OpStats) {
+	s := f.hasher.NewIndexStream(key)
+	wordBits := metrics.Log2Ceil(f.l)
+	slotBits := metrics.Log2Ceil(f.w)
+	var st metrics.OpStats
+	slot := 0
+	for wi := 0; wi < f.g; wi++ {
+		base := s.Word(wi, f.l) * f.w
+		st.MemAccesses++
+		st.HashBits += wordBits
+		for j := 0; j < f.split[wi]; j++ {
+			st.HashBits += slotBits
+			if !f.bits.Get(base + s.Slot(slot, f.w)) {
+				return false, st
+			}
+			slot++
+		}
+	}
+	return true, st
+}
+
+// Reset clears the filter.
+func (f *Blocked) Reset() {
+	f.bits.Reset()
+	f.count = 0
+}
+
+// MemoryBits returns the total size in bits.
+func (f *Blocked) MemoryBits() int { return f.l * f.w }

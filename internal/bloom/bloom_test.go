@@ -1,0 +1,217 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(100, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBlocked(0, 64, 3, 1, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := NewBlocked(10, 64, 3, 4, 0); err == nil {
+		t.Error("g>k accepted")
+	}
+	if _, err := NewBlocked(16, 64, 8, 3, 0); err != nil {
+		t.Errorf("valid blocked config rejected: %v", err)
+	}
+	if _, err := NewBlocked(1, 64, 3, 2, 0); err == nil {
+		t.Error("g>l accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(1<<14, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := keys("member", 1000)
+	for _, k := range in {
+		f.Insert(k)
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestBlockedNoFalseNegatives(t *testing.T) {
+	for _, g := range []int{1, 2, 3} {
+		f, err := NewBlocked(1<<10, 64, 3, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := keys("member", 2000)
+		for _, k := range in {
+			f.Insert(k)
+		}
+		for _, k := range in {
+			if !f.Contains(k) {
+				t.Fatalf("g=%d: false negative for %q", g, k)
+			}
+		}
+	}
+}
+
+func TestFPRMatchesTheory(t *testing.T) {
+	// m/n = 16, k = 8 gives theoretical fpr ~ (1-e^-0.5)^8 ~ 5.7e-4.
+	const n = 10000
+	f, err := New(16*n, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys("in", n) {
+		f.Insert(k)
+	}
+	fp := 0
+	const probes = 200000
+	for _, k := range keys("out", probes) {
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := math.Pow(1-math.Exp(-8.0*n/(16*n)), 8)
+	if got > want*3+1e-4 {
+		t.Fatalf("measured fpr %.2e far above theoretical %.2e", got, want)
+	}
+}
+
+func TestBlockedFPRWorseThanStandard(t *testing.T) {
+	// The paper's premise: BF-1 trades accuracy for access count. At the
+	// same memory and k, BF-1's fpr should exceed the standard filter's.
+	const n, m = 20000, 20000 * 10
+	std, _ := New(m, 3, 3)
+	blk, _ := NewBlocked(m/64, 64, 3, 1, 3)
+	for _, k := range keys("in", n) {
+		std.Insert(k)
+		blk.Insert(k)
+	}
+	fpStd, fpBlk := 0, 0
+	const probes = 100000
+	for _, k := range keys("out", probes) {
+		if std.Contains(k) {
+			fpStd++
+		}
+		if blk.Contains(k) {
+			fpBlk++
+		}
+	}
+	if fpBlk <= fpStd {
+		t.Fatalf("expected blocked fpr > standard fpr, got %d vs %d", fpBlk, fpStd)
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	f, _ := New(1024, 4, 0)
+	f.Insert([]byte("x"))
+	ok, st := f.Probe([]byte("x"))
+	if !ok {
+		t.Fatal("member not found")
+	}
+	if st.MemAccesses != 4 {
+		t.Fatalf("member probe accesses = %d, want 4", st.MemAccesses)
+	}
+	if st.HashBits != 4*10 {
+		t.Fatalf("member probe hash bits = %d, want 40", st.HashBits)
+	}
+	// A fresh filter short-circuits on the first zero bit.
+	f.Reset()
+	ok, st = f.Probe([]byte("y"))
+	if ok || st.MemAccesses != 1 {
+		t.Fatalf("empty-filter probe: ok=%v accesses=%d", ok, st.MemAccesses)
+	}
+}
+
+func TestBlockedProbeAccounting(t *testing.T) {
+	f, _ := NewBlocked(256, 64, 4, 2, 0)
+	f.Insert([]byte("x"))
+	ok, st := f.Probe([]byte("x"))
+	if !ok {
+		t.Fatal("member not found")
+	}
+	if st.MemAccesses != 2 {
+		t.Fatalf("accesses = %d, want 2 (g=2)", st.MemAccesses)
+	}
+	// bandwidth: 2*log2(256) + 4*log2(64) = 16 + 24 = 40
+	if st.HashBits != 40 {
+		t.Fatalf("hash bits = %d, want 40", st.HashBits)
+	}
+}
+
+func TestResetAndCount(t *testing.T) {
+	f, _ := New(256, 3, 0)
+	f.Insert([]byte("a"))
+	f.Insert([]byte("b"))
+	if f.Count() != 2 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) {
+		t.Fatal("Reset incomplete")
+	}
+	b, _ := NewBlocked(8, 64, 3, 1, 0)
+	b.Insert([]byte("a"))
+	b.Reset()
+	if b.Count() != 0 || b.Contains([]byte("a")) {
+		t.Fatal("blocked Reset incomplete")
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f, _ := New(1000, 2, 0)
+	if f.FillRatio() != 0 {
+		t.Fatal("fresh filter fill ratio nonzero")
+	}
+	for _, k := range keys("in", 200) {
+		f.Insert(k)
+	}
+	fill := f.FillRatio()
+	want := 1 - math.Pow(1-1.0/1000, 2*200)
+	if math.Abs(fill-want) > 0.05 {
+		t.Fatalf("fill ratio %.3f far from theoretical %.3f", fill, want)
+	}
+}
+
+func TestBlockedInsertStaysInWord(t *testing.T) {
+	// With g=1 all k bits of a key land in one w-bit word.
+	f, _ := NewBlocked(64, 64, 8, 1, 9)
+	h := hashing.NewHasher(9)
+	key := []byte("locality")
+	f.Insert(key)
+	base := h.NewIndexStream(key).Word(0, 64) * 64
+	ones := f.bits.Ones(0, f.l*f.w)
+	inWord := f.bits.Ones(base, base+64)
+	if ones != inWord {
+		t.Fatalf("bits leaked outside the selected word: %d total vs %d in word", ones, inWord)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, _ := New(512, 3, 0)
+	if f.M() != 512 || f.K() != 3 || f.MemoryBits() != 512 {
+		t.Fatal("accessor mismatch")
+	}
+	b, _ := NewBlocked(16, 32, 3, 2, 0)
+	if b.L() != 16 || b.W() != 32 || b.MemoryBits() != 512 {
+		t.Fatal("blocked accessor mismatch")
+	}
+}

@@ -1,0 +1,175 @@
+// Package cbf implements the standard Counting Bloom Filter of Fan, Cao,
+// Almeida and Broder [3]: an array of m 4-bit saturating counters addressed
+// by k hash functions. It is the main baseline of the paper's evaluation.
+package cbf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashing"
+	"repro/internal/metrics"
+)
+
+// ErrUnderflow is reported when Delete is asked to remove a key whose
+// counters are not all positive — deleting an element that was never
+// inserted, which would create false negatives.
+var ErrUnderflow = errors.New("cbf: delete of absent key (counter underflow)")
+
+// Filter is a counting Bloom filter with m 4-bit counters and k hashes.
+type Filter struct {
+	counters *bitvec.Counters
+	m, k     int
+	hasher   hashing.Hasher
+	count    int
+	// idxbuf is per-filter scratch for the update paths; a Filter is not
+	// safe for concurrent use, so reuse keeps Insert/Delete allocation-free.
+	idxbuf []int
+}
+
+// New returns a CBF with m counters and k hash functions. Its memory
+// footprint is 4m bits.
+func New(m, k int, seed uint32) (*Filter, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("cbf: m and k must be positive (m=%d, k=%d)", m, k)
+	}
+	return &Filter{
+		counters: bitvec.NewCounters(m),
+		m:        m,
+		k:        k,
+		hasher:   hashing.NewHasher(seed),
+	}, nil
+}
+
+// FromMemory returns a CBF sized to occupy memoryBits bits (m =
+// memoryBits/4 counters) with k hash functions.
+func FromMemory(memoryBits, k int, seed uint32) (*Filter, error) {
+	return New(memoryBits/bitvec.CounterWidth, k, seed)
+}
+
+// M returns the number of counters.
+func (f *Filter) M() int { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count returns the current number of elements (inserts minus deletes).
+func (f *Filter) Count() int { return f.count }
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (f *Filter) MemoryBits() int { return f.m * bitvec.CounterWidth }
+
+// indices fills the filter's scratch buffer with key's counter positions
+// (valid until the next call).
+func (f *Filter) indices(key []byte) []int {
+	s := f.hasher.NewIndexStream(key)
+	if cap(f.idxbuf) < f.k {
+		f.idxbuf = make([]int, f.k)
+	}
+	idx := f.idxbuf[:f.k]
+	for i := range idx {
+		idx[i] = s.Slot(i, f.m)
+	}
+	return idx
+}
+
+// Insert adds key, incrementing its k counters.
+func (f *Filter) Insert(key []byte) error {
+	_, err := f.InsertStats(key)
+	return err
+}
+
+// InsertStats is Insert with cost accounting: k memory accesses, each
+// consuming log2(m) hash bits. The returned error is always nil (4-bit
+// counters saturate rather than fail) and exists for interface symmetry.
+func (f *Filter) InsertStats(key []byte) (metrics.OpStats, error) {
+	bitsPer := metrics.Log2Ceil(f.m)
+	var st metrics.OpStats
+	for _, i := range f.indices(key) {
+		f.counters.Inc(i)
+		st.MemAccesses++
+		st.HashBits += bitsPer
+	}
+	f.count++
+	return st, nil
+}
+
+// Delete removes key, decrementing its k counters. Deleting a key whose
+// counters are not all positive returns ErrUnderflow; counters already
+// decremented stay decremented, matching the hazard of real CBF deployments
+// that delete unverified keys.
+func (f *Filter) Delete(key []byte) error {
+	_, err := f.DeleteStats(key)
+	return err
+}
+
+// DeleteStats is Delete with cost accounting.
+func (f *Filter) DeleteStats(key []byte) (metrics.OpStats, error) {
+	bitsPer := metrics.Log2Ceil(f.m)
+	var st metrics.OpStats
+	var underflow bool
+	for _, i := range f.indices(key) {
+		if f.counters.Dec(i) {
+			underflow = true
+		}
+		st.MemAccesses++
+		st.HashBits += bitsPer
+	}
+	f.count--
+	if underflow {
+		return st, ErrUnderflow
+	}
+	return st, nil
+}
+
+// Contains reports whether key may be in the set, short-circuiting on the
+// first zero counter (the uninstrumented hot path; see Probe).
+func (f *Filter) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	for i := 0; i < f.k; i++ {
+		if f.counters.Get(s.Slot(i, f.m)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Probe is Contains with cost accounting. The query short-circuits on the
+// first zero counter, so negative probes average fewer than k accesses —
+// the effect behind the 2.1-access CBF row of the paper's Table III.
+func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
+	s := f.hasher.NewIndexStream(key)
+	bitsPer := metrics.Log2Ceil(f.m)
+	var st metrics.OpStats
+	for i := 0; i < f.k; i++ {
+		st.MemAccesses++
+		st.HashBits += bitsPer
+		if f.counters.Get(s.Slot(i, f.m)) == 0 {
+			return false, st
+		}
+	}
+	return true, st
+}
+
+// CountOf returns the minimum counter value over key's k positions, an
+// upper bound on the key's multiplicity (the spectral "minimum selection"
+// estimate).
+func (f *Filter) CountOf(key []byte) uint8 {
+	min := uint8(bitvec.CounterMax)
+	for _, i := range f.indices(key) {
+		if v := f.counters.Get(i); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Saturated reports how many counters are stuck at the 4-bit maximum.
+func (f *Filter) Saturated() int { return f.counters.Saturated() }
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	f.counters.Reset()
+	f.count = 0
+}

@@ -1,0 +1,213 @@
+package cbf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	f, err := FromMemory(4096, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M() != 1024 || f.MemoryBits() != 4096 {
+		t.Fatalf("FromMemory sizing: m=%d bits=%d", f.M(), f.MemoryBits())
+	}
+}
+
+func TestInsertQueryDelete(t *testing.T) {
+	f, _ := New(1<<12, 3, 1)
+	in := keys("in", 300)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != 300 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	for _, k := range in {
+		if err := f.Delete(k); err != nil {
+			t.Fatalf("delete %q: %v", k, err)
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count after deletes = %d", f.Count())
+	}
+	// With everything removed and no saturation, nothing should remain.
+	for _, k := range in {
+		if f.Contains(k) {
+			t.Fatalf("stale positive for %q after full deletion", k)
+		}
+	}
+}
+
+func TestDeleteAbsentUnderflows(t *testing.T) {
+	f, _ := New(1<<12, 3, 1)
+	if err := f.Delete([]byte("ghost")); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+}
+
+func TestCountOfTracksMultiplicity(t *testing.T) {
+	f, _ := New(1<<14, 4, 2)
+	k := []byte("dup")
+	for i := 1; i <= 5; i++ {
+		f.Insert(k)
+		if got := f.CountOf(k); int(got) < i {
+			t.Fatalf("after %d inserts CountOf = %d (min-selection must not undercount)", i, got)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f.Delete(k)
+	}
+	if f.Contains(k) {
+		t.Fatal("key still present after balanced deletes")
+	}
+}
+
+func TestFPRMatchesTheory(t *testing.T) {
+	// m/n = 10 counters per key, k = 7: f ~ (1-e^{-0.7})^7 ~ 0.0082.
+	const n = 20000
+	f, _ := New(10*n, 7, 3)
+	for _, k := range keys("in", n) {
+		f.Insert(k)
+	}
+	fp := 0
+	const probes = 200000
+	for _, k := range keys("out", probes) {
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := math.Pow(1-math.Exp(-7.0/10), 7)
+	if got > want*2 || got < want/2 {
+		t.Fatalf("measured fpr %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestProbeShortCircuit(t *testing.T) {
+	f, _ := New(1024, 5, 0)
+	ok, st := f.Probe([]byte("absent"))
+	if ok {
+		t.Fatal("empty filter claims membership")
+	}
+	if st.MemAccesses != 1 {
+		t.Fatalf("empty-filter probe cost %d accesses, want 1", st.MemAccesses)
+	}
+	f.Insert([]byte("x"))
+	ok, st = f.Probe([]byte("x"))
+	if !ok || st.MemAccesses != 5 {
+		t.Fatalf("member probe: ok=%v accesses=%d", ok, st.MemAccesses)
+	}
+	if st.HashBits != 5*10 {
+		t.Fatalf("member probe bits = %d, want 50", st.HashBits)
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	f, _ := New(1024, 3, 0)
+	st, err := f.InsertStats([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemAccesses != 3 || st.HashBits != 30 {
+		t.Fatalf("insert stats %+v", st)
+	}
+	st, err = f.DeleteStats([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemAccesses != 3 || st.HashBits != 30 {
+		t.Fatalf("delete stats %+v", st)
+	}
+}
+
+func TestSaturationSafety(t *testing.T) {
+	// Hammering one key far past 15 must not create false negatives after
+	// an equal number of deletes (sticky counters may leave stale
+	// positives, never negatives).
+	f, _ := New(64, 3, 0)
+	k := []byte("hot")
+	for i := 0; i < 100; i++ {
+		f.Insert(k)
+	}
+	if f.Saturated() == 0 {
+		t.Fatal("expected saturated counters")
+	}
+	for i := 0; i < 50; i++ {
+		f.Delete(k)
+	}
+	if !f.Contains(k) {
+		t.Fatal("false negative on saturated counters")
+	}
+}
+
+func TestResetRestoresEmpty(t *testing.T) {
+	f, _ := New(256, 3, 0)
+	for _, k := range keys("in", 50) {
+		f.Insert(k)
+	}
+	f.Reset()
+	if f.Count() != 0 {
+		t.Fatal("count survives reset")
+	}
+	for _, k := range keys("in", 50) {
+		if f.Contains(k) {
+			t.Fatal("membership survives reset")
+		}
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	// Drive the filter with a random op sequence mirrored in an exact
+	// multiset; check the two core guarantees throughout: no false
+	// negatives, and CountOf >= true multiplicity (absent saturation).
+	f, _ := New(1<<14, 3, 5)
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(11)
+	universe := keys("u", 500)
+	for op := 0; op < 30000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if rng.Intn(2) == 0 || ref[string(k)] == 0 {
+			f.Insert(k)
+			ref[string(k)]++
+		} else {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("op %d: unexpected underflow: %v", op, err)
+			}
+			ref[string(k)]--
+		}
+	}
+	for k, n := range ref {
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+		if n > 0 && n < 15 && int(f.CountOf([]byte(k))) < n {
+			t.Fatalf("CountOf(%q) = %d below true count %d", k, f.CountOf([]byte(k)), n)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLongChurn simulates the paper's flow-measurement deployment over
+// many update periods: a constant-size population with 20% churn per
+// period. The filter must stay exact on membership of current members,
+// keep its occupancy in steady state (no drift from incomplete unwinding),
+// and never overflow under heuristic sizing.
+func TestLongChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long churn test")
+	}
+	const n = 10000
+	const periods = 25
+	const churn = n / 5
+
+	// Explicit roomy geometry (B1=40 leaves 24 increment slots per word):
+	// every churn period re-rolls the per-word load, so across many
+	// periods even the Eq. 11 heuristic's small per-trial overflow tail
+	// compounds; exact steady-state assertions need headroom instead.
+	f := mustNew(t, Config{MemoryBits: 1 << 21, K: 3, B1: 40, Seed: 42})
+
+	gen := 0
+	newKey := func() []byte {
+		gen++
+		return []byte(fmt.Sprintf("flow-%d", gen))
+	}
+	var members [][]byte
+	for i := 0; i < n; i++ {
+		k := newKey()
+		members = append(members, k)
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	baseMean, _ := f.FillStats()
+	for p := 0; p < periods; p++ {
+		// Withdraw the oldest churn members, admit fresh ones.
+		for _, k := range members[:churn] {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("period %d delete: %v", p, err)
+			}
+		}
+		members = members[churn:]
+		for i := 0; i < churn; i++ {
+			k := newKey()
+			members = append(members, k)
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("period %d insert: %v", p, err)
+			}
+		}
+		if f.Count() != n {
+			t.Fatalf("period %d: Count = %d", p, f.Count())
+		}
+		// Spot-check membership of a stride of current members.
+		for i := 0; i < len(members); i += 97 {
+			if !f.Contains(members[i]) {
+				t.Fatalf("period %d: false negative for %q", p, members[i])
+			}
+		}
+	}
+
+	// Steady state: mean occupancy equals the initial loaded occupancy
+	// (b1 + k*n/l), demonstrating that churn fully recycles hierarchy bits.
+	endMean, _ := f.FillStats()
+	if endMean != baseMean {
+		t.Fatalf("occupancy drifted across churn: %.3f -> %.3f", baseMean, endMean)
+	}
+	if f.SaturatedWords() != 0 {
+		t.Fatalf("words saturated during churn: %d", f.SaturatedWords())
+	}
+
+	// Unwind everything: the filter must return to pristine emptiness.
+	for _, k := range members {
+		if err := f.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finalMean, depth := f.FillStats()
+	if finalMean != float64(f.B1()) || depth != 1 {
+		t.Fatalf("not pristine after full unwind: mean %.3f depth %d", finalMean, depth)
+	}
+}

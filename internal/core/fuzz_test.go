@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the deserializer: it must reject
+// or accept without ever panicking, and round-trip anything it accepts.
+func FuzzUnmarshal(f *testing.F) {
+	mk := func(cfg Config, n int) []byte {
+		flt, err := New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < n; i++ {
+			_ = flt.Insert([]byte{byte(i), byte(i >> 8)})
+		}
+		data, err := flt.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	f.Add(mk(Config{MemoryBits: 1 << 12, B1: 40, K: 3}, 10))
+	f.Add(mk(Config{MemoryBits: 1 << 10, B1: 32, K: 2, G: 2, Overflow: OverflowSaturate}, 40))
+	f.Add([]byte{})
+	f.Add([]byte("BCPM gibberish"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent enough to
+		// re-serialize to an equal byte string.
+		out, err := flt.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted filter fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not stable: %d vs %d bytes", len(out), len(data))
+		}
+		// And queries must not panic.
+		flt.Contains([]byte("probe"))
+	})
+}
+
+// FuzzFilterOps drives a small filter with an arbitrary key/op tape,
+// checking the no-false-negative guarantee throughout.
+func FuzzFilterOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 128, 129})
+	f.Add([]byte{5, 5, 5, 133, 133, 133})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		flt, err := New(Config{MemoryBits: 1 << 12, B1: 32, K: 3, Seed: 1,
+			Overflow: OverflowSaturate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := make(map[byte]int)
+		for _, op := range tape {
+			id := op & 0x7f
+			key := []byte{id}
+			if op&0x80 == 0 {
+				if err := flt.Insert(key); err != nil {
+					t.Fatalf("insert under saturate policy failed: %v", err)
+				}
+				ref[id]++
+			} else if ref[id] > 0 {
+				if err := flt.Delete(key); err != nil {
+					t.Fatalf("delete of present key: %v", err)
+				}
+				ref[id]--
+			}
+			for id, n := range ref {
+				if n > 0 && !flt.Contains([]byte{id}) {
+					t.Fatalf("false negative for %d (count %d)", id, n)
+				}
+			}
+		}
+	})
+}

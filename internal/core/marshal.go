@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Serialization lets a loaded filter be broadcast to other processes —
+// the DistributedCache pattern of the paper's Section V — or persisted
+// across restarts. The format is a fixed little-endian header followed by
+// the saturated-word list and the raw arena words.
+
+const (
+	marshalMagic   = 0x4D504342 // "MPCB"
+	marshalVersion = 1
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	arena := f.arena.Words()
+	sat := make([]int, 0, len(f.saturated))
+	for w := range f.saturated {
+		sat = append(sat, w)
+	}
+	sort.Ints(sat)
+
+	size := 4 + 4 + 10*8 + len(sat)*8 + len(arena)*8
+	buf := make([]byte, 0, size)
+	le := binary.LittleEndian
+
+	put := func(v uint64) {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	var hdr [8]byte
+	le.PutUint32(hdr[0:4], marshalMagic)
+	le.PutUint32(hdr[4:8], marshalVersion)
+	buf = append(buf, hdr[:]...)
+
+	put(uint64(f.cfg.MemoryBits))
+	put(uint64(f.cfg.W))
+	put(uint64(f.cfg.K))
+	put(uint64(f.cfg.G))
+	put(uint64(f.b1))
+	put(uint64(f.nmax))
+	put(uint64(f.cfg.Seed))
+	put(uint64(f.cfg.Overflow))
+	put(uint64(f.count))
+	put(uint64(f.overflows))
+	put(uint64(len(sat)))
+	put(uint64(len(arena)))
+	for _, w := range sat {
+		put(uint64(w))
+	}
+	for _, w := range arena {
+		put(w)
+	}
+	return buf, nil
+}
+
+// Unmarshal reconstructs a filter serialized with MarshalBinary.
+func Unmarshal(data []byte) (*Filter, error) {
+	le := binary.LittleEndian
+	if len(data) < 8+12*8 {
+		return nil, errors.New("mpcbf: truncated filter data")
+	}
+	if le.Uint32(data[0:4]) != marshalMagic {
+		return nil, errors.New("mpcbf: bad magic")
+	}
+	if v := le.Uint32(data[4:8]); v != marshalVersion {
+		return nil, fmt.Errorf("mpcbf: unsupported version %d", v)
+	}
+	off := 8
+	next := func() uint64 {
+		v := le.Uint64(data[off : off+8])
+		off += 8
+		return v
+	}
+	memBits := int(next())
+	w := int(next())
+	k := int(next())
+	g := int(next())
+	b1 := int(next())
+	nmax := int(next())
+	seedRaw := next()
+	overflow := OverflowPolicy(next())
+	count := int(next())
+	overflows := int(next())
+	nSat := int(next())
+	nArena := int(next())
+
+	if overflow != OverflowFail && overflow != OverflowSaturate {
+		return nil, fmt.Errorf("mpcbf: bad overflow policy %d", overflow)
+	}
+	// Sanity-bound every header field before any allocation: the input is
+	// untrusted, and the arena size implied by the geometry must match the
+	// payload length exactly.
+	const maxWordBits = 1 << 16
+	if w < 1 || w > maxWordBits || k < 1 || k > 1024 || g < 1 || g > k ||
+		b1 < 1 || b1 > w || nmax < 0 || nmax > w ||
+		count < 0 || overflows < 0 || seedRaw > 1<<32-1 {
+		return nil, errors.New("mpcbf: implausible filter header")
+	}
+	seed := uint32(seedRaw)
+	if memBits < w || memBits/w > (1<<40)/maxWordBits {
+		return nil, errors.New("mpcbf: implausible filter size")
+	}
+	if nSat < 0 || nArena < 0 || nSat+nArena < 0 ||
+		len(data) != off+(nSat+nArena)*8 {
+		return nil, errors.New("mpcbf: corrupt filter length")
+	}
+	if wantArena := (memBits / w * w); (wantArena+63)/64 != nArena {
+		return nil, fmt.Errorf("mpcbf: arena size %d does not match geometry", nArena)
+	}
+
+	f, err := New(Config{
+		MemoryBits: memBits, W: w, K: k, G: g, B1: b1,
+		Seed: seed, Overflow: overflow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcbf: rebuilding geometry: %w", err)
+	}
+	// New derived b1 from the header's explicit B1, so nmax is zero; carry
+	// the original heuristic value for Geometry reporting.
+	f.nmax = nmax
+	f.count = count
+	f.overflows = overflows
+	prev := -1
+	for i := 0; i < nSat; i++ {
+		wIdx := int(next())
+		// The canonical encoding lists saturated words strictly ascending;
+		// anything else would not round-trip.
+		if wIdx < 0 || wIdx >= f.l || wIdx <= prev {
+			return nil, fmt.Errorf("mpcbf: saturated word %d out of range or order", wIdx)
+		}
+		prev = wIdx
+		f.saturated[wIdx] = true
+	}
+	arena := f.arena.Words()
+	if nArena != len(arena) {
+		return nil, fmt.Errorf("mpcbf: arena size %d does not match geometry (%d)", nArena, len(arena))
+	}
+	for i := range arena {
+		arena[i] = next()
+	}
+	return f, nil
+}

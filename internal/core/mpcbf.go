@@ -1,0 +1,440 @@
+// Package core implements the paper's primary contribution: the
+// Multiple-Partitioned Counting Bloom Filter (MPCBF-1 and MPCBF-g,
+// Sections III.B and III.C).
+//
+// The membership counter vector is partitioned into l words of w bits, each
+// holding an improved Hierarchical CBF (internal/hcbf) whose first level
+// occupies b1 = w - ceil(k/g)*nmax bits. A key hashes to g words and to k
+// first-level slots split over them, so a query costs g memory accesses
+// (one for MPCBF-1) while the first level is several times wider than the
+// w/4 counters a packed CBF word would offer — which is what buys the
+// order-of-magnitude false-positive-rate reduction at equal memory.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/bitvec"
+	"repro/internal/hashing"
+	"repro/internal/hcbf"
+	"repro/internal/metrics"
+)
+
+// ErrWordOverflow is returned by Insert when one of the key's words cannot
+// absorb the key's increments. Under OverflowFail the filter state is
+// unchanged; sizing via the Eq. 11 heuristic makes this event vanishingly
+// rare (the paper never observed it).
+var ErrWordOverflow = errors.New("mpcbf: word overflow")
+
+// ErrUnderflow is returned by Delete when a slot counter is already zero —
+// the key being deleted was not (fully) present.
+var ErrUnderflow = errors.New("mpcbf: delete of absent key (counter underflow)")
+
+// OverflowPolicy selects how Insert reacts to a full word.
+type OverflowPolicy int
+
+const (
+	// OverflowFail rejects the insert, leaving the filter unchanged.
+	OverflowFail OverflowPolicy = iota
+	// OverflowSaturate marks the word saturated: every membership test
+	// against it answers positive from then on, and its counters are
+	// frozen. Like a saturated 4-bit counter this can create stale
+	// positives but never false negatives.
+	OverflowSaturate
+)
+
+// Config parametrizes a filter. Zero fields take defaults; see New.
+type Config struct {
+	// MemoryBits is the total memory budget M in bits (required).
+	MemoryBits int
+	// ExpectedN is the number of distinct elements the filter is sized
+	// for; it drives the Eq. 11 nmax heuristic (required unless B1 set).
+	ExpectedN int
+	// W is the word width in bits (default 64).
+	W int
+	// K is the number of hash functions (default 3).
+	K int
+	// G is the number of words (memory accesses) per key (default 1).
+	G int
+	// B1 overrides the first-level width. Zero selects the improved
+	// layout b1 = w - ceil(k/g)*nmax; a positive value builds the basic
+	// HCBF of Fig. 3(a) with a fixed first level (used by ablations).
+	B1 int
+	// Seed selects the hash family.
+	Seed uint32
+	// Overflow selects the word-overflow policy (default OverflowFail).
+	Overflow OverflowPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = 64
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.G == 0 {
+		c.G = 1
+	}
+	return c
+}
+
+// Filter is an MPCBF-g.
+type Filter struct {
+	arena  *bitvec.Vector
+	cfg    Config
+	l      int   // number of words
+	b1     int   // first-level width
+	nmax   int   // per-word capacity used to derive b1 (0 when B1 forced)
+	split  []int // slot hashes per word, ceil(k/g) first
+	hasher hashing.Hasher
+
+	count     int
+	overflows int
+	saturated map[int]bool // words switched to always-positive (Saturate)
+
+	// Per-filter scratch for the update paths; a Filter is not safe for
+	// concurrent use (wrap with a lock or use the public Sharded type),
+	// so reusing these keeps Insert/Delete allocation-free.
+	tbuf []target
+	sbuf []int
+}
+
+// New builds a filter from cfg.
+func New(cfg Config) (*Filter, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MemoryBits < cfg.W {
+		return nil, fmt.Errorf("mpcbf: memory %d bits smaller than one word (w=%d)", cfg.MemoryBits, cfg.W)
+	}
+	if cfg.K < 1 || cfg.G < 1 {
+		return nil, fmt.Errorf("mpcbf: k and g must be positive (k=%d, g=%d)", cfg.K, cfg.G)
+	}
+	if cfg.G > cfg.K {
+		return nil, fmt.Errorf("mpcbf: g=%d exceeds k=%d", cfg.G, cfg.K)
+	}
+	l := cfg.MemoryBits / cfg.W
+	if cfg.G > l {
+		return nil, fmt.Errorf("mpcbf: g=%d exceeds word count l=%d", cfg.G, l)
+	}
+	b1 := cfg.B1
+	nmax := 0
+	if b1 == 0 {
+		if cfg.ExpectedN <= 0 {
+			return nil, errors.New("mpcbf: ExpectedN required to derive the improved layout (or set B1)")
+		}
+		d, err := analytic.Design(cfg.ExpectedN, cfg.MemoryBits, cfg.W, cfg.K, cfg.G)
+		if err != nil {
+			return nil, err
+		}
+		b1, nmax = d.B1, d.Nmax
+	}
+	if b1 < 1 || b1 > cfg.W {
+		return nil, fmt.Errorf("mpcbf: first level b1=%d outside (0,%d]", b1, cfg.W)
+	}
+	return &Filter{
+		arena:     bitvec.New(l * cfg.W),
+		cfg:       cfg,
+		l:         l,
+		b1:        b1,
+		nmax:      nmax,
+		split:     hashing.SplitKEven(cfg.K, cfg.G),
+		hasher:    hashing.NewHasher(cfg.Seed),
+		saturated: make(map[int]bool),
+	}, nil
+}
+
+// L returns the number of words.
+func (f *Filter) L() int { return f.l }
+
+// W returns the word width in bits.
+func (f *Filter) W() int { return f.cfg.W }
+
+// B1 returns the first-level width in bits.
+func (f *Filter) B1() int { return f.b1 }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.cfg.K }
+
+// G returns the number of memory accesses per operation.
+func (f *Filter) G() int { return f.cfg.G }
+
+// Nmax returns the per-word capacity the improved layout was derived from
+// (zero when B1 was forced).
+func (f *Filter) Nmax() int { return f.nmax }
+
+// Count returns the current number of elements (inserts minus deletes).
+func (f *Filter) Count() int { return f.count }
+
+// OverflowEvents returns how many inserts hit a full word.
+func (f *Filter) OverflowEvents() int { return f.overflows }
+
+// SaturatedWords returns how many words were switched to always-positive
+// under OverflowSaturate.
+func (f *Filter) SaturatedWords() int { return len(f.saturated) }
+
+// MemoryBits returns the filter's memory footprint in bits.
+func (f *Filter) MemoryBits() int { return f.l * f.cfg.W }
+
+func (f *Filter) word(idx int) hcbf.Word {
+	w, err := hcbf.NewWord(f.arena, idx*f.cfg.W, f.cfg.W, f.b1)
+	if err != nil {
+		panic("mpcbf: internal geometry error: " + err.Error())
+	}
+	return w
+}
+
+// target is one word of a key together with the key's slots in it.
+type target struct {
+	word  int
+	slots []int
+}
+
+// targets resolves the key's g words and the k slots split over them,
+// into the filter's scratch buffers (valid until the next call). When two
+// word hashes collide the targets are kept separate entries of the same
+// word; capacity checks aggregate them.
+func (f *Filter) targets(key []byte) []target {
+	s := f.hasher.NewIndexStream(key)
+	if cap(f.tbuf) < f.cfg.G {
+		f.tbuf = make([]target, f.cfg.G)
+		f.sbuf = make([]int, f.cfg.K)
+	}
+	out := f.tbuf[:f.cfg.G]
+	slots := f.sbuf[:0]
+	slot := 0
+	for wi := 0; wi < f.cfg.G; wi++ {
+		lo := len(slots)
+		for j := 0; j < f.split[wi]; j++ {
+			slots = append(slots, s.Slot(slot, f.b1))
+			slot++
+		}
+		out[wi] = target{word: s.Word(wi, f.l), slots: slots[lo:]}
+	}
+	return out
+}
+
+// Insert adds key. Under OverflowFail a full word rejects the whole insert
+// atomically with ErrWordOverflow.
+func (f *Filter) Insert(key []byte) error {
+	_, err := f.insert(key, false)
+	return err
+}
+
+// InsertStats is Insert with access accounting: g memory accesses, and for
+// bandwidth log2(l) per word plus, for every increment, log2 of each
+// hierarchy level traversed (the paper's update-bandwidth model).
+func (f *Filter) InsertStats(key []byte) (metrics.OpStats, error) {
+	return f.insert(key, true)
+}
+
+func (f *Filter) insert(key []byte, withStats bool) (metrics.OpStats, error) {
+	ts := f.targets(key)
+	var st metrics.OpStats
+	if withStats {
+		st.MemAccesses = f.cfg.G
+		st.HashBits = f.cfg.G * metrics.Log2Ceil(f.l)
+	}
+	// Atomic capacity pre-check, aggregating slot counts per distinct word
+	// (the g word hashes may collide). g is tiny, so the quadratic
+	// duplicate scan beats a map.
+	for i := range ts {
+		dup := false
+		for j := 0; j < i; j++ {
+			if ts[j].word == ts[i].word {
+				dup = true
+				break
+			}
+		}
+		if dup || f.saturated[ts[i].word] {
+			continue
+		}
+		need := len(ts[i].slots)
+		for j := i + 1; j < len(ts); j++ {
+			if ts[j].word == ts[i].word {
+				need += len(ts[j].slots)
+			}
+		}
+		if f.word(ts[i].word).Free() < need {
+			f.overflows++
+			if f.cfg.Overflow == OverflowSaturate {
+				f.saturated[ts[i].word] = true
+				continue
+			}
+			return st, ErrWordOverflow
+		}
+	}
+	for _, t := range ts {
+		if f.saturated[t.word] {
+			continue
+		}
+		w := f.word(t.word)
+		for _, slot := range t.slots {
+			var levels []int
+			if withStats {
+				levels = w.Levels()
+			}
+			depth, err := w.Inc(slot)
+			if err != nil {
+				// Unreachable given the pre-check; fail loudly if the
+				// invariant is ever broken.
+				panic("mpcbf: increment failed after capacity check: " + err.Error())
+			}
+			if withStats {
+				for j := 0; j < depth; j++ {
+					if j < len(levels) {
+						st.HashBits += metrics.Log2Ceil(levels[j])
+					}
+				}
+			}
+		}
+	}
+	f.count++
+	return st, nil
+}
+
+// Delete removes key. Deleting a key that is not present returns
+// ErrUnderflow; as with the standard CBF, counters that could be
+// decremented have been, so deletions of unverified keys are hazardous.
+func (f *Filter) Delete(key []byte) error {
+	_, err := f.delete(key, false)
+	return err
+}
+
+// DeleteStats is Delete with access accounting (same model as InsertStats).
+func (f *Filter) DeleteStats(key []byte) (metrics.OpStats, error) {
+	return f.delete(key, true)
+}
+
+func (f *Filter) delete(key []byte, withStats bool) (metrics.OpStats, error) {
+	ts := f.targets(key)
+	var st metrics.OpStats
+	if withStats {
+		st.MemAccesses = f.cfg.G
+		st.HashBits = f.cfg.G * metrics.Log2Ceil(f.l)
+	}
+	var underflow bool
+	for _, t := range ts {
+		if f.saturated[t.word] {
+			continue // frozen word: counters no longer tracked
+		}
+		w := f.word(t.word)
+		for _, slot := range t.slots {
+			var levels []int
+			if withStats {
+				levels = w.Levels()
+			}
+			depth, err := w.Dec(slot)
+			if err != nil {
+				underflow = true
+				continue
+			}
+			if withStats {
+				for j := 0; j < depth; j++ {
+					if j < len(levels) {
+						st.HashBits += metrics.Log2Ceil(levels[j])
+					}
+				}
+			}
+		}
+	}
+	f.count--
+	if underflow {
+		return st, ErrUnderflow
+	}
+	return st, nil
+}
+
+// Contains reports whether key may be in the set. This is the hot path:
+// it reads the g first-level sub-vectors directly from the arena without
+// cost accounting (use Probe for the instrumented variant).
+func (f *Filter) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	slot := 0
+	for wi := 0; wi < f.cfg.G; wi++ {
+		wIdx := s.Word(wi, f.l)
+		if len(f.saturated) != 0 && f.saturated[wIdx] {
+			slot += f.split[wi]
+			continue
+		}
+		base := wIdx * f.cfg.W
+		for j := 0; j < f.split[wi]; j++ {
+			if !f.arena.Get(base + s.Slot(slot, f.b1)) {
+				return false
+			}
+			slot++
+		}
+	}
+	return true
+}
+
+// Probe is Contains with access accounting: one memory access per word
+// visited (short-circuiting on the first word that rejects), log2(l) hash
+// bits per word plus log2(b1) per first-level slot probed. Only the first
+// level is ever read — the hierarchy is update-side state.
+func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
+	s := f.hasher.NewIndexStream(key)
+	wordBits := metrics.Log2Ceil(f.l)
+	slotBits := metrics.Log2Ceil(f.b1)
+	var st metrics.OpStats
+	slot := 0
+	for wi := 0; wi < f.cfg.G; wi++ {
+		wIdx := s.Word(wi, f.l)
+		st.MemAccesses++
+		st.HashBits += wordBits
+		if f.saturated[wIdx] {
+			slot += f.split[wi]
+			continue
+		}
+		w := f.word(wIdx)
+		for j := 0; j < f.split[wi]; j++ {
+			st.HashBits += slotBits
+			if !w.Has(s.Slot(slot, f.b1)) {
+				return false, st
+			}
+			slot++
+		}
+	}
+	return true, st
+}
+
+// CountOf returns the minimum counter value across key's slots, an upper
+// bound on its multiplicity. Saturated words report a large value.
+func (f *Filter) CountOf(key []byte) int {
+	min := int(^uint(0) >> 1)
+	for _, t := range f.targets(key) {
+		if f.saturated[t.word] {
+			continue
+		}
+		w := f.word(t.word)
+		for _, slot := range t.slots {
+			if c := w.Count(slot); c < min {
+				min = c
+			}
+		}
+	}
+	return min
+}
+
+// FillStats summarizes word occupancy for experiments: the mean used bits
+// per word and the maximum hierarchy depth observed.
+func (f *Filter) FillStats() (meanUsed float64, maxDepth int) {
+	total := 0
+	for i := 0; i < f.l; i++ {
+		w := f.word(i)
+		total += w.Used()
+		if d := len(w.Levels()); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return float64(total) / float64(f.l), maxDepth
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	f.arena.Reset()
+	f.count = 0
+	f.overflows = 0
+	f.saturated = make(map[int]bool)
+}

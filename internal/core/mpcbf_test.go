@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cbf"
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func mustNew(t *testing.T, cfg Config) *Filter {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MemoryBits: 32, W: 64, ExpectedN: 10},          // memory < one word
+		{MemoryBits: 1 << 20, K: -1, ExpectedN: 10},     // bad k
+		{MemoryBits: 1 << 20, K: 3, G: 4, ExpectedN: 1}, // g > k
+		{MemoryBits: 1 << 20},                           // no ExpectedN, no B1
+		{MemoryBits: 1 << 20, B1: 100, W: 64},           // b1 > w
+		{MemoryBits: 128, W: 64, K: 3, G: 3},            // g > l (l=2) and g<=k ok
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaultsAndGeometry(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 20, ExpectedN: 10000})
+	if f.W() != 64 || f.K() != 3 || f.G() != 1 {
+		t.Fatalf("defaults: w=%d k=%d g=%d", f.W(), f.K(), f.G())
+	}
+	if f.L() != 1<<20/64 {
+		t.Fatalf("L = %d", f.L())
+	}
+	if f.B1() != 64-3*f.Nmax() {
+		t.Fatalf("improved layout violated: b1=%d nmax=%d", f.B1(), f.Nmax())
+	}
+	if f.MemoryBits() != f.L()*64 {
+		t.Fatalf("MemoryBits = %d", f.MemoryBits())
+	}
+}
+
+func TestBasicLayoutOverride(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 16, B1: 32, W: 64, K: 3})
+	if f.B1() != 32 || f.Nmax() != 0 {
+		t.Fatalf("override: b1=%d nmax=%d", f.B1(), f.Nmax())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, g := range []int{1, 2, 3} {
+		f := mustNew(t, Config{MemoryBits: 1 << 20, ExpectedN: 2000, K: 3, G: g, Seed: 1})
+		in := keys("in", 2000)
+		for _, k := range in {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("g=%d insert: %v", g, err)
+			}
+		}
+		if f.Count() != 2000 {
+			t.Fatalf("Count = %d", f.Count())
+		}
+		for _, k := range in {
+			if !f.Contains(k) {
+				t.Fatalf("g=%d: false negative for %q", g, k)
+			}
+		}
+		for _, k := range in {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("g=%d delete: %v", g, err)
+			}
+		}
+		for _, k := range in {
+			if f.Contains(k) {
+				t.Fatalf("g=%d: stale positive after deletion", g)
+			}
+		}
+		mean, _ := f.FillStats()
+		if mean != float64(f.B1()) {
+			t.Fatalf("g=%d: words not fully unwound: mean used %.2f, want %d", g, mean, f.B1())
+		}
+	}
+}
+
+func TestDeleteAbsentUnderflows(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 16, ExpectedN: 100})
+	if err := f.Delete([]byte("ghost")); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+}
+
+func TestCountOf(t *testing.T) {
+	// Explicit B1 leaves 32 increments of headroom per word: duplicate
+	// inserts of one key concentrate in its words, which the distinct-
+	// element heuristic does not size for.
+	f := mustNew(t, Config{MemoryBits: 1 << 18, K: 3, G: 2, B1: 32})
+	k := []byte("dup")
+	for i := 1; i <= 5; i++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.CountOf(k); got < i {
+			t.Fatalf("after %d inserts CountOf = %d", i, got)
+		}
+	}
+}
+
+func TestOverflowFailIsAtomic(t *testing.T) {
+	// One word (l=1), tiny capacity: w=64, b1 forced to 62 leaves room for
+	// 2 increments only; a k=3 insert must fail without mutating anything.
+	f := mustNew(t, Config{MemoryBits: 64, W: 64, K: 3, B1: 62, Seed: 3})
+	err := f.Insert([]byte("x"))
+	if err != ErrWordOverflow {
+		t.Fatalf("expected ErrWordOverflow, got %v", err)
+	}
+	if f.OverflowEvents() != 1 {
+		t.Fatalf("OverflowEvents = %d", f.OverflowEvents())
+	}
+	mean, _ := f.FillStats()
+	if mean != 62 {
+		t.Fatalf("failed insert left residue: mean used %.1f", mean)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d after failed insert", f.Count())
+	}
+}
+
+func TestOverflowSaturate(t *testing.T) {
+	f := mustNew(t, Config{
+		MemoryBits: 64, W: 64, K: 3, B1: 62, Seed: 3,
+		Overflow: OverflowSaturate,
+	})
+	if err := f.Insert([]byte("x")); err != nil {
+		t.Fatalf("saturate policy should absorb overflow, got %v", err)
+	}
+	if f.SaturatedWords() != 1 {
+		t.Fatalf("SaturatedWords = %d", f.SaturatedWords())
+	}
+	// Saturated words answer positive for everything (stale positives,
+	// never false negatives).
+	if !f.Contains([]byte("x")) || !f.Contains([]byte("never-inserted")) {
+		t.Fatal("saturated word must answer positive")
+	}
+	// Deletes against a saturated word are no-ops, not corruption.
+	if err := f.Delete([]byte("x")); err != nil {
+		t.Fatalf("delete on saturated word: %v", err)
+	}
+}
+
+func TestHeuristicAvoidsOverflow(t *testing.T) {
+	// Section IV.B: with nmax from Eq. 11 the paper never observed word
+	// overflow. Reproduce at small scale: n=20000 into 1 Mb.
+	f := mustNew(t, Config{MemoryBits: 1 << 20, ExpectedN: 20000, K: 3, Seed: 7})
+	for _, k := range keys("in", 20000) {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("overflow despite heuristic sizing: %v", err)
+		}
+	}
+	if f.OverflowEvents() != 0 {
+		t.Fatalf("OverflowEvents = %d", f.OverflowEvents())
+	}
+}
+
+func TestFPRBeatsCBFAtSameMemory(t *testing.T) {
+	// The paper's central experimental claim (Fig. 7): at equal memory and
+	// k, MPCBF-1 and especially MPCBF-2 have lower fpr than the CBF.
+	const memBits = 1 << 19 // 512 Kb
+	const n = 10000         // ~13 counters-equivalent per key
+	std, err := cbf.FromMemory(memBits, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp1 := mustNew(t, Config{MemoryBits: memBits, ExpectedN: n, K: 3, G: 1, Seed: 2})
+	mp2 := mustNew(t, Config{MemoryBits: memBits, ExpectedN: n, K: 3, G: 2, Seed: 2})
+	for _, k := range keys("in", n) {
+		std.Insert(k)
+		if err := mp1.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := mp2.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var fpStd, fp1, fp2 int
+	const probes = 300000
+	for _, k := range keys("out", probes) {
+		if std.Contains(k) {
+			fpStd++
+		}
+		if mp1.Contains(k) {
+			fp1++
+		}
+		if mp2.Contains(k) {
+			fp2++
+		}
+	}
+	if fp1 >= fpStd {
+		t.Fatalf("MPCBF-1 fp=%d not below CBF fp=%d", fp1, fpStd)
+	}
+	if fp2 >= fp1 {
+		t.Fatalf("MPCBF-2 fp=%d not below MPCBF-1 fp=%d", fp2, fp1)
+	}
+	if fp2*4 > fpStd {
+		t.Fatalf("MPCBF-2 fp=%d not well below CBF fp=%d", fp2, fpStd)
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 16, ExpectedN: 100, K: 4, G: 2, Seed: 0})
+	if err := f.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ok, st := f.Probe([]byte("x"))
+	if !ok {
+		t.Fatal("member not found")
+	}
+	if st.MemAccesses != 2 {
+		t.Fatalf("member probe accesses = %d, want g=2", st.MemAccesses)
+	}
+	wantBits := 2*10 + 4*6 // log2(1024 words)=10, log2ceil(b1<=64)=6
+	if st.HashBits != wantBits {
+		t.Fatalf("member probe bits = %d, want %d (b1=%d)", st.HashBits, wantBits, f.B1())
+	}
+	ok, st = f.Probe([]byte("definitely-absent-key"))
+	if ok && st.MemAccesses > 2 {
+		t.Fatalf("absent probe: %v, %d accesses", ok, st.MemAccesses)
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 16, ExpectedN: 100, K: 3, G: 1, Seed: 0})
+	st, err := f.InsertStats([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemAccesses != 1 {
+		t.Fatalf("insert accesses = %d, want 1", st.MemAccesses)
+	}
+	// log2(l=1024) + 3 fresh slots at level 1 (log2ceil(b1)) each.
+	if st.HashBits <= 10 {
+		t.Fatalf("insert bits = %d, too small", st.HashBits)
+	}
+	st2, err := f.DeleteStats([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MemAccesses != 1 {
+		t.Fatalf("delete accesses = %d", st2.MemAccesses)
+	}
+	if st2.HashBits != st.HashBits {
+		t.Fatalf("delete bits %d != insert bits %d for symmetric op", st2.HashBits, st.HashBits)
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	// Explicit B1: random-walk multiplicities exceed what the distinct-
+	// element heuristic sizes words for.
+	f := mustNew(t, Config{MemoryBits: 1 << 18, K: 3, G: 2, B1: 16, Seed: 5})
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(17)
+	universe := keys("u", 300)
+	for op := 0; op < 20000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if (rng.Intn(2) == 0 || ref[string(k)] == 0) && ref[string(k)] < 5 {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			ref[string(k)]++
+		} else {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			ref[string(k)]--
+		}
+	}
+	total := 0
+	for k, n := range ref {
+		total += n
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+		if n > 0 && f.CountOf([]byte(k)) < n {
+			t.Fatalf("CountOf(%q) = %d below true count %d", k, f.CountOf([]byte(k)), n)
+		}
+	}
+	if f.Count() != total {
+		t.Fatalf("Count = %d, reference total %d", f.Count(), total)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 16, ExpectedN: 100})
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) || f.OverflowEvents() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestWordHashCollisionHandled(t *testing.T) {
+	// With l=2 and g=2, both word hashes frequently land on the same word;
+	// inserts must still be atomic and consistent.
+	f := mustNew(t, Config{MemoryBits: 128, W: 64, K: 2, G: 2, B1: 40, Seed: 1})
+	in := keys("in", 8)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil && err != ErrWordOverflow {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	for _, k := range in {
+		f.Delete(k) // must not panic even after partial overflow rejections
+	}
+}
+
+func TestFillStats(t *testing.T) {
+	f := mustNew(t, Config{MemoryBits: 1 << 12, K: 3, B1: 40, Seed: 0})
+	mean, depth := f.FillStats()
+	if mean != float64(f.B1()) || depth != 1 {
+		t.Fatalf("fresh filter: mean=%v depth=%d", mean, depth)
+	}
+	for _, k := range keys("in", 50) {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean, depth = f.FillStats()
+	want := float64(f.B1()) + float64(50*3)/float64(f.L())
+	if mean < want-0.01 || mean > want+0.01 {
+		t.Fatalf("mean used = %v, want ~%v", mean, want)
+	}
+	if depth < 2 {
+		t.Fatalf("depth = %d after load", depth)
+	}
+}

@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStringWorkloadShape(t *testing.T) {
+	cfg := DefaultStringConfig(0.01, 1) // 1K test, 10K queries, 200 churn
+	w, err := NewStringWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Test) != 1000 || len(w.Queries) != 10000 ||
+		len(w.DeleteChurn) != 200 || len(w.InsertChurn) != 200 {
+		t.Fatalf("sizes: %d %d %d %d", len(w.Test), len(w.Queries),
+			len(w.DeleteChurn), len(w.InsertChurn))
+	}
+	for _, s := range w.Test {
+		if len(s) != StringLen {
+			t.Fatalf("test string %q has length %d", s, len(s))
+		}
+		for _, c := range s {
+			if !((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+				t.Fatalf("character %q outside alphabet", c)
+			}
+		}
+	}
+}
+
+func TestStringWorkloadUniqueness(t *testing.T) {
+	w, err := NewStringWorkload(DefaultStringConfig(0.02, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, s := range w.Test {
+		if seen[string(s)] {
+			t.Fatalf("duplicate test string %q", s)
+		}
+		seen[string(s)] = true
+	}
+	// Insert churn must be disjoint from the test set.
+	for _, s := range w.InsertChurn {
+		if seen[string(s)] {
+			t.Fatalf("churn string %q collides with test set", s)
+		}
+	}
+	// Delete churn must be a subset of the test set, without duplicates.
+	del := make(map[string]bool)
+	for _, s := range w.DeleteChurn {
+		if !seen[string(s)] {
+			t.Fatalf("delete churn %q not in test set", s)
+		}
+		if del[string(s)] {
+			t.Fatalf("duplicate delete churn %q", s)
+		}
+		del[string(s)] = true
+	}
+}
+
+func TestStringWorkloadMemberFraction(t *testing.T) {
+	w, err := NewStringWorkload(DefaultStringConfig(0.05, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make(map[string]bool, len(w.Test))
+	for _, s := range w.Test {
+		members[string(s)] = true
+	}
+	hit := 0
+	for _, q := range w.Queries {
+		if members[string(q)] {
+			hit++
+		}
+	}
+	frac := float64(hit) / float64(len(w.Queries))
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("member fraction %.3f, want ~0.80", frac)
+	}
+}
+
+func TestStringWorkloadDeterminism(t *testing.T) {
+	a, _ := NewStringWorkload(DefaultStringConfig(0.01, 7))
+	b, _ := NewStringWorkload(DefaultStringConfig(0.01, 7))
+	for i := range a.Test {
+		if !bytes.Equal(a.Test[i], b.Test[i]) {
+			t.Fatal("same-seed workloads differ")
+		}
+	}
+	c, _ := NewStringWorkload(DefaultStringConfig(0.01, 8))
+	if bytes.Equal(a.Test[0], c.Test[0]) && bytes.Equal(a.Test[1], c.Test[1]) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestStringWorkloadValidation(t *testing.T) {
+	if _, err := NewStringWorkload(StringConfig{TestSize: 0, QuerySize: 1}); err == nil {
+		t.Error("zero test size accepted")
+	}
+	if _, err := NewStringWorkload(StringConfig{TestSize: 10, QuerySize: 10, MemberFraction: 1.5}); err == nil {
+		t.Error("bad member fraction accepted")
+	}
+	if _, err := NewStringWorkload(StringConfig{TestSize: 10, QuerySize: 10, ChurnSize: 20}); err == nil {
+		t.Error("churn > test accepted")
+	}
+}
+
+func TestNonMembersDisjoint(t *testing.T) {
+	w, _ := NewStringWorkload(DefaultStringConfig(0.01, 4))
+	members := make(map[string]bool)
+	for _, s := range w.Test {
+		members[string(s)] = true
+	}
+	for _, s := range w.InsertChurn {
+		members[string(s)] = true
+	}
+	for _, s := range w.NonMembers(5000, 99) {
+		if members[string(s)] {
+			t.Fatalf("NonMembers returned member %q", s)
+		}
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	tr, err := NewTrace(DefaultTraceConfig(0.002, 1)) // ~584 flows, ~11K packets
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Flows) != 584 {
+		t.Fatalf("unique flows = %d", len(tr.Flows))
+	}
+	if len(tr.Packets) != 11171 {
+		t.Fatalf("packets = %d", len(tr.Packets))
+	}
+	// Every flow appears at least once; totals add up.
+	counts := make(map[Flow]int)
+	for _, p := range tr.Packets {
+		counts[p]++
+	}
+	if len(counts) != len(tr.Flows) {
+		t.Fatalf("packet stream covers %d flows, want %d", len(counts), len(tr.Flows))
+	}
+	// Heavy tail: the most common flow should dwarf the median.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 20 {
+		t.Fatalf("flow sizes not skewed: max = %d", max)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(TraceConfig{UniqueFlows: 10, TotalPackets: 5, ZipfS: 1}); err == nil {
+		t.Error("packets < flows accepted")
+	}
+	if _, err := NewTrace(TraceConfig{UniqueFlows: 10, TotalPackets: 20, ZipfS: 0}); err == nil {
+		t.Error("zipf 0 accepted")
+	}
+}
+
+func TestTraceSampleAndFresh(t *testing.T) {
+	tr, _ := NewTrace(TraceConfig{UniqueFlows: 500, TotalPackets: 2000, ZipfS: 1, Seed: 2})
+	sample, err := tr.SampleFlows(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make(map[Flow]bool)
+	for _, f := range tr.Flows {
+		pop[f] = true
+	}
+	seen := make(map[Flow]bool)
+	for _, f := range sample {
+		if !pop[f] {
+			t.Fatal("sampled flow outside population")
+		}
+		if seen[f] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[f] = true
+	}
+	if _, err := tr.SampleFlows(501, 3); err == nil {
+		t.Error("oversample accepted")
+	}
+	for _, f := range tr.FreshFlows(200, 4) {
+		if pop[f] {
+			t.Fatal("fresh flow collides with population")
+		}
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	f := Flow{Src: 0x01020304, Dst: 0x05060708}
+	if !bytes.Equal(f.Key(), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("Key() = %v", f.Key())
+	}
+}
+
+func TestJoinDatasetShape(t *testing.T) {
+	ds, err := NewJoinDataset(JoinConfig{Patents: 1000, Citations: 20000, MatchFraction: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Patents) != 1000 || len(ds.Citations) != 20000 {
+		t.Fatalf("sizes: %d %d", len(ds.Patents), len(ds.Citations))
+	}
+	// Verify Matching agrees with an exact recount.
+	keys := make(map[uint32]bool)
+	for _, p := range ds.Patents {
+		keys[p.ID] = true
+	}
+	matches := 0
+	for _, c := range ds.Citations {
+		if keys[c.Cited] {
+			matches++
+		}
+	}
+	if matches != ds.Matching {
+		t.Fatalf("Matching = %d, recount %d", ds.Matching, matches)
+	}
+	frac := float64(matches) / float64(len(ds.Citations))
+	if frac < 0.04 || frac > 0.06 {
+		t.Fatalf("match fraction %.3f, want ~0.05", frac)
+	}
+}
+
+func TestJoinDatasetValidation(t *testing.T) {
+	if _, err := NewJoinDataset(JoinConfig{Patents: 0, Citations: 10}); err == nil {
+		t.Error("zero patents accepted")
+	}
+	if _, err := NewJoinDataset(JoinConfig{Patents: 10, Citations: 10, MatchFraction: -0.1}); err == nil {
+		t.Error("negative match fraction accepted")
+	}
+}
+
+func TestPatentKey(t *testing.T) {
+	if string(PatentKey(12345)) != "12345" {
+		t.Fatalf("PatentKey = %q", PatentKey(12345))
+	}
+}
+
+func TestDefaultConfigsScale(t *testing.T) {
+	c := DefaultStringConfig(1.0, 0)
+	if c.TestSize != 100000 || c.QuerySize != 1000000 || c.ChurnSize != 20000 {
+		t.Fatalf("paper string config wrong: %+v", c)
+	}
+	tc := DefaultTraceConfig(1.0, 0)
+	if tc.UniqueFlows != 292363 || tc.TotalPackets != 5585633 {
+		t.Fatalf("paper trace config wrong: %+v", tc)
+	}
+	jc := DefaultJoinConfig(1.0, 0)
+	if jc.Patents != 71661 || jc.Citations != 16522438 {
+		t.Fatalf("paper join config wrong: %+v", jc)
+	}
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// Patent is one row of the NBER-like patent table (the paper's
+// pat63_99.txt): the join key plus a small payload.
+type Patent struct {
+	ID      uint32
+	Year    int
+	Country string
+}
+
+// Citation is one row of the citation table (the paper's cite75_99.txt):
+// citing patent -> cited patent. Cited is the join key.
+type Citation struct {
+	Citing, Cited uint32
+}
+
+// JoinDataset is a synthetic substitute for the NBER patent files used in
+// Section V. The reduce-side-join experiment only depends on the key
+// overlap structure: which fraction of citation rows reference a patent in
+// the (much smaller) patent table, since that selectivity — together with
+// the map-side filter's false positive rate — determines how many map
+// outputs are shuffled. The generator preserves the paper's shape:
+// citations outnumber patents by ~230x, and most cited IDs fall outside
+// the patent table (the paper's CBF passes 35.7% false positives, so the
+// true-match fraction is small).
+type JoinDataset struct {
+	Patents   []Patent
+	Citations []Citation
+	// Matching counts citation rows whose Cited key is in Patents.
+	Matching int
+}
+
+// JoinConfig sizes a JoinDataset.
+type JoinConfig struct {
+	// Patents is the patent-table row count (paper: 71,661).
+	Patents int
+	// Citations is the citation-table row count (paper: 16,522,438).
+	Citations int
+	// MatchFraction is the fraction of citation rows whose cited patent
+	// is in the patent table.
+	MatchFraction float64
+	Seed          uint64
+}
+
+// DefaultJoinConfig returns the paper's join shape scaled by scale.
+func DefaultJoinConfig(scale float64, seed uint64) JoinConfig {
+	size := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	return JoinConfig{
+		Patents:       size(71661),
+		Citations:     size(16522438),
+		MatchFraction: 0.05,
+		Seed:          seed,
+	}
+}
+
+var countries = []string{"US", "JP", "DE", "FR", "GB", "CN", "KR", "CA"}
+
+// NewJoinDataset synthesizes the two tables.
+func NewJoinDataset(cfg JoinConfig) (*JoinDataset, error) {
+	if cfg.Patents <= 0 || cfg.Citations <= 0 {
+		return nil, fmt.Errorf("dataset: table sizes must be positive (%+v)", cfg)
+	}
+	if cfg.MatchFraction < 0 || cfg.MatchFraction > 1 {
+		return nil, fmt.Errorf("dataset: match fraction %v outside [0,1]", cfg.MatchFraction)
+	}
+	rng := hashing.NewRNG(cfg.Seed)
+
+	// Patent IDs: a dense range keeps "miss" keys trivially constructible.
+	const patentBase = 1 << 24 // IDs [patentBase, patentBase+Patents)
+	ds := &JoinDataset{Patents: make([]Patent, cfg.Patents)}
+	for i := range ds.Patents {
+		ds.Patents[i] = Patent{
+			ID:      uint32(patentBase + i),
+			Year:    1963 + rng.Intn(37),
+			Country: countries[rng.Intn(len(countries))],
+		}
+	}
+
+	ds.Citations = make([]Citation, cfg.Citations)
+	for i := range ds.Citations {
+		citing := uint32(1<<26) + uint32(rng.Intn(1<<24))
+		var cited uint32
+		if rng.Float64() < cfg.MatchFraction {
+			cited = ds.Patents[rng.Intn(cfg.Patents)].ID
+			ds.Matching++
+		} else {
+			// A key guaranteed outside the patent range.
+			cited = uint32(rng.Intn(patentBase))
+		}
+		ds.Citations[i] = Citation{Citing: citing, Cited: cited}
+	}
+	return ds, nil
+}
+
+// PatentKey serializes a patent ID into a filter/join key.
+func PatentKey(id uint32) []byte {
+	return []byte(fmt.Sprintf("%d", id))
+}

@@ -1,0 +1,164 @@
+// Package dataset synthesizes the three workloads of the paper's
+// evaluation: the random-string test/query sets of Section IV.A, a
+// CAIDA-like IPv4 flow trace (substituting for the Equinix-Chicago 2011
+// traces, which are not redistributable), and NBER-like patent/citation
+// tables for the MapReduce reduce-side join of Section V. Everything is
+// driven by seeded generators so experiments are reproducible
+// bit-for-bit.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// alphabet is the paper's string alphabet: {'a'..'z', 'A'..'Z'}.
+const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// StringLen is the paper's element size: five-byte strings.
+const StringLen = 5
+
+// StringWorkload mirrors Section IV.A's synthetic setup: a test set of
+// unique strings inserted into the filters, a query set with a fixed
+// member fraction, and churn sets for the update period.
+type StringWorkload struct {
+	// Test is the set inserted into the filters (unique strings).
+	Test [][]byte
+	// Queries is the query stream; MemberFraction of it hits Test.
+	Queries [][]byte
+	// DeleteChurn are members removed during the update period.
+	DeleteChurn [][]byte
+	// InsertChurn are fresh strings inserted during the update period,
+	// keeping the filter population constant.
+	InsertChurn [][]byte
+}
+
+// StringConfig sizes a StringWorkload. The paper's defaults: 100K test
+// strings, 1M queries, 80% membership, 20K churn.
+type StringConfig struct {
+	TestSize       int
+	QuerySize      int
+	MemberFraction float64
+	ChurnSize      int
+	Seed           uint64
+}
+
+// DefaultStringConfig returns the paper's synthetic-experiment parameters,
+// scaled by the given factor (scale 1.0 reproduces the paper; smaller
+// scales keep unit tests fast).
+func DefaultStringConfig(scale float64, seed uint64) StringConfig {
+	size := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	return StringConfig{
+		TestSize:       size(100000),
+		QuerySize:      size(1000000),
+		MemberFraction: 0.8,
+		ChurnSize:      size(20000),
+		Seed:           seed,
+	}
+}
+
+// randomString draws a uniform StringLen-byte string over the alphabet.
+func randomString(rng *hashing.RNG) []byte {
+	b := make([]byte, StringLen)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return b
+}
+
+// uniqueStrings draws n distinct strings, excluding any in taken, and
+// registers them there.
+func uniqueStrings(rng *hashing.RNG, n int, taken map[string]bool) [][]byte {
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		s := randomString(rng)
+		if taken[string(s)] {
+			continue
+		}
+		taken[string(s)] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// NewStringWorkload builds a workload from cfg. Queries mix members and
+// guaranteed non-members; churn strings are disjoint from the test set.
+func NewStringWorkload(cfg StringConfig) (*StringWorkload, error) {
+	if cfg.TestSize <= 0 || cfg.QuerySize <= 0 {
+		return nil, fmt.Errorf("dataset: sizes must be positive (%+v)", cfg)
+	}
+	if cfg.MemberFraction < 0 || cfg.MemberFraction > 1 {
+		return nil, fmt.Errorf("dataset: member fraction %v outside [0,1]", cfg.MemberFraction)
+	}
+	if cfg.ChurnSize > cfg.TestSize {
+		return nil, fmt.Errorf("dataset: churn %d exceeds test size %d", cfg.ChurnSize, cfg.TestSize)
+	}
+	// 52^5 ~ 380M possible strings; guard pathological configs that could
+	// never find enough uniques.
+	if cfg.TestSize+cfg.ChurnSize > 50000000 {
+		return nil, fmt.Errorf("dataset: test size %d too large for 5-byte alphabet", cfg.TestSize)
+	}
+	rng := hashing.NewRNG(cfg.Seed)
+	taken := make(map[string]bool, cfg.TestSize+cfg.ChurnSize)
+	w := &StringWorkload{}
+	w.Test = uniqueStrings(rng, cfg.TestSize, taken)
+	w.InsertChurn = uniqueStrings(rng, cfg.ChurnSize, taken)
+
+	// Churn deletions: a random sample of the test set.
+	perm := make([]int, cfg.TestSize)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	w.DeleteChurn = make([][]byte, cfg.ChurnSize)
+	for i := 0; i < cfg.ChurnSize; i++ {
+		w.DeleteChurn[i] = w.Test[perm[i]]
+	}
+
+	// Queries: members drawn uniformly from the test set, non-members
+	// drawn fresh and guaranteed absent.
+	w.Queries = make([][]byte, cfg.QuerySize)
+	for i := range w.Queries {
+		if rng.Float64() < cfg.MemberFraction {
+			w.Queries[i] = w.Test[rng.Intn(cfg.TestSize)]
+		} else {
+			for {
+				s := randomString(rng)
+				if !taken[string(s)] {
+					w.Queries[i] = s
+					break
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// NonMembers returns n fresh strings guaranteed absent from the test and
+// churn sets, for pure false-positive-rate measurement.
+func (w *StringWorkload) NonMembers(n int, seed uint64) [][]byte {
+	taken := make(map[string]bool, len(w.Test)+len(w.InsertChurn))
+	for _, s := range w.Test {
+		taken[string(s)] = true
+	}
+	for _, s := range w.InsertChurn {
+		taken[string(s)] = true
+	}
+	rng := hashing.NewRNG(seed)
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		s := randomString(rng)
+		if !taken[string(s)] {
+			taken[string(s)] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// Flow is a 2-tuple IPv4 flow key (source, destination), the paper's flow
+// definition for the CAIDA experiments.
+type Flow struct {
+	Src, Dst uint32
+}
+
+// Key serializes the flow into the 8-byte key fed to the filters.
+func (f Flow) Key() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b[0:4], f.Src)
+	binary.BigEndian.PutUint32(b[4:8], f.Dst)
+	return b
+}
+
+// Trace is a synthetic substitute for the paper's CAIDA Equinix-Chicago
+// 2011 traces: a packet stream over a fixed flow population with
+// Zipf-distributed flow sizes. The filters only consume the trace as a
+// multiset of flow keys, so matching the unique-flow count and the skewed
+// repeat distribution preserves the membership/fpr behaviour the
+// experiments measure.
+type Trace struct {
+	// Flows is the unique flow population.
+	Flows []Flow
+	// Packets is the full packet stream, one flow key per packet, in a
+	// deterministic interleaved order.
+	Packets []Flow
+}
+
+// TraceConfig sizes a Trace. The paper's trace has 292,363 unique flows
+// and 5,585,633 total packets; DefaultTraceConfig reproduces that shape at
+// a chosen scale.
+type TraceConfig struct {
+	UniqueFlows  int
+	TotalPackets int
+	// ZipfS is the Zipf exponent of the flow-size distribution; Internet
+	// flow sizes are heavy-tailed with s ~ 1.
+	ZipfS float64
+	Seed  uint64
+}
+
+// DefaultTraceConfig returns the paper's trace shape scaled by scale.
+func DefaultTraceConfig(scale float64, seed uint64) TraceConfig {
+	size := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	return TraceConfig{
+		UniqueFlows:  size(292363),
+		TotalPackets: size(5585633),
+		ZipfS:        1.0,
+		Seed:         seed,
+	}
+}
+
+// NewTrace synthesizes a trace from cfg.
+func NewTrace(cfg TraceConfig) (*Trace, error) {
+	if cfg.UniqueFlows <= 0 || cfg.TotalPackets < cfg.UniqueFlows {
+		return nil, fmt.Errorf("dataset: need 0 < unique (%d) <= packets (%d)",
+			cfg.UniqueFlows, cfg.TotalPackets)
+	}
+	if cfg.ZipfS <= 0 {
+		return nil, fmt.Errorf("dataset: zipf exponent must be positive, got %v", cfg.ZipfS)
+	}
+	rng := hashing.NewRNG(cfg.Seed)
+
+	// Unique flow keys.
+	seen := make(map[Flow]bool, cfg.UniqueFlows)
+	flows := make([]Flow, 0, cfg.UniqueFlows)
+	for len(flows) < cfg.UniqueFlows {
+		f := Flow{Src: uint32(rng.Uint64()), Dst: uint32(rng.Uint64())}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		flows = append(flows, f)
+	}
+
+	// Zipf flow sizes: weight of rank r is r^-s, scaled so the total
+	// matches TotalPackets with every flow appearing at least once.
+	weights := make([]float64, cfg.UniqueFlows)
+	var wsum float64
+	for r := range weights {
+		weights[r] = math.Pow(float64(r+1), -cfg.ZipfS)
+		wsum += weights[r]
+	}
+	extra := cfg.TotalPackets - cfg.UniqueFlows
+	sizes := make([]int, cfg.UniqueFlows)
+	assigned := 0
+	for r := range sizes {
+		s := int(float64(extra) * weights[r] / wsum)
+		sizes[r] = 1 + s
+		assigned += sizes[r]
+	}
+	// Distribute the rounding remainder over the heaviest flows.
+	for i := 0; assigned < cfg.TotalPackets; i++ {
+		sizes[i%cfg.UniqueFlows]++
+		assigned++
+	}
+
+	// Emit the packet stream: flows laid out by size then deterministically
+	// shuffled, which interleaves heavy and light flows like a real link.
+	packets := make([]Flow, 0, cfg.TotalPackets)
+	for r, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			packets = append(packets, flows[r])
+		}
+	}
+	rng.Shuffle(len(packets), func(i, j int) { packets[i], packets[j] = packets[j], packets[i] })
+
+	return &Trace{Flows: flows, Packets: packets}, nil
+}
+
+// SampleFlows returns n distinct flows drawn uniformly from the trace's
+// population — the paper's "200K unique flows randomly selected from the
+// traces" test set.
+func (t *Trace) SampleFlows(n int, seed uint64) ([]Flow, error) {
+	if n > len(t.Flows) {
+		return nil, fmt.Errorf("dataset: sample %d exceeds population %d", n, len(t.Flows))
+	}
+	rng := hashing.NewRNG(seed)
+	perm := make([]int, len(t.Flows))
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	out := make([]Flow, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.Flows[perm[i]]
+	}
+	return out, nil
+}
+
+// FreshFlows returns n flows guaranteed absent from the trace population,
+// for false-positive measurement.
+func (t *Trace) FreshFlows(n int, seed uint64) []Flow {
+	seen := make(map[Flow]bool, len(t.Flows))
+	for _, f := range t.Flows {
+		seen[f] = true
+	}
+	rng := hashing.NewRNG(seed)
+	out := make([]Flow, 0, n)
+	for len(out) < n {
+		f := Flow{Src: uint32(rng.Uint64()), Dst: uint32(rng.Uint64())}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a compact binary format so synthesized workloads
+// can be generated once at full scale and replayed across experiment runs
+// (or shared between machines), the role the CAIDA pcap files play in the
+// paper's setup.
+//
+// Format (little endian):
+//
+//	magic "MPTR" | version u32 | uniqueFlows u64 | totalPackets u64
+//	flows: uniqueFlows x (src u32, dst u32)
+//	packets: totalPackets x flowIndex uvarint (index into the flow table)
+
+const (
+	traceMagic   = "MPTR"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(traceMagic)); err != nil {
+		return n, err
+	}
+	var hdr [4 + 8 + 8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(t.Flows)))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(t.Packets)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	index := make(map[Flow]uint64, len(t.Flows))
+	var pair [8]byte
+	for i, f := range t.Flows {
+		index[f] = uint64(i)
+		binary.LittleEndian.PutUint32(pair[0:4], f.Src)
+		binary.LittleEndian.PutUint32(pair[4:8], f.Dst)
+		if err := count(bw.Write(pair[:])); err != nil {
+			return n, err
+		}
+	}
+	var varint [binary.MaxVarintLen64]byte
+	for _, p := range t.Packets {
+		idx, ok := index[p]
+		if !ok {
+			return n, fmt.Errorf("dataset: packet flow %v not in flow table", p)
+		}
+		k := binary.PutUvarint(varint[:], idx)
+		if err := count(bw.Write(varint[:k])); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, errors.New("dataset: not a trace file")
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("dataset: reading trace header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != traceVersion {
+		return nil, fmt.Errorf("dataset: unsupported trace version %d", v)
+	}
+	nFlows := binary.LittleEndian.Uint64(hdr[4:12])
+	nPackets := binary.LittleEndian.Uint64(hdr[12:20])
+	const maxReasonable = 1 << 32
+	if nFlows == 0 || nFlows > maxReasonable || nPackets < nFlows || nPackets > maxReasonable {
+		return nil, fmt.Errorf("dataset: implausible trace sizes (%d flows, %d packets)", nFlows, nPackets)
+	}
+	tr := &Trace{
+		Flows:   make([]Flow, nFlows),
+		Packets: make([]Flow, 0, nPackets),
+	}
+	var pair [8]byte
+	for i := range tr.Flows {
+		if _, err := io.ReadFull(br, pair[:]); err != nil {
+			return nil, fmt.Errorf("dataset: reading flow %d: %w", i, err)
+		}
+		tr.Flows[i] = Flow{
+			Src: binary.LittleEndian.Uint32(pair[0:4]),
+			Dst: binary.LittleEndian.Uint32(pair[4:8]),
+		}
+	}
+	for i := uint64(0); i < nPackets; i++ {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading packet %d: %w", i, err)
+		}
+		if idx >= nFlows {
+			return nil, fmt.Errorf("dataset: packet %d references flow %d of %d", i, idx, nFlows)
+		}
+		tr.Packets = append(tr.Packets, tr.Flows[idx])
+	}
+	return tr, nil
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := NewTrace(TraceConfig{UniqueFlows: 300, TotalPackets: 5000, ZipfS: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Flows) != len(tr.Flows) || len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("sizes: %d/%d flows, %d/%d packets",
+			len(got.Flows), len(tr.Flows), len(got.Packets), len(tr.Packets))
+	}
+	for i := range tr.Flows {
+		if got.Flows[i] != tr.Flows[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	for i := range tr.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestTraceCompression(t *testing.T) {
+	// The varint packet encoding should be far smaller than 8 bytes per
+	// packet for a skewed trace.
+	tr, _ := NewTrace(TraceConfig{UniqueFlows: 1000, TotalPackets: 50000, ZipfS: 1, Seed: 4})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	naive := len(tr.Packets) * 8
+	if buf.Len() >= naive {
+		t.Fatalf("encoded %d bytes, naive %d", buf.Len(), naive)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad magic":  "NOPE" + strings.Repeat("\x00", 40),
+		"truncated":  "MPTR\x01\x00\x00\x00",
+		"zero flows": "MPTR\x01\x00\x00\x00" + strings.Repeat("\x00", 16),
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Valid header, bad packet index.
+	var buf bytes.Buffer
+	tr, _ := NewTrace(TraceConfig{UniqueFlows: 2, TotalPackets: 4, ZipfS: 1, Seed: 1})
+	tr.WriteTo(&buf)
+	data := buf.Bytes()
+	data[len(data)-1] = 0x7f // out-of-range flow index
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Error("out-of-range packet index accepted")
+	}
+}

@@ -1,0 +1,308 @@
+// Package dlcbf implements the d-left Counting Bloom Filter of Bonomi,
+// Mitzenmacher, Panigrahy, Singh and Varghese (ESA 2006), the
+// fingerprint-based CBF alternative the paper's related-work section
+// compares against: d-left hashing places a small remainder of each key
+// into the least-loaded of d candidate buckets, offering CBF functionality
+// in roughly half the memory at equal false positive rate.
+//
+// Faithful to the ESA construction, a key is first hashed to one
+// (bucket-index + remainder)-sized value v, and its candidate location in
+// subtable i is an invertible permutation P_i(v) split into a bucket index
+// (high bits) and a stored 12-bit remainder (low bits). Because the P_i
+// are bijections, two keys that collide in one subtable collide in all of
+// them — which is what makes deletions unambiguous.
+//
+// Cells are packed 16 bits: a 12-bit remainder and a 4-bit saturating
+// multiplicity counter (counter zero = empty cell).
+package dlcbf
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hashing"
+	"repro/internal/metrics"
+)
+
+const (
+	fpBits       = 12
+	fpMask       = 1<<fpBits - 1
+	counterBits  = 4
+	counterMax   = 1<<counterBits - 1
+	cellBits     = 16
+	maxSubtables = 8
+)
+
+// odd multipliers for the per-subtable permutations (any odd constant is
+// invertible modulo a power of two).
+var permMul = [maxSubtables]uint64{
+	0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9,
+	0x27D4EB2F165667C5, 0x85EBCA77C2B2AE63, 0xFF51AFD7ED558CCD,
+	0xC4CEB9FE1A85EC53, 0xBF58476D1CE4E5B9,
+}
+
+// ErrNotFound is returned by Delete when the key's remainder is absent
+// from all candidate buckets.
+var ErrNotFound = errors.New("dlcbf: delete of absent key")
+
+// ErrBucketOverflow is returned by Insert when every candidate bucket is
+// full and the remainder is not already present.
+var ErrBucketOverflow = errors.New("dlcbf: all candidate buckets full")
+
+// Filter is a d-left counting Bloom filter.
+type Filter struct {
+	cells      []uint16 // d*b*c cells, subtable-major
+	d          int      // subtables
+	b          int      // buckets per subtable (power of two)
+	c          int      // cells per bucket
+	bBits      int      // log2(b)
+	domainMask uint64   // mask of the (bBits + fpBits)-bit hash domain
+	hasher     hashing.Hasher
+	count      int
+	occupied   int
+}
+
+// New returns a dlCBF with d subtables of b buckets of c cells. b must be
+// a power of two (the permutation domain requirement) and d at most 8.
+func New(d, b, c int, seed uint32) (*Filter, error) {
+	if d <= 0 || b <= 0 || c <= 0 {
+		return nil, fmt.Errorf("dlcbf: dimensions must be positive (d=%d, b=%d, c=%d)", d, b, c)
+	}
+	if d > maxSubtables {
+		return nil, fmt.Errorf("dlcbf: at most %d subtables (d=%d)", maxSubtables, d)
+	}
+	if b&(b-1) != 0 {
+		return nil, fmt.Errorf("dlcbf: buckets per subtable must be a power of two (b=%d)", b)
+	}
+	bBits := bits.TrailingZeros(uint(b))
+	return &Filter{
+		cells:      make([]uint16, d*b*c),
+		d:          d,
+		b:          b,
+		c:          c,
+		bBits:      bBits,
+		domainMask: 1<<(uint(bBits)+fpBits) - 1,
+		hasher:     hashing.NewHasher(seed),
+	}, nil
+}
+
+// FromMemory returns a dlCBF occupying at most memoryBits bits, using the
+// construction of the dlCBF paper: 4 subtables, 8 cells per bucket, and
+// the largest power-of-two bucket count that fits.
+func FromMemory(memoryBits int, seed uint32) (*Filter, error) {
+	const d, c = 4, 8
+	b := memoryBits / (cellBits * d * c)
+	if b < 1 {
+		b = 1
+	}
+	// Round down to a power of two.
+	for b&(b-1) != 0 {
+		b &= b - 1
+	}
+	return New(d, b, c, seed)
+}
+
+// D returns the number of subtables.
+func (f *Filter) D() int { return f.d }
+
+// B returns the buckets per subtable.
+func (f *Filter) B() int { return f.b }
+
+// C returns the cells per bucket.
+func (f *Filter) C() int { return f.c }
+
+// Count returns the current number of elements.
+func (f *Filter) Count() int { return f.count }
+
+// MemoryBits returns the table's footprint in bits.
+func (f *Filter) MemoryBits() int { return len(f.cells) * cellBits }
+
+// LoadFactor returns the fraction of occupied cells.
+func (f *Filter) LoadFactor() float64 {
+	return float64(f.occupied) / float64(len(f.cells))
+}
+
+// permute applies the subtable-i bijection to v within the hash domain:
+// multiply by an odd constant (invertible mod 2^B), then a xorshift mix
+// folded back into the domain. Both steps are bijections of the domain.
+func (f *Filter) permute(v uint64, i int) uint64 {
+	width := uint(f.bBits) + fpBits
+	v = (v * permMul[i]) & f.domainMask
+	v ^= v >> (width/2 + 1)
+	v = (v * permMul[(i+1)%maxSubtables]) & f.domainMask
+	return v
+}
+
+// locate derives the candidate (bucket, remainder) pair per subtable.
+func (f *Filter) locate(key []byte) (remainders []uint16, buckets []int) {
+	s := f.hasher.NewIndexStream(key)
+	v := s.Aux(0) & f.domainMask
+	remainders = make([]uint16, f.d)
+	buckets = make([]int, f.d)
+	for i := 0; i < f.d; i++ {
+		p := f.permute(v, i)
+		buckets[i] = int(p >> fpBits)
+		remainders[i] = uint16(p & fpMask)
+	}
+	return remainders, buckets
+}
+
+func (f *Filter) bucket(sub, idx int) []uint16 {
+	start := (sub*f.b + idx) * f.c
+	return f.cells[start : start+f.c]
+}
+
+func cellFP(cell uint16) uint16 { return cell & fpMask }
+func cellCount(cell uint16) int { return int(cell >> fpBits) }
+func makeCell(fp uint16, n int) uint16 {
+	return fp&fpMask | uint16(n)<<fpBits
+}
+
+// Insert adds key: if its identity already sits in a candidate bucket the
+// cell counter is incremented (saturating), otherwise the remainder is
+// placed in the least-loaded candidate bucket, breaking ties to the left.
+func (f *Filter) Insert(key []byte) error {
+	_, err := f.InsertStats(key)
+	return err
+}
+
+// InsertStats is Insert with cost accounting: d bucket reads.
+func (f *Filter) InsertStats(key []byte) (metrics.OpStats, error) {
+	rem, buckets := f.locate(key)
+	st := f.opCost()
+	// Pass 1: existing identity?
+	for i, bi := range buckets {
+		bucket := f.bucket(i, bi)
+		for ci, cell := range bucket {
+			if cellCount(cell) > 0 && cellFP(cell) == rem[i] {
+				n := cellCount(cell)
+				if n < counterMax {
+					bucket[ci] = makeCell(rem[i], n+1)
+				}
+				f.count++
+				return st, nil
+			}
+		}
+	}
+	// Pass 2: least-loaded bucket, leftmost on ties.
+	bestSub, bestLoad := -1, f.c+1
+	for i, bi := range buckets {
+		load := 0
+		for _, cell := range f.bucket(i, bi) {
+			if cellCount(cell) > 0 {
+				load++
+			}
+		}
+		if load < bestLoad {
+			bestSub, bestLoad = i, load
+		}
+	}
+	if bestLoad >= f.c {
+		return st, ErrBucketOverflow
+	}
+	bucket := f.bucket(bestSub, buckets[bestSub])
+	for ci, cell := range bucket {
+		if cellCount(cell) == 0 {
+			bucket[ci] = makeCell(rem[bestSub], 1)
+			f.occupied++
+			f.count++
+			return st, nil
+		}
+	}
+	return st, ErrBucketOverflow // unreachable given bestLoad < c
+}
+
+// Delete removes key, decrementing (and on zero, freeing) its cell.
+// Because the subtable locations are permutations of one hash value, the
+// matching cell is unambiguous up to full-identity collisions.
+func (f *Filter) Delete(key []byte) error {
+	_, err := f.DeleteStats(key)
+	return err
+}
+
+// DeleteStats is Delete with cost accounting.
+func (f *Filter) DeleteStats(key []byte) (metrics.OpStats, error) {
+	rem, buckets := f.locate(key)
+	st := f.opCost()
+	for i, bi := range buckets {
+		bucket := f.bucket(i, bi)
+		for ci, cell := range bucket {
+			if cellCount(cell) > 0 && cellFP(cell) == rem[i] {
+				n := cellCount(cell)
+				switch {
+				case n == counterMax:
+					// sticky, like a saturated CBF counter
+				case n == 1:
+					bucket[ci] = 0
+					f.occupied--
+				default:
+					bucket[ci] = makeCell(rem[i], n-1)
+				}
+				f.count--
+				return st, nil
+			}
+		}
+	}
+	f.count--
+	return st, ErrNotFound
+}
+
+// Contains reports whether key may be in the set.
+func (f *Filter) Contains(key []byte) bool {
+	rem, buckets := f.locate(key)
+	for i, bi := range buckets {
+		for _, cell := range f.bucket(i, bi) {
+			if cellCount(cell) > 0 && cellFP(cell) == rem[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Probe is Contains with cost accounting: a negative query must inspect
+// all d candidate buckets; a positive one stops at the match.
+func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
+	rem, buckets := f.locate(key)
+	var st metrics.OpStats
+	for i, bi := range buckets {
+		st.MemAccesses++
+		st.HashBits += f.bBits + fpBits
+		for _, cell := range f.bucket(i, bi) {
+			if cellCount(cell) > 0 && cellFP(cell) == rem[i] {
+				return true, st
+			}
+		}
+	}
+	return false, st
+}
+
+// CountOf returns the multiplicity estimate of key (its cell counter).
+func (f *Filter) CountOf(key []byte) uint8 {
+	rem, buckets := f.locate(key)
+	for i, bi := range buckets {
+		for _, cell := range f.bucket(i, bi) {
+			if cellCount(cell) > 0 && cellFP(cell) == rem[i] {
+				return uint8(cellCount(cell))
+			}
+		}
+	}
+	return 0
+}
+
+func (f *Filter) opCost() metrics.OpStats {
+	return metrics.OpStats{
+		MemAccesses: f.d,
+		HashBits:    f.d * (f.bBits + fpBits),
+	}
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.cells {
+		f.cells[i] = 0
+	}
+	f.count = 0
+	f.occupied = 0
+}

@@ -1,0 +1,217 @@
+package dlcbf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cbf"
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, 8, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(4, 0, 8, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := New(4, 10, 0, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := New(4, 10, 8, 0); err == nil {
+		t.Error("non-power-of-two b accepted")
+	}
+	if _, err := New(9, 16, 8, 0); err == nil {
+		t.Error("d>8 accepted")
+	}
+	f, err := FromMemory(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.D() != 4 || f.C() != 8 {
+		t.Fatalf("construction: d=%d c=%d", f.D(), f.C())
+	}
+	if f.MemoryBits() > 1<<20 {
+		t.Fatalf("memory overshoot: %d", f.MemoryBits())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, _ := FromMemory(1<<18, 1)
+	in := keys("in", 4000)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if f.Count() != 4000 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	for _, k := range in {
+		if err := f.Delete(k); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	if f.LoadFactor() != 0 {
+		t.Fatalf("cells left occupied: %v", f.LoadFactor())
+	}
+	for _, k := range in {
+		if f.Contains(k) {
+			t.Fatalf("stale positive for %q", k)
+		}
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	f, _ := FromMemory(1<<16, 1)
+	if err := f.Delete([]byte("ghost")); err != ErrNotFound {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	f, _ := FromMemory(1<<16, 1)
+	k := []byte("dup")
+	for i := 1; i <= 5; i++ {
+		f.Insert(k)
+		if int(f.CountOf(k)) != i {
+			t.Fatalf("CountOf after %d inserts = %d", i, f.CountOf(k))
+		}
+	}
+	// Duplicates occupy one cell.
+	if f.LoadFactor() > 1.0/float64(len(f.cells)-1) {
+		t.Fatalf("duplicates used more than one cell: %v", f.LoadFactor())
+	}
+	for i := 0; i < 5; i++ {
+		f.Delete(k)
+	}
+	if f.Contains(k) {
+		t.Fatal("still present after balanced deletes")
+	}
+}
+
+func TestSaturationSticky(t *testing.T) {
+	f, _ := FromMemory(1<<16, 1)
+	k := []byte("hot")
+	for i := 0; i < 40; i++ {
+		f.Insert(k)
+	}
+	for i := 0; i < 40; i++ {
+		f.Delete(k)
+	}
+	if !f.Contains(k) {
+		t.Fatal("saturated cell must stay positive (no false negatives)")
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	// With many inserts the load must stay balanced: no bucket overflows
+	// long before the table is actually full.
+	f, err := New(4, 512, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 4 * 512 * 8
+	inserted := 0
+	for _, k := range keys("in", capacity*3/4) {
+		if err := f.Insert(k); err != nil {
+			break
+		}
+		inserted++
+	}
+	if inserted < capacity/2 {
+		t.Fatalf("bucket overflow after only %d of %d cells", inserted, capacity)
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	f, _ := New(4, 1024, 8, 0)
+	ok, st := f.Probe([]byte("absent"))
+	if ok {
+		t.Fatal("empty filter positive")
+	}
+	if st.MemAccesses != 4 {
+		t.Fatalf("negative probe accesses = %d, want d=4", st.MemAccesses)
+	}
+	f.Insert([]byte("x"))
+	ok, st = f.Probe([]byte("x"))
+	if !ok || st.MemAccesses > 4 {
+		t.Fatalf("positive probe: ok=%v acc=%d", ok, st.MemAccesses)
+	}
+}
+
+func TestFPRCompetitiveWithCBF(t *testing.T) {
+	// The dlCBF claim: same functionality as CBF in about half the memory.
+	// At equal memory its fpr should be far below the CBF's.
+	const mem = 1 << 19
+	const n = 8000
+	dl, _ := FromMemory(mem, 2)
+	std, _ := cbf.FromMemory(mem, 3, 2)
+	for _, k := range keys("in", n) {
+		if err := dl.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		std.Insert(k)
+	}
+	fpDL, fpStd := 0, 0
+	const probes = 300000
+	for _, k := range keys("out", probes) {
+		if dl.Contains(k) {
+			fpDL++
+		}
+		if std.Contains(k) {
+			fpStd++
+		}
+	}
+	if fpDL >= fpStd {
+		t.Fatalf("dlCBF fp=%d not below CBF fp=%d at equal memory", fpDL, fpStd)
+	}
+}
+
+func TestRandomOpsNoFalseNegatives(t *testing.T) {
+	f, _ := FromMemory(1<<18, 5)
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(21)
+	universe := keys("u", 400)
+	for op := 0; op < 20000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if (rng.Intn(2) == 0 || ref[string(k)] == 0) && ref[string(k)] < 10 {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			ref[string(k)]++
+		} else {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			ref[string(k)]--
+		}
+	}
+	for k, n := range ref {
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := FromMemory(1<<16, 0)
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.LoadFactor() != 0 || f.Contains([]byte("a")) {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,105 @@
+package hashing
+
+import "math/bits"
+
+// Hasher derives all per-key indices a filter needs from a single 128-bit
+// base hash, in the Kirsch–Mitzenmacher "less hashing, same performance"
+// style: the i-th derived value is a strong mix of h1 + i*h2, which behaves
+// like an independent hash for Bloom-filter purposes. Deriving everything
+// from one base hash keeps the per-operation hash computation constant
+// regardless of k and g, mirroring how the paper's hardware-oriented design
+// treats hash cost.
+type Hasher struct {
+	seed uint32
+}
+
+// NewHasher returns a Hasher with the given seed. Filters built with the
+// same seed map identical keys to identical locations, which insert/delete
+// symmetry relies on.
+func NewHasher(seed uint32) Hasher { return Hasher{seed: seed} }
+
+// Seed returns the hasher's seed.
+func (h Hasher) Seed() uint32 { return h.seed }
+
+// Base returns the 128-bit base hash of key.
+func (h Hasher) Base(key []byte) (uint64, uint64) {
+	return Murmur128(key, h.seed)
+}
+
+// Derived returns the i-th derived 64-bit hash from base (h1, h2).
+func Derived(h1, h2 uint64, i int) uint64 {
+	return SplitMix64(h1 + uint64(i)*h2)
+}
+
+// Index returns the i-th derived index in [0, n). n must be positive.
+// A 128-bit multiply-shift reduction avoids modulo bias without division.
+func Index(h1, h2 uint64, i, n int) int {
+	return Reduce(Derived(h1, h2, i), n)
+}
+
+// Reduce maps a 64-bit hash uniformly onto [0, n) using the multiply-shift
+// (Lemire) reduction.
+func Reduce(x uint64, n int) int {
+	hi, _ := bits.Mul64(x, uint64(n))
+	return int(hi)
+}
+
+// IndexStream enumerates derived indices for one key. Streams are split
+// into channels so that word-selection hashes and slot hashes never reuse
+// the same derived value: channel c, position i maps to derived hash
+// c*maxPerChannel + i.
+type IndexStream struct {
+	h1, h2 uint64
+}
+
+// channel identifiers for derived-hash separation.
+const (
+	chanWord = iota
+	chanSlot
+	chanAux
+	streamStride = 64 // max derived values per channel
+)
+
+// NewIndexStream builds the index stream of key under h.
+func (h Hasher) NewIndexStream(key []byte) IndexStream {
+	h1, h2 := Murmur128(key, h.seed)
+	return IndexStream{h1: h1, h2: h2}
+}
+
+// Word returns the i-th word-selection index in [0, l).
+func (s IndexStream) Word(i, l int) int {
+	return Index(s.h1, s.h2, chanWord*streamStride+i, l)
+}
+
+// Slot returns the i-th slot index in [0, rangeSize).
+func (s IndexStream) Slot(i, rangeSize int) int {
+	return Index(s.h1, s.h2, chanSlot*streamStride+i, rangeSize)
+}
+
+// Aux returns the i-th auxiliary derived hash (fingerprints, VI increments).
+func (s IndexStream) Aux(i int) uint64 {
+	return Derived(s.h1, s.h2, chanAux*streamStride+i)
+}
+
+// SplitKEven distributes k slot hashes over g words the way the paper's
+// MPCBF-g does: the first g-1 words receive ceil(k/g) hashes and the last
+// word receives the remainder (e.g. k=3, g=2 gives 2 and 1). The returned
+// slice has length g and sums to k. Any leftover words receive zero hashes
+// only when k < g, which constructors reject.
+func SplitKEven(k, g int) []int {
+	if k <= 0 || g <= 0 {
+		panic("hashing: k and g must be positive")
+	}
+	per := (k + g - 1) / g // ceil(k/g)
+	out := make([]int, g)
+	remaining := k
+	for i := 0; i < g; i++ {
+		take := per
+		if take > remaining {
+			take = remaining
+		}
+		out[i] = take
+		remaining -= take
+	}
+	return out
+}

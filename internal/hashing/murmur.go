@@ -1,0 +1,114 @@
+package hashing
+
+import "math/bits"
+
+const (
+	mmC1 = 0x87c37b91114253d5
+	mmC2 = 0x4cf5ad432745937f
+)
+
+// Murmur128 computes the x64 variant of MurmurHash3 (128-bit) of data with
+// the given seed, returning the two 64-bit halves. The pair serves as the
+// base of every double-hashed index stream in this repository.
+func Murmur128(data []byte, seed uint32) (uint64, uint64) {
+	n := len(data)
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+	p := data
+	for len(p) >= 16 {
+		k1 := le64(p[0:8])
+		k2 := le64(p[8:16])
+		p = p[16:]
+
+		k1 *= mmC1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= mmC2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= mmC2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= mmC1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	var k1, k2 uint64
+	switch len(p) & 15 {
+	case 15:
+		k2 ^= uint64(p[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(p[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(p[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(p[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(p[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(p[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(p[8])
+		k2 *= mmC2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= mmC1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(p[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(p[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(p[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(p[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(p[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(p[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(p[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(p[0])
+		k1 *= mmC1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= mmC2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

@@ -1,0 +1,74 @@
+package hashing
+
+import "math/bits"
+
+// SplitMix64 is the finalizer of the splitmix64 generator, used both as a
+// standalone mixer for derived hashes and to seed xoshiro streams.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// RNG is a xoshiro256** pseudo-random generator. Every stochastic component
+// of the repository (dataset synthesis, workload shuffling) draws from a
+// seeded RNG so that experiments are reproducible bit-for-bit.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	x := seed
+	for i := range r.s {
+		x = SplitMix64(x)
+		r.s[i] = x
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("hashing: Intn requires positive n")
+	}
+	return Reduce(r.Uint64(), n)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Shuffle randomizes the order of n elements via the swap callback.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork returns an independent generator derived from r's stream, for
+// parallel workload synthesis.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,75 @@
+package hcbf
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// FuzzWordOps drives a HCBF word with an arbitrary operation tape and
+// checks it against the exact multiset model on every step. The corpus
+// seeds cover the paper's worked examples; go test runs the seeds, and
+// `go test -fuzz FuzzWordOps ./internal/hcbf` explores further.
+func FuzzWordOps(f *testing.F) {
+	f.Add(uint8(64), uint8(40), []byte{0, 1, 2, 3, 0, 129, 130})
+	f.Add(uint8(16), uint8(8), []byte{0, 2, 4, 7, 4, 2})
+	f.Add(uint8(16), uint8(10), []byte{0, 2, 4, 4, 6, 8, 1})
+	f.Add(uint8(32), uint8(1), []byte{0, 0, 0, 128, 128})
+	f.Add(uint8(255), uint8(100), []byte{5, 5, 5, 133, 133, 133, 5})
+
+	f.Fuzz(func(t *testing.T, wRaw, b1Raw uint8, tape []byte) {
+		w := int(wRaw)
+		if w < 2 {
+			w = 2
+		}
+		b1 := int(b1Raw)%w + 1
+		arena := bitvec.New(w)
+		h, err := NewWord(arena, 0, w, b1)
+		if err != nil {
+			t.Fatalf("geometry rejected: w=%d b1=%d: %v", w, b1, err)
+		}
+		counts := make(map[int]int)
+		used := 0
+		for _, op := range tape {
+			slot := int(op&0x7f) % b1
+			if op&0x80 == 0 { // increment
+				_, err := h.Inc(slot)
+				if used >= w-b1 {
+					if err != ErrOverflow {
+						t.Fatalf("expected overflow at used=%d w=%d b1=%d", used, w, b1)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("unexpected Inc error: %v", err)
+				}
+				counts[slot]++
+				used++
+			} else { // decrement
+				_, err := h.Dec(slot)
+				if counts[slot] == 0 {
+					if err != ErrUnderflow {
+						t.Fatalf("expected underflow on slot %d", slot)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("unexpected Dec error: %v", err)
+				}
+				counts[slot]--
+				used--
+			}
+			if got := h.Used(); got != b1+used {
+				t.Fatalf("Used = %d, model %d", got, b1+used)
+			}
+		}
+		for slot := 0; slot < b1; slot++ {
+			if got := h.Count(slot); got != counts[slot] {
+				t.Fatalf("Count(%d) = %d, model %d (word %s)", slot, got, counts[slot], h.String())
+			}
+			if h.Has(slot) != (counts[slot] > 0) {
+				t.Fatalf("Has(%d) mismatch", slot)
+			}
+		}
+	})
+}

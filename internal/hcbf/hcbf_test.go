@@ -1,0 +1,357 @@
+package hcbf
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashing"
+)
+
+func newWord(t *testing.T, w, b1 int) Word {
+	t.Helper()
+	arena := bitvec.New(w)
+	h, err := NewWord(arena, 0, w, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewWordValidation(t *testing.T) {
+	arena := bitvec.New(128)
+	cases := []struct{ base, w, b1 int }{
+		{0, 0, 0},     // w=0
+		{0, 64, 0},    // b1=0
+		{0, 64, 65},   // b1>w
+		{-1, 64, 32},  // negative base
+		{100, 64, 32}, // window past arena end
+	}
+	for _, c := range cases {
+		if _, err := NewWord(arena, c.base, c.w, c.b1); err == nil {
+			t.Errorf("NewWord(base=%d,w=%d,b1=%d) accepted", c.base, c.w, c.b1)
+		}
+	}
+	if _, err := NewWord(nil, 0, 64, 32); err == nil {
+		t.Error("nil arena accepted")
+	}
+	if _, err := NewWord(arena, 64, 64, 64); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+// TestPaperFigure3 replays the worked example of Fig. 3(a): w=16, b1=8,
+// k=3; x0 hashes to slots {0,2,4}, then x5 to slots {7,4,2}.
+func TestPaperFigure3(t *testing.T) {
+	h := newWord(t, 16, 8)
+
+	// Insert x0 at slots 0, 2, 4.
+	for _, s := range []int{0, 2, 4} {
+		if depth, err := h.Inc(s); err != nil || depth != 1 {
+			t.Fatalf("Inc(%d) = depth %d, err %v", s, depth, err)
+		}
+	}
+	if got, want := h.String(), "10101000|000"; got != want {
+		t.Fatalf("after x0: %s, want %s", got, want)
+	}
+
+	// Insert x5 at slots 7, 4, 2 (in hash order).
+	if depth, err := h.Inc(7); err != nil || depth != 1 {
+		t.Fatalf("Inc(7) = depth %d, err %v", depth, err)
+	}
+	if depth, err := h.Inc(4); err != nil || depth != 2 {
+		t.Fatalf("Inc(4) = depth %d, err %v", depth, err)
+	}
+	if depth, err := h.Inc(2); err != nil || depth != 2 {
+		t.Fatalf("Inc(2) = depth %d, err %v", depth, err)
+	}
+	// Paper: level 2 spans bits 8-11 with the children of slots 2 and 4
+	// set; level 3 holds two zero bits at positions 12-13.
+	if got, want := h.String(), "10101001|0110|00"; got != want {
+		t.Fatalf("after x5: %s, want %s", got, want)
+	}
+	if h.Used() != 14 {
+		t.Fatalf("Used = %d, want 14", h.Used())
+	}
+
+	// Counters: slots 2 and 4 were hit by both elements.
+	wantCounts := map[int]int{0: 1, 2: 2, 4: 2, 7: 1, 1: 0, 3: 0, 5: 0, 6: 0}
+	for slot, want := range wantCounts {
+		if got := h.Count(slot); got != want {
+			t.Errorf("Count(%d) = %d, want %d", slot, got, want)
+		}
+	}
+}
+
+// TestPaperFigure3Improved replays Fig. 3(b): the improved HCBF with
+// b1 = w - k*nmax = 16 - 3*2 = 10, x0 at {0,2,4} and x5 at {4,6,8}.
+func TestPaperFigure3Improved(t *testing.T) {
+	h := newWord(t, 16, 10)
+	for _, s := range []int{0, 2, 4} {
+		if _, err := h.Inc(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []int{4, 6, 8} {
+		if _, err := h.Inc(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Five bits on level 2 (slots 0,2,4,6,8 set; slot 4 twice -> one child
+	// set), one bit on level 3. The whole word is exactly full.
+	if h.Used() != 16 {
+		t.Fatalf("Used = %d, want 16 (word exactly full)", h.Used())
+	}
+	levels := h.Levels()
+	if len(levels) != 3 || levels[0] != 10 || levels[1] != 5 || levels[2] != 1 {
+		t.Fatalf("Levels = %v, want [10 5 1]", levels)
+	}
+	if h.Count(4) != 2 {
+		t.Fatalf("Count(4) = %d, want 2", h.Count(4))
+	}
+	// No free space: the next increment must overflow.
+	if _, err := h.Inc(0); err != ErrOverflow {
+		t.Fatalf("expected ErrOverflow, got %v", err)
+	}
+}
+
+func TestIncDecRoundTrip(t *testing.T) {
+	h := newWord(t, 64, 40)
+	slots := []int{0, 5, 5, 39, 12, 5, 0}
+	for _, s := range slots {
+		if _, err := h.Inc(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Count(5) != 3 || h.Count(0) != 2 || h.Count(39) != 1 || h.Count(12) != 1 {
+		t.Fatalf("counts wrong: %s", h.String())
+	}
+	for _, s := range slots {
+		if _, err := h.Dec(s); err != nil {
+			t.Fatalf("Dec(%d): %v", s, err)
+		}
+	}
+	if h.Used() != 40 {
+		t.Fatalf("Used = %d after full unwind, want b1=40", h.Used())
+	}
+	for s := 0; s < 40; s++ {
+		if h.Has(s) || h.Count(s) != 0 {
+			t.Fatalf("slot %d not empty after unwind", s)
+		}
+	}
+}
+
+func TestDecUnderflow(t *testing.T) {
+	h := newWord(t, 64, 32)
+	if _, err := h.Dec(3); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+	h.Inc(3)
+	h.Dec(3)
+	if _, err := h.Dec(3); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow after balanced ops, got %v", err)
+	}
+}
+
+func TestOverflowLeavesStateIntact(t *testing.T) {
+	h := newWord(t, 16, 12)
+	// Capacity is 4 increments (16-12).
+	for i := 0; i < 4; i++ {
+		if _, err := h.Inc(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := h.String()
+	if _, err := h.Inc(11); err != ErrOverflow {
+		t.Fatalf("expected ErrOverflow, got %v", err)
+	}
+	if h.String() != before {
+		t.Fatalf("overflowing Inc mutated state: %s -> %s", before, h.String())
+	}
+	// Free a bit; insertion must succeed again.
+	if _, err := h.Dec(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Inc(11); err != nil {
+		t.Fatalf("Inc after Dec failed: %v", err)
+	}
+}
+
+func TestDeepChainSingleSlot(t *testing.T) {
+	// b1=1: every increment deepens a unary chain; counter equals depth.
+	h := newWord(t, 32, 1)
+	for i := 1; i <= 31; i++ {
+		depth, err := h.Inc(0)
+		if err != nil {
+			t.Fatalf("Inc %d: %v", i, err)
+		}
+		if depth != i {
+			t.Fatalf("Inc %d returned depth %d", i, depth)
+		}
+		if h.Count(0) != i {
+			t.Fatalf("Count after %d incs = %d", i, h.Count(0))
+		}
+	}
+	if _, err := h.Inc(0); err != ErrOverflow {
+		t.Fatalf("expected overflow at capacity, got %v", err)
+	}
+	for i := 31; i >= 1; i-- {
+		depth, err := h.Dec(0)
+		if err != nil {
+			t.Fatalf("Dec at count %d: %v", i, err)
+		}
+		if depth != i {
+			t.Fatalf("Dec returned depth %d, want %d", depth, i)
+		}
+	}
+	if h.Used() != 1 {
+		t.Fatalf("Used = %d after unwind", h.Used())
+	}
+}
+
+func TestHasReadsOnlyFirstLevel(t *testing.T) {
+	h := newWord(t, 64, 32)
+	h.Inc(10)
+	h.Inc(10)
+	if !h.Has(10) || h.Has(11) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestWordsAreIndependent(t *testing.T) {
+	arena := bitvec.New(128)
+	w0, _ := NewWord(arena, 0, 64, 40)
+	w1, _ := NewWord(arena, 64, 64, 40)
+	w0.Inc(3)
+	w0.Inc(3)
+	w1.Inc(7)
+	if w1.Has(3) || w0.Has(7) {
+		t.Fatal("cross-word contamination")
+	}
+	if w0.Count(3) != 2 || w1.Count(7) != 1 {
+		t.Fatal("counts wrong across words")
+	}
+	if w0.Used() != 42 || w1.Used() != 41 {
+		t.Fatalf("Used: %d, %d", w0.Used(), w1.Used())
+	}
+}
+
+func TestSlotPanics(t *testing.T) {
+	h := newWord(t, 64, 32)
+	for _, f := range []func(){
+		func() { h.Has(32) },
+		func() { h.Count(-1) },
+		func() { h.Inc(32) },
+		func() { h.Dec(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// refWord is an exact model: slot -> counter, capacity w-b1 increments.
+type refWord struct {
+	counts   map[int]int
+	capacity int
+	used     int
+}
+
+func (r *refWord) inc(slot int) error {
+	if r.used >= r.capacity {
+		return ErrOverflow
+	}
+	r.counts[slot]++
+	r.used++
+	return nil
+}
+
+func (r *refWord) dec(slot int) error {
+	if r.counts[slot] == 0 {
+		return ErrUnderflow
+	}
+	r.counts[slot]--
+	r.used--
+	return nil
+}
+
+// TestRandomOpsAgainstReference is the golden test of the word engine:
+// arbitrary interleavings of increments and decrements across the full
+// geometry space must agree exactly with the multiset model, including
+// overflow/underflow outcomes and bit usage.
+func TestRandomOpsAgainstReference(t *testing.T) {
+	rng := hashing.NewRNG(42)
+	for trial := 0; trial < 60; trial++ {
+		w := 16 + rng.Intn(240) // 16..255, exercises non-64-aligned widths
+		b1 := 1 + rng.Intn(w)
+		arena := bitvec.New(w + 64) // slack so the word is not arena-aligned
+		base := rng.Intn(64)
+		h, err := NewWord(arena, base, w, b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := &refWord{counts: make(map[int]int), capacity: w - b1}
+		for op := 0; op < 600; op++ {
+			slot := rng.Intn(b1)
+			if rng.Intn(2) == 0 {
+				_, gotErr := h.Inc(slot)
+				wantErr := ref.inc(slot)
+				if gotErr != wantErr {
+					t.Fatalf("trial %d op %d: Inc(%d) err=%v want %v", trial, op, slot, gotErr, wantErr)
+				}
+			} else {
+				_, gotErr := h.Dec(slot)
+				wantErr := ref.dec(slot)
+				if gotErr != wantErr {
+					t.Fatalf("trial %d op %d: Dec(%d) err=%v want %v", trial, op, slot, gotErr, wantErr)
+				}
+			}
+			if h.Used() != b1+ref.used {
+				t.Fatalf("trial %d op %d: Used=%d want %d", trial, op, h.Used(), b1+ref.used)
+			}
+		}
+		// Full state audit at the end of each trial.
+		for slot := 0; slot < b1; slot++ {
+			if got, want := h.Count(slot), ref.counts[slot]; got != want {
+				t.Fatalf("trial %d: Count(%d)=%d want %d (word %s)", trial, slot, got, want, h.String())
+			}
+			if h.Has(slot) != (ref.counts[slot] > 0) {
+				t.Fatalf("trial %d: Has(%d) mismatch", trial, slot)
+			}
+		}
+		// Bits outside the word window must be untouched.
+		if arena.Ones(0, base) != 0 || arena.Ones(base+w, arena.Len()) != 0 {
+			t.Fatalf("trial %d: word operations leaked outside window", trial)
+		}
+	}
+}
+
+func TestLevelsSumEqualsUsed(t *testing.T) {
+	rng := hashing.NewRNG(9)
+	h := newWord(t, 128, 64)
+	for op := 0; op < 60; op++ {
+		h.Inc(rng.Intn(64))
+		sum := 0
+		for _, s := range h.Levels() {
+			sum += s
+		}
+		if sum != h.Used() {
+			t.Fatalf("levels %v sum %d != used %d", h.Levels(), sum, h.Used())
+		}
+	}
+}
+
+func TestFreeAccounting(t *testing.T) {
+	h := newWord(t, 32, 20)
+	if h.Free() != 12 {
+		t.Fatalf("Free = %d, want 12", h.Free())
+	}
+	h.Inc(0)
+	if h.Free() != 11 {
+		t.Fatalf("Free after Inc = %d", h.Free())
+	}
+}

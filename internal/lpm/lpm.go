@@ -1,0 +1,197 @@
+// Package lpm implements Bloom-filter-assisted longest prefix matching in
+// the style of Dharmapurikar, Krishnamurthy and Taylor (SIGCOMM 2003) —
+// the IP-route-lookup application the paper's introduction motivates.
+//
+// One counting filter per prefix length guards an exact hash table: a
+// lookup probes the filters from longest prefix to shortest and consults
+// the (slow, off-chip in hardware) exact table only on filter hits. A
+// filter false positive costs one wasted exact probe, never a wrong
+// route. Using MPCBF as the per-length filter keeps each probe at one
+// memory access and — because MPCBF counts — lets routes be withdrawn
+// without rebuilding, which the original static-Bloom design cannot do.
+package lpm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MaxBits is the IPv4 address width.
+const MaxBits = 32
+
+// ErrNoRoute is returned by Lookup when no prefix covers the address.
+var ErrNoRoute = errors.New("lpm: no matching route")
+
+// ErrNotFound is returned by Remove for an absent route.
+var ErrNotFound = errors.New("lpm: route not found")
+
+// Table is a dynamic longest-prefix-match table.
+type Table struct {
+	// filters[l] guards the prefixes of length l (1-based; length 0 is
+	// the default route, held directly).
+	filters [MaxBits + 1]*core.Filter
+	exact   [MaxBits + 1]map[uint32]uint32 // masked prefix -> next hop
+	hasDef  bool
+	defHop  uint32
+	routes  int
+
+	// Probe accounting for the experiment narrative.
+	FilterProbes int64 // filter membership tests
+	ExactProbes  int64 // exact-table consultations (filter hits)
+}
+
+// Config sizes the table.
+type Config struct {
+	// ExpectedRoutes sizes the per-length filters (split evenly).
+	ExpectedRoutes int
+	// FilterBitsPerRoute is the memory budget per route per filter level
+	// (default 16).
+	FilterBitsPerRoute int
+	Seed               uint32
+}
+
+// New returns an empty table sized for cfg.ExpectedRoutes.
+func New(cfg Config) (*Table, error) {
+	if cfg.ExpectedRoutes <= 0 {
+		return nil, fmt.Errorf("lpm: ExpectedRoutes must be positive (%d)", cfg.ExpectedRoutes)
+	}
+	bits := cfg.FilterBitsPerRoute
+	if bits == 0 {
+		bits = 16
+	}
+	perLevel := cfg.ExpectedRoutes/8 + 64 // real tables concentrate on few lengths
+	memBits := perLevel * bits
+	if memBits < 256 {
+		memBits = 256
+	}
+	t := &Table{}
+	for l := 1; l <= MaxBits; l++ {
+		f, err := core.New(core.Config{
+			MemoryBits: memBits,
+			ExpectedN:  perLevel,
+			K:          3,
+			Seed:       cfg.Seed + uint32(l),
+			Overflow:   core.OverflowSaturate,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lpm: level %d: %w", l, err)
+		}
+		t.filters[l] = f
+		t.exact[l] = make(map[uint32]uint32)
+	}
+	return t, nil
+}
+
+// mask returns addr masked to length bits.
+func mask(addr uint32, length int) uint32 {
+	if length <= 0 {
+		return 0
+	}
+	return addr &^ (1<<(MaxBits-uint(length)) - 1)
+}
+
+func key(prefix uint32, length int) []byte {
+	return []byte{
+		byte(prefix >> 24), byte(prefix >> 16), byte(prefix >> 8), byte(prefix),
+		byte(length),
+	}
+}
+
+// Len returns the number of installed routes.
+func (t *Table) Len() int { return t.routes }
+
+// Insert installs (or updates) a route. length 0 sets the default route.
+func (t *Table) Insert(prefix uint32, length int, nextHop uint32) error {
+	if length < 0 || length > MaxBits {
+		return fmt.Errorf("lpm: prefix length %d out of range", length)
+	}
+	if length == 0 {
+		if !t.hasDef {
+			t.routes++
+		}
+		t.hasDef, t.defHop = true, nextHop
+		return nil
+	}
+	p := mask(prefix, length)
+	if _, exists := t.exact[length][p]; !exists {
+		if err := t.filters[length].Insert(key(p, length)); err != nil {
+			return err
+		}
+		t.routes++
+	}
+	t.exact[length][p] = nextHop
+	return nil
+}
+
+// Remove withdraws a route — the operation that requires *counting*
+// filters: the per-length filter forgets the prefix so later lookups stop
+// probing the exact table for it.
+func (t *Table) Remove(prefix uint32, length int) error {
+	if length < 0 || length > MaxBits {
+		return fmt.Errorf("lpm: prefix length %d out of range", length)
+	}
+	if length == 0 {
+		if !t.hasDef {
+			return ErrNotFound
+		}
+		t.hasDef = false
+		t.routes--
+		return nil
+	}
+	p := mask(prefix, length)
+	if _, exists := t.exact[length][p]; !exists {
+		return ErrNotFound
+	}
+	delete(t.exact[length], p)
+	t.routes--
+	return t.filters[length].Delete(key(p, length))
+}
+
+// Lookup returns the next hop of the longest prefix covering addr.
+func (t *Table) Lookup(addr uint32) (nextHop uint32, length int, err error) {
+	for l := MaxBits; l >= 1; l-- {
+		if len(t.exact[l]) == 0 {
+			continue // empty level: a real router skips unused lengths
+		}
+		p := mask(addr, l)
+		t.FilterProbes++
+		if !t.filters[l].Contains(key(p, l)) {
+			continue
+		}
+		t.ExactProbes++
+		if hop, ok := t.exact[l][p]; ok {
+			return hop, l, nil
+		}
+		// Filter false positive: wasted exact probe, keep scanning.
+	}
+	if t.hasDef {
+		return t.defHop, 0, nil
+	}
+	return 0, 0, ErrNoRoute
+}
+
+// LookupExactOnly is the unfiltered baseline: consult the exact table at
+// every non-empty length. Used to quantify the probe savings.
+func (t *Table) LookupExactOnly(addr uint32) (nextHop uint32, length int, err error) {
+	for l := MaxBits; l >= 1; l-- {
+		if len(t.exact[l]) == 0 {
+			continue
+		}
+		t.ExactProbes++
+		if hop, ok := t.exact[l][mask(addr, l)]; ok {
+			return hop, l, nil
+		}
+	}
+	if t.hasDef {
+		return t.defHop, 0, nil
+	}
+	return 0, 0, ErrNoRoute
+}
+
+// ResetStats zeroes the probe counters.
+func (t *Table) ResetStats() {
+	t.FilterProbes = 0
+	t.ExactProbes = 0
+}

@@ -1,0 +1,204 @@
+package lpm
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func mustTable(t *testing.T, routes int) *Table {
+	t.Helper()
+	tbl, err := New(Config{ExpectedRoutes: routes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func ip(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero ExpectedRoutes accepted")
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		addr   uint32
+		length int
+		want   uint32
+	}{
+		{ip(10, 1, 2, 3), 8, ip(10, 0, 0, 0)},
+		{ip(10, 1, 2, 3), 16, ip(10, 1, 0, 0)},
+		{ip(10, 1, 2, 3), 24, ip(10, 1, 2, 0)},
+		{ip(10, 1, 2, 3), 32, ip(10, 1, 2, 3)},
+		{ip(10, 1, 2, 3), 0, 0},
+		{ip(255, 255, 255, 255), 1, ip(128, 0, 0, 0)},
+	}
+	for _, c := range cases {
+		if got := mask(c.addr, c.length); got != c.want {
+			t.Errorf("mask(%#x, %d) = %#x, want %#x", c.addr, c.length, got, c.want)
+		}
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	tbl := mustTable(t, 100)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 1, 0, 0), 16, 2)
+	tbl.Insert(ip(10, 1, 2, 0), 24, 3)
+	tbl.Insert(0, 0, 99) // default route
+
+	cases := []struct {
+		addr    uint32
+		wantHop uint32
+		wantLen int
+	}{
+		{ip(10, 1, 2, 200), 3, 24},
+		{ip(10, 1, 9, 1), 2, 16},
+		{ip(10, 200, 0, 1), 1, 8},
+		{ip(192, 168, 0, 1), 99, 0},
+	}
+	for _, c := range cases {
+		hop, l, err := tbl.Lookup(c.addr)
+		if err != nil || hop != c.wantHop || l != c.wantLen {
+			t.Errorf("Lookup(%#x) = (%d, %d, %v), want (%d, %d)", c.addr, hop, l, err, c.wantHop, c.wantLen)
+		}
+		// The unfiltered baseline must agree.
+		hop2, l2, err2 := tbl.LookupExactOnly(c.addr)
+		if err2 != nil || hop2 != hop || l2 != l {
+			t.Errorf("baseline disagrees for %#x", c.addr)
+		}
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	tbl := mustTable(t, 10)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	if _, _, err := tbl.Lookup(ip(192, 168, 1, 1)); err != ErrNoRoute {
+		t.Fatalf("expected ErrNoRoute, got %v", err)
+	}
+}
+
+func TestRouteWithdrawal(t *testing.T) {
+	tbl := mustTable(t, 100)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 1, 0, 0), 16, 2)
+	if hop, _, _ := tbl.Lookup(ip(10, 1, 5, 5)); hop != 2 {
+		t.Fatalf("pre-withdrawal hop = %d", hop)
+	}
+	if err := tbl.Remove(ip(10, 1, 0, 0), 16); err != nil {
+		t.Fatal(err)
+	}
+	hop, l, err := tbl.Lookup(ip(10, 1, 5, 5))
+	if err != nil || hop != 1 || l != 8 {
+		t.Fatalf("post-withdrawal: (%d, %d, %v), want (1, 8)", hop, l, err)
+	}
+	if err := tbl.Remove(ip(10, 1, 0, 0), 16); err != ErrNotFound {
+		t.Fatalf("double remove: %v", err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestDefaultRouteLifecycle(t *testing.T) {
+	tbl := mustTable(t, 10)
+	if err := tbl.Remove(0, 0); err != ErrNotFound {
+		t.Fatal("removing absent default should fail")
+	}
+	tbl.Insert(0, 0, 7)
+	if hop, l, err := tbl.Lookup(ip(1, 2, 3, 4)); err != nil || hop != 7 || l != 0 {
+		t.Fatalf("default lookup: %d %d %v", hop, l, err)
+	}
+	tbl.Insert(0, 0, 8) // update, not duplicate
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	tbl.Remove(0, 0)
+	if _, _, err := tbl.Lookup(ip(1, 2, 3, 4)); err != ErrNoRoute {
+		t.Fatal("default survived removal")
+	}
+}
+
+func TestUpdateDoesNotDuplicate(t *testing.T) {
+	tbl := mustTable(t, 10)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 2) // next-hop change
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after update", tbl.Len())
+	}
+	if hop, _, _ := tbl.Lookup(ip(10, 9, 9, 9)); hop != 2 {
+		t.Fatalf("hop = %d after update", hop)
+	}
+}
+
+func TestBadLength(t *testing.T) {
+	tbl := mustTable(t, 10)
+	if err := tbl.Insert(0, 33, 1); err == nil {
+		t.Fatal("length 33 accepted")
+	}
+	if err := tbl.Remove(0, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestFilterSavesExactProbes(t *testing.T) {
+	// A realistic mix of prefix lengths; random traffic mostly misses,
+	// and the filters should eliminate the vast majority of exact-table
+	// consultations compared to the unfiltered baseline.
+	tbl := mustTable(t, 4000)
+	rng := hashing.NewRNG(5)
+	lengths := []int{8, 16, 20, 24, 28, 32}
+	for i := 0; i < 4000; i++ {
+		l := lengths[rng.Intn(len(lengths))]
+		tbl.Insert(uint32(rng.Uint64()), l, uint32(i))
+	}
+	tbl.Insert(0, 0, 999)
+
+	const lookups = 20000
+	addrs := make([]uint32, lookups)
+	for i := range addrs {
+		addrs[i] = uint32(rng.Uint64())
+	}
+
+	tbl.ResetStats()
+	for _, a := range addrs {
+		if _, _, err := tbl.Lookup(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filteredExact := tbl.ExactProbes
+
+	tbl.ResetStats()
+	for _, a := range addrs {
+		if _, _, err := tbl.LookupExactOnly(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baselineExact := tbl.ExactProbes
+
+	if filteredExact*4 >= baselineExact {
+		t.Fatalf("filters saved too little: %d exact probes vs baseline %d",
+			filteredExact, baselineExact)
+	}
+}
+
+func TestFilteredAndExactAlwaysAgree(t *testing.T) {
+	tbl := mustTable(t, 1000)
+	rng := hashing.NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		tbl.Insert(uint32(rng.Uint64()), 8+rng.Intn(25), uint32(i))
+	}
+	for i := 0; i < 5000; i++ {
+		addr := uint32(rng.Uint64())
+		h1, l1, e1 := tbl.Lookup(addr)
+		h2, l2, e2 := tbl.LookupExactOnly(addr)
+		if h1 != h2 || l1 != l2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("divergence at %#x: (%d,%d,%v) vs (%d,%d,%v)", addr, h1, l1, e1, h2, l2, e2)
+		}
+	}
+}

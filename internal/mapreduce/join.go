@@ -1,0 +1,131 @@
+package mapreduce
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// MembershipFilter is the map-side filter contract of the reduce-side join
+// (the paper broadcasts a CBF or MPCBF via DistributedCache). A nil filter
+// reproduces the unfiltered baseline join.
+type MembershipFilter interface {
+	Contains(key []byte) bool
+}
+
+// Join tags, mirroring Fig. 13: the left (small) table and the right
+// (large) table of the join.
+const (
+	tagLeft  = "L"
+	tagRight = "R"
+)
+
+// JoinStats summarizes a reduce-side join run with the quantities Table IV
+// compares across filters.
+type JoinStats struct {
+	// MapOutputRecords is how many records survived the map phase (the
+	// filter's effect shows up here).
+	MapOutputRecords int64
+	// JoinedRows is the number of output rows (must be filter-invariant).
+	JoinedRows int
+	// RightDropped counts right-table records the filter eliminated.
+	RightDropped int64
+	// FilterFalsePositives counts right-table records the filter passed
+	// whose key has no left-table match (shuffled for nothing).
+	FilterFalsePositives int64
+	// Elapsed is the total job wall time.
+	Elapsed time.Duration
+	// ShuffleBytes approximates cross-node traffic.
+	ShuffleBytes int64
+	Counters     map[string]int64
+}
+
+// ReduceSideJoin joins left and right on their keys using the engine,
+// optionally filtering right-table records in the map phase with a
+// membership filter built over the left table's keys. The emitted rows are
+// "leftValue|rightValue" under the join key.
+//
+// Keys must not contain the '\x00' tag separator.
+func ReduceSideJoin(left, right []KV, filter MembershipFilter, mapTasks, reduceTasks int) (*Result, JoinStats, error) {
+	if strings.ContainsAny(tagLeft+tagRight, "\x00") {
+		return nil, JoinStats{}, errors.New("mapreduce: invalid tags")
+	}
+	// Build the tagged input: the engine sees one record stream, as a
+	// Hadoop job would after input-format union.
+	input := make([]KV, 0, len(left)+len(right))
+	for _, kv := range left {
+		input = append(input, KV{kv.Key, tagLeft + "\x00" + kv.Value})
+	}
+	for _, kv := range right {
+		input = append(input, KV{kv.Key, tagRight + "\x00" + kv.Value})
+	}
+
+	mapper := MapperFunc(func(key, value string, emit Emitter) {
+		if filter != nil && strings.HasPrefix(value, tagRight) {
+			if !filter.Contains([]byte(key)) {
+				return // filtered out before the shuffle
+			}
+		}
+		emit(key, value)
+	})
+
+	reducer := ReducerFunc(func(key string, values []string, emit Emitter) {
+		var lefts, rights []string
+		for _, v := range values {
+			sep := strings.IndexByte(v, 0)
+			if sep < 0 {
+				continue
+			}
+			switch v[:sep] {
+			case tagLeft:
+				lefts = append(lefts, v[sep+1:])
+			case tagRight:
+				rights = append(rights, v[sep+1:])
+			}
+		}
+		for _, l := range lefts {
+			for _, r := range rights {
+				emit(key, l+"|"+r)
+			}
+		}
+	})
+
+	start := time.Now()
+	res, err := Run(Job{
+		Name:        "reduce-side-join",
+		Input:       input,
+		Mapper:      mapper,
+		Reducer:     reducer,
+		MapTasks:    mapTasks,
+		ReduceTasks: reduceTasks,
+	})
+	if err != nil {
+		return nil, JoinStats{}, err
+	}
+	elapsed := time.Since(start)
+
+	// Post-hoc filter audit: which right keys actually had a match.
+	leftKeys := make(map[string]bool, len(left))
+	for _, kv := range left {
+		leftKeys[kv.Key] = true
+	}
+	var dropped, falsePos int64
+	for _, kv := range right {
+		passed := filter == nil || filter.Contains([]byte(kv.Key))
+		if !passed {
+			dropped++
+		} else if !leftKeys[kv.Key] {
+			falsePos++
+		}
+	}
+
+	return res, JoinStats{
+		MapOutputRecords:     res.Counters[CounterMapOutputRecords],
+		JoinedRows:           len(res.Output),
+		RightDropped:         dropped,
+		FilterFalsePositives: falsePos,
+		Elapsed:              elapsed,
+		ShuffleBytes:         res.ShuffleBytes,
+		Counters:             res.Counters,
+	}, nil
+}

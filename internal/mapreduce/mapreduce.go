@@ -1,0 +1,293 @@
+// Package mapreduce is an in-process MapReduce engine substituting for the
+// Hadoop cluster of the paper's Section V. It reproduces the pieces the
+// reduce-side-join experiment depends on: parallel map tasks, a hash
+// partitioner, a sort-based shuffle, parallel reduce tasks, job counters
+// (map output records are the quantity Table IV reports), and a
+// DistributedCache analog for broadcasting the map-side filter.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KV is a key-value record.
+type KV struct {
+	Key, Value string
+}
+
+// Emitter receives records from map and reduce functions.
+type Emitter func(key, value string)
+
+// Mapper transforms one input record into zero or more intermediate
+// records. Map must be safe for concurrent use: the engine invokes it from
+// several map tasks at once (stateless mappers, or mappers that only read
+// shared state such as a broadcast filter, satisfy this naturally).
+type Mapper interface {
+	Map(key, value string, emit Emitter)
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key, value string, emit Emitter)
+
+// Map calls f.
+func (f MapperFunc) Map(key, value string, emit Emitter) { f(key, value, emit) }
+
+// Reducer folds all intermediate values of one key into zero or more
+// output records. Reduce must be safe for concurrent use across keys.
+type Reducer interface {
+	Reduce(key string, values []string, emit Emitter)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values []string, emit Emitter)
+
+// Reduce calls f.
+func (f ReducerFunc) Reduce(key string, values []string, emit Emitter) { f(key, values, emit) }
+
+// Standard counter names maintained by the engine.
+const (
+	CounterMapInputRecords    = "map_input_records"
+	CounterMapOutputRecords   = "map_output_records"
+	CounterMapOutputBytes     = "map_output_bytes"
+	CounterCombineOutput      = "combine_output_records"
+	CounterReduceInputGroups  = "reduce_input_groups"
+	CounterReduceInputRecords = "reduce_input_records"
+	CounterReduceOutput       = "reduce_output_records"
+)
+
+// Job describes one MapReduce execution.
+type Job struct {
+	Name    string
+	Input   []KV
+	Mapper  Mapper
+	Reducer Reducer
+	// Combiner, if set, is run over each map task's local output per key
+	// before the shuffle (Hadoop's combiner optimization).
+	Combiner Reducer
+	// MapTasks and ReduceTasks default to 4 and 2.
+	MapTasks, ReduceTasks int
+	// Cache is the DistributedCache analog: read-only objects (such as a
+	// broadcast Bloom filter) visible to every task.
+	Cache map[string]any
+}
+
+// Result carries the job output and its execution profile.
+type Result struct {
+	// Output holds all reducer emissions, sorted by key then value for
+	// determinism.
+	Output   []KV
+	Counters map[string]int64
+	// Phase durations; ShuffleBytes approximates the traffic a real
+	// cluster would move between map and reduce nodes.
+	MapDuration, ShuffleDuration, ReduceDuration time.Duration
+	ShuffleBytes                                 int64
+}
+
+// Run executes the job.
+func Run(job Job) (*Result, error) {
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, errors.New("mapreduce: job needs a Mapper and a Reducer")
+	}
+	mapTasks := job.MapTasks
+	if mapTasks <= 0 {
+		mapTasks = 4
+	}
+	reduceTasks := job.ReduceTasks
+	if reduceTasks <= 0 {
+		reduceTasks = 2
+	}
+
+	counters := newCounterSet()
+
+	// --- Map phase: split input into even chunks, one map task each.
+	mapStart := time.Now()
+	// buckets[task][reducer] collects the task's partitioned output.
+	buckets := make([][][]KV, mapTasks)
+	var wg sync.WaitGroup
+	for task := 0; task < mapTasks; task++ {
+		lo := task * len(job.Input) / mapTasks
+		hi := (task + 1) * len(job.Input) / mapTasks
+		buckets[task] = make([][]KV, reduceTasks)
+		wg.Add(1)
+		go func(task, lo, hi int) {
+			defer wg.Done()
+			var outRecords, outBytes int64
+			local := buckets[task]
+			emit := func(k, v string) {
+				p := partition(k, reduceTasks)
+				local[p] = append(local[p], KV{k, v})
+				outRecords++
+				outBytes += int64(len(k) + len(v))
+			}
+			for _, rec := range job.Input[lo:hi] {
+				job.Mapper.Map(rec.Key, rec.Value, emit)
+			}
+			if job.Combiner != nil {
+				var combined int64
+				for p := range local {
+					local[p] = combine(job.Combiner, local[p])
+					combined += int64(len(local[p]))
+				}
+				counters.add(CounterCombineOutput, combined)
+			}
+			counters.add(CounterMapInputRecords, int64(hi-lo))
+			counters.add(CounterMapOutputRecords, outRecords)
+			counters.add(CounterMapOutputBytes, outBytes)
+		}(task, lo, hi)
+	}
+	wg.Wait()
+	mapDur := time.Since(mapStart)
+
+	// --- Shuffle phase: merge per-task buckets per reducer and sort.
+	shuffleStart := time.Now()
+	perReducer := make([][]KV, reduceTasks)
+	var shuffleBytes int64
+	for p := 0; p < reduceTasks; p++ {
+		var merged []KV
+		for task := 0; task < mapTasks; task++ {
+			merged = append(merged, buckets[task][p]...)
+		}
+		for _, kv := range merged {
+			shuffleBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+		perReducer[p] = merged
+	}
+	shuffleDur := time.Since(shuffleStart)
+
+	// --- Reduce phase: group by key within each partition, in parallel.
+	reduceStart := time.Now()
+	outputs := make([][]KV, reduceTasks)
+	for p := 0; p < reduceTasks; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var groups, inRecords, outRecords int64
+			emit := func(k, v string) {
+				outputs[p] = append(outputs[p], KV{k, v})
+				outRecords++
+			}
+			data := perReducer[p]
+			for i := 0; i < len(data); {
+				j := i
+				for j < len(data) && data[j].Key == data[i].Key {
+					j++
+				}
+				values := make([]string, 0, j-i)
+				for _, kv := range data[i:j] {
+					values = append(values, kv.Value)
+				}
+				job.Reducer.Reduce(data[i].Key, values, emit)
+				groups++
+				inRecords += int64(j - i)
+				i = j
+			}
+			counters.add(CounterReduceInputGroups, groups)
+			counters.add(CounterReduceInputRecords, inRecords)
+			counters.add(CounterReduceOutput, outRecords)
+		}(p)
+	}
+	wg.Wait()
+	reduceDur := time.Since(reduceStart)
+
+	var out []KV
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+
+	return &Result{
+		Output:          out,
+		Counters:        counters.snapshot(),
+		MapDuration:     mapDur,
+		ShuffleDuration: shuffleDur,
+		ReduceDuration:  reduceDur,
+		ShuffleBytes:    shuffleBytes,
+	}, nil
+}
+
+// combine groups a map task's local records by key and runs the combiner
+// on each group.
+func combine(c Reducer, records []KV) []KV {
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Key < records[j].Key })
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{k, v}) }
+	for i := 0; i < len(records); {
+		j := i
+		for j < len(records) && records[j].Key == records[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range records[i:j] {
+			values = append(values, kv.Value)
+		}
+		c.Reduce(records[i].Key, values, emit)
+		i = j
+	}
+	return out
+}
+
+// partition is the engine's hash partitioner (FNV-1a over the key).
+func partition(key string, reducers int) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(reducers))
+}
+
+// counterSet is a concurrency-safe named-counter map.
+type counterSet struct {
+	mu sync.Mutex
+	m  map[string]*int64
+}
+
+func newCounterSet() *counterSet {
+	return &counterSet{m: make(map[string]*int64)}
+}
+
+func (c *counterSet) add(name string, delta int64) {
+	c.mu.Lock()
+	p, ok := c.m[name]
+	if !ok {
+		p = new(int64)
+		c.m[name] = p
+	}
+	c.mu.Unlock()
+	atomic.AddInt64(p, delta)
+}
+
+func (c *counterSet) snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, p := range c.m {
+		out[k] = atomic.LoadInt64(p)
+	}
+	return out
+}
+
+// FormatCounters renders counters deterministically for logs and tests.
+func FormatCounters(m map[string]int64) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s=%d ", n, m[n])
+	}
+	return s
+}

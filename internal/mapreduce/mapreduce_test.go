@@ -1,0 +1,260 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func wordCountJob(text []string, mapTasks, reduceTasks int, combiner bool) Job {
+	input := make([]KV, len(text))
+	for i, line := range text {
+		input[i] = KV{Key: fmt.Sprintf("line-%d", i), Value: line}
+	}
+	sum := ReducerFunc(func(key string, values []string, emit Emitter) {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+	})
+	job := Job{
+		Name:  "wordcount",
+		Input: input,
+		Mapper: MapperFunc(func(_, value string, emit Emitter) {
+			for _, w := range strings.Fields(value) {
+				emit(w, "1")
+			}
+		}),
+		Reducer:     sum,
+		MapTasks:    mapTasks,
+		ReduceTasks: reduceTasks,
+	}
+	if combiner {
+		job.Combiner = sum
+	}
+	return job
+}
+
+func TestWordCount(t *testing.T) {
+	text := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog jumps",
+	}
+	res, err := Run(wordCountJob(text, 2, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"the": "3", "quick": "2", "dog": "2", "brown": "1",
+		"fox": "1", "lazy": "1", "jumps": "1",
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output size %d, want %d: %v", len(res.Output), len(want), res.Output)
+	}
+	for _, kv := range res.Output {
+		if want[kv.Key] != kv.Value {
+			t.Errorf("%s = %s, want %s", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+	if res.Counters[CounterMapInputRecords] != 3 {
+		t.Errorf("map input = %d", res.Counters[CounterMapInputRecords])
+	}
+	if res.Counters[CounterMapOutputRecords] != 11 {
+		t.Errorf("map output = %d", res.Counters[CounterMapOutputRecords])
+	}
+	if res.Counters[CounterReduceInputGroups] != 7 {
+		t.Errorf("groups = %d", res.Counters[CounterReduceInputGroups])
+	}
+}
+
+func TestWordCountManyTaskShapes(t *testing.T) {
+	text := []string{"a b", "b c c", "d", "", "a a a"}
+	var ref []KV
+	for _, shape := range [][2]int{{1, 1}, {3, 1}, {1, 4}, {8, 3}, {16, 8}} {
+		res, err := Run(wordCountJob(text, shape[0], shape[1], false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Output
+			continue
+		}
+		if fmt.Sprint(res.Output) != fmt.Sprint(ref) {
+			t.Fatalf("task shape %v changed the result: %v vs %v", shape, res.Output, ref)
+		}
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	text := make([]string, 50)
+	for i := range text {
+		text[i] = "x x x y"
+	}
+	plain, err := Run(wordCountJob(text, 4, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Run(wordCountJob(text, 4, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(plain.Output) != fmt.Sprint(combined.Output) {
+		t.Fatal("combiner changed the result")
+	}
+	if combined.ShuffleBytes >= plain.ShuffleBytes {
+		t.Fatalf("combiner did not reduce shuffle: %d vs %d",
+			combined.ShuffleBytes, plain.ShuffleBytes)
+	}
+	if combined.Counters[CounterCombineOutput] == 0 {
+		t.Fatal("combine counter missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Job{}); err == nil {
+		t.Fatal("job without mapper/reducer accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(wordCountJob(nil, 4, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Fatalf("empty input produced output: %v", res.Output)
+	}
+}
+
+func TestPartitionStable(t *testing.T) {
+	for _, key := range []string{"", "a", "abc", "patent-123"} {
+		p := partition(key, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition(%q) = %d", key, p)
+		}
+		if partition(key, 7) != p {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}
+
+func TestFormatCounters(t *testing.T) {
+	s := FormatCounters(map[string]int64{"b": 2, "a": 1})
+	if s != "a=1 b=2 " {
+		t.Fatalf("FormatCounters = %q", s)
+	}
+}
+
+// --- reduce-side join ---
+
+type setFilter map[string]bool
+
+func (s setFilter) Contains(key []byte) bool { return s[string(key)] }
+
+func joinTables() (left, right []KV) {
+	left = []KV{
+		{"p1", "patent-one"},
+		{"p2", "patent-two"},
+		{"p3", "patent-three"},
+	}
+	right = []KV{
+		{"p1", "cite-a"},
+		{"p1", "cite-b"},
+		{"p3", "cite-c"},
+		{"q9", "cite-d"}, // no match
+		{"q8", "cite-e"}, // no match
+	}
+	return left, right
+}
+
+func TestReduceSideJoinNoFilter(t *testing.T) {
+	left, right := joinTables()
+	res, stats, err := ReduceSideJoin(left, right, nil, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{
+		{"p1", "patent-one|cite-a"},
+		{"p1", "patent-one|cite-b"},
+		{"p3", "patent-three|cite-c"},
+	}
+	if fmt.Sprint(res.Output) != fmt.Sprint(want) {
+		t.Fatalf("join output %v, want %v", res.Output, want)
+	}
+	if stats.JoinedRows != 3 {
+		t.Fatalf("JoinedRows = %d", stats.JoinedRows)
+	}
+	// Without a filter every record is shuffled.
+	if stats.MapOutputRecords != int64(len(left)+len(right)) {
+		t.Fatalf("map outputs = %d", stats.MapOutputRecords)
+	}
+	if stats.RightDropped != 0 || stats.FilterFalsePositives != 2 {
+		t.Fatalf("audit: dropped=%d falsePos=%d", stats.RightDropped, stats.FilterFalsePositives)
+	}
+}
+
+func TestReduceSideJoinExactFilter(t *testing.T) {
+	left, right := joinTables()
+	filter := setFilter{"p1": true, "p2": true, "p3": true}
+	res, stats, err := ReduceSideJoin(left, right, filter, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JoinedRows != 3 {
+		t.Fatalf("JoinedRows = %d (filter must not change the join)", stats.JoinedRows)
+	}
+	// The two unmatched citations are dropped in the map phase.
+	if stats.MapOutputRecords != int64(len(left)+3) {
+		t.Fatalf("map outputs = %d, want %d", stats.MapOutputRecords, len(left)+3)
+	}
+	if stats.RightDropped != 2 || stats.FilterFalsePositives != 0 {
+		t.Fatalf("audit: dropped=%d falsePos=%d", stats.RightDropped, stats.FilterFalsePositives)
+	}
+	if len(res.Output) != 3 {
+		t.Fatalf("output rows = %d", len(res.Output))
+	}
+}
+
+func TestReduceSideJoinFalsePositiveFilter(t *testing.T) {
+	// A filter with a false positive shuffles the useless record but the
+	// join result is unchanged — exactly why fpr only costs I/O.
+	left, right := joinTables()
+	filter := setFilter{"p1": true, "p2": true, "p3": true, "q9": true}
+	res, stats, err := ReduceSideJoin(left, right, filter, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JoinedRows != 3 || len(res.Output) != 3 {
+		t.Fatalf("join changed by fp filter: %d rows", stats.JoinedRows)
+	}
+	if stats.FilterFalsePositives != 1 || stats.RightDropped != 1 {
+		t.Fatalf("audit: dropped=%d falsePos=%d", stats.RightDropped, stats.FilterFalsePositives)
+	}
+}
+
+func TestJoinFilterInvariance(t *testing.T) {
+	// Property: for any filter that passes all true join keys, the join
+	// output is identical to the unfiltered join.
+	left, right := joinTables()
+	base, _, err := ReduceSideJoin(left, right, nil, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []setFilter{
+		{"p1": true, "p2": true, "p3": true},
+		{"p1": true, "p2": true, "p3": true, "q8": true, "q9": true},
+	}
+	for i, f := range filters {
+		res, _, err := ReduceSideJoin(left, right, f, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Output) != fmt.Sprint(base.Output) {
+			t.Fatalf("filter %d changed join output", i)
+		}
+	}
+}

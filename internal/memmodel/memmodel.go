@@ -1,0 +1,77 @@
+// Package memmodel projects filter operation costs onto a hardware memory
+// model — the setting the paper actually targets (FPGA/ASIC packet
+// processors with on-chip SRAM). Section IV.B observes that software wall
+// time is dominated by hash computation and promises that with hardware
+// hash units the ordering would follow memory accesses; this package makes
+// that projection quantitative so the experiment harness can report it.
+//
+// The model charges each operation
+//
+//	latency = MemAccesses * AccessLatency + HashUnits * HashLatency
+//
+// where hash computations overlap memory accesses in a pipelined design
+// (the default takes the max instead of the sum), and throughput assumes
+// one outstanding operation per pipeline stage.
+package memmodel
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Technology describes one memory/hash technology point.
+type Technology struct {
+	Name string
+	// AccessNs is the latency of one random access to the membership
+	// memory, in nanoseconds.
+	AccessNs float64
+	// HashNs is the latency of one hash-function evaluation.
+	HashNs float64
+	// Pipelined indicates hash units overlap memory accesses (hardware);
+	// otherwise costs add up (software).
+	Pipelined bool
+}
+
+// Reference technology points used by the harness. The absolute values
+// are representative (DDR ~70ns, on-chip SRAM ~1ns, a pipelined hardware
+// hash ~1ns, a software Murmur over short keys ~15ns); only the ratios
+// drive the conclusions.
+var (
+	SoftwareDRAM  = Technology{Name: "software/DRAM", AccessNs: 70, HashNs: 15}
+	SoftwareCache = Technology{Name: "software/cache", AccessNs: 4, HashNs: 15}
+	HardwareSRAM  = Technology{Name: "hardware/SRAM", AccessNs: 1, HashNs: 1, Pipelined: true}
+)
+
+// OpLatencyNs returns the modeled latency of one operation with the given
+// access statistics and hash-function evaluations. A pipelined (hardware)
+// technology evaluates its hash functions in parallel units overlapping
+// the memory accesses, so it pays max(accesses*AccessNs, HashNs); software
+// evaluates them serially and pays the sum.
+func (t Technology) OpLatencyNs(st metrics.OpStats, hashEvals int) float64 {
+	mem := float64(st.MemAccesses) * t.AccessNs
+	if t.Pipelined {
+		hash := 0.0
+		if hashEvals > 0 {
+			hash = t.HashNs
+		}
+		if mem > hash {
+			return mem
+		}
+		return hash
+	}
+	return mem + float64(hashEvals)*t.HashNs
+}
+
+// ThroughputMops returns the modeled throughput in million operations per
+// second for a mean per-op latency.
+func ThroughputMops(latencyNs float64) float64 {
+	if latencyNs <= 0 {
+		return 0
+	}
+	return 1e3 / latencyNs
+}
+
+func (t Technology) String() string {
+	return fmt.Sprintf("%s (access %.1fns, hash %.1fns)", t.Name, t.AccessNs, t.HashNs)
+}

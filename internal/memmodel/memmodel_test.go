@@ -1,0 +1,56 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSequentialAddsPipelinedMaxes(t *testing.T) {
+	st := metrics.OpStats{MemAccesses: 3}
+	soft := Technology{AccessNs: 10, HashNs: 5}
+	hard := Technology{AccessNs: 10, HashNs: 5, Pipelined: true}
+	if got := soft.OpLatencyNs(st, 4); got != 3*10+4*5 {
+		t.Fatalf("sequential latency = %v", got)
+	}
+	if got := hard.OpLatencyNs(st, 4); got != 30 {
+		t.Fatalf("pipelined latency = %v, want max(30,5)", got)
+	}
+	if got := hard.OpLatencyNs(metrics.OpStats{}, 4); got != 5 {
+		t.Fatalf("pipelined hash-bound latency = %v, want 5 (parallel units)", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := ThroughputMops(10); got != 100 {
+		t.Fatalf("10ns -> %v Mops, want 100", got)
+	}
+	if ThroughputMops(0) != 0 {
+		t.Fatal("zero latency should yield zero throughput sentinel")
+	}
+}
+
+func TestHardwareInvertsOrdering(t *testing.T) {
+	// The paper's Fig. 8 story: in software (hash-dominated), a CBF with 3
+	// hashes can beat an MPCBF-2 with 4; in hardware (access-dominated,
+	// pipelined), MPCBF-2's 2 accesses beat CBF's 3.
+	cbfQ := metrics.OpStats{MemAccesses: 3}
+	mp2Q := metrics.OpStats{MemAccesses: 2}
+	soft := SoftwareCache
+	hard := HardwareSRAM
+	if soft.OpLatencyNs(cbfQ, 3) >= soft.OpLatencyNs(mp2Q, 4) {
+		t.Fatalf("software model should favor fewer hashes: %v vs %v",
+			soft.OpLatencyNs(cbfQ, 3), soft.OpLatencyNs(mp2Q, 4))
+	}
+	if hard.OpLatencyNs(cbfQ, 3) <= hard.OpLatencyNs(mp2Q, 4) {
+		t.Fatalf("hardware model should favor fewer accesses: %v vs %v",
+			hard.OpLatencyNs(cbfQ, 3), hard.OpLatencyNs(mp2Q, 4))
+	}
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(HardwareSRAM.String(), "SRAM") {
+		t.Fatal("String missing name")
+	}
+}

@@ -1,0 +1,91 @@
+// Package metrics defines the performance-accounting model the paper uses
+// to compare filter variants: per-operation memory accesses and access
+// bandwidth in hash bits, plus aggregation helpers for the experiment
+// harness. Filters report OpStats from their instrumented entry points;
+// the harness averages them into the numbers shown in Tables I-III.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpStats records the cost of one filter operation under the paper's
+// memory model.
+type OpStats struct {
+	// MemAccesses is the number of distinct memory words (or, for the
+	// unpartitioned CBF, distinct counters) fetched by the operation.
+	MemAccesses int
+	// HashBits is the access bandwidth: how many hash bits were consumed
+	// to address the touched locations (log2 of each addressed range,
+	// summed), the quantity the paper reports as "access bandwidth".
+	HashBits int
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o OpStats) {
+	s.MemAccesses += o.MemAccesses
+	s.HashBits += o.HashBits
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1; addressing a range of n
+// locations consumes this many hash bits.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Aggregate averages a stream of OpStats.
+type Aggregate struct {
+	Ops         int
+	MemAccesses int64
+	HashBits    int64
+}
+
+// Observe folds one operation's stats into the aggregate.
+func (a *Aggregate) Observe(s OpStats) {
+	a.Ops++
+	a.MemAccesses += int64(s.MemAccesses)
+	a.HashBits += int64(s.HashBits)
+}
+
+// MeanAccesses returns the average memory accesses per operation.
+func (a *Aggregate) MeanAccesses() float64 {
+	if a.Ops == 0 {
+		return 0
+	}
+	return float64(a.MemAccesses) / float64(a.Ops)
+}
+
+// MeanHashBits returns the average access bandwidth per operation.
+func (a *Aggregate) MeanHashBits() float64 {
+	if a.Ops == 0 {
+		return 0
+	}
+	return float64(a.HashBits) / float64(a.Ops)
+}
+
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%.1f accesses, %.0f bits over %d ops",
+		a.MeanAccesses(), a.MeanHashBits(), a.Ops)
+}
+
+// FPRResult is the outcome of a false-positive-rate measurement.
+type FPRResult struct {
+	Queries        int // negative queries issued
+	FalsePositives int
+}
+
+// Rate returns the measured false positive rate.
+func (r FPRResult) Rate() float64 {
+	if r.Queries == 0 {
+		return math.NaN()
+	}
+	return float64(r.FalsePositives) / float64(r.Queries)
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{8, 3}, {9, 4}, {16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+		{1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOpStatsAdd(t *testing.T) {
+	s := OpStats{MemAccesses: 1, HashBits: 10}
+	s.Add(OpStats{MemAccesses: 2, HashBits: 5})
+	if s.MemAccesses != 3 || s.HashBits != 15 {
+		t.Fatalf("Add: %+v", s)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	if a.MeanAccesses() != 0 || a.MeanHashBits() != 0 {
+		t.Fatal("empty aggregate should report zero means")
+	}
+	a.Observe(OpStats{MemAccesses: 1, HashBits: 20})
+	a.Observe(OpStats{MemAccesses: 3, HashBits: 40})
+	if a.Ops != 2 {
+		t.Fatalf("Ops = %d", a.Ops)
+	}
+	if got := a.MeanAccesses(); got != 2.0 {
+		t.Fatalf("MeanAccesses = %v", got)
+	}
+	if got := a.MeanHashBits(); got != 30.0 {
+		t.Fatalf("MeanHashBits = %v", got)
+	}
+	if !strings.Contains(a.String(), "2 ops") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestFPRResult(t *testing.T) {
+	r := FPRResult{Queries: 1000, FalsePositives: 13}
+	if got := r.Rate(); got != 0.013 {
+		t.Fatalf("Rate = %v", got)
+	}
+	empty := FPRResult{}
+	if !math.IsNaN(empty.Rate()) {
+		t.Fatal("empty rate should be NaN")
+	}
+}

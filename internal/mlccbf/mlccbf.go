@@ -1,0 +1,267 @@
+// Package mlccbf implements a Multilayer Compressed Counting Bloom Filter
+// in the style of Ficara, Giordano, Procissi and Vitucci (INFOCOM 2008),
+// the structure from which the paper's HCBF borrows its hierarchy: counter
+// values are stored as chains across layers of bit vectors, where layer
+// j+1 holds exactly one bit per set bit of layer j (a unary/Huffman-style
+// code), indexed by popcount.
+//
+// The crucial difference from MPCBF is that the hierarchy here is global:
+// one set of layers spans the whole filter. Incrementing a counter inserts
+// a bit into a layer shared by *all* counters, which costs a shift of the
+// layer tail — O(m) work in the worst case, against MPCBF's O(w) bounded
+// in-word shift. This package exists to make that design trade-off
+// measurable (experiment ext3): same accuracy mechanism, very different
+// update cost.
+//
+// Layers are stored in growable bit arrays with spare capacity so the
+// amortized shift cost is visible but allocation noise is not.
+package mlccbf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashing"
+)
+
+// ErrUnderflow is returned when Dec/Delete targets a zero counter.
+var ErrUnderflow = errors.New("mlccbf: counter underflow")
+
+// maxLayers bounds the counter values representable (counter value ==
+// chain depth); 16 mirrors the information content of a 4-bit counter.
+const maxLayers = 16
+
+// ErrCounterOverflow is returned when an increment would exceed the
+// deepest layer.
+var ErrCounterOverflow = errors.New("mlccbf: counter exceeds layer depth")
+
+// Filter is a multilayer compressed CBF with an m-bit first layer and k
+// hash functions.
+type Filter struct {
+	// layers[0] is the fixed m-bit membership layer; deeper layers hold
+	// one bit per set bit of the layer above and grow/shrink on updates.
+	layers []*layer
+	m, k   int
+	hasher hashing.Hasher
+	count  int
+	// ShiftedBits counts the total bits moved by layer shifts — the
+	// update-cost metric ext3 reports.
+	ShiftedBits int64
+}
+
+// layer is a growable bit sequence.
+type layer struct {
+	bits *bitvec.Vector
+	n    int // bits in use
+}
+
+func newLayer(capacity int) *layer {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &layer{bits: bitvec.New(capacity)}
+}
+
+// ensure grows the backing vector to hold at least n bits.
+func (l *layer) ensure(n int) {
+	if n <= l.bits.Len() {
+		return
+	}
+	grown := bitvec.New(l.bits.Len() * 2)
+	for grown.Len() < n {
+		grown = bitvec.New(grown.Len() * 2)
+	}
+	for i := 0; i < l.n; i++ {
+		if l.bits.Get(i) {
+			grown.Set(i, true)
+		}
+	}
+	l.bits = grown
+}
+
+// insertZero inserts a cleared bit at position pos, shifting the tail
+// right. It returns the number of bits moved.
+func (l *layer) insertZero(pos int) int {
+	l.ensure(l.n + 1)
+	l.bits.ShiftRightOne(pos, l.n+1)
+	l.n++
+	return l.n - pos
+}
+
+// removeBit deletes the bit at pos, shifting the tail left. It returns
+// the number of bits moved.
+func (l *layer) removeBit(pos int) int {
+	l.bits.ShiftLeftOne(pos, l.n)
+	l.n--
+	return l.n - pos + 1
+}
+
+// New returns a filter with an m-bit first layer and k hash functions.
+func New(m, k int, seed uint32) (*Filter, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("mlccbf: m and k must be positive (m=%d, k=%d)", m, k)
+	}
+	first := newLayer(m)
+	first.n = m
+	return &Filter{
+		layers: []*layer{first},
+		m:      m,
+		k:      k,
+		hasher: hashing.NewHasher(seed),
+	}, nil
+}
+
+// M returns the first-layer width; K the number of hash functions.
+func (f *Filter) M() int { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count returns the current number of elements.
+func (f *Filter) Count() int { return f.count }
+
+// MemoryBits returns the bits currently in use across all layers (the
+// compressed size; backing capacity is an implementation detail).
+func (f *Filter) MemoryBits() int {
+	total := 0
+	for _, l := range f.layers {
+		total += l.n
+	}
+	return total
+}
+
+// Layers returns the in-use sizes of all layers.
+func (f *Filter) Layers() []int {
+	out := make([]int, len(f.layers))
+	for i, l := range f.layers {
+		out[i] = l.n
+	}
+	return out
+}
+
+func (f *Filter) indices(key []byte) []int {
+	s := f.hasher.NewIndexStream(key)
+	idx := make([]int, f.k)
+	for i := range idx {
+		idx[i] = s.Slot(i, f.m)
+	}
+	return idx
+}
+
+// inc increments the counter rooted at first-layer position slot.
+func (f *Filter) inc(slot int) error {
+	pos := slot
+	for depth := 0; ; depth++ {
+		if depth >= maxLayers {
+			return ErrCounterOverflow
+		}
+		l := f.layers[depth]
+		if !l.bits.Get(pos) {
+			// First zero of the chain: flip it and give it a zero child.
+			childIdx := l.bits.Ones(0, pos)
+			l.bits.Set(pos, true)
+			if depth+1 >= len(f.layers) {
+				f.layers = append(f.layers, newLayer(64))
+			}
+			f.ShiftedBits += int64(f.layers[depth+1].insertZero(childIdx))
+			return nil
+		}
+		childIdx := l.bits.Ones(0, pos)
+		pos = childIdx
+	}
+}
+
+// dec decrements the counter rooted at slot.
+func (f *Filter) dec(slot int) error {
+	pos := slot
+	if !f.layers[0].bits.Get(pos) {
+		return ErrUnderflow
+	}
+	for depth := 0; ; depth++ {
+		l := f.layers[depth]
+		childIdx := l.bits.Ones(0, pos)
+		child := f.layers[depth+1]
+		if !child.bits.Get(childIdx) {
+			// Chain ends here: remove the zero child, clear this bit.
+			f.ShiftedBits += int64(child.removeBit(childIdx))
+			l.bits.Set(pos, false)
+			return nil
+		}
+		pos = childIdx
+	}
+}
+
+// Insert adds key.
+func (f *Filter) Insert(key []byte) error {
+	for _, idx := range f.indices(key) {
+		if err := f.inc(idx); err != nil {
+			return err
+		}
+	}
+	f.count++
+	return nil
+}
+
+// Delete removes key.
+func (f *Filter) Delete(key []byte) error {
+	var underflow bool
+	for _, idx := range f.indices(key) {
+		if err := f.dec(idx); err != nil {
+			underflow = true
+		}
+	}
+	f.count--
+	if underflow {
+		return ErrUnderflow
+	}
+	return nil
+}
+
+// Contains reports whether key may be in the set (first layer only, like
+// every hierarchy-coded CBF).
+func (f *Filter) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	for i := 0; i < f.k; i++ {
+		if !f.layers[0].bits.Get(s.Slot(i, f.m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOf returns the minimum counter value over key's positions.
+func (f *Filter) CountOf(key []byte) int {
+	min := maxLayers + 1
+	for _, idx := range f.indices(key) {
+		c := f.counter(idx)
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// counter walks the chain rooted at slot.
+func (f *Filter) counter(slot int) int {
+	pos := slot
+	c := 0
+	for depth := 0; depth < len(f.layers); depth++ {
+		l := f.layers[depth]
+		if !l.bits.Get(pos) {
+			return c
+		}
+		c++
+		pos = l.bits.Ones(0, pos)
+	}
+	return c
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	first := newLayer(f.m)
+	first.n = f.m
+	f.layers = []*layer{first}
+	f.count = 0
+	f.ShiftedBits = 0
+}

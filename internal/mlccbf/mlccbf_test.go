@@ -1,0 +1,179 @@
+package mlccbf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, _ := New(1<<14, 3, 1)
+	in := keys("in", 1500)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	for _, k := range in {
+		if err := f.Delete(k); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	for _, k := range in {
+		if f.Contains(k) {
+			t.Fatalf("stale positive for %q", k)
+		}
+	}
+	// Full unwind: only the first layer remains in use.
+	if got := f.MemoryBits(); got != 1<<14 {
+		t.Fatalf("MemoryBits = %d after unwind, want %d (layers %v)", got, 1<<14, f.Layers())
+	}
+}
+
+func TestCompressedSizeTracksContent(t *testing.T) {
+	// The hierarchy holds exactly one bit per outstanding increment —
+	// the compression claim of the multilayer design.
+	f, _ := New(1<<12, 3, 2)
+	in := keys("in", 200)
+	for i, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		want := 1<<12 + (i+1)*3
+		if got := f.MemoryBits(); got != want {
+			t.Fatalf("after %d inserts MemoryBits = %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestCountOf(t *testing.T) {
+	f, _ := New(1<<12, 3, 0)
+	k := []byte("dup")
+	for i := 1; i <= 6; i++ {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.CountOf(k); got < i {
+			t.Fatalf("CountOf after %d inserts = %d", i, got)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := f.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.CountOf(k) != 0 {
+		t.Fatalf("CountOf after unwind = %d", f.CountOf(k))
+	}
+}
+
+func TestDeleteAbsentUnderflows(t *testing.T) {
+	f, _ := New(1<<10, 3, 0)
+	if err := f.Delete([]byte("ghost")); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+}
+
+func TestCounterOverflowBounded(t *testing.T) {
+	f, _ := New(64, 1, 0)
+	k := []byte("hot")
+	var err error
+	for i := 0; i < maxLayers+2; i++ {
+		if err = f.Insert(k); err != nil {
+			break
+		}
+	}
+	if err != ErrCounterOverflow {
+		t.Fatalf("expected ErrCounterOverflow, got %v", err)
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	f, _ := New(1<<12, 3, 5)
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(31)
+	universe := keys("u", 200)
+	for op := 0; op < 8000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if (rng.Intn(2) == 0 || ref[string(k)] == 0) && ref[string(k)] < 8 {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			ref[string(k)]++
+		} else {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			ref[string(k)]--
+		}
+	}
+	outstanding := 0
+	for k, n := range ref {
+		outstanding += n
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+		if n > 0 && f.CountOf([]byte(k)) < n {
+			t.Fatalf("CountOf(%q) = %d below %d", k, f.CountOf([]byte(k)), n)
+		}
+	}
+	if got := f.MemoryBits(); got != 1<<12+outstanding*3 {
+		t.Fatalf("MemoryBits = %d, want %d", got, 1<<12+outstanding*3)
+	}
+}
+
+func TestShiftCostGrowsWithLoad(t *testing.T) {
+	// The global hierarchy's defining cost: the bits moved per increment
+	// grow with the number of stored elements, unlike MPCBF's in-word
+	// bound. Insert in two equal phases and compare shift totals.
+	f, _ := New(1<<14, 3, 9)
+	in := keys("in", 4000)
+	half := len(in) / 2
+	for _, k := range in[:half] {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	firstPhase := f.ShiftedBits
+	for _, k := range in[half:] {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	secondPhase := f.ShiftedBits - firstPhase
+	if secondPhase <= firstPhase*3/2 {
+		t.Fatalf("shift cost not growing: phase1 %d, phase2 %d", firstPhase, secondPhase)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(256, 3, 0)
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) || f.MemoryBits() != 256 {
+		t.Fatal("Reset incomplete")
+	}
+}

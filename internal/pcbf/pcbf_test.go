@@ -1,0 +1,230 @@
+package pcbf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cbf"
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		l, w, k, g int
+	}{
+		{0, 64, 3, 1},
+		{10, 0, 3, 1},
+		{10, 63, 3, 1}, // w not multiple of 4
+		{10, 64, 0, 1},
+		{10, 64, 3, 0},
+		{10, 64, 3, 4}, // g > k
+		{2, 64, 8, 3},  // g > l
+	}
+	for _, c := range cases {
+		if _, err := New(c.l, c.w, c.k, c.g, 0); err == nil {
+			t.Errorf("New(%d,%d,%d,%d) accepted", c.l, c.w, c.k, c.g)
+		}
+	}
+	f, err := New(100, 64, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.L() != 100 || f.W() != 64 || f.K() != 3 || f.G() != 2 || f.MemoryBits() != 6400 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestFromMemory(t *testing.T) {
+	f, err := FromMemory(1<<20, 64, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.L() != 1<<20/64 {
+		t.Fatalf("L = %d", f.L())
+	}
+	if _, err := FromMemory(1024, 0, 3, 1, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, g := range []int{1, 2, 3} {
+		f, err := New(1<<12, 64, 3, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := keys("in", 1000)
+		for _, k := range in {
+			if err := f.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range in {
+			if !f.Contains(k) {
+				t.Fatalf("g=%d: false negative for %q", g, k)
+			}
+		}
+		for _, k := range in {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("g=%d: delete: %v", g, err)
+			}
+		}
+		for _, k := range in {
+			if f.Contains(k) {
+				t.Fatalf("g=%d: stale positive after deletion", g)
+			}
+		}
+	}
+}
+
+func TestDeleteAbsentUnderflows(t *testing.T) {
+	f, _ := New(1<<10, 64, 3, 1, 0)
+	if err := f.Delete([]byte("ghost")); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+}
+
+func TestOpCosts(t *testing.T) {
+	// l=1024 words, w=64 (16 counters/word), k=3.
+	f, _ := New(1024, 64, 3, 1, 0)
+	st, _ := f.InsertStats([]byte("x"))
+	if st.MemAccesses != 1 {
+		t.Fatalf("PCBF-1 insert accesses = %d, want 1", st.MemAccesses)
+	}
+	// log2(1024) + 3*log2(16) = 10 + 12 = 22
+	if st.HashBits != 22 {
+		t.Fatalf("PCBF-1 insert bits = %d, want 22", st.HashBits)
+	}
+	f2, _ := New(1024, 64, 4, 2, 0)
+	st, _ = f2.InsertStats([]byte("x"))
+	if st.MemAccesses != 2 {
+		t.Fatalf("PCBF-2 insert accesses = %d, want 2", st.MemAccesses)
+	}
+	// 2*log2(1024) + 4*log2(16) = 20 + 16 = 36
+	if st.HashBits != 36 {
+		t.Fatalf("PCBF-2 insert bits = %d, want 36", st.HashBits)
+	}
+	ok, st := f2.Probe([]byte("x"))
+	if !ok || st.MemAccesses != 2 {
+		t.Fatalf("member probe: ok=%v accesses=%d", ok, st.MemAccesses)
+	}
+}
+
+func TestProbeShortCircuit(t *testing.T) {
+	f, _ := New(1<<10, 64, 4, 2, 0)
+	ok, st := f.Probe([]byte("absent"))
+	if ok {
+		t.Fatal("empty filter claims membership")
+	}
+	if st.MemAccesses != 1 {
+		t.Fatalf("short-circuit should stop after first word, got %d accesses", st.MemAccesses)
+	}
+}
+
+func TestFPRWorseThanCBFAtSameMemory(t *testing.T) {
+	// Section III.A's observation: PCBF-1 hashes into a w-bit word instead
+	// of the whole vector, so its fpr exceeds the standard CBF's at equal
+	// memory. Use a loaded filter so the gap is measurable.
+	const memBits = 1 << 17 // 128 Kb
+	const n = 4000
+	std, err := cbf.FromMemory(memBits, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := FromMemory(memBits, 64, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys("in", n) {
+		std.Insert(k)
+		part.Insert(k)
+	}
+	fpStd, fpPart := 0, 0
+	const probes = 100000
+	for _, k := range keys("out", probes) {
+		if std.Contains(k) {
+			fpStd++
+		}
+		if part.Contains(k) {
+			fpPart++
+		}
+	}
+	if fpPart <= fpStd {
+		t.Fatalf("expected PCBF-1 fpr > CBF fpr, got %d vs %d", fpPart, fpStd)
+	}
+}
+
+func TestPCBF2BetterThanPCBF1(t *testing.T) {
+	// Spreading the k hashes over two words lowers the fpr (Fig. 2).
+	const memBits = 1 << 17
+	const n = 4000
+	p1, _ := FromMemory(memBits, 64, 4, 1, 2)
+	p2, _ := FromMemory(memBits, 64, 4, 2, 2)
+	for _, k := range keys("in", n) {
+		p1.Insert(k)
+		p2.Insert(k)
+	}
+	fp1, fp2 := 0, 0
+	const probes = 200000
+	for _, k := range keys("out", probes) {
+		if p1.Contains(k) {
+			fp1++
+		}
+		if p2.Contains(k) {
+			fp2++
+		}
+	}
+	if fp2 >= fp1 {
+		t.Fatalf("expected PCBF-2 fpr < PCBF-1 fpr, got %d vs %d", fp2, fp1)
+	}
+}
+
+func TestRandomOpsNoFalseNegatives(t *testing.T) {
+	f, _ := New(1<<12, 64, 3, 2, 5)
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(13)
+	universe := keys("u", 400)
+	for op := 0; op < 20000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if rng.Intn(2) == 0 || ref[string(k)] == 0 {
+			f.Insert(k)
+			ref[string(k)]++
+		} else {
+			f.Delete(k)
+			ref[string(k)]--
+		}
+	}
+	for k, n := range ref {
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+	}
+}
+
+func TestCountOf(t *testing.T) {
+	f, _ := New(1<<12, 64, 3, 1, 0)
+	k := []byte("dup")
+	for i := 1; i <= 4; i++ {
+		f.Insert(k)
+		if int(f.CountOf(k)) < i {
+			t.Fatalf("CountOf undercounts: %d < %d", f.CountOf(k), i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(256, 64, 3, 1, 0)
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cbf"
+	"repro/internal/core"
+	"repro/internal/dlcbf"
+	"repro/internal/hashing"
+	"repro/internal/mlccbf"
+	"repro/internal/pcbf"
+	"repro/internal/rcbf"
+	"repro/internal/vicbf"
+)
+
+// TestCrossStructureInvariants drives every counting structure in the
+// repository with one identical operation sequence and checks the
+// invariants any correct counting filter must share: no false negatives
+// for present keys, and full emptiness after a balanced unwind. This is
+// the integration net under all per-package tests — a bug that slips one
+// structure's unit tests still has to agree with five siblings here.
+func TestCrossStructureInvariants(t *testing.T) {
+	const memBits = 1 << 18
+	type fixture struct {
+		name string
+		f    interface {
+			Insert([]byte) error
+			Delete([]byte) error
+			Contains([]byte) bool
+		}
+	}
+	var fixtures []fixture
+
+	std, err := cbf.FromMemory(memBits, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"cbf", std})
+
+	part, err := pcbf.FromMemory(memBits, 64, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"pcbf-2", part})
+
+	mp, err := core.New(core.Config{MemoryBits: memBits, K: 3, B1: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"mpcbf-1", mp})
+
+	dl, err := dlcbf.FromMemory(memBits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"dlcbf", dl})
+
+	vi, err := vicbf.FromMemory(memBits, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"vicbf", vi})
+
+	ml, err := mlccbf.New(memBits/2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"mlccbf", ml})
+
+	rc, err := rcbf.ForPopulation(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"rcbf", rc})
+
+	// One shared op tape: bounded multiplicities (the dlCBF cell counter
+	// and MPCBF word budgets assume light duplication).
+	rng := hashing.NewRNG(99)
+	universe := make([][]byte, 400)
+	for i := range universe {
+		universe[i] = []byte(fmt.Sprintf("x-%04d", i))
+	}
+	ref := make(map[string]int)
+	type op struct {
+		key []byte
+		ins bool
+	}
+	var tape []op
+	for i := 0; i < 12000; i++ {
+		k := universe[rng.Intn(len(universe))]
+		ins := rng.Intn(2) == 0 || ref[string(k)] == 0
+		if ins && ref[string(k)] >= 6 {
+			ins = false
+		}
+		if ins {
+			ref[string(k)]++
+		} else {
+			ref[string(k)]--
+		}
+		tape = append(tape, op{k, ins})
+	}
+
+	for _, fx := range fixtures {
+		live := make(map[string]int)
+		for i, o := range tape {
+			if o.ins {
+				if err := fx.f.Insert(o.key); err != nil {
+					t.Fatalf("%s: op %d insert: %v", fx.name, i, err)
+				}
+				live[string(o.key)]++
+			} else {
+				if err := fx.f.Delete(o.key); err != nil {
+					t.Fatalf("%s: op %d delete: %v", fx.name, i, err)
+				}
+				live[string(o.key)]--
+			}
+		}
+		// Invariant 1: no false negatives.
+		for k, n := range live {
+			if n > 0 && !fx.f.Contains([]byte(k)) {
+				t.Fatalf("%s: false negative for %q (count %d)", fx.name, k, n)
+			}
+		}
+		// Invariant 2: balanced unwind empties the structure.
+		for k, n := range live {
+			for j := 0; j < n; j++ {
+				if err := fx.f.Delete([]byte(k)); err != nil {
+					t.Fatalf("%s: unwind delete %q: %v", fx.name, k, err)
+				}
+			}
+		}
+		for _, k := range universe {
+			if fx.f.Contains(k) {
+				t.Fatalf("%s: stale positive for %q after full unwind", fx.name, k)
+			}
+		}
+	}
+}

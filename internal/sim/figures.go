@@ -1,0 +1,489 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/dataset"
+)
+
+// paperN is the synthetic experiments' population (Section IV.A) before
+// scaling; paperTraceN is the trace experiments' inserted flow count.
+const (
+	paperN      = 100000
+	paperTraceN = 200000
+)
+
+// memorySweepMb are the synthetic-experiment memory budgets (Fig. 7/8/10),
+// in Mb as the paper plots them.
+var memorySweepMb = []float64{4.0, 5.0, 6.0, 7.0, 8.0}
+
+// traceSweepMb are the trace-experiment budgets (Fig. 12).
+var traceSweepMb = []float64{8.0, 10.0, 12.0, 14.0, 16.0}
+
+func (o Options) memBits(mb float64) int {
+	bits := int(mb * float64(1<<20) * o.Scale)
+	if bits < wordBits {
+		bits = wordBits
+	}
+	return bits
+}
+
+// Fig2 regenerates Figure 2: analytic false positive rates of the standard
+// CBF against PCBF-1 (w = 16, 32, 64) and PCBF-2 (w = 64) as the memory
+// per element grows, with n fixed and k = 3. Scale-independent.
+func Fig2(Options) (*Table, error) {
+	const n, k = paperN, 3
+	t := &Table{
+		ID:     "fig2",
+		Title:  "False positive rates of CBF, PCBF-1 and PCBF-2 with different word sizes (k=3, analytic)",
+		Header: []string{"mem(Mb)", "m/n", "CBF", "PCBF-1 w16", "PCBF-1 w32", "PCBF-1 w64", "PCBF-2 w64"},
+		Notes: []string{
+			"PCBF-1 > PCBF-2 > CBF at every point; PCBF-1 approaches CBF as w grows (Section III.A).",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		M := int(mb * (1 << 20))
+		m := M / analytic.CounterBits
+		t.Rows = append(t.Rows, []string{
+			fmtMb(M),
+			fmt.Sprintf("%.1f", float64(m)/n),
+			fmtRate(analytic.FPRBloom(n, m, k)),
+			fmtRate(analytic.FPRPCBF1(n, m, 16, k)),
+			fmtRate(analytic.FPRPCBF1(n, m, 32, k)),
+			fmtRate(analytic.FPRPCBF1(n, m, 64, k)),
+			fmtRate(analytic.FPRPCBFg(n, m, 64, k, 2)),
+		})
+	}
+	return t, nil
+}
+
+// Fig5 regenerates Figure 5: analytic average false positive rates of
+// MPCBF-1 and MPCBF-2 against the standard CBF for k=3, w in {16, 32, 64}.
+func Fig5(Options) (*Table, error) {
+	const n, k = paperN, 3
+	t := &Table{
+		ID:     "fig5",
+		Title:  "False positive rates of CBF, MPCBF-1 and MPCBF-2 (k=3, analytic average case)",
+		Header: []string{"mem(Mb)", "CBF", "MPCBF-1 w16", "MPCBF-1 w32", "MPCBF-1 w64", "MPCBF-2 w64"},
+		Notes: []string{
+			"MPCBF-1 sits about an order of magnitude below CBF; larger w lowers the rate further (Section III.B).",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		M := int(mb * (1 << 20))
+		m := M / analytic.CounterBits
+		row := []string{fmtMb(M), fmtRate(analytic.FPRBloom(n, m, k))}
+		for _, w := range []int{16, 32, 64} {
+			row = append(row, fmtRate(analytic.FPRMPCBF1Avg(n, m, w, k)))
+		}
+		row = append(row, fmtRate(analytic.FPRMPCBFgAvg(n, m, 64, k, 2)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 regenerates Figure 6: the word-overflow probability bound of
+// MPCBF-1 (Eq. 6) as a function of nmax, for w=32 and w=64 at n=100,000 and
+// k=3, with the word count from a 4.0 Mb filter.
+func Fig6(Options) (*Table, error) {
+	const n = paperN
+	M := 4 << 20
+	t := &Table{
+		ID:    "fig6",
+		Title: "Word overflow probability of MPCBF-1 (n=100000, k=3, 4.0 Mb, Eq. 6 bound)",
+		Header: []string{"nmax", "w=32 bound", "w=32 exact", "w=64 bound", "w=64 exact",
+			"heuristic nmax w32", "heuristic nmax w64"},
+		Notes: []string{
+			"w=64 gives more freedom in nmax at lower overflow probability (Section III.B.4).",
+		},
+	}
+	l32, l64 := M/32, M/64
+	h32 := analytic.HeuristicNmax(n, l32)
+	h64 := analytic.HeuristicNmax(n, l64)
+	for nmax := 2; nmax <= 16; nmax++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nmax),
+			fmtRate(analytic.OverflowBoundMPCBF1(n, l32, nmax, true)),
+			fmtRate(analytic.OverflowExactTail(n, l32, nmax)),
+			fmtRate(analytic.OverflowBoundMPCBF1(n, l64, nmax, true)),
+			fmtRate(analytic.OverflowExactTail(n, l64, nmax)),
+			fmt.Sprintf("%d", h32),
+			fmt.Sprintf("%d", h64),
+		})
+	}
+	return t, nil
+}
+
+// synthEnv is one prepared synthetic-string experiment: the five filters
+// loaded with the (churned) test set, plus ground truth for measurement.
+type synthEnv struct {
+	names    []string
+	filters  map[string]countingFilter
+	workload *dataset.StringWorkload
+	members  map[string]bool
+}
+
+// newSynthEnv builds the Section IV.A environment at one memory budget:
+// insert the test set, run one update period (delete 20K, insert 20K).
+func newSynthEnv(o Options, memBits, k int, names []string) (*synthEnv, error) {
+	w, err := dataset.NewStringWorkload(dataset.DefaultStringConfig(o.Scale, o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	env := &synthEnv{
+		names:    names,
+		filters:  make(map[string]countingFilter, len(names)),
+		workload: w,
+		members:  make(map[string]bool, len(w.Test)),
+	}
+	n := len(w.Test)
+	for _, name := range names {
+		f, err := buildFilter(name, memBits, n, k, uint32(o.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		env.filters[name] = f
+	}
+	for _, key := range w.Test {
+		env.members[string(key)] = true
+		for _, f := range env.filters {
+			if err := f.Insert(key); err != nil {
+				return nil, fmt.Errorf("insert: %w", err)
+			}
+		}
+	}
+	// Update period: keep the population constant while churning 20%.
+	for _, key := range w.DeleteChurn {
+		env.members[string(key)] = false
+		for _, f := range env.filters {
+			if err := f.Delete(key); err != nil {
+				return nil, fmt.Errorf("churn delete: %w", err)
+			}
+		}
+	}
+	for _, key := range w.InsertChurn {
+		env.members[string(key)] = true
+		for _, f := range env.filters {
+			if err := f.Insert(key); err != nil {
+				return nil, fmt.Errorf("churn insert: %w", err)
+			}
+		}
+	}
+	return env, nil
+}
+
+// measureFPR runs the query stream through filter name and returns the
+// false positive rate over the stream's true non-members.
+func (e *synthEnv) measureFPR(name string) float64 {
+	f := e.filters[name]
+	negatives, fp := 0, 0
+	for _, q := range e.workload.Queries {
+		if e.members[string(q)] {
+			continue
+		}
+		negatives++
+		if f.Contains(q) {
+			fp++
+		}
+	}
+	if negatives == 0 {
+		return 0
+	}
+	return float64(fp) / float64(negatives)
+}
+
+func fig7(o Options, k int, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Simulated FPR on synthetic strings (k=%d, %d test / %d queries)", k, o.scaled(paperN), o.scaled(10*paperN)),
+		Header: append([]string{"mem(Mb)"}, structureNames...),
+		Notes: []string{
+			"Paper Fig. 7: MPCBF-2 < MPCBF-1 < CBF < PCBF-2 < PCBF-1 at equal memory.",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		memBits := o.memBits(mb)
+		env, err := newSynthEnv(o, memBits, k, structureNames)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmtMb(memBits)}
+		for _, name := range structureNames {
+			row = append(row, fmtRate(env.measureFPR(name)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7a regenerates Figure 7(a): simulated false positive rates with k=3.
+func Fig7a(o Options) (*Table, error) { return fig7(o, 3, "fig7a") }
+
+// Fig7b regenerates Figure 7(b): simulated false positive rates with k=4.
+func Fig7b(o Options) (*Table, error) { return fig7(o, 4, "fig7b") }
+
+// Fig8 regenerates Figure 8: wall-clock execution time of the query
+// workload for every structure at k=3 across the memory sweep.
+func Fig8(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Execution time of %d queries (k=3)", o.scaled(10*paperN)),
+		Header: append([]string{"mem(Mb)"}, structureNames...),
+		Notes: []string{
+			"Times in milliseconds. Paper Fig. 8: roughly constant in memory; single-access variants cheapest.",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		memBits := o.memBits(mb)
+		env, err := newSynthEnv(o, memBits, 3, structureNames)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmtMb(memBits)}
+		for _, name := range structureNames {
+			f := env.filters[name]
+			start := time.Now()
+			sink := 0
+			for _, q := range env.workload.Queries {
+				if f.Contains(q) {
+					sink++
+				}
+			}
+			elapsed := time.Since(start)
+			_ = sink
+			row = append(row, fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 regenerates Figure 9: the optimal number of hash functions as a
+// function of memory, for the CBF and MPCBF-1/2/3.
+func Fig9(o Options) (*Table, error) {
+	n := o.scaled(paperN)
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Optimal numbers of hash functions to minimize the false positive rate",
+		Header: []string{"mem(Mb)", "CBF", "MPCBF-1", "MPCBF-2", "MPCBF-3"},
+		Notes: []string{
+			"Paper Fig. 9: CBF's optimum grows ~6..12 with memory; MPCBF's stays nearly constant (3 / 4-5 / 5).",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		memBits := o.memBits(mb)
+		kc, _ := analytic.OptimalKCBF(n, memBits)
+		row := []string{fmtMb(memBits), fmt.Sprintf("%d", kc)}
+		for g := 1; g <= 3; g++ {
+			kg, _ := analytic.OptimalKMPCBF(n, memBits, wordBits, g, 16)
+			row = append(row, fmt.Sprintf("%d", kg))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 regenerates Figure 10: analytic false positive rates when every
+// structure uses its optimal k.
+func Fig10(o Options) (*Table, error) {
+	n := o.scaled(paperN)
+	t := &Table{
+		ID:     "fig10",
+		Title:  "False positive rates with optimal k (analytic)",
+		Header: []string{"mem(Mb)", "CBF", "MPCBF-1", "MPCBF-2", "MPCBF-3"},
+		Notes: []string{
+			"Paper Fig. 10: optimal-k CBF approaches MPCBF-2 but needs ~12 accesses; MPCBF-3 stays an order lower.",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		memBits := o.memBits(mb)
+		_, fc := analytic.OptimalKCBF(n, memBits)
+		row := []string{fmtMb(memBits), fmtRate(fc)}
+		for g := 1; g <= 3; g++ {
+			_, fg := analytic.OptimalKMPCBF(n, memBits, wordBits, g, 16)
+			row = append(row, fmtRate(fg))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig11 regenerates Figure 11: measured query overhead (memory accesses
+// and access bandwidth) when every structure uses its optimal k, over the
+// mixed query stream.
+func Fig11(o Options) (*Table, error) {
+	n := o.scaled(paperN)
+	t := &Table{
+		ID:    "fig11",
+		Title: "Query overhead with optimal k (measured over the 80%-member query mix)",
+		Header: []string{"mem(Mb)", "CBF k", "CBF acc", "CBF bits",
+			"MP1 acc", "MP1 bits", "MP2 acc", "MP2 bits", "MP3 acc", "MP3 bits"},
+		Notes: []string{
+			"Paper Fig. 11: MPCBF-1/2/3 hold constant ~1.0/1.8/2.6 accesses; CBF grows with its optimal k.",
+		},
+	}
+	for _, mb := range memorySweepMb {
+		memBits := o.memBits(mb)
+		kc, _ := analytic.OptimalKCBF(n, memBits)
+		row := []string{fmtMb(memBits), fmt.Sprintf("%d", kc)}
+
+		env, err := newSynthEnv(o, memBits, kc, []string{"CBF"})
+		if err != nil {
+			return nil, err
+		}
+		acc, bits := measureQueryOverhead(env, "CBF")
+		row = append(row, fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.0f", bits))
+
+		for g := 1; g <= 3; g++ {
+			kg, _ := analytic.OptimalKMPCBF(n, memBits, wordBits, g, 16)
+			name := fmt.Sprintf("MPCBF-%d", g)
+			env, err := newSynthEnv(o, memBits, kg, []string{name})
+			if err != nil {
+				return nil, err
+			}
+			acc, bits := measureQueryOverhead(env, name)
+			row = append(row, fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.0f", bits))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// measureQueryOverhead averages Probe stats over the query stream.
+func measureQueryOverhead(env *synthEnv, name string) (accesses, bits float64) {
+	f := env.filters[name]
+	var agg struct {
+		ops, acc, bits int64
+	}
+	for _, q := range env.workload.Queries {
+		_, st := f.Probe(q)
+		agg.ops++
+		agg.acc += int64(st.MemAccesses)
+		agg.bits += int64(st.HashBits)
+	}
+	if agg.ops == 0 {
+		return 0, 0
+	}
+	return float64(agg.acc) / float64(agg.ops), float64(agg.bits) / float64(agg.ops)
+}
+
+// Fig12 regenerates Figure 12: false positive rates on the (synthetic
+// substitute) IP traces with k=3, across the trace memory sweep.
+func Fig12(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "FPR with k=3 on IP traces (synthetic CAIDA-shape trace)",
+		Header: append([]string{"mem(Mb)"}, structureNames...),
+		Notes: []string{
+			"Paper Fig. 12: MPCBF-2 ~6.9x below CBF; MPCBF-1 close to CBF on traces.",
+		},
+	}
+	env, err := newTraceEnvBase(o)
+	if err != nil {
+		return nil, err
+	}
+	for _, mb := range traceSweepMb {
+		memBits := o.memBits(mb)
+		row := []string{fmtMb(memBits)}
+		for _, name := range structureNames {
+			fpr, err := env.runFPR(o, name, memBits, 3)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtRate(fpr))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// traceEnv prepares the Section IV.D flow-measurement environment once per
+// options (the trace is the expensive part) and loads filters on demand.
+type traceEnv struct {
+	trace    *dataset.Trace
+	testSet  []dataset.Flow
+	delChurn []dataset.Flow
+	insChurn []dataset.Flow
+	members  map[dataset.Flow]bool
+}
+
+func newTraceEnvBase(o Options) (*traceEnv, error) {
+	tr, err := dataset.NewTrace(dataset.DefaultTraceConfig(o.Scale, o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	n := o.scaled(paperTraceN)
+	if n > len(tr.Flows) {
+		n = len(tr.Flows)
+	}
+	churn := n / 5 // the paper's 40K of 200K
+	sample, err := tr.SampleFlows(n, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	env := &traceEnv{trace: tr, testSet: sample}
+	env.delChurn = sample[:churn]
+	env.insChurn = tr.FreshFlows(churn, o.Seed+2)
+	return env, nil
+}
+
+// membersAfterChurn computes ground truth after the update period.
+func (e *traceEnv) membersAfterChurn() map[dataset.Flow]bool {
+	if e.members != nil {
+		return e.members
+	}
+	m := make(map[dataset.Flow]bool, len(e.testSet))
+	for _, f := range e.testSet {
+		m[f] = true
+	}
+	for _, f := range e.delChurn {
+		m[f] = false
+	}
+	for _, f := range e.insChurn {
+		m[f] = true
+	}
+	e.members = m
+	return m
+}
+
+// runFPR loads one structure with the flow test set, applies churn, feeds
+// the whole packet stream and returns the false positive rate over
+// non-member packets.
+func (e *traceEnv) runFPR(o Options, name string, memBits, k int) (float64, error) {
+	f, err := buildFilter(name, memBits, len(e.testSet), k, uint32(o.Seed))
+	if err != nil {
+		return 0, err
+	}
+	for _, fl := range e.testSet {
+		if err := f.Insert(fl.Key()); err != nil {
+			return 0, fmt.Errorf("%s insert: %w", name, err)
+		}
+	}
+	for _, fl := range e.delChurn {
+		if err := f.Delete(fl.Key()); err != nil {
+			return 0, fmt.Errorf("%s churn delete: %w", name, err)
+		}
+	}
+	for _, fl := range e.insChurn {
+		if err := f.Insert(fl.Key()); err != nil {
+			return 0, fmt.Errorf("%s churn insert: %w", name, err)
+		}
+	}
+	members := e.membersAfterChurn()
+	negatives, fp := 0, 0
+	for _, p := range e.trace.Packets {
+		if members[p] {
+			continue
+		}
+		negatives++
+		if f.Contains(p.Key()) {
+			fp++
+		}
+	}
+	if negatives == 0 {
+		return 0, nil
+	}
+	return float64(fp) / float64(negatives), nil
+}

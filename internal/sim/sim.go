@@ -1,0 +1,208 @@
+// Package sim is the experiment harness: one runner per table and figure
+// of the paper's evaluation (Figs. 2, 5-12, Tables I-IV), each regenerating
+// the corresponding rows/series from this repository's implementations.
+// Workloads are scaled by Options.Scale (1.0 = the paper's sizes) so the
+// same code serves fast CI runs and full reproductions.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cbf"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pcbf"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Scale multiplies every workload size; 1.0 reproduces the paper.
+	Scale float64
+	// Seed drives all workload synthesis and hash families.
+	Seed uint64
+}
+
+// DefaultOptions runs at one-tenth of the paper's scale.
+func DefaultOptions() Options { return Options{Scale: 0.1, Seed: 1} }
+
+func (o Options) scaled(n int) int {
+	s := int(float64(n) * o.Scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Table is a rendered experiment result: the rows/series of one paper
+// artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Options) (*Table, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"fig2", "Analytic FPR of CBF vs PCBF-1/PCBF-2 across word sizes", Fig2},
+		{"fig5", "Analytic FPR of CBF vs MPCBF-1/MPCBF-2 (k=3)", Fig5},
+		{"fig6", "Word overflow probability of MPCBF-1 vs nmax", Fig6},
+		{"fig7a", "Simulated FPR on synthetic strings, k=3", Fig7a},
+		{"fig7b", "Simulated FPR on synthetic strings, k=4", Fig7b},
+		{"fig8", "Execution time of the query workload, k=3", Fig8},
+		{"fig9", "Optimal number of hash functions vs memory", Fig9},
+		{"fig10", "FPR with optimal k", Fig10},
+		{"fig11", "Query overhead with optimal k (accesses and bandwidth)", Fig11},
+		{"fig12", "Simulated FPR on IP traces, k=3", Fig12},
+		{"tab1", "Query overhead with k=3 and k=4", Table1},
+		{"tab2", "Update overhead with k=3 and k=4", Table2},
+		{"tab3", "Processing overhead with k=3 on IP traces", Table3},
+		{"tab4", "Reduce-side join performance in MapReduce", Table4},
+		{"ext1", "Extension: dlCBF and VI-CBF vs CBF/PCBF/MPCBF at equal memory", Ext1},
+		{"ext2", "Extension: multiplicity estimation vs the Spectral Bloom Filter", Ext2},
+		{"ext3", "Ablation: per-word hierarchy (MPCBF) vs global hierarchy (ML-CCBF style)", Ext3},
+		{"ext4", "Extension: projected query throughput under hardware memory models", Ext4},
+	}
+}
+
+// Lookup returns the runner with the given id.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	rs := Registry()
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// --- uniform filter plumbing -------------------------------------------
+
+// countingFilter is the interface every evaluated structure satisfies.
+type countingFilter interface {
+	Insert(key []byte) error
+	InsertStats(key []byte) (metrics.OpStats, error)
+	Delete(key []byte) error
+	DeleteStats(key []byte) (metrics.OpStats, error)
+	Contains(key []byte) bool
+	Probe(key []byte) (bool, metrics.OpStats)
+	MemoryBits() int
+}
+
+// Static interface checks.
+var (
+	_ countingFilter = (*cbf.Filter)(nil)
+	_ countingFilter = (*pcbf.Filter)(nil)
+	_ countingFilter = (*core.Filter)(nil)
+)
+
+// structure names used across tables, in the paper's order.
+var structureNames = []string{"CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"}
+
+const wordBits = 64 // the evaluation's word size (64-bit processors)
+
+// buildFilter constructs one of the evaluated structures at the given
+// memory budget. n is the expected distinct population (for MPCBF's
+// layout heuristic).
+func buildFilter(name string, memBits, n, k int, seed uint32) (countingFilter, error) {
+	switch name {
+	case "CBF":
+		return cbf.FromMemory(memBits, k, seed)
+	case "PCBF-1":
+		return pcbf.FromMemory(memBits, wordBits, k, 1, seed)
+	case "PCBF-2":
+		return pcbf.FromMemory(memBits, wordBits, k, 2, seed)
+	case "PCBF-3":
+		return pcbf.FromMemory(memBits, wordBits, k, 3, seed)
+	case "MPCBF-1", "MPCBF-2", "MPCBF-3":
+		g := int(name[len(name)-1] - '0')
+		// Eq. 11 targets about one word at the overflow threshold across
+		// the filter; the saturate policy absorbs that tail event (one
+		// always-positive word in tens of thousands) instead of failing,
+		// matching how a hardware deployment would degrade.
+		return core.New(core.Config{
+			MemoryBits: memBits, ExpectedN: n, W: wordBits, K: k, G: g,
+			Seed: seed, Overflow: core.OverflowSaturate,
+		})
+	default:
+		return nil, fmt.Errorf("sim: unknown structure %q", name)
+	}
+}
+
+// fmtRate renders a false positive rate the way the paper's plots do.
+func fmtRate(r float64) string {
+	switch {
+	case r == 0:
+		return "0"
+	case r < 1e-3:
+		return fmt.Sprintf("%.2e", r)
+	default:
+		return fmt.Sprintf("%.5f", r)
+	}
+}
+
+func fmtMb(bits int) string {
+	return fmt.Sprintf("%.2f", float64(bits)/(1<<20))
+}
+
+// sortedKeys returns map keys in sorted order (deterministic rendering).
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

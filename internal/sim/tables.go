@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+)
+
+// tableMemMb is the memory point used for Tables I-II (mid-sweep, as the
+// paper's overhead tables are memory-insensitive for the partitioned
+// structures).
+const tableMemMb = 6.0
+
+// traceTableMemMb is the memory point for Table III.
+const traceTableMemMb = 12.0
+
+// Table1 regenerates Table I: query overhead (number of memory accesses
+// and access bandwidth) with k=3 and k=4, measured over the mixed query
+// stream.
+func Table1(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "tab1",
+		Title:  "Query overhead with k=3 and k=4",
+		Header: []string{"structure", "k=3 accesses", "k=3 bandwidth(bits)", "k=4 accesses", "k=4 bandwidth(bits)"},
+		Notes: []string{
+			"Paper Table I: PCBF/MPCBF-1 cost 1.0 access, the g=2 variants ~1.8, CBF short-circuits to ~2.1-2.8.",
+		},
+	}
+	memBits := o.memBits(tableMemMb)
+	rows := make(map[string][]string, len(structureNames))
+	for _, name := range structureNames {
+		rows[name] = []string{name}
+	}
+	for _, k := range []int{3, 4} {
+		env, err := newSynthEnv(o, memBits, k, structureNames)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range structureNames {
+			acc, bits := measureQueryOverhead(env, name)
+			rows[name] = append(rows[name], fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.0f", bits))
+		}
+	}
+	for _, name := range structureNames {
+		t.Rows = append(t.Rows, rows[name])
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table II: update overhead (insert + delete averages)
+// with k=3 and k=4, measured over the churn stream.
+func Table2(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Update overhead with k=3 and k=4",
+		Header: []string{"structure", "k=3 accesses", "k=3 bandwidth(bits)", "k=4 accesses", "k=4 bandwidth(bits)"},
+		Notes: []string{
+			"Updates cannot short-circuit: CBF pays k accesses, PCBF/MPCBF pay g;",
+			"MPCBF bandwidth is slightly above PCBF's due to hierarchy traversal (Section III.B.2).",
+		},
+	}
+	memBits := o.memBits(tableMemMb)
+	rows := make(map[string][]string, len(structureNames))
+	for _, name := range structureNames {
+		rows[name] = []string{name}
+	}
+	for _, k := range []int{3, 4} {
+		env, err := newSynthEnv(o, memBits, k, structureNames)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range structureNames {
+			acc, bits, err := measureUpdateOverhead(env, name)
+			if err != nil {
+				return nil, err
+			}
+			rows[name] = append(rows[name], fmt.Sprintf("%.1f", acc), fmt.Sprintf("%.0f", bits))
+		}
+	}
+	for _, name := range structureNames {
+		t.Rows = append(t.Rows, rows[name])
+	}
+	return t, nil
+}
+
+// measureUpdateOverhead runs one further churn period through the filter
+// with instrumented updates and averages the per-operation stats.
+func measureUpdateOverhead(env *synthEnv, name string) (accesses, bits float64, err error) {
+	f := env.filters[name]
+	var agg metrics.Aggregate
+	// Delete the churn-inserted strings and re-insert the churn-deleted
+	// ones: a full update period that also restores the filter state.
+	for _, key := range env.workload.InsertChurn {
+		st, err := f.DeleteStats(key)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s delete: %w", name, err)
+		}
+		agg.Observe(st)
+	}
+	for _, key := range env.workload.DeleteChurn {
+		st, err := f.InsertStats(key)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s insert: %w", name, err)
+		}
+		agg.Observe(st)
+	}
+	return agg.MeanAccesses(), agg.MeanHashBits(), nil
+}
+
+// Table3 regenerates Table III: processing overhead with k=3 on the IP
+// traces — query averages over the packet stream and update averages over
+// the flow churn.
+func Table3(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "tab3",
+		Title:  "Processing overhead with k=3 on IP traces",
+		Header: []string{"structure", "query accesses", "query bandwidth(bits)", "update accesses", "update bandwidth(bits)"},
+		Notes: []string{
+			"Paper Table III: CBF averages 2.1 query accesses (short-circuit), 3.0 update accesses;",
+			"MPCBF-1/2 average 1.0/1.5 query and 1.0/2.0 update accesses.",
+		},
+	}
+	env, err := newTraceEnvBase(o)
+	if err != nil {
+		return nil, err
+	}
+	memBits := o.memBits(traceTableMemMb)
+	for _, name := range structureNames {
+		f, err := buildFilter(name, memBits, len(env.testSet), 3, uint32(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		var upd metrics.Aggregate
+		for _, fl := range env.testSet {
+			st, err := f.InsertStats(fl.Key())
+			if err != nil {
+				return nil, fmt.Errorf("%s insert: %w", name, err)
+			}
+			upd.Observe(st)
+		}
+		for _, fl := range env.delChurn {
+			st, err := f.DeleteStats(fl.Key())
+			if err != nil {
+				return nil, fmt.Errorf("%s delete: %w", name, err)
+			}
+			upd.Observe(st)
+		}
+		for _, fl := range env.insChurn {
+			st, err := f.InsertStats(fl.Key())
+			if err != nil {
+				return nil, fmt.Errorf("%s insert: %w", name, err)
+			}
+			upd.Observe(st)
+		}
+		var qry metrics.Aggregate
+		for _, p := range env.trace.Packets {
+			_, st := f.Probe(p.Key())
+			qry.Observe(st)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", qry.MeanAccesses()),
+			fmt.Sprintf("%.0f", qry.MeanHashBits()),
+			fmt.Sprintf("%.1f", upd.MeanAccesses()),
+			fmt.Sprintf("%.0f", upd.MeanHashBits()),
+		})
+	}
+	return t, nil
+}
+
+// joinFilterBits is the filter budget per patent for Table IV. The paper
+// ran its filters heavily loaded (CBF at 35.7% fpr); we use a moderate
+// load that preserves the ordering CBF > MPCBF-1 > MPCBF-2 and the
+// resulting map-output/time reductions (see EXPERIMENTS.md).
+const joinFilterBits = 24
+
+// Table4 regenerates Table IV: reduce-side join performance in MapReduce
+// with no filter, CBF, MPCBF-1 and MPCBF-2 broadcast to the map tasks.
+func Table4(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "tab4",
+		Title: "Join performance comparison in MapReduce (synthetic NBER-shape tables)",
+		Header: []string{"filter", "filter FPR", "map outputs", "outputs vs none",
+			"outputs vs CBF", "shuffle(KB)", "shuffle vs CBF", "time(ms)", "joined rows"},
+		Notes: []string{
+			"Paper Table IV: MPCBF-1/2 cut CBF's false-pass rate ~3.7x/8x, map outputs by 26.7%/30.3%,",
+			"total execution time by 14.3%/15.2%. Join output is identical across filters.",
+			"In-process, the paper's time gain shows up as shuffle-byte reduction: wall time here has",
+			"no cluster network/disk component (see EXPERIMENTS.md).",
+		},
+	}
+	// The join workload is ~30x the string workload; run it at a reduced
+	// relative scale so `-scale 1` stays laptop-sized, and record that.
+	jc := dataset.DefaultJoinConfig(o.Scale*0.1, o.Seed)
+	ds, err := dataset.NewJoinDataset(jc)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"tables: %d patents x %d citations (match fraction %.2f)",
+		len(ds.Patents), len(ds.Citations), jc.MatchFraction))
+
+	left := make([]mapreduce.KV, len(ds.Patents))
+	patentKeys := make([][]byte, len(ds.Patents))
+	for i, p := range ds.Patents {
+		key := dataset.PatentKey(p.ID)
+		patentKeys[i] = key
+		left[i] = mapreduce.KV{Key: string(key), Value: fmt.Sprintf("%d,%s", p.Year, p.Country)}
+	}
+	right := make([]mapreduce.KV, len(ds.Citations))
+	for i, c := range ds.Citations {
+		right[i] = mapreduce.KV{Key: string(dataset.PatentKey(c.Cited)), Value: fmt.Sprintf("%d", c.Citing)}
+	}
+
+	memBits := len(ds.Patents) * joinFilterBits
+	if memBits < 4*wordBits {
+		memBits = 4 * wordBits
+	}
+	kinds := []string{"none", "CBF", "MPCBF-1", "MPCBF-2"}
+	var baseOutputs, cbfOutputs, cbfShuffle int64
+	var baseRows int
+	for _, kind := range kinds {
+		var filter mapreduce.MembershipFilter
+		if kind != "none" {
+			f, err := buildFilter(kind, memBits, len(ds.Patents), 3, uint32(o.Seed))
+			if err != nil {
+				return nil, err
+			}
+			for _, key := range patentKeys {
+				if err := f.Insert(key); err != nil {
+					return nil, fmt.Errorf("filter insert: %w", err)
+				}
+			}
+			filter = membershipAdapter{f}
+		}
+		_, stats, err := mapreduce.ReduceSideJoin(left, right, filter, 8, 4)
+		if err != nil {
+			return nil, err
+		}
+		nonMatching := int64(len(ds.Citations) - ds.Matching)
+		fpr := 0.0
+		if nonMatching > 0 {
+			fpr = float64(stats.FilterFalsePositives) / float64(nonMatching)
+		}
+		outVsNone, outVsCBF, shufVsCBF := "-", "-", "-"
+		switch kind {
+		case "none":
+			baseOutputs = stats.MapOutputRecords
+			baseRows = stats.JoinedRows
+		case "CBF":
+			cbfOutputs = stats.MapOutputRecords
+			cbfShuffle = stats.ShuffleBytes
+			outVsNone = fmt.Sprintf("%.1f%%", 100*(1-float64(stats.MapOutputRecords)/float64(baseOutputs)))
+		default:
+			outVsNone = fmt.Sprintf("%.1f%%", 100*(1-float64(stats.MapOutputRecords)/float64(baseOutputs)))
+			outVsCBF = fmt.Sprintf("%.1f%%", 100*(1-float64(stats.MapOutputRecords)/float64(cbfOutputs)))
+			shufVsCBF = fmt.Sprintf("%.1f%%", 100*(1-float64(stats.ShuffleBytes)/float64(cbfShuffle)))
+		}
+		if kind != "none" && stats.JoinedRows != baseRows {
+			return nil, fmt.Errorf("filter %s changed the join: %d rows vs %d", kind, stats.JoinedRows, baseRows)
+		}
+		t.Rows = append(t.Rows, []string{
+			kind,
+			fmtRate(fpr),
+			fmt.Sprintf("%d", stats.MapOutputRecords),
+			outVsNone,
+			outVsCBF,
+			fmt.Sprintf("%d", stats.ShuffleBytes/1024),
+			shufVsCBF,
+			fmt.Sprintf("%d", stats.Elapsed.Milliseconds()),
+			fmt.Sprintf("%d", stats.JoinedRows),
+		})
+	}
+	return t, nil
+}
+
+// membershipAdapter narrows a countingFilter to the join's filter contract.
+type membershipAdapter struct{ f countingFilter }
+
+func (m membershipAdapter) Contains(key []byte) bool { return m.f.Contains(key) }

@@ -1,0 +1,134 @@
+package spectral
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, false, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 0, true, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEstimateNeverUndercounts(t *testing.T) {
+	for _, minInc := range []bool{false, true} {
+		f, _ := New(1<<14, 4, minInc, 1)
+		rng := hashing.NewRNG(2)
+		truth := make(map[string]int)
+		universe := keys("u", 500)
+		for op := 0; op < 20000; op++ {
+			k := universe[rng.Intn(len(universe))]
+			f.Insert(k)
+			truth[string(k)]++
+		}
+		for k, n := range truth {
+			if got := f.Estimate([]byte(k)); got < n {
+				t.Fatalf("minInc=%v: Estimate(%q) = %d below truth %d", minInc, k, got, n)
+			}
+		}
+	}
+}
+
+func TestMinimalIncreaseNeverWorse(t *testing.T) {
+	// The SBF theorem: for every key, the Minimal Increase estimate is at
+	// most the plain-increment estimate under the same insert sequence and
+	// hash family.
+	plain, _ := New(1<<12, 3, false, 7)
+	mi, _ := New(1<<12, 3, true, 7)
+	rng := hashing.NewRNG(3)
+	universe := keys("u", 2000)
+	var seq [][]byte
+	for op := 0; op < 30000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		seq = append(seq, k)
+		plain.Insert(k)
+		mi.Insert(k)
+	}
+	for _, k := range universe {
+		if mi.Estimate(k) > plain.Estimate(k) {
+			t.Fatalf("minimal increase worsened %q: %d > %d", k, mi.Estimate(k), plain.Estimate(k))
+		}
+	}
+	_ = seq
+}
+
+func TestMinimalIncreaseReducesError(t *testing.T) {
+	// Aggregate estimation error must drop clearly under Minimal Increase
+	// at a loaded operating point.
+	const m, nKeys, inserts = 8192, 4000, 40000
+	plain, _ := New(m, 3, false, 9)
+	mi, _ := New(m, 3, true, 9)
+	rng := hashing.NewRNG(4)
+	truth := make(map[string]int)
+	universe := keys("u", nKeys)
+	for op := 0; op < inserts; op++ {
+		k := universe[rng.Intn(nKeys)]
+		plain.Insert(k)
+		mi.Insert(k)
+		truth[string(k)]++
+	}
+	var errPlain, errMI int
+	for k, n := range truth {
+		errPlain += plain.Estimate([]byte(k)) - n
+		errMI += mi.Estimate([]byte(k)) - n
+	}
+	if errMI*2 >= errPlain {
+		t.Fatalf("minimal increase error %d not well below plain %d", errMI, errPlain)
+	}
+}
+
+func TestContains(t *testing.T) {
+	f, _ := New(1<<12, 3, true, 0)
+	if f.Contains([]byte("x")) {
+		t.Fatal("fresh filter positive")
+	}
+	f.Insert([]byte("x"))
+	if !f.Contains([]byte("x")) {
+		t.Fatal("false negative")
+	}
+}
+
+func TestExactWhenSparse(t *testing.T) {
+	// With a nearly empty filter the estimates are exact.
+	f, _ := New(1<<16, 4, true, 5)
+	for i, k := range keys("sparse", 20) {
+		for j := 0; j <= i; j++ {
+			f.Insert(k)
+		}
+	}
+	for i, k := range keys("sparse", 20) {
+		if got := f.Estimate(k); got != i+1 {
+			t.Fatalf("Estimate(%q) = %d, want %d", k, got, i+1)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(256, 3, true, 0)
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, _ := New(100, 3, false, 0)
+	if f.M() != 100 || f.K() != 3 || f.MemoryBits() != 3200 {
+		t.Fatal("accessor mismatch")
+	}
+}

@@ -1,0 +1,205 @@
+// Package vicbf implements the Variable-Increment Counting Bloom Filter
+// of Rottenstreich, Kanizo and Keslassy (INFOCOM 2012), cited by the
+// paper's related work as the state-of-the-art accuracy improvement that
+// still pays k memory accesses per query — the trade-off MPCBF avoids.
+//
+// VI-CBF (the DL scheme): each of a key's k counters is incremented not
+// by 1 but by a key-dependent value from D = {L, ..., 2L-1}. On a query,
+// a counter C probed with increment v rules the key out unless C == 0 is
+// false and the residual C - v is either 0 or at least L: any other key
+// contributes at least L, so a residual in [1, L-1] proves this key's own
+// increment was never added.
+package vicbf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/metrics"
+)
+
+// L is the DL-scheme base: increments are drawn from {L, ..., 2L-1}.
+// The VI-CBF paper recommends L = 4.
+const L = 4
+
+// counterBits is the per-counter width. Variable increments need wider
+// counters than the CBF's 4 bits; 8 bits keeps overflow negligible.
+const counterBits = 8
+
+const counterMax = 1<<counterBits - 1
+
+// ErrUnderflow is returned when Delete would drive a counter negative.
+var ErrUnderflow = errors.New("vicbf: delete of absent key (counter underflow)")
+
+// Filter is a variable-increment CBF with m 8-bit counters and k hashes.
+type Filter struct {
+	counters []uint8
+	m, k     int
+	hasher   hashing.Hasher
+	count    int
+	sticky   int
+}
+
+// New returns a VI-CBF with m counters and k hash functions.
+func New(m, k int, seed uint32) (*Filter, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("vicbf: m and k must be positive (m=%d, k=%d)", m, k)
+	}
+	return &Filter{
+		counters: make([]uint8, m),
+		m:        m,
+		k:        k,
+		hasher:   hashing.NewHasher(seed),
+	}, nil
+}
+
+// FromMemory returns a VI-CBF occupying memoryBits bits
+// (m = memoryBits/8 counters).
+func FromMemory(memoryBits, k int, seed uint32) (*Filter, error) {
+	return New(memoryBits/counterBits, k, seed)
+}
+
+// M returns the number of counters; K the number of hash functions.
+func (f *Filter) M() int { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count returns the current number of elements.
+func (f *Filter) Count() int { return f.count }
+
+// MemoryBits returns the filter's footprint in bits.
+func (f *Filter) MemoryBits() int { return f.m * counterBits }
+
+// Saturated reports how many counters are stuck at the maximum.
+func (f *Filter) Saturated() int { return f.sticky }
+
+// probe is one (counter index, increment) pair of a key.
+type probe struct {
+	idx int
+	inc uint8
+}
+
+func (f *Filter) probes(key []byte) []probe {
+	s := f.hasher.NewIndexStream(key)
+	out := make([]probe, f.k)
+	for i := range out {
+		out[i] = probe{
+			idx: s.Slot(i, f.m),
+			inc: uint8(L + hashing.Reduce(s.Aux(i), L)),
+		}
+	}
+	return out
+}
+
+func (f *Filter) opCost() metrics.OpStats {
+	// Addressing log2(m) bits plus log2(L) bits to pick the increment,
+	// per hash.
+	return metrics.OpStats{
+		MemAccesses: f.k,
+		HashBits:    f.k * (metrics.Log2Ceil(f.m) + metrics.Log2Ceil(L)),
+	}
+}
+
+// Insert adds key, bumping each of its counters by its variable increment.
+func (f *Filter) Insert(key []byte) error {
+	_, err := f.InsertStats(key)
+	return err
+}
+
+// InsertStats is Insert with cost accounting.
+func (f *Filter) InsertStats(key []byte) (metrics.OpStats, error) {
+	for _, p := range f.probes(key) {
+		c := int(f.counters[p.idx]) + int(p.inc)
+		if c >= counterMax {
+			if f.counters[p.idx] != counterMax {
+				f.sticky++
+			}
+			c = counterMax // saturate; sticky like the CBF's 4-bit counters
+		}
+		f.counters[p.idx] = uint8(c)
+	}
+	f.count++
+	return f.opCost(), nil
+}
+
+// Delete removes key, subtracting its increments. Saturated counters are
+// sticky; an underflowing subtraction reports ErrUnderflow and leaves the
+// counter at zero.
+func (f *Filter) Delete(key []byte) error {
+	_, err := f.DeleteStats(key)
+	return err
+}
+
+// DeleteStats is Delete with cost accounting.
+func (f *Filter) DeleteStats(key []byte) (metrics.OpStats, error) {
+	var underflow bool
+	for _, p := range f.probes(key) {
+		switch cur := f.counters[p.idx]; {
+		case cur == counterMax:
+			// sticky
+		case cur < p.inc:
+			underflow = true
+			f.counters[p.idx] = 0
+		default:
+			f.counters[p.idx] = cur - p.inc
+		}
+	}
+	f.count--
+	if underflow {
+		return f.opCost(), ErrUnderflow
+	}
+	return f.opCost(), nil
+}
+
+// admits is the DL-scheme membership rule for one counter.
+func admits(counter, inc uint8) bool {
+	if counter == counterMax {
+		return true // saturated: no evidence either way
+	}
+	if counter < inc {
+		return false
+	}
+	residual := counter - inc
+	return residual == 0 || residual >= L
+}
+
+// Contains reports whether key may be in the set.
+func (f *Filter) Contains(key []byte) bool {
+	s := f.hasher.NewIndexStream(key)
+	for i := 0; i < f.k; i++ {
+		idx := s.Slot(i, f.m)
+		inc := uint8(L + hashing.Reduce(s.Aux(i), L))
+		if !admits(f.counters[idx], inc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Probe is Contains with cost accounting (short-circuits like the CBF).
+func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
+	s := f.hasher.NewIndexStream(key)
+	perProbe := metrics.Log2Ceil(f.m) + metrics.Log2Ceil(L)
+	var st metrics.OpStats
+	for i := 0; i < f.k; i++ {
+		st.MemAccesses++
+		st.HashBits += perProbe
+		idx := s.Slot(i, f.m)
+		inc := uint8(L + hashing.Reduce(s.Aux(i), L))
+		if !admits(f.counters[idx], inc) {
+			return false, st
+		}
+	}
+	return true, st
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+	f.count = 0
+	f.sticky = 0
+}

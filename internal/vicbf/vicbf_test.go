@@ -1,0 +1,204 @@
+package vicbf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cbf"
+	"repro/internal/hashing"
+)
+
+func keys(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	f, err := FromMemory(1<<16, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M() != 1<<16/8 || f.MemoryBits() != 1<<16 {
+		t.Fatalf("sizing: m=%d bits=%d", f.M(), f.MemoryBits())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, _ := New(1<<14, 3, 1)
+	in := keys("in", 1500)
+	for _, k := range in {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range in {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	for _, k := range in {
+		if err := f.Delete(k); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	for _, k := range in {
+		if f.Contains(k) {
+			t.Fatalf("stale positive for %q", k)
+		}
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestAdmitsRule(t *testing.T) {
+	// The DL-scheme residual rule, checked directly.
+	cases := []struct {
+		counter, inc uint8
+		want         bool
+	}{
+		{0, 4, false},    // empty counter
+		{4, 4, true},     // exactly own increment
+		{5, 4, false},    // residual 1 in [1, L-1]
+		{7, 4, false},    // residual 3 in [1, L-1]
+		{8, 4, true},     // residual 4 >= L (another key's minimum)
+		{3, 4, false},    // counter below increment
+		{7, 7, true},     // exact match with max increment
+		{255, 200, true}, // saturated: always admits
+	}
+	for _, c := range cases {
+		if got := admits(c.counter, c.inc); got != c.want {
+			t.Errorf("admits(%d, %d) = %v, want %v", c.counter, c.inc, got, c.want)
+		}
+	}
+}
+
+func TestVariableIncrementsInRange(t *testing.T) {
+	f, _ := New(1<<12, 4, 7)
+	for _, k := range keys("k", 200) {
+		for _, p := range f.probes(k) {
+			if p.inc < L || p.inc >= 2*L {
+				t.Fatalf("increment %d outside [%d, %d)", p.inc, L, 2*L)
+			}
+			if p.idx < 0 || p.idx >= f.M() {
+				t.Fatalf("index %d out of range", p.idx)
+			}
+		}
+	}
+}
+
+func TestDeleteAbsentUnderflows(t *testing.T) {
+	f, _ := New(1<<12, 3, 1)
+	if err := f.Delete([]byte("ghost")); err != ErrUnderflow {
+		t.Fatalf("expected ErrUnderflow, got %v", err)
+	}
+}
+
+func TestFPRBelowPlainCBFSameCounters(t *testing.T) {
+	// The VI-CBF result: at the same number of counters (m), the variable
+	// increments cut the false positive rate well below the plain CBF's.
+	const m, n = 40000, 10000
+	vi, _ := New(m, 3, 2)
+	std, _ := cbf.New(m, 3, 2)
+	for _, k := range keys("in", n) {
+		vi.Insert(k)
+		std.Insert(k)
+	}
+	fpVI, fpStd := 0, 0
+	const probes = 300000
+	for _, k := range keys("out", probes) {
+		if vi.Contains(k) {
+			fpVI++
+		}
+		if std.Contains(k) {
+			fpStd++
+		}
+	}
+	if fpVI*2 >= fpStd {
+		t.Fatalf("VI-CBF fp=%d not well below CBF fp=%d at equal m", fpVI, fpStd)
+	}
+}
+
+func TestSaturationSafety(t *testing.T) {
+	f, _ := New(64, 3, 0)
+	k := []byte("hot")
+	for i := 0; i < 100; i++ {
+		f.Insert(k)
+	}
+	if f.Saturated() == 0 {
+		t.Fatal("expected saturated counters")
+	}
+	for i := 0; i < 50; i++ {
+		f.Delete(k)
+	}
+	if !f.Contains(k) {
+		t.Fatal("false negative on saturated counters")
+	}
+}
+
+func TestProbeShortCircuit(t *testing.T) {
+	f, _ := New(1024, 5, 0)
+	ok, st := f.Probe([]byte("absent"))
+	if ok || st.MemAccesses != 1 {
+		t.Fatalf("empty probe: ok=%v acc=%d", ok, st.MemAccesses)
+	}
+	f.Insert([]byte("x"))
+	ok, st = f.Probe([]byte("x"))
+	if !ok || st.MemAccesses != 5 {
+		t.Fatalf("member probe: ok=%v acc=%d", ok, st.MemAccesses)
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	f, _ := New(1024, 3, 0)
+	st, err := f.InsertStats([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 * (log2(1024) + log2(4)) = 3 * 12 = 36
+	if st.MemAccesses != 3 || st.HashBits != 36 {
+		t.Fatalf("insert stats %+v", st)
+	}
+}
+
+func TestRandomOpsNoFalseNegatives(t *testing.T) {
+	f, _ := New(1<<14, 3, 5)
+	ref := make(map[string]int)
+	rng := hashing.NewRNG(23)
+	universe := keys("u", 300)
+	for op := 0; op < 15000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		if (rng.Intn(2) == 0 || ref[string(k)] == 0) && ref[string(k)] < 20 {
+			f.Insert(k)
+			ref[string(k)]++
+		} else {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			ref[string(k)]--
+		}
+	}
+	for k, n := range ref {
+		if n > 0 && !f.Contains([]byte(k)) {
+			t.Fatalf("false negative for %q (count %d)", k, n)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(256, 3, 0)
+	f.Insert([]byte("a"))
+	f.Reset()
+	if f.Count() != 0 || f.Contains([]byte("a")) || f.Saturated() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,101 @@
+package mpcbf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestArbitraryKeys drives every structure with adversarial key shapes:
+// empty, long, binary, shared prefixes/suffixes. Filters must treat keys
+// as opaque bytes.
+func TestArbitraryKeys(t *testing.T) {
+	awkward := [][]byte{
+		{},
+		{0},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		[]byte("plain"),
+		bytes.Repeat([]byte{0xFF}, 1000),
+		bytes.Repeat([]byte("ab"), 500),
+		append([]byte("prefix"), 0),
+		append([]byte{0}, []byte("prefix")...),
+		[]byte{0xE2, 0x98, 0x83}, // multi-byte UTF-8
+	}
+	opts := Options{MemoryBits: 1 << 16, ExpectedItems: 100, Seed: 7}
+	mp, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewCBF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPCBF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []CountingFilter{mp, cb, pc} {
+		for _, k := range awkward {
+			if err := f.Insert(k); err != nil {
+				t.Fatalf("insert %q: %v", k, err)
+			}
+		}
+		for _, k := range awkward {
+			if !f.Contains(k) {
+				t.Fatalf("false negative for %q", k)
+			}
+		}
+		for _, k := range awkward {
+			if err := f.Delete(k); err != nil {
+				t.Fatalf("delete %q: %v", k, err)
+			}
+		}
+	}
+}
+
+// TestQuickInsertImpliesContains is the fundamental property under random
+// byte-slice keys: anything inserted must be found, and a balanced delete
+// must not leave the filter claiming a higher count than before.
+func TestQuickInsertImpliesContains(t *testing.T) {
+	f, err := New(Options{MemoryBits: 1 << 18, ExpectedItems: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(key []byte) bool {
+		if err := f.Insert(key); err != nil {
+			return false
+		}
+		if !f.Contains(key) {
+			return false
+		}
+		before := f.EstimateCount(key)
+		if err := f.Delete(key); err != nil {
+			return false
+		}
+		return f.EstimateCount(key) < before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeedIsolation: filters with different seeds are independent
+// hash families, but each is self-consistent for any key.
+func TestQuickSeedIsolation(t *testing.T) {
+	prop := func(key []byte, seed uint32) bool {
+		f, err := New(Options{MemoryBits: 1 << 14, ExpectedItems: 50, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if f.Contains(key) {
+			return false // fresh filter must be empty
+		}
+		if err := f.Insert(key); err != nil {
+			return false
+		}
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

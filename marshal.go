@@ -1,0 +1,86 @@
+package mpcbf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: the complete filter
+// state (geometry, counters, saturated words) in a deterministic
+// little-endian format. This is how Section V's reduce-side join ships a
+// loaded filter to every map task (the DistributedCache pattern).
+func (m *MPCBF) MarshalBinary() ([]byte, error) {
+	return m.f.MarshalBinary()
+}
+
+// UnmarshalMPCBF reconstructs a filter serialized with MarshalBinary. The
+// result is fully functional and independent of the original.
+func UnmarshalMPCBF(data []byte) (*MPCBF, error) {
+	f, err := core.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return &MPCBF{f: f}, nil
+}
+
+// MarshalBinary serializes a sharded filter: a small header followed by
+// each shard's encoding. Not safe to call concurrently with updates.
+func (s *Sharded) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(s.shards)))
+	binary.LittleEndian.PutUint64(out[4:12], uint64(s.count.Load()))
+	for i := range s.shards {
+		blob, err := s.shards[i].f.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("mpcbf: shard %d: %w", i, err)
+		}
+		var size [4]byte
+		binary.LittleEndian.PutUint32(size[:], uint32(len(blob)))
+		out = append(out, size[:]...)
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// UnmarshalSharded reconstructs a sharded filter serialized with
+// (*Sharded).MarshalBinary. The shard-selection seed is not stored in the
+// shard blobs, so the original construction seed must be supplied.
+func UnmarshalSharded(data []byte, seed uint32) (*Sharded, error) {
+	if len(data) < 12 {
+		return nil, errors.New("mpcbf: truncated sharded filter")
+	}
+	nShards := int(binary.LittleEndian.Uint32(data[0:4]))
+	count := int64(binary.LittleEndian.Uint64(data[4:12]))
+	if nShards < 1 || nShards > 1<<20 || count < 0 {
+		return nil, errors.New("mpcbf: implausible sharded header")
+	}
+	s := &Sharded{
+		shards: make([]shard, nShards),
+		pick:   pickHasher(seed),
+	}
+	off := 12
+	for i := 0; i < nShards; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("mpcbf: truncated at shard %d", i)
+		}
+		size := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 4
+		if size < 0 || off+size > len(data) {
+			return nil, fmt.Errorf("mpcbf: bad shard %d size %d", i, size)
+		}
+		f, err := UnmarshalMPCBF(data[off : off+size])
+		if err != nil {
+			return nil, fmt.Errorf("mpcbf: shard %d: %w", i, err)
+		}
+		s.shards[i].f = f
+		off += size
+	}
+	if off != len(data) {
+		return nil, errors.New("mpcbf: trailing bytes after shards")
+	}
+	s.count.Store(count)
+	return s, nil
+}

@@ -1,0 +1,51 @@
+package mpcbf
+
+import "repro/internal/analytic"
+
+// TuneK returns the number of hash functions minimizing the analytic false
+// positive rate of an MPCBF with the given geometry (brute-force search,
+// as in the paper's Fig. 9), together with that rate. Unlike the standard
+// CBF — whose optimum grows with memory — MPCBF's optimal k is nearly
+// constant (≈3 for g=1, 4-5 for g=2).
+func TuneK(expectedItems, memoryBits, memoryAccesses int) (k int, fpr float64) {
+	g := memoryAccesses
+	if g <= 0 {
+		g = 1
+	}
+	return analytic.OptimalKMPCBF(expectedItems, memoryBits, 64, g, 16)
+}
+
+// TuneKCBF returns the optimal k of a standard CBF at the given memory
+// ((m/n)·ln 2 over m = memoryBits/4 counters) and its analytic rate.
+func TuneKCBF(expectedItems, memoryBits int) (k int, fpr float64) {
+	return analytic.OptimalKCBF(expectedItems, memoryBits)
+}
+
+// OverflowProbability bounds the chance that any MPCBF word overflows its
+// capacity when n distinct items are inserted into a filter of the given
+// geometry (Eq. 6 / Eq. 10 of the paper). New's sizing heuristic keeps
+// this vanishingly small; use this to validate custom geometries.
+func OverflowProbability(expectedItems, memoryBits, wordBits, memoryAccesses int) float64 {
+	w := wordBits
+	if w <= 0 {
+		w = 64
+	}
+	g := memoryAccesses
+	if g <= 0 {
+		g = 1
+	}
+	l := memoryBits / w
+	if l < 1 {
+		return 1
+	}
+	nmax := analytic.HeuristicNmax(g*expectedItems, l)
+	// Exact per-word tail (a word overflows when it receives more than its
+	// nmax-element capacity), union-bounded over the l words. The paper's
+	// closed-form Eq. 6/10 bound is looser; see analytic.OverflowBoundMPCBFg.
+	tail := analytic.OverflowExactTail(g*expectedItems, l, nmax+1)
+	p := float64(l) * tail
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
