@@ -1,0 +1,58 @@
+GO ?= go
+BENCHTIME ?= 1s
+
+.PHONY: build test vet race bench bench-json fuzz-kernel ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Ops' -benchtime $(BENCHTIME) .
+
+# bench-json runs the word-kernel benchmark pairs and records the ns/op
+# numbers (plus kernel-vs-generic speedups) in BENCH_kernel.json.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Benchmark(Kernel|Generic|OpsMPCBF1)' \
+		-benchtime $(BENCHTIME) . | tee /tmp/bench_kernel.txt
+	awk ' \
+	  /^Benchmark/ { \
+	    name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    ns[name] = $$3; order[n++] = name; \
+	  } \
+	  END { \
+	    printf "{\n  \"geometry\": {\"w\": 64, \"k\": 3, \"g\": 1, \"memory_bits\": 8388608},\n"; \
+	    printf "  \"ns_per_op\": {\n"; \
+	    for (i = 0; i < n; i++) { \
+	      printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : ""); \
+	    } \
+	    printf "  },\n  \"speedups\": {\n"; \
+	    printf "    \"insert_delete_kernel_vs_generic\": %.2f,\n", \
+	      ns["BenchmarkGenericInsertDelete"] / ns["BenchmarkKernelInsertDelete"]; \
+	    printf "    \"contains_kernel_vs_generic\": %.2f,\n", \
+	      ns["BenchmarkGenericContains"] / ns["BenchmarkKernelContains"]; \
+	    printf "    \"word_incdec_kernel_vs_generic\": %.2f,\n", \
+	      ns["BenchmarkGenericWordIncDec"] / ns["BenchmarkKernelRawIncDec"]; \
+	    printf "    \"word_count_kernel_vs_generic\": %.2f\n", \
+	      ns["BenchmarkGenericWordCount"] / ns["BenchmarkKernelRawCount"]; \
+	    printf "  }\n}\n"; \
+	  }' /tmp/bench_kernel.txt > BENCH_kernel.json
+	@cat BENCH_kernel.json
+
+# fuzz-kernel gives the kernel/generic differential fuzzers a short budget
+# each; raise FUZZTIME for longer campaigns.
+FUZZTIME ?= 10s
+fuzz-kernel:
+	$(GO) test -run '^$$' -fuzz FuzzWordKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/hcbf
+	$(GO) test -run '^$$' -fuzz FuzzKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/core
+
+ci: build vet race
+	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

@@ -225,6 +225,177 @@ func BenchmarkHCBFWordCount(b *testing.B) {
 	_ = sink
 }
 
+// --- word kernel ---------------------------------------------------------
+//
+// BenchmarkKernel*/BenchmarkGeneric* pairs measure the register-resident
+// word kernel against the generic arena path on identical geometry (the
+// default w=64, k=3, g=1). `make bench-json` runs them and records the
+// ns/op pairs in BENCH_kernel.json.
+
+// kernelMicroFilter builds the default micro-benchmark geometry directly on
+// the core filter, with the kernel on or off.
+func kernelMicroFilter(b *testing.B, disable bool) *core.Filter {
+	b.Helper()
+	f, err := core.New(core.Config{
+		MemoryBits:    microMem,
+		ExpectedN:     microN,
+		W:             64,
+		K:             3,
+		G:             1,
+		Overflow:      core.OverflowSaturate,
+		DisableKernel: disable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func benchCoreInsertDelete(b *testing.B, f *core.Filter) {
+	b.Helper()
+	keys := microKeys(microN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if err := f.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Delete(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCoreContains(b *testing.B, f *core.Filter) {
+	b.Helper()
+	keys := microKeys(microN)
+	for _, k := range keys[:microN*8/10] {
+		if err := f.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		if f.Contains(keys[i%len(keys)]) {
+			sink++
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkKernelInsertDelete(b *testing.B)  { benchCoreInsertDelete(b, kernelMicroFilter(b, false)) }
+func BenchmarkGenericInsertDelete(b *testing.B) { benchCoreInsertDelete(b, kernelMicroFilter(b, true)) }
+func BenchmarkKernelContains(b *testing.B)      { benchCoreContains(b, kernelMicroFilter(b, false)) }
+func BenchmarkGenericContains(b *testing.B)     { benchCoreContains(b, kernelMicroFilter(b, true)) }
+
+// benchWordIncDec cycles one word through increment/decrement pairs so the
+// hierarchy stays populated and both directions are timed.
+func benchWordIncDec(b *testing.B, w hcbf.Word) {
+	b.Helper()
+	const b1 = 43
+	for s := 0; s < 18; s++ {
+		if _, err := w.Inc(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % b1
+		if _, err := w.Inc(slot); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Dec(slot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelWordIncDec(b *testing.B) {
+	arena := bitvec.New(64)
+	w, err := hcbf.NewWord(arena, 0, 64, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !w.Kernel() {
+		b.Fatal("expected kernel dispatch")
+	}
+	benchWordIncDec(b, w)
+}
+
+func BenchmarkGenericWordIncDec(b *testing.B) {
+	arena := bitvec.New(64)
+	w, err := hcbf.NewWordGeneric(arena, 0, 64, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWordIncDec(b, w)
+}
+
+func benchWordCount(b *testing.B, w hcbf.Word) {
+	b.Helper()
+	for s := 0; s < 21; s++ {
+		w.Inc(s % 43)
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += w.Count(i % 43)
+	}
+	_ = sink
+}
+
+func BenchmarkKernelWordCount(b *testing.B) {
+	arena := bitvec.New(64)
+	w, _ := hcbf.NewWord(arena, 0, 64, 43)
+	benchWordCount(b, w)
+}
+
+func BenchmarkGenericWordCount(b *testing.B) {
+	arena := bitvec.New(64)
+	w, _ := hcbf.NewWordGeneric(arena, 0, 64, 43)
+	benchWordCount(b, w)
+}
+
+// sinkU64 keeps register-resident benchmark results observable.
+var sinkU64 uint64
+
+// BenchmarkKernelRawIncDec times the kernel the way the core uses it: the
+// word is loaded into a register once and increment/decrement pairs run
+// register-to-register with no arena traffic. Compare against
+// BenchmarkGenericWordIncDec, the per-bit arena walk doing the same work.
+func BenchmarkKernelRawIncDec(b *testing.B) {
+	const b1 = 43
+	x := uint64(0)
+	for s := 0; s < 18; s++ {
+		x, _ = hcbf.Inc64(x, b1, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % b1
+		x, _ = hcbf.Inc64(x, b1, slot)
+		x, _, _ = hcbf.Dec64(x, b1, slot)
+	}
+	sinkU64 = x
+}
+
+// BenchmarkKernelRawCount times register-resident counter readout.
+func BenchmarkKernelRawCount(b *testing.B) {
+	const b1 = 43
+	x := uint64(0)
+	for s := 0; s < 21; s++ {
+		x, _ = hcbf.Inc64(x, b1, s%b1)
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += hcbf.Count64(x, b1, i%b1)
+	}
+	sinkU64 = uint64(sink)
+}
+
 // --- concurrency ---------------------------------------------------------
 
 func BenchmarkShardedBatchInsert(b *testing.B) {

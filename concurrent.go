@@ -78,13 +78,17 @@ func (s *Sharded) Insert(key []byte) error {
 	return err
 }
 
-// Delete removes key. Safe for concurrent use.
+// Delete removes key. Safe for concurrent use. The element count only
+// moves when the underlying delete succeeds, so failed deletes of absent
+// keys cannot drift it downward.
 func (s *Sharded) Delete(key []byte) error {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	err := sh.f.Delete(key)
 	sh.mu.Unlock()
-	s.count.Add(-1)
+	if err == nil {
+		s.count.Add(-1)
+	}
 	return err
 }
 

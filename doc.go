@@ -40,6 +40,18 @@
 // Insert/Delete/Contains/EstimateCount, and reports per-operation costs in
 // the paper's memory-access/hash-bit model via the *WithCost methods.
 //
+// # Word kernel
+//
+// At the default geometry (64-bit words, and 128-bit words as the
+// two-register variant) each HCBF word lives at a 64-bit-aligned arena
+// offset, so every operation loads the whole word into a register once,
+// runs Algorithm 1 as math/bits popcounts and shift/mask splices, and
+// stores it back once — a true single memory access per word rather than a
+// per-bit walk. Odd geometries (the w=32/256 ablation sweeps) transparently
+// fall back to the generic arena path, which differential fuzzing keeps
+// bit-for-bit identical to the kernel. ContainsBatch (and
+// Sharded.ContainsBatch) amortize per-call overhead across bulk queries.
+//
 // The cmd/mpexp binary regenerates every table and figure of the paper's
 // evaluation; see DESIGN.md and EXPERIMENTS.md.
 package mpcbf

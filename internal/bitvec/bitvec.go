@@ -58,6 +58,28 @@ func (v *Vector) Set(i int, b bool) {
 	}
 }
 
+// Uint64At returns the 64 bits starting at bit offset off as a uint64 (bit
+// off+i of the vector is bit i of the result). off must be 64-bit aligned
+// and the window must lie inside the vector. This is the load half of the
+// register-resident HCBF word kernel: one aligned load replaces a per-bit
+// Get loop. The body is deliberately small enough to inline into hot query
+// loops; the backing-slice bounds check covers the range check.
+func (v *Vector) Uint64At(off int) uint64 {
+	if off&63 != 0 {
+		panic("bitvec: unaligned uint64 window")
+	}
+	return v.words[off>>6]
+}
+
+// SetUint64At stores w into the 64 bits starting at bit offset off, the
+// store half of the word kernel. Same contract as Uint64At.
+func (v *Vector) SetUint64At(off int, w uint64) {
+	if off&63 != 0 {
+		panic("bitvec: unaligned uint64 window")
+	}
+	v.words[off>>6] = w
+}
+
 // Ones returns the number of set bits in [start, end).
 func (v *Vector) Ones(start, end int) int {
 	if start < 0 || end > v.n || start > end {

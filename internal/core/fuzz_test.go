@@ -46,6 +46,65 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzKernelVsGeneric replays an arbitrary insert/delete/query tape on a
+// kernel filter and a DisableKernel twin, requiring identical errors,
+// queries, element counts, and raw arena bits after every operation. This is
+// the end-to-end half of the kernel equivalence argument; the word-level
+// half lives in internal/hcbf.FuzzWordKernelVsGeneric.
+func FuzzKernelVsGeneric(f *testing.F) {
+	f.Add(false, []byte{0, 1, 2, 3, 128, 129})
+	f.Add(false, []byte{5, 5, 5, 133, 133, 133, 69, 69})
+	f.Add(true, []byte{0, 1, 2, 3, 0, 1, 2, 3, 128})
+	f.Fuzz(func(t *testing.T, wide bool, tape []byte) {
+		w := 64
+		if wide {
+			w = 128
+		}
+		cfg := Config{MemoryBits: 1 << 12, ExpectedN: 40, W: w, K: 3, Seed: 2,
+			Overflow: OverflowSaturate}
+		k, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gcfg := cfg
+		gcfg.DisableKernel = true
+		g, err := New(gcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range tape {
+			key := []byte{op & 0x3f}
+			switch {
+			case op&0x80 == 0:
+				kerr := k.Insert(key)
+				gerr := g.Insert(key)
+				if (kerr == nil) != (gerr == nil) {
+					t.Fatalf("op %d: Insert errs %v vs %v", i, kerr, gerr)
+				}
+			case op&0x40 == 0:
+				kerr := k.Delete(key)
+				gerr := g.Delete(key)
+				if (kerr == nil) != (gerr == nil) {
+					t.Fatalf("op %d: Delete errs %v vs %v", i, kerr, gerr)
+				}
+			default:
+				if k.Contains(key) != g.Contains(key) {
+					t.Fatalf("op %d: Contains diverges", i)
+				}
+				if k.CountOf(key) != g.CountOf(key) {
+					t.Fatalf("op %d: CountOf diverges", i)
+				}
+			}
+			if !k.arena.Equal(g.arena) {
+				t.Fatalf("op %d: arenas diverge", i)
+			}
+			if k.count != g.count {
+				t.Fatalf("op %d: count %d vs %d", i, k.count, g.count)
+			}
+		}
+	})
+}
+
 // FuzzFilterOps drives a small filter with an arbitrary key/op tape,
 // checking the no-false-negative guarantee throughout.
 func FuzzFilterOps(f *testing.F) {

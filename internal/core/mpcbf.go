@@ -66,6 +66,11 @@ type Config struct {
 	Seed uint32
 	// Overflow selects the word-overflow policy (default OverflowFail).
 	Overflow OverflowPolicy
+	// DisableKernel forces the generic per-bit arena path even for word
+	// geometries the register-resident kernel supports (w=64/128). Used by
+	// the kernel/generic differential tests and ablations; production
+	// filters leave it false.
+	DisableKernel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +86,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Kernel dispatch modes for the filter's word geometry (mirrors the
+// internal/hcbf dispatch; cached here so the hot query path never
+// re-derives it).
+const (
+	kmodeGeneric = iota // per-bit arena walk
+	kmode64             // w=64: single-register word kernel
+	kmode128            // w=128: two-register word kernel
+)
+
 // Filter is an MPCBF-g.
 type Filter struct {
 	arena  *bitvec.Vector
@@ -88,6 +102,7 @@ type Filter struct {
 	l      int   // number of words
 	b1     int   // first-level width
 	nmax   int   // per-word capacity used to derive b1 (0 when B1 forced)
+	kmode  int   // register-kernel dispatch mode
 	split  []int // slot hashes per word, ceil(k/g) first
 	hasher hashing.Hasher
 
@@ -133,12 +148,22 @@ func New(cfg Config) (*Filter, error) {
 	if b1 < 1 || b1 > cfg.W {
 		return nil, fmt.Errorf("mpcbf: first level b1=%d outside (0,%d]", b1, cfg.W)
 	}
+	kmode := kmodeGeneric
+	if !cfg.DisableKernel {
+		switch cfg.W {
+		case 64:
+			kmode = kmode64
+		case 128:
+			kmode = kmode128
+		}
+	}
 	return &Filter{
 		arena:     bitvec.New(l * cfg.W),
 		cfg:       cfg,
 		l:         l,
 		b1:        b1,
 		nmax:      nmax,
+		kmode:     kmode,
 		split:     hashing.SplitKEven(cfg.K, cfg.G),
 		hasher:    hashing.NewHasher(cfg.Seed),
 		saturated: make(map[int]bool),
@@ -178,7 +203,13 @@ func (f *Filter) SaturatedWords() int { return len(f.saturated) }
 func (f *Filter) MemoryBits() int { return f.l * f.cfg.W }
 
 func (f *Filter) word(idx int) hcbf.Word {
-	w, err := hcbf.NewWord(f.arena, idx*f.cfg.W, f.cfg.W, f.b1)
+	var w hcbf.Word
+	var err error
+	if f.cfg.DisableKernel {
+		w, err = hcbf.NewWordGeneric(f.arena, idx*f.cfg.W, f.cfg.W, f.b1)
+	} else {
+		w, err = hcbf.NewWord(f.arena, idx*f.cfg.W, f.cfg.W, f.b1)
+	}
 	if err != nil {
 		panic("mpcbf: internal geometry error: " + err.Error())
 	}
@@ -215,6 +246,18 @@ func (f *Filter) targets(key []byte) []target {
 	return out
 }
 
+// overflowWord records an overflow event on word idx and applies the
+// configured policy: ErrWordOverflow under OverflowFail, or nil after
+// freezing the word under OverflowSaturate.
+func (f *Filter) overflowWord(idx int) error {
+	f.overflows++
+	if f.cfg.Overflow != OverflowSaturate {
+		return ErrWordOverflow
+	}
+	f.saturated[idx] = true
+	return nil
+}
+
 // Insert adds key. Under OverflowFail a full word rejects the whole insert
 // atomically with ErrWordOverflow.
 func (f *Filter) Insert(key []byte) error {
@@ -230,11 +273,76 @@ func (f *Filter) InsertStats(key []byte) (metrics.OpStats, error) {
 }
 
 func (f *Filter) insert(key []byte, withStats bool) (metrics.OpStats, error) {
-	ts := f.targets(key)
 	var st metrics.OpStats
+	// Hot path: default geometry (g=1, w=64), no accounting. The key's
+	// word is loaded into a register once, its k slot indices are hashed
+	// and incremented in place, and the word is stored back — one memory
+	// access in, one out, with no intermediate target buffers. The update
+	// is atomic: a full word fails before any bit changes.
+	if !withStats && f.cfg.G == 1 && f.kmode == kmode64 {
+		s := f.hasher.NewIndexStream(key)
+		wIdx := s.Word(0, f.l)
+		if len(f.saturated) != 0 && f.saturated[wIdx] {
+			f.count++
+			return st, nil
+		}
+		base := wIdx << 6
+		b1, k := f.b1, f.cfg.K
+		x := f.arena.Uint64At(base)
+		if 64-hcbf.Used64(x, b1) < k {
+			if err := f.overflowWord(wIdx); err != nil {
+				return st, err
+			}
+			f.count++
+			return st, nil
+		}
+		for i := 0; i < k; i++ {
+			x, _ = hcbf.Inc64(x, b1, s.Slot(i, b1))
+		}
+		f.arena.SetUint64At(base, x)
+		f.count++
+		return st, nil
+	}
+	ts := f.targets(key)
 	if withStats {
 		st.MemAccesses = f.cfg.G
 		st.HashBits = f.cfg.G * metrics.Log2Ceil(f.l)
+	}
+	// Fast path: single word, no accounting (the default g=1 geometry).
+	// The update is an atomic word transaction — on the w=64 kernel one
+	// aligned load, k register increments, one store — so no separate
+	// capacity pre-walk is needed: a full word fails before any bit
+	// changes. Slots come from the filter's own hash stream, so the raw
+	// kernel functions are called without per-slot range checks.
+	if !withStats && len(ts) == 1 {
+		t := ts[0]
+		if len(f.saturated) != 0 && f.saturated[t.word] {
+			f.count++
+			return st, nil
+		}
+		switch f.kmode {
+		case kmode64:
+			base := t.word << 6
+			x := f.arena.Uint64At(base)
+			if 64-hcbf.Used64(x, f.b1) < len(t.slots) {
+				if err := f.overflowWord(t.word); err != nil {
+					return st, err
+				}
+				break // word saturated: skip the increments
+			}
+			for _, s := range t.slots {
+				x, _ = hcbf.Inc64(x, f.b1, s)
+			}
+			f.arena.SetUint64At(base, x)
+		default:
+			if err := f.word(t.word).IncBatch(t.slots); err != nil {
+				if err := f.overflowWord(t.word); err != nil {
+					return st, err
+				}
+			}
+		}
+		f.count++
+		return st, nil
 	}
 	// Atomic capacity pre-check, aggregating slot counts per distinct word
 	// (the g word hashes may collide). g is tiny, so the quadratic
@@ -257,12 +365,9 @@ func (f *Filter) insert(key []byte, withStats bool) (metrics.OpStats, error) {
 			}
 		}
 		if f.word(ts[i].word).Free() < need {
-			f.overflows++
-			if f.cfg.Overflow == OverflowSaturate {
-				f.saturated[ts[i].word] = true
-				continue
+			if err := f.overflowWord(ts[i].word); err != nil {
+				return st, err
 			}
-			return st, ErrWordOverflow
 		}
 	}
 	for _, t := range ts {
@@ -270,22 +375,23 @@ func (f *Filter) insert(key []byte, withStats bool) (metrics.OpStats, error) {
 			continue
 		}
 		w := f.word(t.word)
-		for _, slot := range t.slots {
-			var levels []int
-			if withStats {
-				levels = w.Levels()
-			}
-			depth, err := w.Inc(slot)
-			if err != nil {
+		if !withStats {
+			if err := w.IncBatch(t.slots); err != nil {
 				// Unreachable given the pre-check; fail loudly if the
 				// invariant is ever broken.
 				panic("mpcbf: increment failed after capacity check: " + err.Error())
 			}
-			if withStats {
-				for j := 0; j < depth; j++ {
-					if j < len(levels) {
-						st.HashBits += metrics.Log2Ceil(levels[j])
-					}
+			continue
+		}
+		for _, slot := range t.slots {
+			levels := w.Levels()
+			depth, err := w.Inc(slot)
+			if err != nil {
+				panic("mpcbf: increment failed after capacity check: " + err.Error())
+			}
+			for j := 0; j < depth; j++ {
+				if j < len(levels) {
+					st.HashBits += metrics.Log2Ceil(levels[j])
 				}
 			}
 		}
@@ -308,47 +414,80 @@ func (f *Filter) DeleteStats(key []byte) (metrics.OpStats, error) {
 }
 
 func (f *Filter) delete(key []byte, withStats bool) (metrics.OpStats, error) {
-	ts := f.targets(key)
 	var st metrics.OpStats
+	// Hot path: default geometry (g=1, w=64), no accounting — the mirror
+	// image of the insert hot path: one aligned load, k register
+	// decrements, one store. Underflowing slots are skipped and counted so
+	// a failed delete cannot corrupt neighboring chains.
+	if !withStats && f.cfg.G == 1 && f.kmode == kmode64 {
+		s := f.hasher.NewIndexStream(key)
+		wIdx := s.Word(0, f.l)
+		if len(f.saturated) != 0 && f.saturated[wIdx] {
+			f.count--
+			return st, nil
+		}
+		base := wIdx << 6
+		b1, k := f.b1, f.cfg.K
+		x := f.arena.Uint64At(base)
+		underflows := 0
+		for i := 0; i < k; i++ {
+			var ok bool
+			if x, _, ok = hcbf.Dec64(x, b1, s.Slot(i, b1)); !ok {
+				underflows++
+			}
+		}
+		f.arena.SetUint64At(base, x)
+		if underflows > 0 {
+			return st, ErrUnderflow
+		}
+		f.count--
+		return st, nil
+	}
+	ts := f.targets(key)
 	if withStats {
 		st.MemAccesses = f.cfg.G
 		st.HashBits = f.cfg.G * metrics.Log2Ceil(f.l)
 	}
-	var underflow bool
+	underflows := 0
 	for _, t := range ts {
-		if f.saturated[t.word] {
+		if len(f.saturated) != 0 && f.saturated[t.word] {
 			continue // frozen word: counters no longer tracked
 		}
 		w := f.word(t.word)
+		if !withStats {
+			// Fused per-word decrement: one load, one store on kernel
+			// geometries, with per-slot underflows skipped and counted.
+			underflows += w.DecBatch(t.slots)
+			continue
+		}
 		for _, slot := range t.slots {
-			var levels []int
-			if withStats {
-				levels = w.Levels()
-			}
+			levels := w.Levels()
 			depth, err := w.Dec(slot)
 			if err != nil {
-				underflow = true
+				underflows++
 				continue
 			}
-			if withStats {
-				for j := 0; j < depth; j++ {
-					if j < len(levels) {
-						st.HashBits += metrics.Log2Ceil(levels[j])
-					}
+			for j := 0; j < depth; j++ {
+				if j < len(levels) {
+					st.HashBits += metrics.Log2Ceil(levels[j])
 				}
 			}
 		}
 	}
-	f.count--
-	if underflow {
+	if underflows > 0 {
+		// The key was not (fully) present: the element count must not
+		// drift downward on failed deletes.
 		return st, ErrUnderflow
 	}
+	f.count--
 	return st, nil
 }
 
 // Contains reports whether key may be in the set. This is the hot path:
-// it reads the g first-level sub-vectors directly from the arena without
-// cost accounting (use Probe for the instrumented variant).
+// on kernel geometries each of the g words is fetched with a single
+// aligned load and its k slot bits are tested in a register — the paper's
+// one-memory-access query, literally. No cost accounting (use Probe for
+// the instrumented variant).
 func (f *Filter) Contains(key []byte) bool {
 	s := f.hasher.NewIndexStream(key)
 	slot := 0
@@ -358,15 +497,51 @@ func (f *Filter) Contains(key []byte) bool {
 			slot += f.split[wi]
 			continue
 		}
-		base := wIdx * f.cfg.W
-		for j := 0; j < f.split[wi]; j++ {
-			if !f.arena.Get(base + s.Slot(slot, f.b1)) {
-				return false
+		switch f.kmode {
+		case kmode64:
+			x := f.arena.Uint64At(wIdx << 6)
+			for j := 0; j < f.split[wi]; j++ {
+				if x>>uint(s.Slot(slot, f.b1))&1 == 0 {
+					return false
+				}
+				slot++
 			}
-			slot++
+		case kmode128:
+			base := wIdx << 7
+			lo, hi := f.arena.Uint64At(base), f.arena.Uint64At(base+64)
+			for j := 0; j < f.split[wi]; j++ {
+				if !hcbf.Has128(lo, hi, s.Slot(slot, f.b1)) {
+					return false
+				}
+				slot++
+			}
+		default:
+			base := wIdx * f.cfg.W
+			for j := 0; j < f.split[wi]; j++ {
+				if !f.arena.Get(base + s.Slot(slot, f.b1)) {
+					return false
+				}
+				slot++
+			}
 		}
 	}
 	return true
+}
+
+// ContainsBatch answers membership for every key of keys, writing the
+// results into dst (grown when too small) and returning it. Batching
+// amortizes per-call overhead — geometry and saturation state stay hot
+// across keys, and a reused dst keeps the loop allocation-free — which is
+// the single-threaded counterpart of Sharded.ContainsBatch.
+func (f *Filter) ContainsBatch(keys [][]byte, dst []bool) []bool {
+	if cap(dst) < len(keys) {
+		dst = make([]bool, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = f.Contains(k)
+	}
+	return dst
 }
 
 // Probe is Contains with access accounting: one memory access per word
@@ -383,7 +558,7 @@ func (f *Filter) Probe(key []byte) (bool, metrics.OpStats) {
 		wIdx := s.Word(wi, f.l)
 		st.MemAccesses++
 		st.HashBits += wordBits
-		if f.saturated[wIdx] {
+		if len(f.saturated) != 0 && f.saturated[wIdx] {
 			slot += f.split[wi]
 			continue
 		}

@@ -1,0 +1,204 @@
+package hcbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// TestKernelDispatch pins the geometries that take the register-resident
+// kernel: 64-bit-aligned windows of width 64 or 128, and nothing else.
+func TestKernelDispatch(t *testing.T) {
+	arena := bitvec.New(1024)
+	cases := []struct {
+		base, w int
+		kernel  bool
+	}{
+		{0, 64, true},
+		{64, 64, true},
+		{128, 128, true},
+		{0, 128, true},
+		{32, 64, false},  // unaligned base
+		{1, 64, false},   // unaligned base
+		{0, 32, false},   // ablation width
+		{0, 256, false},  // ablation width
+		{64, 100, false}, // odd width
+	}
+	for _, c := range cases {
+		h, err := NewWord(arena, c.base, c.w, c.w/2)
+		if err != nil {
+			t.Fatalf("NewWord(base=%d w=%d): %v", c.base, c.w, err)
+		}
+		if h.Kernel() != c.kernel {
+			t.Errorf("NewWord(base=%d w=%d).Kernel() = %v, want %v",
+				c.base, c.w, h.Kernel(), c.kernel)
+		}
+		g, err := NewWordGeneric(arena, c.base, c.w, c.w/2)
+		if err != nil {
+			t.Fatalf("NewWordGeneric(base=%d w=%d): %v", c.base, c.w, err)
+		}
+		if g.Kernel() {
+			t.Errorf("NewWordGeneric(base=%d w=%d) took the kernel", c.base, c.w)
+		}
+	}
+}
+
+// kernelVsGeneric drives a kernel word and a generic word over twin arenas
+// with the same operation tape and asserts bit-for-bit agreement after every
+// step: same depths, same errors, same arena contents, same readouts.
+func kernelVsGeneric(t *testing.T, w, b1, base int, tape []byte) {
+	t.Helper()
+	ka := bitvec.New(base + 4*w)
+	ga := bitvec.New(base + 4*w)
+	kw, err := NewWord(ka, base, w, b1)
+	if err != nil {
+		t.Fatalf("kernel word: %v", err)
+	}
+	if !kw.Kernel() {
+		t.Fatalf("geometry w=%d base=%d did not take the kernel", w, base)
+	}
+	gw, err := NewWordGeneric(ga, base, w, b1)
+	if err != nil {
+		t.Fatalf("generic word: %v", err)
+	}
+	for i, op := range tape {
+		slot := int(op&0x7f) % b1
+		if op&0x80 == 0 {
+			kd, kerr := kw.Inc(slot)
+			gd, gerr := gw.Inc(slot)
+			if kd != gd || kerr != gerr {
+				t.Fatalf("op %d Inc(%d): kernel (%d, %v) vs generic (%d, %v)",
+					i, slot, kd, kerr, gd, gerr)
+			}
+		} else {
+			kd, kerr := kw.Dec(slot)
+			gd, gerr := gw.Dec(slot)
+			if kd != gd || kerr != gerr {
+				t.Fatalf("op %d Dec(%d): kernel (%d, %v) vs generic (%d, %v)",
+					i, slot, kd, kerr, gd, gerr)
+			}
+		}
+		if !ka.Equal(ga) {
+			t.Fatalf("op %d (slot %d): arenas diverge\nkernel:  %s\ngeneric: %s",
+				i, slot, kw.String(), gw.String())
+		}
+		if ku, gu := kw.Used(), gw.Used(); ku != gu {
+			t.Fatalf("op %d: Used %d vs %d", i, ku, gu)
+		}
+	}
+	for slot := 0; slot < b1; slot++ {
+		if kc, gc := kw.Count(slot), gw.Count(slot); kc != gc {
+			t.Fatalf("Count(%d): kernel %d vs generic %d", slot, kc, gc)
+		}
+		if kw.Has(slot) != gw.Has(slot) {
+			t.Fatalf("Has(%d) mismatch", slot)
+		}
+	}
+	kl, gl := kw.Levels(), gw.Levels()
+	if len(kl) != len(gl) {
+		t.Fatalf("Levels depth: kernel %v vs generic %v", kl, gl)
+	}
+	for i := range kl {
+		if kl[i] != gl[i] {
+			t.Fatalf("Levels: kernel %v vs generic %v", kl, gl)
+		}
+	}
+}
+
+// TestKernelVsGenericRandomOps replays long random increment/decrement tapes
+// on the 64- and 128-bit kernels against the generic reference path across a
+// spread of first-level widths and aligned bases.
+func TestKernelVsGenericRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []int{64, 128} {
+		for _, b1 := range []int{1, 2, 7, w / 2, w - 1, w} {
+			for _, base := range []int{0, 64, 192} {
+				tape := make([]byte, 400)
+				// Bias toward increments so the hierarchy actually grows deep
+				// and overflow paths are reached.
+				for i := range tape {
+					tape[i] = byte(rng.Intn(256)) &^ byte(rng.Intn(2)<<7)
+				}
+				kernelVsGeneric(t, w, b1, base, tape)
+			}
+		}
+	}
+}
+
+// TestIncBatchAtomic checks the all-or-nothing contract: a batch that does
+// not fit leaves the word untouched on both paths.
+func TestIncBatchAtomic(t *testing.T) {
+	for _, mk := range []func(*bitvec.Vector) (Word, error){
+		func(a *bitvec.Vector) (Word, error) { return NewWord(a, 0, 64, 60) },
+		func(a *bitvec.Vector) (Word, error) { return NewWordGeneric(a, 0, 64, 60) },
+	} {
+		arena := bitvec.New(64)
+		h, err := mk(arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 60 bits of level 1 leave 4 free bits; a batch of 3 fits.
+		if err := h.IncBatch([]int{5, 9, 5}); err != nil {
+			t.Fatalf("batch within capacity: %v", err)
+		}
+		if got := h.Count(5); got != 2 {
+			t.Fatalf("Count(5) = %d after batch, want 2", got)
+		}
+		before := arena.Clone()
+		// Only 1 free bit remains; a batch of 2 must fail atomically.
+		if err := h.IncBatch([]int{1, 2}); err != ErrOverflow {
+			t.Fatalf("oversized batch: got %v, want ErrOverflow", err)
+		}
+		if !arena.Equal(before) {
+			t.Fatal("failed batch mutated the word")
+		}
+	}
+}
+
+// TestDecBatchUnderflows checks per-slot decrement semantics: zero counters
+// are skipped and counted, live counters still decrement.
+func TestDecBatchUnderflows(t *testing.T) {
+	for _, mk := range []func(*bitvec.Vector) (Word, error){
+		func(a *bitvec.Vector) (Word, error) { return NewWord(a, 0, 64, 40) },
+		func(a *bitvec.Vector) (Word, error) { return NewWordGeneric(a, 0, 64, 40) },
+	} {
+		arena := bitvec.New(64)
+		h, err := mk(arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.IncBatch([]int{3, 3, 8}); err != nil {
+			t.Fatal(err)
+		}
+		if got := h.DecBatch([]int{3, 8, 11}); got != 1 {
+			t.Fatalf("underflows = %d, want 1 (slot 11 is empty)", got)
+		}
+		if got := h.Count(3); got != 1 {
+			t.Fatalf("Count(3) = %d, want 1", got)
+		}
+		if h.Has(8) || h.Has(11) {
+			t.Fatal("slots 8/11 should be empty")
+		}
+	}
+}
+
+// FuzzWordKernelVsGeneric explores the kernel/generic equivalence beyond the
+// seeded random tapes: arbitrary tapes, both kernel widths, fuzzed first
+// levels. Any divergence in depths, errors, readouts, or raw arena bits
+// fails.
+func FuzzWordKernelVsGeneric(f *testing.F) {
+	f.Add(false, uint8(40), []byte{0, 1, 2, 3, 0, 129, 130})
+	f.Add(false, uint8(1), []byte{0, 0, 0, 0, 128})
+	f.Add(true, uint8(100), []byte{5, 5, 5, 133, 133, 133, 5})
+	f.Add(true, uint8(7), []byte{9, 9, 9, 9, 9, 9, 137, 137})
+
+	f.Fuzz(func(t *testing.T, wide bool, b1Raw uint8, tape []byte) {
+		w := 64
+		if wide {
+			w = 128
+		}
+		b1 := int(b1Raw)%w + 1
+		kernelVsGeneric(t, w, b1, 0, tape)
+	})
+}

@@ -61,6 +61,16 @@ func (m *MPCBF) DeleteWithCost(key []byte) (Cost, error) {
 // first-level sub-vectors (one memory access per word).
 func (m *MPCBF) Contains(key []byte) bool { return m.f.Contains(key) }
 
+// ContainsBatch answers membership for every key of keys in order, writing
+// the results into dst (grown when too small) and returning it. It is the
+// single-threaded analog of Sharded.ContainsBatch: the per-key base hash
+// and derived indices are computed exactly once and the filter geometry
+// stays hot across the batch, so a reused dst makes bulk queries
+// allocation-free. Pass nil to let the method allocate.
+func (m *MPCBF) ContainsBatch(keys [][]byte, dst []bool) []bool {
+	return m.f.ContainsBatch(keys, dst)
+}
+
 // ContainsWithCost is Contains with the operation's access cost; negative
 // queries short-circuit on the first rejecting word.
 func (m *MPCBF) ContainsWithCost(key []byte) (bool, Cost) {
