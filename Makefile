@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet race bench bench-json fuzz-kernel ci
+.PHONY: build test vet race bench bench-json fuzz-kernel serve integration ci
 
 build:
 	$(GO) build ./...
@@ -54,5 +54,16 @@ fuzz-kernel:
 	$(GO) test -run '^$$' -fuzz FuzzWordKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/hcbf
 	$(GO) test -run '^$$' -fuzz FuzzKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/core
 
-ci: build vet race
+# serve runs the mpcbfd daemon with a local data dir; MPCBFD_FLAGS adds
+# extra flags (e.g. MPCBFD_FLAGS='-fsync interval -shards 32').
+MPCBFD_FLAGS ?=
+serve:
+	$(GO) run ./cmd/mpcbfd -dir mpcbfd-data $(MPCBFD_FLAGS)
+
+# integration builds the daemon and runs the end-to-end crash-recovery
+# test (SIGKILL mid-stream, restart, verify every acked mutation).
+integration:
+	$(GO) test -race -count=1 -run 'TestIntegration' -v ./server
+
+ci: build vet race integration
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

@@ -1,0 +1,185 @@
+// Package client is a minimal, dependency-free Go client for mpcbfd's
+// wire protocol (repro/server/wire): one TCP connection, synchronous
+// request/response, safe for concurrent use (requests are serialized on
+// the connection).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/server/wire"
+)
+
+// ServerError is an operation-level failure reported by the daemon (e.g.
+// deleting an absent key). The connection remains usable after one.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "mpcbfd: " + e.Msg }
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithTimeout bounds each request round trip (default 10s, 0 disables).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithMaxFrame bounds response frames (default wire.DefaultMaxFrame).
+func WithMaxFrame(n int) Option {
+	return func(c *Client) { c.maxFrame = n }
+}
+
+// Client is a connection to an mpcbfd daemon.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	buf      []byte // reused request/response scratch
+	timeout  time.Duration
+	maxFrame int
+}
+
+// Dial connects to an mpcbfd daemon at addr.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{timeout: 10 * time.Second, maxFrame: wire.DefaultMaxFrame}
+	for _, o := range opts {
+		o(c)
+	}
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 1<<16)
+	c.w = bufio.NewWriterSize(conn, 1<<16)
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request payload and returns the response body for
+// an OK status, a *ServerError for an ERR status.
+func (c *Client) roundTrip(payload []byte) ([]byte, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := wire.WriteFrame(c.w, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.r, c.buf[:0], c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = resp[:0]
+	status, body, err := wire.DecodeStatus(resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == wire.StatusErr {
+		return nil, &ServerError{Msg: string(body)}
+	}
+	if status != wire.StatusOK {
+		return nil, fmt.Errorf("mpcbfd: unknown status 0x%02x", status)
+	}
+	return body, nil
+}
+
+// Insert adds key. A nil return means the daemon acknowledged the
+// mutation under its configured durability policy.
+func (c *Client) Insert(key []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpInsert, key))
+	return err
+}
+
+// Delete removes a previously inserted key.
+func (c *Client) Delete(key []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpDelete, key))
+	return err
+}
+
+// Contains reports whether key may be in the set.
+func (c *Client) Contains(key []byte) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpContains, key))
+	if err != nil {
+		return false, err
+	}
+	return wire.DecodeBool(body)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity.
+func (c *Client) EstimateCount(key []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpEstimate, key))
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeU64(body)
+	return int(v), err
+}
+
+// Len returns the daemon's current element count.
+func (c *Client) Len() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(wire.AppendLenRequest(c.scratch()))
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeU64(body)
+	return int(v), err
+}
+
+// InsertBatch inserts keys as one request (one WAL fsync server-side).
+func (c *Client) InsertBatch(keys [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpInsertBatch, keys))
+	return err
+}
+
+// DeleteBatch deletes keys as one request, returning order-preserving
+// flags for which keys were actually removed.
+func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpDeleteBatch, keys))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBools(body)
+}
+
+// ContainsBatch answers membership for keys, order-preserving.
+func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpContainsBatch, keys))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBools(body)
+}
+
+// scratch hands out the reused request buffer; callers hold c.mu.
+func (c *Client) scratch() []byte { return c.buf[:0] }

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/server/wire"
+)
+
+// fakeServer answers each request with a canned response payload,
+// letting the client be tested without the real daemon.
+func fakeServer(t *testing.T, respond func(req wire.Request) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var buf []byte
+				for {
+					payload, err := wire.ReadFrame(conn, buf, 0)
+					if err != nil {
+						return
+					}
+					buf = payload[:0]
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					if err := wire.WriteFrame(conn, respond(req)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientDialFailure(t *testing.T) {
+	// A listener that is immediately closed: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, WithTimeout(500*time.Millisecond)); err == nil {
+		t.Fatal("Dial to dead address succeeded")
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		return wire.AppendErr(nil, "key not found")
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Delete([]byte("missing"))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if se.Msg != "key not found" {
+		t.Fatalf("Msg = %q", se.Msg)
+	}
+	if se.Error() != "mpcbfd: key not found" {
+		t.Fatalf("Error() = %q", se.Error())
+	}
+}
+
+func TestClientDecodesResponses(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		switch req.Op {
+		case wire.OpContains:
+			return wire.AppendBool(wire.AppendOK(nil), true)
+		case wire.OpEstimate:
+			return wire.AppendU64(wire.AppendOK(nil), 7)
+		case wire.OpLen:
+			return wire.AppendU64(wire.AppendOK(nil), 42)
+		case wire.OpContainsBatch:
+			flags := make([]bool, len(req.Keys))
+			for i := range flags {
+				flags[i] = i%2 == 0
+			}
+			return wire.AppendBools(wire.AppendOK(nil), flags)
+		}
+		return wire.AppendOK(nil)
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if ok, err := c.Contains([]byte("k")); err != nil || !ok {
+		t.Fatalf("Contains = %v, %v", ok, err)
+	}
+	if n, err := c.EstimateCount([]byte("k")); err != nil || n != 7 {
+		t.Fatalf("EstimateCount = %d, %v", n, err)
+	}
+	if n, err := c.Len(); err != nil || n != 42 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	if err := c.Insert([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertBatch([][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	flags, err := c.ContainsBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("flags = %v, want %v", flags, want)
+		}
+	}
+}
+
+func TestClientMalformedResponse(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		return []byte{} // empty payload: no status byte
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert([]byte("k")); err == nil {
+		t.Fatal("empty response accepted")
+	}
+}

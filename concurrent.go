@@ -21,6 +21,7 @@ import (
 type Sharded struct {
 	shards []shard
 	pick   hashing.Hasher
+	seed   uint32
 	count  atomic.Int64
 }
 
@@ -41,6 +42,7 @@ func NewSharded(o Options, shards int) (*Sharded, error) {
 	s := &Sharded{
 		shards: make([]shard, shards),
 		pick:   pickHasher(o.Seed),
+		seed:   o.Seed,
 	}
 	for i := range s.shards {
 		// Distinct per-shard hash families avoid correlated word choices.
@@ -126,6 +128,45 @@ func (s *Sharded) MemoryBits() int {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// Seed returns the construction seed that selects the shard and in-filter
+// hash families.
+func (s *Sharded) Seed() uint32 { return s.seed }
+
+// SaturatedWords returns how many words across all shards were frozen as
+// always-positive by the graceful overflow policy.
+func (s *Sharded) SaturatedWords() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.f.SaturatedWords()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// FillRatio returns the fraction of increment capacity consumed across
+// every shard, weighted by shard size — a 0..1 load signal for operators.
+// Each HCBF word always spends b1 structural bits on its first level;
+// only the remaining w-b1 bits absorb increments, so the ratio counts
+// those: 0 when empty, 1 when every word is full.
+func (s *Sharded) FillRatio() float64 {
+	usedBits, totalBits := 0.0, 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		mean, _ := sh.f.FillStats()
+		g := sh.f.Geometry()
+		sh.mu.RUnlock()
+		usedBits += (mean - float64(g.FirstLevelBits)) * float64(g.Words)
+		totalBits += float64(g.Words * (g.WordBits - g.FirstLevelBits))
+	}
+	if totalBits == 0 {
+		return 0
+	}
+	return usedBits / totalBits
+}
+
 // InsertBatch inserts keys in parallel: keys are grouped by shard and the
 // shard groups are processed concurrently (bounded by workers; 0 means one
 // goroutine per shard), so each shard's lock is taken once per batch
@@ -152,6 +193,45 @@ func (s *Sharded) InsertBatch(keys [][]byte, workers int) error {
 		s.count.Add(inserted)
 	})
 	return errors.Join(errs...)
+}
+
+// DeleteBatch removes keys in parallel with the same shard-grouped locking
+// as InsertBatch. Unlike InsertBatch it attempts every key even after a
+// failure: deleting an absent key is a per-key condition, not a filter
+// fault. It returns an order-preserving slice flagging which keys were
+// actually removed plus the joined per-key errors, so callers that must
+// know the durable outcome (the server's write-ahead log) can record
+// exactly the deletes that happened.
+func (s *Sharded) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
+	ok := make([]bool, len(keys))
+	// Group key *indices* by shard so results land in place.
+	groups := make([][]int, len(s.shards))
+	for i, k := range keys {
+		idx := s.pick.NewIndexStream(k).Word(0, len(s.shards))
+		groups[idx] = append(groups[idx], i)
+	}
+	errs := make([]error, len(s.shards))
+	s.parallel(workers, func(i int) {
+		if len(groups[i]) == 0 {
+			return
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		deleted := int64(0)
+		var shardErrs []error
+		for _, ki := range groups[i] {
+			if err := sh.f.Delete(keys[ki]); err != nil {
+				shardErrs = append(shardErrs, fmt.Errorf("mpcbf: shard %d key %d: %w", i, ki, err))
+				continue
+			}
+			ok[ki] = true
+			deleted++
+		}
+		errs[i] = errors.Join(shardErrs...)
+		s.count.Add(-deleted)
+	})
+	return ok, errors.Join(errs...)
 }
 
 // ContainsBatch answers membership for keys in parallel, preserving order.

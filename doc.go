@@ -52,6 +52,15 @@
 // bit-for-bit identical to the kernel. ContainsBatch (and
 // Sharded.ContainsBatch) amortize per-call overhead across bulk queries.
 //
+// # Serving
+//
+// The repro/server and repro/client packages lift the sharded filter
+// into a network service: cmd/mpcbfd serves the wire protocol of
+// repro/server/wire over TCP with a write-ahead log, snapshots, and an
+// HTTP metrics sidecar, so a fleet of processes can share one
+// membership oracle (the deployment shape of the paper's Section V
+// join). See README.md "Running the server".
+//
 // The cmd/mpexp binary regenerates every table and figure of the paper's
 // evaluation; see DESIGN.md and EXPERIMENTS.md.
 package mpcbf

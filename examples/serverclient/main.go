@@ -1,0 +1,83 @@
+// serverclient drives a running mpcbfd daemon over its binary wire
+// protocol: start the daemon first, then run this client.
+//
+//	make serve                 # terminal 1: mpcbfd on :7070
+//	go run ./examples/serverclient -addr 127.0.0.1:7070
+//
+// It inserts a batch of flow keys, queries them back (single and
+// batched), demonstrates deletion with per-key results, and prints the
+// daemon's element count — the membership-oracle round trip of the
+// paper's Section V join, but over a socket instead of an in-process
+// filter.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/client"
+
+	"flag"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "mpcbfd address")
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dial %s: %v (is mpcbfd running? try `make serve`)\n", *addr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	// A batch of flow keys, inserted with one request and one WAL fsync.
+	flows := make([][]byte, 1000)
+	for i := range flows {
+		flows[i] = []byte(fmt.Sprintf("10.0.%d.%d:443", i/256, i%256))
+	}
+	if err := c.InsertBatch(flows); err != nil {
+		fail("insert batch", err)
+	}
+	n, err := c.Len()
+	if err != nil {
+		fail("len", err)
+	}
+	fmt.Printf("inserted %d flows, daemon holds %d elements\n", len(flows), n)
+
+	// Single-key queries.
+	ok, err := c.Contains(flows[0])
+	if err != nil {
+		fail("contains", err)
+	}
+	miss, err := c.Contains([]byte("192.168.1.1:22"))
+	if err != nil {
+		fail("contains", err)
+	}
+	fmt.Printf("contains(%s) = %v, contains(stranger) = %v\n", flows[0], ok, miss)
+
+	// Batched membership: one round trip for the whole probe set.
+	probes := append(flows[:5:5], []byte("8.8.8.8:53"))
+	hits, err := c.ContainsBatch(probes)
+	if err != nil {
+		fail("contains batch", err)
+	}
+	fmt.Printf("batched probe results: %v\n", hits)
+
+	// Deletes report per-key outcomes: the stranger entry fails without
+	// disturbing the rest.
+	deleted, err := c.DeleteBatch(probes)
+	if err != nil {
+		fail("delete batch", err)
+	}
+	fmt.Printf("batched delete results: %v\n", deleted)
+
+	if n, err = c.Len(); err == nil {
+		fmt.Printf("daemon now holds %d elements\n", n)
+	}
+}
+
+func fail(op string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", op, err)
+	os.Exit(1)
+}

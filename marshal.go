@@ -26,12 +26,29 @@ func UnmarshalMPCBF(data []byte) (*MPCBF, error) {
 	return &MPCBF{f: f}, nil
 }
 
-// MarshalBinary serializes a sharded filter: a small header followed by
-// each shard's encoding. Not safe to call concurrently with updates.
+// Sharded wire format. Version 2 (current) self-describes: a magic tag,
+// the format version, and the shard-selection seed precede the shard
+// table, so unmarshalling needs no out-of-band seed. The legacy version-1
+// layout ([nShards u32][count u64][shards...]) had no magic; it is
+// distinguishable because its leading field, the shard count, is
+// validated to at most 1<<20 — far below any magic value — and it is
+// still accepted by UnmarshalSharded when the caller supplies the seed.
+const (
+	shardedMagic   = 0x4D504353 // "SCPM" little-endian ("MPCS" read big-endian)
+	shardedVersion = 2
+)
+
+// MarshalBinary serializes a sharded filter: a self-describing header
+// (magic, version, shard-selection seed, shard count, element count)
+// followed by each shard's encoding. Not safe to call concurrently with
+// updates.
 func (s *Sharded) MarshalBinary() ([]byte, error) {
-	out := make([]byte, 12)
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(s.shards)))
-	binary.LittleEndian.PutUint64(out[4:12], uint64(s.count.Load()))
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint32(out[0:4], shardedMagic)
+	binary.LittleEndian.PutUint32(out[4:8], shardedVersion)
+	binary.LittleEndian.PutUint32(out[8:12], s.seed)
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(s.shards)))
+	binary.LittleEndian.PutUint64(out[16:24], uint64(s.count.Load()))
 	for i := range s.shards {
 		blob, err := s.shards[i].f.MarshalBinary()
 		if err != nil {
@@ -46,22 +63,57 @@ func (s *Sharded) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalSharded reconstructs a sharded filter serialized with
-// (*Sharded).MarshalBinary. The shard-selection seed is not stored in the
-// shard blobs, so the original construction seed must be supplied.
-func UnmarshalSharded(data []byte, seed uint32) (*Sharded, error) {
-	if len(data) < 12 {
+// (*Sharded).MarshalBinary. The current (version 2) format stores the
+// shard-selection seed in its header, so no further arguments are needed.
+// Blobs written by the legacy seed-less format are still accepted, but
+// require the original construction seed as the optional second argument;
+// the argument is ignored for current-format input.
+func UnmarshalSharded(data []byte, legacySeed ...uint32) (*Sharded, error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data[0:4]) == shardedMagic {
+		return unmarshalShardedV2(data)
+	}
+	// Legacy layout: [nShards u32][count u64][shards...]. The seed was
+	// never stored, so the caller must supply it.
+	if len(legacySeed) == 0 {
+		return nil, errors.New("mpcbf: legacy sharded format requires the construction seed")
+	}
+	return unmarshalShardedBody(data, 12, legacySeed[0], func(hdr []byte) (int, int64) {
+		return int(binary.LittleEndian.Uint32(hdr[0:4])),
+			int64(binary.LittleEndian.Uint64(hdr[4:12]))
+	})
+}
+
+func unmarshalShardedV2(data []byte) (*Sharded, error) {
+	if len(data) < 24 {
 		return nil, errors.New("mpcbf: truncated sharded filter")
 	}
-	nShards := int(binary.LittleEndian.Uint32(data[0:4]))
-	count := int64(binary.LittleEndian.Uint64(data[4:12]))
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != shardedVersion {
+		return nil, fmt.Errorf("mpcbf: unsupported sharded format version %d", v)
+	}
+	seed := binary.LittleEndian.Uint32(data[8:12])
+	return unmarshalShardedBody(data, 24, seed, func(hdr []byte) (int, int64) {
+		return int(binary.LittleEndian.Uint32(hdr[12:16])),
+			int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	})
+}
+
+// unmarshalShardedBody parses the shard table shared by both header
+// layouts; header extracts (nShards, count) from the already
+// length-checked header bytes.
+func unmarshalShardedBody(data []byte, hdrLen int, seed uint32, header func([]byte) (int, int64)) (*Sharded, error) {
+	if len(data) < hdrLen {
+		return nil, errors.New("mpcbf: truncated sharded filter")
+	}
+	nShards, count := header(data[:hdrLen])
 	if nShards < 1 || nShards > 1<<20 || count < 0 {
 		return nil, errors.New("mpcbf: implausible sharded header")
 	}
 	s := &Sharded{
 		shards: make([]shard, nShards),
 		pick:   pickHasher(seed),
+		seed:   seed,
 	}
-	off := 12
+	off := hdrLen
 	for i := 0; i < nShards; i++ {
 		if off+4 > len(data) {
 			return nil, fmt.Errorf("mpcbf: truncated at shard %d", i)

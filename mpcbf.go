@@ -116,6 +116,14 @@ func (m *MPCBF) Geometry() Geometry {
 // heuristic sizing this stays at (or very near) zero.
 func (m *MPCBF) OverflowEvents() int { return m.f.OverflowEvents() }
 
+// SaturatedWords returns how many words were frozen as always-positive by
+// the graceful overflow policy.
+func (m *MPCBF) SaturatedWords() int { return m.f.SaturatedWords() }
+
+// FillStats summarizes word occupancy: the mean used bits per word and
+// the maximum hierarchy depth observed.
+func (m *MPCBF) FillStats() (meanUsedBits float64, maxDepth int) { return m.f.FillStats() }
+
 // ExpectedFPR returns the analytic false positive rate of this filter's
 // geometry at population n (Eq. 9 of the paper).
 func (m *MPCBF) ExpectedFPR(n int) float64 {

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// The HTTP sidecar exposes operational state next to the binary port:
+//
+//	GET /healthz     — liveness (200 "ok")
+//	GET /metrics     — Prometheus text exposition
+//	GET /debug/vars  — expvar JSON (stdlib convention)
+//
+// expvar names are process-global, so the "mpcbfd" var is published once
+// and reads whichever server is currently registered — the same pattern
+// the stdlib uses for memstats.
+var (
+	expvarOnce   sync.Once
+	expvarTarget atomic.Pointer[Server]
+)
+
+func publishExpvar(s *Server) {
+	expvarTarget.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("mpcbfd", expvar.Func(func() any {
+			srv := expvarTarget.Load()
+			if srv == nil {
+				return nil
+			}
+			vars := srv.metrics.Snapshot()
+			f := srv.store.Filter()
+			vars["filter_len"] = f.Len()
+			vars["filter_fill_ratio"] = f.FillRatio()
+			vars["filter_saturated_words"] = f.SaturatedWords()
+			vars["filter_memory_bits"] = f.MemoryBits()
+			st := srv.store.Stats()
+			vars["wal_records"] = st.WALRecords
+			vars["wal_syncs"] = st.WALSyncs
+			vars["snapshots"] = st.Snapshots
+			vars["replayed_records"] = st.ReplayedRecords
+			return vars
+		}))
+	})
+}
+
+// HTTPHandler returns the sidecar mux for s: /healthz, /metrics, and
+// /debug/vars.
+func (s *Server) HTTPHandler() http.Handler {
+	publishExpvar(s)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WriteProm(w, s.store)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

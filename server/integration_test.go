@@ -1,0 +1,237 @@
+package server
+
+// End-to-end crash-recovery test against the real mpcbfd binary: build
+// it, serve on a loopback port, SIGKILL it mid-insert-stream, restart on
+// the same data directory, and require every acknowledged mutation back.
+// This is the durability contract (SyncAlways: ack implies fsync'd WAL
+// record) exercised the only honest way — across a process boundary.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "mpcbfd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mpcbfd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// syncBuffer guards daemon output: exec's pipe goroutine writes while
+// the test reads for assertions and failure dumps.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+type daemon struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+}
+
+func startDaemon(t *testing.T, bin, dir, addr, httpAddr string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr, "-http", httpAddr, "-dir", dir,
+		"-mem", "2097152", "-n", "20000", "-shards", "4",
+		"-fsync", "always", "-snapshot-interval", "0",
+		"-drain-timeout", "5s")
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, out: out}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return d
+}
+
+// dialRetry waits for the daemon to accept connections.
+func dialRetry(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithTimeout(5*time.Second))
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func intKey(i int) []byte { return []byte(fmt.Sprintf("crash-key-%06d", i)) }
+
+func TestIntegrationCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	addr, httpAddr := freePort(t), freePort(t)
+
+	// Phase 1: serve, stream inserts, SIGKILL mid-stream.
+	d1 := startDaemon(t, bin, dir, addr, httpAddr)
+	c := dialRetry(t, addr)
+
+	var acked atomic.Int64
+	insertDone := make(chan struct{})
+	go func() {
+		defer close(insertDone)
+		for i := 0; i < 20000; i++ {
+			if err := c.Insert(intKey(i)); err != nil {
+				return // the kill landed; everything before i was acked
+			}
+			acked.Add(1)
+		}
+	}()
+
+	const killAfter = 500
+	deadline := time.Now().Add(20 * time.Second)
+	for acked.Load() < killAfter {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d inserts acked before deadline\n%s", acked.Load(), d1.out)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+	<-insertDone
+	c.Close()
+	n := int(acked.Load())
+	t.Logf("killed daemon with %d acked inserts", n)
+
+	// Phase 2: restart on the same directory; every acked insert must be
+	// present (zero false negatives — acked means fsync'd under
+	// -fsync always).
+	d2 := startDaemon(t, bin, dir, addr, httpAddr)
+	c2 := dialRetry(t, addr)
+	defer c2.Close()
+
+	got, err := c2.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Len may exceed acked by at most one: an insert can be applied and
+	// logged but killed before the ack reached the client.
+	if got < n || got > n+1 {
+		t.Fatalf("recovered Len = %d, want %d or %d\n%s", got, n, n+1, d2.out)
+	}
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = intKey(i)
+	}
+	const batch = 256
+	for off := 0; off < n; off += batch {
+		end := off + batch
+		if end > n {
+			end = n
+		}
+		flags, err := c2.ContainsBatch(keys[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, ok := range flags {
+			if !ok {
+				t.Fatalf("acked key %d lost after crash", off+j)
+			}
+		}
+	}
+
+	// The sidecar reports the post-restart workload: replayed records,
+	// ops, and a fill ratio matching the recovered population.
+	metrics := httpGet(t, "http://"+httpAddr+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("mpcbfd_replayed_records %d", got),
+		fmt.Sprintf("mpcbfd_filter_len %d", got),
+		`mpcbfd_requests_total{op="contains_batch"}`,
+		`mpcbfd_requests_total{op="len"} 1`,
+		"mpcbfd_filter_fill_ratio ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(httpGet(t, "http://"+httpAddr+"/healthz"), "ok") {
+		t.Error("/healthz not ok")
+	}
+
+	// Phase 3: graceful SIGTERM writes a final snapshot; a third start
+	// recovers from it with nothing to replay.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v\n%s", err, d2.out)
+	}
+	if !strings.Contains(d2.out.String(), "clean shutdown") {
+		t.Fatalf("no clean shutdown marker:\n%s", d2.out)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no final snapshot: %v %v", snaps, err)
+	}
+
+	d3 := startDaemon(t, bin, dir, addr, httpAddr)
+	c3 := dialRetry(t, addr)
+	defer c3.Close()
+	if got3, err := c3.Len(); err != nil || got3 != got {
+		t.Fatalf("post-snapshot Len = %d, %v, want %d", got3, err, got)
+	}
+	if !strings.Contains(d3.out.String(), "0 records replayed") {
+		t.Fatalf("third start should replay nothing:\n%s", d3.out)
+	}
+}

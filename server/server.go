@@ -1,0 +1,306 @@
+// Package server implements mpcbfd's serving layer: a TCP front end
+// speaking the wire protocol of repro/server/wire, dispatching onto a
+// durable Store (sharded MPCBF + write-ahead log + snapshots), plus an
+// HTTP sidecar for health and metrics.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/server/wire"
+)
+
+// Config tunes the TCP front end.
+type Config struct {
+	// Addr is the listen address (default ":7070").
+	Addr string
+	// MaxConns bounds simultaneous connections; excess accepts are closed
+	// immediately (default 1024).
+	MaxConns int
+	// MaxFrameBytes bounds one request frame (default wire.DefaultMaxFrame).
+	MaxFrameBytes int
+	// IdleTimeout closes connections with no complete request for this
+	// long (default 5m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 30s).
+	WriteTimeout time.Duration
+	// Logf receives operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":7070"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = wire.DefaultMaxFrame
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server accepts wire-protocol connections and serves them from a Store.
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics *Metrics
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds a server over store. metrics may be nil (a private instance
+// is created).
+func New(store *Store, cfg Config, metrics *Metrics) *Server {
+	cfg.setDefaults()
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	return &Server{
+		cfg:     cfg,
+		store:   store,
+		metrics: metrics,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics returns the server's metrics aggregate.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Store returns the backing store.
+func (s *Server) Store() *Store { return s.store }
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			s.metrics.ConnRejected()
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.metrics.ConnOpened()
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.metrics.ConnClosed()
+}
+
+// Shutdown stops accepting, wakes idle readers so in-flight requests
+// drain, and waits for connections to finish. When ctx expires first the
+// remaining connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Interrupt reads: a connection blocked waiting for the next request
+	// fails its read and exits; one mid-request finishes the request,
+	// writes the response, then fails its next read.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handleConn runs the request loop for one connection: read a frame,
+// dispatch, write the response. Operation-level failures produce ERR
+// responses and keep the connection; protocol violations produce an ERR
+// response (best effort) and close it.
+func (s *Server) handleConn(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	var (
+		reqBuf  []byte
+		respBuf []byte
+	)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		payload, err := wire.ReadFrame(r, reqBuf, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
+			} else if !isExpectedClose(err) {
+				s.cfg.Logf("mpcbfd: read: %v", err)
+			}
+			return
+		}
+		reqBuf = payload[:0]
+		s.metrics.AddBytes(4+len(payload), 0)
+
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
+			return // protocol violation: framing can no longer be trusted
+		}
+
+		start := time.Now()
+		resp, opFailed := s.dispatch(req, respBuf[:0])
+		s.metrics.ObserveRequest(req.Op, time.Since(start), opFailed)
+		respBuf = resp[:0]
+
+		if !s.respond(conn, w, resp) {
+			return
+		}
+		if s.closed.Load() {
+			return // draining: finish the in-flight request, then hang up
+		}
+	}
+}
+
+// respond writes one response frame and flushes. Returns false when the
+// connection is no longer usable.
+func (s *Server) respond(conn net.Conn, w *bufio.Writer, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := wire.WriteFrame(w, payload); err == nil {
+		if err = w.Flush(); err == nil {
+			s.metrics.AddBytes(0, 4+len(payload))
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch executes one decoded request against the store and encodes
+// the response into dst.
+func (s *Server) dispatch(req wire.Request, dst []byte) (resp []byte, opFailed bool) {
+	switch req.Op {
+	case wire.OpInsert:
+		if err := s.store.Insert(req.Key); err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendOK(dst), false
+	case wire.OpDelete:
+		if err := s.store.Delete(req.Key); err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendOK(dst), false
+	case wire.OpContains:
+		return wire.AppendBool(wire.AppendOK(dst), s.store.Contains(req.Key)), false
+	case wire.OpEstimate:
+		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.EstimateCount(req.Key))), false
+	case wire.OpLen:
+		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.Len())), false
+	case wire.OpInsertBatch:
+		if err := s.store.InsertBatch(req.Keys); err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendOK(dst), false
+	case wire.OpDeleteBatch:
+		ok, err := s.store.DeleteBatch(req.Keys)
+		if err != nil {
+			// WAL failure: the durable outcome is unknown; fail loudly.
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendBools(wire.AppendOK(dst), ok), false
+	case wire.OpContainsBatch:
+		return wire.AppendBools(wire.AppendOK(dst), s.store.ContainsBatch(req.Keys)), false
+	}
+	return wire.AppendErr(dst, "unknown opcode"), true
+}
+
+func isExpectedClose(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true // idle timeout or shutdown wake-up
+	}
+	return false
+}

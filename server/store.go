@@ -1,0 +1,501 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mpcbf "repro"
+	"repro/server/wire"
+)
+
+// Store is the durable state behind mpcbfd: a sharded MPCBF plus a
+// write-ahead log and periodic snapshots.
+//
+// Durability contract: a mutation is acknowledged (the method returns
+// nil / its success flag) only after it has been applied in memory AND
+// appended to the WAL under the configured fsync policy. With SyncAlways
+// every acknowledged mutation survives a crash; with SyncInterval the
+// exposure window is the sync interval; with SyncNever the OS decides.
+// Mutations are applied before they are logged, so a WAL record always
+// describes a mutation that succeeded — replay never re-applies a failed
+// delete — and a crash between apply and log can only lose an
+// *unacknowledged* mutation.
+//
+// Snapshot protocol: under the mutation lock the filter is marshalled
+// and the WAL rotated to a fresh segment; the marshalled state then
+// covers every record in segments below the new sequence number. The
+// snapshot bytes are written to a temp file, fsynced, and atomically
+// renamed to snapshot-<seq>.snap before older segments and snapshots are
+// deleted. Recovery loads the newest snapshot that unmarshals cleanly
+// and replays every surviving segment at or above its sequence number.
+type Store struct {
+	opts StoreOptions
+
+	// mu serializes mutations against each other and against the
+	// marshal+rotate step of a snapshot. Reads go straight to the filter,
+	// which has its own per-shard locks.
+	mu     sync.Mutex
+	filter *mpcbf.Sharded
+	wal    *wal
+
+	snapshots    atomic.Uint64
+	lastSnapshot atomic.Int64 // unix nanos, 0 = never
+	replayed     int          // records replayed at open
+
+	bg     sync.WaitGroup
+	stop   chan struct{}
+	closed atomic.Bool
+}
+
+// StoreOptions configures OpenStore. Filter geometry options are used
+// only when no snapshot or WAL exists yet; an existing store carries its
+// geometry in the snapshot.
+type StoreOptions struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// Filter is the geometry for a fresh store.
+	Filter mpcbf.Options
+	// Shards is the shard count for a fresh store (default 16).
+	Shards int
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the ticker period under SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// SnapshotEvery starts a background snapshot loop when positive.
+	SnapshotEvery time.Duration
+	// BatchWorkers bounds batch fan-out (0 = one goroutine per shard).
+	BatchWorkers int
+	// Logf receives operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o *StoreOptions) setDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%016x.snap", seq))
+}
+
+// Snapshot files carry a CRC envelope so a silently flipped byte in the
+// (self-consistent but checksum-free) filter encoding is caught at load
+// time and recovery falls back instead of serving corrupt counters:
+//
+//	[u32 magic][u32 crc32(IEEE) of data][data = Sharded.MarshalBinary]
+const snapMagic = 0x50414E53 // "SNAP" little-endian
+
+func encodeSnapshot(data []byte) []byte {
+	out := make([]byte, 8, 8+len(data))
+	binary.LittleEndian.PutUint32(out[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(data))
+	return append(out, data...)
+}
+
+func decodeSnapshot(blob []byte) ([]byte, error) {
+	if len(blob) < 8 {
+		return nil, errors.New("server: truncated snapshot")
+	}
+	if binary.LittleEndian.Uint32(blob[0:4]) != snapMagic {
+		return nil, errors.New("server: bad snapshot magic")
+	}
+	data := blob[8:]
+	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(blob[4:8]) {
+		return nil, errors.New("server: snapshot checksum mismatch")
+	}
+	return data, nil
+}
+
+// listSnapshots returns snapshot sequence numbers in dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "snapshot-%016x.snap", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// loadSnapshot reads, checksums, and unmarshals one snapshot file.
+func loadSnapshot(path string) (*mpcbf.Sharded, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := decodeSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	return mpcbf.UnmarshalSharded(data)
+}
+
+// OpenStore opens (or initializes) the store in opts.Dir: newest valid
+// snapshot first, then WAL replay, then background sync/snapshot loops.
+func OpenStore(opts StoreOptions) (*Store, error) {
+	opts.setDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	snaps, err := listSnapshots(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		filter  *mpcbf.Sharded
+		snapSeq uint64 // replay segments >= snapSeq
+	)
+	// Newest snapshot that unmarshals cleanly wins; a corrupt one is
+	// logged and skipped so a bad final snapshot degrades to the previous
+	// one plus a longer replay, not to data loss.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		f, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
+		if err == nil {
+			filter, snapSeq = f, snaps[i]
+			break
+		}
+		opts.Logf("mpcbfd: skipping snapshot seq %d: %v", snaps[i], err)
+	}
+	if filter == nil {
+		filter, err = mpcbf.NewSharded(opts.Filter, opts.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("server: fresh filter: %w", err)
+		}
+	}
+
+	s := &Store{opts: opts, filter: filter, stop: make(chan struct{})}
+
+	segs, err := listWALSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range segs {
+		if seq < snapSeq {
+			continue // covered by the snapshot
+		}
+		n, err := s.replaySegment(walPath(opts.Dir, seq))
+		if err != nil {
+			return nil, fmt.Errorf("server: replay wal seq %d: %w", seq, err)
+		}
+		s.replayed += n
+	}
+
+	// Continue appending to the newest existing segment, or start the
+	// first one.
+	walSeq := snapSeq
+	if walSeq == 0 {
+		walSeq = 1
+	}
+	if len(segs) > 0 && segs[len(segs)-1] > walSeq {
+		walSeq = segs[len(segs)-1]
+	}
+	s.wal, err = openWAL(opts.Dir, walSeq, opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Sync == SyncInterval {
+		s.bg.Add(1)
+		go s.syncLoop()
+	}
+	if opts.SnapshotEvery > 0 {
+		s.bg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// replaySegment re-applies one segment's records, batching runs of
+// same-op records through the filter's parallel batch paths. Apply
+// errors are logged and skipped: a record describes a mutation that
+// succeeded live, so a replay failure means counter divergence from a
+// lost earlier record, and dropping the op is strictly safer than
+// aborting recovery.
+func (s *Store) replaySegment(path string) (int, error) {
+	const flushAt = 4096
+	var (
+		pendingOp   byte
+		pendingKeys [][]byte
+	)
+	flush := func() {
+		if len(pendingKeys) == 0 {
+			return
+		}
+		switch pendingOp {
+		case wire.OpInsert:
+			if err := s.filter.InsertBatch(pendingKeys, s.opts.BatchWorkers); err != nil {
+				s.opts.Logf("mpcbfd: replay insert: %v", err)
+			}
+		case wire.OpDelete:
+			if _, err := s.filter.DeleteBatch(pendingKeys, s.opts.BatchWorkers); err != nil {
+				s.opts.Logf("mpcbfd: replay delete: %v", err)
+			}
+		}
+		pendingKeys = pendingKeys[:0]
+	}
+	n, err := replayWAL(path, func(op byte, key []byte) error {
+		if op != wire.OpInsert && op != wire.OpDelete {
+			return fmt.Errorf("unknown wal op 0x%02x", op)
+		}
+		if op != pendingOp {
+			flush()
+			pendingOp = op
+		}
+		pendingKeys = append(pendingKeys, append([]byte(nil), key...))
+		if len(pendingKeys) >= flushAt {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	return n, err
+}
+
+// Insert applies and logs one insert.
+func (s *Store) Insert(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.filter.Insert(key); err != nil {
+		return err
+	}
+	return s.wal.Append(wire.OpInsert, key)
+}
+
+// Delete applies and logs one delete. Deleting an absent key fails
+// without a WAL record.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.filter.Delete(key); err != nil {
+		return err
+	}
+	return s.wal.Append(wire.OpDelete, key)
+}
+
+// InsertBatch applies and logs a batch with a single fsync. On a batch
+// error (possible only under the strict overflow policy) nothing is
+// logged and the error is returned; the partially applied batch is
+// unacknowledged and carries no durability promise.
+func (s *Store) InsertBatch(keys [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.filter.InsertBatch(keys, s.opts.BatchWorkers); err != nil {
+		return err
+	}
+	return s.wal.AppendBatch(wire.OpInsert, keys)
+}
+
+// DeleteBatch applies a batch of deletes and logs exactly the subset
+// that succeeded, with a single fsync. The returned flags are
+// order-preserving.
+func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok, _ := s.filter.DeleteBatch(keys, s.opts.BatchWorkers)
+	logged := make([][]byte, 0, len(keys))
+	for i, k := range keys {
+		if ok[i] {
+			logged = append(logged, k)
+		}
+	}
+	if err := s.wal.AppendBatch(wire.OpDelete, logged); err != nil {
+		return ok, err
+	}
+	return ok, nil
+}
+
+// Contains answers membership; lock-free at the store level.
+func (s *Store) Contains(key []byte) bool { return s.filter.Contains(key) }
+
+// ContainsBatch answers membership for a batch, order-preserving.
+func (s *Store) ContainsBatch(keys [][]byte) []bool {
+	return s.filter.ContainsBatch(keys, s.opts.BatchWorkers)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity.
+func (s *Store) EstimateCount(key []byte) int { return s.filter.EstimateCount(key) }
+
+// Len returns the current element count.
+func (s *Store) Len() int { return s.filter.Len() }
+
+// Filter exposes the underlying sharded filter for read-only inspection
+// (metrics: fill ratio, saturated words, memory bits).
+func (s *Store) Filter() *mpcbf.Sharded { return s.filter }
+
+// StoreStats is a point-in-time durability report.
+type StoreStats struct {
+	WALRecords      uint64
+	WALSyncs        uint64
+	Snapshots       uint64
+	LastSnapshot    time.Time // zero if never
+	ReplayedRecords int
+}
+
+// Stats reports durability counters.
+func (s *Store) Stats() StoreStats {
+	records, syncs := s.wal.Stats()
+	st := StoreStats{
+		WALRecords:      records,
+		WALSyncs:        syncs,
+		Snapshots:       s.snapshots.Load(),
+		ReplayedRecords: s.replayed,
+	}
+	if ns := s.lastSnapshot.Load(); ns != 0 {
+		st.LastSnapshot = time.Unix(0, ns)
+	}
+	return st
+}
+
+// Snapshot writes a point-in-time snapshot and truncates the WAL behind
+// it. Mutations are blocked only for the in-memory marshal and segment
+// rotation; the disk write happens outside the lock.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	data, err := s.filter.MarshalBinary()
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: snapshot marshal: %w", err)
+	}
+	newSeq, err := s.wal.Rotate()
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("server: snapshot rotate: %w", err)
+	}
+
+	final := snapshotPath(s.opts.Dir, newSeq)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, encodeSnapshot(data)); err != nil {
+		return fmt.Errorf("server: snapshot write: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("server: snapshot rename: %w", err)
+	}
+	syncDir(s.opts.Dir)
+
+	s.snapshots.Add(1)
+	s.lastSnapshot.Store(time.Now().UnixNano())
+	s.cleanup(newSeq)
+	return nil
+}
+
+// cleanup removes WAL segments and snapshots made obsolete by
+// snapshot-<keepSeq>. Failures are logged, not fatal: stale files cost
+// disk, never correctness.
+func (s *Store) cleanup(keepSeq uint64) {
+	if segs, err := listWALSegments(s.opts.Dir); err == nil {
+		for _, seq := range segs {
+			if seq < keepSeq {
+				if err := os.Remove(walPath(s.opts.Dir, seq)); err != nil {
+					s.opts.Logf("mpcbfd: cleanup wal seq %d: %v", seq, err)
+				}
+			}
+		}
+	}
+	if snaps, err := listSnapshots(s.opts.Dir); err == nil {
+		for _, seq := range snaps {
+			if seq < keepSeq {
+				if err := os.Remove(snapshotPath(s.opts.Dir, seq)); err != nil {
+					s.opts.Logf("mpcbfd: cleanup snapshot seq %d: %v", seq, err)
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) syncLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.wal.Sync(); err != nil {
+				s.opts.Logf("mpcbfd: wal sync: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Store) snapshotLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.opts.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Snapshot(); err != nil {
+				s.opts.Logf("mpcbfd: background snapshot: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Close stops background loops, takes a final snapshot, and closes the
+// WAL. Idempotent.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.bg.Wait()
+	var errs []error
+	if err := s.Snapshot(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.wal.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; best
+// effort on platforms where directories cannot be fsynced.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

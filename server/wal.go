@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The write-ahead log is a sequence of numbered segment files
+// (wal-<seq>.log). Each record is CRC-framed:
+//
+//	[u32 len LE][u32 crc32(IEEE) of body][body]
+//	body = [u8 op][key bytes]
+//
+// Records are appended for mutations that have already been applied to
+// the in-memory filter (apply-then-log), so a record always describes a
+// mutation that succeeded; replay therefore never has to guess whether a
+// logged delete took effect. A torn tail — short header, short body, or
+// CRC mismatch at the end of a segment — marks the end of the durable
+// prefix and is discarded silently, exactly like a crash between write
+// and fsync.
+//
+// Segments interlock with snapshots: snapshot-<S>.snap covers every
+// record in segments with seq < S, so recovery loads the newest valid
+// snapshot and replays segments seq >= S in order.
+
+// SyncPolicy says when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append (one fsync per batch for batch
+	// ops). Acknowledged mutations are durable against power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval leaves fsync to a background ticker; a crash window of
+	// at most the interval is traded for throughput.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS page cache decides.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always|interval|never)", s)
+}
+
+const walRecordHeader = 8 // u32 len + u32 crc
+
+// wal appends mutation records to the current segment file.
+type wal struct {
+	dir    string
+	policy SyncPolicy
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     uint64
+	dirty   bool // buffered or written bytes not yet fsynced
+	records uint64
+	syncs   uint64
+}
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+// openWAL opens (creating if absent) the segment with the given sequence
+// number for append.
+func openWAL(dir string, seq uint64, policy SyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{
+		dir:    dir,
+		policy: policy,
+		f:      f,
+		w:      bufio.NewWriterSize(f, 1<<16),
+		seq:    seq,
+	}, nil
+}
+
+func appendRecord(dst []byte, op byte, key []byte) []byte {
+	body := make([]byte, 0, 1+len(key))
+	body = append(body, op)
+	body = append(body, key...)
+	var hdr [walRecordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// Append logs one mutation and, under SyncAlways, makes it durable before
+// returning.
+func (w *wal) Append(op byte, key []byte) error {
+	return w.AppendBatch(op, [][]byte{key})
+}
+
+// AppendBatch logs a group of same-op mutations with a single fsync under
+// SyncAlways.
+func (w *wal) AppendBatch(op byte, keys [][]byte) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, len(keys)*(walRecordHeader+16))
+	for _, k := range keys {
+		buf = appendRecord(buf, op, k)
+	}
+	return w.commit(buf, len(keys))
+}
+
+// commit writes pre-encoded records as one unit under the WAL lock,
+// fsyncing per policy.
+func (w *wal) commit(buf []byte, n int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("server: wal closed")
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.records += uint64(n)
+	w.dirty = true
+	if w.policy == SyncAlways {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs if anything changed since the
+// last sync. Safe to call from a background ticker.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.policy != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// Rotate syncs and closes the current segment and starts seq+1. It
+// returns the new sequence number: a snapshot taken of the state at
+// rotation time covers every record in segments < newSeq.
+func (w *wal) Rotate() (newSeq uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, errors.New("server: wal closed")
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	if err := w.f.Close(); err != nil {
+		return 0, err
+	}
+	w.seq++
+	f, err := os.OpenFile(walPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.f = nil // unusable; subsequent appends fail loudly
+		return 0, err
+	}
+	w.f = f
+	w.w.Reset(f)
+	return w.seq, nil
+}
+
+// Stats returns cumulative record and sync counts.
+func (w *wal) Stats() (records, syncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.syncs
+}
+
+// Close syncs and closes the current segment.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL streams every intact record of one segment into fn. A torn
+// tail (truncated header/body or CRC mismatch) ends the replay without
+// error; replay stops with an error only if fn fails.
+func replayWAL(path string, fn func(op byte, key []byte) error) (records int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [walRecordHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return records, nil // clean EOF or torn header: end of durable prefix
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > wireMaxWALRecord {
+			return records, nil // implausible length: torn/corrupt tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return records, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return records, nil // corrupt record: stop at last good prefix
+		}
+		if err := fn(body[0], body[1:]); err != nil {
+			return records, err
+		}
+		records++
+	}
+}
+
+// wireMaxWALRecord bounds a single replayed record body. Keys arrive over
+// the wire inside bounded frames, so anything larger is corruption.
+const wireMaxWALRecord = 1 << 21
+
+// listWALSegments returns the sequence numbers of every WAL segment in
+// dir, ascending.
+func listWALSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%016x.log", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

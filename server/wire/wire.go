@@ -1,0 +1,319 @@
+// Package wire defines mpcbfd's length-prefixed binary protocol, shared
+// by the server and the client so the two sides cannot drift.
+//
+// Every message — request or response — is one frame:
+//
+//	[u32 length LE][payload ...]
+//
+// where length counts the payload bytes only. A request payload is an
+// opcode byte followed by the opcode's body; a response payload is a
+// status byte followed by the status' body. All integers are
+// little-endian. Keys are length-prefixed byte strings ([u32 len][bytes]);
+// batches are a key count followed by that many keys.
+//
+// Requests:
+//
+//	INSERT / DELETE / CONTAINS / ESTIMATE:  [op][key]
+//	LEN:                                    [op]
+//	INSERT_BATCH / DELETE_BATCH / CONTAINS_BATCH: [op][u32 n][key]*n
+//
+// Responses (status OK):
+//
+//	INSERT / DELETE / INSERT_BATCH:  empty
+//	CONTAINS:                        [u8 bool]
+//	ESTIMATE / LEN:                  [u64]
+//	CONTAINS_BATCH / DELETE_BATCH:   [u32 n][u8 bool]*n
+//
+// Responses (status ERR): [error message bytes]. An ERR response reports
+// an operation-level failure (e.g. deleting an absent key, a word
+// overflow under the strict policy); the connection stays usable.
+// Protocol-level violations (bad opcode, malformed body, oversized frame)
+// also produce an ERR response, after which the server closes the
+// connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes. The zero value is reserved so a zeroed buffer never parses as
+// a valid request.
+const (
+	OpInsert        = 0x01
+	OpDelete        = 0x02
+	OpContains      = 0x03
+	OpEstimate      = 0x04
+	OpLen           = 0x05
+	OpInsertBatch   = 0x06
+	OpDeleteBatch   = 0x07
+	OpContainsBatch = 0x08
+)
+
+// Response statuses.
+const (
+	StatusOK  = 0x00
+	StatusErr = 0x01
+)
+
+// DefaultMaxFrame bounds a single frame's payload (1 MiB): large enough
+// for tens of thousands of typical keys per batch, small enough that one
+// connection cannot balloon server memory.
+const DefaultMaxFrame = 1 << 20
+
+// ErrFrameTooLarge is returned when a peer announces a frame above the
+// configured limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// OpName returns a stable lower-case label for an opcode, for metrics and
+// error text.
+func OpName(op byte) string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpContains:
+		return "contains"
+	case OpEstimate:
+		return "estimate"
+	case OpLen:
+		return "len"
+	case OpInsertBatch:
+		return "insert_batch"
+	case OpDeleteBatch:
+		return "delete_batch"
+	case OpContainsBatch:
+		return "contains_batch"
+	}
+	return fmt.Sprintf("op_0x%02x", op)
+}
+
+// OpNames lists every opcode with its label in protocol order, for
+// metrics enumeration.
+func OpNames() map[byte]string {
+	return map[byte]string{
+		OpInsert:        "insert",
+		OpDelete:        "delete",
+		OpContains:      "contains",
+		OpEstimate:      "estimate",
+		OpLen:           "len",
+		OpInsertBatch:   "insert_batch",
+		OpDeleteBatch:   "delete_batch",
+		OpContainsBatch: "contains_batch",
+	}
+}
+
+// WriteFrame writes one length-prefixed frame. The caller flushes any
+// buffering writer.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame into buf (reallocated when too small) and
+// returns the payload. maxFrame <= 0 means DefaultMaxFrame.
+func ReadFrame(r io.Reader, buf []byte, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendKey appends a length-prefixed key.
+func AppendKey(dst, key []byte) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(key)))
+	dst = append(dst, l[:]...)
+	return append(dst, key...)
+}
+
+// AppendKeyRequest encodes a single-key request payload.
+func AppendKeyRequest(dst []byte, op byte, key []byte) []byte {
+	dst = append(dst, op)
+	return AppendKey(dst, key)
+}
+
+// AppendBatchRequest encodes a batch request payload.
+func AppendBatchRequest(dst []byte, op byte, keys [][]byte) []byte {
+	dst = append(dst, op)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(keys)))
+	dst = append(dst, n[:]...)
+	for _, k := range keys {
+		dst = AppendKey(dst, k)
+	}
+	return dst
+}
+
+// AppendLenRequest encodes the body-less LEN request payload.
+func AppendLenRequest(dst []byte) []byte { return append(dst, OpLen) }
+
+// Request is a decoded request payload. Key and Keys alias the frame
+// buffer; handlers must not retain them past the request.
+type Request struct {
+	Op   byte
+	Key  []byte   // single-key ops
+	Keys [][]byte // batch ops
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(payload []byte) (Request, error) {
+	if len(payload) == 0 {
+		return Request{}, errors.New("wire: empty request")
+	}
+	req := Request{Op: payload[0]}
+	body := payload[1:]
+	switch req.Op {
+	case OpInsert, OpDelete, OpContains, OpEstimate:
+		key, rest, err := readKey(body)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: %s: %w", OpName(req.Op), err)
+		}
+		if len(rest) != 0 {
+			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
+		}
+		req.Key = key
+	case OpLen:
+		if len(body) != 0 {
+			return Request{}, errors.New("wire: len: trailing bytes")
+		}
+	case OpInsertBatch, OpDeleteBatch, OpContainsBatch:
+		if len(body) < 4 {
+			return Request{}, fmt.Errorf("wire: %s: truncated count", OpName(req.Op))
+		}
+		n := int(binary.LittleEndian.Uint32(body[:4]))
+		body = body[4:]
+		// Each key costs at least its 4-byte length prefix, so the frame
+		// itself bounds a plausible count.
+		if n > len(body)/4+1 {
+			return Request{}, fmt.Errorf("wire: %s: implausible key count %d", OpName(req.Op), n)
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			key, rest, err := readKey(body)
+			if err != nil {
+				return Request{}, fmt.Errorf("wire: %s key %d: %w", OpName(req.Op), i, err)
+			}
+			keys = append(keys, key)
+			body = rest
+		}
+		if len(body) != 0 {
+			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
+		}
+		req.Keys = keys
+	default:
+		return Request{}, fmt.Errorf("wire: unknown opcode 0x%02x", req.Op)
+	}
+	return req, nil
+}
+
+func readKey(b []byte) (key, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, errors.New("truncated key length")
+	}
+	n := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	if n > len(b) {
+		return nil, nil, fmt.Errorf("key length %d exceeds body", n)
+	}
+	return b[:n], b[n:], nil
+}
+
+// AppendOK begins an OK response payload.
+func AppendOK(dst []byte) []byte { return append(dst, StatusOK) }
+
+// AppendErr encodes an ERR response payload.
+func AppendErr(dst []byte, msg string) []byte {
+	dst = append(dst, StatusErr)
+	return append(dst, msg...)
+}
+
+// AppendBool appends a bool response field.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendU64 appends a u64 response field.
+func AppendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendBools appends a [u32 n][bool]*n response field.
+func AppendBools(dst []byte, vs []bool) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(vs)))
+	dst = append(dst, n[:]...)
+	for _, v := range vs {
+		dst = AppendBool(dst, v)
+	}
+	return dst
+}
+
+// DecodeStatus splits a response payload into its status and body.
+func DecodeStatus(payload []byte) (status byte, body []byte, err error) {
+	if len(payload) == 0 {
+		return 0, nil, errors.New("wire: empty response")
+	}
+	return payload[0], payload[1:], nil
+}
+
+// DecodeBool parses a bool response body.
+func DecodeBool(body []byte) (bool, error) {
+	if len(body) != 1 {
+		return false, fmt.Errorf("wire: bool response has %d bytes", len(body))
+	}
+	return body[0] != 0, nil
+}
+
+// DecodeU64 parses a u64 response body.
+func DecodeU64(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("wire: u64 response has %d bytes", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// DecodeBools parses a [u32 n][bool]*n response body.
+func DecodeBools(body []byte) ([]bool, error) {
+	if len(body) < 4 {
+		return nil, errors.New("wire: truncated bools response")
+	}
+	n := int(binary.LittleEndian.Uint32(body[:4]))
+	body = body[4:]
+	if n != len(body) {
+		return nil, fmt.Errorf("wire: bools response: count %d, body %d", n, len(body))
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = body[i] != 0
+	}
+	return out, nil
+}

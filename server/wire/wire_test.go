@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {0x01}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, scratch, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		scratch = got[:0]
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, nil, 50); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	key := []byte("the-key")
+	keys := [][]byte{[]byte("a"), {}, []byte("ccc")}
+	cases := []struct {
+		name    string
+		payload []byte
+		want    Request
+	}{
+		{"insert", AppendKeyRequest(nil, OpInsert, key), Request{Op: OpInsert, Key: key}},
+		{"delete", AppendKeyRequest(nil, OpDelete, key), Request{Op: OpDelete, Key: key}},
+		{"contains", AppendKeyRequest(nil, OpContains, key), Request{Op: OpContains, Key: key}},
+		{"estimate", AppendKeyRequest(nil, OpEstimate, key), Request{Op: OpEstimate, Key: key}},
+		{"len", AppendLenRequest(nil), Request{Op: OpLen}},
+		{"insert_batch", AppendBatchRequest(nil, OpInsertBatch, keys), Request{Op: OpInsertBatch, Keys: keys}},
+		{"delete_batch", AppendBatchRequest(nil, OpDeleteBatch, keys), Request{Op: OpDeleteBatch, Keys: keys}},
+		{"contains_batch", AppendBatchRequest(nil, OpContainsBatch, keys), Request{Op: OpContainsBatch, Keys: keys}},
+	}
+	for _, c := range cases {
+		got, err := DecodeRequest(c.payload)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Op != c.want.Op || !bytes.Equal(got.Key, c.want.Key) {
+			t.Fatalf("%s: got %+v", c.name, got)
+		}
+		if len(got.Keys) != len(c.want.Keys) {
+			t.Fatalf("%s: %d keys, want %d", c.name, len(got.Keys), len(c.want.Keys))
+		}
+		for i := range got.Keys {
+			if !bytes.Equal(got.Keys[i], c.want.Keys[i]) {
+				t.Fatalf("%s key %d: %q", c.name, i, got.Keys[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	bad := map[string][]byte{
+		"empty":                {},
+		"unknown op":           {0xEE},
+		"zeroed":               make([]byte, 16),
+		"insert no key":        {OpInsert},
+		"insert short len":     {OpInsert, 1, 0},
+		"insert key overrun":   {OpInsert, 10, 0, 0, 0, 'x'},
+		"insert trailing":      append(AppendKeyRequest(nil, OpInsert, []byte("k")), 0xFF),
+		"len trailing":         {OpLen, 0},
+		"batch no count":       {OpInsertBatch, 1},
+		"batch absurd count":   {OpInsertBatch, 0xFF, 0xFF, 0xFF, 0x7F},
+		"batch truncated keys": {OpInsertBatch, 2, 0, 0, 0, 1, 0, 0, 0, 'a'},
+		"batch trailing":       append(AppendBatchRequest(nil, OpContainsBatch, [][]byte{[]byte("k")}), 0x01),
+	}
+	for name, payload := range bad {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResponseHelpers(t *testing.T) {
+	status, body, err := DecodeStatus(AppendErr(nil, "boom"))
+	if err != nil || status != StatusErr || string(body) != "boom" {
+		t.Fatalf("err response: %d %q %v", status, body, err)
+	}
+	if v, err := DecodeBool(AppendOK(nil)[1:]); err == nil {
+		t.Fatalf("empty bool body accepted: %v", v)
+	}
+	if v, err := DecodeBool(AppendBool(nil, true)); err != nil || !v {
+		t.Fatalf("bool: %v %v", v, err)
+	}
+	if v, err := DecodeU64(AppendU64(nil, 1<<40)); err != nil || v != 1<<40 {
+		t.Fatalf("u64: %d %v", v, err)
+	}
+	in := []bool{true, false, true, true}
+	out, err := DecodeBools(AppendBools(nil, in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("bools: %v %v", out, err)
+	}
+	if _, err := DecodeBools([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Fatal("bools count mismatch accepted")
+	}
+}
