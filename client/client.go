@@ -1,7 +1,9 @@
 // Package client is a minimal, dependency-free Go client for mpcbfd's
 // wire protocol (repro/server/wire): one TCP connection, synchronous
 // request/response, safe for concurrent use (requests are serialized on
-// the connection).
+// the connection). A transport-level error permanently breaks a Client —
+// the stream position can no longer be trusted — so every later call
+// fails fast; dial a new Client to retry.
 package client
 
 import (
@@ -40,6 +42,7 @@ type Client struct {
 	r        *bufio.Reader
 	w        *bufio.Writer
 	buf      []byte // reused request/response scratch
+	err      error  // first transport error; non-nil = broken, stream position unknown
 	timeout  time.Duration
 	maxFrame int
 }
@@ -70,32 +73,52 @@ func (c *Client) Close() error {
 
 // roundTrip sends one request payload and returns the response body for
 // an OK status, a *ServerError for an ERR status.
+//
+// Any transport-level failure — a write or flush error, a failed or
+// timed-out read, an undecodable response — leaves the stream position
+// unknown: retrying on the same connection would read leftover bytes of
+// the previous response and mis-attribute results. So the first such
+// error permanently breaks the Client (the connection is closed and
+// every later call fails fast with the original error); dial a new one
+// to retry. A *ServerError does not break the Client: the response frame
+// was read whole and the stream is still in sync.
 func (c *Client) roundTrip(payload []byte) ([]byte, error) {
+	if c.err != nil {
+		return nil, fmt.Errorf("mpcbfd: client broken by earlier error: %w", c.err)
+	}
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
 	if err := wire.WriteFrame(c.w, payload); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	resp, err := wire.ReadFrame(c.r, c.buf[:0], c.maxFrame)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	c.buf = resp[:0]
 	status, body, err := wire.DecodeStatus(resp)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if status == wire.StatusErr {
 		return nil, &ServerError{Msg: string(body)}
 	}
 	if status != wire.StatusOK {
-		return nil, fmt.Errorf("mpcbfd: unknown status 0x%02x", status)
+		return nil, c.fail(fmt.Errorf("mpcbfd: unknown status 0x%02x", status))
 	}
 	return body, nil
+}
+
+// fail marks the client permanently broken and closes the connection;
+// callers hold c.mu.
+func (c *Client) fail(err error) error {
+	c.err = err
+	c.conn.Close()
+	return err
 }
 
 // Insert adds key. A nil return means the daemon acknowledged the

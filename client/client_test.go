@@ -80,6 +80,56 @@ func TestClientServerError(t *testing.T) {
 	if se.Error() != "mpcbfd: key not found" {
 		t.Fatalf("Error() = %q", se.Error())
 	}
+	// A ServerError is an operation-level failure: the stream stayed in
+	// sync and the client keeps working.
+	if err := c.Delete([]byte("missing-too")); !errors.As(err, &se) {
+		t.Fatalf("second call after ServerError: err = %v, want *ServerError", err)
+	}
+}
+
+func TestClientBreaksOnTransportError(t *testing.T) {
+	// A server that answers the first request with a truncated frame (the
+	// header promises 8 payload bytes, only 2 arrive) and then stalls: the
+	// client's read deadline fires mid-response, leaving the stream
+	// position unknown.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	stall := make(chan struct{})
+	t.Cleanup(func() { close(stall) })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := wire.ReadFrame(conn, nil, 0); err != nil {
+			return
+		}
+		conn.Write([]byte{8, 0, 0, 0, 0x01, 0x00})
+		<-stall
+	}()
+
+	c, err := Dial(ln.Addr().String(), WithTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert([]byte("k")); err == nil {
+		t.Fatal("truncated response accepted")
+	}
+	// The client must now be permanently broken and fail fast — not read
+	// leftover bytes of the old response and mis-attribute them to the
+	// next request.
+	start := time.Now()
+	if err := c.Insert([]byte("k2")); err == nil {
+		t.Fatal("call on broken client succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("broken client appears to have performed I/O (%v)", elapsed)
+	}
 }
 
 func TestClientDecodesResponses(t *testing.T) {

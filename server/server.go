@@ -135,15 +135,17 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			continue
 		}
-		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
 			defer s.untrack(conn)
 			s.handleConn(conn)
 		}()
 	}
 }
 
+// track registers a connection. The wg.Add happens under s.mu, before
+// Shutdown (which also takes s.mu after setting closed) can observe the
+// connection set — so Shutdown's wg.Wait can never see a zero counter
+// while an accepted connection's handler is still starting.
 func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,6 +153,7 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
 	s.metrics.ConnOpened()
 	return true
 }
@@ -161,6 +164,7 @@ func (s *Server) untrack(conn net.Conn) {
 	delete(s.conns, conn)
 	s.mu.Unlock()
 	s.metrics.ConnClosed()
+	s.wg.Done()
 }
 
 // Shutdown stops accepting, wakes idle readers so in-flight requests

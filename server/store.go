@@ -33,10 +33,13 @@ import (
 // Snapshot protocol: under the mutation lock the filter is marshalled
 // and the WAL rotated to a fresh segment; the marshalled state then
 // covers every record in segments below the new sequence number. The
-// snapshot bytes are written to a temp file, fsynced, and atomically
-// renamed to snapshot-<seq>.snap before older segments and snapshots are
-// deleted. Recovery loads the newest snapshot that unmarshals cleanly
-// and replays every surviving segment at or above its sequence number.
+// snapshot bytes are written to a temp file, fsynced, atomically renamed
+// to snapshot-<seq>.snap, and read back to verify they load; only then
+// are predecessors pruned — keeping one previous snapshot generation and
+// the segments that cover it as a fallback. Recovery loads the newest
+// snapshot that unmarshals cleanly, replays every surviving segment at
+// or above its sequence number, and truncates any torn tail off the live
+// segment before appending to it.
 type Store struct {
 	opts StoreOptions
 
@@ -170,7 +173,9 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	)
 	// Newest snapshot that unmarshals cleanly wins; a corrupt one is
 	// logged and skipped so a bad final snapshot degrades to the previous
-	// one plus a longer replay, not to data loss.
+	// retained one plus a longer replay, not to data loss. Snapshots that
+	// exist but all fail to load are a hard error: silently starting from
+	// an empty filter would masquerade as data loss.
 	for i := len(snaps) - 1; i >= 0; i-- {
 		f, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
 		if err == nil {
@@ -180,6 +185,9 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		opts.Logf("mpcbfd: skipping snapshot seq %d: %v", snaps[i], err)
 	}
 	if filter == nil {
+		if len(snaps) > 0 {
+			return nil, fmt.Errorf("server: %d snapshot file(s) in %s but none loads cleanly; refusing to start from an empty filter (restore a snapshot or clear the directory to reinitialize)", len(snaps), opts.Dir)
+		}
 		filter, err = mpcbf.NewSharded(opts.Filter, opts.Shards)
 		if err != nil {
 			return nil, fmt.Errorf("server: fresh filter: %w", err)
@@ -192,19 +200,11 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, seq := range segs {
-		if seq < snapSeq {
-			continue // covered by the snapshot
-		}
-		n, err := s.replaySegment(walPath(opts.Dir, seq))
-		if err != nil {
-			return nil, fmt.Errorf("server: replay wal seq %d: %w", seq, err)
-		}
-		s.replayed += n
-	}
-
-	// Continue appending to the newest existing segment, or start the
-	// first one.
+	// The live segment — the one appends continue into — is decided up
+	// front so replay can report the byte length of its valid record
+	// prefix: a torn or corrupt tail left by a crash must be truncated
+	// before new records are appended, or everything written after the
+	// garbage would be invisible to the next replay.
 	walSeq := snapSeq
 	if walSeq == 0 {
 		walSeq = 1
@@ -212,7 +212,21 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	if len(segs) > 0 && segs[len(segs)-1] > walSeq {
 		walSeq = segs[len(segs)-1]
 	}
-	s.wal, err = openWAL(opts.Dir, walSeq, opts.Sync)
+	tailValid := int64(-1) // -1: the live segment does not exist yet
+	for _, seq := range segs {
+		if seq < snapSeq {
+			continue // covered by the snapshot
+		}
+		n, valid, err := s.replaySegment(walPath(opts.Dir, seq))
+		if err != nil {
+			return nil, fmt.Errorf("server: replay wal seq %d: %w", seq, err)
+		}
+		s.replayed += n
+		if seq == walSeq {
+			tailValid = valid
+		}
+	}
+	s.wal, err = openWAL(opts.Dir, walSeq, opts.Sync, tailValid)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +248,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 // succeeded live, so a replay failure means counter divergence from a
 // lost earlier record, and dropping the op is strictly safer than
 // aborting recovery.
-func (s *Store) replaySegment(path string) (int, error) {
+func (s *Store) replaySegment(path string) (int, int64, error) {
 	const flushAt = 4096
 	var (
 		pendingOp   byte
@@ -256,7 +270,7 @@ func (s *Store) replaySegment(path string) (int, error) {
 		}
 		pendingKeys = pendingKeys[:0]
 	}
-	n, err := replayWAL(path, func(op byte, key []byte) error {
+	n, valid, err := replayWAL(path, func(op byte, key []byte) error {
 		if op != wire.OpInsert && op != wire.OpDelete {
 			return fmt.Errorf("unknown wal op 0x%02x", op)
 		}
@@ -271,7 +285,7 @@ func (s *Store) replaySegment(path string) (int, error) {
 		return nil
 	})
 	flush()
-	return n, err
+	return n, valid, err
 }
 
 // Insert applies and logs one insert.
@@ -395,6 +409,13 @@ func (s *Store) Snapshot() error {
 	}
 	syncDir(s.opts.Dir)
 
+	// Read the snapshot back before deleting anything it obsoletes: if
+	// what landed on disk does not load, the predecessors are still the
+	// only recoverable state and must survive.
+	if _, err := loadSnapshot(final); err != nil {
+		return fmt.Errorf("server: snapshot verify: %w", err)
+	}
+
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())
 	s.cleanup(newSeq)
@@ -402,23 +423,38 @@ func (s *Store) Snapshot() error {
 }
 
 // cleanup removes WAL segments and snapshots made obsolete by
-// snapshot-<keepSeq>. Failures are logged, not fatal: stale files cost
-// disk, never correctness.
+// snapshot-<keepSeq>, always retaining one predecessor snapshot
+// generation and the segments that cover it: if the newest snapshot is
+// later found corrupt, recovery falls back to the previous one and
+// replays forward from its sequence number. Failures are logged, not
+// fatal: stale files cost disk, never correctness.
 func (s *Store) cleanup(keepSeq uint64) {
-	if segs, err := listWALSegments(s.opts.Dir); err == nil {
-		for _, seq := range segs {
-			if seq < keepSeq {
-				if err := os.Remove(walPath(s.opts.Dir, seq)); err != nil {
-					s.opts.Logf("mpcbfd: cleanup wal seq %d: %v", seq, err)
-				}
+	// floor: everything below it is unreachable by recovery. With a
+	// predecessor snapshot P < keepSeq retained, recovery may load P and
+	// needs segments seq >= P, so the floor drops to P.
+	floor := keepSeq
+	snaps, err := listSnapshots(s.opts.Dir)
+	if err != nil {
+		s.opts.Logf("mpcbfd: cleanup list snapshots: %v", err)
+		return
+	}
+	for _, seq := range snaps {
+		if seq < keepSeq {
+			floor = seq // snaps is ascending: ends at the newest predecessor
+		}
+	}
+	for _, seq := range snaps {
+		if seq < floor {
+			if err := os.Remove(snapshotPath(s.opts.Dir, seq)); err != nil {
+				s.opts.Logf("mpcbfd: cleanup snapshot seq %d: %v", seq, err)
 			}
 		}
 	}
-	if snaps, err := listSnapshots(s.opts.Dir); err == nil {
-		for _, seq := range snaps {
-			if seq < keepSeq {
-				if err := os.Remove(snapshotPath(s.opts.Dir, seq)); err != nil {
-					s.opts.Logf("mpcbfd: cleanup snapshot seq %d: %v", seq, err)
+	if segs, err := listWALSegments(s.opts.Dir); err == nil {
+		for _, seq := range segs {
+			if seq < floor {
+				if err := os.Remove(walPath(s.opts.Dir, seq)); err != nil {
+					s.opts.Logf("mpcbfd: cleanup wal seq %d: %v", seq, err)
 				}
 			}
 		}

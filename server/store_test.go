@@ -116,7 +116,7 @@ func TestStoreRecoveryFromSnapshotPlusTail(t *testing.T) {
 	}
 }
 
-func TestStoreSnapshotTruncatesWAL(t *testing.T) {
+func TestStoreSnapshotRetainsOnePredecessor(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenStore(testStoreOptions(dir))
 	if err != nil {
@@ -125,30 +125,44 @@ func TestStoreSnapshotTruncatesWAL(t *testing.T) {
 	if err := s.InsertBatch(storeKeys("trunc", 300)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Snapshot(); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Snapshot(); err != nil {
-		t.Fatal(err)
-	}
-	segs, err := listWALSegments(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(segs) != 1 {
-		t.Fatalf("segments after snapshots = %v, want exactly the live one", segs)
-	}
-	snaps, err := listSnapshots(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(snaps) != 1 {
-		t.Fatalf("snapshots = %v, want only the newest", snaps)
-	}
-	if snaps[0] != segs[0] {
-		t.Fatalf("snapshot seq %d does not match live segment %d", snaps[0], segs[0])
+	// The first snapshot has no predecessor, so only the live segment
+	// survives it; each later snapshot keeps exactly one older generation
+	// (snapshot + covering segments) as a corruption fallback.
+	for i, want := range []int{1, 2, 2} {
+		if err := s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		snaps, err := listSnapshots(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != want {
+			t.Fatalf("after snapshot %d: snapshots = %v, want %d", i+1, snaps, want)
+		}
+		segs, err := listWALSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != want {
+			t.Fatalf("after snapshot %d: segments = %v, want %d", i+1, segs, want)
+		}
+		if snaps[0] != segs[0] || snaps[len(snaps)-1] != segs[len(segs)-1] {
+			t.Fatalf("after snapshot %d: snapshots %v misaligned with segments %v", i+1, snaps, segs)
+		}
 	}
 	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -163,38 +177,115 @@ func TestStoreCorruptSnapshotFallsBack(t *testing.T) {
 	if err := s.InsertBatch(keys); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Close(); err != nil { // writes the final snapshot
+	if err := s.Snapshot(); err != nil { // predecessor generation
+		t.Fatal(err)
+	}
+	extra := storeKeys("tail", 50)
+	if err := s.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // newest generation via final snapshot
 		t.Fatal(err)
 	}
 	snaps, err := listSnapshots(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snaps) == 0 {
-		t.Fatal("no snapshot written by Close")
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %v, want newest + one retained predecessor", snaps)
 	}
-	// Corrupt the newest snapshot's body. Recovery must fall back — here
-	// to a fresh filter plus full WAL replay... but Close truncated the
-	// WAL. So re-add a tail first: reopen, mutate, crash.
+	// Corrupt the newest snapshot: recovery must fall back to the retained
+	// predecessor and replay the segments between the two generations —
+	// full state, zero loss.
+	corruptFile(t, snapshotPath(dir, snaps[1]))
+	r, err := OpenStore(testStoreOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 250 {
+		t.Fatalf("recovered Len = %d, want 250", r.Len())
+	}
+	for _, k := range append(append([][]byte(nil), keys...), extra...) {
+		if !r.Contains(k) {
+			t.Fatalf("false negative on %q after snapshot fallback", k)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAllSnapshotsCorruptFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(testStoreOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertBatch(storeKeys("doomed", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("snapshots = %v, %v", snaps, err)
+	}
+	for _, seq := range snaps {
+		corruptFile(t, snapshotPath(dir, seq))
+	}
+	// Silently coming up empty would masquerade as data loss; the store
+	// must refuse to open instead.
+	if _, err := OpenStore(testStoreOptions(dir)); err == nil {
+		t.Fatal("OpenStore succeeded with every snapshot corrupt")
+	}
+}
+
+func TestStoreTornTailSurvivesDoubleCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(testStoreOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := storeKeys("crash1", 100)
+	if err := s.InsertBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.wal.Close(); err != nil { // crash #1...
+		t.Fatal(err)
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	// ...mid-append: garbage bytes after the last intact record.
+	live := walPath(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(live, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay drops the torn tail and recovery truncates it, so
+	// mutations acked after the restart land where the next replay sees
+	// them.
 	s2, err := OpenStore(testStoreOptions(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	extra := storeKeys("tail", 50)
-	if err := s2.InsertBatch(extra); err != nil {
+	if s2.Len() != 100 {
+		t.Fatalf("first recovery Len = %d, want 100", s2.Len())
+	}
+	second := storeKeys("crash2", 100)
+	if err := s2.InsertBatch(second); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.wal.Close(); err != nil {
-		t.Fatal(err)
-	}
-	snaps, _ = listSnapshots(dir)
-	newest := snapshotPath(dir, snaps[len(snaps)-1])
-	blob, err := os.ReadFile(newest)
-	if err != nil {
-		t.Fatal(err)
-	}
-	blob[len(blob)/2] ^= 0xFF
-	if err := os.WriteFile(newest, blob, 0o644); err != nil {
+	if err := s2.wal.Close(); err != nil { // crash #2
 		t.Fatal(err)
 	}
 
@@ -203,16 +294,13 @@ func TestStoreCorruptSnapshotFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	// The corrupt snapshot was skipped: the base state (keys) is lost to
-	// the truncated WAL, but the surviving tail replays onto a fresh
-	// filter and recovery still comes up serving.
-	for _, k := range extra {
-		if !r.Contains(k) {
-			t.Fatalf("false negative on tail key %q after fallback", k)
-		}
+	if r.Len() != 200 {
+		t.Fatalf("second recovery Len = %d, want 200 (acked records written after restart lost behind torn tail?)", r.Len())
 	}
-	if r.Len() != 50 {
-		t.Fatalf("recovered Len = %d, want 50 (tail only)", r.Len())
+	for _, k := range append(append([][]byte(nil), first...), second...) {
+		if !r.Contains(k) {
+			t.Fatalf("false negative on acked key %q after double crash", k)
+		}
 	}
 }
 

@@ -91,11 +91,33 @@ func walPath(dir string, seq uint64) string {
 }
 
 // openWAL opens (creating if absent) the segment with the given sequence
-// number for append.
-func openWAL(dir string, seq uint64, policy SyncPolicy) (*wal, error) {
+// number for append. validBytes is the length of the segment's valid
+// record prefix as established by replay (-1 when the segment was not
+// replayed, i.e. is new): a longer file has a torn or corrupt tail from a
+// crash, and appending after that garbage would hide every new record
+// from the next replay — so the tail is truncated away, durably, before
+// any append is accepted.
+func openWAL(dir string, seq uint64, policy SyncPolicy, validBytes int64) (*wal, error) {
 	f, err := os.OpenFile(walPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if validBytes >= 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if fi.Size() > validBytes {
+			if err := f.Truncate(validBytes); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("server: truncate torn wal tail (%d -> %d bytes): %w", fi.Size(), validBytes, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 	}
 	return &wal{
 		dir:    dir,
@@ -233,35 +255,38 @@ func (w *wal) Close() error {
 
 // replayWAL streams every intact record of one segment into fn. A torn
 // tail (truncated header/body or CRC mismatch) ends the replay without
-// error; replay stops with an error only if fn fails.
-func replayWAL(path string, fn func(op byte, key []byte) error) (records int, err error) {
+// error; replay stops with an error only if fn fails. valid is the byte
+// length of the intact record prefix, so the caller can truncate the
+// garbage tail before appending to the segment again.
+func replayWAL(path string, fn func(op byte, key []byte) error) (records int, valid int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var hdr [walRecordHeader]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return records, nil // clean EOF or torn header: end of durable prefix
+			return records, valid, nil // clean EOF or torn header: end of durable prefix
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if n == 0 || n > wireMaxWALRecord {
-			return records, nil // implausible length: torn/corrupt tail
+			return records, valid, nil // implausible length: torn/corrupt tail
 		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(r, body); err != nil {
-			return records, nil // torn body
+			return records, valid, nil // torn body
 		}
 		if crc32.ChecksumIEEE(body) != want {
-			return records, nil // corrupt record: stop at last good prefix
+			return records, valid, nil // corrupt record: stop at last good prefix
 		}
 		if err := fn(body[0], body[1:]); err != nil {
-			return records, err
+			return records, valid, err
 		}
 		records++
+		valid += walRecordHeader + int64(n)
 	}
 }
 

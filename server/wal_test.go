@@ -17,7 +17,7 @@ type walRec struct {
 func replayAll(t *testing.T, path string) []walRec {
 	t.Helper()
 	var out []walRec
-	n, err := replayWAL(path, func(op byte, key []byte) error {
+	n, valid, err := replayWAL(path, func(op byte, key []byte) error {
 		out = append(out, walRec{op, string(key)})
 		return nil
 	})
@@ -27,12 +27,15 @@ func replayAll(t *testing.T, path string) []walRec {
 	if n != len(out) {
 		t.Fatalf("replay count %d, callbacks %d", n, len(out))
 	}
+	if fi, err := os.Stat(path); err == nil && valid > fi.Size() {
+		t.Fatalf("valid prefix %d exceeds file size %d", valid, fi.Size())
+	}
 	return out
 }
 
 func TestWALAppendReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, SyncAlways)
+	w, err := openWAL(dir, 1, SyncAlways, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func TestWALAppendReplay(t *testing.T) {
 
 func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, SyncAlways)
+	w, err := openWAL(dir, 1, SyncAlways, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,9 +117,65 @@ func TestWALTornTail(t *testing.T) {
 	}
 }
 
+func TestWALOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 1, SyncAlways, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := walPath(dir, 1)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves garbage after the last intact record.
+	torn := append(append([]byte(nil), clean...), 0xFF, 0xFF, 0xFF, 0xFF, 0xDE)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, valid, err := replayWAL(path, func(byte, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != int64(len(clean)) {
+		t.Fatalf("valid prefix = %d, want %d", valid, len(clean))
+	}
+	// Reopening at the valid prefix cuts the garbage, so a record appended
+	// after recovery is reachable by the next replay.
+	w, err = openWAL(dir, 1, SyncAlways, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != valid {
+		t.Fatalf("size after truncating open = %d, want %d", fi.Size(), valid)
+	}
+	if err := w.Append(wire.OpInsert, []byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 4 || got[3].key != "post-crash" {
+		t.Fatalf("replay after truncating reopen = %+v, want 4 records ending in post-crash", got)
+	}
+}
+
 func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, SyncAlways)
+	w, err := openWAL(dir, 1, SyncAlways, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +214,7 @@ func TestWALCorruptRecordStopsReplay(t *testing.T) {
 
 func TestWALRotate(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 7, SyncAlways)
+	w, err := openWAL(dir, 7, SyncAlways, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +251,7 @@ func TestWALRotate(t *testing.T) {
 
 func TestWALSyncInterval(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(dir, 1, SyncInterval)
+	w, err := openWAL(dir, 1, SyncInterval, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
