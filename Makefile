@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet race bench bench-json fuzz-kernel serve integration ci
+.PHONY: build test vet lint race bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e ci
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is installed; vet is the floor either
+# way (the CI lint job installs staticcheck explicitly).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -54,6 +63,13 @@ fuzz-kernel:
 	$(GO) test -run '^$$' -fuzz FuzzWordKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/hcbf
 	$(GO) test -run '^$$' -fuzz FuzzKernelVsGeneric -fuzztime $(FUZZTIME) ./internal/core
 
+# fuzz-wire hardens the network protocol decoders: malformed request,
+# status, and replication frames must error, never panic.
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./server/wire
+	$(GO) test -run '^$$' -fuzz FuzzDecodeStatus -fuzztime $(FUZZTIME) ./server/wire
+	$(GO) test -run '^$$' -fuzz FuzzRepFrameRoundTrip -fuzztime $(FUZZTIME) ./server/wire
+
 # serve runs the mpcbfd daemon with a local data dir; MPCBFD_FLAGS adds
 # extra flags (e.g. MPCBFD_FLAGS='-fsync interval -shards 32').
 MPCBFD_FLAGS ?=
@@ -65,5 +81,12 @@ serve:
 integration:
 	$(GO) test -race -count=1 -run 'TestIntegration' -v ./server
 
-ci: build vet race integration
+# cluster-e2e builds the daemon and runs the replication end-to-end
+# test: 1 primary + 2 replicas, concurrent writers, a replica SIGKILLed
+# and restarted mid-stream, convergence to byte-identical filters, and
+# a read-scaling throughput smoke.
+cluster-e2e:
+	$(GO) test -race -count=1 -run 'TestClusterE2E' -v ./cluster
+
+ci: build lint race integration cluster-e2e
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

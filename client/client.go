@@ -1,13 +1,21 @@
 // Package client is a minimal, dependency-free Go client for mpcbfd's
 // wire protocol (repro/server/wire): one TCP connection, synchronous
 // request/response, safe for concurrent use (requests are serialized on
-// the connection). A transport-level error permanently breaks a Client —
-// the stream position can no longer be trusted — so every later call
-// fails fast; dial a new Client to retry.
+// the connection).
+//
+// By default a transport-level error permanently breaks a Client — the
+// stream position can no longer be trusted — so every later call fails
+// fast; dial a new Client to retry. WithReconnect opts into automatic
+// redialing with bounded exponential backoff: idempotent reads
+// (Contains, EstimateCount, Len, ContainsBatch, Dump) are retried
+// transparently, while an interrupted mutation surfaces ErrMaybeApplied
+// — the request may or may not have reached the daemon, and blindly
+// re-sending it would double-count on a counting filter.
 package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -22,6 +30,24 @@ type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "mpcbfd: " + e.Msg }
 
+// ReadOnlyError reports a mutation rejected by a read-only replica.
+// Primary, when non-empty, is the address writes should go to instead.
+// The connection remains usable after one.
+type ReadOnlyError struct{ Primary string }
+
+func (e *ReadOnlyError) Error() string {
+	if e.Primary == "" {
+		return "mpcbfd: server is read-only"
+	}
+	return "mpcbfd: server is read-only; writes go to " + e.Primary
+}
+
+// ErrMaybeApplied marks a mutation interrupted by a transport failure
+// after the request left the client: the daemon may or may not have
+// applied it. Match with errors.Is. Re-sending is the caller's call —
+// on a counting filter a blind retry double-counts.
+var ErrMaybeApplied = errors.New("mpcbfd: connection lost mid-mutation; the daemon may have applied it")
+
 // Option configures Dial.
 type Option func(*Client)
 
@@ -35,6 +61,21 @@ func WithMaxFrame(n int) Option {
 	return func(c *Client) { c.maxFrame = n }
 }
 
+// WithReconnect makes a broken Client redial instead of failing fast.
+// Idempotent reads are retried up to attempts times in total, sleeping
+// an exponential backoff (base, doubling, capped at max) between tries;
+// interrupted mutations are never retried — they return ErrMaybeApplied
+// and the next call redials. Zero arguments pick defaults (3 attempts,
+// 50ms base, 2s cap).
+func WithReconnect(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		c.reconnect = true
+		c.attempts = attempts
+		c.backoffBase = base
+		c.backoffMax = max
+	}
+}
+
 // Client is a connection to an mpcbfd daemon.
 type Client struct {
 	mu       sync.Mutex
@@ -43,49 +84,146 @@ type Client struct {
 	w        *bufio.Writer
 	buf      []byte // reused request/response scratch
 	err      error  // first transport error; non-nil = broken, stream position unknown
+	closed   bool   // Close was called; reconnect never resurrects
+	addr     string
 	timeout  time.Duration
 	maxFrame int
+
+	reconnect   bool
+	attempts    int
+	backoffBase time.Duration
+	backoffMax  time.Duration
 }
 
 // Dial connects to an mpcbfd daemon at addr.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	c := &Client{timeout: 10 * time.Second, maxFrame: wire.DefaultMaxFrame}
+	c := &Client{addr: addr, timeout: 10 * time.Second, maxFrame: wire.DefaultMaxFrame}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.attempts <= 0 {
+		c.attempts = 3
+	}
+	if c.backoffBase <= 0 {
+		c.backoffBase = 50 * time.Millisecond
+	}
+	if c.backoffMax <= 0 {
+		c.backoffMax = 2 * time.Second
 	}
 	d := net.Dialer{Timeout: c.timeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 1<<16)
-	c.w = bufio.NewWriterSize(conn, 1<<16)
+	c.attach(conn)
 	return c, nil
 }
 
-// Close closes the connection.
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 1<<16)
+	c.w = bufio.NewWriterSize(conn, 1<<16)
+	c.err = nil
+}
+
+// Close closes the connection. A closed Client stays closed even with
+// WithReconnect.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	if c.err == nil {
+		c.err = errors.New("client closed")
+	}
 	return c.conn.Close()
 }
 
+// do runs one operation, re-encoding the request via enc on every
+// attempt (the scratch buffer is shared, so a retry cannot reuse a
+// previous attempt's payload). Reconnect-enabled clients redial broken
+// connections; transport failures retry idempotent ops with backoff and
+// convert mutation interruptions to ErrMaybeApplied. Callers must not
+// hold c.mu.
+func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.err != nil {
+			if c.closed {
+				return nil, errors.New("mpcbfd: client closed")
+			}
+			if !c.reconnect {
+				return nil, fmt.Errorf("mpcbfd: client broken by earlier error: %w", c.err)
+			}
+			if err := c.redial(); err != nil {
+				if attempt+1 >= c.attempts {
+					return nil, err
+				}
+				c.backoff(attempt)
+				continue
+			}
+		}
+		body, err := c.roundTrip(enc(c.scratch()))
+		if err == nil {
+			return body, nil
+		}
+		var se *ServerError
+		var ro *ReadOnlyError
+		if errors.As(err, &se) || errors.As(err, &ro) {
+			return nil, err // operation-level: the stream is still in sync
+		}
+		if !c.reconnect {
+			return nil, err
+		}
+		if wire.IsMutation(op) {
+			// The request may have been applied before the connection
+			// died; retrying could double-count. The broken connection is
+			// left for the next call to redial.
+			return nil, fmt.Errorf("%w (%v)", ErrMaybeApplied, err)
+		}
+		if attempt+1 >= c.attempts {
+			return nil, err
+		}
+		c.backoff(attempt)
+	}
+}
+
+// redial replaces a broken connection; callers hold c.mu.
+func (c *Client) redial() error {
+	c.conn.Close()
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.attach(conn)
+	return nil
+}
+
+// backoff sleeps the capped exponential delay for a zero-based attempt
+// number. It holds c.mu by design: the client serializes requests, and a
+// queued request would fail against the same dead server anyway.
+func (c *Client) backoff(attempt int) {
+	d := c.backoffBase << attempt
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	time.Sleep(d)
+}
+
 // roundTrip sends one request payload and returns the response body for
-// an OK status, a *ServerError for an ERR status.
+// an OK status, a *ServerError for an ERR status, and a *ReadOnlyError
+// for a READONLY status.
 //
 // Any transport-level failure — a write or flush error, a failed or
 // timed-out read, an undecodable response — leaves the stream position
 // unknown: retrying on the same connection would read leftover bytes of
-// the previous response and mis-attribute results. So the first such
-// error permanently breaks the Client (the connection is closed and
-// every later call fails fast with the original error); dial a new one
-// to retry. A *ServerError does not break the Client: the response frame
-// was read whole and the stream is still in sync.
+// the previous response and mis-attribute results. So such an error
+// breaks the connection (it is closed, c.err set); without WithReconnect
+// the Client is then permanently broken. Operation-level statuses do not
+// break anything: the response frame was read whole and the stream is
+// still in sync.
 func (c *Client) roundTrip(payload []byte) ([]byte, error) {
-	if c.err != nil {
-		return nil, fmt.Errorf("mpcbfd: client broken by earlier error: %w", c.err)
-	}
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
@@ -104,17 +242,18 @@ func (c *Client) roundTrip(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, c.fail(err)
 	}
-	if status == wire.StatusErr {
+	switch status {
+	case wire.StatusOK:
+		return body, nil
+	case wire.StatusErr:
 		return nil, &ServerError{Msg: string(body)}
+	case wire.StatusReadOnly:
+		return nil, &ReadOnlyError{Primary: string(body)}
 	}
-	if status != wire.StatusOK {
-		return nil, c.fail(fmt.Errorf("mpcbfd: unknown status 0x%02x", status))
-	}
-	return body, nil
+	return nil, c.fail(fmt.Errorf("mpcbfd: unknown status 0x%02x", status))
 }
 
-// fail marks the client permanently broken and closes the connection;
-// callers hold c.mu.
+// fail marks the connection broken and closes it; callers hold c.mu.
 func (c *Client) fail(err error) error {
 	c.err = err
 	c.conn.Close()
@@ -124,25 +263,25 @@ func (c *Client) fail(err error) error {
 // Insert adds key. A nil return means the daemon acknowledged the
 // mutation under its configured durability policy.
 func (c *Client) Insert(key []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpInsert, key))
+	_, err := c.do(wire.OpInsert, func(dst []byte) []byte {
+		return wire.AppendKeyRequest(dst, wire.OpInsert, key)
+	})
 	return err
 }
 
 // Delete removes a previously inserted key.
 func (c *Client) Delete(key []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpDelete, key))
+	_, err := c.do(wire.OpDelete, func(dst []byte) []byte {
+		return wire.AppendKeyRequest(dst, wire.OpDelete, key)
+	})
 	return err
 }
 
 // Contains reports whether key may be in the set.
 func (c *Client) Contains(key []byte) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	body, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpContains, key))
+	body, err := c.do(wire.OpContains, func(dst []byte) []byte {
+		return wire.AppendKeyRequest(dst, wire.OpContains, key)
+	})
 	if err != nil {
 		return false, err
 	}
@@ -151,9 +290,9 @@ func (c *Client) Contains(key []byte) (bool, error) {
 
 // EstimateCount returns an upper bound on key's multiplicity.
 func (c *Client) EstimateCount(key []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	body, err := c.roundTrip(wire.AppendKeyRequest(c.scratch(), wire.OpEstimate, key))
+	body, err := c.do(wire.OpEstimate, func(dst []byte) []byte {
+		return wire.AppendKeyRequest(dst, wire.OpEstimate, key)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -163,9 +302,9 @@ func (c *Client) EstimateCount(key []byte) (int, error) {
 
 // Len returns the daemon's current element count.
 func (c *Client) Len() (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	body, err := c.roundTrip(wire.AppendLenRequest(c.scratch()))
+	body, err := c.do(wire.OpLen, func(dst []byte) []byte {
+		return wire.AppendLenRequest(dst)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -175,18 +314,18 @@ func (c *Client) Len() (int, error) {
 
 // InsertBatch inserts keys as one request (one WAL fsync server-side).
 func (c *Client) InsertBatch(keys [][]byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpInsertBatch, keys))
+	_, err := c.do(wire.OpInsertBatch, func(dst []byte) []byte {
+		return wire.AppendBatchRequest(dst, wire.OpInsertBatch, keys)
+	})
 	return err
 }
 
 // DeleteBatch deletes keys as one request, returning order-preserving
 // flags for which keys were actually removed.
 func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	body, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpDeleteBatch, keys))
+	body, err := c.do(wire.OpDeleteBatch, func(dst []byte) []byte {
+		return wire.AppendBatchRequest(dst, wire.OpDeleteBatch, keys)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -195,13 +334,26 @@ func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 
 // ContainsBatch answers membership for keys, order-preserving.
 func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	body, err := c.roundTrip(wire.AppendBatchRequest(c.scratch(), wire.OpContainsBatch, keys))
+	body, err := c.do(wire.OpContainsBatch, func(dst []byte) []byte {
+		return wire.AppendBatchRequest(dst, wire.OpContainsBatch, keys)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return wire.DecodeBools(body)
+}
+
+// Dump fetches a consistent point-in-time binary encoding of the
+// daemon's filter (decode with repro.UnmarshalSharded). The returned
+// slice is the caller's to keep.
+func (c *Client) Dump() ([]byte, error) {
+	body, err := c.do(wire.OpDump, func(dst []byte) []byte {
+		return wire.AppendDumpRequest(dst)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
 }
 
 // scratch hands out the reused request buffer; callers hold c.mu.

@@ -1,0 +1,199 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/server/wire"
+)
+
+// flakyServer accepts connections and, for the first drops of them,
+// reads one request and hangs up without answering — the shape of a
+// crashing or restarting daemon. Later connections are served by
+// respond like fakeServer.
+func flakyServer(t *testing.T, drops int, respond func(req wire.Request) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var mu sync.Mutex
+	accepted := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			n := accepted
+			accepted++
+			mu.Unlock()
+			go func() {
+				defer conn.Close()
+				var buf []byte
+				for {
+					payload, err := wire.ReadFrame(conn, buf, 0)
+					if err != nil {
+						return
+					}
+					if n < drops {
+						return // hang up mid-operation
+					}
+					buf = payload[:0]
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					if err := wire.WriteFrame(conn, respond(req)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func reconnectOpts() []Option {
+	return []Option{
+		WithTimeout(2 * time.Second),
+		WithReconnect(4, time.Millisecond, 20*time.Millisecond),
+	}
+}
+
+func TestReconnectRetriesIdempotentRead(t *testing.T) {
+	addr := flakyServer(t, 2, func(req wire.Request) []byte {
+		return wire.AppendBool(wire.AppendOK(nil), true)
+	})
+	c, err := Dial(addr, reconnectOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Connections 0 and 1 die mid-request; the client must redial twice
+	// and still answer.
+	ok, err := c.Contains([]byte("k"))
+	if err != nil {
+		t.Fatalf("Contains across flaky connections: %v", err)
+	}
+	if !ok {
+		t.Fatal("Contains = false, want true")
+	}
+}
+
+func TestReconnectMutationSurfacesMaybeApplied(t *testing.T) {
+	addr := flakyServer(t, 1, func(req wire.Request) []byte {
+		return wire.AppendOK(nil)
+	})
+	c, err := Dial(addr, reconnectOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The request left the client before the connection died: the daemon
+	// may have applied it, so the client must not silently re-send.
+	err = c.Insert([]byte("k"))
+	if !errors.Is(err, ErrMaybeApplied) {
+		t.Fatalf("interrupted Insert: err = %v, want ErrMaybeApplied", err)
+	}
+	// The next call redials and proceeds normally.
+	if err := c.Insert([]byte("k2")); err != nil {
+		t.Fatalf("Insert after reconnect: %v", err)
+	}
+}
+
+func TestReconnectGivesUpAfterAttempts(t *testing.T) {
+	addr := flakyServer(t, 1<<30, func(req wire.Request) []byte {
+		return wire.AppendOK(nil)
+	})
+	c, err := Dial(addr, reconnectOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Len(); err == nil {
+		t.Fatal("Len against always-dropping server succeeded")
+	}
+	if errors.Is(err, ErrMaybeApplied) {
+		t.Fatal("Dial error reported as ErrMaybeApplied")
+	}
+}
+
+func TestReconnectDoesNotResurrectClosedClient(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		return wire.AppendOK(nil)
+	})
+	c, err := Dial(addr, reconnectOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Insert([]byte("k")); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestReadOnlyErrorCarriesPrimary(t *testing.T) {
+	const primary = "10.0.0.7:7070"
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		if wire.IsMutation(req.Op) {
+			return wire.AppendReadOnly(nil, primary)
+		}
+		return wire.AppendBool(wire.AppendOK(nil), false)
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Insert([]byte("k"))
+	var ro *ReadOnlyError
+	if !errors.As(err, &ro) {
+		t.Fatalf("Insert on read-only server: err = %v, want *ReadOnlyError", err)
+	}
+	if ro.Primary != primary {
+		t.Fatalf("Primary = %q, want %q", ro.Primary, primary)
+	}
+	// Operation-level rejection: the connection stays usable for reads.
+	if _, err := c.Contains([]byte("k")); err != nil {
+		t.Fatalf("Contains after ReadOnlyError: %v", err)
+	}
+}
+
+func TestDumpReturnsDetachedCopy(t *testing.T) {
+	blob := []byte("filter-bytes-stand-in")
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		if req.Op == wire.OpLen {
+			return wire.AppendU64(wire.AppendOK(nil), 1)
+		}
+		if req.Op != wire.OpDump {
+			t.Errorf("op = %#x, want OpDump", req.Op)
+		}
+		return append(wire.AppendOK(nil), blob...)
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Dump = %q, want %q", got, blob)
+	}
+	// The dump must not alias the client's scratch buffer.
+	if _, err := c.Len(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Dump mutated by a later call: %q", got)
+	}
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/hashing"
+)
+
+// Node names one shard of the cluster: a primary that owns writes for
+// its key range and any number of read replicas.
+type Node struct {
+	Primary  string
+	Replicas []string
+}
+
+// ClientConfig describes a static cluster topology plus per-connection
+// tuning. Routing is rendezvous (highest-random-weight) hashing over
+// the primaries: each key scores every node with
+// XXHash64(key, seed(primary)) and goes to the highest score, so nodes
+// can be listed in any order and removing one only remaps its own keys.
+type ClientConfig struct {
+	Nodes []Node
+	// Timeout bounds each request round trip (default 10s).
+	Timeout time.Duration
+	// ReconnectAttempts / BackoffBase / BackoffMax configure the
+	// per-connection auto-reconnect (defaults 3, 50ms, 2s). Reads retry
+	// transparently; interrupted mutations surface
+	// client.ErrMaybeApplied.
+	ReconnectAttempts int
+	BackoffBase       time.Duration
+	BackoffMax        time.Duration
+}
+
+// Client routes single-key and batch operations across the cluster.
+// Batches are split per node, fanned out concurrently, and re-stitched
+// in input order. Reads prefer replicas (round-robin) and fail over to
+// the primary; writes always go to the primary. Safe for concurrent
+// use.
+type Client struct {
+	cfg   ClientConfig
+	nodes []*node
+}
+
+// node is one shard's connection state: addresses, their rendezvous
+// seed, and lazily dialed connections.
+type node struct {
+	cfg      *ClientConfig
+	primary  string
+	replicas []string
+	seed     uint64
+
+	mu       sync.Mutex
+	primaryC *client.Client
+	replicaC []*client.Client
+	rr       uint64 // round-robin cursor over replicas
+}
+
+// NewClient validates the topology. Connections are dialed lazily, so a
+// node that is down at construction time only fails operations routed
+// to it.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes configured")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	c := &Client{cfg: cfg}
+	seen := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		if n.Primary == "" {
+			return nil, errors.New("cluster: node with empty primary address")
+		}
+		if seen[n.Primary] {
+			return nil, fmt.Errorf("cluster: duplicate primary %s", n.Primary)
+		}
+		seen[n.Primary] = true
+		c.nodes = append(c.nodes, &node{
+			cfg:      &c.cfg,
+			primary:  n.Primary,
+			replicas: append([]string(nil), n.Replicas...),
+			// Seeding the score hash with a hash of the address makes the
+			// per-node score streams independent; the key's placement is a
+			// pure function of (key, set of primary addresses).
+			seed: hashing.XXHash64([]byte(n.Primary), 0x9e3779b97f4a7c15),
+		})
+	}
+	return c, nil
+}
+
+// Close closes every open connection.
+func (c *Client) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if n.primaryC != nil {
+			if err := n.primaryC.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, rc := range n.replicaC {
+			if rc != nil {
+				if err := rc.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+	return first
+}
+
+// route returns the index of the node owning key.
+func (c *Client) route(key []byte) int {
+	best, bestScore := 0, uint64(0)
+	for i, n := range c.nodes {
+		if s := hashing.XXHash64(key, n.seed); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+func (c *Client) owner(key []byte) *node { return c.nodes[c.route(key)] }
+
+func (n *node) dialOpts() []client.Option {
+	return []client.Option{
+		client.WithTimeout(n.cfg.Timeout),
+		client.WithReconnect(n.cfg.ReconnectAttempts, n.cfg.BackoffBase, n.cfg.BackoffMax),
+	}
+}
+
+// primaryClient returns the node's primary connection, dialing it on
+// first use.
+func (n *node) primaryClient() (*client.Client, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.primaryC == nil {
+		cl, err := client.Dial(n.primary, n.dialOpts()...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dial primary %s: %w", n.primary, err)
+		}
+		n.primaryC = cl
+	}
+	return n.primaryC, nil
+}
+
+// readClients returns the connections to try for a read, in order: each
+// replica once starting from the round-robin cursor, then the primary.
+// Unreachable replicas are skipped (their slot redials on a later
+// read).
+func (n *node) readClients() []*client.Client {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*client.Client, 0, len(n.replicas)+1)
+	if len(n.replicas) > 0 {
+		start := int(n.rr % uint64(len(n.replicas)))
+		n.rr++
+		for i := 0; i < len(n.replicas); i++ {
+			slot := (start + i) % len(n.replicas)
+			if n.replicaC == nil {
+				n.replicaC = make([]*client.Client, len(n.replicas))
+			}
+			if n.replicaC[slot] == nil {
+				cl, err := client.Dial(n.replicas[slot], n.dialOpts()...)
+				if err != nil {
+					continue
+				}
+				n.replicaC[slot] = cl
+			}
+			out = append(out, n.replicaC[slot])
+		}
+	}
+	if n.primaryC == nil {
+		if cl, err := client.Dial(n.primary, n.dialOpts()...); err == nil {
+			n.primaryC = cl
+		}
+	}
+	if n.primaryC != nil {
+		out = append(out, n.primaryC)
+	}
+	return out
+}
+
+// read runs op against the node's read set, failing over on transport
+// errors. Operation-level errors (ServerError) are authoritative and
+// returned as-is.
+func (n *node) read(op func(*client.Client) error) error {
+	clients := n.readClients()
+	if len(clients) == 0 {
+		return fmt.Errorf("cluster: no reachable endpoint for node %s", n.primary)
+	}
+	var last error
+	for _, cl := range clients {
+		err := op(cl)
+		if err == nil {
+			return nil
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// Insert adds key on its owning primary.
+func (c *Client) Insert(key []byte) error {
+	cl, err := c.owner(key).primaryClient()
+	if err != nil {
+		return err
+	}
+	return cl.Insert(key)
+}
+
+// Delete removes key on its owning primary.
+func (c *Client) Delete(key []byte) error {
+	cl, err := c.owner(key).primaryClient()
+	if err != nil {
+		return err
+	}
+	return cl.Delete(key)
+}
+
+// Contains answers membership from the owning node's read set.
+func (c *Client) Contains(key []byte) (bool, error) {
+	var ok bool
+	err := c.owner(key).read(func(cl *client.Client) error {
+		var err error
+		ok, err = cl.Contains(key)
+		return err
+	})
+	return ok, err
+}
+
+// EstimateCount returns the multiplicity upper bound from the owning
+// node's read set.
+func (c *Client) EstimateCount(key []byte) (int, error) {
+	var v int
+	err := c.owner(key).read(func(cl *client.Client) error {
+		var err error
+		v, err = cl.EstimateCount(key)
+		return err
+	})
+	return v, err
+}
+
+// Len sums the element counts of all primaries. Keys are partitioned by
+// the routing, so the sum is the cluster population.
+func (c *Client) Len() (int, error) {
+	total := 0
+	for _, n := range c.nodes {
+		var v int
+		err := n.read(func(cl *client.Client) error {
+			var err error
+			v, err = cl.Len()
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// split partitions keys by owning node, remembering each key's input
+// position for re-stitching.
+func (c *Client) split(keys [][]byte) (perNode [][][]byte, perNodeIdx [][]int) {
+	perNode = make([][][]byte, len(c.nodes))
+	perNodeIdx = make([][]int, len(c.nodes))
+	for i, key := range keys {
+		n := c.route(key)
+		perNode[n] = append(perNode[n], key)
+		perNodeIdx[n] = append(perNodeIdx[n], i)
+	}
+	return perNode, perNodeIdx
+}
+
+// fanOut runs fn once per node that owns a non-empty slice of keys,
+// concurrently, and returns the first error.
+func (c *Client) fanOut(perNode [][][]byte, fn func(n *node, keys [][]byte) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, keys := range perNode {
+		if len(keys) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *node, keys [][]byte) {
+			defer wg.Done()
+			errs[i] = fn(n, keys)
+		}(i, c.nodes[i], keys)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// InsertBatch inserts keys, split per owning primary and fanned out
+// concurrently. On error some nodes' sub-batches may have been applied
+// and others not: each sub-batch is atomic per node, the whole batch is
+// not.
+func (c *Client) InsertBatch(keys [][]byte) error {
+	perNode, _ := c.split(keys)
+	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		return cl.InsertBatch(sub)
+	})
+}
+
+// DeleteBatch deletes keys across the cluster and re-stitches the
+// per-key removal flags in input order.
+func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
+	perNode, perNodeIdx := c.split(keys)
+	out := make([]bool, len(keys))
+	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		flags, err := cl.DeleteBatch(sub)
+		if err != nil {
+			return err
+		}
+		return c.stitch(out, perNodeIdx, n, flags)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContainsBatch answers membership for keys across the cluster,
+// re-stitched in input order. Each node's sub-batch goes to its read
+// set with failover.
+func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
+	perNode, perNodeIdx := c.split(keys)
+	out := make([]bool, len(keys))
+	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		var flags []bool
+		rerr := n.read(func(cl *client.Client) error {
+			var err error
+			flags, err = cl.ContainsBatch(sub)
+			return err
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return c.stitch(out, perNodeIdx, n, flags)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stitch scatters one node's order-preserving flags back to the input
+// positions recorded by split. Disjoint index sets per node make the
+// concurrent writes race-free.
+func (c *Client) stitch(out []bool, perNodeIdx [][]int, n *node, flags []bool) error {
+	var idx []int
+	for i, cand := range c.nodes {
+		if cand == n {
+			idx = perNodeIdx[i]
+			break
+		}
+	}
+	if len(flags) != len(idx) {
+		return fmt.Errorf("cluster: node %s answered %d flags for %d keys", n.primary, len(flags), len(idx))
+	}
+	for i, pos := range idx {
+		out[pos] = flags[i]
+	}
+	return nil
+}

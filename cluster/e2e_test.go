@@ -1,0 +1,305 @@
+package cluster
+
+// End-to-end replication test against the real mpcbfd binary: one
+// primary and two -replicate-from replicas, concurrent writers on the
+// primary, a SIGKILL and restart of one replica mid-stream, then the
+// acceptance bar — every acknowledged insert answerable on every node
+// and byte-identical filter dumps across the fleet. A read-scaling
+// smoke follows: a bounded connection pool per endpoint across the
+// three nodes must beat the same pool against the primary alone by 2x.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+func buildDaemonE2E(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "mpcbfd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mpcbfd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePortE2E(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type daemonE2E struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+	mu  sync.Mutex
+}
+
+func (d *daemonE2E) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.out.Write(p)
+}
+
+func (d *daemonE2E) Output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.out.String()
+}
+
+// startNode launches one daemon; replicateFrom == "" makes it a
+// primary.
+func startNode(t *testing.T, bin, dir, addr, replicateFrom string) *daemonE2E {
+	t.Helper()
+	args := []string{
+		"-addr", addr, "-http", "", "-dir", dir,
+		"-mem", "2097152", "-n", "20000", "-shards", "4",
+		"-fsync", "always", "-snapshot-interval", "0",
+		"-drain-timeout", "5s",
+	}
+	if replicateFrom != "" {
+		args = append(args, "-replicate-from", replicateFrom)
+	}
+	cmd := exec.Command(bin, args...)
+	d := &daemonE2E{cmd: cmd, out: &bytes.Buffer{}}
+	cmd.Stdout = d
+	cmd.Stderr = d
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return d
+}
+
+func dialRetryE2E(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithTimeout(5*time.Second))
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func e2eKey(writer, i int) []byte {
+	return []byte(fmt.Sprintf("e2e-w%d-%05d", writer, i))
+}
+
+// readPool hammers addr with CONTAINS from conns connections for dur
+// and returns the completed-request count.
+func readPool(t *testing.T, addr []string, conns int, dur time.Duration) uint64 {
+	t.Helper()
+	var total atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, a := range addr {
+		for g := 0; g < conns; g++ {
+			c, err := client.Dial(a, client.WithTimeout(5*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(c *client.Client, g int) {
+				defer wg.Done()
+				defer c.Close()
+				key := e2eKey(g%4, g)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := c.Contains(key); err != nil {
+						return
+					}
+					total.Add(1)
+				}
+			}(c, g)
+		}
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return total.Load()
+}
+
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test builds and runs the daemon binary")
+	}
+	bin := buildDaemonE2E(t)
+
+	paddr := freePortE2E(t)
+	r1addr := freePortE2E(t)
+	r2addr := freePortE2E(t)
+	pdir := filepath.Join(t.TempDir(), "primary")
+	r1dir := filepath.Join(t.TempDir(), "replica1")
+	r2dir := filepath.Join(t.TempDir(), "replica2")
+
+	primary := startNode(t, bin, pdir, paddr, "")
+	pc := dialRetryE2E(t, paddr)
+	defer pc.Close()
+
+	startNode(t, bin, r1dir, r1addr, paddr)
+	r2 := startNode(t, bin, r2dir, r2addr, paddr)
+	rc1 := dialRetryE2E(t, r1addr)
+	defer rc1.Close()
+	dialRetryE2E(t, r2addr).Close()
+
+	// Concurrent writers: every nil-error return is an acknowledged,
+	// fsync'd mutation the whole fleet must eventually serve.
+	const writers, perWriter = 4, 1000
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	writerErr := make(chan error, writers)
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			c, err := client.Dial(paddr, client.WithTimeout(10*time.Second))
+			if err != nil {
+				writerErr <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWriter; i++ {
+				if err := c.Insert(e2eKey(wr, i)); err != nil {
+					writerErr <- fmt.Errorf("writer %d key %d: %w", wr, i, err)
+					return
+				}
+				acked.Add(1)
+			}
+		}(wr)
+	}
+
+	// Mid-stream, SIGKILL replica 2 and restart it on the same data
+	// directory: recovery must resume the mirror from its durable
+	// position with no gap and no re-application.
+	for acked.Load() < writers*perWriter/4 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := r2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	r2.cmd.Wait()
+	startNode(t, bin, r2dir, r2addr, paddr)
+	rc2 := dialRetryE2E(t, r2addr)
+	defer rc2.Close()
+
+	wg.Wait()
+	close(writerErr)
+	for err := range writerErr {
+		t.Fatal(err)
+	}
+
+	want, err := pc.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != writers*perWriter {
+		t.Fatalf("primary Len = %d, want %d", want, writers*perWriter)
+	}
+
+	// Convergence: only inserts ran, so Len equality means every record
+	// has been applied.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n1, err1 := rc1.Len()
+		n2, err2 := rc2.Len()
+		if err1 == nil && err2 == nil && n1 == want && n2 == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never converged: %d / %d, want %d\nreplica2 output:\n%s",
+				n1, n2, want, r2.Output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Zero acked loss, per key, on both replicas.
+	for wr := 0; wr < writers; wr++ {
+		batch := make([][]byte, perWriter)
+		for i := range batch {
+			batch[i] = e2eKey(wr, i)
+		}
+		for which, rc := range []*client.Client{rc1, rc2} {
+			flags, err := rc.ContainsBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ok := range flags {
+				if !ok {
+					t.Fatalf("replica %d lost acked key %s", which+1, batch[i])
+				}
+			}
+		}
+	}
+
+	// Byte-identical state: the WAL is a total order and both replicas
+	// mirrored it exactly.
+	pdump, err := pc.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for which, rc := range []*client.Client{rc1, rc2} {
+		rdump, err := rc.Dump()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pdump, rdump) {
+			t.Fatalf("replica %d dump differs from primary (%d vs %d bytes)", which+1, len(rdump), len(pdump))
+		}
+	}
+
+	// Read-scaling smoke: a 4-connection pool per endpoint across the
+	// three nodes vs the same pool against the primary alone. Loopback
+	// round trips bound each pool, so the fleet should approach 3x; the
+	// acceptance bar is 2x.
+	single := readPool(t, []string{paddr}, 4, 700*time.Millisecond)
+	fleet := readPool(t, []string{paddr, r1addr, r2addr}, 4, 700*time.Millisecond)
+	t.Logf("CONTAINS throughput: single-node %d, fleet %d (%.2fx)",
+		single, fleet, float64(fleet)/float64(single))
+	// The scaling assertion needs the three daemons and the client to
+	// actually run in parallel; on a 1-2 core box the phases just
+	// time-slice one CPU and the ratio measures scheduler overhead.
+	if runtime.NumCPU() >= 4 {
+		if fleet < 2*single {
+			t.Fatalf("fleet reads %d < 2x single-node %d", fleet, single)
+		}
+	} else {
+		t.Logf("skipping 2x assertion: %d CPUs cannot parallelize the fleet", runtime.NumCPU())
+	}
+
+	_ = primary
+}

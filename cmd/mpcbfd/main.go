@@ -8,10 +8,20 @@
 // newest valid snapshot and replays the WAL tail. SIGTERM/SIGINT drain
 // connections, take a final snapshot, and exit cleanly.
 //
+// With -replicate-from the daemon runs as a read replica: it mirrors
+// the named primary's WAL over the binary protocol, serves reads
+// locally, and answers mutations with a READONLY redirect to the
+// primary. -read-only alone serves an existing data directory without
+// accepting writes.
+//
 // Usage:
 //
 //	mpcbfd -addr :7070 -http :7071 -dir /var/lib/mpcbfd \
 //	       -mem 67108864 -n 1000000 -shards 16 -fsync always
+//
+//	mpcbfd -addr :7170 -dir /var/lib/mpcbfd-replica \
+//	       -mem 67108864 -n 1000000 -shards 16 \
+//	       -replicate-from primary-host:7070
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/cluster"
 	"repro/server"
 )
 
@@ -49,12 +60,21 @@ func main() {
 		maxFrame     = flag.Int("max-frame", 1<<20, "max request frame bytes")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain grace period")
+
+		replicateFrom = flag.String("replicate-from", "", "primary address to mirror; implies -read-only and disables snapshots")
+		readOnly      = flag.Bool("read-only", false, "reject mutations with a READONLY redirect")
 	)
 	flag.Parse()
 
 	policy, err := server.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
+	}
+	replica := *replicateFrom != ""
+	if replica {
+		// A replica's WAL mirrors the primary; local snapshots would
+		// rotate it and desynchronize the mirror.
+		*snapEvery = 0
 	}
 
 	store, err := server.OpenStore(server.StoreOptions{
@@ -70,6 +90,7 @@ func main() {
 		Sync:          policy,
 		SyncEvery:     *fsyncEvery,
 		SnapshotEvery: *snapEvery,
+		Replica:       replica,
 	})
 	if err != nil {
 		fatal(err)
@@ -78,12 +99,35 @@ func main() {
 	fmt.Printf("mpcbfd: store open: %d elements, %d records replayed\n",
 		store.Len(), st.ReplayedRecords)
 
-	srv := server.New(store, server.Config{
+	cfg := server.Config{
 		Addr:          *addr,
 		MaxConns:      *maxConns,
 		MaxFrameBytes: *maxFrame,
 		IdleTimeout:   *idleTimeout,
-	}, nil)
+		ReadOnly:      *readOnly || replica,
+		PrimaryAddr:   *replicateFrom,
+	}
+
+	var rep *cluster.Replica
+	repCtx, repCancel := context.WithCancel(context.Background())
+	repDone := make(chan struct{})
+	close(repDone)
+	if replica {
+		rep, err = cluster.NewReplica(cluster.ReplicaConfig{
+			PrimaryAddr: *replicateFrom,
+			Store:       store,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.PromExtra = rep.WriteProm
+		repDone = make(chan struct{})
+		go func() { defer close(repDone); rep.Run(repCtx) }()
+		fmt.Printf("mpcbfd: replicating from %s\n", *replicateFrom)
+	}
+	defer repCancel()
+
+	srv := server.New(store, cfg, nil)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,10 +168,18 @@ func main() {
 	if httpSrv != nil {
 		httpSrv.Shutdown(ctx)
 	}
+	// Stop consuming the replication stream before closing the store it
+	// applies into.
+	repCancel()
+	<-repDone
 	if err := store.Close(); err != nil {
 		fatal(fmt.Errorf("final snapshot: %w", err))
 	}
-	fmt.Println("mpcbfd: clean shutdown (final snapshot written)")
+	if replica {
+		fmt.Println("mpcbfd: clean shutdown (mirror position durable)")
+	} else {
+		fmt.Println("mpcbfd: clean shutdown (final snapshot written)")
+	}
 }
 
 func fatal(err error) {

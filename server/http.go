@@ -58,6 +58,10 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.WriteProm(w, s.store)
+		s.writeReplicationProm(w)
+		if s.cfg.PromExtra != nil {
+			s.cfg.PromExtra(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux

@@ -181,4 +181,16 @@ func (m *Metrics) WriteProm(w io.Writer, store *Store) {
 	}
 	fmt.Fprintf(w, "# TYPE mpcbfd_replayed_records gauge\n")
 	fmt.Fprintf(w, "mpcbfd_replayed_records %d\n", st.ReplayedRecords)
+
+	segs, segBytes := store.WALSegmentStats()
+	fmt.Fprintf(w, "# HELP mpcbfd_wal_segments WAL segment files on disk.\n")
+	fmt.Fprintf(w, "# TYPE mpcbfd_wal_segments gauge\n")
+	fmt.Fprintf(w, "mpcbfd_wal_segments %d\n", segs)
+	fmt.Fprintf(w, "# TYPE mpcbfd_wal_segment_bytes gauge\n")
+	fmt.Fprintf(w, "mpcbfd_wal_segment_bytes %d\n", segBytes)
+	if !st.LastSnapshot.IsZero() {
+		fmt.Fprintf(w, "# HELP mpcbfd_snapshot_age_seconds Time since the last durable snapshot.\n")
+		fmt.Fprintf(w, "# TYPE mpcbfd_snapshot_age_seconds gauge\n")
+		fmt.Fprintf(w, "mpcbfd_snapshot_age_seconds %g\n", time.Since(st.LastSnapshot).Seconds())
+	}
 }

@@ -32,6 +32,18 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response write (default 30s).
 	WriteTimeout time.Duration
+	// ReadOnly rejects mutations with a StatusReadOnly redirect carrying
+	// PrimaryAddr. Set on replicas.
+	ReadOnly bool
+	// PrimaryAddr is the address advertised in read-only redirects.
+	PrimaryAddr string
+	// HeartbeatEvery is the replication heartbeat period while a
+	// subscriber is caught up (default 1s).
+	HeartbeatEvery time.Duration
+	// PromExtra, when set, is invoked at the end of the /metrics
+	// exposition — the hook a replica uses to append its replication
+	// gauges without the server package importing the cluster package.
+	PromExtra func(w io.Writer)
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -52,6 +64,9 @@ func (c *Config) setDefaults() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -68,6 +83,11 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// stop wakes replication streamers (blocked on WAL changes, not
+	// reads) at shutdown; subs tracks them for the metrics gauges.
+	stop chan struct{}
+	subs sync.Map // *replSub -> struct{}
 }
 
 // New builds a server over store. metrics may be nil (a private instance
@@ -82,6 +102,7 @@ func New(store *Store, cfg Config, metrics *Metrics) *Server {
 		store:   store,
 		metrics: metrics,
 		conns:   make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -174,6 +195,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(s.stop)
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()
@@ -233,6 +255,15 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // protocol violation: framing can no longer be trusted
 		}
 
+		if req.Op == wire.OpReplicate {
+			// The connection leaves request/response mode for good: it
+			// becomes a one-way replication stream until either side
+			// hangs up.
+			s.metrics.ObserveRequest(req.Op, 0, false)
+			s.serveReplication(conn, w, req)
+			return
+		}
+
 		start := time.Now()
 		resp, opFailed := s.dispatch(req, respBuf[:0])
 		s.metrics.ObserveRequest(req.Op, time.Since(start), opFailed)
@@ -263,6 +294,9 @@ func (s *Server) respond(conn net.Conn, w *bufio.Writer, payload []byte) bool {
 // dispatch executes one decoded request against the store and encodes
 // the response into dst.
 func (s *Server) dispatch(req wire.Request, dst []byte) (resp []byte, opFailed bool) {
+	if s.cfg.ReadOnly && wire.IsMutation(req.Op) {
+		return wire.AppendReadOnly(dst, s.cfg.PrimaryAddr), true
+	}
 	switch req.Op {
 	case wire.OpInsert:
 		if err := s.store.Insert(req.Key); err != nil {
@@ -294,6 +328,12 @@ func (s *Server) dispatch(req wire.Request, dst []byte) (resp []byte, opFailed b
 		return wire.AppendBools(wire.AppendOK(dst), ok), false
 	case wire.OpContainsBatch:
 		return wire.AppendBools(wire.AppendOK(dst), s.store.ContainsBatch(req.Keys)), false
+	case wire.OpDump:
+		data, err := s.store.MarshalFilter()
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return append(wire.AppendOK(dst), data...), false
 	}
 	return wire.AppendErr(dst, "unknown opcode"), true
 }

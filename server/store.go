@@ -45,9 +45,11 @@ type Store struct {
 
 	// mu serializes mutations against each other and against the
 	// marshal+rotate step of a snapshot. Reads go straight to the filter,
-	// which has its own per-shard locks.
+	// which has its own per-shard locks. The filter pointer itself is
+	// atomic because a replica bootstrap swaps the whole filter while
+	// reads are in flight.
 	mu     sync.Mutex
-	filter *mpcbf.Sharded
+	filter atomic.Pointer[mpcbf.Sharded]
 	wal    *wal
 
 	snapshots    atomic.Uint64
@@ -58,6 +60,9 @@ type Store struct {
 	stop   chan struct{}
 	closed atomic.Bool
 }
+
+// f returns the current filter; safe without the mutation lock.
+func (s *Store) f() *mpcbf.Sharded { return s.filter.Load() }
 
 // StoreOptions configures OpenStore. Filter geometry options are used
 // only when no snapshot or WAL exists yet; an existing store carries its
@@ -77,6 +82,13 @@ type StoreOptions struct {
 	SnapshotEvery time.Duration
 	// BatchWorkers bounds batch fan-out (0 = one goroutine per shard).
 	BatchWorkers int
+	// Replica opens the store as a replication target: its WAL mirrors a
+	// primary's segment files byte-for-byte (via ReplicaApply /
+	// ReplicaBootstrap), so the store never snapshots on its own — a
+	// snapshot would rotate the WAL and desynchronize the mirror. The
+	// snapshot loop is disabled, Close skips the final snapshot, and
+	// Snapshot returns an error.
+	Replica bool
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -194,7 +206,8 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		}
 	}
 
-	s := &Store{opts: opts, filter: filter, stop: make(chan struct{})}
+	s := &Store{opts: opts, stop: make(chan struct{})}
+	s.filter.Store(filter)
 
 	segs, err := listWALSegments(opts.Dir)
 	if err != nil {
@@ -213,6 +226,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		walSeq = segs[len(segs)-1]
 	}
 	tailValid := int64(-1) // -1: the live segment does not exist yet
+	var replayedBytes int64
 	for _, seq := range segs {
 		if seq < snapSeq {
 			continue // covered by the snapshot
@@ -222,6 +236,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 			return nil, fmt.Errorf("server: replay wal seq %d: %w", seq, err)
 		}
 		s.replayed += n
+		replayedBytes += valid
 		if seq == walSeq {
 			tailValid = valid
 		}
@@ -230,61 +245,77 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Seed the replication counters from the recovered segments so the
+	// cumulative record/byte totals shipped to replicas stay monotonic
+	// across a restart (approximately: pruned segments are gone).
+	s.wal.setBaseline(uint64(s.replayed), uint64(replayedBytes))
 
 	if opts.Sync == SyncInterval {
 		s.bg.Add(1)
 		go s.syncLoop()
 	}
-	if opts.SnapshotEvery > 0 {
+	if opts.SnapshotEvery > 0 && !opts.Replica {
 		s.bg.Add(1)
 		go s.snapshotLoop()
 	}
 	return s, nil
 }
 
-// replaySegment re-applies one segment's records, batching runs of
-// same-op records through the filter's parallel batch paths. Apply
-// errors are logged and skipped: a record describes a mutation that
-// succeeded live, so a replay failure means counter divergence from a
-// lost earlier record, and dropping the op is strictly safer than
-// aborting recovery.
-func (s *Store) replaySegment(path string) (int, int64, error) {
-	const flushAt = 4096
-	var (
-		pendingOp   byte
-		pendingKeys [][]byte
-	)
-	flush := func() {
-		if len(pendingKeys) == 0 {
-			return
-		}
-		switch pendingOp {
-		case wire.OpInsert:
-			if err := s.filter.InsertBatch(pendingKeys, s.opts.BatchWorkers); err != nil {
-				s.opts.Logf("mpcbfd: replay insert: %v", err)
-			}
-		case wire.OpDelete:
-			if _, err := s.filter.DeleteBatch(pendingKeys, s.opts.BatchWorkers); err != nil {
-				s.opts.Logf("mpcbfd: replay delete: %v", err)
-			}
-		}
-		pendingKeys = pendingKeys[:0]
+// batchApplier feeds WAL-ordered records into the filter, batching runs
+// of same-op records through the parallel batch paths. Per-shard order
+// is preserved inside a batch, so the result is identical to one-by-one
+// application. Apply errors are logged and skipped: a record describes a
+// mutation that succeeded live, so an apply failure means counter
+// divergence from a lost earlier record, and dropping the op is strictly
+// safer than aborting recovery or a replication stream. Keys handed to
+// add may alias the scan buffer — scanRecords allocates each record body
+// fresh, so they stay valid until the flush.
+type batchApplier struct {
+	s       *Store
+	context string // "replay" or "replicate", for log lines
+	op      byte
+	keys    [][]byte
+}
+
+const applierFlushAt = 4096
+
+func (a *batchApplier) add(op byte, key []byte) error {
+	if op != wire.OpInsert && op != wire.OpDelete {
+		return fmt.Errorf("unknown wal op 0x%02x", op)
 	}
-	n, valid, err := replayWAL(path, func(op byte, key []byte) error {
-		if op != wire.OpInsert && op != wire.OpDelete {
-			return fmt.Errorf("unknown wal op 0x%02x", op)
+	if op != a.op {
+		a.flush()
+		a.op = op
+	}
+	a.keys = append(a.keys, key)
+	if len(a.keys) >= applierFlushAt {
+		a.flush()
+	}
+	return nil
+}
+
+func (a *batchApplier) flush() {
+	if len(a.keys) == 0 {
+		return
+	}
+	switch a.op {
+	case wire.OpInsert:
+		if err := a.s.f().InsertBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
+			a.s.opts.Logf("mpcbfd: %s insert: %v", a.context, err)
 		}
-		if op != pendingOp {
-			flush()
-			pendingOp = op
+	case wire.OpDelete:
+		if _, err := a.s.f().DeleteBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
+			a.s.opts.Logf("mpcbfd: %s delete: %v", a.context, err)
 		}
-		pendingKeys = append(pendingKeys, append([]byte(nil), key...))
-		if len(pendingKeys) >= flushAt {
-			flush()
-		}
-		return nil
-	})
-	flush()
+	}
+	a.keys = a.keys[:0]
+}
+
+// replaySegment re-applies one segment's records through a batchApplier.
+func (s *Store) replaySegment(path string) (int, int64, error) {
+	a := &batchApplier{s: s, context: "replay"}
+	n, valid, err := replayWAL(path, a.add)
+	a.flush()
 	return n, valid, err
 }
 
@@ -292,7 +323,7 @@ func (s *Store) replaySegment(path string) (int, int64, error) {
 func (s *Store) Insert(key []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.filter.Insert(key); err != nil {
+	if err := s.f().Insert(key); err != nil {
 		return err
 	}
 	return s.wal.Append(wire.OpInsert, key)
@@ -303,7 +334,7 @@ func (s *Store) Insert(key []byte) error {
 func (s *Store) Delete(key []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.filter.Delete(key); err != nil {
+	if err := s.f().Delete(key); err != nil {
 		return err
 	}
 	return s.wal.Append(wire.OpDelete, key)
@@ -316,7 +347,7 @@ func (s *Store) Delete(key []byte) error {
 func (s *Store) InsertBatch(keys [][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.filter.InsertBatch(keys, s.opts.BatchWorkers); err != nil {
+	if err := s.f().InsertBatch(keys, s.opts.BatchWorkers); err != nil {
 		return err
 	}
 	return s.wal.AppendBatch(wire.OpInsert, keys)
@@ -328,7 +359,7 @@ func (s *Store) InsertBatch(keys [][]byte) error {
 func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ok, _ := s.filter.DeleteBatch(keys, s.opts.BatchWorkers)
+	ok, _ := s.f().DeleteBatch(keys, s.opts.BatchWorkers)
 	logged := make([][]byte, 0, len(keys))
 	for i, k := range keys {
 		if ok[i] {
@@ -342,22 +373,22 @@ func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) {
 }
 
 // Contains answers membership; lock-free at the store level.
-func (s *Store) Contains(key []byte) bool { return s.filter.Contains(key) }
+func (s *Store) Contains(key []byte) bool { return s.f().Contains(key) }
 
 // ContainsBatch answers membership for a batch, order-preserving.
 func (s *Store) ContainsBatch(keys [][]byte) []bool {
-	return s.filter.ContainsBatch(keys, s.opts.BatchWorkers)
+	return s.f().ContainsBatch(keys, s.opts.BatchWorkers)
 }
 
 // EstimateCount returns an upper bound on key's multiplicity.
-func (s *Store) EstimateCount(key []byte) int { return s.filter.EstimateCount(key) }
+func (s *Store) EstimateCount(key []byte) int { return s.f().EstimateCount(key) }
 
 // Len returns the current element count.
-func (s *Store) Len() int { return s.filter.Len() }
+func (s *Store) Len() int { return s.f().Len() }
 
 // Filter exposes the underlying sharded filter for read-only inspection
 // (metrics: fill ratio, saturated words, memory bits).
-func (s *Store) Filter() *mpcbf.Sharded { return s.filter }
+func (s *Store) Filter() *mpcbf.Sharded { return s.f() }
 
 // StoreStats is a point-in-time durability report.
 type StoreStats struct {
@@ -385,27 +416,44 @@ func (s *Store) Stats() StoreStats {
 
 // Snapshot writes a point-in-time snapshot and truncates the WAL behind
 // it. Mutations are blocked only for the in-memory marshal and segment
-// rotation; the disk write happens outside the lock.
+// rotation; the disk write happens outside the lock. Refused on a
+// replica: its WAL mirrors the primary's segments, and a local rotation
+// would desynchronize the mirror.
 func (s *Store) Snapshot() error {
+	if s.opts.Replica {
+		return errors.New("server: replica store does not snapshot (its WAL mirrors the primary)")
+	}
+	_, _, _, _, err := s.snapshot()
+	return err
+}
+
+// snapshot is the shared snapshot core: it returns the marshaled filter
+// data, the new live segment the stream continues into, and the WAL's
+// cumulative counters at the rotation point — everything a replication
+// bootstrap frame needs.
+func (s *Store) snapshot() (data []byte, newSeq uint64, cumRecords, cumBytes uint64, err error) {
 	s.mu.Lock()
-	data, err := s.filter.MarshalBinary()
+	data, err = s.f().MarshalBinary()
 	if err != nil {
 		s.mu.Unlock()
-		return fmt.Errorf("server: snapshot marshal: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("server: snapshot marshal: %w", err)
 	}
-	newSeq, err := s.wal.Rotate()
+	newSeq, err = s.wal.Rotate()
+	if err == nil {
+		cumRecords, cumBytes = s.wal.CumPos()
+	}
 	s.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("server: snapshot rotate: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("server: snapshot rotate: %w", err)
 	}
 
 	final := snapshotPath(s.opts.Dir, newSeq)
 	tmp := final + ".tmp"
 	if err := writeFileSync(tmp, encodeSnapshot(data)); err != nil {
-		return fmt.Errorf("server: snapshot write: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("server: snapshot write: %w", err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("server: snapshot rename: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("server: snapshot rename: %w", err)
 	}
 	syncDir(s.opts.Dir)
 
@@ -413,13 +461,13 @@ func (s *Store) Snapshot() error {
 	// what landed on disk does not load, the predecessors are still the
 	// only recoverable state and must survive.
 	if _, err := loadSnapshot(final); err != nil {
-		return fmt.Errorf("server: snapshot verify: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("server: snapshot verify: %w", err)
 	}
 
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())
 	s.cleanup(newSeq)
-	return nil
+	return data, newSeq, cumRecords, cumBytes, nil
 }
 
 // cleanup removes WAL segments and snapshots made obsolete by
@@ -493,8 +541,9 @@ func (s *Store) snapshotLoop() {
 	}
 }
 
-// Close stops background loops, takes a final snapshot, and closes the
-// WAL. Idempotent.
+// Close stops background loops, takes a final snapshot (primaries only —
+// a replica restart recovers by replaying its mirrored segments), and
+// closes the WAL. Idempotent.
 func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
@@ -502,8 +551,10 @@ func (s *Store) Close() error {
 	close(s.stop)
 	s.bg.Wait()
 	var errs []error
-	if err := s.Snapshot(); err != nil {
-		errs = append(errs, err)
+	if !s.opts.Replica {
+		if err := s.Snapshot(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if err := s.wal.Close(); err != nil {
 		errs = append(errs, err)

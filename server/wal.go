@@ -81,9 +81,19 @@ type wal struct {
 	f       *os.File
 	w       *bufio.Writer
 	seq     uint64
-	dirty   bool // buffered or written bytes not yet fsynced
+	size    int64 // bytes in the current segment, including buffered
+	dirty   bool  // buffered or written bytes not yet fsynced
 	records uint64
 	syncs   uint64
+
+	// Replication bookkeeping: cumulative counters monotonic across
+	// rotations (seeded at open from the retained segments, so they
+	// approximate lifetime totals), and a change-notification channel
+	// closed-and-replaced on every append so tailers can wait for new
+	// records without polling.
+	cumRecords uint64
+	cumBytes   uint64
+	changed    chan struct{}
 }
 
 func walPath(dir string, seq uint64) string {
@@ -102,6 +112,7 @@ func openWAL(dir string, seq uint64, policy SyncPolicy, validBytes int64) (*wal,
 	if err != nil {
 		return nil, err
 	}
+	size := int64(0)
 	if validBytes >= 0 {
 		fi, err := f.Stat()
 		if err != nil {
@@ -118,14 +129,26 @@ func openWAL(dir string, seq uint64, policy SyncPolicy, validBytes int64) (*wal,
 				return nil, err
 			}
 		}
+		size = validBytes
 	}
 	return &wal{
-		dir:    dir,
-		policy: policy,
-		f:      f,
-		w:      bufio.NewWriterSize(f, 1<<16),
-		seq:    seq,
+		dir:     dir,
+		policy:  policy,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<16),
+		seq:     seq,
+		size:    size,
+		changed: make(chan struct{}),
 	}, nil
+}
+
+// setBaseline seeds the cumulative replication counters from state that
+// predates this process (recovered segments). Called once at open,
+// before any appends.
+func (w *wal) setBaseline(records uint64, bytes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cumRecords, w.cumBytes = records, bytes
 }
 
 func appendRecord(dst []byte, op byte, key []byte) []byte {
@@ -158,6 +181,16 @@ func (w *wal) AppendBatch(op byte, keys [][]byte) error {
 	return w.commit(buf, len(keys))
 }
 
+// AppendRaw logs pre-framed record bytes verbatim — the replica apply
+// path, which mirrors the primary's segment bytes instead of re-encoding
+// them. The caller has already CRC-validated the records.
+func (w *wal) AppendRaw(raw []byte, n int) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	return w.commit(raw, n)
+}
+
 // commit writes pre-encoded records as one unit under the WAL lock,
 // fsyncing per policy.
 func (w *wal) commit(buf []byte, n int) error {
@@ -170,11 +203,64 @@ func (w *wal) commit(buf []byte, n int) error {
 		return err
 	}
 	w.records += uint64(n)
+	w.size += int64(len(buf))
+	w.cumRecords += uint64(n)
+	w.cumBytes += uint64(len(buf))
 	w.dirty = true
+	w.notifyLocked()
 	if w.policy == SyncAlways {
 		return w.syncLocked()
 	}
 	return nil
+}
+
+// notifyLocked wakes every tailer blocked on Changed.
+func (w *wal) notifyLocked() {
+	close(w.changed)
+	w.changed = make(chan struct{})
+}
+
+// Changed returns a channel closed at the next append or rotation. Take
+// the channel, check the position, then wait on it: the close-and-replace
+// discipline makes that sequence race-free.
+func (w *wal) Changed() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.changed
+}
+
+// Pos returns the current segment and its logical size, counting bytes
+// still in the write buffer. This is the position an appended record
+// would land at — and, because records are applied before they are
+// logged, the WAL position that exactly matches the in-memory filter
+// when the store mutation lock is held.
+func (w *wal) Pos() (seq uint64, size int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.size
+}
+
+// FlushedPos flushes the write buffer (no fsync) and returns the current
+// segment and the byte length readable from the segment file. Tailers
+// call this before reading so every logical byte is visible on disk.
+func (w *wal) FlushedPos() (seq uint64, size int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, 0, errors.New("server: wal closed")
+	}
+	if err := w.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	return w.seq, w.size, nil
+}
+
+// CumPos returns the cumulative record and byte counters used by
+// replication frames.
+func (w *wal) CumPos() (records, bytes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cumRecords, w.cumBytes
 }
 
 // Sync flushes buffered records and fsyncs if anything changed since the
@@ -211,6 +297,25 @@ func (w *wal) syncLocked() error {
 func (w *wal) Rotate() (newSeq uint64, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.rotateToLocked(w.seq+1, 0)
+}
+
+// RotateTo jumps to an arbitrary higher segment number — the replica
+// apply path following the primary across a rotation (or a bootstrap
+// that lands past a gap of pruned segments).
+func (w *wal) RotateTo(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq <= w.seq {
+		return fmt.Errorf("server: wal rotate to %d, already at %d", seq, w.seq)
+	}
+	// O_TRUNC: the replica starts the new segment at offset 0, so any
+	// stale same-named file from an earlier life must not leak a prefix.
+	_, err := w.rotateToLocked(seq, os.O_TRUNC)
+	return err
+}
+
+func (w *wal) rotateToLocked(seq uint64, extraFlag int) (uint64, error) {
 	if w.f == nil {
 		return 0, errors.New("server: wal closed")
 	}
@@ -220,14 +325,16 @@ func (w *wal) Rotate() (newSeq uint64, err error) {
 	if err := w.f.Close(); err != nil {
 		return 0, err
 	}
-	w.seq++
-	f, err := os.OpenFile(walPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	w.seq = seq
+	f, err := os.OpenFile(walPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND|extraFlag, 0o644)
 	if err != nil {
 		w.f = nil // unusable; subsequent appends fail loudly
 		return 0, err
 	}
 	w.f = f
 	w.w.Reset(f)
+	w.size = 0
+	w.notifyLocked()
 	return w.seq, nil
 }
 
@@ -264,7 +371,15 @@ func replayWAL(path string, fn func(op byte, key []byte) error) (records int, va
 		return 0, 0, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	return scanRecords(bufio.NewReaderSize(f, 1<<16), fn)
+}
+
+// scanRecords streams every intact CRC-framed record from r into fn —
+// the core shared by segment replay, replication chunk framing on the
+// primary, and shipped-record validation on the replica. It stops
+// without error at the first torn or corrupt record; valid is the byte
+// length of the intact prefix consumed.
+func scanRecords(r io.Reader, fn func(op byte, key []byte) error) (records int, valid int64, err error) {
 	var hdr [walRecordHeader]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {

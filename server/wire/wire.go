@@ -14,8 +14,9 @@
 // Requests:
 //
 //	INSERT / DELETE / CONTAINS / ESTIMATE:  [op][key]
-//	LEN:                                    [op]
+//	LEN / DUMP:                             [op]
 //	INSERT_BATCH / DELETE_BATCH / CONTAINS_BATCH: [op][u32 n][key]*n
+//	REPLICATE:                              [op][u64 seq][u64 off]
 //
 // Responses (status OK):
 //
@@ -23,6 +24,7 @@
 //	CONTAINS:                        [u8 bool]
 //	ESTIMATE / LEN:                  [u64]
 //	CONTAINS_BATCH / DELETE_BATCH:   [u32 n][u8 bool]*n
+//	DUMP:                            [marshaled filter bytes]
 //
 // Responses (status ERR): [error message bytes]. An ERR response reports
 // an operation-level failure (e.g. deleting an absent key, a word
@@ -30,6 +32,38 @@
 // Protocol-level violations (bad opcode, malformed body, oversized frame)
 // also produce an ERR response, after which the server closes the
 // connection.
+//
+// Responses (status READONLY): [primary address bytes]. A read-only
+// replica rejects mutations with this redirect; the connection stays
+// usable for reads.
+//
+// # Replication
+//
+// A REPLICATE request subscribes the connection to the primary's WAL.
+// The request names the subscriber's resume position — a WAL segment
+// sequence number and a byte offset into that segment — and the primary
+// answers with an unbounded stream of replication frames instead of a
+// single response. Each frame's payload starts with a frame-type byte
+// (distinct from the response status bytes, so a leading StatusErr still
+// unambiguously reports a rejected subscription):
+//
+//	SNAPSHOT:  [0x10][u64 seq][u64 cumRecords][u64 cumBytes][filter bytes]
+//	RECORDS:   [0x11][u64 seq][u64 off][u64 cumRecords][u64 cumBytes][u32 n][raw records]
+//	HEARTBEAT: [0x12][u64 seq][u64 off][u64 cumRecords][u64 cumBytes]
+//
+// SNAPSHOT bootstraps a subscriber whose position is unavailable (the
+// segments were pruned, or the position is in the future / mid-record):
+// the body is a complete marshaled filter whose state corresponds to the
+// start of segment seq; the stream continues from (seq, 0). RECORDS
+// carries n CRC-framed WAL records — the exact bytes of segment seq
+// starting at byte off — so a subscriber can mirror the primary's
+// segment files verbatim. HEARTBEAT reports the primary's current end
+// position while the subscriber is caught up. The cumRecords/cumBytes
+// pair on every frame is the primary's cumulative durable record/byte
+// count sampled when the frame was sent — comparing it with the
+// subscriber's own cumulative counters (whose baseline aligns at
+// bootstrap) gives the replication lag, even mid-catch-up when the
+// frame itself carries historical bytes.
 package wire
 
 import (
@@ -50,13 +84,42 @@ const (
 	OpInsertBatch   = 0x06
 	OpDeleteBatch   = 0x07
 	OpContainsBatch = 0x08
+	OpReplicate     = 0x09
+	OpDump          = 0x0A
+
+	// MaxOp is the highest assigned opcode. Every opcode in (0, MaxOp]
+	// must have an OpName/OpNames entry; a table test enforces it so a
+	// future opcode cannot ship unnamed.
+	MaxOp = OpDump
 )
 
 // Response statuses.
 const (
 	StatusOK  = 0x00
 	StatusErr = 0x01
+	// StatusReadOnly rejects a mutation on a read-only replica; the body
+	// is the primary's advertised address, for client-side redirect.
+	StatusReadOnly = 0x02
 )
+
+// Replication frame types (first payload byte of a stream frame sent in
+// answer to OpReplicate). Offset from the status bytes so an ERR frame
+// on the same stream cannot be confused with a replication frame.
+const (
+	RepSnapshot  = 0x10
+	RepRecords   = 0x11
+	RepHeartbeat = 0x12
+)
+
+// IsMutation reports whether an opcode changes filter state (and is
+// therefore rejected by a read-only replica and logged to the WAL).
+func IsMutation(op byte) bool {
+	switch op {
+	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch:
+		return true
+	}
+	return false
+}
 
 // DefaultMaxFrame bounds a single frame's payload (1 MiB): large enough
 // for tens of thousands of typical keys per batch, small enough that one
@@ -87,8 +150,25 @@ func OpName(op byte) string {
 		return "delete_batch"
 	case OpContainsBatch:
 		return "contains_batch"
+	case OpReplicate:
+		return "replicate"
+	case OpDump:
+		return "dump"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
+}
+
+// StatusName returns a stable lower-case label for a response status.
+func StatusName(status byte) string {
+	switch status {
+	case StatusOK:
+		return "ok"
+	case StatusErr:
+		return "err"
+	case StatusReadOnly:
+		return "read_only"
+	}
+	return fmt.Sprintf("status_0x%02x", status)
 }
 
 // OpNames lists every opcode with its label in protocol order, for
@@ -103,6 +183,8 @@ func OpNames() map[byte]string {
 		OpInsertBatch:   "insert_batch",
 		OpDeleteBatch:   "delete_batch",
 		OpContainsBatch: "contains_batch",
+		OpReplicate:     "replicate",
+		OpDump:          "dump",
 	}
 }
 
@@ -171,12 +253,25 @@ func AppendBatchRequest(dst []byte, op byte, keys [][]byte) []byte {
 // AppendLenRequest encodes the body-less LEN request payload.
 func AppendLenRequest(dst []byte) []byte { return append(dst, OpLen) }
 
+// AppendDumpRequest encodes the body-less DUMP request payload.
+func AppendDumpRequest(dst []byte) []byte { return append(dst, OpDump) }
+
+// AppendReplicateRequest encodes a REPLICATE subscription from a WAL
+// position (segment sequence number, byte offset into that segment).
+func AppendReplicateRequest(dst []byte, seq, off uint64) []byte {
+	dst = append(dst, OpReplicate)
+	dst = appendU64(dst, seq)
+	return appendU64(dst, off)
+}
+
 // Request is a decoded request payload. Key and Keys alias the frame
 // buffer; handlers must not retain them past the request.
 type Request struct {
 	Op   byte
 	Key  []byte   // single-key ops
 	Keys [][]byte // batch ops
+	Seq  uint64   // REPLICATE: resume segment
+	Off  uint64   // REPLICATE: resume byte offset
 }
 
 // DecodeRequest parses a request payload.
@@ -196,10 +291,16 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
 		req.Key = key
-	case OpLen:
+	case OpLen, OpDump:
 		if len(body) != 0 {
-			return Request{}, errors.New("wire: len: trailing bytes")
+			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
+	case OpReplicate:
+		if len(body) != 16 {
+			return Request{}, fmt.Errorf("wire: replicate: body has %d bytes, want 16", len(body))
+		}
+		req.Seq = binary.LittleEndian.Uint64(body[0:8])
+		req.Off = binary.LittleEndian.Uint64(body[8:16])
 	case OpInsertBatch, OpDeleteBatch, OpContainsBatch:
 		if len(body) < 4 {
 			return Request{}, fmt.Errorf("wire: %s: truncated count", OpName(req.Op))
@@ -242,8 +343,21 @@ func readKey(b []byte) (key, rest []byte, err error) {
 	return b[:n], b[n:], nil
 }
 
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
 // AppendOK begins an OK response payload.
 func AppendOK(dst []byte) []byte { return append(dst, StatusOK) }
+
+// AppendReadOnly encodes a READONLY response payload carrying the
+// primary's advertised address.
+func AppendReadOnly(dst []byte, primary string) []byte {
+	dst = append(dst, StatusReadOnly)
+	return append(dst, primary...)
+}
 
 // AppendErr encodes an ERR response payload.
 func AppendErr(dst []byte, msg string) []byte {
@@ -299,6 +413,97 @@ func DecodeU64(body []byte) (uint64, error) {
 		return 0, fmt.Errorf("wire: u64 response has %d bytes", len(body))
 	}
 	return binary.LittleEndian.Uint64(body), nil
+}
+
+// RepFrame is a decoded replication stream frame. Data aliases the frame
+// buffer; consumers must copy it before reading the next frame.
+type RepFrame struct {
+	Type       byte   // RepSnapshot, RepRecords, or RepHeartbeat
+	Seq        uint64 // WAL segment sequence number
+	Off        uint64 // byte offset into segment Seq (RepRecords/RepHeartbeat)
+	CumRecords uint64 // primary's cumulative records when the frame was sent
+	CumBytes   uint64 // primary's cumulative WAL bytes when the frame was sent
+	NumRecords uint32 // records in Data (RepRecords only)
+	Data       []byte // marshaled filter (RepSnapshot) or raw records (RepRecords)
+}
+
+// AppendRepSnapshot encodes a bootstrap frame: the complete filter state
+// at the start of segment seq. The stream continues from (seq, 0).
+func AppendRepSnapshot(dst []byte, seq, cumRecords, cumBytes uint64, filter []byte) []byte {
+	dst = append(dst, RepSnapshot)
+	dst = appendU64(dst, seq)
+	dst = appendU64(dst, cumRecords)
+	dst = appendU64(dst, cumBytes)
+	return append(dst, filter...)
+}
+
+// AppendRepRecords encodes a frame of n raw CRC-framed WAL records: the
+// bytes of segment seq starting at byte off.
+func AppendRepRecords(dst []byte, seq, off, cumRecords, cumBytes uint64, n uint32, raw []byte) []byte {
+	dst = append(dst, RepRecords)
+	dst = appendU64(dst, seq)
+	dst = appendU64(dst, off)
+	dst = appendU64(dst, cumRecords)
+	dst = appendU64(dst, cumBytes)
+	var nb [4]byte
+	binary.LittleEndian.PutUint32(nb[:], n)
+	dst = append(dst, nb[:]...)
+	return append(dst, raw...)
+}
+
+// AppendRepHeartbeat encodes a caught-up heartbeat reporting the
+// primary's current end position.
+func AppendRepHeartbeat(dst []byte, seq, off, cumRecords, cumBytes uint64) []byte {
+	dst = append(dst, RepHeartbeat)
+	dst = appendU64(dst, seq)
+	dst = appendU64(dst, off)
+	dst = appendU64(dst, cumRecords)
+	return appendU64(dst, cumBytes)
+}
+
+// DecodeRepFrame parses one replication stream frame payload.
+func DecodeRepFrame(payload []byte) (RepFrame, error) {
+	if len(payload) == 0 {
+		return RepFrame{}, errors.New("wire: empty replication frame")
+	}
+	f := RepFrame{Type: payload[0]}
+	body := payload[1:]
+	switch f.Type {
+	case RepSnapshot:
+		if len(body) < 24 {
+			return RepFrame{}, errors.New("wire: truncated snapshot frame")
+		}
+		f.Seq = binary.LittleEndian.Uint64(body[0:8])
+		f.CumRecords = binary.LittleEndian.Uint64(body[8:16])
+		f.CumBytes = binary.LittleEndian.Uint64(body[16:24])
+		f.Data = body[24:]
+	case RepRecords:
+		if len(body) < 36 {
+			return RepFrame{}, errors.New("wire: truncated records frame")
+		}
+		f.Seq = binary.LittleEndian.Uint64(body[0:8])
+		f.Off = binary.LittleEndian.Uint64(body[8:16])
+		f.CumRecords = binary.LittleEndian.Uint64(body[16:24])
+		f.CumBytes = binary.LittleEndian.Uint64(body[24:32])
+		f.NumRecords = binary.LittleEndian.Uint32(body[32:36])
+		f.Data = body[36:]
+		// A record costs at least its 8-byte header plus a 1-byte body, so
+		// the frame itself bounds a plausible count.
+		if int64(f.NumRecords) > int64(len(f.Data))/9+1 {
+			return RepFrame{}, fmt.Errorf("wire: implausible record count %d for %d bytes", f.NumRecords, len(f.Data))
+		}
+	case RepHeartbeat:
+		if len(body) != 32 {
+			return RepFrame{}, fmt.Errorf("wire: heartbeat frame has %d bytes, want 32", len(body))
+		}
+		f.Seq = binary.LittleEndian.Uint64(body[0:8])
+		f.Off = binary.LittleEndian.Uint64(body[8:16])
+		f.CumRecords = binary.LittleEndian.Uint64(body[16:24])
+		f.CumBytes = binary.LittleEndian.Uint64(body[24:32])
+	default:
+		return RepFrame{}, fmt.Errorf("wire: unknown replication frame type 0x%02x", f.Type)
+	}
+	return f, nil
 }
 
 // DecodeBools parses a [u32 n][bool]*n response body.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -50,6 +51,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{"contains", AppendKeyRequest(nil, OpContains, key), Request{Op: OpContains, Key: key}},
 		{"estimate", AppendKeyRequest(nil, OpEstimate, key), Request{Op: OpEstimate, Key: key}},
 		{"len", AppendLenRequest(nil), Request{Op: OpLen}},
+		{"dump", AppendDumpRequest(nil), Request{Op: OpDump}},
+		{"replicate", AppendReplicateRequest(nil, 7, 1<<33), Request{Op: OpReplicate, Seq: 7, Off: 1 << 33}},
 		{"insert_batch", AppendBatchRequest(nil, OpInsertBatch, keys), Request{Op: OpInsertBatch, Keys: keys}},
 		{"delete_batch", AppendBatchRequest(nil, OpDeleteBatch, keys), Request{Op: OpDeleteBatch, Keys: keys}},
 		{"contains_batch", AppendBatchRequest(nil, OpContainsBatch, keys), Request{Op: OpContainsBatch, Keys: keys}},
@@ -61,6 +64,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.Op != c.want.Op || !bytes.Equal(got.Key, c.want.Key) {
 			t.Fatalf("%s: got %+v", c.name, got)
+		}
+		if got.Seq != c.want.Seq || got.Off != c.want.Off {
+			t.Fatalf("%s: position (%d, %d), want (%d, %d)", c.name, got.Seq, got.Off, c.want.Seq, c.want.Off)
 		}
 		if len(got.Keys) != len(c.want.Keys) {
 			t.Fatalf("%s: %d keys, want %d", c.name, len(got.Keys), len(c.want.Keys))
@@ -87,6 +93,9 @@ func TestDecodeRequestRejectsMalformed(t *testing.T) {
 		"batch absurd count":   {OpInsertBatch, 0xFF, 0xFF, 0xFF, 0x7F},
 		"batch truncated keys": {OpInsertBatch, 2, 0, 0, 0, 1, 0, 0, 0, 'a'},
 		"batch trailing":       append(AppendBatchRequest(nil, OpContainsBatch, [][]byte{[]byte("k")}), 0x01),
+		"dump trailing":        {OpDump, 0},
+		"replicate short":      {OpReplicate, 1, 2, 3},
+		"replicate long":       append(AppendReplicateRequest(nil, 1, 2), 0xFF),
 	}
 	for name, payload := range bad {
 		if _, err := DecodeRequest(payload); err == nil {
@@ -116,5 +125,95 @@ func TestResponseHelpers(t *testing.T) {
 	}
 	if _, err := DecodeBools([]byte{5, 0, 0, 0, 1}); err == nil {
 		t.Fatal("bools count mismatch accepted")
+	}
+	status, body, err = DecodeStatus(AppendReadOnly(nil, "10.0.0.1:7070"))
+	if err != nil || status != StatusReadOnly || string(body) != "10.0.0.1:7070" {
+		t.Fatalf("read-only response: %d %q %v", status, body, err)
+	}
+}
+
+// TestEveryOpIsNamed audits OpName/OpNames against the full opcode range:
+// a future opcode added without a name (or without bumping MaxOp) fails
+// here instead of shipping as "op_0x..".
+func TestEveryOpIsNamed(t *testing.T) {
+	names := OpNames()
+	if len(names) != int(MaxOp) {
+		t.Fatalf("OpNames has %d entries, want %d (MaxOp): opcode added without a name, or MaxOp not bumped", len(names), MaxOp)
+	}
+	seen := map[string]byte{}
+	for op := byte(1); op <= MaxOp; op++ {
+		name := OpName(op)
+		if strings.HasPrefix(name, "op_0x") {
+			t.Errorf("opcode 0x%02x has no OpName", op)
+		}
+		if names[op] != name {
+			t.Errorf("opcode 0x%02x: OpNames %q != OpName %q", op, names[op], name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes 0x%02x and 0x%02x share the name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+	if !strings.HasPrefix(OpName(MaxOp+1), "op_0x") {
+		t.Errorf("opcode past MaxOp is named %q: bump MaxOp", OpName(MaxOp+1))
+	}
+	for _, s := range []byte{StatusOK, StatusErr, StatusReadOnly} {
+		if strings.HasPrefix(StatusName(s), "status_0x") {
+			t.Errorf("status 0x%02x has no StatusName", s)
+		}
+	}
+}
+
+func TestRepFrameRoundTrip(t *testing.T) {
+	raw := []byte("pretend-records")
+	cases := []struct {
+		name    string
+		payload []byte
+		want    RepFrame
+	}{
+		{
+			"snapshot",
+			AppendRepSnapshot(nil, 3, 100, 2000, []byte("filter-bytes")),
+			RepFrame{Type: RepSnapshot, Seq: 3, CumRecords: 100, CumBytes: 2000, Data: []byte("filter-bytes")},
+		},
+		{
+			"records",
+			AppendRepRecords(nil, 4, 512, 101, 2100, 1, raw),
+			RepFrame{Type: RepRecords, Seq: 4, Off: 512, CumRecords: 101, CumBytes: 2100, NumRecords: 1, Data: raw},
+		},
+		{
+			"heartbeat",
+			AppendRepHeartbeat(nil, 5, 1<<40, 7, 9),
+			RepFrame{Type: RepHeartbeat, Seq: 5, Off: 1 << 40, CumRecords: 7, CumBytes: 9},
+		},
+	}
+	for _, c := range cases {
+		got, err := DecodeRepFrame(c.payload)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Type != c.want.Type || got.Seq != c.want.Seq || got.Off != c.want.Off ||
+			got.CumRecords != c.want.CumRecords || got.CumBytes != c.want.CumBytes ||
+			got.NumRecords != c.want.NumRecords || !bytes.Equal(got.Data, c.want.Data) {
+			t.Fatalf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRepFrameRejectsMalformed(t *testing.T) {
+	bad := map[string][]byte{
+		"empty":              {},
+		"unknown type":       {0x7F},
+		"status byte":        {StatusOK},
+		"snapshot short":     {RepSnapshot, 1, 2, 3},
+		"records short":      append([]byte{RepRecords}, make([]byte, 35)...),
+		"records bad count":  AppendRepRecords(nil, 1, 0, 0, 0, 1<<30, []byte("tiny")),
+		"heartbeat short":    {RepHeartbeat, 1},
+		"heartbeat trailing": append(AppendRepHeartbeat(nil, 1, 2, 3, 4), 0xFF),
+	}
+	for name, payload := range bad {
+		if _, err := DecodeRepFrame(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
