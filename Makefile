@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e ci
+.PHONY: build test vet lint race race-serving bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ lint: vet
 
 race:
 	$(GO) test -race ./...
+
+# race-serving focuses the race detector on the concurrent serving stack
+# (server, replication, clients) without the -short gating CI applies to
+# the full tree.
+race-serving:
+	$(GO) test -race -count=1 ./server/... ./cluster/... ./client/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime $(BENCHTIME) .
@@ -88,5 +94,12 @@ integration:
 cluster-e2e:
 	$(GO) test -race -count=1 -run 'TestClusterE2E' -v ./cluster
 
-ci: build lint race integration cluster-e2e
+# obs-smoke boots the daemon with tracing, JSON logs, and the pprof
+# listener enabled, then scrapes /metrics, /debug/vars, /readyz,
+# /debug/requests, and /debug/pprof/goroutine — failing on any non-200
+# or unparseable body.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./server
+
+ci: build lint race integration cluster-e2e obs-smoke
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

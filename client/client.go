@@ -17,8 +17,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/server/wire"
@@ -93,6 +95,49 @@ type Client struct {
 	attempts    int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+
+	// Lifetime counters, atomic so Stats never contends with requests.
+	stRequests     atomic.Uint64
+	stTransportErr atomic.Uint64
+	stRedials      atomic.Uint64
+	stRetries      atomic.Uint64
+	stMaybeApplied atomic.Uint64
+}
+
+// Stats is a point-in-time view of a Client's lifetime counters.
+type Stats struct {
+	Requests        uint64 `json:"requests"`         // operations attempted
+	TransportErrors uint64 `json:"transport_errors"` // connection-breaking failures
+	Redials         uint64 `json:"redials"`          // successful reconnects
+	Retries         uint64 `json:"retries"`          // backoff sleeps before re-attempts
+	MaybeApplied    uint64 `json:"maybe_applied"`    // mutations lost in transit (ErrMaybeApplied)
+}
+
+// Stats returns the connection's lifetime counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:        c.stRequests.Load(),
+		TransportErrors: c.stTransportErr.Load(),
+		Redials:         c.stRedials.Load(),
+		Retries:         c.stRetries.Load(),
+		MaybeApplied:    c.stMaybeApplied.Load(),
+	}
+}
+
+// WriteProm appends the connection's counters to a Prometheus
+// exposition, labeled by daemon address. When several Clients write to
+// the same exposition each repeats the HELP/TYPE header for its series;
+// Prometheus parsers accept that as long as the samples differ by label.
+func (c *Client) WriteProm(w io.Writer) {
+	st := c.Stats()
+	emit := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{addr=%q} %d\n", name, help, name, name, c.addr, v)
+	}
+	emit("mpcbfd_client_requests_total", "Operations attempted on this connection.", st.Requests)
+	emit("mpcbfd_client_transport_errors_total", "Connection-breaking transport failures.", st.TransportErrors)
+	emit("mpcbfd_client_redials_total", "Successful reconnects.", st.Redials)
+	emit("mpcbfd_client_retries_total", "Backoff sleeps before re-attempts.", st.Retries)
+	emit("mpcbfd_client_maybe_applied_total", "Mutations interrupted in transit (ErrMaybeApplied).", st.MaybeApplied)
 }
 
 // Dial connects to an mpcbfd daemon at addr.
@@ -145,6 +190,7 @@ func (c *Client) Close() error {
 // convert mutation interruptions to ErrMaybeApplied. Callers must not
 // hold c.mu.
 func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
+	c.stRequests.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -159,6 +205,7 @@ func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
 				if attempt+1 >= c.attempts {
 					return nil, err
 				}
+				c.stRetries.Add(1)
 				c.backoff(attempt)
 				continue
 			}
@@ -179,11 +226,13 @@ func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
 			// The request may have been applied before the connection
 			// died; retrying could double-count. The broken connection is
 			// left for the next call to redial.
+			c.stMaybeApplied.Add(1)
 			return nil, fmt.Errorf("%w (%v)", ErrMaybeApplied, err)
 		}
 		if attempt+1 >= c.attempts {
 			return nil, err
 		}
+		c.stRetries.Add(1)
 		c.backoff(attempt)
 	}
 }
@@ -197,6 +246,7 @@ func (c *Client) redial() error {
 		return err
 	}
 	c.attach(conn)
+	c.stRedials.Add(1)
 	return nil
 }
 
@@ -255,6 +305,7 @@ func (c *Client) roundTrip(payload []byte) ([]byte, error) {
 
 // fail marks the connection broken and closes it; callers hold c.mu.
 func (c *Client) fail(err error) error {
+	c.stTransportErr.Add(1)
 	c.err = err
 	c.conn.Close()
 	return err

@@ -3,7 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/client"
@@ -57,6 +59,20 @@ type node struct {
 	primaryC *client.Client
 	replicaC []*client.Client
 	rr       uint64 // round-robin cursor over replicas
+
+	// Routing counters, atomic so Snapshot never blocks requests.
+	requests     atomic.Uint64 // operations routed to this node
+	batches      atomic.Uint64 // sub-batches fanned out to this node
+	batchKeys    atomic.Uint64 // keys across those sub-batches
+	failovers    atomic.Uint64 // read attempts past the first endpoint
+	maybeApplied atomic.Uint64 // mutations that returned ErrMaybeApplied
+}
+
+// noteMutation tallies an ErrMaybeApplied outcome for the node.
+func (n *node) noteMutation(err error) {
+	if errors.Is(err, client.ErrMaybeApplied) {
+		n.maybeApplied.Add(1)
+	}
 }
 
 // NewClient validates the topology. Connections are dialed lazily, so a
@@ -190,12 +206,16 @@ func (n *node) readClients() []*client.Client {
 // errors. Operation-level errors (ServerError) are authoritative and
 // returned as-is.
 func (n *node) read(op func(*client.Client) error) error {
+	n.requests.Add(1)
 	clients := n.readClients()
 	if len(clients) == 0 {
 		return fmt.Errorf("cluster: no reachable endpoint for node %s", n.primary)
 	}
 	var last error
-	for _, cl := range clients {
+	for i, cl := range clients {
+		if i > 0 {
+			n.failovers.Add(1)
+		}
 		err := op(cl)
 		if err == nil {
 			return nil
@@ -211,20 +231,28 @@ func (n *node) read(op func(*client.Client) error) error {
 
 // Insert adds key on its owning primary.
 func (c *Client) Insert(key []byte) error {
-	cl, err := c.owner(key).primaryClient()
+	n := c.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
 	if err != nil {
 		return err
 	}
-	return cl.Insert(key)
+	err = cl.Insert(key)
+	n.noteMutation(err)
+	return err
 }
 
 // Delete removes key on its owning primary.
 func (c *Client) Delete(key []byte) error {
-	cl, err := c.owner(key).primaryClient()
+	n := c.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
 	if err != nil {
 		return err
 	}
-	return cl.Delete(key)
+	err = cl.Delete(key)
+	n.noteMutation(err)
+	return err
 }
 
 // Contains answers membership from the owning node's read set.
@@ -308,11 +336,16 @@ func (c *Client) fanOut(perNode [][][]byte, fn func(n *node, keys [][]byte) erro
 func (c *Client) InsertBatch(keys [][]byte) error {
 	perNode, _ := c.split(keys)
 	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
 		cl, err := n.primaryClient()
 		if err != nil {
 			return err
 		}
-		return cl.InsertBatch(sub)
+		err = cl.InsertBatch(sub)
+		n.noteMutation(err)
+		return err
 	})
 }
 
@@ -322,12 +355,16 @@ func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 	perNode, perNodeIdx := c.split(keys)
 	out := make([]bool, len(keys))
 	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
 		cl, err := n.primaryClient()
 		if err != nil {
 			return err
 		}
 		flags, err := cl.DeleteBatch(sub)
 		if err != nil {
+			n.noteMutation(err)
 			return err
 		}
 		return c.stitch(out, perNodeIdx, n, flags)
@@ -345,6 +382,8 @@ func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 	perNode, perNodeIdx := c.split(keys)
 	out := make([]bool, len(keys))
 	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
 		var flags []bool
 		rerr := n.read(func(cl *client.Client) error {
 			var err error
@@ -380,4 +419,78 @@ func (c *Client) stitch(out []bool, perNodeIdx [][]int, n *node, flags []bool) e
 		out[pos] = flags[i]
 	}
 	return nil
+}
+
+// NodeStats is a point-in-time view of one node's routing counters plus
+// the per-connection stats of every dialed endpoint.
+type NodeStats struct {
+	Primary      string `json:"primary"`
+	Requests     uint64 `json:"requests"`
+	Batches      uint64 `json:"batches"`
+	BatchKeys    uint64 `json:"batch_keys"`
+	Failovers    uint64 `json:"failovers"`
+	MaybeApplied uint64 `json:"maybe_applied"`
+
+	// Endpoint connection counters, keyed by address; only endpoints
+	// dialed so far appear.
+	Endpoints map[string]client.Stats `json:"endpoints,omitempty"`
+}
+
+// ClientStats is a point-in-time view of the cluster client's routing.
+type ClientStats struct {
+	Nodes []NodeStats `json:"nodes"`
+}
+
+// Snapshot returns per-node routing and connection counters.
+func (c *Client) Snapshot() ClientStats {
+	st := ClientStats{Nodes: make([]NodeStats, 0, len(c.nodes))}
+	for _, n := range c.nodes {
+		ns := NodeStats{
+			Primary:      n.primary,
+			Requests:     n.requests.Load(),
+			Batches:      n.batches.Load(),
+			BatchKeys:    n.batchKeys.Load(),
+			Failovers:    n.failovers.Load(),
+			MaybeApplied: n.maybeApplied.Load(),
+		}
+		n.mu.Lock()
+		if n.primaryC != nil {
+			ns.Endpoints = map[string]client.Stats{n.primary: n.primaryC.Stats()}
+		}
+		for i, rc := range n.replicaC {
+			if rc == nil {
+				continue
+			}
+			if ns.Endpoints == nil {
+				ns.Endpoints = map[string]client.Stats{}
+			}
+			ns.Endpoints[n.replicas[i]] = rc.Stats()
+		}
+		n.mu.Unlock()
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
+
+// WriteProm appends the cluster client's routing counters to a
+// Prometheus exposition, labeled by owning primary — for embedding
+// mpcbfd consumers into their own /metrics.
+func (c *Client) WriteProm(w io.Writer) {
+	st := c.Snapshot()
+	emit := func(name, help string, val func(ns NodeStats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, ns := range st.Nodes {
+			fmt.Fprintf(w, "%s{node=%q} %d\n", name, ns.Primary, val(ns))
+		}
+	}
+	emit("mpcbf_cluster_requests_total", "Operations routed to each node.",
+		func(ns NodeStats) uint64 { return ns.Requests })
+	emit("mpcbf_cluster_batches_total", "Sub-batches fanned out to each node.",
+		func(ns NodeStats) uint64 { return ns.Batches })
+	emit("mpcbf_cluster_batch_keys_total", "Keys across fanned-out sub-batches, by node.",
+		func(ns NodeStats) uint64 { return ns.BatchKeys })
+	emit("mpcbf_cluster_failovers_total", "Read attempts that fell past a node's first endpoint.",
+		func(ns NodeStats) uint64 { return ns.Failovers })
+	emit("mpcbf_cluster_maybe_applied_total", "Mutations interrupted in transit (ErrMaybeApplied), by node.",
+		func(ns NodeStats) uint64 { return ns.MaybeApplied })
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"strings"
 	"testing"
@@ -15,6 +17,12 @@ import (
 	"repro/server"
 	"repro/server/wire"
 )
+
+// discardLog silences node logging in tests. (slog.DiscardHandler is
+// go1.24; this repo targets go1.22.)
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // testFilter is the shared geometry: replicas must be configured
 // identically to the primary so that record replay (the non-bootstrap
@@ -29,7 +37,7 @@ func primaryStoreOpts(t *testing.T) server.StoreOptions {
 		Filter: testFilter(),
 		Shards: 4,
 		Sync:   server.SyncAlways,
-		Logf:   func(string, ...any) {},
+		Log:    discardLog(),
 	}
 }
 
@@ -64,7 +72,7 @@ func startPrimary(t *testing.T) (*server.Store, string) {
 	t.Cleanup(func() { store.Close() })
 	_, addr := startServer(t, store, server.Config{
 		HeartbeatEvery: 50 * time.Millisecond,
-		Logf:           func(string, ...any) {},
+		Log:            discardLog(),
 	})
 	return store, addr
 }
@@ -86,7 +94,7 @@ func startReplica(t *testing.T, primaryAddr string) (*server.Store, *Replica, *s
 		Store:       store,
 		BackoffBase: 10 * time.Millisecond,
 		BackoffMax:  100 * time.Millisecond,
-		Logf:        func(string, ...any) {},
+		Log:         discardLog(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +107,7 @@ func startReplica(t *testing.T, primaryAddr string) (*server.Store, *Replica, *s
 	srv, addr := startServer(t, store, server.Config{
 		ReadOnly:    true,
 		PrimaryAddr: primaryAddr,
-		Logf:        func(string, ...any) {},
+		Log:         discardLog(),
 	})
 	return store, rep, srv, addr
 }

@@ -10,7 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync/atomic"
 	"time"
@@ -37,8 +37,9 @@ type ReplicaConfig struct {
 	// MaxFrame bounds one stream frame (default 256 MiB — a snapshot
 	// frame carries the whole marshaled filter).
 	MaxFrame int
-	// Logf receives operational messages (default log.Printf).
-	Logf func(format string, args ...any)
+	// Log receives structured operational messages (default
+	// slog.Default()). The replica logs with component=replica attached.
+	Log *slog.Logger
 }
 
 func (c *ReplicaConfig) setDefaults() error {
@@ -63,9 +64,10 @@ func (c *ReplicaConfig) setDefaults() error {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 1 << 28
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		c.Log = slog.Default()
 	}
+	c.Log = c.Log.With("component", "replica", "primary", c.PrimaryAddr)
 	return nil
 }
 
@@ -82,6 +84,8 @@ type Replica struct {
 	lagRecords atomic.Uint64 // primary cum records - local, per last frame
 	lagBytes   atomic.Uint64
 	lastFrame  atomic.Int64 // unix nanos of the last frame, 0 = never
+
+	applyHist server.Histogram // latency of applying one non-heartbeat frame
 }
 
 // NewReplica validates cfg and returns an idle Replica; call Run to
@@ -104,7 +108,7 @@ func (r *Replica) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		r.cfg.Logf("mpcbf-cluster: replica of %s: %v; reconnecting in %v", r.cfg.PrimaryAddr, err, backoff)
+		r.cfg.Log.Warn("replication stream ended; reconnecting", "error", err, "backoff", backoff)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -184,18 +188,23 @@ func (r *Replica) stream(ctx context.Context) error {
 func (r *Replica) apply(f wire.RepFrame) error {
 	switch f.Type {
 	case wire.RepSnapshot:
+		t0 := time.Now()
 		if err := r.cfg.Store.ReplicaBootstrap(f.Seq, f.CumRecords, f.CumBytes, f.Data); err != nil {
 			return fmt.Errorf("bootstrap: %w", err)
 		}
+		r.applyHist.ObserveDuration(time.Since(t0))
 		r.bootstraps.Add(1)
 		r.frames.Add(1)
+		r.cfg.Log.Info("snapshot bootstrap applied", "seq", f.Seq, "bytes", len(f.Data), "took", time.Since(t0))
 	case wire.RepRecords:
+		t0 := time.Now()
 		if err := r.cfg.Store.ReplicaApply(f.Seq, int64(f.Off), f.NumRecords, f.Data); err != nil {
 			// A desync is not fatal to the replica: reconnecting
 			// resubscribes from the durable position and the primary
 			// re-decides (usually a bootstrap).
 			return fmt.Errorf("apply: %w", err)
 		}
+		r.applyHist.ObserveDuration(time.Since(t0))
 		r.frames.Add(1)
 	case wire.RepHeartbeat:
 		// Position-only: nothing to apply, lag bookkeeping below.
@@ -227,12 +236,14 @@ func sub64(a, b uint64) uint64 {
 
 // ReplicaStats is a point-in-time view of a Replica's sync state.
 type ReplicaStats struct {
-	Connected  bool
-	Bootstraps uint64
-	Frames     uint64
-	LagRecords uint64 // records behind the primary, per the last frame
-	LagBytes   uint64 // WAL bytes behind the primary, per the last frame
-	LastFrame  time.Time
+	Connected  bool      `json:"connected"`
+	Bootstraps uint64    `json:"bootstraps"`
+	Frames     uint64    `json:"frames"`
+	LagRecords uint64    `json:"lag_records"` // records behind the primary, per the last frame
+	LagBytes   uint64    `json:"lag_bytes"`   // WAL bytes behind the primary, per the last frame
+	LastFrame  time.Time `json:"last_frame"`
+
+	ApplyNs server.HistSnapshot `json:"apply_ns"` // per-frame apply latency
 }
 
 // Stats returns the current sync state.
@@ -247,12 +258,19 @@ func (r *Replica) Stats() ReplicaStats {
 	if ns := r.lastFrame.Load(); ns != 0 {
 		st.LastFrame = time.Unix(0, ns)
 	}
+	st.ApplyNs = r.applyHist.Snapshot()
 	return st
 }
 
+// Ready reports whether the replica has applied at least one stream
+// frame since start — the readiness gate for its read-only server: a
+// replica that has never heard from the primary would serve arbitrarily
+// stale (possibly empty) state.
+func (r *Replica) Ready() bool { return r.lastFrame.Load() != 0 }
+
 // WriteProm appends the replica-side replication gauges to a Prometheus
-// exposition — plug it into server.Config.PromExtra on the read-only
-// server fronting the same store.
+// exposition — plug the Replica into server.Config.Extra on the
+// read-only server fronting the same store.
 func (r *Replica) WriteProm(w io.Writer) {
 	st := r.Stats()
 	connected := 0
@@ -265,10 +283,20 @@ func (r *Replica) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP mpcbfd_replica_lag_records Records behind the primary, per the last stream frame.\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_lag_records gauge\n")
 	fmt.Fprintf(w, "mpcbfd_replica_lag_records %d\n", st.LagRecords)
+	fmt.Fprintf(w, "# HELP mpcbfd_replica_lag_bytes WAL bytes behind the primary, per the last stream frame.\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_lag_bytes gauge\n")
 	fmt.Fprintf(w, "mpcbfd_replica_lag_bytes %d\n", st.LagBytes)
+	fmt.Fprintf(w, "# HELP mpcbfd_replica_bootstraps_total Snapshot bootstraps consumed.\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_bootstraps_total counter\n")
 	fmt.Fprintf(w, "mpcbfd_replica_bootstraps_total %d\n", st.Bootstraps)
+	fmt.Fprintf(w, "# HELP mpcbfd_replica_frames_total Stream frames applied (records + snapshots).\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_frames_total counter\n")
 	fmt.Fprintf(w, "mpcbfd_replica_frames_total %d\n", st.Frames)
+	st.ApplyNs.WritePromSeconds(w, "mpcbfd_replica_apply_duration_seconds", "Latency of applying one replication frame.")
+}
+
+// Vars returns the same state as WriteProm for the expvar document —
+// the server.StatsSource pair.
+func (r *Replica) Vars() map[string]any {
+	return map[string]any{"replica": r.Stats()}
 }

@@ -1,6 +1,7 @@
 // Command mpcbfd serves a durable sharded MPCBF over TCP: a
 // length-prefixed binary protocol (see repro/server/wire) on -addr, and
-// an HTTP sidecar with /healthz, /metrics, and /debug/vars on -http.
+// an HTTP sidecar with /healthz, /readyz, /metrics, /debug/vars, and
+// /debug/requests on -http.
 //
 // State survives restarts: every acknowledged mutation is written to a
 // CRC-framed write-ahead log (fsync policy -fsync), and the filter is
@@ -13,6 +14,18 @@
 // locally, and answers mutations with a READONLY redirect to the
 // primary. -read-only alone serves an existing data directory without
 // accepting writes.
+//
+// Observability:
+//
+//   - Logs are structured (log/slog): -log-format picks text or json,
+//     -log-level sets the floor.
+//   - -trace-sample N records per-stage timings (decode, filter, WAL,
+//     fsync, encode) for 1 in N requests; -slow-op D additionally logs
+//     and records any request slower than D. Both feed the JSON
+//     document at /debug/requests.
+//   - -debug-addr starts a second HTTP listener with net/http/pprof
+//     (plus /debug/vars and /debug/requests), kept off the operational
+//     sidecar so profiling exposure is an explicit opt-in.
 //
 // Usage:
 //
@@ -28,10 +41,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,8 +78,20 @@ func main() {
 
 		replicateFrom = flag.String("replicate-from", "", "primary address to mirror; implies -read-only and disables snapshots")
 		readOnly      = flag.Bool("read-only", false, "reject mutations with a READONLY redirect")
+
+		logFormat   = flag.String("log-format", "text", "log output format: text|json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		traceSample = flag.Int("trace-sample", 0, "trace per-stage timings for 1 in N requests (0 disables)")
+		slowOp      = flag.Duration("slow-op", 0, "log and record requests slower than this (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "debug HTTP address with /debug/pprof ('' disables)")
 	)
 	flag.Parse()
+
+	log, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(log)
 
 	policy, err := server.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -91,13 +118,13 @@ func main() {
 		SyncEvery:     *fsyncEvery,
 		SnapshotEvery: *snapEvery,
 		Replica:       replica,
+		Log:           log,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	st := store.Stats()
-	fmt.Printf("mpcbfd: store open: %d elements, %d records replayed\n",
-		store.Len(), st.ReplayedRecords)
+	log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords)
 
 	cfg := server.Config{
 		Addr:          *addr,
@@ -106,6 +133,9 @@ func main() {
 		IdleTimeout:   *idleTimeout,
 		ReadOnly:      *readOnly || replica,
 		PrimaryAddr:   *replicateFrom,
+		TraceSample:   *traceSample,
+		SlowOp:        *slowOp,
+		Log:           log,
 	}
 
 	var rep *cluster.Replica
@@ -116,14 +146,18 @@ func main() {
 		rep, err = cluster.NewReplica(cluster.ReplicaConfig{
 			PrimaryAddr: *replicateFrom,
 			Store:       store,
+			Log:         log,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		cfg.PromExtra = rep.WriteProm
+		cfg.Extra = rep
+		// A replica that has never applied a stream frame serves
+		// arbitrarily stale state; hold /readyz at 503 until then.
+		cfg.Ready = rep.Ready
 		repDone = make(chan struct{})
 		go func() { defer close(repDone); rep.Run(repCtx) }()
-		fmt.Printf("mpcbfd: replicating from %s\n", *replicateFrom)
+		log.Info("replicating", "primary", *replicateFrom)
 	}
 	defer repCancel()
 
@@ -139,34 +173,49 @@ func main() {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "mpcbfd: http: %v\n", err)
+				log.Error("http sidecar failed", "error", err)
 			}
 		}()
-		fmt.Printf("mpcbfd: http sidecar on %s\n", *httpAddr)
+		log.Info("http sidecar listening", "addr", *httpAddr)
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
+		log.Info("debug listener with pprof", "addr", *debugAddr)
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("mpcbfd: serving on %s (fsync=%s, shards=%d)\n", ln.Addr(), policy, *shards)
+	log.Info("serving", "addr", ln.Addr().String(), "fsync", policy.String(), "shards", *shards,
+		"trace_sample", *traceSample, "slow_op", *slowOp)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("mpcbfd: %s: draining...\n", s)
+		log.Info("draining", "signal", s.String())
 	case err := <-serveErr:
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcbfd: serve: %v\n", err)
+			log.Error("serve failed", "error", err)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "mpcbfd: shutdown: %v\n", err)
+		log.Error("shutdown incomplete", "error", err)
 	}
 	if httpSrv != nil {
 		httpSrv.Shutdown(ctx)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
 	}
 	// Stop consuming the replication stream before closing the store it
 	// applies into.
@@ -176,10 +225,37 @@ func main() {
 		fatal(fmt.Errorf("final snapshot: %w", err))
 	}
 	if replica {
-		fmt.Println("mpcbfd: clean shutdown (mirror position durable)")
+		log.Info("clean shutdown (mirror position durable)")
 	} else {
-		fmt.Println("mpcbfd: clean shutdown (final snapshot written)")
+		log.Info("clean shutdown (final snapshot written)")
 	}
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags. Logs go to stdout: the daemon's only stdout output
+// is operational, and keeping one stream preserves ordering.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stdout, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stdout, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
 }
 
 func fatal(err error) {

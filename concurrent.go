@@ -28,6 +28,13 @@ type Sharded struct {
 type shard struct {
 	mu sync.RWMutex
 	f  *MPCBF
+
+	// Per-shard op counters for hot-shard detection: a skewed key space
+	// shows up as one shard's counters running ahead of the rest long
+	// before its fill ratio does. Atomics, so reads never take the lock.
+	inserts atomic.Uint64
+	deletes atomic.Uint64
+	queries atomic.Uint64 // Contains + EstimateCount
 }
 
 // NewSharded builds a sharded filter from o with the given shard count
@@ -71,6 +78,7 @@ func (s *Sharded) shardOf(key []byte) *shard {
 // Insert adds key. Safe for concurrent use.
 func (s *Sharded) Insert(key []byte) error {
 	sh := s.shardOf(key)
+	sh.inserts.Add(1)
 	sh.mu.Lock()
 	err := sh.f.Insert(key)
 	sh.mu.Unlock()
@@ -85,6 +93,7 @@ func (s *Sharded) Insert(key []byte) error {
 // keys cannot drift it downward.
 func (s *Sharded) Delete(key []byte) error {
 	sh := s.shardOf(key)
+	sh.deletes.Add(1)
 	sh.mu.Lock()
 	err := sh.f.Delete(key)
 	sh.mu.Unlock()
@@ -98,6 +107,7 @@ func (s *Sharded) Delete(key []byte) error {
 // the same shard proceed in parallel (read lock).
 func (s *Sharded) Contains(key []byte) bool {
 	sh := s.shardOf(key)
+	sh.queries.Add(1)
 	sh.mu.RLock()
 	ok := sh.f.Contains(key)
 	sh.mu.RUnlock()
@@ -107,6 +117,7 @@ func (s *Sharded) Contains(key []byte) bool {
 // EstimateCount returns an upper bound on key's multiplicity.
 func (s *Sharded) EstimateCount(key []byte) int {
 	sh := s.shardOf(key)
+	sh.queries.Add(1)
 	sh.mu.RLock()
 	n := sh.f.EstimateCount(key)
 	sh.mu.RUnlock()
@@ -145,6 +156,42 @@ func (s *Sharded) SaturatedWords() int {
 	return total
 }
 
+// ShardStats is a point-in-time view of one shard, for hot-shard
+// detection: op counters expose load skew, fill ratio and saturation
+// expose capacity skew.
+type ShardStats struct {
+	Items          int     `json:"items"`
+	FillRatio      float64 `json:"fill_ratio"`
+	SaturatedWords int     `json:"saturated_words"`
+	Inserts        uint64  `json:"inserts"`
+	Deletes        uint64  `json:"deletes"`
+	Queries        uint64  `json:"queries"`
+}
+
+// ShardStats returns per-shard load and capacity statistics, indexed by
+// shard number. Counters are read atomically; the filter gauges take
+// each shard's read lock briefly.
+func (s *Sharded) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st := &out[i]
+		st.Inserts = sh.inserts.Load()
+		st.Deletes = sh.deletes.Load()
+		st.Queries = sh.queries.Load()
+		sh.mu.RLock()
+		st.Items = sh.f.Len()
+		st.SaturatedWords = sh.f.SaturatedWords()
+		mean, _ := sh.f.FillStats()
+		g := sh.f.Geometry()
+		sh.mu.RUnlock()
+		if denom := float64(g.WordBits - g.FirstLevelBits); denom > 0 {
+			st.FillRatio = (mean - float64(g.FirstLevelBits)) / denom
+		}
+	}
+	return out
+}
+
 // FillRatio returns the fraction of increment capacity consumed across
 // every shard, weighted by shard size — a 0..1 load signal for operators.
 // Each HCBF word always spends b1 structural bits on its first level;
@@ -180,6 +227,7 @@ func (s *Sharded) InsertBatch(keys [][]byte, workers int) error {
 			return
 		}
 		sh := &s.shards[i]
+		sh.inserts.Add(uint64(len(groups[i])))
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		inserted := int64(0)
@@ -216,6 +264,7 @@ func (s *Sharded) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
 			return
 		}
 		sh := &s.shards[i]
+		sh.deletes.Add(uint64(len(groups[i])))
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		deleted := int64(0)
@@ -248,6 +297,7 @@ func (s *Sharded) ContainsBatch(keys [][]byte, workers int) []bool {
 			return
 		}
 		sh := &s.shards[i]
+		sh.queries.Add(uint64(len(groups[i])))
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		for _, ki := range groups[i] {

@@ -19,6 +19,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"os"
 	"time"
@@ -42,7 +44,7 @@ func main() {
 	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 		PrimaryAddr: p0addr,
 		Store:       rstore,
-		Logf:        func(string, ...any) {},
+		Log:         discardLog(),
 	})
 	check("replica", err)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -117,17 +119,23 @@ func startNode(opts server.StoreOptions, cfg server.Config) (*server.Store, stri
 	opts.Filter = mpcbf.Options{MemoryBits: 1 << 20, ExpectedItems: 20000, Seed: 7}
 	opts.Shards = 4
 	opts.Sync = server.SyncNever // demo data, speed over durability
-	opts.Logf = func(string, ...any) {}
+	opts.Log = discardLog()
 	store, err := server.OpenStore(opts)
 	check("open store", err)
 
 	cfg.HeartbeatEvery = 100 * time.Millisecond
-	cfg.Logf = func(string, ...any) {}
+	cfg.Log = discardLog()
 	srv := server.New(store, cfg, nil)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check("listen", err)
 	go srv.Serve(ln)
 	return store, ln.Addr().String()
+}
+
+// discardLog silences node logging so the example's stdout stays the
+// narrative. (slog.DiscardHandler is go1.24; this repo targets go1.22.)
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 func check(what string, err error) {

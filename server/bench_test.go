@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	mpcbf "repro"
+	"repro/server/wire"
+)
+
+// Benchmarks for the serving hot path: store-level ops (filter + WAL)
+// and the server dispatch loop. These are the before/after pair for any
+// change that touches the request path — observability instrumentation
+// in particular must stay atomics/branch-only when sampling is off, and
+// these numbers prove it.
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := OpenStore(StoreOptions{
+		Dir: b.TempDir(),
+		Filter: mpcbf.Options{
+			MemoryBits:    1 << 23,
+			ExpectedItems: 200_000,
+		},
+		Shards: 8,
+		Sync:   SyncNever, // isolate CPU cost from disk
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%08d", i))
+	}
+	return keys
+}
+
+func BenchmarkStoreInsertDelete(b *testing.B) {
+	st := benchStore(b)
+	keys := benchKeys(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if err := st.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Delete(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreContains(b *testing.B) {
+	st := benchStore(b)
+	keys := benchKeys(4096)
+	for _, k := range keys[:2048] {
+		if err := st.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Contains(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkDispatch runs decoded requests through the server dispatch
+// path (store op + response encode), the full per-request CPU cost minus
+// the socket.
+func BenchmarkDispatchContains(b *testing.B) {
+	st := benchStore(b)
+	srv := New(st, Config{}, nil)
+	keys := benchKeys(4096)
+	for _, k := range keys[:2048] {
+		if err := st.Insert(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var resp []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := wire.Request{Op: wire.OpContains, Key: keys[i%len(keys)]}
+		resp, _ = srv.dispatch(req, resp[:0], nil)
+	}
+}
+
+func BenchmarkDispatchInsertDelete(b *testing.B) {
+	st := benchStore(b)
+	srv := New(st, Config{}, nil)
+	keys := benchKeys(4096)
+	var resp []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		resp, _ = srv.dispatch(wire.Request{Op: wire.OpInsert, Key: k}, resp[:0], nil)
+		resp, _ = srv.dispatch(wire.Request{Op: wire.OpDelete, Key: k}, resp[:0], nil)
+	}
+}

@@ -4,15 +4,22 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 )
 
 // The HTTP sidecar exposes operational state next to the binary port:
 //
-//	GET /healthz     — liveness (200 "ok")
-//	GET /metrics     — Prometheus text exposition
-//	GET /debug/vars  — expvar JSON (stdlib convention)
+//	GET /healthz         — liveness (200 "ok" while the process runs)
+//	GET /readyz          — readiness (503 during replica bootstrap and
+//	                       shutdown drain, 200 otherwise)
+//	GET /metrics         — Prometheus text exposition
+//	GET /debug/vars      — expvar JSON (stdlib convention)
+//	GET /debug/requests  — recent and slow request traces as JSON
+//
+// Both /metrics and /debug/vars render the same ServerSnapshot, so the
+// two views cannot drift.
 //
 // expvar names are process-global, so the "mpcbfd" var is published once
 // and reads whichever server is currently registered — the same pattern
@@ -30,24 +37,13 @@ func publishExpvar(s *Server) {
 			if srv == nil {
 				return nil
 			}
-			vars := srv.metrics.Snapshot()
-			f := srv.store.Filter()
-			vars["filter_len"] = f.Len()
-			vars["filter_fill_ratio"] = f.FillRatio()
-			vars["filter_saturated_words"] = f.SaturatedWords()
-			vars["filter_memory_bits"] = f.MemoryBits()
-			st := srv.store.Stats()
-			vars["wal_records"] = st.WALRecords
-			vars["wal_syncs"] = st.WALSyncs
-			vars["snapshots"] = st.Snapshots
-			vars["replayed_records"] = st.ReplayedRecords
-			return vars
+			return srv.Vars()
 		}))
 	})
 }
 
-// HTTPHandler returns the sidecar mux for s: /healthz, /metrics, and
-// /debug/vars.
+// HTTPHandler returns the sidecar mux for s: health, readiness, metrics,
+// expvar, and request traces.
 func (s *Server) HTTPHandler() http.Handler {
 	publishExpvar(s)
 	mux := http.NewServeMux()
@@ -55,14 +51,35 @@ func (s *Server) HTTPHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.WriteProm(w, s.store)
-		s.writeReplicationProm(w)
-		if s.cfg.PromExtra != nil {
-			s.cfg.PromExtra(w)
-		}
+		s.WriteProm(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/requests", s.tracer.serveHTTP)
+	return mux
+}
+
+// DebugHandler returns the profiling mux served on the -debug-addr
+// listener: net/http/pprof plus the sidecar's debug endpoints, kept off
+// the operational port so profiling exposure is an explicit opt-in.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/requests", s.tracer.serveHTTP)
 	return mux
 }

@@ -72,13 +72,14 @@ type daemon struct {
 	out *syncBuffer
 }
 
-func startDaemon(t *testing.T, bin, dir, addr, httpAddr string) *daemon {
+func startDaemon(t *testing.T, bin, dir, addr, httpAddr string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr, "-http", httpAddr, "-dir", dir,
 		"-mem", "2097152", "-n", "20000", "-shards", "4",
 		"-fsync", "always", "-snapshot-interval", "0",
-		"-drain-timeout", "5s")
+		"-drain-timeout", "5s"}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	out := &syncBuffer{}
 	cmd.Stdout = out
 	cmd.Stderr = out
@@ -231,7 +232,7 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 	if got3, err := c3.Len(); err != nil || got3 != got {
 		t.Fatalf("post-snapshot Len = %d, %v, want %d", got3, err, got)
 	}
-	if !strings.Contains(d3.out.String(), "0 records replayed") {
+	if !strings.Contains(d3.out.String(), "replayed=0") {
 		t.Fatalf("third start should replay nothing:\n%s", d3.out)
 	}
 }

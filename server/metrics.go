@@ -4,15 +4,103 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
-	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/server/wire"
 )
 
+// HistBuckets is the bucket count of Histogram: power-of-two buckets
+// covering 1..2^(HistBuckets-1) (~8.6s when the unit is nanoseconds);
+// larger observations land in the last bucket.
+const HistBuckets = 34
+
+// Histogram is a lock-free power-of-two histogram: bucket i counts
+// observations in [2^(i-1), 2^i). It is the one histogram shape used
+// across the serving stack (request latency, WAL fsync latency, batch
+// sizes, replica apply latency) so every exposition renders the same
+// way. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value (a duration in nanoseconds, a batch size —
+// any non-negative magnitude).
+func (h *Histogram) Observe(v uint64) {
+	idx := bits.Len64(v) // v in [2^(idx-1), 2^idx)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d's nanosecond count.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(uint64(d.Nanoseconds()))
+}
+
+// HistSnapshot is a plain-value view of a Histogram, embeddable in the
+// unified observability snapshot (and therefore in expvar JSON).
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []uint64 `json:"buckets"` // bucket i counts values in [2^(i-1), 2^i)
+}
+
+// Snapshot returns a consistent-enough plain view (each field is read
+// atomically; the set is not a single atomic cut, which is fine for
+// monitoring).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]uint64, HistBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// WritePromSeconds renders a nanosecond-valued HistSnapshot as a
+// Prometheus histogram in seconds.
+func (s HistSnapshot) WritePromSeconds(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i := 0; i < len(s.Buckets)-1; i++ {
+		cum += s.Buckets[i]
+		le := float64(uint64(1)<<i) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", le), cum)
+	}
+	cum += s.Buckets[len(s.Buckets)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// WritePromCounts renders a count-valued HistSnapshot (e.g. batch sizes)
+// as a Prometheus histogram with unit-less bounds.
+func (s HistSnapshot) WritePromCounts(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i := 0; i < len(s.Buckets)-1; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, uint64(1)<<i, cum)
+	}
+	cum += s.Buckets[len(s.Buckets)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
 // Metrics aggregates serving-side counters: per-op request counts, error
-// count, connection accounting, byte volume, and a power-of-two latency
+// count, connection accounting, byte volume, and a request latency
 // histogram. All fields are atomics — safe for concurrent handlers and
 // lock-free on the hot path.
 type Metrics struct {
@@ -23,28 +111,7 @@ type Metrics struct {
 	accepted atomic.Uint64
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
-	lat      histogram
-}
-
-// histBuckets covers 1ns..2^(histBuckets-1)ns (~8.6s) in doubling
-// buckets; slower requests land in the last bucket.
-const histBuckets = 34
-
-type histogram struct {
-	buckets [histBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sumNs   atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	idx := bits.Len64(ns) // ns in [2^(idx-1), 2^idx)
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(ns)
+	lat      Histogram
 }
 
 // ObserveRequest records one completed request.
@@ -53,7 +120,7 @@ func (m *Metrics) ObserveRequest(op byte, d time.Duration, failed bool) {
 	if failed {
 		m.errors.Add(1)
 	}
-	m.lat.observe(d)
+	m.lat.ObserveDuration(d)
 }
 
 // ConnOpened / ConnClosed / ConnRejected track connection lifecycle.
@@ -81,116 +148,4 @@ func (m *Metrics) TotalOps() uint64 {
 		t += m.ops[op].Load()
 	}
 	return t
-}
-
-// Snapshot returns a plain-value view for expvar.
-func (m *Metrics) Snapshot() map[string]any {
-	ops := map[string]uint64{}
-	for op, name := range wire.OpNames() {
-		if n := m.ops[op].Load(); n > 0 {
-			ops[name] = n
-		}
-	}
-	out := map[string]any{
-		"ops":                  ops,
-		"errors":               m.errors.Load(),
-		"connections_open":     m.open.Load(),
-		"connections_total":    m.accepted.Load(),
-		"connections_rejected": m.rejected.Load(),
-		"bytes_in":             m.bytesIn.Load(),
-		"bytes_out":            m.bytesOut.Load(),
-		"requests":             m.lat.count.Load(),
-		"request_ns_sum":       m.lat.sumNs.Load(),
-	}
-	return out
-}
-
-// WriteProm writes the Prometheus text exposition of the serving
-// counters plus the store's filter and durability gauges.
-func (m *Metrics) WriteProm(w io.Writer, store *Store) {
-	names := wire.OpNames()
-	order := make([]byte, 0, len(names))
-	for op := range names {
-		order = append(order, op)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-
-	fmt.Fprintf(w, "# HELP mpcbfd_requests_total Requests served, by opcode.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_requests_total counter\n")
-	for _, op := range order {
-		fmt.Fprintf(w, "mpcbfd_requests_total{op=%q} %d\n", names[op], m.ops[op].Load())
-	}
-	fmt.Fprintf(w, "# TYPE mpcbfd_request_errors_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_request_errors_total %d\n", m.errors.Load())
-
-	fmt.Fprintf(w, "# TYPE mpcbfd_connections_open gauge\n")
-	fmt.Fprintf(w, "mpcbfd_connections_open %d\n", m.open.Load())
-	fmt.Fprintf(w, "# TYPE mpcbfd_connections_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_connections_total %d\n", m.accepted.Load())
-	fmt.Fprintf(w, "# TYPE mpcbfd_connections_rejected_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_connections_rejected_total %d\n", m.rejected.Load())
-	fmt.Fprintf(w, "# TYPE mpcbfd_bytes_in_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_bytes_in_total %d\n", m.bytesIn.Load())
-	fmt.Fprintf(w, "# TYPE mpcbfd_bytes_out_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_bytes_out_total %d\n", m.bytesOut.Load())
-
-	// Cumulative histogram in the Prometheus convention: bucket le is an
-	// upper bound in seconds.
-	fmt.Fprintf(w, "# HELP mpcbfd_request_duration_seconds Request latency.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_request_duration_seconds histogram\n")
-	cum := uint64(0)
-	for i := 0; i < histBuckets-1; i++ {
-		cum += m.lat.buckets[i].Load()
-		le := float64(uint64(1)<<i) / 1e9
-		fmt.Fprintf(w, "mpcbfd_request_duration_seconds_bucket{le=%q} %d\n",
-			fmt.Sprintf("%g", le), cum)
-	}
-	cum += m.lat.buckets[histBuckets-1].Load()
-	fmt.Fprintf(w, "mpcbfd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "mpcbfd_request_duration_seconds_sum %g\n",
-		float64(m.lat.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "mpcbfd_request_duration_seconds_count %d\n", m.lat.count.Load())
-
-	if store == nil {
-		return
-	}
-	f := store.Filter()
-	fmt.Fprintf(w, "# HELP mpcbfd_filter_len Elements currently in the filter.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_filter_len gauge\n")
-	fmt.Fprintf(w, "mpcbfd_filter_len %d\n", f.Len())
-	fmt.Fprintf(w, "# HELP mpcbfd_filter_fill_ratio Fraction of increment capacity consumed (0 empty, 1 full).\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_filter_fill_ratio gauge\n")
-	fmt.Fprintf(w, "mpcbfd_filter_fill_ratio %g\n", f.FillRatio())
-	fmt.Fprintf(w, "# TYPE mpcbfd_filter_saturated_words gauge\n")
-	fmt.Fprintf(w, "mpcbfd_filter_saturated_words %d\n", f.SaturatedWords())
-	fmt.Fprintf(w, "# TYPE mpcbfd_filter_memory_bits gauge\n")
-	fmt.Fprintf(w, "mpcbfd_filter_memory_bits %d\n", f.MemoryBits())
-	fmt.Fprintf(w, "# TYPE mpcbfd_filter_shards gauge\n")
-	fmt.Fprintf(w, "mpcbfd_filter_shards %d\n", f.Shards())
-
-	st := store.Stats()
-	fmt.Fprintf(w, "# TYPE mpcbfd_wal_records_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_wal_records_total %d\n", st.WALRecords)
-	fmt.Fprintf(w, "# TYPE mpcbfd_wal_syncs_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_wal_syncs_total %d\n", st.WALSyncs)
-	fmt.Fprintf(w, "# TYPE mpcbfd_snapshots_total counter\n")
-	fmt.Fprintf(w, "mpcbfd_snapshots_total %d\n", st.Snapshots)
-	if !st.LastSnapshot.IsZero() {
-		fmt.Fprintf(w, "# TYPE mpcbfd_last_snapshot_timestamp_seconds gauge\n")
-		fmt.Fprintf(w, "mpcbfd_last_snapshot_timestamp_seconds %d\n", st.LastSnapshot.Unix())
-	}
-	fmt.Fprintf(w, "# TYPE mpcbfd_replayed_records gauge\n")
-	fmt.Fprintf(w, "mpcbfd_replayed_records %d\n", st.ReplayedRecords)
-
-	segs, segBytes := store.WALSegmentStats()
-	fmt.Fprintf(w, "# HELP mpcbfd_wal_segments WAL segment files on disk.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_wal_segments gauge\n")
-	fmt.Fprintf(w, "mpcbfd_wal_segments %d\n", segs)
-	fmt.Fprintf(w, "# TYPE mpcbfd_wal_segment_bytes gauge\n")
-	fmt.Fprintf(w, "mpcbfd_wal_segment_bytes %d\n", segBytes)
-	if !st.LastSnapshot.IsZero() {
-		fmt.Fprintf(w, "# HELP mpcbfd_snapshot_age_seconds Time since the last durable snapshot.\n")
-		fmt.Fprintf(w, "# TYPE mpcbfd_snapshot_age_seconds gauge\n")
-		fmt.Fprintf(w, "mpcbfd_snapshot_age_seconds %g\n", time.Since(st.LastSnapshot).Seconds())
-	}
 }

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	mpcbf "repro"
+	"repro/server/wire"
+)
+
+// Unified observability: ServerSnapshot is the single point-in-time view
+// of the serving process. Both expositions render from it — /metrics
+// formats a snapshot as Prometheus text, /debug/vars marshals the same
+// struct as JSON — so the two can never drift apart.
+
+// ServerSnapshot is one consistent-enough cut of every operational gauge
+// and counter the server exports.
+type ServerSnapshot struct {
+	Ops       map[string]uint64 `json:"ops"` // per-op request counts, by wire op name
+	OpsTotal  uint64            `json:"ops_total"`
+	OpErrors  uint64            `json:"op_errors"`
+	Conns     ConnSnapshot      `json:"conns"`
+	BytesIn   uint64            `json:"bytes_in"`
+	BytesOut  uint64            `json:"bytes_out"`
+	LatencyNs HistSnapshot      `json:"request_latency_ns"`
+
+	Filter FilterSnapshot     `json:"filter"`
+	Shards []mpcbf.ShardStats `json:"shards"`
+
+	WAL         WALSnapshot      `json:"wal"`
+	Replication ReplicationStats `json:"replication"`
+	Trace       TraceCounts      `json:"trace"`
+	Runtime     RuntimeSnapshot  `json:"runtime"`
+	Ready       bool             `json:"ready"`
+}
+
+// ConnSnapshot is the connection accounting slice of a ServerSnapshot.
+type ConnSnapshot struct {
+	Open     int64  `json:"open"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// FilterSnapshot is the aggregate filter state slice of a ServerSnapshot.
+type FilterSnapshot struct {
+	Len            int     `json:"len"`
+	FillRatio      float64 `json:"fill_ratio"`
+	SaturatedWords int     `json:"saturated_words"`
+	MemoryBits     int     `json:"memory_bits"`
+	Shards         int     `json:"shards"`
+}
+
+// WALSnapshot is the durability slice of a ServerSnapshot. The
+// last-snapshot fields are computed here, once, for both expositions:
+// LastSnapshotUnixNano is 0 and LastSnapshotAgeSeconds -1 when no
+// snapshot has been taken yet.
+type WALSnapshot struct {
+	Records                uint64       `json:"records"`
+	Syncs                  uint64       `json:"syncs"`
+	Snapshots              uint64       `json:"snapshots"`
+	ReplayedRecords        int          `json:"replayed_records"`
+	LastSnapshotUnixNano   int64        `json:"last_snapshot_unix_nano"`
+	LastSnapshotAgeSeconds float64      `json:"last_snapshot_age_seconds"`
+	FsyncNs                HistSnapshot `json:"fsync_ns"`
+	BatchKeys              HistSnapshot `json:"batch_keys"`
+}
+
+// TraceCounts summarizes the request tracer: IDs assigned, entries
+// sampled into the recent ring, and slow-threshold hits.
+type TraceCounts struct {
+	Requests uint64 `json:"requests"`
+	Sampled  uint64 `json:"sampled"`
+	Slow     uint64 `json:"slow"`
+}
+
+// RuntimeSnapshot is the Go-runtime slice of a ServerSnapshot.
+type RuntimeSnapshot struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	HeapObjects    uint64 `json:"heap_objects"`
+	GCCycles       uint32 `json:"gc_cycles"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+}
+
+// Snapshot collects the full observability state. Counters are read
+// atomically; the filter gauges briefly take each shard's read lock;
+// runtime stats come from runtime.ReadMemStats.
+func (s *Server) Snapshot() ServerSnapshot {
+	snap := ServerSnapshot{
+		Ops:      make(map[string]uint64, len(wire.OpNames())),
+		OpErrors: s.metrics.errors.Load(),
+		Conns: ConnSnapshot{
+			Open:     s.metrics.open.Load(),
+			Accepted: s.metrics.accepted.Load(),
+			Rejected: s.metrics.rejected.Load(),
+		},
+		BytesIn:   s.metrics.bytesIn.Load(),
+		BytesOut:  s.metrics.bytesOut.Load(),
+		LatencyNs: s.metrics.lat.Snapshot(),
+	}
+	for op, name := range wire.OpNames() {
+		n := s.metrics.ops[op].Load()
+		snap.Ops[name] = n
+		snap.OpsTotal += n
+	}
+
+	f := s.store.Filter()
+	snap.Filter = FilterSnapshot{
+		Len:            f.Len(),
+		FillRatio:      f.FillRatio(),
+		SaturatedWords: f.SaturatedWords(),
+		MemoryBits:     f.MemoryBits(),
+		Shards:         f.Shards(),
+	}
+	snap.Shards = f.ShardStats()
+
+	st := s.store.Stats()
+	snap.WAL = WALSnapshot{
+		Records:                st.WALRecords,
+		Syncs:                  st.WALSyncs,
+		Snapshots:              st.Snapshots,
+		ReplayedRecords:        st.ReplayedRecords,
+		LastSnapshotAgeSeconds: -1,
+	}
+	if !st.LastSnapshot.IsZero() {
+		snap.WAL.LastSnapshotUnixNano = st.LastSnapshot.UnixNano()
+		snap.WAL.LastSnapshotAgeSeconds = time.Since(st.LastSnapshot).Seconds()
+	}
+	snap.WAL.FsyncNs, snap.WAL.BatchKeys = s.store.WALHists()
+
+	snap.Replication = s.ReplicationStats()
+
+	rep := s.tracer.Report()
+	snap.Trace = TraceCounts{Requests: rep.Requests, Sampled: rep.Sampled, Slow: rep.Slow}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap.Runtime = RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+		GCPauseTotalNs: ms.PauseTotalNs,
+	}
+
+	snap.Ready = s.ready()
+	return snap
+}
+
+// ready reports whether the process should accept traffic: not draining,
+// and past any caller-supplied readiness gate (a replica mid-bootstrap).
+func (s *Server) ready() bool {
+	if s.closed.Load() {
+		return false
+	}
+	if s.cfg.Ready != nil && !s.cfg.Ready() {
+		return false
+	}
+	return true
+}
+
+func promCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func promGaugeInt(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+func promGaugeFloat(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// WriteProm renders snap as Prometheus text exposition (version 0.0.4).
+// Every series carries # HELP and # TYPE lines, emitted once per metric
+// name, before its samples.
+func (snap ServerSnapshot) WriteProm(w io.Writer) {
+	// Per-op request counters under one metric name; sorted for a
+	// deterministic exposition.
+	ops := make([]string, 0, len(snap.Ops))
+	for name := range snap.Ops {
+		ops = append(ops, name)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(w, "# HELP mpcbfd_requests_total Requests served, by wire operation.\n")
+	fmt.Fprintf(w, "# TYPE mpcbfd_requests_total counter\n")
+	for _, name := range ops {
+		fmt.Fprintf(w, "mpcbfd_requests_total{op=%q} %d\n", name, snap.Ops[name])
+	}
+	promCounter(w, "mpcbfd_request_errors_total", "Requests that returned an error status.", snap.OpErrors)
+	snap.LatencyNs.WritePromSeconds(w, "mpcbfd_request_duration_seconds", "Request latency from dispatch to response encoding.")
+
+	promGaugeInt(w, "mpcbfd_connections_open", "Connections currently open.", snap.Conns.Open)
+	promCounter(w, "mpcbfd_connections_accepted_total", "Connections accepted.", snap.Conns.Accepted)
+	promCounter(w, "mpcbfd_connections_rejected_total", "Connections refused by the MaxConns limit.", snap.Conns.Rejected)
+	promCounter(w, "mpcbfd_bytes_in_total", "Request frame bytes received.", snap.BytesIn)
+	promCounter(w, "mpcbfd_bytes_out_total", "Response frame bytes sent.", snap.BytesOut)
+
+	promGaugeInt(w, "mpcbfd_filter_len", "Elements currently in the filter.", int64(snap.Filter.Len))
+	promGaugeFloat(w, "mpcbfd_filter_fill_ratio", "Fraction of increment capacity consumed (0..1).", snap.Filter.FillRatio)
+	promGaugeInt(w, "mpcbfd_filter_saturated_words", "HCBF words frozen as always-positive by overflow.", int64(snap.Filter.SaturatedWords))
+	promGaugeInt(w, "mpcbfd_filter_memory_bits", "Aggregate filter footprint in bits.", int64(snap.Filter.MemoryBits))
+	promGaugeInt(w, "mpcbfd_filter_shards", "Shard count of the filter.", int64(snap.Filter.Shards))
+
+	writeShardProm(w, snap.Shards)
+
+	promCounter(w, "mpcbfd_wal_records_total", "Mutations appended to the write-ahead log.", snap.WAL.Records)
+	promCounter(w, "mpcbfd_wal_syncs_total", "WAL fsync calls.", snap.WAL.Syncs)
+	promCounter(w, "mpcbfd_snapshots_total", "Snapshots written since start.", snap.WAL.Snapshots)
+	promGaugeInt(w, "mpcbfd_replayed_records", "WAL records replayed at the last open.", int64(snap.WAL.ReplayedRecords))
+	promGaugeFloat(w, "mpcbfd_last_snapshot_age_seconds", "Seconds since the last snapshot (-1 before the first).", snap.WAL.LastSnapshotAgeSeconds)
+	snap.WAL.FsyncNs.WritePromSeconds(w, "mpcbfd_wal_fsync_duration_seconds", "WAL fsync latency.")
+	snap.WAL.BatchKeys.WritePromCounts(w, "mpcbfd_wal_batch_keys", "Keys committed per WAL append.")
+
+	promGaugeInt(w, "mpcbfd_connected_replicas", "Replication subscribers currently streaming.", int64(snap.Replication.Connected))
+	promGaugeInt(w, "mpcbfd_replication_max_lag_bytes", "WAL bytes the furthest-behind subscriber trails the live end.", snap.Replication.MaxLagBytes)
+
+	promCounter(w, "mpcbfd_trace_requests_total", "Request IDs assigned by the tracer.", snap.Trace.Requests)
+	promCounter(w, "mpcbfd_trace_sampled_total", "Requests sampled into the recent-trace ring.", snap.Trace.Sampled)
+	promCounter(w, "mpcbfd_trace_slow_total", "Requests over the slow-op threshold.", snap.Trace.Slow)
+
+	promGaugeInt(w, "mpcbfd_goroutines", "Goroutines in the process.", int64(snap.Runtime.Goroutines))
+	promGaugeInt(w, "mpcbfd_heap_alloc_bytes", "Bytes of allocated heap objects.", int64(snap.Runtime.HeapAllocBytes))
+	promGaugeInt(w, "mpcbfd_heap_sys_bytes", "Heap memory obtained from the OS.", int64(snap.Runtime.HeapSysBytes))
+	promGaugeInt(w, "mpcbfd_heap_objects", "Live heap objects.", int64(snap.Runtime.HeapObjects))
+	promCounter(w, "mpcbfd_gc_cycles_total", "Completed GC cycles.", uint64(snap.Runtime.GCCycles))
+	promGaugeFloat(w, "mpcbfd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(snap.Runtime.GCPauseTotalNs)/1e9)
+
+	ready := int64(0)
+	if snap.Ready {
+		ready = 1
+	}
+	promGaugeInt(w, "mpcbfd_ready", "1 when the process is accepting traffic (see /readyz).", ready)
+}
+
+// writeShardProm renders the per-shard gauge families, one HELP/TYPE
+// block per metric name with a sample per shard.
+func writeShardProm(w io.Writer, shards []mpcbf.ShardStats) {
+	emit := func(name, typ, help string, val func(st mpcbf.ShardStats) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i, st := range shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", name, i, val(st))
+		}
+	}
+	emit("mpcbfd_shard_items", "gauge", "Elements per shard.",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%d", st.Items) })
+	emit("mpcbfd_shard_fill_ratio", "gauge", "Fraction of increment capacity consumed per shard (0..1).",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%g", st.FillRatio) })
+	emit("mpcbfd_shard_saturated_words", "gauge", "Saturated HCBF words per shard.",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%d", st.SaturatedWords) })
+	emit("mpcbfd_shard_inserts_total", "counter", "Insert operations routed to each shard.",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%d", st.Inserts) })
+	emit("mpcbfd_shard_deletes_total", "counter", "Delete operations routed to each shard.",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%d", st.Deletes) })
+	emit("mpcbfd_shard_queries_total", "counter", "Membership and count queries routed to each shard.",
+		func(st mpcbf.ShardStats) string { return fmt.Sprintf("%d", st.Queries) })
+}
+
+// WriteProm writes the full Prometheus exposition for s: a fresh
+// snapshot plus any Config.Extra contribution.
+func (s *Server) WriteProm(w io.Writer) {
+	s.Snapshot().WriteProm(w)
+	if s.cfg.Extra != nil {
+		s.cfg.Extra.WriteProm(w)
+	}
+}
+
+// Vars returns the expvar document: the same snapshot /metrics renders,
+// plus any Config.Extra contribution under its own keys.
+func (s *Server) Vars() map[string]any {
+	m := map[string]any{"server": s.Snapshot()}
+	if s.cfg.Extra != nil {
+		for k, v := range s.cfg.Extra.Vars() {
+			m[k] = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promParser validates the Prometheus text exposition format (0.0.4):
+// HELP and TYPE precede a metric's samples, neither repeats, sample
+// lines parse, histogram suffixes attach to their base family, and no
+// series (name + label set) appears twice.
+type promParser struct {
+	helpSeen map[string]bool
+	typeOf   map[string]string
+	series   map[string]int
+	samples  int
+}
+
+func parseProm(t *testing.T, text string) *promParser {
+	t.Helper()
+	p := &promParser{
+		helpSeen: map[string]bool{},
+		typeOf:   map[string]string{},
+		series:   map[string]int{},
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Errorf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if p.helpSeen[name] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			p.helpSeen[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown TYPE %q", ln+1, typ)
+			}
+			if _, dup := p.typeOf[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if !p.helpSeen[name] {
+				t.Errorf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if len(p.series) > 0 {
+				for s := range p.series {
+					if metricFamily(seriesName(s), p.typeOf) == name {
+						t.Errorf("line %d: TYPE %s after its samples", ln+1, name)
+					}
+				}
+			}
+			p.typeOf[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		// Sample: name[{labels}] value
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Errorf("line %d: malformed sample: %q", ln+1, line)
+			continue
+		}
+		series, val := line[:idx], line[idx+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Errorf("line %d: unparseable value %q: %v", ln+1, val, err)
+		}
+		name := seriesName(series)
+		family := metricFamily(name, p.typeOf)
+		if !p.helpSeen[family] {
+			t.Errorf("line %d: sample %s before HELP %s", ln+1, series, family)
+		}
+		if _, ok := p.typeOf[family]; !ok {
+			t.Errorf("line %d: sample %s before TYPE %s", ln+1, series, family)
+		}
+		p.series[series]++
+		if p.series[series] > 1 {
+			t.Errorf("line %d: duplicate series %s", ln+1, series)
+		}
+		p.samples++
+	}
+	return p
+}
+
+// seriesName strips the label set off a sample's series identifier.
+func seriesName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// metricFamily resolves a sample name to its declared family: histogram
+// samples use the _bucket/_sum/_count suffixes of their base name.
+func metricFamily(name string, typeOf map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typeOf[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// TestPromExpositionFormat drives a workload and validates the whole
+// /metrics document against the text-format rules.
+func TestPromExpositionFormat(t *testing.T) {
+	srv, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{TraceSample: 2})
+	keys := storeKeys("prom", 300)
+	if err := c.InsertBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:10] {
+		if _, err := c.Contains(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+	text := httpGet(t, ts.URL+"/metrics")
+	p := parseProm(t, text)
+	if p.samples == 0 {
+		t.Fatal("no samples parsed")
+	}
+	for _, family := range []string{
+		"mpcbfd_requests_total",
+		"mpcbfd_request_duration_seconds",
+		"mpcbfd_wal_fsync_duration_seconds",
+		"mpcbfd_wal_batch_keys",
+		"mpcbfd_shard_items",
+		"mpcbfd_shard_inserts_total",
+		"mpcbfd_goroutines",
+		"mpcbfd_heap_alloc_bytes",
+		"mpcbfd_gc_cycles_total",
+		"mpcbfd_last_snapshot_age_seconds",
+		"mpcbfd_trace_sampled_total",
+		"mpcbfd_ready",
+	} {
+		if _, ok := p.typeOf[family]; !ok {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	// One series per shard for the per-shard gauges.
+	shards := 0
+	for s := range p.series {
+		if strings.HasPrefix(s, "mpcbfd_shard_items{") {
+			shards++
+		}
+	}
+	if want := srv.Store().Filter().Shards(); shards != want {
+		t.Errorf("mpcbfd_shard_items series = %d, want %d", shards, want)
+	}
+}
+
+// TestExpvarMatchesProm asserts /debug/vars and /metrics agree — both
+// are rendered from the same ServerSnapshot.
+func TestExpvarMatchesProm(t *testing.T) {
+	srv, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{})
+	if err := c.InsertBatch(storeKeys("drift", 200)); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	var doc struct {
+		Mpcbfd struct {
+			Server ServerSnapshot `json:"server"`
+		} `json:"mpcbfd"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, ts.URL+"/debug/vars")), &doc); err != nil {
+		t.Fatalf("/debug/vars unparseable: %v", err)
+	}
+	snap := doc.Mpcbfd.Server
+
+	metrics := httpGet(t, ts.URL+"/metrics")
+	for _, pair := range [][2]string{
+		{"mpcbfd_filter_len", fmt.Sprintf("%d", snap.Filter.Len)},
+		{"mpcbfd_wal_records_total", fmt.Sprintf("%d", snap.WAL.Records)},
+		{"mpcbfd_replayed_records", fmt.Sprintf("%d", snap.WAL.ReplayedRecords)},
+		{`mpcbfd_requests_total{op="insert_batch"}`, fmt.Sprintf("%d", snap.Ops["insert_batch"])},
+	} {
+		if want := pair[0] + " " + pair[1]; !strings.Contains(metrics, want) {
+			t.Errorf("/metrics disagrees with /debug/vars: missing %q", want)
+		}
+	}
+	if snap.Filter.Len != 200 {
+		t.Errorf("expvar filter len = %d, want 200", snap.Filter.Len)
+	}
+	if !snap.Ready {
+		t.Error("expvar snapshot not ready on a live server")
+	}
+}
+
+// TestReadyz exercises the liveness/readiness split: /healthz stays 200
+// while /readyz follows the Ready gate and the shutdown drain.
+func TestReadyz(t *testing.T) {
+	ready := true
+	srv, _ := startTestServer(t, testStoreOptions(t.TempDir()), Config{
+		Ready: func() bool { return ready },
+	})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+	ready = false // e.g. replica fell behind / never bootstrapped
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with Ready()==false = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz must stay 200 while unready, got %d", got)
+	}
+	ready = true
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz recovered = %d, want 200", got)
+	}
+
+	// Shutdown drain: the process is still alive (healthz 200) but must
+	// stop receiving traffic (readyz 503). Shutdown is idempotent, so the
+	// test cleanup's second call is harmless.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", got)
+	}
+}
+
+// TestDebugRequestsJSON validates the /debug/requests document: shape,
+// sampling accounting, and per-stage timings on sampled entries.
+func TestDebugRequestsJSON(t *testing.T) {
+	srv, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{
+		TraceSample: 1, // trace everything
+		SlowOp:      time.Nanosecond,
+		Log:         discardLog(),
+	})
+	if err := c.Insert([]byte("traced-key")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Contains([]byte("traced-key")); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+	body := httpGet(t, ts.URL+"/debug/requests")
+
+	var rep TraceReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/requests unparseable: %v\n%s", err, body)
+	}
+	if rep.SampleEvery != 1 {
+		t.Errorf("sample_every = %d, want 1", rep.SampleEvery)
+	}
+	if rep.SlowOpNs != 1 {
+		t.Errorf("slow_op_ns = %d, want 1", rep.SlowOpNs)
+	}
+	if rep.Requests < 2 || rep.Sampled < 2 {
+		t.Fatalf("requests/sampled = %d/%d, want >= 2", rep.Requests, rep.Sampled)
+	}
+	if rep.Slow < 2 {
+		t.Errorf("slow = %d, want >= 2 with a 1ns threshold", rep.Slow)
+	}
+	if len(rep.Recent) == 0 {
+		t.Fatal("recent ring empty with TraceSample=1")
+	}
+	byOp := map[string]TraceEntry{}
+	for _, e := range rep.Recent {
+		byOp[e.Op] = e
+	}
+	ins, ok := byOp["insert"]
+	if !ok {
+		t.Fatalf("no insert entry in recent ring: %s", body)
+	}
+	if !ins.Sampled || ins.ID == 0 || ins.TotalNs <= 0 {
+		t.Errorf("insert entry malformed: %+v", ins)
+	}
+	if ins.Keys != 1 || ins.KeyBytes != len("traced-key") {
+		t.Errorf("insert keys/bytes = %d/%d, want 1/%d", ins.Keys, ins.KeyBytes, len("traced-key"))
+	}
+	if ins.FilterNs <= 0 || ins.WALNs <= 0 {
+		t.Errorf("insert stage timings missing: filter=%d wal=%d", ins.FilterNs, ins.WALNs)
+	}
+	if ins.FsyncNs <= 0 { // testStoreOptions uses SyncAlways
+		t.Errorf("insert fsync timing missing under SyncAlways: %+v", ins)
+	}
+	if con, ok := byOp["contains"]; ok {
+		if con.WALNs != 0 {
+			t.Errorf("contains must not touch the WAL: %+v", con)
+		}
+		if con.FilterNs <= 0 {
+			t.Errorf("contains filter stage missing: %+v", con)
+		}
+	} else {
+		t.Errorf("no contains entry in recent ring")
+	}
+	if len(rep.SlowRecent) == 0 {
+		t.Error("slow ring empty with a 1ns threshold")
+	}
+}
+
+// TestSlogRequestLifecycle captures the structured log of one request
+// lifecycle (conn accepted → slow-request warning → conn closed) via a
+// JSON handler and asserts the attributes are machine-readable.
+func TestSlogRequestLifecycle(t *testing.T) {
+	var buf syncBuffer
+	log := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{
+		TraceSample: 1,
+		SlowOp:      time.Nanosecond, // everything is "slow": deterministic warning
+		Log:         log,
+	})
+	if err := c.Insert([]byte("logged-key")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// The conn-closed line lands after the client socket drops; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), "conn closed") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no conn-closed log line:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	type line struct {
+		Level     string `json:"level"`
+		Msg       string `json:"msg"`
+		Component string `json:"component"`
+		Remote    string `json:"remote"`
+		ID        uint64 `json:"id"`
+		Op        string `json:"op"`
+		WALNs     int64  `json:"wal_ns"`
+		FilterNs  int64  `json:"filter_ns"`
+		Keys      int    `json:"keys"`
+		Failed    bool   `json:"failed"`
+	}
+	var accepted, slow, closed *line
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		switch l.Msg {
+		case "conn accepted":
+			accepted = &line{}
+			*accepted = l
+		case "slow request":
+			slow = &line{}
+			*slow = l
+		case "conn closed":
+			closed = &line{}
+			*closed = l
+		}
+	}
+	if accepted == nil || closed == nil {
+		t.Fatalf("missing conn lifecycle lines:\n%s", buf.String())
+	}
+	if accepted.Level != "DEBUG" || accepted.Component != "server" || accepted.Remote == "" {
+		t.Errorf("conn accepted line malformed: %+v", accepted)
+	}
+	if slow == nil {
+		t.Fatalf("no slow-request warning with a 1ns threshold:\n%s", buf.String())
+	}
+	if slow.Level != "WARN" || slow.Component != "server" {
+		t.Errorf("slow request line level/component: %+v", slow)
+	}
+	if slow.Op != "insert" || slow.ID == 0 || slow.Keys != 1 || slow.Failed {
+		t.Errorf("slow request attrs: %+v", slow)
+	}
+	if slow.WALNs <= 0 || slow.FilterNs <= 0 {
+		t.Errorf("slow request stage timings (sampled request): %+v", slow)
+	}
+}
+
+// TestDebugHandlerPprof asserts the gated debug mux serves pprof and
+// the shared debug endpoints.
+func TestDebugHandlerPprof(t *testing.T) {
+	srv, _ := startTestServer(t, testStoreOptions(t.TempDir()), Config{})
+	ts := httptest.NewServer(srv.DebugHandler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/cmdline",
+		"/debug/vars",
+		"/debug/requests",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The operational sidecar must NOT expose pprof.
+	op := httptest.NewServer(srv.HTTPHandler())
+	defer op.Close()
+	resp, err := http.Get(op.URL + "/debug/pprof/goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("operational sidecar serves pprof; it must be gated behind DebugHandler")
+	}
+}
+
+// TestTracerDisabledIsCheap sanity-checks the off path: with sampling
+// and the slow threshold both off, requests must not land in any ring.
+func TestTracerDisabledIsCheap(t *testing.T) {
+	srv, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{})
+	if err := c.InsertBatch(storeKeys("off", 50)); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Tracer().Report()
+	if rep.Requests == 0 {
+		t.Fatal("request IDs must still be assigned")
+	}
+	if rep.Sampled != 0 || rep.Slow != 0 || len(rep.Recent) != 0 || len(rep.SlowRecent) != 0 {
+		t.Errorf("tracing off but rings populated: %+v", rep)
+	}
+}

@@ -171,14 +171,14 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	if segs, err := listWALSegments(s.opts.Dir); err == nil {
 		for _, old := range segs {
 			if err := os.Remove(walPath(s.opts.Dir, old)); err != nil {
-				s.opts.Logf("mpcbfd: bootstrap remove wal seq %d: %v", old, err)
+				s.opts.Log.Warn("bootstrap: remove wal segment", "seq", old, "error", err)
 			}
 		}
 	}
 	if snaps, err := listSnapshots(s.opts.Dir); err == nil {
 		for _, old := range snaps {
 			if err := os.Remove(snapshotPath(s.opts.Dir, old)); err != nil {
-				s.opts.Logf("mpcbfd: bootstrap remove snapshot seq %d: %v", old, err)
+				s.opts.Log.Warn("bootstrap: remove snapshot", "seq", old, "error", err)
 			}
 		}
 	}

@@ -3,8 +3,6 @@ package server
 import (
 	"bufio"
 	"bytes"
-	"fmt"
-	"io"
 	"net"
 	"os"
 	"sync/atomic"
@@ -42,8 +40,8 @@ type replSub struct {
 // ReplicationStats is a point-in-time view of the primary's subscriber
 // set.
 type ReplicationStats struct {
-	Connected   int
-	MaxLagBytes int64 // furthest-behind subscriber, in WAL bytes
+	Connected   int   `json:"connected"`
+	MaxLagBytes int64 `json:"max_lag_bytes"` // furthest-behind subscriber, in WAL bytes
 }
 
 // ReplicationStats reports the connected-subscriber count and the worst
@@ -89,18 +87,6 @@ func (s *Server) subLagBytes(sub *replSub, liveSeq uint64, liveSize int64) int64
 		return 0
 	}
 	return lag
-}
-
-// writeReplicationProm appends the primary-side replication gauges to a
-// Prometheus exposition.
-func (s *Server) writeReplicationProm(w io.Writer) {
-	st := s.ReplicationStats()
-	fmt.Fprintf(w, "# HELP mpcbfd_connected_replicas Replication subscribers currently streaming.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_connected_replicas gauge\n")
-	fmt.Fprintf(w, "mpcbfd_connected_replicas %d\n", st.Connected)
-	fmt.Fprintf(w, "# HELP mpcbfd_replication_max_lag_bytes WAL bytes the furthest-behind subscriber trails the live end.\n")
-	fmt.Fprintf(w, "# TYPE mpcbfd_replication_max_lag_bytes gauge\n")
-	fmt.Fprintf(w, "mpcbfd_replication_max_lag_bytes %d\n", st.MaxLagBytes)
 }
 
 // serveReplication runs the push stream for one subscriber until the
@@ -149,7 +135,7 @@ func (s *Server) serveReplication(conn net.Conn, w *bufio.Writer, req wire.Reque
 		closeSeg()
 		data, newSeq, cumR, cumB, err := s.store.ReplicationSnapshot()
 		if err != nil {
-			s.cfg.Logf("mpcbfd: replication bootstrap for %s: %v", sub.remote, err)
+			s.cfg.Log.Warn("replication bootstrap failed", "remote", sub.remote, "error", err)
 			s.writeRepErr(conn, w, "bootstrap failed: "+err.Error())
 			return false
 		}

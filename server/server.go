@@ -9,7 +9,7 @@ import (
 	"context"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -17,6 +17,18 @@ import (
 
 	"repro/server/wire"
 )
+
+// StatsSource supplies extra observability state appended to both the
+// Prometheus exposition and the expvar snapshot — the hook a replica
+// process uses to publish its replication gauges without the server
+// package importing the cluster package. Both views come from the same
+// implementor, so they cannot drift apart.
+type StatsSource interface {
+	// WriteProm appends Prometheus text-format metrics.
+	WriteProm(w io.Writer)
+	// Vars returns the same state as a JSON-marshalable map.
+	Vars() map[string]any
+}
 
 // Config tunes the TCP front end.
 type Config struct {
@@ -40,12 +52,22 @@ type Config struct {
 	// HeartbeatEvery is the replication heartbeat period while a
 	// subscriber is caught up (default 1s).
 	HeartbeatEvery time.Duration
-	// PromExtra, when set, is invoked at the end of the /metrics
-	// exposition — the hook a replica uses to append its replication
-	// gauges without the server package importing the cluster package.
-	PromExtra func(w io.Writer)
-	// Logf receives operational messages (default log.Printf).
-	Logf func(format string, args ...any)
+	// Extra, when set, contributes additional metrics to both /metrics
+	// and /debug/vars (e.g. a replica's replication gauges).
+	Extra StatsSource
+	// Ready, when set, gates /readyz: the endpoint reports 503 while
+	// Ready returns false (a replica still bootstrapping its snapshot,
+	// for example). Shutdown drain always reports not-ready regardless.
+	Ready func() bool
+	// TraceSample collects per-stage timings for 1 in TraceSample
+	// requests into the /debug/requests ring (0 disables sampling).
+	TraceSample int
+	// SlowOp records any request slower than this in the slow ring at
+	// /debug/requests and logs a warning (0 disables).
+	SlowOp time.Duration
+	// Log receives structured operational messages (default
+	// slog.Default()). The server logs with component=server attached.
+	Log *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -67,9 +89,10 @@ func (c *Config) setDefaults() {
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		c.Log = slog.Default()
 	}
+	c.Log = c.Log.With("component", "server")
 }
 
 // Server accepts wire-protocol connections and serves them from a Store.
@@ -77,6 +100,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	metrics *Metrics
+	tracer  *Tracer
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -101,10 +125,14 @@ func New(store *Store, cfg Config, metrics *Metrics) *Server {
 		cfg:     cfg,
 		store:   store,
 		metrics: metrics,
+		tracer:  newTracer(cfg.TraceSample, cfg.SlowOp, cfg.Log),
 		conns:   make(map[net.Conn]struct{}),
 		stop:    make(chan struct{}),
 	}
 }
+
+// Tracer returns the server's request tracer.
+func (s *Server) Tracer() *Tracer { return s.tracer }
 
 // Metrics returns the server's metrics aggregate.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -229,6 +257,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // responses and keep the connection; protocol violations produce an ERR
 // response (best effort) and close it.
 func (s *Server) handleConn(conn net.Conn) {
+	log := s.cfg.Log.With("remote", conn.RemoteAddr().String())
+	log.Debug("conn accepted")
+	defer log.Debug("conn closed")
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 	var (
@@ -242,40 +273,73 @@ func (s *Server) handleConn(conn net.Conn) {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
 			} else if !isExpectedClose(err) {
-				s.cfg.Logf("mpcbfd: read: %v", err)
+				log.Warn("read failed", "error", err)
 			}
 			return
 		}
 		reqBuf = payload[:0]
 		s.metrics.AddBytes(4+len(payload), 0)
 
+		// Every request gets an ID; a sampled one also gets a stage
+		// trace (tr is nil otherwise, and every tr method is a no-op).
+		id, tr := s.tracer.begin()
+		tDec := tr.now()
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
 			s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
 			return // protocol violation: framing can no longer be trusted
 		}
+		tr.addDecode(tDec)
 
 		if req.Op == wire.OpReplicate {
 			// The connection leaves request/response mode for good: it
 			// becomes a one-way replication stream until either side
 			// hangs up.
 			s.metrics.ObserveRequest(req.Op, 0, false)
+			log.Info("replication subscriber attached", "seq", req.Seq, "off", req.Off)
 			s.serveReplication(conn, w, req)
 			return
 		}
 
 		start := time.Now()
-		resp, opFailed := s.dispatch(req, respBuf[:0])
+		resp, opFailed := s.dispatch(req, respBuf[:0], tr)
 		s.metrics.ObserveRequest(req.Op, time.Since(start), opFailed)
 		respBuf = resp[:0]
 
-		if !s.respond(conn, w, resp) {
+		ok := s.respond(conn, w, resp)
+		if tr != nil || s.tracer.slowNs > 0 {
+			// Off the hot path: only sampled requests or servers with a
+			// slow threshold configured ever get here.
+			total := time.Since(start)
+			if tr != nil {
+				total = time.Since(tr.entry.Start)
+			}
+			keys, keyBytes := requestSize(req)
+			s.tracer.finish(id, tr, req.Op, keys, keyBytes, total, opFailed)
+		}
+		if !ok {
 			return
 		}
 		if s.closed.Load() {
 			return // draining: finish the in-flight request, then hang up
 		}
 	}
+}
+
+// requestSize reports a request's key count and payload byte volume for
+// trace entries.
+func requestSize(req wire.Request) (keys, keyBytes int) {
+	if req.Keys != nil {
+		n := 0
+		for _, k := range req.Keys {
+			n += len(k)
+		}
+		return len(req.Keys), n
+	}
+	if req.Key != nil {
+		return 1, len(req.Key)
+	}
+	return 0, 0
 }
 
 // respond writes one response frame and flushes. Returns false when the
@@ -293,41 +357,50 @@ func (s *Server) respond(conn net.Conn, w *bufio.Writer, payload []byte) bool {
 
 // dispatch executes one decoded request against the store and encodes
 // the response into dst.
-func (s *Server) dispatch(req wire.Request, dst []byte) (resp []byte, opFailed bool) {
+func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []byte, opFailed bool) {
 	if s.cfg.ReadOnly && wire.IsMutation(req.Op) {
 		return wire.AppendReadOnly(dst, s.cfg.PrimaryAddr), true
 	}
 	switch req.Op {
 	case wire.OpInsert:
-		if err := s.store.Insert(req.Key); err != nil {
+		if err := s.store.insert(req.Key, tr); err != nil {
 			return wire.AppendErr(dst, err.Error()), true
 		}
 		return wire.AppendOK(dst), false
 	case wire.OpDelete:
-		if err := s.store.Delete(req.Key); err != nil {
+		if err := s.store.delete(req.Key, tr); err != nil {
 			return wire.AppendErr(dst, err.Error()), true
 		}
 		return wire.AppendOK(dst), false
 	case wire.OpContains:
-		return wire.AppendBool(wire.AppendOK(dst), s.store.Contains(req.Key)), false
+		t0 := tr.now()
+		ok := s.store.Contains(req.Key)
+		tr.addFilter(t0)
+		return wire.AppendBool(wire.AppendOK(dst), ok), false
 	case wire.OpEstimate:
-		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.EstimateCount(req.Key))), false
+		t0 := tr.now()
+		n := s.store.EstimateCount(req.Key)
+		tr.addFilter(t0)
+		return wire.AppendU64(wire.AppendOK(dst), uint64(n)), false
 	case wire.OpLen:
 		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.Len())), false
 	case wire.OpInsertBatch:
-		if err := s.store.InsertBatch(req.Keys); err != nil {
+		if err := s.store.insertBatch(req.Keys, tr); err != nil {
 			return wire.AppendErr(dst, err.Error()), true
 		}
 		return wire.AppendOK(dst), false
 	case wire.OpDeleteBatch:
-		ok, err := s.store.DeleteBatch(req.Keys)
+		ok, err := s.store.deleteBatch(req.Keys, tr)
 		if err != nil {
 			// WAL failure: the durable outcome is unknown; fail loudly.
 			return wire.AppendErr(dst, err.Error()), true
 		}
 		return wire.AppendBools(wire.AppendOK(dst), ok), false
 	case wire.OpContainsBatch:
-		return wire.AppendBools(wire.AppendOK(dst), s.store.ContainsBatch(req.Keys)), false
+		t0 := tr.now()
+		flags := s.store.ContainsBatch(req.Keys)
+		tr.addFilter(t0)
+		return wire.AppendBools(wire.AppendOK(dst), flags), false
 	case wire.OpDump:
 		data, err := s.store.MarshalFilter()
 		if err != nil {

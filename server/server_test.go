@@ -287,7 +287,7 @@ func TestServerConnLimit(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for srv.Metrics().Snapshot()["connections_rejected"].(uint64) == 0 {
+	for srv.Snapshot().Conns.Rejected == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("rejection not recorded")
 		}

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -89,8 +89,9 @@ type StoreOptions struct {
 	// snapshot loop is disabled, Close skips the final snapshot, and
 	// Snapshot returns an error.
 	Replica bool
-	// Logf receives operational messages (default log.Printf).
-	Logf func(format string, args ...any)
+	// Log receives operational messages (default slog.Default()). The
+	// store logs with component=store attached.
+	Log *slog.Logger
 }
 
 func (o *StoreOptions) setDefaults() {
@@ -100,9 +101,10 @@ func (o *StoreOptions) setDefaults() {
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 100 * time.Millisecond
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Log == nil {
+		o.Log = slog.Default()
 	}
+	o.Log = o.Log.With("component", "store")
 }
 
 func snapshotPath(dir string, seq uint64) string {
@@ -194,7 +196,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 			filter, snapSeq = f, snaps[i]
 			break
 		}
-		opts.Logf("mpcbfd: skipping snapshot seq %d: %v", snaps[i], err)
+		opts.Log.Warn("skipping corrupt snapshot", "seq", snaps[i], "error", err)
 	}
 	if filter == nil {
 		if len(snaps) > 0 {
@@ -301,11 +303,11 @@ func (a *batchApplier) flush() {
 	switch a.op {
 	case wire.OpInsert:
 		if err := a.s.f().InsertBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
-			a.s.opts.Logf("mpcbfd: %s insert: %v", a.context, err)
+			a.s.opts.Log.Error("batch insert failed", "context", a.context, "error", err)
 		}
 	case wire.OpDelete:
 		if _, err := a.s.f().DeleteBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
-			a.s.opts.Logf("mpcbfd: %s delete: %v", a.context, err)
+			a.s.opts.Log.Error("batch delete failed", "context", a.context, "error", err)
 		}
 	}
 	a.keys = a.keys[:0]
@@ -320,53 +322,71 @@ func (s *Store) replaySegment(path string) (int, int64, error) {
 }
 
 // Insert applies and logs one insert.
-func (s *Store) Insert(key []byte) error {
+func (s *Store) Insert(key []byte) error { return s.insert(key, nil) }
+
+// insert is the traced core of Insert: tr (nil when tracing is off)
+// receives the filter, WAL-append, and fsync stage timings.
+func (s *Store) insert(key []byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := tr.now()
 	if err := s.f().Insert(key); err != nil {
 		return err
 	}
-	return s.wal.Append(wire.OpInsert, key)
+	tr.addFilter(t0)
+	return s.wal.Append(wire.OpInsert, key, tr)
 }
 
 // Delete applies and logs one delete. Deleting an absent key fails
 // without a WAL record.
-func (s *Store) Delete(key []byte) error {
+func (s *Store) Delete(key []byte) error { return s.delete(key, nil) }
+
+func (s *Store) delete(key []byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := tr.now()
 	if err := s.f().Delete(key); err != nil {
 		return err
 	}
-	return s.wal.Append(wire.OpDelete, key)
+	tr.addFilter(t0)
+	return s.wal.Append(wire.OpDelete, key, tr)
 }
 
 // InsertBatch applies and logs a batch with a single fsync. On a batch
 // error (possible only under the strict overflow policy) nothing is
 // logged and the error is returned; the partially applied batch is
 // unacknowledged and carries no durability promise.
-func (s *Store) InsertBatch(keys [][]byte) error {
+func (s *Store) InsertBatch(keys [][]byte) error { return s.insertBatch(keys, nil) }
+
+func (s *Store) insertBatch(keys [][]byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := tr.now()
 	if err := s.f().InsertBatch(keys, s.opts.BatchWorkers); err != nil {
 		return err
 	}
-	return s.wal.AppendBatch(wire.OpInsert, keys)
+	tr.addFilter(t0)
+	return s.wal.AppendBatch(wire.OpInsert, keys, tr)
 }
 
 // DeleteBatch applies a batch of deletes and logs exactly the subset
 // that succeeded, with a single fsync. The returned flags are
 // order-preserving.
-func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) {
+func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) { return s.deleteBatch(keys, nil) }
+
+func (s *Store) deleteBatch(keys [][]byte, tr *reqTrace) ([]bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := tr.now()
 	ok, _ := s.f().DeleteBatch(keys, s.opts.BatchWorkers)
+	tr.addFilter(t0)
 	logged := make([][]byte, 0, len(keys))
 	for i, k := range keys {
 		if ok[i] {
 			logged = append(logged, k)
 		}
 	}
-	if err := s.wal.AppendBatch(wire.OpDelete, logged); err != nil {
+	if err := s.wal.AppendBatch(wire.OpDelete, logged, tr); err != nil {
 		return ok, err
 	}
 	return ok, nil
@@ -412,6 +432,12 @@ func (s *Store) Stats() StoreStats {
 		st.LastSnapshot = time.Unix(0, ns)
 	}
 	return st
+}
+
+// WALHists returns plain-value views of the WAL's fsync-latency (ns)
+// and commit-batch-size histograms.
+func (s *Store) WALHists() (fsync, batch HistSnapshot) {
+	return s.wal.fsyncHist.Snapshot(), s.wal.batchHist.Snapshot()
 }
 
 // Snapshot writes a point-in-time snapshot and truncates the WAL behind
@@ -483,7 +509,7 @@ func (s *Store) cleanup(keepSeq uint64) {
 	floor := keepSeq
 	snaps, err := listSnapshots(s.opts.Dir)
 	if err != nil {
-		s.opts.Logf("mpcbfd: cleanup list snapshots: %v", err)
+		s.opts.Log.Warn("cleanup: list snapshots", "error", err)
 		return
 	}
 	for _, seq := range snaps {
@@ -494,7 +520,7 @@ func (s *Store) cleanup(keepSeq uint64) {
 	for _, seq := range snaps {
 		if seq < floor {
 			if err := os.Remove(snapshotPath(s.opts.Dir, seq)); err != nil {
-				s.opts.Logf("mpcbfd: cleanup snapshot seq %d: %v", seq, err)
+				s.opts.Log.Warn("cleanup: remove snapshot", "seq", seq, "error", err)
 			}
 		}
 	}
@@ -502,7 +528,7 @@ func (s *Store) cleanup(keepSeq uint64) {
 		for _, seq := range segs {
 			if seq < floor {
 				if err := os.Remove(walPath(s.opts.Dir, seq)); err != nil {
-					s.opts.Logf("mpcbfd: cleanup wal seq %d: %v", seq, err)
+					s.opts.Log.Warn("cleanup: remove wal segment", "seq", seq, "error", err)
 				}
 			}
 		}
@@ -517,7 +543,7 @@ func (s *Store) syncLoop() {
 		select {
 		case <-t.C:
 			if err := s.wal.Sync(); err != nil {
-				s.opts.Logf("mpcbfd: wal sync: %v", err)
+				s.opts.Log.Error("wal sync failed", "error", err)
 			}
 		case <-s.stop:
 			return
@@ -533,7 +559,7 @@ func (s *Store) snapshotLoop() {
 		select {
 		case <-t.C:
 			if err := s.Snapshot(); err != nil {
-				s.opts.Logf("mpcbfd: background snapshot: %v", err)
+				s.opts.Log.Error("background snapshot failed", "error", err)
 			}
 		case <-s.stop:
 			return

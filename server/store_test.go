@@ -2,11 +2,19 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"testing"
 
 	mpcbf "repro"
 )
+
+// discardLog silences store/server logging in tests. (slog.DiscardHandler
+// is go1.24; this repo targets go1.22.)
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func testStoreOptions(dir string) StoreOptions {
 	return StoreOptions{
@@ -14,7 +22,7 @@ func testStoreOptions(dir string) StoreOptions {
 		Filter: mpcbf.Options{MemoryBits: 1 << 19, ExpectedItems: 5000, Seed: 42},
 		Shards: 4,
 		Sync:   SyncAlways,
-		Logf:   func(string, ...any) {},
+		Log:    discardLog(),
 	}
 }
 

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/server/wire"
+)
+
+// Request tracing: every request gets an ID from an atomic counter; a
+// 1-in-N sample additionally collects per-stage timings
+// (decode → filter op → WAL append → fsync → encode+write). Sampled
+// entries land in a fixed ring of recent requests; requests slower than
+// the configured threshold land in a second ring (with stage detail
+// when they were sampled) and emit a slog warning. Both rings are
+// served as JSON at /debug/requests.
+//
+// Hot-path cost when sampling and the slow threshold are both off: one
+// atomic Add (the request ID) and two predictable branches — no clock
+// reads beyond the one the latency histogram already takes, no locks,
+// no allocation. The rings take a mutex, but only sampled or slow
+// requests ever reach them.
+
+// TraceEntry is one traced request as exposed at /debug/requests.
+// Stage fields are zero for slow-but-unsampled requests (only the total
+// was measured).
+type TraceEntry struct {
+	ID       uint64    `json:"id"`
+	Op       string    `json:"op"`
+	Start    time.Time `json:"start"`
+	TotalNs  int64     `json:"total_ns"`
+	DecodeNs int64     `json:"decode_ns,omitempty"`
+	FilterNs int64     `json:"filter_ns,omitempty"`
+	WALNs    int64     `json:"wal_ns,omitempty"`
+	FsyncNs  int64     `json:"fsync_ns,omitempty"`
+	EncodeNs int64     `json:"encode_ns,omitempty"`
+	Keys     int       `json:"keys"`
+	KeyBytes int       `json:"key_bytes"`
+	Failed   bool      `json:"failed,omitempty"`
+	Sampled  bool      `json:"sampled"`
+}
+
+// reqTrace accumulates stage timings for one sampled request. A nil
+// *reqTrace is valid everywhere and records nothing, so the store and
+// WAL plumbing never branch on "is tracing on" themselves.
+type reqTrace struct {
+	entry TraceEntry
+}
+
+// now returns the stage clock, or the zero Time when tr is nil so the
+// untraced path never reads the clock.
+func (tr *reqTrace) now() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (tr *reqTrace) addDecode(t0 time.Time) {
+	if tr != nil {
+		tr.entry.DecodeNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (tr *reqTrace) addFilter(t0 time.Time) {
+	if tr != nil {
+		tr.entry.FilterNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (tr *reqTrace) addWAL(t0 time.Time) {
+	if tr != nil {
+		tr.entry.WALNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (tr *reqTrace) addFsync(d time.Duration) {
+	if tr != nil {
+		tr.entry.FsyncNs += d.Nanoseconds()
+	}
+}
+
+// traceRing is a fixed-size ring of completed trace entries. Pushes are
+// mutex-guarded; only sampled or slow requests push.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []TraceEntry
+	next  int
+	total uint64
+}
+
+func (r *traceRing) push(e TraceEntry) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// entries returns the ring's contents, newest first.
+func (r *traceRing) entries() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.total < uint64(n) {
+		n = int(r.total)
+	}
+	out := make([]TraceEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[((r.next-1-i)%len(r.buf)+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+const traceRingSize = 128
+
+// Tracer owns the request-ID counter, the sampling decision, and the
+// recent/slow rings. Configure it through Config.TraceSample and
+// Config.SlowOp.
+type Tracer struct {
+	sampleEvery uint64 // trace 1 in N requests; 0 = off
+	slowNs      int64  // slow threshold; 0 = off
+	log         *slog.Logger
+
+	seq    atomic.Uint64
+	recent traceRing
+	slow   traceRing
+}
+
+func newTracer(sampleEvery int, slow time.Duration, log *slog.Logger) *Tracer {
+	t := &Tracer{
+		slowNs: slow.Nanoseconds(),
+		log:    log,
+	}
+	if sampleEvery > 0 {
+		t.sampleEvery = uint64(sampleEvery)
+	}
+	t.recent.buf = make([]TraceEntry, traceRingSize)
+	t.slow.buf = make([]TraceEntry, traceRingSize)
+	return t
+}
+
+// begin assigns the request ID and decides sampling. The returned trace
+// is nil for unsampled requests.
+func (t *Tracer) begin() (id uint64, tr *reqTrace) {
+	id = t.seq.Add(1)
+	if t.sampleEvery == 0 || id%t.sampleEvery != 0 {
+		return id, nil
+	}
+	tr = &reqTrace{}
+	tr.entry.ID = id
+	tr.entry.Start = time.Now()
+	tr.entry.Sampled = true
+	return id, tr
+}
+
+// finish completes one request: sampled entries go to the recent ring;
+// entries over the slow threshold go to the slow ring and warn. No-op
+// (two branches) for the common unsampled-and-fast case.
+func (t *Tracer) finish(id uint64, tr *reqTrace, op byte, keys, keyBytes int, total time.Duration, failed bool) {
+	slow := t.slowNs > 0 && total.Nanoseconds() >= t.slowNs
+	if tr == nil && !slow {
+		return
+	}
+	var e TraceEntry
+	if tr != nil {
+		e = tr.entry
+		// Encode+write is whatever the measured stages don't account for.
+		if rest := total.Nanoseconds() - e.DecodeNs - e.FilterNs - e.WALNs - e.FsyncNs; rest > 0 {
+			e.EncodeNs = rest
+		}
+	} else {
+		e.ID = id
+		e.Start = time.Now().Add(-total)
+	}
+	e.Op = wire.OpNames()[op]
+	e.TotalNs = total.Nanoseconds()
+	e.Keys = keys
+	e.KeyBytes = keyBytes
+	e.Failed = failed
+	if tr != nil {
+		t.recent.push(e)
+	}
+	if slow {
+		t.slow.push(e)
+		t.log.Warn("slow request",
+			"id", e.ID, "op", e.Op, "total", total,
+			"decode_ns", e.DecodeNs, "filter_ns", e.FilterNs,
+			"wal_ns", e.WALNs, "fsync_ns", e.FsyncNs, "encode_ns", e.EncodeNs,
+			"keys", e.Keys, "key_bytes", e.KeyBytes, "failed", e.Failed)
+	}
+}
+
+// TraceReport is the JSON document served at /debug/requests.
+type TraceReport struct {
+	Requests    uint64       `json:"requests"` // IDs assigned so far
+	SampleEvery uint64       `json:"sample_every"`
+	SlowOpNs    int64        `json:"slow_op_ns"`
+	Sampled     uint64       `json:"sampled"`
+	Slow        uint64       `json:"slow"`
+	Recent      []TraceEntry `json:"recent"`
+	SlowRecent  []TraceEntry `json:"slow_recent"`
+}
+
+// Report returns the current trace state, newest entries first.
+func (t *Tracer) Report() TraceReport {
+	rep := TraceReport{
+		Requests:    t.seq.Load(),
+		SampleEvery: t.sampleEvery,
+		SlowOpNs:    t.slowNs,
+		Recent:      t.recent.entries(),
+		SlowRecent:  t.slow.entries(),
+	}
+	t.recent.mu.Lock()
+	rep.Sampled = t.recent.total
+	t.recent.mu.Unlock()
+	t.slow.mu.Lock()
+	rep.Slow = t.slow.total
+	t.slow.mu.Unlock()
+	return rep
+}
+
+func (t *Tracer) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t.Report())
+}

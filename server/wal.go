@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // The write-ahead log is a sequence of numbered segment files
@@ -94,6 +95,12 @@ type wal struct {
 	cumRecords uint64
 	cumBytes   uint64
 	changed    chan struct{}
+
+	// Observability: fsync latency (ns) and commit batch sizes (records
+	// per commit). Atomic histograms — no extra locking, and the clock
+	// reads bracket an fsync, which costs orders of magnitude more.
+	fsyncHist Histogram
+	batchHist Histogram
 }
 
 func walPath(dir string, seq uint64) string {
@@ -163,14 +170,15 @@ func appendRecord(dst []byte, op byte, key []byte) []byte {
 }
 
 // Append logs one mutation and, under SyncAlways, makes it durable before
-// returning.
-func (w *wal) Append(op byte, key []byte) error {
-	return w.AppendBatch(op, [][]byte{key})
+// returning. tr, when non-nil, receives the append and fsync stage
+// timings.
+func (w *wal) Append(op byte, key []byte, tr *reqTrace) error {
+	return w.AppendBatch(op, [][]byte{key}, tr)
 }
 
 // AppendBatch logs a group of same-op mutations with a single fsync under
 // SyncAlways.
-func (w *wal) AppendBatch(op byte, keys [][]byte) error {
+func (w *wal) AppendBatch(op byte, keys [][]byte, tr *reqTrace) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -178,7 +186,7 @@ func (w *wal) AppendBatch(op byte, keys [][]byte) error {
 	for _, k := range keys {
 		buf = appendRecord(buf, op, k)
 	}
-	return w.commit(buf, len(keys))
+	return w.commit(buf, len(keys), tr)
 }
 
 // AppendRaw logs pre-framed record bytes verbatim — the replica apply
@@ -188,28 +196,36 @@ func (w *wal) AppendRaw(raw []byte, n int) error {
 	if len(raw) == 0 {
 		return nil
 	}
-	return w.commit(raw, n)
+	return w.commit(raw, n, nil)
 }
 
 // commit writes pre-encoded records as one unit under the WAL lock,
 // fsyncing per policy.
-func (w *wal) commit(buf []byte, n int) error {
+func (w *wal) commit(buf []byte, n int, tr *reqTrace) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return errors.New("server: wal closed")
 	}
+	t0 := tr.now()
 	if _, err := w.w.Write(buf); err != nil {
 		return err
 	}
+	tr.addWAL(t0)
 	w.records += uint64(n)
 	w.size += int64(len(buf))
 	w.cumRecords += uint64(n)
 	w.cumBytes += uint64(len(buf))
+	w.batchHist.Observe(uint64(n))
 	w.dirty = true
 	w.notifyLocked()
 	if w.policy == SyncAlways {
-		return w.syncLocked()
+		t1 := tr.now()
+		err := w.syncLocked()
+		if tr != nil {
+			tr.addFsync(time.Since(t1))
+		}
+		return err
 	}
 	return nil
 }
@@ -282,9 +298,11 @@ func (w *wal) syncLocked() error {
 		return err
 	}
 	if w.policy != SyncNever {
+		t0 := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.fsyncHist.ObserveDuration(time.Since(t0))
 	}
 	w.dirty = false
 	w.syncs++

@@ -39,17 +39,17 @@ func TestWALAppendReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(wire.OpInsert, []byte("alpha")); err != nil {
+	if err := w.Append(wire.OpInsert, []byte("alpha"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendBatch(wire.OpInsert, [][]byte{[]byte("beta"), []byte("gamma")}); err != nil {
+	if err := w.AppendBatch(wire.OpInsert, [][]byte{[]byte("beta"), []byte("gamma")}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(wire.OpDelete, []byte("alpha")); err != nil {
+	if err := w.Append(wire.OpDelete, []byte("alpha"), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Empty key is legal (a zero-length key is a valid filter key).
-	if err := w.Append(wire.OpInsert, nil); err != nil {
+	if err := w.Append(wire.OpInsert, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	records, syncs := w.Stats()
@@ -87,7 +87,7 @@ func TestWALTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i))); err != nil {
+		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,7 +124,7 @@ func TestWALOpenTruncatesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i))); err != nil {
+		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +161,7 @@ func TestWALOpenTruncatesTornTail(t *testing.T) {
 	if fi.Size() != valid {
 		t.Fatalf("size after truncating open = %d, want %d", fi.Size(), valid)
 	}
-	if err := w.Append(wire.OpInsert, []byte("post-crash")); err != nil {
+	if err := w.Append(wire.OpInsert, []byte("post-crash"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -180,7 +180,7 @@ func TestWALCorruptRecordStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i))); err != nil {
+		if err := w.Append(wire.OpInsert, []byte(fmt.Sprintf("key-%d", i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +218,7 @@ func TestWALRotate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(wire.OpInsert, []byte("before")); err != nil {
+	if err := w.Append(wire.OpInsert, []byte("before"), nil); err != nil {
 		t.Fatal(err)
 	}
 	newSeq, err := w.Rotate()
@@ -228,7 +228,7 @@ func TestWALRotate(t *testing.T) {
 	if newSeq != 8 {
 		t.Fatalf("newSeq = %d, want 8", newSeq)
 	}
-	if err := w.Append(wire.OpInsert, []byte("after")); err != nil {
+	if err := w.Append(wire.OpInsert, []byte("after"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -255,7 +255,7 @@ func TestWALSyncInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(wire.OpInsert, []byte("buffered")); err != nil {
+	if err := w.Append(wire.OpInsert, []byte("buffered"), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Nothing synced yet; an explicit Sync (what the background ticker
