@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race race-serving bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e obs-smoke ci
+.PHONY: build test vet lint race race-serving bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ race:
 # (server, replication, clients) without the -short gating CI applies to
 # the full tree.
 race-serving:
-	$(GO) test -race -count=1 ./server/... ./cluster/... ./client/...
+	$(GO) test -race -count=1 ./server/... ./cluster/... ./client/... ./window/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime $(BENCHTIME) .
@@ -61,6 +61,21 @@ bench-json:
 	    printf "  }\n}\n"; \
 	  }' /tmp/bench_kernel.txt > BENCH_kernel.json
 	@cat BENCH_kernel.json
+	$(GO) test -run '^$$' -bench 'Benchmark(Dispatch|Store|Window)' \
+		-benchtime $(BENCHTIME) ./server ./window | tee /tmp/bench_serving.txt
+	awk ' \
+	  /^Benchmark/ { \
+	    name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    ns[name] = $$3; order[n++] = name; \
+	  } \
+	  END { \
+	    printf "{\n  \"ns_per_op\": {\n"; \
+	    for (i = 0; i < n; i++) { \
+	      printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : ""); \
+	    } \
+	    printf "  }\n}\n"; \
+	  }' /tmp/bench_serving.txt > BENCH_serving.json
+	@cat BENCH_serving.json
 
 # fuzz-kernel gives the kernel/generic differential fuzzers a short budget
 # each; raise FUZZTIME for longer campaigns.
@@ -83,9 +98,10 @@ serve:
 	$(GO) run ./cmd/mpcbfd -dir mpcbfd-data $(MPCBFD_FLAGS)
 
 # integration builds the daemon and runs the end-to-end crash-recovery
-# test (SIGKILL mid-stream, restart, verify every acked mutation).
+# test (SIGKILL mid-stream, restart, verify every acked mutation). The
+# sliding-window e2e has its own target (window-e2e).
 integration:
-	$(GO) test -race -count=1 -run 'TestIntegration' -v ./server
+	$(GO) test -race -count=1 -run 'TestIntegrationCrashRecovery' -v ./server
 
 # cluster-e2e builds the daemon and runs the replication end-to-end
 # test: 1 primary + 2 replicas, concurrent writers, a replica SIGKILLed
@@ -94,6 +110,13 @@ integration:
 cluster-e2e:
 	$(GO) test -race -count=1 -run 'TestClusterE2E' -v ./cluster
 
+# window-e2e builds the daemon with -window and verifies the sliding
+# window end to end: keys expire after span + one rotation, in-window
+# keys never report false negatives, and the generation ring survives a
+# SIGKILL + crash recovery.
+window-e2e:
+	$(GO) test -race -count=1 -run 'TestIntegrationWindow' -v ./server
+
 # obs-smoke boots the daemon with tracing, JSON logs, and the pprof
 # listener enabled, then scrapes /metrics, /debug/vars, /readyz,
 # /debug/requests, and /debug/pprof/goroutine — failing on any non-200
@@ -101,5 +124,5 @@ cluster-e2e:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./server
 
-ci: build lint race integration cluster-e2e obs-smoke
+ci: build lint race integration window-e2e cluster-e2e obs-smoke
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

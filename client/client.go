@@ -394,9 +394,42 @@ func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 	return wire.DecodeBools(body)
 }
 
+// InsertTTL inserts key with a per-key lifetime: against a windowed
+// daemon the key expires no earlier than ttl and no later than the
+// window span, at rotation granularity. A non-windowed daemon answers
+// with a *ServerError.
+func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
+	_, err := c.do(wire.OpInsertTTL, func(dst []byte) []byte {
+		return wire.AppendInsertTTLRequest(dst, key, uint64(max(ttl, 0)))
+	})
+	return err
+}
+
+// InsertTTLBatch inserts keys sharing one TTL as a single request (one
+// WAL fsync server-side). Windowed daemons only.
+func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	_, err := c.do(wire.OpInsertTTLBatch, func(dst []byte) []byte {
+		return wire.AppendInsertTTLBatchRequest(dst, keys, uint64(max(ttl, 0)))
+	})
+	return err
+}
+
+// WindowStats reports a windowed daemon's generation ring: size, head
+// slot, rotation count, span, and per-slot item counts.
+func (c *Client) WindowStats() (wire.WindowStats, error) {
+	body, err := c.do(wire.OpWindowStats, func(dst []byte) []byte {
+		return wire.AppendWindowStatsRequest(dst)
+	})
+	if err != nil {
+		return wire.WindowStats{}, err
+	}
+	return wire.DecodeWindowStats(body)
+}
+
 // Dump fetches a consistent point-in-time binary encoding of the
-// daemon's filter (decode with repro.UnmarshalSharded). The returned
-// slice is the caller's to keep.
+// daemon's filter (decode with repro.UnmarshalSharded, or
+// window.UnmarshalFilter when window.IsWindowed reports a windowed
+// daemon's encoding). The returned slice is the caller's to keep.
 func (c *Client) Dump() ([]byte, error) {
 	body, err := c.do(wire.OpDump, func(dst []byte) []byte {
 		return wire.AppendDumpRequest(dst)

@@ -10,6 +10,7 @@ import (
 
 	"repro/client"
 	"repro/internal/hashing"
+	"repro/server/wire"
 )
 
 // Node names one shard of the cluster: a primary that owns writes for
@@ -255,6 +256,20 @@ func (c *Client) Delete(key []byte) error {
 	return err
 }
 
+// InsertTTL adds key on its owning primary with a time-to-live. The
+// node must be serving a windowed store.
+func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
+	n := c.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
+	if err != nil {
+		return err
+	}
+	err = cl.InsertTTL(key, ttl)
+	n.noteMutation(err)
+	return err
+}
+
 // Contains answers membership from the owning node's read set.
 func (c *Client) Contains(key []byte) (bool, error) {
 	var ok bool
@@ -347,6 +362,61 @@ func (c *Client) InsertBatch(keys [][]byte) error {
 		n.noteMutation(err)
 		return err
 	})
+}
+
+// InsertTTLBatch inserts keys with a shared time-to-live, split per
+// owning primary like InsertBatch. The same partial-application caveat
+// applies: each node's sub-batch is atomic, the whole batch is not.
+func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	perNode, _ := c.split(keys)
+	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		err = cl.InsertTTLBatch(sub, ttl)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// WindowStats collects the sliding-window state of every node's
+// primary, keyed by primary address. Fails if any node is unreachable
+// or not serving a windowed store, so callers never mistake a partial
+// view for the whole cluster.
+func (c *Client) WindowStats() (map[string]wire.WindowStats, error) {
+	var mu sync.Mutex
+	out := make(map[string]wire.WindowStats, len(c.nodes))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			n.requests.Add(1)
+			cl, err := n.primaryClient()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := cl.WindowStats()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			out[n.primary] = st
+			mu.Unlock()
+		}(i, n)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // DeleteBatch deletes keys across the cluster and re-stitches the

@@ -9,6 +9,11 @@
 // newest valid snapshot and replays the WAL tail. SIGTERM/SIGINT drain
 // connections, take a final snapshot, and exit cleanly.
 //
+// With -window the daemon serves a time-decaying sliding-window filter
+// (see repro/window): inserts expire after the configured span, aged
+// out in -generations discrete steps. INSERT_TTL caps individual keys
+// at shorter lifetimes; WINDOW_STATS reports the generation ring.
+//
 // With -replicate-from the daemon runs as a read replica: it mirrors
 // the named primary's WAL over the binary protocol, serves reads
 // locally, and answers mutations with a READONLY redirect to the
@@ -68,6 +73,9 @@ func main() {
 		g      = flag.Int("g", 1, "memory accesses per key (fresh store only)")
 		seed   = flag.Uint("seed", 1, "hash seed (fresh store only)")
 
+		windowSpan  = flag.Duration("window", 0, "sliding-window span; 0 serves a plain counting filter")
+		generations = flag.Int("generations", 4, "generations in the sliding window (with -window)")
+
 		fsync        = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
 		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 disables)")
@@ -114,6 +122,8 @@ func main() {
 			Seed:           uint32(*seed),
 		},
 		Shards:        *shards,
+		Window:        *windowSpan,
+		Generations:   *generations,
 		Sync:          policy,
 		SyncEvery:     *fsyncEvery,
 		SnapshotEvery: *snapEvery,
@@ -124,7 +134,12 @@ func main() {
 		fatal(err)
 	}
 	st := store.Stats()
-	log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords)
+	if w := store.Window(); w != nil {
+		log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords,
+			"window", w.Span(), "generations", w.Generations(), "rotate_every", w.RotateEvery())
+	} else {
+		log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords)
+	}
 
 	cfg := server.Config{
 		Addr:          *addr,

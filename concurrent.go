@@ -70,7 +70,20 @@ func pickHasher(seed uint32) hashing.Hasher {
 	return hashing.NewHasher(seed ^ 0x5bd1e995)
 }
 
+// ensureInit catches use of a Sharded that was not built by NewSharded.
+// The zero value has no shards and no hash family, so without this check
+// the first operation dies as an opaque divide-by-zero inside the shard
+// picker; a clear panic names the actual mistake. Read-only aggregates
+// (Len, MemoryBits, FillRatio, ShardStats, ...) stay safe on the zero
+// value — they range over the empty shard slice and report emptiness.
+func (s *Sharded) ensureInit() {
+	if len(s.shards) == 0 {
+		panic("mpcbf: Sharded used before NewSharded (the zero value holds no shards)")
+	}
+}
+
 func (s *Sharded) shardOf(key []byte) *shard {
+	s.ensureInit()
 	idx := s.pick.NewIndexStream(key).Word(0, len(s.shards))
 	return &s.shards[idx]
 }
@@ -251,6 +264,7 @@ func (s *Sharded) InsertBatch(keys [][]byte, workers int) error {
 // know the durable outcome (the server's write-ahead log) can record
 // exactly the deletes that happened.
 func (s *Sharded) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
+	s.ensureInit()
 	ok := make([]bool, len(keys))
 	// Group key *indices* by shard so results land in place.
 	groups := make([][]int, len(s.shards))
@@ -285,6 +299,7 @@ func (s *Sharded) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
 
 // ContainsBatch answers membership for keys in parallel, preserving order.
 func (s *Sharded) ContainsBatch(keys [][]byte, workers int) []bool {
+	s.ensureInit()
 	out := make([]bool, len(keys))
 	// Group key *indices* by shard so results land in place.
 	groups := make([][]int, len(s.shards))
@@ -309,6 +324,7 @@ func (s *Sharded) ContainsBatch(keys [][]byte, workers int) []bool {
 
 // group partitions keys by owning shard.
 func (s *Sharded) group(keys [][]byte) [][][]byte {
+	s.ensureInit()
 	groups := make([][][]byte, len(s.shards))
 	for _, k := range keys {
 		idx := s.pick.NewIndexStream(k).Word(0, len(s.shards))

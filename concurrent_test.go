@@ -2,6 +2,7 @@ package mpcbf
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -295,4 +296,47 @@ func TestMarshalPublicRoundTrip(t *testing.T) {
 	if _, err := UnmarshalMPCBF([]byte("junk")); err == nil {
 		t.Fatal("junk accepted")
 	}
+}
+
+// TestShardedZeroValue pins the zero-value contract: mutating or keyed
+// operations panic with a message naming the mistake (instead of an
+// opaque divide-by-zero in the shard picker), while read-only aggregates
+// stay safe and report emptiness.
+func TestShardedZeroValue(t *testing.T) {
+	var s Sharded
+
+	wantPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s on zero Sharded did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "NewSharded") {
+				t.Fatalf("%s panic = %v, want a message pointing at NewSharded", name, r)
+			}
+		}()
+		fn()
+	}
+	wantPanic("Insert", func() { s.Insert([]byte("k")) })
+	wantPanic("Delete", func() { s.Delete([]byte("k")) })
+	wantPanic("Contains", func() { s.Contains([]byte("k")) })
+	wantPanic("EstimateCount", func() { s.EstimateCount([]byte("k")) })
+	wantPanic("InsertBatch", func() { s.InsertBatch([][]byte{[]byte("k")}, 0) })
+	wantPanic("DeleteBatch", func() { s.DeleteBatch([][]byte{[]byte("k")}, 0) })
+	wantPanic("ContainsBatch", func() { s.ContainsBatch([][]byte{[]byte("k")}, 0) })
+
+	// Aggregates on the zero value answer "empty", never panic.
+	if s.Len() != 0 || s.MemoryBits() != 0 || s.Shards() != 0 || s.SaturatedWords() != 0 {
+		t.Fatalf("zero Sharded aggregates: Len=%d MemoryBits=%d Shards=%d Saturated=%d",
+			s.Len(), s.MemoryBits(), s.Shards(), s.SaturatedWords())
+	}
+	if fr := s.FillRatio(); fr != 0 {
+		t.Fatalf("zero Sharded FillRatio = %v, want 0", fr)
+	}
+	if st := s.ShardStats(); len(st) != 0 {
+		t.Fatalf("zero Sharded ShardStats = %v, want empty", st)
+	}
+	s.Reset() // no-op, must not panic
 }

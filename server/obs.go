@@ -29,6 +29,8 @@ type ServerSnapshot struct {
 
 	Filter FilterSnapshot     `json:"filter"`
 	Shards []mpcbf.ShardStats `json:"shards"`
+	// Window is present only when the store runs in sliding-window mode.
+	Window *WindowSnapshot `json:"window,omitempty"`
 
 	WAL         WALSnapshot      `json:"wal"`
 	Replication ReplicationStats `json:"replication"`
@@ -51,6 +53,19 @@ type FilterSnapshot struct {
 	SaturatedWords int     `json:"saturated_words"`
 	MemoryBits     int     `json:"memory_bits"`
 	Shards         int     `json:"shards"`
+}
+
+// WindowSnapshot is the sliding-window slice of a ServerSnapshot: the
+// generation ring's shape, per-slot occupancy, and rotation latency.
+type WindowSnapshot struct {
+	SpanNs          int64        `json:"span_ns"`
+	RotateEveryNs   int64        `json:"rotate_every_ns"`
+	Generations     int          `json:"generations"`
+	Head            int          `json:"head"`
+	Rotations       uint64       `json:"rotations"`
+	GenItems        []int        `json:"gen_items"`
+	PendingExpiries int          `json:"pending_expiries"`
+	RotationNs      HistSnapshot `json:"rotation_ns"`
 }
 
 // WALSnapshot is the durability slice of a ServerSnapshot. The
@@ -108,15 +123,39 @@ func (s *Server) Snapshot() ServerSnapshot {
 		snap.OpsTotal += n
 	}
 
-	f := s.store.Filter()
-	snap.Filter = FilterSnapshot{
-		Len:            f.Len(),
-		FillRatio:      f.FillRatio(),
-		SaturatedWords: f.SaturatedWords(),
-		MemoryBits:     f.MemoryBits(),
-		Shards:         f.Shards(),
+	if w := s.store.Window(); w != nil {
+		st := w.Stats()
+		snap.Filter = FilterSnapshot{
+			Len:            s.store.Len(),
+			FillRatio:      w.FillRatio(),
+			SaturatedWords: w.SaturatedWords(),
+			MemoryBits:     w.MemoryBits(),
+			Shards:         len(w.HeadShardStats()),
+		}
+		// Per-shard stats come from the head generation — the live insert
+		// target, where load skew shows first.
+		snap.Shards = w.HeadShardStats()
+		snap.Window = &WindowSnapshot{
+			SpanNs:          int64(st.Span),
+			RotateEveryNs:   int64(st.RotateEvery),
+			Generations:     st.Generations,
+			Head:            st.Head,
+			Rotations:       st.Rotations,
+			GenItems:        st.GenItems,
+			PendingExpiries: st.PendingExpiries,
+			RotationNs:      s.store.RotationHist(),
+		}
+	} else {
+		f := s.store.Filter()
+		snap.Filter = FilterSnapshot{
+			Len:            f.Len(),
+			FillRatio:      f.FillRatio(),
+			SaturatedWords: f.SaturatedWords(),
+			MemoryBits:     f.MemoryBits(),
+			Shards:         f.Shards(),
+		}
+		snap.Shards = f.ShardStats()
 	}
-	snap.Shards = f.ShardStats()
 
 	st := s.store.Stats()
 	snap.WAL = WALSnapshot{
@@ -208,6 +247,20 @@ func (snap ServerSnapshot) WriteProm(w io.Writer) {
 	promGaugeInt(w, "mpcbfd_filter_shards", "Shard count of the filter.", int64(snap.Filter.Shards))
 
 	writeShardProm(w, snap.Shards)
+
+	if win := snap.Window; win != nil {
+		promGaugeFloat(w, "mpcbfd_window_span_seconds", "Configured sliding-window span.", float64(win.SpanNs)/1e9)
+		promGaugeFloat(w, "mpcbfd_window_rotate_every_seconds", "Rotation period (span / generations): the staleness bound.", float64(win.RotateEveryNs)/1e9)
+		promGaugeInt(w, "mpcbfd_window_generations", "Generation ring size G.", int64(win.Generations))
+		promGaugeInt(w, "mpcbfd_window_head", "Ring slot currently receiving inserts.", int64(win.Head))
+		promCounter(w, "mpcbfd_window_rotations_total", "Ring rotations since the window was created.", win.Rotations)
+		promGaugeInt(w, "mpcbfd_window_pending_expiries", "Precise-mode TTL entries awaiting expiry.", int64(win.PendingExpiries))
+		fmt.Fprintf(w, "# HELP mpcbfd_window_generation_items Elements per generation, by ring slot.\n# TYPE mpcbfd_window_generation_items gauge\n")
+		for i, n := range win.GenItems {
+			fmt.Fprintf(w, "mpcbfd_window_generation_items{gen=\"%d\"} %d\n", i, n)
+		}
+		win.RotationNs.WritePromSeconds(w, "mpcbfd_window_rotation_duration_seconds", "Time holding the mutation lock per ring rotation.")
+	}
 
 	promCounter(w, "mpcbfd_wal_records_total", "Mutations appended to the write-ahead log.", snap.WAL.Records)
 	promCounter(w, "mpcbfd_wal_syncs_total", "WAL fsync calls.", snap.WAL.Syncs)

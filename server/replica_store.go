@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/window"
 )
 
 // This file is the Store's replication surface.
@@ -76,11 +77,12 @@ func (s *Store) OldestSegment() uint64 {
 }
 
 // MarshalFilter returns a consistent point-in-time encoding of the
-// filter (the DUMP op). Mutations are blocked for the marshal.
+// store's state — sharded or windowed (the DUMP op). Mutations are
+// blocked for the marshal.
 func (s *Store) MarshalFilter() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f().MarshalBinary()
+	return s.marshalLocked()
 }
 
 // ReplicationSnapshot produces a bootstrap payload for a subscriber: a
@@ -151,9 +153,22 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	if !s.opts.Replica {
 		return errors.New("server: ReplicaBootstrap on a non-replica store")
 	}
-	f, err := mpcbf.UnmarshalSharded(data)
-	if err != nil {
-		return fmt.Errorf("server: bootstrap snapshot: %w", err)
+	// The mirror adopts whatever state the primary ships — windowed or
+	// not — the same way OpenStore adopts a replica's local snapshot.
+	var (
+		f *mpcbf.Sharded
+		w *window.Filter
+	)
+	if window.IsWindowed(data) {
+		var err error
+		if w, err = window.UnmarshalFilter(data); err != nil {
+			return fmt.Errorf("server: bootstrap snapshot: %w", err)
+		}
+	} else {
+		var err error
+		if f, err = mpcbf.UnmarshalSharded(data); err != nil {
+			return fmt.Errorf("server: bootstrap snapshot: %w", err)
+		}
 	}
 
 	s.mu.Lock()
@@ -193,13 +208,19 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	}
 	syncDir(s.opts.Dir)
 
-	w, err := openWAL(s.opts.Dir, seq, s.opts.Sync, -1)
+	nw, err := openWAL(s.opts.Dir, seq, s.opts.Sync, -1)
 	if err != nil {
 		return fmt.Errorf("server: bootstrap wal open: %w", err)
 	}
-	w.setBaseline(cumRecords, cumBytes)
-	s.wal = w
-	s.filter.Store(f)
+	nw.setBaseline(cumRecords, cumBytes)
+	s.wal = nw
+	if w != nil {
+		s.win.Store(w)
+		s.filter.Store(nil)
+	} else {
+		s.filter.Store(f)
+		s.win.Store(nil)
+	}
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())
 	return nil

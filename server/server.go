@@ -407,8 +407,45 @@ func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []by
 			return wire.AppendErr(dst, err.Error()), true
 		}
 		return append(wire.AppendOK(dst), data...), false
+	case wire.OpInsertTTL:
+		if err := s.store.insertTTL(req.Key, durationFromNanos(req.TTL), tr); err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendOK(dst), false
+	case wire.OpInsertTTLBatch:
+		if err := s.store.insertTTLBatch(req.Keys, durationFromNanos(req.TTL), tr); err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		return wire.AppendOK(dst), false
+	case wire.OpWindowStats:
+		st, err := s.store.WindowStats()
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), true
+		}
+		ws := wire.WindowStats{
+			Generations:      uint32(st.Generations),
+			Head:             uint32(st.Head),
+			Rotations:        st.Rotations,
+			SpanNanos:        uint64(st.Span),
+			RotateEveryNanos: uint64(st.RotateEvery),
+			PendingExpiries:  uint64(st.PendingExpiries),
+			GenItems:         make([]uint64, len(st.GenItems)),
+		}
+		for i, n := range st.GenItems {
+			ws.GenItems[i] = uint64(n)
+		}
+		return wire.AppendWindowStats(wire.AppendOK(dst), ws), false
 	}
 	return wire.AppendErr(dst, "unknown opcode"), true
+}
+
+// durationFromNanos converts a wire TTL to a duration; values past
+// MaxInt64 nanoseconds map to -1, which the store treats as full-span.
+func durationFromNanos(ns uint64) time.Duration {
+	if ns > 1<<63-1 {
+		return -1
+	}
+	return time.Duration(ns)
 }
 
 func isExpectedClose(err error) bool {

@@ -15,6 +15,7 @@ import (
 
 	mpcbf "repro"
 	"repro/server/wire"
+	"repro/window"
 )
 
 // Store is the durable state behind mpcbfd: a sharded MPCBF plus a
@@ -50,7 +51,10 @@ type Store struct {
 	// reads are in flight.
 	mu     sync.Mutex
 	filter atomic.Pointer[mpcbf.Sharded]
+	win    atomic.Pointer[window.Filter] // non-nil in windowed mode; filter is nil then
 	wal    *wal
+
+	rotHist Histogram // windowed mode: rotation latency (ns)
 
 	snapshots    atomic.Uint64
 	lastSnapshot atomic.Int64 // unix nanos, 0 = never
@@ -82,6 +86,15 @@ type StoreOptions struct {
 	SnapshotEvery time.Duration
 	// BatchWorkers bounds batch fan-out (0 = one goroutine per shard).
 	BatchWorkers int
+	// Window, when positive, runs the store in sliding-window mode: state
+	// is a ring of Generations filters rotating every Window/Generations,
+	// keys expire after at most Window, and the WAL additionally records
+	// rotations and TTL placements (see window_store.go). Like the filter
+	// geometry, the mode is sticky: opening an existing non-windowed
+	// store with Window set (or vice versa) is an error on a primary.
+	Window time.Duration
+	// Generations is the window ring size G (default 4; windowed only).
+	Generations int
 	// Replica opens the store as a replication target: its WAL mirrors a
 	// primary's segment files byte-for-byte (via ReplicaApply /
 	// ReplicaBootstrap), so the store never snapshots on its own — a
@@ -97,6 +110,9 @@ type StoreOptions struct {
 func (o *StoreOptions) setDefaults() {
 	if o.Shards <= 0 {
 		o.Shards = 16
+	}
+	if o.Window > 0 && o.Generations <= 0 {
+		o.Generations = 4
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 100 * time.Millisecond
@@ -156,17 +172,20 @@ func listSnapshots(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-// loadSnapshot reads, checksums, and unmarshals one snapshot file.
-func loadSnapshot(path string) (*mpcbf.Sharded, error) {
-	blob, err := os.ReadFile(path)
+// loadSnapshot reads, checksums, and unmarshals one snapshot file into
+// whichever state type its payload encodes; exactly one of the returned
+// filters is non-nil.
+func loadSnapshot(path string) (*mpcbf.Sharded, *window.Filter, error) {
+	data, err := readSnapshotData(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	data, err := decodeSnapshot(blob)
-	if err != nil {
-		return nil, err
+	if window.IsWindowed(data) {
+		w, err := window.UnmarshalFilter(data)
+		return nil, w, err
 	}
-	return mpcbf.UnmarshalSharded(data)
+	f, err := mpcbf.UnmarshalSharded(data)
+	return f, nil, err
 }
 
 // OpenStore opens (or initializes) the store in opts.Dir: newest valid
@@ -183,6 +202,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	}
 	var (
 		filter  *mpcbf.Sharded
+		winf    *window.Filter
 		snapSeq uint64 // replay segments >= snapSeq
 	)
 	// Newest snapshot that unmarshals cleanly wins; a corrupt one is
@@ -191,25 +211,51 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	// exist but all fail to load are a hard error: silently starting from
 	// an empty filter would masquerade as data loss.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		f, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
+		f, w, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
 		if err == nil {
-			filter, snapSeq = f, snaps[i]
+			filter, winf, snapSeq = f, w, snaps[i]
 			break
 		}
 		opts.Log.Warn("skipping corrupt snapshot", "seq", snaps[i], "error", err)
 	}
-	if filter == nil {
+	if filter == nil && winf == nil {
 		if len(snaps) > 0 {
 			return nil, fmt.Errorf("server: %d snapshot file(s) in %s but none loads cleanly; refusing to start from an empty filter (restore a snapshot or clear the directory to reinitialize)", len(snaps), opts.Dir)
 		}
-		filter, err = mpcbf.NewSharded(opts.Filter, opts.Shards)
-		if err != nil {
-			return nil, fmt.Errorf("server: fresh filter: %w", err)
+		if opts.Window > 0 {
+			winf, err = window.New(windowOptionsFrom(opts))
+			if err != nil {
+				return nil, fmt.Errorf("server: fresh window: %w", err)
+			}
+		} else {
+			filter, err = mpcbf.NewSharded(opts.Filter, opts.Shards)
+			if err != nil {
+				return nil, fmt.Errorf("server: fresh filter: %w", err)
+			}
 		}
+	}
+	// Windowed-ness is a property of the durable state, like the filter
+	// geometry: flipping -window against an existing store of the other
+	// kind is a configuration error, not a migration. A replica adopts
+	// whatever its local snapshot (mirrored from the primary) encodes,
+	// since its next bootstrap would overwrite the mode anyway.
+	if !opts.Replica {
+		if opts.Window > 0 && filter != nil {
+			return nil, fmt.Errorf("server: store in %s is not windowed; drop -window or use a fresh directory", opts.Dir)
+		}
+		if opts.Window <= 0 && winf != nil {
+			return nil, fmt.Errorf("server: store in %s is windowed; pass -window or use a fresh directory", opts.Dir)
+		}
+	} else if (opts.Window > 0) != (winf != nil) && (filter != nil || winf != nil) {
+		opts.Log.Warn("replica adopting snapshot mode over flags", "windowed", winf != nil)
 	}
 
 	s := &Store{opts: opts, stop: make(chan struct{})}
-	s.filter.Store(filter)
+	if winf != nil {
+		s.win.Store(winf)
+	} else {
+		s.filter.Store(filter)
+	}
 
 	segs, err := listWALSegments(opts.Dir)
 	if err != nil {
@@ -260,6 +306,12 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		s.bg.Add(1)
 		go s.snapshotLoop()
 	}
+	// Primaries drive the window clock; replicas receive rotations as
+	// mirrored WAL records, so their ring stays byte-identical.
+	if w := s.w(); w != nil && !opts.Replica {
+		s.bg.Add(1)
+		go s.rotateLoop(w.RotateEvery())
+	}
 	return s, nil
 }
 
@@ -276,20 +328,46 @@ type batchApplier struct {
 	s       *Store
 	context string // "replay" or "replicate", for log lines
 	op      byte
+	rot     int // pending batch's rotation count (walOpInsertTTL only)
 	keys    [][]byte
 }
 
 const applierFlushAt = 4096
 
 func (a *batchApplier) add(op byte, key []byte) error {
-	if op != wire.OpInsert && op != wire.OpDelete {
+	switch op {
+	case wire.OpInsert, wire.OpDelete:
+		if op != a.op {
+			a.flush()
+			a.op = op
+		}
+		a.keys = append(a.keys, key)
+	case walOpInsertTTL:
+		if a.s.w() == nil {
+			return fmt.Errorf("ttl record in a non-windowed store")
+		}
+		r, k, err := decodeTTLBody(key)
+		if err != nil {
+			return err
+		}
+		if op != a.op || r != a.rot {
+			a.flush()
+			a.op, a.rot = op, r
+		}
+		a.keys = append(a.keys, k)
+	case walOpWindowRotate:
+		w := a.s.w()
+		if w == nil {
+			return fmt.Errorf("rotate record in a non-windowed store")
+		}
+		// A rotation is a batch boundary: everything logged before it must
+		// land in the pre-rotation ring position.
+		a.flush()
+		w.Rotate()
+		return nil
+	default:
 		return fmt.Errorf("unknown wal op 0x%02x", op)
 	}
-	if op != a.op {
-		a.flush()
-		a.op = op
-	}
-	a.keys = append(a.keys, key)
 	if len(a.keys) >= applierFlushAt {
 		a.flush()
 	}
@@ -300,14 +378,31 @@ func (a *batchApplier) flush() {
 	if len(a.keys) == 0 {
 		return
 	}
+	w := a.s.w()
 	switch a.op {
 	case wire.OpInsert:
-		if err := a.s.f().InsertBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
+		var err error
+		if w != nil {
+			err = w.InsertBatch(a.keys)
+		} else {
+			err = a.s.f().InsertBatch(a.keys, a.s.opts.BatchWorkers)
+		}
+		if err != nil {
 			a.s.opts.Log.Error("batch insert failed", "context", a.context, "error", err)
 		}
 	case wire.OpDelete:
-		if _, err := a.s.f().DeleteBatch(a.keys, a.s.opts.BatchWorkers); err != nil {
+		var err error
+		if w != nil {
+			_, err = w.DeleteBatch(a.keys)
+		} else {
+			_, err = a.s.f().DeleteBatch(a.keys, a.s.opts.BatchWorkers)
+		}
+		if err != nil {
 			a.s.opts.Log.Error("batch delete failed", "context", a.context, "error", err)
+		}
+	case walOpInsertTTL:
+		if err := w.InsertRotationsBatch(a.keys, a.rot); err != nil {
+			a.s.opts.Log.Error("batch ttl insert failed", "context", a.context, "error", err)
 		}
 	}
 	a.keys = a.keys[:0]
@@ -330,7 +425,13 @@ func (s *Store) insert(key []byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
-	if err := s.f().Insert(key); err != nil {
+	var err error
+	if w := s.w(); w != nil {
+		err = w.Insert(key)
+	} else {
+		err = s.f().Insert(key)
+	}
+	if err != nil {
 		return err
 	}
 	tr.addFilter(t0)
@@ -345,7 +446,13 @@ func (s *Store) delete(key []byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
-	if err := s.f().Delete(key); err != nil {
+	var err error
+	if w := s.w(); w != nil {
+		err = w.Delete(key)
+	} else {
+		err = s.f().Delete(key)
+	}
+	if err != nil {
 		return err
 	}
 	tr.addFilter(t0)
@@ -362,7 +469,13 @@ func (s *Store) insertBatch(keys [][]byte, tr *reqTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
-	if err := s.f().InsertBatch(keys, s.opts.BatchWorkers); err != nil {
+	var err error
+	if w := s.w(); w != nil {
+		err = w.InsertBatch(keys)
+	} else {
+		err = s.f().InsertBatch(keys, s.opts.BatchWorkers)
+	}
+	if err != nil {
 		return err
 	}
 	tr.addFilter(t0)
@@ -378,7 +491,12 @@ func (s *Store) deleteBatch(keys [][]byte, tr *reqTrace) ([]bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
-	ok, _ := s.f().DeleteBatch(keys, s.opts.BatchWorkers)
+	var ok []bool
+	if w := s.w(); w != nil {
+		ok, _ = w.DeleteBatch(keys)
+	} else {
+		ok, _ = s.f().DeleteBatch(keys, s.opts.BatchWorkers)
+	}
 	tr.addFilter(t0)
 	logged := make([][]byte, 0, len(keys))
 	for i, k := range keys {
@@ -392,22 +510,44 @@ func (s *Store) deleteBatch(keys [][]byte, tr *reqTrace) ([]bool, error) {
 	return ok, nil
 }
 
-// Contains answers membership; lock-free at the store level.
-func (s *Store) Contains(key []byte) bool { return s.f().Contains(key) }
+// Contains answers membership; lock-free at the store level. Checked
+// filter-first: in non-windowed mode (the common case) the hot path
+// costs exactly one atomic load, same as before windowed stores
+// existed; only windowed stores fall through to the ring.
+func (s *Store) Contains(key []byte) bool {
+	if f := s.f(); f != nil {
+		return f.Contains(key)
+	}
+	return s.w().Contains(key)
+}
 
 // ContainsBatch answers membership for a batch, order-preserving.
 func (s *Store) ContainsBatch(keys [][]byte) []bool {
-	return s.f().ContainsBatch(keys, s.opts.BatchWorkers)
+	if f := s.f(); f != nil {
+		return f.ContainsBatch(keys, s.opts.BatchWorkers)
+	}
+	return s.w().ContainsBatch(keys)
 }
 
 // EstimateCount returns an upper bound on key's multiplicity.
-func (s *Store) EstimateCount(key []byte) int { return s.f().EstimateCount(key) }
+func (s *Store) EstimateCount(key []byte) int {
+	if f := s.f(); f != nil {
+		return f.EstimateCount(key)
+	}
+	return s.w().EstimateCount(key)
+}
 
 // Len returns the current element count.
-func (s *Store) Len() int { return s.f().Len() }
+func (s *Store) Len() int {
+	if f := s.f(); f != nil {
+		return f.Len()
+	}
+	return s.w().Len()
+}
 
 // Filter exposes the underlying sharded filter for read-only inspection
-// (metrics: fill ratio, saturated words, memory bits).
+// (metrics: fill ratio, saturated words, memory bits). Nil in windowed
+// mode — use Window instead.
 func (s *Store) Filter() *mpcbf.Sharded { return s.f() }
 
 // StoreStats is a point-in-time durability report.
@@ -459,7 +599,7 @@ func (s *Store) Snapshot() error {
 // bootstrap frame needs.
 func (s *Store) snapshot() (data []byte, newSeq uint64, cumRecords, cumBytes uint64, err error) {
 	s.mu.Lock()
-	data, err = s.f().MarshalBinary()
+	data, err = s.marshalLocked()
 	if err != nil {
 		s.mu.Unlock()
 		return nil, 0, 0, 0, fmt.Errorf("server: snapshot marshal: %w", err)
@@ -486,7 +626,7 @@ func (s *Store) snapshot() (data []byte, newSeq uint64, cumRecords, cumBytes uin
 	// Read the snapshot back before deleting anything it obsoletes: if
 	// what landed on disk does not load, the predecessors are still the
 	// only recoverable state and must survive.
-	if _, err := loadSnapshot(final); err != nil {
+	if err := verifySnapshot(final); err != nil {
 		return nil, 0, 0, 0, fmt.Errorf("server: snapshot verify: %w", err)
 	}
 

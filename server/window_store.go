@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"time"
+
+	mpcbf "repro"
+	"repro/window"
+)
+
+// Windowed mode: when StoreOptions.Window is set, the store's state is a
+// window.Filter (a ring of G generation filters) instead of a single
+// Sharded MPCBF, and two WAL-only record types join the log so crash
+// recovery and replication reconstruct the exact generation ring:
+//
+//	ROTATE:     body = [0xE0]                — the ring advanced one slot
+//	INSERT_TTL: body = [0xE1][u32 r][key]    — key placed r rotations from retirement
+//
+// The opcodes live outside the wire protocol's space (MaxOp is far
+// below 0xE0) because rotation is never a client request — the primary's
+// clock drives it — and a TTL insert's durable form is its rotation
+// count, not its wall-clock TTL. Logging r instead of a timestamp keeps
+// replay deterministic: a replica mirroring the primary's WAL bytes, or
+// a recovery replaying them hours later, lands every key in the same
+// ring slot the primary chose. For the same reason the serving layer
+// does not use the window package's precise mode — per-key wall-clock
+// deletes cannot be replayed deterministically; TTL granularity here is
+// the rotation period.
+//
+// Rotation ordering: mutations and rotations both run under the store
+// mutation lock, apply-then-log, so WAL order equals apply order and the
+// ring position at any WAL byte is exact. Replicas never run a rotation
+// clock of their own — rotations arrive as mirrored ROTATE records.
+const (
+	walOpWindowRotate = 0xE0
+	walOpInsertTTL    = 0xE1
+)
+
+// encodeTTLBody packs a rotation count and key into the WAL record's key
+// field: [u32 r][key bytes].
+func encodeTTLBody(r int, key []byte) []byte {
+	out := make([]byte, 4, 4+len(key))
+	binary.LittleEndian.PutUint32(out, uint32(r))
+	return append(out, key...)
+}
+
+func decodeTTLBody(b []byte) (r int, key []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, errors.New("server: truncated ttl wal record")
+	}
+	return int(binary.LittleEndian.Uint32(b[:4])), b[4:], nil
+}
+
+// w returns the window filter, nil when the store is not windowed; safe
+// without the mutation lock.
+func (s *Store) w() *window.Filter { return s.win.Load() }
+
+// Windowed reports whether the store runs in sliding-window mode.
+func (s *Store) Windowed() bool { return s.w() != nil }
+
+// Window exposes the window filter for read-only inspection (nil when
+// not windowed).
+func (s *Store) Window() *window.Filter { return s.w() }
+
+// RotationHist returns the rotation-latency histogram (time holding the
+// mutation lock per ring rotation, including the WAL append).
+func (s *Store) RotationHist() HistSnapshot { return s.rotHist.Snapshot() }
+
+var errNotWindowed = errors.New("server: not a windowed store (start mpcbfd with -window)")
+
+// InsertTTL inserts key with a per-key lifetime: the key expires no
+// earlier than ttl from now and no later than the window span, at
+// rotation granularity. Windowed stores only.
+func (s *Store) InsertTTL(key []byte, ttl time.Duration) error {
+	return s.insertTTL(key, ttl, nil)
+}
+
+func (s *Store) insertTTL(key []byte, ttl time.Duration, tr *reqTrace) error {
+	w := s.w()
+	if w == nil {
+		return errNotWindowed
+	}
+	r := w.Generations()
+	if ttl >= 0 { // negative = overflowed u64 nanos: treat as full span
+		r = w.RotationsFor(ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t0 := tr.now()
+	if err := w.InsertRotations(key, r); err != nil {
+		return err
+	}
+	tr.addFilter(t0)
+	return s.wal.Append(walOpInsertTTL, encodeTTLBody(r, key), tr)
+}
+
+// InsertTTLBatch inserts a batch of keys sharing one TTL, with a single
+// fsync. Windowed stores only.
+func (s *Store) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	return s.insertTTLBatch(keys, ttl, nil)
+}
+
+func (s *Store) insertTTLBatch(keys [][]byte, ttl time.Duration, tr *reqTrace) error {
+	w := s.w()
+	if w == nil {
+		return errNotWindowed
+	}
+	r := w.Generations()
+	if ttl >= 0 {
+		r = w.RotationsFor(ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t0 := tr.now()
+	if err := w.InsertRotationsBatch(keys, r); err != nil {
+		return err
+	}
+	tr.addFilter(t0)
+	bodies := make([][]byte, len(keys))
+	for i, k := range keys {
+		bodies[i] = encodeTTLBody(r, k)
+	}
+	return s.wal.AppendBatch(walOpInsertTTL, bodies, tr)
+}
+
+// WindowStats reports the generation ring's shape and occupancy.
+// Windowed stores only.
+func (s *Store) WindowStats() (window.Stats, error) {
+	w := s.w()
+	if w == nil {
+		return window.Stats{}, errNotWindowed
+	}
+	return w.Stats(), nil
+}
+
+// rotate advances the generation ring one slot and logs the rotation, so
+// recovery and replicas advance their rings at the same WAL position.
+func (s *Store) rotate() error {
+	w := s.w()
+	if w == nil {
+		return errNotWindowed
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	w.Rotate()
+	err := s.wal.Append(walOpWindowRotate, nil, nil)
+	s.mu.Unlock()
+	s.rotHist.ObserveDuration(time.Since(t0))
+	return err
+}
+
+// rotateLoop drives the window clock on a primary. The period restarts
+// at process boot (the time since the last pre-crash rotation is not
+// persisted), which can stretch one key's lifetime by at most one
+// rotation period — the same staleness bound the window already carries.
+func (s *Store) rotateLoop(every time.Duration) {
+	defer s.bg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.rotate(); err != nil {
+				s.opts.Log.Error("window rotation failed", "error", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// marshalLocked encodes the store's state — windowed or not — for
+// snapshots, DUMP, and replication bootstrap. Caller holds s.mu.
+func (s *Store) marshalLocked() ([]byte, error) {
+	if w := s.w(); w != nil {
+		return w.MarshalBinary()
+	}
+	return s.f().MarshalBinary()
+}
+
+// readSnapshotData reads one snapshot file and returns its CRC-verified
+// payload, which is either a Sharded or a windowed encoding — the
+// leading magic (window.IsWindowed) says which.
+func readSnapshotData(path string) ([]byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(blob)
+}
+
+// verifySnapshot confirms a just-written snapshot file loads cleanly.
+func verifySnapshot(path string) error {
+	data, err := readSnapshotData(path)
+	if err != nil {
+		return err
+	}
+	if window.IsWindowed(data) {
+		_, err = window.UnmarshalFilter(data)
+		return err
+	}
+	_, err = mpcbf.UnmarshalSharded(data)
+	return err
+}
+
+func windowOptionsFrom(opts StoreOptions) window.Options {
+	return window.Options{
+		Span:        opts.Window,
+		Generations: opts.Generations,
+		Filter:      opts.Filter,
+		Shards:      opts.Shards,
+		Workers:     opts.BatchWorkers,
+	}
+}

@@ -19,6 +19,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(AppendReplicateRequest(nil, 3, 999))
 	f.Add([]byte{OpInsertBatch, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{OpInsert, 0xFF, 0xFF, 0xFF, 0x7F, 'x'})
+	f.Add(AppendInsertTTLRequest(nil, []byte("ttl-key"), 30e9))
+	f.Add(AppendInsertTTLBatchRequest(nil, [][]byte{[]byte("a"), []byte("b")}, 1e9))
+	f.Add(AppendWindowStatsRequest(nil))
+	// Truncated TTL frames: mid-ttl, mid-count, mid-key.
+	f.Add([]byte{OpInsertTTL, 1, 2, 3})
+	f.Add(append([]byte{OpInsertTTLBatch}, make([]byte, 9)...))
+	f.Add(append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 2, 0, 0, 0, 1, 0, 0, 0, 'a'))
+	// Oversized TTL frames: absurd key length / key count.
+	f.Add(append(append([]byte{OpInsertTTL}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F, 'x'))
+	f.Add(append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err != nil {

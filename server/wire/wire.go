@@ -14,8 +14,10 @@
 // Requests:
 //
 //	INSERT / DELETE / CONTAINS / ESTIMATE:  [op][key]
-//	LEN / DUMP:                             [op]
+//	LEN / DUMP / WINDOW_STATS:              [op]
 //	INSERT_BATCH / DELETE_BATCH / CONTAINS_BATCH: [op][u32 n][key]*n
+//	INSERT_TTL:                             [op][u64 ttlNanos][key]
+//	INSERT_TTL_BATCH:                       [op][u64 ttlNanos][u32 n][key]*n
 //	REPLICATE:                              [op][u64 seq][u64 off]
 //
 // Responses (status OK):
@@ -25,6 +27,13 @@
 //	ESTIMATE / LEN:                  [u64]
 //	CONTAINS_BATCH / DELETE_BATCH:   [u32 n][u8 bool]*n
 //	DUMP:                            [marshaled filter bytes]
+//	WINDOW_STATS:                    [u32 G][u32 head][u64 rotations]
+//	                                 [u64 spanNanos][u64 rotateEveryNanos]
+//	                                 [u64 pendingExpiries][u64 items]*G
+//
+// The TTL ops and WINDOW_STATS are only meaningful against a daemon
+// started in windowed mode (-window); a non-windowed server answers them
+// with ERR and keeps the connection usable.
 //
 // Responses (status ERR): [error message bytes]. An ERR response reports
 // an operation-level failure (e.g. deleting an absent key, a word
@@ -86,11 +95,15 @@ const (
 	OpContainsBatch = 0x08
 	OpReplicate     = 0x09
 	OpDump          = 0x0A
+	// Window ops (meaningful only against a windowed daemon).
+	OpInsertTTL      = 0x0B
+	OpInsertTTLBatch = 0x0C
+	OpWindowStats    = 0x0D
 
 	// MaxOp is the highest assigned opcode. Every opcode in (0, MaxOp]
 	// must have an OpName/OpNames entry; a table test enforces it so a
 	// future opcode cannot ship unnamed.
-	MaxOp = OpDump
+	MaxOp = OpWindowStats
 )
 
 // Response statuses.
@@ -115,7 +128,7 @@ const (
 // therefore rejected by a read-only replica and logged to the WAL).
 func IsMutation(op byte) bool {
 	switch op {
-	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch:
+	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch, OpInsertTTL, OpInsertTTLBatch:
 		return true
 	}
 	return false
@@ -154,6 +167,12 @@ func OpName(op byte) string {
 		return "replicate"
 	case OpDump:
 		return "dump"
+	case OpInsertTTL:
+		return "insert_ttl"
+	case OpInsertTTLBatch:
+		return "insert_ttl_batch"
+	case OpWindowStats:
+		return "window_stats"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
 }
@@ -185,6 +204,10 @@ func OpNames() map[byte]string {
 		OpContainsBatch: "contains_batch",
 		OpReplicate:     "replicate",
 		OpDump:          "dump",
+
+		OpInsertTTL:      "insert_ttl",
+		OpInsertTTLBatch: "insert_ttl_batch",
+		OpWindowStats:    "window_stats",
 	}
 }
 
@@ -256,6 +279,32 @@ func AppendLenRequest(dst []byte) []byte { return append(dst, OpLen) }
 // AppendDumpRequest encodes the body-less DUMP request payload.
 func AppendDumpRequest(dst []byte) []byte { return append(dst, OpDump) }
 
+// AppendWindowStatsRequest encodes the body-less WINDOW_STATS request
+// payload.
+func AppendWindowStatsRequest(dst []byte) []byte { return append(dst, OpWindowStats) }
+
+// AppendInsertTTLRequest encodes an INSERT_TTL request: insert key with
+// a per-key lifetime of ttlNanos nanoseconds (0 means one rotation).
+func AppendInsertTTLRequest(dst []byte, key []byte, ttlNanos uint64) []byte {
+	dst = append(dst, OpInsertTTL)
+	dst = appendU64(dst, ttlNanos)
+	return AppendKey(dst, key)
+}
+
+// AppendInsertTTLBatchRequest encodes an INSERT_TTL_BATCH request: every
+// key in the batch shares one ttlNanos lifetime.
+func AppendInsertTTLBatchRequest(dst []byte, keys [][]byte, ttlNanos uint64) []byte {
+	dst = append(dst, OpInsertTTLBatch)
+	dst = appendU64(dst, ttlNanos)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(keys)))
+	dst = append(dst, n[:]...)
+	for _, k := range keys {
+		dst = AppendKey(dst, k)
+	}
+	return dst
+}
+
 // AppendReplicateRequest encodes a REPLICATE subscription from a WAL
 // position (segment sequence number, byte offset into that segment).
 func AppendReplicateRequest(dst []byte, seq, off uint64) []byte {
@@ -270,6 +319,7 @@ type Request struct {
 	Op   byte
 	Key  []byte   // single-key ops
 	Keys [][]byte // batch ops
+	TTL  uint64   // INSERT_TTL / INSERT_TTL_BATCH: lifetime in nanoseconds
 	Seq  uint64   // REPLICATE: resume segment
 	Off  uint64   // REPLICATE: resume byte offset
 }
@@ -291,10 +341,46 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
 		req.Key = key
-	case OpLen, OpDump:
+	case OpLen, OpDump, OpWindowStats:
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
+	case OpInsertTTL:
+		if len(body) < 8 {
+			return Request{}, errors.New("wire: insert_ttl: truncated ttl")
+		}
+		req.TTL = binary.LittleEndian.Uint64(body[:8])
+		key, rest, err := readKey(body[8:])
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: insert_ttl: %w", err)
+		}
+		if len(rest) != 0 {
+			return Request{}, errors.New("wire: insert_ttl: trailing bytes")
+		}
+		req.Key = key
+	case OpInsertTTLBatch:
+		if len(body) < 12 {
+			return Request{}, errors.New("wire: insert_ttl_batch: truncated header")
+		}
+		req.TTL = binary.LittleEndian.Uint64(body[:8])
+		n := int(binary.LittleEndian.Uint32(body[8:12]))
+		body = body[12:]
+		if n > len(body)/4+1 {
+			return Request{}, fmt.Errorf("wire: insert_ttl_batch: implausible key count %d", n)
+		}
+		keys := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			key, rest, err := readKey(body)
+			if err != nil {
+				return Request{}, fmt.Errorf("wire: insert_ttl_batch key %d: %w", i, err)
+			}
+			keys = append(keys, key)
+			body = rest
+		}
+		if len(body) != 0 {
+			return Request{}, errors.New("wire: insert_ttl_batch: trailing bytes")
+		}
+		req.Keys = keys
 	case OpReplicate:
 		if len(body) != 16 {
 			return Request{}, fmt.Errorf("wire: replicate: body has %d bytes, want 16", len(body))
@@ -504,6 +590,60 @@ func DecodeRepFrame(payload []byte) (RepFrame, error) {
 		return RepFrame{}, fmt.Errorf("wire: unknown replication frame type 0x%02x", f.Type)
 	}
 	return f, nil
+}
+
+// WindowStats is the decoded WINDOW_STATS response body: the shape and
+// occupancy of a windowed daemon's generation ring.
+type WindowStats struct {
+	Generations      uint32   // ring size G
+	Head             uint32   // current insert slot
+	Rotations        uint64   // rotations since the ring was created
+	SpanNanos        uint64   // configured window span
+	RotateEveryNanos uint64   // span / G
+	PendingExpiries  uint64   // precise-mode heap depth (0 unless -precise)
+	GenItems         []uint64 // per-slot item counts, ring-slot order
+}
+
+// AppendWindowStats encodes a WINDOW_STATS response body.
+func AppendWindowStats(dst []byte, s WindowStats) []byte {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], s.Generations)
+	dst = append(dst, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], s.Head)
+	dst = append(dst, u32[:]...)
+	dst = appendU64(dst, s.Rotations)
+	dst = appendU64(dst, s.SpanNanos)
+	dst = appendU64(dst, s.RotateEveryNanos)
+	dst = appendU64(dst, s.PendingExpiries)
+	for _, n := range s.GenItems {
+		dst = appendU64(dst, n)
+	}
+	return dst
+}
+
+// DecodeWindowStats parses a WINDOW_STATS response body.
+func DecodeWindowStats(body []byte) (WindowStats, error) {
+	const hdr = 4 + 4 + 8 + 8 + 8 + 8
+	if len(body) < hdr {
+		return WindowStats{}, errors.New("wire: truncated window_stats response")
+	}
+	s := WindowStats{
+		Generations:      binary.LittleEndian.Uint32(body[0:4]),
+		Head:             binary.LittleEndian.Uint32(body[4:8]),
+		Rotations:        binary.LittleEndian.Uint64(body[8:16]),
+		SpanNanos:        binary.LittleEndian.Uint64(body[16:24]),
+		RotateEveryNanos: binary.LittleEndian.Uint64(body[24:32]),
+		PendingExpiries:  binary.LittleEndian.Uint64(body[32:40]),
+	}
+	rest := body[hdr:]
+	if uint64(len(rest)) != uint64(s.Generations)*8 {
+		return WindowStats{}, fmt.Errorf("wire: window_stats: %d trailing bytes for %d generations", len(rest), s.Generations)
+	}
+	s.GenItems = make([]uint64, s.Generations)
+	for i := range s.GenItems {
+		s.GenItems[i] = binary.LittleEndian.Uint64(rest[i*8:])
+	}
+	return s, nil
 }
 
 // DecodeBools parses a [u32 n][bool]*n response body.

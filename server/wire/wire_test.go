@@ -56,13 +56,16 @@ func TestRequestRoundTrip(t *testing.T) {
 		{"insert_batch", AppendBatchRequest(nil, OpInsertBatch, keys), Request{Op: OpInsertBatch, Keys: keys}},
 		{"delete_batch", AppendBatchRequest(nil, OpDeleteBatch, keys), Request{Op: OpDeleteBatch, Keys: keys}},
 		{"contains_batch", AppendBatchRequest(nil, OpContainsBatch, keys), Request{Op: OpContainsBatch, Keys: keys}},
+		{"insert_ttl", AppendInsertTTLRequest(nil, key, 5e9), Request{Op: OpInsertTTL, Key: key, TTL: 5e9}},
+		{"insert_ttl_batch", AppendInsertTTLBatchRequest(nil, keys, 7e9), Request{Op: OpInsertTTLBatch, Keys: keys, TTL: 7e9}},
+		{"window_stats", AppendWindowStatsRequest(nil), Request{Op: OpWindowStats}},
 	}
 	for _, c := range cases {
 		got, err := DecodeRequest(c.payload)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		if got.Op != c.want.Op || !bytes.Equal(got.Key, c.want.Key) {
+		if got.Op != c.want.Op || !bytes.Equal(got.Key, c.want.Key) || got.TTL != c.want.TTL {
 			t.Fatalf("%s: got %+v", c.name, got)
 		}
 		if got.Seq != c.want.Seq || got.Off != c.want.Off {
@@ -96,6 +99,15 @@ func TestDecodeRequestRejectsMalformed(t *testing.T) {
 		"dump trailing":        {OpDump, 0},
 		"replicate short":      {OpReplicate, 1, 2, 3},
 		"replicate long":       append(AppendReplicateRequest(nil, 1, 2), 0xFF),
+		"ttl no ttl":           {OpInsertTTL, 1, 2, 3},
+		"ttl no key":           append([]byte{OpInsertTTL}, make([]byte, 8)...),
+		"ttl key overrun":      append(append([]byte{OpInsertTTL}, make([]byte, 8)...), 10, 0, 0, 0, 'x'),
+		"ttl trailing":         append(AppendInsertTTLRequest(nil, []byte("k"), 1), 0xFF),
+		"ttl batch short":      {OpInsertTTLBatch, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"ttl batch absurd":     append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F),
+		"ttl batch truncated":  append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 2, 0, 0, 0, 1, 0, 0, 0, 'a'),
+		"ttl batch trailing":   append(AppendInsertTTLBatchRequest(nil, [][]byte{[]byte("k")}, 1), 0x01),
+		"window stats body":    {OpWindowStats, 0},
 	}
 	for name, payload := range bad {
 		if _, err := DecodeRequest(payload); err == nil {
@@ -129,6 +141,33 @@ func TestResponseHelpers(t *testing.T) {
 	status, body, err = DecodeStatus(AppendReadOnly(nil, "10.0.0.1:7070"))
 	if err != nil || status != StatusReadOnly || string(body) != "10.0.0.1:7070" {
 		t.Fatalf("read-only response: %d %q %v", status, body, err)
+	}
+}
+
+func TestWindowStatsRoundTrip(t *testing.T) {
+	in := WindowStats{
+		Generations:      4,
+		Head:             2,
+		Rotations:        99,
+		SpanNanos:        60e9,
+		RotateEveryNanos: 15e9,
+		PendingExpiries:  3,
+		GenItems:         []uint64{10, 0, 500, 42},
+	}
+	out, err := DecodeWindowStats(AppendWindowStats(nil, in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("window stats: %+v %v", out, err)
+	}
+	bad := map[string][]byte{
+		"empty":       {},
+		"short":       make([]byte, 10),
+		"count short": AppendWindowStats(nil, WindowStats{Generations: 4, GenItems: []uint64{1}}),
+		"trailing":    append(AppendWindowStats(nil, in), 0xFF),
+	}
+	for name, body := range bad {
+		if _, err := DecodeWindowStats(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

@@ -1,0 +1,113 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	mpcbf "repro"
+)
+
+// Windowed wire format: a self-describing header followed by each
+// generation's sharded-filter encoding, in ring-slot order:
+//
+//	[u32 magic][u32 version][u32 G][u32 head][u64 rotations][u64 spanNanos]
+//	G × [u32 len][Sharded.MarshalBinary bytes]
+//
+// The magic is distinct from the sharded filter's, so a snapshot loader
+// can dispatch on the leading bytes (see IsWindowed). Precise-mode
+// expiry heap state is intentionally not serialized: pending precise
+// deletes degrade to generation retirement after a restore, which is
+// the documented backstop semantics.
+const (
+	windowMagic   = 0x4D504357 // "WCPM" little-endian ("MPCW" read big-endian)
+	windowVersion = 1
+	windowHdrLen  = 32
+)
+
+// IsWindowed reports whether data begins with the windowed format's
+// magic — the dispatch test a snapshot loader uses to pick
+// UnmarshalFilter over mpcbf.UnmarshalSharded.
+func IsWindowed(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data[0:4]) == windowMagic
+}
+
+// MarshalBinary serializes the complete window state: ring shape,
+// rotation count, span, and every generation's filter. Not safe to call
+// concurrently with updates beyond the internal read lock (the caller
+// serializes against rotation, as the store's mutation lock does).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]byte, windowHdrLen)
+	binary.LittleEndian.PutUint32(out[0:4], windowMagic)
+	binary.LittleEndian.PutUint32(out[4:8], windowVersion)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(f.gens)))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(f.head))
+	binary.LittleEndian.PutUint64(out[16:24], f.rotations)
+	binary.LittleEndian.PutUint64(out[24:32], uint64(f.opts.Span))
+	for i, g := range f.gens {
+		blob, err := g.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("window: generation %d: %w", i, err)
+		}
+		var size [4]byte
+		binary.LittleEndian.PutUint32(size[:], uint32(len(blob)))
+		out = append(out, size[:]...)
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// UnmarshalFilter reconstructs a window serialized with MarshalBinary.
+// The result is fully functional and independent of the original; the
+// ring position, rotation count, and per-generation contents are exact.
+func UnmarshalFilter(data []byte) (*Filter, error) {
+	if len(data) < windowHdrLen {
+		return nil, errors.New("window: truncated windowed filter")
+	}
+	if !IsWindowed(data) {
+		return nil, errors.New("window: bad magic (not a windowed filter)")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != windowVersion {
+		return nil, fmt.Errorf("window: unsupported format version %d", v)
+	}
+	g := int(binary.LittleEndian.Uint32(data[8:12]))
+	head := int(binary.LittleEndian.Uint32(data[12:16]))
+	rotations := binary.LittleEndian.Uint64(data[16:24])
+	span := time.Duration(binary.LittleEndian.Uint64(data[24:32]))
+	if g < 1 || g > 1<<10 || head < 0 || head >= g || span <= 0 {
+		return nil, errors.New("window: implausible windowed header")
+	}
+	f := &Filter{
+		opts:        Options{Span: span, Generations: g},
+		rotateEvery: span / time.Duration(g),
+		gens:        make([]*mpcbf.Sharded, g),
+		epochs:      make([]uint64, g),
+		head:        head,
+		rotations:   rotations,
+	}
+	off := windowHdrLen
+	for i := 0; i < g; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("window: truncated at generation %d", i)
+		}
+		size := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 4
+		if size < 0 || off+size > len(data) {
+			return nil, fmt.Errorf("window: bad generation %d size %d", i, size)
+		}
+		sf, err := mpcbf.UnmarshalSharded(data[off : off+size])
+		if err != nil {
+			return nil, fmt.Errorf("window: generation %d: %w", i, err)
+		}
+		f.gens[i] = sf
+		off += size
+	}
+	if off != len(data) {
+		return nil, errors.New("window: trailing bytes after generations")
+	}
+	f.opts.Shards = f.gens[0].Shards()
+	return f, nil
+}
