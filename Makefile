@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race race-serving bench bench-json fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e obs-smoke ci
+.PHONY: build test vet lint race race-serving bench bench-json bench-saturation fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -63,7 +63,8 @@ bench-json:
 	@cat BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'Benchmark(Dispatch|Store|Window)' \
 		-benchtime $(BENCHTIME) ./server ./window | tee /tmp/bench_serving.txt
-	awk ' \
+	MPCBF_SATURATION_OUT=$(SATURATION_OUT) $(GO) test -run 'TestSaturationReport' -count=1 ./server
+	{ awk ' \
 	  /^Benchmark/ { \
 	    name = $$1; sub(/-[0-9]+$$/, "", name); \
 	    ns[name] = $$3; order[n++] = name; \
@@ -73,9 +74,21 @@ bench-json:
 	    for (i = 0; i < n; i++) { \
 	      printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : ""); \
 	    } \
-	    printf "  }\n}\n"; \
-	  }' /tmp/bench_serving.txt > BENCH_serving.json
+	    printf "  },\n  \"saturation\": "; \
+	  }' /tmp/bench_serving.txt; cat $(SATURATION_OUT); printf "}\n"; } > BENCH_serving.json
 	@cat BENCH_serving.json
+
+# bench-saturation drives the SyncAlways mutation path at fixed
+# connection counts — the pre-group-commit per-request-fsync baseline
+# ("serialized") against free-running synchronous connections ("grouped")
+# and the pipelined client API ("pipelined") — and writes ops/s with
+# p50/p99 latency as JSON to $(SATURATION_OUT). bench-json merges the
+# same block into BENCH_serving.json. Without MPCBF_SATURATION_OUT the
+# test runs a tiny CI smoke instead.
+SATURATION_OUT ?= /tmp/mpcbf_saturation.json
+bench-saturation:
+	MPCBF_SATURATION_OUT=$(SATURATION_OUT) $(GO) test -run 'TestSaturationReport' -count=1 -v ./server
+	@cat $(SATURATION_OUT)
 
 # fuzz-kernel gives the kernel/generic differential fuzzers a short budget
 # each; raise FUZZTIME for longer campaigns.

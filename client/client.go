@@ -183,13 +183,32 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// do runs one operation, re-encoding the request via enc on every
-// attempt (the scratch buffer is shared, so a retry cannot reuse a
+// encodeRequest encodes one request payload into dst from plain
+// arguments — no per-call closure, so the steady-state encode path does
+// not allocate. Exactly one of key/keys is meaningful per opcode; ttl is
+// read only by the TTL ops.
+func encodeRequest(dst []byte, op byte, key []byte, keys [][]byte, ttl uint64) []byte {
+	switch op {
+	case wire.OpLen, wire.OpDump, wire.OpWindowStats:
+		return append(dst, op)
+	case wire.OpInsertBatch, wire.OpDeleteBatch, wire.OpContainsBatch:
+		return wire.AppendBatchRequest(dst, op, keys)
+	case wire.OpInsertTTL:
+		return wire.AppendInsertTTLRequest(dst, key, ttl)
+	case wire.OpInsertTTLBatch:
+		return wire.AppendInsertTTLBatchRequest(dst, keys, ttl)
+	default:
+		return wire.AppendKeyRequest(dst, op, key)
+	}
+}
+
+// do runs one operation, re-encoding the request from its arguments on
+// every attempt (the scratch buffer is shared, so a retry cannot reuse a
 // previous attempt's payload). Reconnect-enabled clients redial broken
 // connections; transport failures retry idempotent ops with backoff and
 // convert mutation interruptions to ErrMaybeApplied. Callers must not
 // hold c.mu.
-func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
+func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, error) {
 	c.stRequests.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -210,7 +229,12 @@ func (c *Client) do(op byte, enc func(dst []byte) []byte) ([]byte, error) {
 				continue
 			}
 		}
-		body, err := c.roundTrip(enc(c.scratch()))
+		payload := encodeRequest(c.scratch(), op, key, keys, ttl)
+		// Keep the grown buffer: encodeRequest appends into scratch, and
+		// without writing the result back every call would regrow from the
+		// response-sized buffer and allocate forever.
+		c.buf = payload
+		body, err := c.roundTrip(payload)
 		if err == nil {
 			return body, nil
 		}
@@ -314,25 +338,19 @@ func (c *Client) fail(err error) error {
 // Insert adds key. A nil return means the daemon acknowledged the
 // mutation under its configured durability policy.
 func (c *Client) Insert(key []byte) error {
-	_, err := c.do(wire.OpInsert, func(dst []byte) []byte {
-		return wire.AppendKeyRequest(dst, wire.OpInsert, key)
-	})
+	_, err := c.do(wire.OpInsert, key, nil, 0)
 	return err
 }
 
 // Delete removes a previously inserted key.
 func (c *Client) Delete(key []byte) error {
-	_, err := c.do(wire.OpDelete, func(dst []byte) []byte {
-		return wire.AppendKeyRequest(dst, wire.OpDelete, key)
-	})
+	_, err := c.do(wire.OpDelete, key, nil, 0)
 	return err
 }
 
 // Contains reports whether key may be in the set.
 func (c *Client) Contains(key []byte) (bool, error) {
-	body, err := c.do(wire.OpContains, func(dst []byte) []byte {
-		return wire.AppendKeyRequest(dst, wire.OpContains, key)
-	})
+	body, err := c.do(wire.OpContains, key, nil, 0)
 	if err != nil {
 		return false, err
 	}
@@ -341,9 +359,7 @@ func (c *Client) Contains(key []byte) (bool, error) {
 
 // EstimateCount returns an upper bound on key's multiplicity.
 func (c *Client) EstimateCount(key []byte) (int, error) {
-	body, err := c.do(wire.OpEstimate, func(dst []byte) []byte {
-		return wire.AppendKeyRequest(dst, wire.OpEstimate, key)
-	})
+	body, err := c.do(wire.OpEstimate, key, nil, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -353,9 +369,7 @@ func (c *Client) EstimateCount(key []byte) (int, error) {
 
 // Len returns the daemon's current element count.
 func (c *Client) Len() (int, error) {
-	body, err := c.do(wire.OpLen, func(dst []byte) []byte {
-		return wire.AppendLenRequest(dst)
-	})
+	body, err := c.do(wire.OpLen, nil, nil, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -363,35 +377,41 @@ func (c *Client) Len() (int, error) {
 	return int(v), err
 }
 
-// InsertBatch inserts keys as one request (one WAL fsync server-side).
+// InsertBatch inserts keys as one request (one WAL commit server-side).
 func (c *Client) InsertBatch(keys [][]byte) error {
-	_, err := c.do(wire.OpInsertBatch, func(dst []byte) []byte {
-		return wire.AppendBatchRequest(dst, wire.OpInsertBatch, keys)
-	})
+	_, err := c.do(wire.OpInsertBatch, nil, keys, 0)
 	return err
 }
 
 // DeleteBatch deletes keys as one request, returning order-preserving
 // flags for which keys were actually removed.
 func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
-	body, err := c.do(wire.OpDeleteBatch, func(dst []byte) []byte {
-		return wire.AppendBatchRequest(dst, wire.OpDeleteBatch, keys)
-	})
+	return c.DeleteBatchInto(keys, nil)
+}
+
+// DeleteBatchInto is DeleteBatch decoding into dst's backing array:
+// a caller reusing the returned slice across batches stops allocating.
+func (c *Client) DeleteBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
+	body, err := c.do(wire.OpDeleteBatch, nil, keys, 0)
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBools(body)
+	return wire.DecodeBoolsInto(body, dst)
 }
 
 // ContainsBatch answers membership for keys, order-preserving.
 func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
-	body, err := c.do(wire.OpContainsBatch, func(dst []byte) []byte {
-		return wire.AppendBatchRequest(dst, wire.OpContainsBatch, keys)
-	})
+	return c.ContainsBatchInto(keys, nil)
+}
+
+// ContainsBatchInto is ContainsBatch decoding into dst's backing array:
+// a caller reusing the returned slice across batches stops allocating.
+func (c *Client) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
+	body, err := c.do(wire.OpContainsBatch, nil, keys, 0)
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBools(body)
+	return wire.DecodeBoolsInto(body, dst)
 }
 
 // InsertTTL inserts key with a per-key lifetime: against a windowed
@@ -399,27 +419,21 @@ func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 // window span, at rotation granularity. A non-windowed daemon answers
 // with a *ServerError.
 func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
-	_, err := c.do(wire.OpInsertTTL, func(dst []byte) []byte {
-		return wire.AppendInsertTTLRequest(dst, key, uint64(max(ttl, 0)))
-	})
+	_, err := c.do(wire.OpInsertTTL, key, nil, uint64(max(ttl, 0)))
 	return err
 }
 
 // InsertTTLBatch inserts keys sharing one TTL as a single request (one
-// WAL fsync server-side). Windowed daemons only.
+// WAL commit server-side). Windowed daemons only.
 func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	_, err := c.do(wire.OpInsertTTLBatch, func(dst []byte) []byte {
-		return wire.AppendInsertTTLBatchRequest(dst, keys, uint64(max(ttl, 0)))
-	})
+	_, err := c.do(wire.OpInsertTTLBatch, nil, keys, uint64(max(ttl, 0)))
 	return err
 }
 
 // WindowStats reports a windowed daemon's generation ring: size, head
 // slot, rotation count, span, and per-slot item counts.
 func (c *Client) WindowStats() (wire.WindowStats, error) {
-	body, err := c.do(wire.OpWindowStats, func(dst []byte) []byte {
-		return wire.AppendWindowStatsRequest(dst)
-	})
+	body, err := c.do(wire.OpWindowStats, nil, nil, 0)
 	if err != nil {
 		return wire.WindowStats{}, err
 	}
@@ -431,9 +445,7 @@ func (c *Client) WindowStats() (wire.WindowStats, error) {
 // window.UnmarshalFilter when window.IsWindowed reports a windowed
 // daemon's encoding). The returned slice is the caller's to keep.
 func (c *Client) Dump() ([]byte, error) {
-	body, err := c.do(wire.OpDump, func(dst []byte) []byte {
-		return wire.AppendDumpRequest(dst)
-	})
+	body, err := c.do(wire.OpDump, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}

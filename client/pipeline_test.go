@@ -1,0 +1,196 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/server/wire"
+)
+
+func TestPipelineEmptyFlush(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte { return wire.AppendOK(nil) })
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Pipeline().Flush()
+	if res != nil || err != nil {
+		t.Fatalf("empty Flush = %v, %v", res, err)
+	}
+}
+
+func TestPipelineDecodesInOrder(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte {
+		switch req.Op {
+		case wire.OpContains:
+			return wire.AppendBool(wire.AppendOK(nil), true)
+		case wire.OpEstimate:
+			return wire.AppendU64(wire.AppendOK(nil), 9)
+		case wire.OpLen:
+			return wire.AppendU64(wire.AppendOK(nil), 33)
+		case wire.OpDelete:
+			return wire.AppendErr(nil, "key not found")
+		case wire.OpContainsBatch:
+			flags := make([]bool, len(req.Keys))
+			for i := range flags {
+				flags[i] = i%2 == 0
+			}
+			return wire.AppendBools(wire.AppendOK(nil), flags)
+		}
+		return wire.AppendOK(nil)
+	})
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Insert([]byte("a"))
+	p.Delete([]byte("missing")) // mid-stream operation failure
+	p.Contains([]byte("a"))
+	p.EstimateCount([]byte("a"))
+	p.Len()
+	p.ContainsBatch([][]byte{[]byte("x"), []byte("y"), []byte("z")})
+	if p.Pending() != 6 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("len(res) = %d", len(res))
+	}
+	if res[0].Err != nil {
+		t.Fatalf("insert: %v", res[0].Err)
+	}
+	// The failed delete must stay attributed to slot 1 and must not shift
+	// any later response.
+	var se *ServerError
+	if !errors.As(res[1].Err, &se) || se.Msg != "key not found" {
+		t.Fatalf("delete: %v", res[1].Err)
+	}
+	if res[2].Err != nil || !res[2].Bool {
+		t.Fatalf("contains: %v %v", res[2].Bool, res[2].Err)
+	}
+	if res[3].Err != nil || res[3].U64 != 9 {
+		t.Fatalf("estimate: %d %v", res[3].U64, res[3].Err)
+	}
+	if res[4].Err != nil || res[4].U64 != 33 {
+		t.Fatalf("len: %d %v", res[4].U64, res[4].Err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if res[5].Bools[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", res[5].Bools, want)
+		}
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending after Flush = %d", p.Pending())
+	}
+
+	// The pipeline is reusable after a Flush.
+	p.Insert([]byte("b"))
+	p.Len()
+	res, err = p.Flush()
+	if err != nil || len(res) != 2 || res[0].Err != nil || res[1].U64 != 33 {
+		t.Fatalf("second Flush = %+v, %v", res, err)
+	}
+}
+
+// TestPipelineTransportAttribution kills the connection after two
+// responses: the answered prefix keeps definitive results, unanswered
+// in-flight mutations get ErrMaybeApplied, and unanswered reads get a
+// plain transport error — never a fabricated result.
+func TestPipelineTransportAttribution(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var buf []byte
+		for i := 0; i < 2; i++ {
+			payload, err := wire.ReadFrame(conn, buf, 0)
+			if err != nil {
+				return
+			}
+			buf = payload[:0]
+			wire.WriteFrame(conn, wire.AppendOK(nil))
+		}
+		conn.Close() // the remaining requests never get answers
+	}()
+
+	c, err := Dial(ln.Addr().String(), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Insert([]byte("k0"))
+	p.Insert([]byte("k1"))
+	p.Insert([]byte("k2"))
+	p.Contains([]byte("k3"))
+	res, err := p.Flush()
+	if err == nil {
+		t.Fatal("Flush on dying connection succeeded")
+	}
+	if len(res) != 4 {
+		t.Fatalf("len(res) = %d, want 4 (one slot per request even on failure)", len(res))
+	}
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("answered prefix must stay definitive: %v, %v", res[0].Err, res[1].Err)
+	}
+	if !errors.Is(res[2].Err, ErrMaybeApplied) {
+		t.Fatalf("unanswered in-flight mutation: %v, want ErrMaybeApplied", res[2].Err)
+	}
+	if res[3].Err == nil || errors.Is(res[3].Err, ErrMaybeApplied) {
+		t.Fatalf("unanswered read: %v, want plain transport error", res[3].Err)
+	}
+	if got := c.Stats().MaybeApplied; got != 1 {
+		t.Fatalf("MaybeApplied = %d, want 1", got)
+	}
+
+	// The connection is now broken; a later synchronous call fails fast
+	// on a non-reconnect client.
+	if err := c.Insert([]byte("after")); err == nil {
+		t.Fatal("call on broken client succeeded")
+	}
+}
+
+// TestPipelineNeverSentAttribution breaks the client before Flush: with
+// no redial possible, nothing is sent and every slot fails with a
+// definitive (non-ErrMaybeApplied) error.
+func TestPipelineNeverSentAttribution(t *testing.T) {
+	addr := fakeServer(t, func(req wire.Request) []byte { return wire.AppendOK(nil) })
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	p := c.Pipeline()
+	p.Insert([]byte("k0"))
+	p.Delete([]byte("k1"))
+	res, err := p.Flush()
+	if err == nil {
+		t.Fatal("Flush on closed client succeeded")
+	}
+	if len(res) != 2 {
+		t.Fatalf("len(res) = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Err == nil || errors.Is(r.Err, ErrMaybeApplied) {
+			t.Fatalf("res[%d].Err = %v, want definitive failure", i, r.Err)
+		}
+	}
+}

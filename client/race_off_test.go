@@ -1,0 +1,7 @@
+//go:build !race
+
+package client
+
+// raceEnabled gates tests that are meaningless under the race detector
+// (e.g. allocation guards: -race instruments allocations).
+const raceEnabled = false

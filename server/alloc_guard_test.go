@@ -1,0 +1,119 @@
+package server
+
+import (
+	"testing"
+
+	"repro/server/wire"
+)
+
+// Allocation-regression guards for the steady-state request path. The
+// zero-alloc codec is a measured property, not a structural one — a
+// stray closure or slice growth reintroduces per-request garbage without
+// failing any functional test — so these fail the build the moment the
+// hot paths allocate again. Skipped under -race: its instrumentation
+// allocates and would make the counts meaningless.
+
+// TestDispatchZeroAllocs pins 0 allocs/op for single-key INSERT, DELETE
+// (both through a durable commit wait at SyncAlways), and CONTAINS,
+// end-to-end through the server dispatch layer.
+func TestDispatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under -race")
+	}
+	st, err := OpenStore(testStoreOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(st, Config{}, nil)
+
+	key := []byte("alloc-guard-key")
+	resp := make([]byte, 0, 256)
+
+	mutate := func() {
+		var tkt uint64
+		resp, tkt, _ = srv.dispatch(wire.Request{Op: wire.OpInsert, Key: key}, resp[:0], nil)
+		if err := st.waitDurable(tkt, nil); err != nil {
+			t.Fatal(err)
+		}
+		resp, tkt, _ = srv.dispatch(wire.Request{Op: wire.OpDelete, Key: key}, resp[:0], nil)
+		if err := st.waitDurable(tkt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate() // warm up: size the WAL pending buffer and response scratch
+	if avg := testing.AllocsPerRun(50, mutate); avg != 0 {
+		t.Errorf("insert+delete dispatch: %.1f allocs/op, want 0", avg)
+	}
+
+	read := func() {
+		resp, _, _ = srv.dispatch(wire.Request{Op: wire.OpContains, Key: key}, resp[:0], nil)
+	}
+	read()
+	if avg := testing.AllocsPerRun(100, read); avg != 0 {
+		t.Errorf("contains dispatch: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestWireCodecZeroAllocs pins 0 allocs/op for the request/response
+// codec itself: encoding single-key and batch requests into reused
+// buffers, decoding them with a reused key-scratch, and decoding bool
+// vectors into a reused result slice.
+func TestWireCodecZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under -race")
+	}
+	key := []byte("alloc-guard-key")
+	keys := storeKeys("alloc-batch", 64)
+	dst := make([]byte, 0, 4096)
+	var keyScratch [][]byte
+
+	encodeSingle := func() {
+		dst = wire.AppendKeyRequest(dst[:0], wire.OpInsert, key)
+	}
+	encodeSingle()
+	if avg := testing.AllocsPerRun(100, encodeSingle); avg != 0 {
+		t.Errorf("encode single-key request: %.1f allocs/op, want 0", avg)
+	}
+
+	encodeBatch := func() {
+		dst = wire.AppendBatchRequest(dst[:0], wire.OpInsertBatch, keys)
+	}
+	encodeBatch()
+	if avg := testing.AllocsPerRun(100, encodeBatch); avg != 0 {
+		t.Errorf("encode batch request: %.1f allocs/op, want 0", avg)
+	}
+
+	payload := wire.AppendBatchRequest(nil, wire.OpInsertBatch, keys)
+	decodeBatch := func() {
+		req, err := wire.DecodeRequestInto(payload, keyScratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cap(req.Keys) > cap(keyScratch) {
+			keyScratch = req.Keys
+		}
+	}
+	decodeBatch() // warm up keyScratch to batch size
+	if avg := testing.AllocsPerRun(100, decodeBatch); avg != 0 {
+		t.Errorf("decode batch request: %.1f allocs/op, want 0", avg)
+	}
+
+	flags := make([]bool, len(keys))
+	for i := range flags {
+		flags[i] = i%3 == 0
+	}
+	body := wire.AppendBools(nil, flags) // status-less bools body
+	boolScratch := make([]bool, 0, len(keys))
+	decodeBools := func() {
+		out, err := wire.DecodeBoolsInto(body, boolScratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boolScratch = out[:0]
+	}
+	decodeBools()
+	if avg := testing.AllocsPerRun(100, decodeBools); avg != 0 {
+		t.Errorf("decode bools: %.1f allocs/op, want 0", avg)
+	}
+}

@@ -75,12 +75,16 @@ type WindowSnapshot struct {
 type WALSnapshot struct {
 	Records                uint64       `json:"records"`
 	Syncs                  uint64       `json:"syncs"`
+	GroupCommits           uint64       `json:"group_commits"`
+	Waiters                int64        `json:"waiters"`
 	Snapshots              uint64       `json:"snapshots"`
 	ReplayedRecords        int          `json:"replayed_records"`
 	LastSnapshotUnixNano   int64        `json:"last_snapshot_unix_nano"`
 	LastSnapshotAgeSeconds float64      `json:"last_snapshot_age_seconds"`
 	FsyncNs                HistSnapshot `json:"fsync_ns"`
 	BatchKeys              HistSnapshot `json:"batch_keys"`
+	GroupRecords           HistSnapshot `json:"group_records"`
+	CommitNs               HistSnapshot `json:"commit_ns"`
 }
 
 // TraceCounts summarizes the request tracer: IDs assigned, entries
@@ -170,6 +174,8 @@ func (s *Server) Snapshot() ServerSnapshot {
 		snap.WAL.LastSnapshotAgeSeconds = time.Since(st.LastSnapshot).Seconds()
 	}
 	snap.WAL.FsyncNs, snap.WAL.BatchKeys = s.store.WALHists()
+	snap.WAL.GroupRecords, snap.WAL.CommitNs = s.store.WALGroupHists()
+	snap.WAL.GroupCommits, snap.WAL.Waiters = s.store.WALGroupStats()
 
 	snap.Replication = s.ReplicationStats()
 
@@ -269,6 +275,10 @@ func (snap ServerSnapshot) WriteProm(w io.Writer) {
 	promGaugeFloat(w, "mpcbfd_last_snapshot_age_seconds", "Seconds since the last snapshot (-1 before the first).", snap.WAL.LastSnapshotAgeSeconds)
 	snap.WAL.FsyncNs.WritePromSeconds(w, "mpcbfd_wal_fsync_duration_seconds", "WAL fsync latency.")
 	snap.WAL.BatchKeys.WritePromCounts(w, "mpcbfd_wal_batch_keys", "Keys committed per WAL append.")
+	promCounter(w, "mpcbfd_wal_group_commits_total", "Commit rounds (one write+fsync shared by every record enqueued when the round began).", snap.WAL.GroupCommits)
+	promGaugeInt(w, "mpcbfd_wal_commit_waiters", "Callers currently blocked waiting for a commit round.", snap.WAL.Waiters)
+	snap.WAL.GroupRecords.WritePromCounts(w, "mpcbfd_wal_group_records", "Records per commit round: the group-commit amortization factor.")
+	snap.WAL.CommitNs.WritePromSeconds(w, "mpcbfd_wal_commit_duration_seconds", "Commit round latency (buffer swap + write + fsync).")
 
 	promGaugeInt(w, "mpcbfd_connected_replicas", "Replication subscribers currently streaming.", int64(snap.Replication.Connected))
 	promGaugeInt(w, "mpcbfd_replication_max_lag_bytes", "WAL bytes the furthest-behind subscriber trails the live end.", snap.Replication.MaxLagBytes)

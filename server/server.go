@@ -252,30 +252,85 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Pipelined connections: each connection runs a reader (this goroutine:
+// read → decode → apply+enqueue) and a writer goroutine (wait for the
+// WAL commit → write the response in order). The reader starts on
+// request N+1 while N's group commit is in flight, so a single
+// connection issuing back-to-back mutations keeps the committer fed
+// instead of stalling a round-trip per fsync. Responses flow through a
+// bounded in-order queue — ordering is structural, not re-sorted — and
+// the queue depth is the pipelining limit a client can extract.
+const (
+	// connPipeDepth bounds responses awaiting durability+write per
+	// connection; the reader blocks (TCP backpressure) beyond it.
+	connPipeDepth = 64
+	// connRecycleCap bounds response buffers kept on the per-connection
+	// free list: a DUMP response must not pin megabytes per connection.
+	connRecycleCap = 64 << 10
+)
+
+// connItem is one response traveling from reader to writer.
+type connItem struct {
+	id       uint64
+	op       byte
+	ticket   uint64 // WAL commit ticket; 0 = nothing to wait for
+	buf      []byte // encoded response (may be rewritten to ERR on commit failure)
+	failed   bool
+	observe  bool // protocol errors skip metrics/trace, as they always have
+	start    time.Time
+	tr       *reqTrace
+	keys     int
+	keyBytes int
+}
+
 // handleConn runs the request loop for one connection: read a frame,
-// dispatch, write the response. Operation-level failures produce ERR
-// responses and keep the connection; protocol violations produce an ERR
-// response (best effort) and close it.
+// dispatch (apply + WAL enqueue), queue the response; the writer
+// goroutine acknowledges once the commit ticket is durable.
+// Operation-level failures produce ERR responses and keep the
+// connection; protocol violations produce an ERR response (best effort)
+// and close it.
 func (s *Server) handleConn(conn net.Conn) {
 	log := s.cfg.Log.With("remote", conn.RemoteAddr().String())
 	log.Debug("conn accepted")
 	defer log.Debug("conn closed")
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
+
+	items := make(chan connItem, connPipeDepth)
+	bufs := make(chan []byte, connPipeDepth)
+	writerDone := make(chan struct{})
+	go s.connWriter(conn, w, items, bufs, writerDone)
+
+	rep, repReq := s.connReader(conn, r, log, items, bufs)
+	close(items)
+	<-writerDone
+	if rep {
+		// The connection leaves request/response mode for good: it becomes
+		// a one-way replication stream until either side hangs up. The
+		// writer has drained and exited, so the stream owns the socket.
+		s.metrics.ObserveRequest(repReq.Op, 0, false)
+		log.Info("replication subscriber attached", "seq", repReq.Seq, "off", repReq.Off)
+		s.serveReplication(conn, w, repReq)
+	}
+}
+
+// connReader is the connection's decode+dispatch loop. It returns with
+// rep=true when the connection switches to replication streaming.
+func (s *Server) connReader(conn net.Conn, r *bufio.Reader, log *slog.Logger, items chan<- connItem, bufs <-chan []byte) (rep bool, repReq wire.Request) {
 	var (
-		reqBuf  []byte
-		respBuf []byte
+		reqBuf     []byte
+		keyScratch [][]byte
 	)
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		payload, err := wire.ReadFrame(r, reqBuf, s.cfg.MaxFrameBytes)
 		if err != nil {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
-				s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
+				items <- connItem{buf: wire.AppendErr(nil, err.Error())}
 			} else if !isExpectedClose(err) {
 				log.Warn("read failed", "error", err)
 			}
-			return
+			return false, wire.Request{}
 		}
 		reqBuf = payload[:0]
 		s.metrics.AddBytes(4+len(payload), 0)
@@ -284,44 +339,93 @@ func (s *Server) handleConn(conn net.Conn) {
 		// trace (tr is nil otherwise, and every tr method is a no-op).
 		id, tr := s.tracer.begin()
 		tDec := tr.now()
-		req, err := wire.DecodeRequest(payload)
+		req, err := wire.DecodeRequestInto(payload, keyScratch)
+		if cap(req.Keys) > cap(keyScratch) {
+			keyScratch = req.Keys
+		}
 		if err != nil {
-			s.respond(conn, w, wire.AppendErr(respBuf[:0], err.Error()))
-			return // protocol violation: framing can no longer be trusted
+			// Protocol violation: framing can no longer be trusted. Queue
+			// the ERR (in order, after any in-flight responses) and close.
+			items <- connItem{buf: wire.AppendErr(nil, err.Error())}
+			return false, wire.Request{}
 		}
 		tr.addDecode(tDec)
 
 		if req.Op == wire.OpReplicate {
-			// The connection leaves request/response mode for good: it
-			// becomes a one-way replication stream until either side
-			// hangs up.
-			s.metrics.ObserveRequest(req.Op, 0, false)
-			log.Info("replication subscriber attached", "seq", req.Seq, "off", req.Off)
-			s.serveReplication(conn, w, req)
-			return
+			return true, req
 		}
 
 		start := time.Now()
-		resp, opFailed := s.dispatch(req, respBuf[:0], tr)
-		s.metrics.ObserveRequest(req.Op, time.Since(start), opFailed)
-		respBuf = resp[:0]
-
-		ok := s.respond(conn, w, resp)
+		var buf []byte
+		select {
+		case buf = <-bufs:
+		default: // free list empty: first requests, or writer still owns them
+		}
+		resp, ticket, opFailed := s.dispatch(req, buf[:0], tr)
+		// The request payload and key scratch are dead here — dispatch has
+		// copied what it keeps (filter state, WAL pending bytes) — so the
+		// reader can safely reuse them for the next frame while the writer
+		// waits out this response's commit.
+		item := connItem{
+			id: id, op: req.Op, ticket: ticket, buf: resp,
+			failed: opFailed, observe: true, start: start, tr: tr,
+		}
 		if tr != nil || s.tracer.slowNs > 0 {
+			item.keys, item.keyBytes = requestSize(req)
+		}
+		items <- item
+		if s.closed.Load() {
+			return false, wire.Request{} // draining: the writer flushes what's queued
+		}
+	}
+}
+
+// connWriter drains the response queue in order: wait for each item's
+// WAL ticket to be durable, then write the frame. A commit failure
+// rewrites the response to ERR — the mutation was applied but its
+// durability is unknown, and acking would break the SyncAlways contract.
+// After a write failure the writer keeps draining (the reader may be
+// blocked mid-enqueue) without touching the socket.
+func (s *Server) connWriter(conn net.Conn, w *bufio.Writer, items chan connItem, bufs chan<- []byte, done chan<- struct{}) {
+	defer close(done)
+	alive := true
+	for item := range items {
+		if err := s.store.waitDurable(item.ticket, item.tr); err != nil {
+			item.buf = wire.AppendErr(item.buf[:0], err.Error())
+			item.failed = true
+		}
+		if item.observe {
+			s.metrics.ObserveRequest(item.op, time.Since(item.start), item.failed)
+		}
+		if alive {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			err := wire.WriteFrame(w, item.buf)
+			if err == nil && len(items) == 0 {
+				// Flush only when the queue is empty: back-to-back pipelined
+				// responses coalesce into fewer syscalls.
+				err = w.Flush()
+			}
+			if err == nil {
+				s.metrics.AddBytes(0, 4+len(item.buf))
+			} else {
+				alive = false
+				conn.Close() // fail the reader fast; it owns shutdown
+			}
+		}
+		if item.observe && (item.tr != nil || s.tracer.slowNs > 0) {
 			// Off the hot path: only sampled requests or servers with a
 			// slow threshold configured ever get here.
-			total := time.Since(start)
-			if tr != nil {
-				total = time.Since(tr.entry.Start)
+			total := time.Since(item.start)
+			if item.tr != nil {
+				total = time.Since(item.tr.entry.Start)
 			}
-			keys, keyBytes := requestSize(req)
-			s.tracer.finish(id, tr, req.Op, keys, keyBytes, total, opFailed)
+			s.tracer.finish(item.id, item.tr, item.op, item.keys, item.keyBytes, total, item.failed)
 		}
-		if !ok {
-			return
-		}
-		if s.closed.Load() {
-			return // draining: finish the in-flight request, then hang up
+		if cap(item.buf) <= connRecycleCap {
+			select {
+			case bufs <- item.buf:
+			default:
+			}
 		}
 	}
 }
@@ -342,85 +446,80 @@ func requestSize(req wire.Request) (keys, keyBytes int) {
 	return 0, 0
 }
 
-// respond writes one response frame and flushes. Returns false when the
-// connection is no longer usable.
-func (s *Server) respond(conn net.Conn, w *bufio.Writer, payload []byte) bool {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	if err := wire.WriteFrame(w, payload); err == nil {
-		if err = w.Flush(); err == nil {
-			s.metrics.AddBytes(0, 4+len(payload))
-			return true
-		}
-	}
-	return false
-}
-
 // dispatch executes one decoded request against the store and encodes
-// the response into dst.
-func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []byte, opFailed bool) {
+// the response into dst. Mutations are applied and WAL-enqueued but NOT
+// yet durable: the returned ticket names the commit the caller must wait
+// out (store.waitDurable) before releasing the response. Reads return
+// ticket 0 — nothing to wait for.
+func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []byte, ticket uint64, opFailed bool) {
 	if s.cfg.ReadOnly && wire.IsMutation(req.Op) {
-		return wire.AppendReadOnly(dst, s.cfg.PrimaryAddr), true
+		return wire.AppendReadOnly(dst, s.cfg.PrimaryAddr), 0, true
 	}
 	switch req.Op {
 	case wire.OpInsert:
-		if err := s.store.insert(req.Key, tr); err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+		ticket, err := s.store.insertEnq(req.Key, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendOK(dst), false
+		return wire.AppendOK(dst), ticket, false
 	case wire.OpDelete:
-		if err := s.store.delete(req.Key, tr); err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+		ticket, err := s.store.deleteEnq(req.Key, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendOK(dst), false
+		return wire.AppendOK(dst), ticket, false
 	case wire.OpContains:
 		t0 := tr.now()
 		ok := s.store.Contains(req.Key)
 		tr.addFilter(t0)
-		return wire.AppendBool(wire.AppendOK(dst), ok), false
+		return wire.AppendBool(wire.AppendOK(dst), ok), 0, false
 	case wire.OpEstimate:
 		t0 := tr.now()
 		n := s.store.EstimateCount(req.Key)
 		tr.addFilter(t0)
-		return wire.AppendU64(wire.AppendOK(dst), uint64(n)), false
+		return wire.AppendU64(wire.AppendOK(dst), uint64(n)), 0, false
 	case wire.OpLen:
-		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.Len())), false
+		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.Len())), 0, false
 	case wire.OpInsertBatch:
-		if err := s.store.insertBatch(req.Keys, tr); err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+		ticket, err := s.store.insertBatchEnq(req.Keys, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendOK(dst), false
+		return wire.AppendOK(dst), ticket, false
 	case wire.OpDeleteBatch:
-		ok, err := s.store.deleteBatch(req.Keys, tr)
+		ok, ticket, err := s.store.deleteBatchEnq(req.Keys, tr)
 		if err != nil {
 			// WAL failure: the durable outcome is unknown; fail loudly.
-			return wire.AppendErr(dst, err.Error()), true
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendBools(wire.AppendOK(dst), ok), false
+		return wire.AppendBools(wire.AppendOK(dst), ok), ticket, false
 	case wire.OpContainsBatch:
 		t0 := tr.now()
 		flags := s.store.ContainsBatch(req.Keys)
 		tr.addFilter(t0)
-		return wire.AppendBools(wire.AppendOK(dst), flags), false
+		return wire.AppendBools(wire.AppendOK(dst), flags), 0, false
 	case wire.OpDump:
 		data, err := s.store.MarshalFilter()
 		if err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return append(wire.AppendOK(dst), data...), false
+		return append(wire.AppendOK(dst), data...), 0, false
 	case wire.OpInsertTTL:
-		if err := s.store.insertTTL(req.Key, durationFromNanos(req.TTL), tr); err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+		ticket, err := s.store.insertTTLEnq(req.Key, durationFromNanos(req.TTL), tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendOK(dst), false
+		return wire.AppendOK(dst), ticket, false
 	case wire.OpInsertTTLBatch:
-		if err := s.store.insertTTLBatch(req.Keys, durationFromNanos(req.TTL), tr); err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+		ticket, err := s.store.insertTTLBatchEnq(req.Keys, durationFromNanos(req.TTL), tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendOK(dst), false
+		return wire.AppendOK(dst), ticket, false
 	case wire.OpWindowStats:
 		st, err := s.store.WindowStats()
 		if err != nil {
-			return wire.AppendErr(dst, err.Error()), true
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
 		ws := wire.WindowStats{
 			Generations:      uint32(st.Generations),
@@ -434,9 +533,9 @@ func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []by
 		for i, n := range st.GenItems {
 			ws.GenItems[i] = uint64(n)
 		}
-		return wire.AppendWindowStats(wire.AppendOK(dst), ws), false
+		return wire.AppendWindowStats(wire.AppendOK(dst), ws), 0, false
 	}
-	return wire.AppendErr(dst, "unknown opcode"), true
+	return wire.AppendErr(dst, "unknown opcode"), 0, true
 }
 
 // durationFromNanos converts a wire TTL to a duration; values past

@@ -422,6 +422,19 @@ func (s *Store) Insert(key []byte) error { return s.insert(key, nil) }
 // insert is the traced core of Insert: tr (nil when tracing is off)
 // receives the filter, WAL-append, and fsync stage timings.
 func (s *Store) insert(key []byte, tr *reqTrace) error {
+	ticket, err := s.insertEnq(key, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+// insertEnq applies one insert and enqueues its WAL record, returning
+// the commit ticket. The mutation lock is held only for apply+enqueue —
+// never across the fsync — which is what lets concurrent mutations share
+// commit rounds. The caller owes a waitDurable(ticket) before
+// acknowledging.
+func (s *Store) insertEnq(key []byte, tr *reqTrace) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
@@ -432,10 +445,16 @@ func (s *Store) insert(key []byte, tr *reqTrace) error {
 		err = s.f().Insert(key)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tr.addFilter(t0)
-	return s.wal.Append(wire.OpInsert, key, tr)
+	return s.wal.Enqueue(wire.OpInsert, key, tr)
+}
+
+// waitDurable blocks until the ticket's WAL records are durable per the
+// sync policy. Ticket 0 (nothing logged) returns immediately.
+func (s *Store) waitDurable(ticket uint64, tr *reqTrace) error {
+	return s.wal.WaitDurable(ticket, tr)
 }
 
 // Delete applies and logs one delete. Deleting an absent key fails
@@ -443,6 +462,14 @@ func (s *Store) insert(key []byte, tr *reqTrace) error {
 func (s *Store) Delete(key []byte) error { return s.delete(key, nil) }
 
 func (s *Store) delete(key []byte, tr *reqTrace) error {
+	ticket, err := s.deleteEnq(key, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+func (s *Store) deleteEnq(key []byte, tr *reqTrace) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
@@ -453,10 +480,10 @@ func (s *Store) delete(key []byte, tr *reqTrace) error {
 		err = s.f().Delete(key)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tr.addFilter(t0)
-	return s.wal.Append(wire.OpDelete, key, tr)
+	return s.wal.Enqueue(wire.OpDelete, key, tr)
 }
 
 // InsertBatch applies and logs a batch with a single fsync. On a batch
@@ -466,6 +493,14 @@ func (s *Store) delete(key []byte, tr *reqTrace) error {
 func (s *Store) InsertBatch(keys [][]byte) error { return s.insertBatch(keys, nil) }
 
 func (s *Store) insertBatch(keys [][]byte, tr *reqTrace) error {
+	ticket, err := s.insertBatchEnq(keys, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+func (s *Store) insertBatchEnq(keys [][]byte, tr *reqTrace) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
@@ -476,10 +511,10 @@ func (s *Store) insertBatch(keys [][]byte, tr *reqTrace) error {
 		err = s.f().InsertBatch(keys, s.opts.BatchWorkers)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tr.addFilter(t0)
-	return s.wal.AppendBatch(wire.OpInsert, keys, tr)
+	return s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
 }
 
 // DeleteBatch applies a batch of deletes and logs exactly the subset
@@ -488,6 +523,17 @@ func (s *Store) insertBatch(keys [][]byte, tr *reqTrace) error {
 func (s *Store) DeleteBatch(keys [][]byte) ([]bool, error) { return s.deleteBatch(keys, nil) }
 
 func (s *Store) deleteBatch(keys [][]byte, tr *reqTrace) ([]bool, error) {
+	ok, ticket, err := s.deleteBatchEnq(keys, tr)
+	if err != nil {
+		return ok, err
+	}
+	if err := s.wal.WaitDurable(ticket, tr); err != nil {
+		return ok, err
+	}
+	return ok, nil
+}
+
+func (s *Store) deleteBatchEnq(keys [][]byte, tr *reqTrace) ([]bool, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t0 := tr.now()
@@ -498,16 +544,10 @@ func (s *Store) deleteBatch(keys [][]byte, tr *reqTrace) ([]bool, error) {
 		ok, _ = s.f().DeleteBatch(keys, s.opts.BatchWorkers)
 	}
 	tr.addFilter(t0)
-	logged := make([][]byte, 0, len(keys))
-	for i, k := range keys {
-		if ok[i] {
-			logged = append(logged, k)
-		}
-	}
-	if err := s.wal.AppendBatch(wire.OpDelete, logged, tr); err != nil {
-		return ok, err
-	}
-	return ok, nil
+	// Log exactly the subset that succeeded, straight from the flags — no
+	// intermediate key slice.
+	ticket, err := s.wal.EnqueueBatchFlags(wire.OpDelete, keys, ok, tr)
+	return ok, ticket, err
 }
 
 // Contains answers membership; lock-free at the store level. Checked
@@ -575,9 +615,21 @@ func (s *Store) Stats() StoreStats {
 }
 
 // WALHists returns plain-value views of the WAL's fsync-latency (ns)
-// and commit-batch-size histograms.
+// and enqueue-batch-size histograms.
 func (s *Store) WALHists() (fsync, batch HistSnapshot) {
 	return s.wal.fsyncHist.Snapshot(), s.wal.batchHist.Snapshot()
+}
+
+// WALGroupHists returns the group-commit histograms: records per commit
+// round and commit-round latency (ns).
+func (s *Store) WALGroupHists() (group, commit HistSnapshot) {
+	return s.wal.groupHist.Snapshot(), s.wal.commitHist.Snapshot()
+}
+
+// WALGroupStats reports commit rounds completed and callers currently
+// blocked in WaitDurable.
+func (s *Store) WALGroupStats() (commits uint64, waiters int64) {
+	return s.wal.GroupStats()
 }
 
 // Snapshot writes a point-in-time snapshot and truncates the WAL behind

@@ -9,8 +9,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,13 +33,43 @@ import (
 // Segments interlock with snapshots: snapshot-<S>.snap covers every
 // record in segments with seq < S, so recovery loads the newest valid
 // snapshot and replays segments seq >= S in order.
+//
+// # Group commit
+//
+// Appending is split into two phases so fsyncs amortize across
+// concurrent writers instead of serializing them:
+//
+//  1. Enqueue — under the store mutation lock, records are framed
+//     directly into an in-memory pending buffer and the caller receives
+//     a commit ticket (a monotonic sequence number covering everything
+//     enqueued so far).
+//  2. WaitDurable — outside the store lock, the caller blocks until a
+//     commit round has made its ticket durable. Whoever arrives first
+//     elects itself leader (a TryLock on the commit IO lock), swaps the
+//     pending buffer out, performs ONE write + fsync for every record
+//     enqueued by then, advances the durable ticket, and broadcasts.
+//     Everyone else sleeps on a condition variable — no per-record
+//     channels, no allocation on the wait path.
+//
+// Under SyncAlways no caller is released before its bytes are fsync'd —
+// the durability contract is unchanged — but N concurrent writers share
+// one fsync instead of paying N. Under SyncInterval/SyncNever a
+// background committer goroutine drains the pending buffer (kicked on
+// the empty→non-empty transition) and fsync stays with the policy's
+// ticker / the OS. The record byte layout on disk is exactly what
+// single-record appends produced, so replica byte-mirroring and replay
+// are unaffected.
+//
+// Lock order: store.mu → wal.commitMu → wal.mu. WaitDurable acquires
+// commitMu only via TryLock while holding wal.mu, which cannot deadlock.
 
 // SyncPolicy says when the WAL fsyncs.
 type SyncPolicy int
 
 const (
-	// SyncAlways fsyncs after every append (one fsync per batch for batch
-	// ops). Acknowledged mutations are durable against power loss.
+	// SyncAlways fsyncs before a mutation is acknowledged (one fsync may
+	// cover many concurrent mutations — group commit). Acknowledged
+	// mutations are durable against power loss.
 	SyncAlways SyncPolicy = iota
 	// SyncInterval leaves fsync to a background ticker; a crash window of
 	// at most the interval is traded for throughput.
@@ -73,34 +105,67 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 
 const walRecordHeader = 8 // u32 len + u32 crc
 
+// walPendingCap is the soft bound on the pending buffer under the async
+// policies: an enqueuer that finds more than this unwritten waits for
+// the committer to drain before returning, so a slow disk back-pressures
+// producers instead of growing the heap without bound.
+const walPendingCap = 1 << 20
+
+// walRecycleCap bounds the capacity of buffers kept on the swap
+// free-list; a rare giant batch does not pin its buffer forever.
+const walRecycleCap = 4 << 20
+
 // wal appends mutation records to the current segment file.
 type wal struct {
 	dir    string
 	policy SyncPolicy
 
+	// mu guards the enqueue state: the pending buffer, tickets, logical
+	// position, and counters. It is never held across disk IO.
 	mu      sync.Mutex
+	cond    sync.Cond // signaled when durTicket advances or pending drains
 	f       *os.File
-	w       *bufio.Writer
-	seq     uint64
-	size    int64 // bytes in the current segment, including buffered
-	dirty   bool  // buffered or written bytes not yet fsynced
-	records uint64
-	syncs   uint64
+	pending []byte // framed records enqueued but not yet written
+	spare   []byte // recycled swap buffer for pending
+	seq         uint64
+	size        int64 // logical bytes in the current segment, incl. pending
+	dirty       bool  // written or pending bytes not yet fsynced
+	records     uint64
+	syncs       uint64
+	enqTicket   uint64 // ticket of the newest enqueued group
+	durTicket   uint64 // tickets <= this are committed per policy
+	commitErr   error  // sticky: first commit IO failure poisons the log
+
+	// commitMu serializes commit IO (write+fsync) and rotation. Taken
+	// before mu; WaitDurable only TryLocks it while holding mu.
+	commitMu sync.Mutex
 
 	// Replication bookkeeping: cumulative counters monotonic across
 	// rotations (seeded at open from the retained segments, so they
-	// approximate lifetime totals), and a change-notification channel
-	// closed-and-replaced on every append so tailers can wait for new
-	// records without polling.
+	// approximate lifetime totals), and a change-notification channel for
+	// tailers. The channel is armed lazily by Changed() and closed on the
+	// next enqueue or rotation, so a WAL nobody tails never allocates one.
 	cumRecords uint64
 	cumBytes   uint64
-	changed    chan struct{}
+	changed    chan struct{} // nil when no tailer is waiting
 
-	// Observability: fsync latency (ns) and commit batch sizes (records
-	// per commit). Atomic histograms — no extra locking, and the clock
-	// reads bracket an fsync, which costs orders of magnitude more.
-	fsyncHist Histogram
-	batchHist Histogram
+	// Committer goroutine (async policies only): kicked on the
+	// empty→non-empty pending transition.
+	kick     chan struct{}
+	stopDrain chan struct{}
+	drainDone chan struct{}
+
+	// Observability. fsyncHist: fsync latency (ns). batchHist: records
+	// per Enqueue group (the per-request batch size). groupHist: records
+	// per commit round (the group-commit amortization factor). commitHist:
+	// commit-round latency (ns). waiters: callers currently blocked in
+	// WaitDurable. groupCommits: commit rounds completed.
+	fsyncHist    Histogram
+	batchHist    Histogram
+	groupHist    Histogram
+	commitHist   Histogram
+	waiters      atomic.Int64
+	groupCommits atomic.Uint64
 }
 
 func walPath(dir string, seq uint64) string {
@@ -138,15 +203,38 @@ func openWAL(dir string, seq uint64, policy SyncPolicy, validBytes int64) (*wal,
 		}
 		size = validBytes
 	}
-	return &wal{
-		dir:     dir,
-		policy:  policy,
-		f:       f,
-		w:       bufio.NewWriterSize(f, 1<<16),
-		seq:     seq,
-		size:    size,
-		changed: make(chan struct{}),
-	}, nil
+	w := &wal{
+		dir:    dir,
+		policy: policy,
+		f:      f,
+		seq:    seq,
+		size:   size,
+	}
+	w.cond.L = &w.mu
+	if policy != SyncAlways {
+		w.kick = make(chan struct{}, 1)
+		w.stopDrain = make(chan struct{})
+		w.drainDone = make(chan struct{})
+		go w.drainLoop()
+	}
+	return w, nil
+}
+
+// drainLoop is the background committer for the async policies: it
+// writes pending records out (no fsync — that stays with the policy's
+// ticker or the OS) whenever an enqueue kicks it.
+func (w *wal) drainLoop() {
+	defer close(w.drainDone)
+	for {
+		select {
+		case <-w.kick:
+			w.commitMu.Lock()
+			w.commitRound(false, nil)
+			w.commitMu.Unlock()
+		case <-w.stopDrain:
+			return
+		}
+	}
 }
 
 // setBaseline seeds the cumulative replication counters from state that
@@ -158,95 +246,359 @@ func (w *wal) setBaseline(records uint64, bytes uint64) {
 	w.cumRecords, w.cumBytes = records, bytes
 }
 
-func appendRecord(dst []byte, op byte, key []byte) []byte {
-	body := make([]byte, 0, 1+len(key))
-	body = append(body, op)
-	body = append(body, key...)
-	var hdr [walRecordHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
-	dst = append(dst, hdr[:]...)
-	return append(dst, body...)
+// frameRecordLocked appends one CRC-framed record to the pending buffer
+// in place — no intermediate body allocation. body = [op][key...] or
+// [op][extra...][key...] when extra is non-nil (the TTL rotation-count
+// prefix).
+func (w *wal) frameRecordLocked(op byte, extra []byte, key []byte) {
+	bodyLen := 1 + len(extra) + len(key)
+	hdrOff := len(w.pending)
+	w.pending = append(w.pending, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.pending = append(w.pending, op)
+	w.pending = append(w.pending, extra...)
+	w.pending = append(w.pending, key...)
+	body := w.pending[hdrOff+walRecordHeader:]
+	binary.LittleEndian.PutUint32(w.pending[hdrOff:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(w.pending[hdrOff+4:], crc32.ChecksumIEEE(body))
+}
+
+// finishEnqueueLocked advances the logical position and counters for a
+// group of n records occupying grew bytes, issues the group's ticket,
+// and wakes the committer/tailers. Caller holds w.mu.
+func (w *wal) finishEnqueueLocked(n int, grew int, tr *reqTrace, t0 time.Time) uint64 {
+	w.records += uint64(n)
+	w.size += int64(grew)
+	w.cumRecords += uint64(n)
+	w.cumBytes += uint64(grew)
+	w.batchHist.Observe(uint64(n))
+	w.dirty = true
+	w.enqTicket++
+	ticket := w.enqTicket
+	w.notifyLocked()
+	tr.addWAL(t0)
+	if w.kick != nil && len(w.pending) == grew {
+		// empty→non-empty transition: wake the async committer.
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	return ticket
+}
+
+// Enqueue frames one record into the pending buffer and returns its
+// commit ticket. The record becomes durable per policy once a commit
+// round covering the ticket completes; pass the ticket to WaitDurable.
+// Callers serialize enqueues against state mutation (the store holds its
+// mutation lock), which is what makes WAL order equal apply order.
+func (w *wal) Enqueue(op byte, key []byte, tr *reqTrace) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	before := len(w.pending)
+	w.frameRecordLocked(op, nil, key)
+	return w.finishEnqueueLocked(1, len(w.pending)-before, tr, t0), nil
+}
+
+// EnqueueBatch frames a group of same-op records as one ticket (their
+// durability is decided by a single commit round).
+func (w *wal) EnqueueBatch(op byte, keys [][]byte, tr *reqTrace) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	before := len(w.pending)
+	for _, k := range keys {
+		w.frameRecordLocked(op, nil, k)
+	}
+	return w.finishEnqueueLocked(len(keys), len(w.pending)-before, tr, t0), nil
+}
+
+// EnqueueBatchFlags frames only the keys whose flag is set — the
+// delete-batch path logging exactly the subset that succeeded, without
+// building an intermediate slice.
+func (w *wal) EnqueueBatchFlags(op byte, keys [][]byte, flags []bool, tr *reqTrace) (uint64, error) {
+	n := 0
+	for _, ok := range flags {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	before := len(w.pending)
+	for i, k := range keys {
+		if flags[i] {
+			w.frameRecordLocked(op, nil, k)
+		}
+	}
+	return w.finishEnqueueLocked(n, len(w.pending)-before, tr, t0), nil
+}
+
+// EnqueueTTL frames one windowed TTL record ([op][u32 rot][key]) without
+// an intermediate body allocation.
+func (w *wal) EnqueueTTL(op byte, rot uint32, key []byte, tr *reqTrace) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	before := len(w.pending)
+	var rb [4]byte
+	binary.LittleEndian.PutUint32(rb[:], rot)
+	w.frameRecordLocked(op, rb[:], key)
+	return w.finishEnqueueLocked(1, len(w.pending)-before, tr, t0), nil
+}
+
+// EnqueueTTLBatch frames windowed TTL records ([op][u32 rot][key]) for a
+// batch sharing one rotation count, without per-key body allocation.
+func (w *wal) EnqueueTTLBatch(op byte, rot uint32, keys [][]byte, tr *reqTrace) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	before := len(w.pending)
+	var rb [4]byte
+	binary.LittleEndian.PutUint32(rb[:], rot)
+	for _, k := range keys {
+		w.frameRecordLocked(op, rb[:], k)
+	}
+	return w.finishEnqueueLocked(len(keys), len(w.pending)-before, tr, t0), nil
+}
+
+// EnqueueRaw appends pre-framed record bytes verbatim — the replica
+// apply path, which mirrors the primary's segment bytes instead of
+// re-encoding them. The caller has already CRC-validated the records.
+func (w *wal) EnqueueRaw(raw []byte, n int) (uint64, error) {
+	if len(raw) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enqueueOKLocked(); err != nil {
+		return 0, err
+	}
+	before := len(w.pending)
+	w.pending = append(w.pending, raw...)
+	return w.finishEnqueueLocked(n, len(w.pending)-before, nil, time.Time{}), nil
+}
+
+func (w *wal) enqueueOKLocked() error {
+	if w.f == nil {
+		return errors.New("server: wal closed")
+	}
+	return w.commitErr
+}
+
+// WaitDurable blocks until the given ticket's records are committed per
+// policy. Ticket 0 (nothing enqueued) returns immediately. Under
+// SyncAlways the caller returns only after a write+fsync covering the
+// ticket — the first waiter to arrive leads the commit round for
+// everyone pending. Under the async policies the caller returns as soon
+// as the pending buffer is within bounds; durability stays with the
+// sync ticker / the OS.
+func (w *wal) WaitDurable(ticket uint64, tr *reqTrace) error {
+	if ticket == 0 {
+		return nil
+	}
+	if w.policy != SyncAlways {
+		return w.waitBackpressure()
+	}
+	t0 := tr.now()
+	w.mu.Lock()
+	for w.durTicket < ticket && w.commitErr == nil && w.f != nil {
+		if w.commitMu.TryLock() {
+			// Leader: commit everything enqueued so far in one round.
+			w.mu.Unlock()
+			w.commitRound(true, tr)
+			w.commitMu.Unlock()
+			w.mu.Lock()
+			continue
+		}
+		// A round is in flight; it (or its successor) will cover us.
+		w.waiters.Add(1)
+		w.cond.Wait()
+		w.waiters.Add(-1)
+	}
+	err := w.commitErr
+	if err == nil && w.f == nil && w.durTicket < ticket {
+		err = errors.New("server: wal closed")
+	}
+	w.mu.Unlock()
+	if tr != nil {
+		tr.addFsync(time.Since(t0))
+	}
+	return err
+}
+
+// waitBackpressure bounds the pending buffer under the async policies:
+// producers stall only when the committer is more than walPendingCap
+// behind.
+func (w *wal) waitBackpressure() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.pending) > walPendingCap && w.commitErr == nil && w.f != nil {
+		w.waiters.Add(1)
+		w.cond.Wait()
+		w.waiters.Add(-1)
+	}
+	return w.commitErr
+}
+
+// commitRound performs one commit: swap the pending buffer out under mu,
+// write it with a single pwrite outside mu, fsync when sync is set (and
+// the policy ever fsyncs), then advance the durable ticket and broadcast.
+// Caller holds commitMu and NOT mu.
+func (w *wal) commitRound(sync bool, tr *reqTrace) {
+	t0 := time.Now()
+	if sync {
+		// Let runnable writers enqueue before the batch is sealed. A
+		// blocking fsync does not hand its P off immediately (sysmon
+		// retakes it on its own clock), so on few-core hosts writers that
+		// arrived "during" the previous fsync are often still waiting to
+		// run here; one yield lets them drain into this round instead of
+		// each forcing a round of their own. With no other runnable
+		// goroutine this is a few nanoseconds.
+		runtime.Gosched()
+	}
+	w.mu.Lock()
+	if w.f == nil || w.commitErr != nil {
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	buf := w.pending
+	recs := 0 // frames in the swapped buffer, for the group-size histogram
+	for off := 0; off+walRecordHeader <= len(buf); {
+		l := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += walRecordHeader + l
+		recs++
+	}
+	ticket := w.enqTicket
+	dirty := w.dirty
+	f := w.f
+	w.pending = w.spare[:0]
+	w.spare = nil
+	w.mu.Unlock()
+
+	var err error
+	wrote := len(buf) > 0
+	if wrote {
+		_, err = f.Write(buf)
+	}
+	synced := false
+	if err == nil && sync && (wrote || dirty) {
+		if w.policy != SyncNever {
+			ts := time.Now()
+			err = f.Sync()
+			w.fsyncHist.ObserveDuration(time.Since(ts))
+		}
+		synced = err == nil
+	}
+
+	w.mu.Lock()
+	if cap(buf) <= walRecycleCap && w.spare == nil {
+		w.spare = buf[:0]
+	}
+	if err != nil {
+		if w.commitErr == nil {
+			w.commitErr = err
+		}
+	} else {
+		if ticket > w.durTicket {
+			w.durTicket = ticket
+		}
+		if synced {
+			w.syncs++
+			// Bytes enqueued after the swap are pending again; only a round
+			// that drained everything leaves the log clean.
+			w.dirty = len(w.pending) > 0
+		}
+	}
+	if wrote {
+		w.groupCommits.Add(1)
+		w.groupHist.Observe(uint64(recs))
+		w.commitHist.ObserveDuration(time.Since(t0))
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
 }
 
 // Append logs one mutation and, under SyncAlways, makes it durable before
-// returning. tr, when non-nil, receives the append and fsync stage
-// timings.
+// returning — Enqueue + WaitDurable for callers without a pipeline. tr,
+// when non-nil, receives the append and fsync stage timings.
 func (w *wal) Append(op byte, key []byte, tr *reqTrace) error {
-	return w.AppendBatch(op, [][]byte{key}, tr)
+	ticket, err := w.Enqueue(op, key, tr)
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(ticket, tr)
 }
 
 // AppendBatch logs a group of same-op mutations with a single fsync under
 // SyncAlways.
 func (w *wal) AppendBatch(op byte, keys [][]byte, tr *reqTrace) error {
-	if len(keys) == 0 {
-		return nil
+	ticket, err := w.EnqueueBatch(op, keys, tr)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 0, len(keys)*(walRecordHeader+16))
-	for _, k := range keys {
-		buf = appendRecord(buf, op, k)
-	}
-	return w.commit(buf, len(keys), tr)
+	return w.WaitDurable(ticket, tr)
 }
 
-// AppendRaw logs pre-framed record bytes verbatim — the replica apply
-// path, which mirrors the primary's segment bytes instead of re-encoding
-// them. The caller has already CRC-validated the records.
+// AppendRaw logs pre-framed record bytes verbatim (see EnqueueRaw),
+// synchronously per policy.
 func (w *wal) AppendRaw(raw []byte, n int) error {
-	if len(raw) == 0 {
-		return nil
-	}
-	return w.commit(raw, n, nil)
-}
-
-// commit writes pre-encoded records as one unit under the WAL lock,
-// fsyncing per policy.
-func (w *wal) commit(buf []byte, n int, tr *reqTrace) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
-		return errors.New("server: wal closed")
-	}
-	t0 := tr.now()
-	if _, err := w.w.Write(buf); err != nil {
+	ticket, err := w.EnqueueRaw(raw, n)
+	if err != nil {
 		return err
 	}
-	tr.addWAL(t0)
-	w.records += uint64(n)
-	w.size += int64(len(buf))
-	w.cumRecords += uint64(n)
-	w.cumBytes += uint64(len(buf))
-	w.batchHist.Observe(uint64(n))
-	w.dirty = true
-	w.notifyLocked()
-	if w.policy == SyncAlways {
-		t1 := tr.now()
-		err := w.syncLocked()
-		if tr != nil {
-			tr.addFsync(time.Since(t1))
-		}
-		return err
-	}
-	return nil
+	return w.WaitDurable(ticket, nil)
 }
 
-// notifyLocked wakes every tailer blocked on Changed.
+// notifyLocked wakes every tailer blocked on Changed. The channel is
+// armed lazily, so a WAL without tailers pays one nil check here.
 func (w *wal) notifyLocked() {
-	close(w.changed)
-	w.changed = make(chan struct{})
+	if w.changed != nil {
+		close(w.changed)
+		w.changed = nil
+	}
 }
 
-// Changed returns a channel closed at the next append or rotation. Take
+// Changed returns a channel closed at the next enqueue or rotation. Take
 // the channel, check the position, then wait on it: the close-and-replace
 // discipline makes that sequence race-free.
 func (w *wal) Changed() <-chan struct{} {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.changed == nil {
+		w.changed = make(chan struct{})
+	}
 	return w.changed
 }
 
 // Pos returns the current segment and its logical size, counting bytes
-// still in the write buffer. This is the position an appended record
+// still in the pending buffer. This is the position an appended record
 // would land at — and, because records are applied before they are
 // logged, the WAL position that exactly matches the in-memory filter
 // when the store mutation lock is held.
@@ -256,19 +608,25 @@ func (w *wal) Pos() (seq uint64, size int64) {
 	return w.seq, w.size
 }
 
-// FlushedPos flushes the write buffer (no fsync) and returns the current
-// segment and the byte length readable from the segment file. Tailers
-// call this before reading so every logical byte is visible on disk.
+// FlushedPos drains the pending buffer to the segment file (no fsync)
+// and returns the current segment and the byte length readable from it.
+// Tailers call this before reading so every logical byte is visible on
+// disk.
 func (w *wal) FlushedPos() (seq uint64, size int64, err error) {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	w.commitRound(false, nil)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return 0, 0, errors.New("server: wal closed")
 	}
-	if err := w.w.Flush(); err != nil {
-		return 0, 0, err
+	if w.commitErr != nil {
+		return 0, 0, w.commitErr
 	}
-	return w.seq, w.size, nil
+	// Records enqueued after the commit round are not on disk yet; the
+	// readable prefix is the logical size minus what is still pending.
+	return w.seq, w.size - int64(len(w.pending)), nil
 }
 
 // CumPos returns the cumulative record and byte counters used by
@@ -279,40 +637,76 @@ func (w *wal) CumPos() (records, bytes uint64) {
 	return w.cumRecords, w.cumBytes
 }
 
-// Sync flushes buffered records and fsyncs if anything changed since the
+// Sync drains pending records and fsyncs if anything changed since the
 // last sync. Safe to call from a background ticker.
 func (w *wal) Sync() error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return nil
 	}
-	return w.syncLocked()
-}
-
-func (w *wal) syncLocked() error {
-	if !w.dirty {
-		return nil
-	}
-	if err := w.w.Flush(); err != nil {
+	idle := len(w.pending) == 0 && !w.dirty
+	err := w.commitErr
+	w.mu.Unlock()
+	if idle || err != nil {
 		return err
 	}
-	if w.policy != SyncNever {
-		t0 := time.Now()
-		if err := w.f.Sync(); err != nil {
+	w.commitRound(true, nil)
+	w.mu.Lock()
+	err = w.commitErr
+	w.mu.Unlock()
+	return err
+}
+
+// drainLocked writes any pending bytes directly; caller holds BOTH
+// commitMu and mu (rotation and close — no commit round can be in
+// flight, so touching the file under mu is safe and keeps the
+// swap atomic with what follows).
+func (w *wal) drainLocked(fsync bool) error {
+	wrote := len(w.pending) > 0
+	if wrote {
+		if _, err := w.f.Write(w.pending); err != nil {
+			if w.commitErr == nil {
+				w.commitErr = err
+			}
 			return err
 		}
-		w.fsyncHist.ObserveDuration(time.Since(t0))
+		if cap(w.pending) <= walRecycleCap {
+			w.pending = w.pending[:0]
+		} else {
+			w.pending = nil
+		}
 	}
-	w.dirty = false
-	w.syncs++
+	if fsync && (wrote || w.dirty) {
+		if w.policy != SyncNever {
+			t0 := time.Now()
+			if err := w.f.Sync(); err != nil {
+				if w.commitErr == nil {
+					w.commitErr = err
+				}
+				return err
+			}
+			w.fsyncHist.ObserveDuration(time.Since(t0))
+		}
+		w.syncs++
+		w.dirty = false
+	}
+	w.durTicket = w.enqTicket
+	w.cond.Broadcast()
 	return nil
 }
 
 // Rotate syncs and closes the current segment and starts seq+1. It
 // returns the new sequence number: a snapshot taken of the state at
-// rotation time covers every record in segments < newSeq.
+// rotation time covers every record in segments < newSeq. The commit
+// lock is held only for this drain-and-swap — the caller's snapshot
+// disk write happens entirely outside it, so concurrent group commits
+// resume as soon as the new segment is open.
 func (w *wal) Rotate() (newSeq uint64, err error) {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.rotateToLocked(w.seq+1, 0)
@@ -322,6 +716,8 @@ func (w *wal) Rotate() (newSeq uint64, err error) {
 // apply path following the primary across a rotation (or a bootstrap
 // that lands past a gap of pruned segments).
 func (w *wal) RotateTo(seq uint64) error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if seq <= w.seq {
@@ -333,11 +729,16 @@ func (w *wal) RotateTo(seq uint64) error {
 	return err
 }
 
+// rotateToLocked drains, fsyncs, and swaps segment files; caller holds
+// both commitMu and mu.
 func (w *wal) rotateToLocked(seq uint64, extraFlag int) (uint64, error) {
 	if w.f == nil {
 		return 0, errors.New("server: wal closed")
 	}
-	if err := w.syncLocked(); err != nil {
+	if w.commitErr != nil {
+		return 0, w.commitErr
+	}
+	if err := w.drainLocked(true); err != nil {
 		return 0, err
 	}
 	if err := w.f.Close(); err != nil {
@@ -347,10 +748,10 @@ func (w *wal) rotateToLocked(seq uint64, extraFlag int) (uint64, error) {
 	f, err := os.OpenFile(walPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND|extraFlag, 0o644)
 	if err != nil {
 		w.f = nil // unusable; subsequent appends fail loudly
+		w.cond.Broadcast()
 		return 0, err
 	}
 	w.f = f
-	w.w.Reset(f)
 	w.size = 0
 	w.notifyLocked()
 	return w.seq, nil
@@ -363,18 +764,32 @@ func (w *wal) Stats() (records, syncs uint64) {
 	return w.records, w.syncs
 }
 
-// Close syncs and closes the current segment.
+// GroupStats reports group-commit activity: commit rounds completed and
+// callers currently blocked in WaitDurable.
+func (w *wal) GroupStats() (commits uint64, waiters int64) {
+	return w.groupCommits.Load(), w.waiters.Load()
+}
+
+// Close drains, syncs, and closes the current segment.
 func (w *wal) Close() error {
+	if w.stopDrain != nil {
+		close(w.stopDrain)
+		<-w.drainDone
+		w.stopDrain = nil
+	}
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
-	err := w.syncLocked()
+	err := w.drainLocked(true)
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	w.f = nil
+	w.cond.Broadcast()
 	return err
 }
 

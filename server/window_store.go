@@ -38,14 +38,8 @@ const (
 	walOpInsertTTL    = 0xE1
 )
 
-// encodeTTLBody packs a rotation count and key into the WAL record's key
-// field: [u32 r][key bytes].
-func encodeTTLBody(r int, key []byte) []byte {
-	out := make([]byte, 4, 4+len(key))
-	binary.LittleEndian.PutUint32(out, uint32(r))
-	return append(out, key...)
-}
-
+// decodeTTLBody splits a TTL record's key field back into its rotation
+// count and key: [u32 r][key bytes] (the wal's EnqueueTTL* framing).
 func decodeTTLBody(b []byte) (r int, key []byte, err error) {
 	if len(b) < 4 {
 		return 0, nil, errors.New("server: truncated ttl wal record")
@@ -78,9 +72,17 @@ func (s *Store) InsertTTL(key []byte, ttl time.Duration) error {
 }
 
 func (s *Store) insertTTL(key []byte, ttl time.Duration, tr *reqTrace) error {
+	ticket, err := s.insertTTLEnq(key, ttl, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+func (s *Store) insertTTLEnq(key []byte, ttl time.Duration, tr *reqTrace) (uint64, error) {
 	w := s.w()
 	if w == nil {
-		return errNotWindowed
+		return 0, errNotWindowed
 	}
 	r := w.Generations()
 	if ttl >= 0 { // negative = overflowed u64 nanos: treat as full span
@@ -90,10 +92,10 @@ func (s *Store) insertTTL(key []byte, ttl time.Duration, tr *reqTrace) error {
 	defer s.mu.Unlock()
 	t0 := tr.now()
 	if err := w.InsertRotations(key, r); err != nil {
-		return err
+		return 0, err
 	}
 	tr.addFilter(t0)
-	return s.wal.Append(walOpInsertTTL, encodeTTLBody(r, key), tr)
+	return s.wal.EnqueueTTL(walOpInsertTTL, uint32(r), key, tr)
 }
 
 // InsertTTLBatch inserts a batch of keys sharing one TTL, with a single
@@ -103,9 +105,17 @@ func (s *Store) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
 }
 
 func (s *Store) insertTTLBatch(keys [][]byte, ttl time.Duration, tr *reqTrace) error {
+	ticket, err := s.insertTTLBatchEnq(keys, ttl, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+func (s *Store) insertTTLBatchEnq(keys [][]byte, ttl time.Duration, tr *reqTrace) (uint64, error) {
 	w := s.w()
 	if w == nil {
-		return errNotWindowed
+		return 0, errNotWindowed
 	}
 	r := w.Generations()
 	if ttl >= 0 {
@@ -115,14 +125,10 @@ func (s *Store) insertTTLBatch(keys [][]byte, ttl time.Duration, tr *reqTrace) e
 	defer s.mu.Unlock()
 	t0 := tr.now()
 	if err := w.InsertRotationsBatch(keys, r); err != nil {
-		return err
+		return 0, err
 	}
 	tr.addFilter(t0)
-	bodies := make([][]byte, len(keys))
-	for i, k := range keys {
-		bodies[i] = encodeTTLBody(r, k)
-	}
-	return s.wal.AppendBatch(walOpInsertTTL, bodies, tr)
+	return s.wal.EnqueueTTLBatch(walOpInsertTTL, uint32(r), keys, tr)
 }
 
 // WindowStats reports the generation ring's shape and occupancy.

@@ -76,6 +76,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -212,15 +213,57 @@ func OpNames() map[byte]string {
 }
 
 // WriteFrame writes one length-prefixed frame. The caller flushes any
-// buffering writer.
+// buffering writer. A *bufio.Writer takes a byte-wise header path: a
+// stack header array passed through the io.Writer interface escapes to
+// the heap, and that one 4-byte allocation per response is what stands
+// between the serving path and 0 allocs/op.
 func WriteFrame(w io.Writer, payload []byte) error {
+	n := uint32(len(payload))
+	if bw, ok := w.(*bufio.Writer); ok {
+		bw.WriteByte(byte(n))
+		bw.WriteByte(byte(n >> 8))
+		bw.WriteByte(byte(n >> 16))
+		// bufio errors are sticky: checking the last header byte covers
+		// the first three.
+		if err := bw.WriteByte(byte(n >> 24)); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[:], n)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// readFrameHeader reads the 4-byte little-endian length prefix. The
+// *bufio.Reader path avoids a heap-escaping header array, mirroring
+// WriteFrame; a clean EOF before the first byte stays io.EOF (connection
+// closed between frames), a torn header is io.ErrUnexpectedEOF.
+func readFrameHeader(r io.Reader) (int, error) {
+	if br, ok := r.(*bufio.Reader); ok {
+		var n uint32
+		for i := 0; i < 4; i++ {
+			b, err := br.ReadByte()
+			if err != nil {
+				if i > 0 && err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return 0, err
+			}
+			n |= uint32(b) << (8 * i)
+		}
+		return int(n), nil
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(hdr[:])), nil
 }
 
 // ReadFrame reads one frame into buf (reallocated when too small) and
@@ -229,11 +272,10 @@ func ReadFrame(r io.Reader, buf []byte, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	n, err := readFrameHeader(r)
+	if err != nil {
 		return nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
@@ -326,6 +368,16 @@ type Request struct {
 
 // DecodeRequest parses a request payload.
 func DecodeRequest(payload []byte) (Request, error) {
+	return DecodeRequestInto(payload, nil)
+}
+
+// DecodeRequestInto parses a request payload like DecodeRequest, reusing
+// scratch as the backing array for batch Keys so a connection's decode
+// loop stops allocating once the scratch has grown to the largest batch
+// it has seen. The returned Request's Keys slice is the grown scratch:
+// pass it back (req.Keys) on the next call. Like the payload itself, the
+// scratch is invalidated by the next frame read.
+func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 	if len(payload) == 0 {
 		return Request{}, errors.New("wire: empty request")
 	}
@@ -368,7 +420,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if n > len(body)/4+1 {
 			return Request{}, fmt.Errorf("wire: insert_ttl_batch: implausible key count %d", n)
 		}
-		keys := make([][]byte, 0, n)
+		keys := scratch[:0]
 		for i := 0; i < n; i++ {
 			key, rest, err := readKey(body)
 			if err != nil {
@@ -398,7 +450,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if n > len(body)/4+1 {
 			return Request{}, fmt.Errorf("wire: %s: implausible key count %d", OpName(req.Op), n)
 		}
-		keys := make([][]byte, 0, n)
+		keys := scratch[:0]
 		for i := 0; i < n; i++ {
 			key, rest, err := readKey(body)
 			if err != nil {
@@ -648,6 +700,14 @@ func DecodeWindowStats(body []byte) (WindowStats, error) {
 
 // DecodeBools parses a [u32 n][bool]*n response body.
 func DecodeBools(body []byte) ([]bool, error) {
+	return DecodeBoolsInto(body, nil)
+}
+
+// DecodeBoolsInto parses a [u32 n][bool]*n response body into dst's
+// backing array (grown as needed), so a caller reusing the returned
+// slice across responses stops allocating once it has seen its largest
+// batch.
+func DecodeBoolsInto(body []byte, dst []bool) ([]bool, error) {
 	if len(body) < 4 {
 		return nil, errors.New("wire: truncated bools response")
 	}
@@ -656,9 +716,9 @@ func DecodeBools(body []byte) ([]bool, error) {
 	if n != len(body) {
 		return nil, fmt.Errorf("wire: bools response: count %d, body %d", n, len(body))
 	}
-	out := make([]bool, n)
-	for i := range out {
-		out[i] = body[i] != 0
+	out := dst[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, body[i] != 0)
 	}
 	return out, nil
 }
