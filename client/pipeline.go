@@ -148,6 +148,11 @@ func (p *Pipeline) Flush() ([]PipeResult, error) {
 			return results, redialErr
 		}
 	}
+	// The deadline is per unit of progress, not per burst: a pipeline of
+	// many durable mutations legitimately takes longer than one
+	// round-trip, so the initial window is refreshed after every decoded
+	// response (below). SetDeadline covers the concurrent Write too —
+	// response progress implies the daemon is consuming our bytes.
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
@@ -172,6 +177,11 @@ func (p *Pipeline) Flush() ([]PipeResult, error) {
 		if err != nil {
 			terr = err
 			break
+		}
+		if c.timeout > 0 {
+			// Each response buys the burst another timeout window; only a
+			// stall with zero progress for c.timeout fails the transport.
+			c.conn.SetDeadline(time.Now().Add(c.timeout))
 		}
 		rbuf = payload
 		status, body, err := wire.DecodeStatus(payload)

@@ -394,9 +394,6 @@ func (s *Server) connWriter(conn net.Conn, w *bufio.Writer, items chan connItem,
 			item.buf = wire.AppendErr(item.buf[:0], err.Error())
 			item.failed = true
 		}
-		if item.observe {
-			s.metrics.ObserveRequest(item.op, time.Since(item.start), item.failed)
-		}
 		if alive {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			err := wire.WriteFrame(w, item.buf)
@@ -411,6 +408,12 @@ func (s *Server) connWriter(conn net.Conn, w *bufio.Writer, items chan connItem,
 				alive = false
 				conn.Close() // fail the reader fast; it owns shutdown
 			}
+		}
+		if item.observe {
+			// After the write+flush so the latency histogram covers the
+			// full decode→apply→commit→respond path, matching what the
+			// pre-pipelining serial loop measured.
+			s.metrics.ObserveRequest(item.op, time.Since(item.start), item.failed)
 		}
 		if item.observe && (item.tr != nil || s.tracer.slowNs > 0) {
 			// Off the hot path: only sampled requests or servers with a

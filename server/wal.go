@@ -526,7 +526,14 @@ func (w *wal) commitRound(sync bool, tr *reqTrace) {
 			w.commitErr = err
 		}
 	} else {
-		if ticket > w.durTicket {
+		// durTicket is the SyncAlways ack gate: WaitDurable releases a
+		// writer the moment durTicket covers its ticket, so under
+		// SyncAlways only a round that actually fsync'd may advance it —
+		// a non-sync round (a tailer's FlushedPos, a metrics scrape)
+		// writes bytes that are still only in the page cache. The async
+		// policies never gate acks on durTicket, so their non-sync drain
+		// rounds advance it freely.
+		if (synced || w.policy != SyncAlways) && ticket > w.durTicket {
 			w.durTicket = ticket
 		}
 		if synced {

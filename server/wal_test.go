@@ -283,3 +283,49 @@ func TestWALSyncInterval(t *testing.T) {
 		t.Fatalf("replayed %d", len(got))
 	}
 }
+
+// A tailer's FlushedPos (replication streamers, metrics scrapes) drains
+// pending bytes to the segment without fsync. Under SyncAlways that must
+// not advance the durable ticket: a writer blocked in WaitDurable would
+// otherwise ack a record that exists only in the page cache.
+func TestWALFlushedPosDoesNotAckSyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 1, SyncAlways, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ticket, err := w.Enqueue(wire.OpInsert, []byte("alpha"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.FlushedPos(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	dur, pending := w.durTicket, len(w.pending)
+	w.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("FlushedPos left %d pending bytes", pending)
+	}
+	if dur >= ticket {
+		t.Fatalf("durTicket = %d covers ticket %d with no fsync", dur, ticket)
+	}
+	// The waiter still gets its durability: WaitDurable leads a round
+	// that fsyncs the already-written bytes, then releases.
+	if _, syncs := w.Stats(); syncs != 0 {
+		t.Fatalf("premature syncs: %d", syncs)
+	}
+	if err := w.WaitDurable(ticket, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, syncs := w.Stats(); syncs == 0 {
+		t.Fatal("WaitDurable released without an fsync")
+	}
+	w.mu.Lock()
+	dur = w.durTicket
+	w.mu.Unlock()
+	if dur < ticket {
+		t.Fatalf("durTicket = %d after WaitDurable, want >= %d", dur, ticket)
+	}
+}
