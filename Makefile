@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race race-serving bench bench-json bench-saturation fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e obs-smoke ci
+.PHONY: build test vet lint race race-serving bench bench-json bench-saturation fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e ns-e2e obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -130,6 +130,14 @@ cluster-e2e:
 window-e2e:
 	$(GO) test -race -count=1 -run 'TestIntegrationWindow' -v ./server
 
+# ns-e2e builds the daemon with a 64 MiB namespace quota and drives 200
+# mixed-geometry namespaces with concurrent writers: SIGKILL mid-stream,
+# restart recovers every acked (namespace, key), evicted namespaces
+# recover on touch with zero loss, and a replica converges to
+# byte-identical per-namespace dumps.
+ns-e2e:
+	$(GO) test -race -count=1 -run 'TestIntegrationNamespaces' -v ./server
+
 # obs-smoke boots the daemon with tracing, JSON logs, and the pprof
 # listener enabled, then scrapes /metrics, /debug/vars, /readyz,
 # /debug/requests, and /debug/pprof/goroutine — failing on any non-200
@@ -137,5 +145,5 @@ window-e2e:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./server
 
-ci: build lint race integration window-e2e cluster-e2e obs-smoke
+ci: build lint race integration window-e2e cluster-e2e ns-e2e obs-smoke
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

@@ -25,15 +25,24 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 	dst := make([]byte, 0, 2048)
 
 	single := func() {
-		dst = encodeRequest(dst[:0], wire.OpInsert, key, nil, 0)
+		dst = encodeRequest(dst[:0], wire.OpInsert, nil, key, nil, 0, wire.NsConfig{})
 	}
 	single()
 	if avg := testing.AllocsPerRun(100, single); avg != 0 {
 		t.Errorf("encode single-key: %.1f allocs/op, want 0", avg)
 	}
 
+	ns := []byte("tenant-a")
+	namespaced := func() {
+		dst = encodeRequest(dst[:0], wire.OpInsert, ns, key, nil, 0, wire.NsConfig{})
+	}
+	namespaced()
+	if avg := testing.AllocsPerRun(100, namespaced); avg != 0 {
+		t.Errorf("encode namespaced single-key: %.1f allocs/op, want 0", avg)
+	}
+
 	batch := func() {
-		dst = encodeRequest(dst[:0], wire.OpContainsBatch, nil, keys, 0)
+		dst = encodeRequest(dst[:0], wire.OpContainsBatch, nil, nil, keys, 0, wire.NsConfig{})
 	}
 	batch()
 	if avg := testing.AllocsPerRun(100, batch); avg != 0 {
@@ -41,7 +50,7 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 	}
 
 	ttlBatch := func() {
-		dst = encodeRequest(dst[:0], wire.OpInsertTTLBatch, nil, keys, 1e9)
+		dst = encodeRequest(dst[:0], wire.OpInsertTTLBatch, nil, nil, keys, 1e9, wire.NsConfig{})
 	}
 	ttlBatch()
 	if avg := testing.AllocsPerRun(100, ttlBatch); avg != 0 {

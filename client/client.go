@@ -186,8 +186,23 @@ func (c *Client) Close() error {
 // encodeRequest encodes one request payload into dst from plain
 // arguments — no per-call closure, so the steady-state encode path does
 // not allocate. Exactly one of key/keys is meaningful per opcode; ttl is
-// read only by the TTL ops.
-func encodeRequest(dst []byte, op byte, key []byte, keys [][]byte, ttl uint64) []byte {
+// read only by the TTL ops, cfg only by CREATE_NS. A non-empty ns wraps
+// data ops in the NAMESPACED envelope; the namespace admin ops carry
+// their name inline instead.
+func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig) []byte {
+	switch op {
+	case wire.OpNsCreate:
+		return wire.AppendNsCreateRequest(dst, ns, cfg)
+	case wire.OpNsDrop:
+		return wire.AppendNsDropRequest(dst, ns)
+	case wire.OpNsList:
+		return wire.AppendNsListRequest(dst)
+	case wire.OpNsStats:
+		return wire.AppendNsStatsRequest(dst, ns)
+	}
+	if len(ns) > 0 {
+		dst = wire.AppendNamespaced(dst, ns)
+	}
 	switch op {
 	case wire.OpLen, wire.OpDump, wire.OpWindowStats:
 		return append(dst, op)
@@ -202,13 +217,21 @@ func encodeRequest(dst []byte, op byte, key []byte, keys [][]byte, ttl uint64) [
 	}
 }
 
-// do runs one operation, re-encoding the request from its arguments on
+// do runs one non-namespaced operation; see doNS.
+func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, error) {
+	return c.doNS(op, nil, key, keys, ttl, wire.NsConfig{})
+}
+
+// doNS runs one operation, re-encoding the request from its arguments on
 // every attempt (the scratch buffer is shared, so a retry cannot reuse a
 // previous attempt's payload). Reconnect-enabled clients redial broken
 // connections; transport failures retry idempotent ops with backoff and
 // convert mutation interruptions to ErrMaybeApplied. Callers must not
 // hold c.mu.
-func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, error) {
+func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig) ([]byte, error) {
+	if len(ns) > wire.MaxNamespaceLen {
+		return nil, fmt.Errorf("mpcbfd: namespace name %d bytes long (max %d)", len(ns), wire.MaxNamespaceLen)
+	}
 	c.stRequests.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -229,7 +252,7 @@ func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, err
 				continue
 			}
 		}
-		payload := encodeRequest(c.scratch(), op, key, keys, ttl)
+		payload := encodeRequest(c.scratch(), op, ns, key, keys, ttl, cfg)
 		// Keep the grown buffer: encodeRequest appends into scratch, and
 		// without writing the result back every call would regrow from the
 		// response-sized buffer and allocate forever.

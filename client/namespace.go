@@ -1,0 +1,190 @@
+package client
+
+import (
+	"time"
+
+	"repro/server/wire"
+)
+
+// Namespace admin operations plus a per-namespace view of the data API.
+//
+// A daemon multiplexes many independent filters keyed by name; every
+// data operation can target one of them by wrapping the request in the
+// NAMESPACED envelope. Namespace is a value-type view over a Client
+// that does exactly that — it holds no connection state of its own, so
+// creating one per request is free and all views on one Client share
+// its connection, serialization, and reconnect policy.
+
+// CreateNamespace creates an independent filter named name on the
+// daemon. Zero-valued cfg fields take the daemon's namespace defaults;
+// set cfg.WindowNanos (and optionally cfg.Generations) for a sliding-
+// window namespace. Creating a name that already exists with the same
+// effective configuration succeeds idempotently; with a different
+// configuration it fails with *ServerError.
+func (c *Client) CreateNamespace(name string, cfg wire.NsConfig) error {
+	_, err := c.doNS(wire.OpNsCreate, []byte(name), nil, nil, 0, cfg)
+	return err
+}
+
+// DropNamespace deletes the named filter and everything in it.
+// Dropping a name that does not exist succeeds (idempotent).
+func (c *Client) DropNamespace(name string) error {
+	_, err := c.doNS(wire.OpNsDrop, []byte(name), nil, nil, 0, wire.NsConfig{})
+	return err
+}
+
+// ListNamespaces returns the daemon's namespace names, sorted.
+func (c *Client) ListNamespaces() ([]string, error) {
+	body, err := c.do(wire.OpNsList, nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeNsList(body)
+}
+
+// NamespaceStats reports one namespace's residency, occupancy, and
+// eviction/recovery counters. The empty name reports the default
+// (anonymous) namespace.
+func (c *Client) NamespaceStats(name string) (wire.NsStats, error) {
+	body, err := c.doNS(wire.OpNsStats, []byte(name), nil, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return wire.NsStats{}, err
+	}
+	return wire.DecodeNsStats(body)
+}
+
+// Namespace returns a view whose data operations all target the named
+// filter. The view does not verify the namespace exists; daemons create
+// it lazily (with default configuration) on first mutation, and reads
+// of an unknown namespace answer empty. Method semantics otherwise
+// match the Client method of the same name.
+func (c *Client) Namespace(name string) Namespace {
+	return Namespace{c: c, ns: []byte(name)}
+}
+
+// Namespace is a per-namespace view of a Client's data API; see
+// Client.Namespace.
+type Namespace struct {
+	c  *Client
+	ns []byte
+}
+
+// Name returns the namespace name this view targets.
+func (n Namespace) Name() string { return string(n.ns) }
+
+// Insert adds key to the namespace.
+func (n Namespace) Insert(key []byte) error {
+	_, err := n.c.doNS(wire.OpInsert, n.ns, key, nil, 0, wire.NsConfig{})
+	return err
+}
+
+// Delete removes a previously inserted key from the namespace.
+func (n Namespace) Delete(key []byte) error {
+	_, err := n.c.doNS(wire.OpDelete, n.ns, key, nil, 0, wire.NsConfig{})
+	return err
+}
+
+// Contains reports whether key may be in the namespace.
+func (n Namespace) Contains(key []byte) (bool, error) {
+	body, err := n.c.doNS(wire.OpContains, n.ns, key, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return false, err
+	}
+	return wire.DecodeBool(body)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity in the
+// namespace.
+func (n Namespace) EstimateCount(key []byte) (int, error) {
+	body, err := n.c.doNS(wire.OpEstimate, n.ns, key, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeU64(body)
+	return int(v), err
+}
+
+// Len returns the namespace's current element count.
+func (n Namespace) Len() (int, error) {
+	body, err := n.c.doNS(wire.OpLen, n.ns, nil, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeU64(body)
+	return int(v), err
+}
+
+// InsertBatch inserts keys into the namespace as one request.
+func (n Namespace) InsertBatch(keys [][]byte) error {
+	_, err := n.c.doNS(wire.OpInsertBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	return err
+}
+
+// DeleteBatch deletes keys from the namespace as one request, returning
+// order-preserving flags for which keys were actually removed.
+func (n Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
+	return n.DeleteBatchInto(keys, nil)
+}
+
+// DeleteBatchInto is DeleteBatch decoding into dst's backing array.
+func (n Namespace) DeleteBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
+	body, err := n.c.doNS(wire.OpDeleteBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBoolsInto(body, dst)
+}
+
+// ContainsBatch answers membership in the namespace, order-preserving.
+func (n Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
+	return n.ContainsBatchInto(keys, nil)
+}
+
+// ContainsBatchInto is ContainsBatch decoding into dst's backing array.
+func (n Namespace) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
+	body, err := n.c.doNS(wire.OpContainsBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBoolsInto(body, dst)
+}
+
+// InsertTTL inserts key with a per-key lifetime (windowed namespaces
+// only; a non-windowed namespace answers with *ServerError).
+func (n Namespace) InsertTTL(key []byte, ttl time.Duration) error {
+	_, err := n.c.doNS(wire.OpInsertTTL, n.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{})
+	return err
+}
+
+// InsertTTLBatch inserts keys sharing one TTL as a single request
+// (windowed namespaces only).
+func (n Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	_, err := n.c.doNS(wire.OpInsertTTLBatch, n.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{})
+	return err
+}
+
+// WindowStats reports a windowed namespace's generation ring.
+func (n Namespace) WindowStats() (wire.WindowStats, error) {
+	body, err := n.c.doNS(wire.OpWindowStats, n.ns, nil, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return wire.WindowStats{}, err
+	}
+	return wire.DecodeWindowStats(body)
+}
+
+// Stats reports the namespace's residency, occupancy, and counters.
+func (n Namespace) Stats() (wire.NsStats, error) {
+	return n.c.NamespaceStats(string(n.ns))
+}
+
+// Dump fetches a consistent point-in-time binary encoding of the
+// namespace's filter (decode with repro.UnmarshalSharded, or
+// window.UnmarshalFilter when window.IsWindowed reports a windowed
+// encoding). The returned slice is the caller's to keep.
+func (n Namespace) Dump() ([]byte, error) {
+	body, err := n.c.doNS(wire.OpDump, n.ns, nil, nil, 0, wire.NsConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
+}

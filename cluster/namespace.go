@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/hashing"
+	"repro/server/wire"
+)
+
+// Namespace-aware routing. A namespaced key routes on (namespace, key):
+// each node's rendezvous seed is XORed with a hash of the namespace
+// name, so two tenants' identical keys can land on different nodes and
+// one tenant's keyspace spreads over the whole cluster independently of
+// every other's. The empty namespace hashes to 0 — an XOR identity —
+// making routeNS(0, key) bit-for-bit the same placement as route(key):
+// introducing namespaces moves no existing key.
+
+// nsRouteSalt seeds the namespace-name hash. Any fixed odd constant
+// works; what matters is that every cluster client derives the same
+// per-namespace seed from the same topology.
+const nsRouteSalt = 0xc2b2ae3d27d4eb4f
+
+// nsSeed returns the routing-seed perturbation for a namespace name
+// (0 for the default namespace).
+func nsSeed(ns []byte) uint64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	return hashing.XXHash64(ns, nsRouteSalt)
+}
+
+// routeNS returns the index of the node owning key within the namespace
+// whose seed perturbation is nsH.
+func (c *Client) routeNS(nsH uint64, key []byte) int {
+	best, bestScore := 0, uint64(0)
+	for i, n := range c.nodes {
+		if s := hashing.XXHash64(key, n.seed^nsH); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// splitNS partitions keys by owning node under a namespace seed,
+// remembering each key's input position for re-stitching.
+func (c *Client) splitNS(nsH uint64, keys [][]byte) (perNode [][][]byte, perNodeIdx [][]int) {
+	perNode = make([][][]byte, len(c.nodes))
+	perNodeIdx = make([][]int, len(c.nodes))
+	for i, key := range keys {
+		n := c.routeNS(nsH, key)
+		perNode[n] = append(perNode[n], key)
+		perNodeIdx[n] = append(perNodeIdx[n], i)
+	}
+	return perNode, perNodeIdx
+}
+
+// eachPrimary runs fn against every node's primary concurrently and
+// joins the errors: all-or-error, so callers never mistake a partial
+// cluster answer for a complete one.
+func (c *Client) eachPrimary(fn func(n *node, cl *client.Client) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			n.requests.Add(1)
+			cl, err := n.primaryClient()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(n, cl)
+		}(i, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// CreateNamespace creates the namespace on every node's primary: a
+// namespaced keyspace spans the whole cluster, so the filter must exist
+// everywhere before any node can own a share of it. Idempotent per node
+// (re-creating with the same configuration succeeds); any node failing
+// fails the call, and already-created nodes keep the namespace — retry
+// until clean.
+func (c *Client) CreateNamespace(name string, cfg wire.NsConfig) error {
+	return c.eachPrimary(func(n *node, cl *client.Client) error {
+		err := cl.CreateNamespace(name, cfg)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// DropNamespace drops the namespace on every node's primary. Dropping
+// an unknown name is a per-node no-op, so a partially failed drop can
+// be retried until every node agrees.
+func (c *Client) DropNamespace(name string) error {
+	return c.eachPrimary(func(n *node, cl *client.Client) error {
+		err := cl.DropNamespace(name)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// ListNamespaces returns the sorted union of every primary's namespace
+// list. With healthy Create/Drop the lists agree; after a partial admin
+// failure the union is the superset to reconcile against.
+func (c *Client) ListNamespaces() ([]string, error) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	err := c.eachPrimary(func(n *node, cl *client.Client) error {
+		names, err := cl.ListNamespaces()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, name := range names {
+			seen[name] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NamespaceStats merges the namespace's per-node stats into a cluster
+// view: items, memory, and eviction/recovery counters sum; Resident and
+// Windowed report whether ANY node holds the namespace resident /
+// windowed.
+func (c *Client) NamespaceStats(name string) (wire.NsStats, error) {
+	var mu sync.Mutex
+	var out wire.NsStats
+	err := c.eachPrimary(func(n *node, cl *client.Client) error {
+		st, err := cl.NamespaceStats(name)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out.Resident = out.Resident || st.Resident
+		out.Windowed = out.Windowed || st.Windowed
+		out.Items += st.Items
+		out.MemoryBits += st.MemoryBits
+		out.Evictions += st.Evictions
+		out.Recoveries += st.Recoveries
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return wire.NsStats{}, err
+	}
+	return out, nil
+}
+
+// Namespace returns a view routing every data operation on
+// (namespace, key) across the cluster. Semantics per operation match
+// the cluster Client method of the same name.
+func (c *Client) Namespace(name string) Namespace {
+	ns := []byte(name)
+	return Namespace{c: c, name: name, h: nsSeed(ns)}
+}
+
+// Namespace is a per-namespace view of the cluster's data API; see
+// Client.Namespace. The value is cheap to copy and safe for concurrent
+// use.
+type Namespace struct {
+	c    *Client
+	name string
+	h    uint64
+}
+
+// Name returns the namespace name this view targets.
+func (v Namespace) Name() string { return v.name }
+
+func (v Namespace) owner(key []byte) *node { return v.c.nodes[v.c.routeNS(v.h, key)] }
+
+// Insert adds key on its owning primary within the namespace.
+func (v Namespace) Insert(key []byte) error {
+	n := v.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
+	if err != nil {
+		return err
+	}
+	err = cl.Namespace(v.name).Insert(key)
+	n.noteMutation(err)
+	return err
+}
+
+// Delete removes key on its owning primary within the namespace.
+func (v Namespace) Delete(key []byte) error {
+	n := v.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
+	if err != nil {
+		return err
+	}
+	err = cl.Namespace(v.name).Delete(key)
+	n.noteMutation(err)
+	return err
+}
+
+// InsertTTL adds key with a time-to-live (windowed namespaces only).
+func (v Namespace) InsertTTL(key []byte, ttl time.Duration) error {
+	n := v.owner(key)
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
+	if err != nil {
+		return err
+	}
+	err = cl.Namespace(v.name).InsertTTL(key, ttl)
+	n.noteMutation(err)
+	return err
+}
+
+// Contains answers membership from the owning node's read set.
+func (v Namespace) Contains(key []byte) (bool, error) {
+	var ok bool
+	err := v.owner(key).read(func(cl *client.Client) error {
+		var err error
+		ok, err = cl.Namespace(v.name).Contains(key)
+		return err
+	})
+	return ok, err
+}
+
+// EstimateCount returns the multiplicity upper bound from the owning
+// node's read set.
+func (v Namespace) EstimateCount(key []byte) (int, error) {
+	var est int
+	err := v.owner(key).read(func(cl *client.Client) error {
+		var err error
+		est, err = cl.Namespace(v.name).EstimateCount(key)
+		return err
+	})
+	return est, err
+}
+
+// Len sums the namespace's element counts across all primaries.
+func (v Namespace) Len() (int, error) {
+	total := 0
+	for _, n := range v.c.nodes {
+		var sub int
+		err := n.read(func(cl *client.Client) error {
+			var err error
+			sub, err = cl.Namespace(v.name).Len()
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+// InsertBatch inserts keys into the namespace, split per owning primary
+// and fanned out concurrently. Each node's sub-batch is atomic; the
+// whole batch is not.
+func (v Namespace) InsertBatch(keys [][]byte) error {
+	perNode, _ := v.c.splitNS(v.h, keys)
+	return v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		err = cl.Namespace(v.name).InsertBatch(sub)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// InsertTTLBatch inserts keys sharing one TTL, split per owning primary
+// (windowed namespaces only).
+func (v Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	perNode, _ := v.c.splitNS(v.h, keys)
+	return v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		err = cl.Namespace(v.name).InsertTTLBatch(sub, ttl)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// DeleteBatch deletes keys from the namespace across the cluster and
+// re-stitches the per-key removal flags in input order.
+func (v Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
+	perNode, perNodeIdx := v.c.splitNS(v.h, keys)
+	out := make([]bool, len(keys))
+	err := v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		flags, err := cl.Namespace(v.name).DeleteBatch(sub)
+		if err != nil {
+			n.noteMutation(err)
+			return err
+		}
+		return v.c.stitch(out, perNodeIdx, n, flags)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContainsBatch answers membership for keys in the namespace across the
+// cluster, re-stitched in input order; each node's sub-batch goes to
+// its read set with failover.
+func (v Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
+	perNode, perNodeIdx := v.c.splitNS(v.h, keys)
+	out := make([]bool, len(keys))
+	err := v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		var flags []bool
+		rerr := n.read(func(cl *client.Client) error {
+			var err error
+			flags, err = cl.Namespace(v.name).ContainsBatch(sub)
+			return err
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return v.c.stitch(out, perNodeIdx, n, flags)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -14,6 +14,15 @@
 // out in -generations discrete steps. INSERT_TTL caps individual keys
 // at shorter lifetimes; WINDOW_STATS reports the generation ring.
 //
+// Every daemon also multiplexes independent named filters (namespaces):
+// CREATE_NS/DROP_NS/LIST_NS/NS_STATS administer them, and any data
+// operation wrapped in the NAMESPACED envelope targets one by name.
+// -ns-mem and -ns-n set the default per-namespace geometry, -ns-quota
+// bounds the total resident namespace memory (least-recently-used
+// namespaces are evicted to per-namespace snapshot files and recovered
+// transparently on next touch), and -ns-idle evicts namespaces untouched
+// for the given duration.
+//
 // With -replicate-from the daemon runs as a read replica: it mirrors
 // the named primary's WAL over the binary protocol, serves reads
 // locally, and answers mutations with a READONLY redirect to the
@@ -58,6 +67,7 @@ import (
 	mpcbf "repro"
 	"repro/cluster"
 	"repro/server"
+	"repro/server/ns"
 )
 
 func main() {
@@ -75,6 +85,11 @@ func main() {
 
 		windowSpan  = flag.Duration("window", 0, "sliding-window span; 0 serves a plain counting filter")
 		generations = flag.Int("generations", 4, "generations in the sliding window (with -window)")
+
+		nsQuota = flag.Int64("ns-quota", 0, "memory budget in bytes across all named namespaces (0: unlimited); least-recently-used namespaces are evicted to disk under pressure")
+		nsIdle  = flag.Duration("ns-idle", 0, "evict namespaces untouched for this long (0: never)")
+		nsMem   = flag.Int("ns-mem", 0, "default per-namespace memory budget in bits (0: built-in default)")
+		nsItems = flag.Int("ns-n", 0, "default per-namespace expected distinct items (0: built-in default)")
 
 		fsync        = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
@@ -121,9 +136,15 @@ func main() {
 			MemoryAccesses: *g,
 			Seed:           uint32(*seed),
 		},
-		Shards:        *shards,
-		Window:        *windowSpan,
-		Generations:   *generations,
+		Shards:      *shards,
+		Window:      *windowSpan,
+		Generations: *generations,
+		NsDefaults: ns.Config{
+			MemoryBits:    *nsMem,
+			ExpectedItems: *nsItems,
+		},
+		NsQuota:       *nsQuota,
+		NsIdleAfter:   *nsIdle,
 		Sync:          policy,
 		SyncEvery:     *fsyncEvery,
 		SnapshotEvery: *snapEvery,

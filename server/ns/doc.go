@@ -1,0 +1,34 @@
+// Package ns is mpcbfd's multi-tenant namespace registry: thousands of
+// independently configured MPCBF filters (plain or sliding-window)
+// keyed by name, sharing one daemon, one WAL, and one replication
+// stream.
+//
+// A Registry maps names to Entries. Each Entry owns one filter with its
+// own geometry (memory, k, g, shards, seed) and optional window config,
+// resolved at creation from the daemon's defaults plus per-namespace
+// overrides; the resolved configuration is immutable for the life of
+// the namespace and is what the store records in the WAL, so crash
+// recovery and replicas rebuild identical geometry regardless of local
+// defaults.
+//
+// Entries move between two states:
+//
+//	resident  — filter state in memory; reads and writes are direct.
+//	evicted   — state marshaled to a per-namespace snapshot file (via
+//	            the Save callback) and dropped from memory; any touch
+//	            recovers it transparently (Load callback + unmarshal).
+//
+// Eviction is local policy, never replicated: the registry enforces a
+// daemon-wide resident-bytes quota by evicting the least recently
+// touched entries, plus an optional idle timeout. A namespace's evict
+// file is exact — an evicted namespace cannot receive mutations (a
+// mutation is a touch, which recovers it first) — so evict-file bytes
+// always equal the marshaled state at last evict.
+//
+// Concurrency contract: Lookup and the read-side Entry methods are safe
+// anytime; every state transition (Create, Drop, Evict, Recover,
+// EnsureQuota, EvictIdle, InstallSnapshot) must be serialized by the
+// caller — the store runs them under its own mutex, the same lock that
+// orders WAL appends, so namespace lifecycle records interleave
+// correctly with data records.
+package ns

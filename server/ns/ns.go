@@ -1,0 +1,813 @@
+package ns
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mpcbf "repro"
+	"repro/server/wire"
+	"repro/window"
+)
+
+// Config is a namespace's resolved filter configuration. Window > 0
+// makes the namespace a sliding-window filter of that span; otherwise
+// it is a plain counting filter. The zero value of any field means
+// "inherit the default" until Resolve fills it in.
+type Config struct {
+	MemoryBits     int
+	ExpectedItems  int
+	HashFunctions  int
+	MemoryAccesses int
+	Shards         int
+	Seed           uint32
+	Window         time.Duration
+	Generations    int
+}
+
+// Configuration bounds. Geometry arrives from the network (CREATE_NS),
+// so resolved values are range-checked before any allocation: a hostile
+// or buggy client must not be able to ask one namespace for a
+// terabyte.
+const (
+	minMemoryBits = 64
+	maxMemoryBits = 1 << 36 // 8 GiB of filter, per namespace
+	maxItems      = 1 << 40
+	maxHashFns    = 32
+	maxAccesses   = 8
+	maxShards     = 4096
+	maxGens       = 64
+)
+
+// ConfigFromWire converts wire-level overrides to a Config.
+func ConfigFromWire(c wire.NsConfig) Config {
+	return Config{
+		MemoryBits:     int(c.MemoryBits),
+		ExpectedItems:  int(c.ExpectedItems),
+		HashFunctions:  int(c.HashFunctions),
+		MemoryAccesses: int(c.MemoryAccesses),
+		Shards:         int(c.Shards),
+		Seed:           c.Seed,
+		Window:         time.Duration(c.WindowNanos),
+		Generations:    int(c.Generations),
+	}
+}
+
+// Wire converts a Config to its wire encoding (used when logging
+// NS_CREATE records, which carry the resolved configuration).
+func (c Config) Wire() wire.NsConfig {
+	return wire.NsConfig{
+		MemoryBits:     uint64(c.MemoryBits),
+		ExpectedItems:  uint64(c.ExpectedItems),
+		HashFunctions:  uint8(c.HashFunctions),
+		MemoryAccesses: uint8(c.MemoryAccesses),
+		Shards:         uint16(c.Shards),
+		Seed:           c.Seed,
+		WindowNanos:    uint64(max(c.Window, 0)),
+		Generations:    uint16(c.Generations),
+	}
+}
+
+// resolve fills zero fields from d.
+func (c Config) resolve(d Config) Config {
+	if c.MemoryBits == 0 {
+		c.MemoryBits = d.MemoryBits
+	}
+	if c.ExpectedItems == 0 {
+		c.ExpectedItems = d.ExpectedItems
+	}
+	if c.HashFunctions == 0 {
+		c.HashFunctions = d.HashFunctions
+	}
+	if c.MemoryAccesses == 0 {
+		c.MemoryAccesses = d.MemoryAccesses
+	}
+	if c.Shards == 0 {
+		c.Shards = d.Shards
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.Generations == 0 {
+		c.Generations = d.Generations
+	}
+	if c.Window > 0 && c.Generations == 0 {
+		c.Generations = 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.MemoryBits < minMemoryBits || c.MemoryBits > maxMemoryBits:
+		return fmt.Errorf("ns: memory bits %d outside [%d, %d]", c.MemoryBits, minMemoryBits, maxMemoryBits)
+	case c.ExpectedItems < 1 || c.ExpectedItems > maxItems:
+		return fmt.Errorf("ns: expected items %d outside [1, %d]", c.ExpectedItems, maxItems)
+	case c.HashFunctions < 1 || c.HashFunctions > maxHashFns:
+		return fmt.Errorf("ns: hash functions %d outside [1, %d]", c.HashFunctions, maxHashFns)
+	case c.MemoryAccesses < 1 || c.MemoryAccesses > maxAccesses:
+		return fmt.Errorf("ns: memory accesses %d outside [1, %d]", c.MemoryAccesses, maxAccesses)
+	case c.Shards < 1 || c.Shards > maxShards:
+		return fmt.Errorf("ns: shards %d outside [1, %d]", c.Shards, maxShards)
+	case c.Window < 0:
+		return fmt.Errorf("ns: negative window %v", c.Window)
+	case c.Window > 0 && (c.Generations < 1 || c.Generations > maxGens):
+		return fmt.Errorf("ns: generations %d outside [1, %d]", c.Generations, maxGens)
+	}
+	return nil
+}
+
+// Windowed reports whether the configuration describes a sliding-window
+// namespace.
+func (c Config) Windowed() bool { return c.Window > 0 }
+
+func (c Config) filterOptions() mpcbf.Options {
+	return mpcbf.Options{
+		MemoryBits:     c.MemoryBits,
+		ExpectedItems:  c.ExpectedItems,
+		HashFunctions:  c.HashFunctions,
+		MemoryAccesses: c.MemoryAccesses,
+		Seed:           c.Seed,
+	}
+}
+
+// Errors returned by registry operations.
+var (
+	ErrExists      = errors.New("ns: namespace already exists")
+	ErrNotResident = errors.New("ns: namespace not resident")
+)
+
+// Entry is one namespace: its resolved configuration plus its filter
+// state, which is either resident (exactly one of the two pointers
+// non-nil) or evicted (both nil, state in the evict file). The pointers
+// are atomic so reads race-free against eviction; state transitions are
+// serialized by the registry's caller.
+type Entry struct {
+	name     string
+	wireName []byte // [u8 len][name]: the WAL body of this namespace's SELECT/DROP records
+	cfg      Config
+
+	filter atomic.Pointer[mpcbf.Sharded]
+	win    atomic.Pointer[window.Filter]
+
+	memBytes   int64        // resident footprint (set at attach, constant per config)
+	lastTouch  atomic.Int64 // UnixNano of last access, the LRU key
+	nextRotate atomic.Int64 // windowed: UnixNano of the next due rotation (primary's ticker)
+	items      atomic.Int64 // element count at last marshal (authoritative while evicted)
+	evictions  atomic.Uint64
+	recoveries atomic.Uint64
+}
+
+func newEntry(name string, cfg Config) *Entry {
+	wn := make([]byte, 0, 1+len(name))
+	wn = append(wn, byte(len(name)))
+	wn = append(wn, name...)
+	return &Entry{name: name, wireName: wn, cfg: cfg}
+}
+
+// Name returns the namespace name.
+func (e *Entry) Name() string { return e.name }
+
+// WALName returns the [u8 len][name] block used as the body of this
+// namespace's WAL records. Callers must not mutate it.
+func (e *Entry) WALName() []byte { return e.wireName }
+
+// Config returns the resolved configuration.
+func (e *Entry) Config() Config { return e.cfg }
+
+// Windowed reports whether this is a sliding-window namespace.
+func (e *Entry) Windowed() bool { return e.cfg.Windowed() }
+
+// Resident reports whether filter state is in memory.
+func (e *Entry) Resident() bool { return e.filter.Load() != nil || e.win.Load() != nil }
+
+// Filter returns the resident plain filter, or nil.
+func (e *Entry) Filter() *mpcbf.Sharded { return e.filter.Load() }
+
+// Window returns the resident window filter, or nil.
+func (e *Entry) Window() *window.Filter { return e.win.Load() }
+
+// Touch records an access at now (UnixNano) for LRU/idle accounting.
+func (e *Entry) Touch(now int64) { e.lastTouch.Store(now) }
+
+// NextRotate returns the UnixNano deadline of the next due rotation
+// (windowed namespaces on a primary; 0 when unset).
+func (e *Entry) NextRotate() int64 { return e.nextRotate.Load() }
+
+// SetNextRotate sets the rotation deadline.
+func (e *Entry) SetNextRotate(at int64) { e.nextRotate.Store(at) }
+
+// Insert adds key. The caller must hold the store lock (which excludes
+// eviction), so non-residency is a bug, not a race.
+func (e *Entry) Insert(key []byte) error {
+	if f := e.filter.Load(); f != nil {
+		return f.Insert(key)
+	}
+	if w := e.win.Load(); w != nil {
+		return w.Insert(key)
+	}
+	return ErrNotResident
+}
+
+// Delete removes one occurrence of key.
+func (e *Entry) Delete(key []byte) error {
+	if f := e.filter.Load(); f != nil {
+		return f.Delete(key)
+	}
+	if w := e.win.Load(); w != nil {
+		return w.Delete(key)
+	}
+	return ErrNotResident
+}
+
+// InsertBatch adds keys with the given fan-out (plain namespaces; a
+// windowed namespace uses its own configured workers).
+func (e *Entry) InsertBatch(keys [][]byte, workers int) error {
+	if f := e.filter.Load(); f != nil {
+		return f.InsertBatch(keys, workers)
+	}
+	if w := e.win.Load(); w != nil {
+		return w.InsertBatch(keys)
+	}
+	return ErrNotResident
+}
+
+// DeleteBatch removes keys, reporting per-key success.
+func (e *Entry) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
+	if f := e.filter.Load(); f != nil {
+		return f.DeleteBatch(keys, workers)
+	}
+	if w := e.win.Load(); w != nil {
+		return w.DeleteBatch(keys)
+	}
+	return nil, ErrNotResident
+}
+
+// Contains probes key. ok is false when the entry is evicted — the
+// caller must recover and retry; answering false here would be a false
+// negative.
+func (e *Entry) Contains(key []byte) (v, ok bool) {
+	if f := e.filter.Load(); f != nil {
+		return f.Contains(key), true
+	}
+	if w := e.win.Load(); w != nil {
+		return w.Contains(key), true
+	}
+	return false, false
+}
+
+// ContainsBatch probes keys; ok as for Contains.
+func (e *Entry) ContainsBatch(keys [][]byte, workers int) (vs []bool, ok bool) {
+	if f := e.filter.Load(); f != nil {
+		return f.ContainsBatch(keys, workers), true
+	}
+	if w := e.win.Load(); w != nil {
+		return w.ContainsBatch(keys), true
+	}
+	return nil, false
+}
+
+// EstimateCount estimates key's multiplicity; ok as for Contains.
+func (e *Entry) EstimateCount(key []byte) (n int, ok bool) {
+	if f := e.filter.Load(); f != nil {
+		return f.EstimateCount(key), true
+	}
+	if w := e.win.Load(); w != nil {
+		return w.EstimateCount(key), true
+	}
+	return 0, false
+}
+
+// Len returns the element count: live when resident, the count at last
+// marshal when evicted (exact — an evicted namespace cannot mutate).
+func (e *Entry) Len() int {
+	if f := e.filter.Load(); f != nil {
+		return f.Len()
+	}
+	if w := e.win.Load(); w != nil {
+		return w.Len()
+	}
+	return int(e.items.Load())
+}
+
+// Rotate retires the oldest generation (windowed, resident).
+func (e *Entry) Rotate() error {
+	w := e.win.Load()
+	if w == nil {
+		return ErrNotResident
+	}
+	w.Rotate()
+	return nil
+}
+
+// Marshal serializes the resident filter state.
+func (e *Entry) Marshal() ([]byte, error) {
+	if f := e.filter.Load(); f != nil {
+		return f.MarshalBinary()
+	}
+	if w := e.win.Load(); w != nil {
+		return w.MarshalBinary()
+	}
+	return nil, ErrNotResident
+}
+
+// Stats summarizes the entry for NS_STATS.
+func (e *Entry) Stats() wire.NsStats {
+	memBits := uint64(e.cfg.MemoryBits)
+	if e.cfg.Windowed() {
+		memBits *= uint64(e.cfg.Generations)
+	}
+	return wire.NsStats{
+		Resident:   e.Resident(),
+		Windowed:   e.cfg.Windowed(),
+		Items:      uint64(e.Len()),
+		MemoryBits: memBits,
+		Evictions:  e.evictions.Load(),
+		Recoveries: e.recoveries.Load(),
+	}
+}
+
+// attachFresh builds and attaches empty filter state.
+func (e *Entry) attachFresh(workers int) error {
+	if e.cfg.Windowed() {
+		w, err := window.New(window.Options{
+			Span:        e.cfg.Window,
+			Generations: e.cfg.Generations,
+			Filter:      e.cfg.filterOptions(),
+			Shards:      e.cfg.Shards,
+			Workers:     workers,
+		})
+		if err != nil {
+			return fmt.Errorf("ns %q: %w", e.name, err)
+		}
+		e.memBytes = int64(w.MemoryBits() / 8)
+		e.win.Store(w)
+		return nil
+	}
+	f, err := mpcbf.NewSharded(e.cfg.filterOptions(), e.cfg.Shards)
+	if err != nil {
+		return fmt.Errorf("ns %q: %w", e.name, err)
+	}
+	e.memBytes = int64(f.MemoryBits() / 8)
+	e.filter.Store(f)
+	return nil
+}
+
+// attachData unmarshals and attaches marshaled state, checking that its
+// mode matches the configuration.
+func (e *Entry) attachData(data []byte) error {
+	if window.IsWindowed(data) {
+		if !e.cfg.Windowed() {
+			return fmt.Errorf("ns %q: windowed state for a non-windowed namespace", e.name)
+		}
+		w, err := window.UnmarshalFilter(data)
+		if err != nil {
+			return fmt.Errorf("ns %q: %w", e.name, err)
+		}
+		e.memBytes = int64(w.MemoryBits() / 8)
+		e.win.Store(w)
+		return nil
+	}
+	if e.cfg.Windowed() {
+		return fmt.Errorf("ns %q: non-windowed state for a windowed namespace", e.name)
+	}
+	f, err := mpcbf.UnmarshalSharded(data)
+	if err != nil {
+		return fmt.Errorf("ns %q: %w", e.name, err)
+	}
+	e.memBytes = int64(f.MemoryBits() / 8)
+	e.filter.Store(f)
+	return nil
+}
+
+func (e *Entry) detach() {
+	e.filter.Store(nil)
+	e.win.Store(nil)
+}
+
+// Options configures a Registry.
+type Options struct {
+	// Defaults fills zero fields of per-namespace overrides; its own
+	// zero fields get hard fallbacks (2 MiB-bit filter, 10k items, the
+	// paper's k=3 g=1 geometry, 4 shards).
+	Defaults Config
+	// Quota bounds the summed resident bytes of all named namespaces
+	// (the default namespace is outside the registry). <= 0: unlimited.
+	Quota int64
+	// IdleAfter is the idle-eviction horizon surfaced via IdleCutoff;
+	// <= 0 disables idle eviction.
+	IdleAfter time.Duration
+	// Workers bounds batch fan-out for plain namespaces.
+	Workers int
+	// Save persists an evicted namespace's marshaled state; Load reads
+	// it back; Remove deletes it (DROP_NS). All required.
+	Save   func(name string, data []byte) error
+	Load   func(name string) ([]byte, error)
+	Remove func(name string) error
+	// Log receives eviction/recovery events. nil: slog.Default().
+	Log *slog.Logger
+	// Now is the clock (tests); nil: time.Now.
+	Now func() time.Time
+}
+
+// Registry is the namespace map plus quota accounting. See the package
+// comment for the concurrency contract.
+type Registry struct {
+	opts Options
+
+	mu      sync.RWMutex // guards entries; transitions additionally serialized by the caller
+	entries map[string]*Entry
+
+	residentBytes atomic.Int64
+	evictions     atomic.Uint64
+	recoveries    atomic.Uint64
+
+	rotateKick chan struct{}
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(opts Options) *Registry {
+	d := &opts.Defaults
+	if d.MemoryBits == 0 {
+		d.MemoryBits = 1 << 21
+	}
+	if d.ExpectedItems == 0 {
+		d.ExpectedItems = 10_000
+	}
+	if d.HashFunctions == 0 {
+		d.HashFunctions = 3
+	}
+	if d.MemoryAccesses == 0 {
+		d.MemoryAccesses = 1
+	}
+	if d.Shards == 0 {
+		d.Shards = 4
+	}
+	if d.Window > 0 && d.Generations == 0 {
+		d.Generations = 4
+	}
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Registry{
+		opts:       opts,
+		entries:    make(map[string]*Entry),
+		rotateKick: make(chan struct{}, 1),
+	}
+}
+
+// Resolve fills zero fields of override from the defaults and validates
+// the result. The resolved Config is what must be logged to the WAL so
+// replay is independent of local defaults.
+func (r *Registry) Resolve(override Config) (Config, error) {
+	c := override.resolve(r.opts.Defaults)
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Now returns the registry clock's UnixNano.
+func (r *Registry) Now() int64 { return r.opts.Now().UnixNano() }
+
+// Quota returns the configured resident-bytes quota (<= 0: unlimited).
+func (r *Registry) Quota() int64 { return r.opts.Quota }
+
+// IdleAfter returns the idle-eviction horizon (<= 0: disabled).
+func (r *Registry) IdleAfter() time.Duration { return r.opts.IdleAfter }
+
+// ResidentBytes returns the summed resident footprint of named
+// namespaces.
+func (r *Registry) ResidentBytes() int64 { return r.residentBytes.Load() }
+
+// Len returns the number of namespaces (resident or evicted).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Lookup returns the entry named by name, or nil. Safe anytime.
+func (r *Registry) Lookup(name []byte) *Entry {
+	r.mu.RLock()
+	e := r.entries[string(name)]
+	r.mu.RUnlock()
+	return e
+}
+
+// Names returns all namespace names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns all entries, sorted by name.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	es := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// Create makes a new resident namespace with an already-resolved
+// configuration. The caller is responsible for quota enforcement
+// (EnsureQuota) afterwards, so the new entry itself is never the
+// victim.
+func (r *Registry) Create(name string, cfg Config) (*Entry, error) {
+	if err := wire.ValidateNamespace(name); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if r.Lookup([]byte(name)) != nil {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	e := newEntry(name, cfg)
+	if err := e.attachFresh(r.opts.Workers); err != nil {
+		return nil, err
+	}
+	e.Touch(r.Now())
+	r.mu.Lock()
+	r.entries[name] = e
+	r.mu.Unlock()
+	r.residentBytes.Add(e.memBytes)
+	r.KickRotate(e)
+	return e, nil
+}
+
+// Drop removes a namespace and deletes its evict file. Returns the
+// removed entry, or nil if the name was unknown.
+func (r *Registry) Drop(name []byte) *Entry {
+	r.mu.Lock()
+	e := r.entries[string(name)]
+	delete(r.entries, string(name))
+	r.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	if e.Resident() {
+		r.residentBytes.Add(-e.memBytes)
+		e.detach()
+	}
+	if err := r.opts.Remove(e.name); err != nil {
+		r.opts.Log.Warn("ns evict file remove failed", "ns", e.name, "error", err)
+	}
+	return e
+}
+
+// Evict marshals e's state to its evict file and drops it from memory.
+func (r *Registry) Evict(e *Entry) error {
+	if !e.Resident() {
+		return nil
+	}
+	data, err := e.Marshal()
+	if err != nil {
+		return fmt.Errorf("ns %q: marshal for evict: %w", e.name, err)
+	}
+	e.items.Store(int64(e.Len()))
+	if err := r.opts.Save(e.name, data); err != nil {
+		return fmt.Errorf("ns %q: save for evict: %w", e.name, err)
+	}
+	e.detach()
+	r.residentBytes.Add(-e.memBytes)
+	e.evictions.Add(1)
+	r.evictions.Add(1)
+	r.opts.Log.Debug("namespace evicted", "ns", e.name, "bytes", e.memBytes)
+	return nil
+}
+
+// Recover loads an evicted entry's state back into memory. The caller
+// runs EnsureQuota(e) afterwards.
+func (r *Registry) Recover(e *Entry) error {
+	if e.Resident() {
+		return nil
+	}
+	data, err := r.opts.Load(e.name)
+	if err != nil {
+		return fmt.Errorf("ns %q: load for recover: %w", e.name, err)
+	}
+	if err := e.attachData(data); err != nil {
+		return err
+	}
+	r.residentBytes.Add(e.memBytes)
+	e.recoveries.Add(1)
+	r.recoveries.Add(1)
+	e.Touch(r.Now())
+	if e.Windowed() {
+		e.SetNextRotate(r.opts.Now().Add(e.Window().RotateEvery()).UnixNano())
+	}
+	r.KickRotate(e)
+	r.opts.Log.Debug("namespace recovered", "ns", e.name, "bytes", e.memBytes)
+	return nil
+}
+
+// EnsureQuota evicts least-recently-touched resident entries (never
+// keep) until resident bytes fit the quota. A single entry over quota
+// by itself stays resident: the quota bounds the aggregate, residency
+// of the active namespace is not negotiable.
+func (r *Registry) EnsureQuota(keep *Entry) error {
+	if r.opts.Quota <= 0 {
+		return nil
+	}
+	for r.residentBytes.Load() > r.opts.Quota {
+		victim := r.oldestResident(keep)
+		if victim == nil {
+			return nil
+		}
+		if err := r.Evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) oldestResident(skip *Entry) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var victim *Entry
+	var oldest int64
+	for _, e := range r.entries {
+		if e == skip || !e.Resident() {
+			continue
+		}
+		if t := e.lastTouch.Load(); victim == nil || t < oldest {
+			victim, oldest = e, t
+		}
+	}
+	return victim
+}
+
+// EvictIdle evicts every resident entry untouched since cutoff
+// (UnixNano), returning how many were evicted.
+func (r *Registry) EvictIdle(cutoff int64) (int, error) {
+	var idle []*Entry
+	r.mu.RLock()
+	for _, e := range r.entries {
+		if e.Resident() && e.lastTouch.Load() < cutoff {
+			idle = append(idle, e)
+		}
+	}
+	r.mu.RUnlock()
+	for i, e := range idle {
+		if err := r.Evict(e); err != nil {
+			return i, err
+		}
+	}
+	return len(idle), nil
+}
+
+// InstallSnapshot recreates a namespace during recovery or replica
+// bootstrap from a snapshot container record: resolved config, resident
+// flag, items-at-marshal, and the marshaled state. Non-resident entries
+// get their evict file rewritten from the snapshot's embedded bytes —
+// mandatory, not an optimization: WAL-tail replay assumes every
+// namespace starts in its snapshot state, and a local evict file
+// written after the snapshot may already include tail mutations.
+func (r *Registry) InstallSnapshot(name string, cfg Config, resident bool, items uint64, data []byte) error {
+	if err := wire.ValidateNamespace(name); err != nil {
+		return err
+	}
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("ns %q: %w", name, err)
+	}
+	if r.Lookup([]byte(name)) != nil {
+		return fmt.Errorf("%w: %q (duplicate in snapshot)", ErrExists, name)
+	}
+	e := newEntry(name, cfg)
+	if resident {
+		if err := e.attachData(data); err != nil {
+			return err
+		}
+		r.residentBytes.Add(e.memBytes)
+	} else {
+		e.items.Store(int64(items))
+		if err := r.opts.Save(name, data); err != nil {
+			return fmt.Errorf("ns %q: restore evict file: %w", name, err)
+		}
+	}
+	e.Touch(r.Now())
+	r.mu.Lock()
+	r.entries[name] = e
+	r.mu.Unlock()
+	r.KickRotate(e)
+	return nil
+}
+
+// Reset drops every entry without touching evict files (replica
+// bootstrap wipes the files itself before reinstalling).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.entries = make(map[string]*Entry)
+	r.mu.Unlock()
+	r.residentBytes.Store(0)
+}
+
+// RotateKick signals that a windowed entry became resident (created or
+// recovered), so the rotation loop re-evaluates its earliest deadline.
+func (r *Registry) RotateKick() <-chan struct{} { return r.rotateKick }
+
+// KickRotate wakes the rotation loop if e is a resident windowed entry.
+func (r *Registry) KickRotate(e *Entry) {
+	if e == nil || !e.Windowed() || e.win.Load() == nil {
+		return
+	}
+	if e.NextRotate() == 0 {
+		e.SetNextRotate(r.opts.Now().Add(e.Window().RotateEvery()).UnixNano())
+	}
+	select {
+	case r.rotateKick <- struct{}{}:
+	default:
+	}
+}
+
+// NextRotation returns the resident windowed entry with the earliest
+// rotation deadline, or ok == false when there is none.
+func (r *Registry) NextRotation() (e *Entry, at int64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.entries {
+		if !c.Windowed() || c.win.Load() == nil {
+			continue
+		}
+		if t := c.NextRotate(); !ok || t < at {
+			e, at, ok = c, t, true
+		}
+	}
+	return e, at, ok
+}
+
+// Totals aggregates registry-wide counters for observability.
+type Totals struct {
+	Count         int    `json:"count"`
+	Resident      int    `json:"resident"`
+	QuotaBytes    int64  `json:"quota_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Evictions     uint64 `json:"evictions"`
+	Recoveries    uint64 `json:"recoveries"`
+}
+
+// EntrySnapshot is one namespace's observable state.
+type EntrySnapshot struct {
+	Name        string `json:"name"`
+	Items       uint64 `json:"items"`
+	MemoryBytes uint64 `json:"memory_bytes"`
+	Resident    bool   `json:"resident"`
+	Windowed    bool   `json:"windowed"`
+	Evictions   uint64 `json:"evictions"`
+	Recoveries  uint64 `json:"recoveries"`
+}
+
+// Snapshot captures every entry plus the aggregate counters, sorted by
+// name.
+func (r *Registry) Snapshot() ([]EntrySnapshot, Totals) {
+	es := r.Entries()
+	t := Totals{
+		Count:         len(es),
+		QuotaBytes:    r.opts.Quota,
+		ResidentBytes: r.residentBytes.Load(),
+		Evictions:     r.evictions.Load(),
+		Recoveries:    r.recoveries.Load(),
+	}
+	out := make([]EntrySnapshot, 0, len(es))
+	for _, e := range es {
+		resident := e.Resident()
+		if resident {
+			t.Resident++
+		}
+		memBits := uint64(e.cfg.MemoryBits)
+		if e.cfg.Windowed() {
+			memBits *= uint64(e.cfg.Generations)
+		}
+		out = append(out, EntrySnapshot{
+			Name:        e.name,
+			Items:       uint64(e.Len()),
+			MemoryBytes: memBits / 8,
+			Resident:    resident,
+			Windowed:    e.cfg.Windowed(),
+			Evictions:   e.evictions.Load(),
+			Recoveries:  e.recoveries.Load(),
+		})
+	}
+	return out, t
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/server/ns"
 	"repro/server/wire"
 )
 
@@ -32,11 +33,21 @@ type ServerSnapshot struct {
 	// Window is present only when the store runs in sliding-window mode.
 	Window *WindowSnapshot `json:"window,omitempty"`
 
+	// Namespaces is present only when named namespaces exist: the
+	// registry totals plus one entry per namespace, sorted by name.
+	Namespaces *NamespacesSnapshot `json:"namespaces,omitempty"`
+
 	WAL         WALSnapshot      `json:"wal"`
 	Replication ReplicationStats `json:"replication"`
 	Trace       TraceCounts      `json:"trace"`
 	Runtime     RuntimeSnapshot  `json:"runtime"`
 	Ready       bool             `json:"ready"`
+}
+
+// NamespacesSnapshot is the multi-tenant slice of a ServerSnapshot.
+type NamespacesSnapshot struct {
+	Totals  ns.Totals          `json:"totals"`
+	Entries []ns.EntrySnapshot `json:"entries"`
 }
 
 // ConnSnapshot is the connection accounting slice of a ServerSnapshot.
@@ -161,6 +172,11 @@ func (s *Server) Snapshot() ServerSnapshot {
 		snap.Shards = f.ShardStats()
 	}
 
+	if reg := s.store.Namespaces(); reg != nil && reg.Len() > 0 {
+		entries, totals := reg.Snapshot()
+		snap.Namespaces = &NamespacesSnapshot{Totals: totals, Entries: entries}
+	}
+
 	st := s.store.Stats()
 	snap.WAL = WALSnapshot{
 		Records:                st.WALRecords,
@@ -268,6 +284,10 @@ func (snap ServerSnapshot) WriteProm(w io.Writer) {
 		win.RotationNs.WritePromSeconds(w, "mpcbfd_window_rotation_duration_seconds", "Time holding the mutation lock per ring rotation.")
 	}
 
+	if n := snap.Namespaces; n != nil {
+		writeNamespaceProm(w, n)
+	}
+
 	promCounter(w, "mpcbfd_wal_records_total", "Mutations appended to the write-ahead log.", snap.WAL.Records)
 	promCounter(w, "mpcbfd_wal_syncs_total", "WAL fsync calls.", snap.WAL.Syncs)
 	promCounter(w, "mpcbfd_snapshots_total", "Snapshots written since start.", snap.WAL.Snapshots)
@@ -299,6 +319,38 @@ func (snap ServerSnapshot) WriteProm(w io.Writer) {
 		ready = 1
 	}
 	promGaugeInt(w, "mpcbfd_ready", "1 when the process is accepting traffic (see /readyz).", ready)
+}
+
+// writeNamespaceProm renders the multi-tenant families: registry-wide
+// totals plus per-namespace series labeled {ns=...}. Only emitted when
+// namespaces exist, so a single-tenant daemon's exposition is unchanged.
+func writeNamespaceProm(w io.Writer, n *NamespacesSnapshot) {
+	promGaugeInt(w, "mpcbfd_ns_count", "Named namespaces in the registry.", int64(n.Totals.Count))
+	promGaugeInt(w, "mpcbfd_ns_resident_count", "Named namespaces currently resident in memory.", int64(n.Totals.Resident))
+	promGaugeInt(w, "mpcbfd_ns_quota_bytes", "Memory budget across all named namespaces (0: unlimited).", n.Totals.QuotaBytes)
+	promGaugeInt(w, "mpcbfd_ns_resident_bytes", "Summed filter bytes of resident named namespaces.", n.Totals.ResidentBytes)
+
+	emit := func(name, typ, help string, val func(e ns.EntrySnapshot) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, e := range n.Entries {
+			fmt.Fprintf(w, "%s{ns=%q} %d\n", name, e.Name, val(e))
+		}
+	}
+	emit("mpcbfd_ns_items", "gauge", "Elements per namespace.",
+		func(e ns.EntrySnapshot) uint64 { return e.Items })
+	emit("mpcbfd_ns_memory_bytes", "gauge", "Filter footprint per namespace in bytes.",
+		func(e ns.EntrySnapshot) uint64 { return e.MemoryBytes })
+	emit("mpcbfd_ns_resident", "gauge", "1 when the namespace is resident, 0 when evicted to disk.",
+		func(e ns.EntrySnapshot) uint64 {
+			if e.Resident {
+				return 1
+			}
+			return 0
+		})
+	emit("mpcbfd_ns_evictions_total", "counter", "Times each namespace was evicted to its snapshot file.",
+		func(e ns.EntrySnapshot) uint64 { return e.Evictions })
+	emit("mpcbfd_ns_recoveries_total", "counter", "Times each namespace was recovered from its snapshot file.",
+		func(e ns.EntrySnapshot) uint64 { return e.Recoveries })
 }
 
 // writeShardProm renders the per-shard gauge families, one HELP/TYPE

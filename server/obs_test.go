@@ -138,6 +138,12 @@ func TestPromExpositionFormat(t *testing.T) {
 	if err := c.Delete(keys[0]); err != nil {
 		t.Fatal(err)
 	}
+	// Populate two namespaces so the {ns=...} families render.
+	for _, name := range []string{"tenant-a", "tenant-b"} {
+		if err := c.Namespace(name).Insert([]byte("ns-prom-key")); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	ts := httptest.NewServer(srv.HTTPHandler())
 	defer ts.Close()
@@ -159,6 +165,12 @@ func TestPromExpositionFormat(t *testing.T) {
 		"mpcbfd_last_snapshot_age_seconds",
 		"mpcbfd_trace_sampled_total",
 		"mpcbfd_ready",
+		"mpcbfd_ns_count",
+		"mpcbfd_ns_items",
+		"mpcbfd_ns_memory_bytes",
+		"mpcbfd_ns_resident",
+		"mpcbfd_ns_evictions_total",
+		"mpcbfd_ns_recoveries_total",
 	} {
 		if _, ok := p.typeOf[family]; !ok {
 			t.Errorf("/metrics missing family %s", family)
@@ -174,6 +186,16 @@ func TestPromExpositionFormat(t *testing.T) {
 	if want := srv.Store().Filter().Shards(); shards != want {
 		t.Errorf("mpcbfd_shard_items series = %d, want %d", shards, want)
 	}
+	// One series per namespace for the per-namespace gauges.
+	nsSeries := 0
+	for s := range p.series {
+		if strings.HasPrefix(s, "mpcbfd_ns_items{") {
+			nsSeries++
+		}
+	}
+	if nsSeries != 2 {
+		t.Errorf("mpcbfd_ns_items series = %d, want 2", nsSeries)
+	}
 }
 
 // TestExpvarMatchesProm asserts /debug/vars and /metrics agree — both
@@ -181,6 +203,9 @@ func TestPromExpositionFormat(t *testing.T) {
 func TestExpvarMatchesProm(t *testing.T) {
 	srv, c := startTestServer(t, testStoreOptions(t.TempDir()), Config{})
 	if err := c.InsertBatch(storeKeys("drift", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Namespace("drift-ns").InsertBatch(storeKeys("ns-drift", 50)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -197,12 +222,19 @@ func TestExpvarMatchesProm(t *testing.T) {
 	}
 	snap := doc.Mpcbfd.Server
 
+	if snap.Namespaces == nil || len(snap.Namespaces.Entries) != 1 {
+		t.Fatalf("expvar namespaces slice missing or wrong size: %+v", snap.Namespaces)
+	}
+	nsEntry := snap.Namespaces.Entries[0]
+
 	metrics := httpGet(t, ts.URL+"/metrics")
 	for _, pair := range [][2]string{
 		{"mpcbfd_filter_len", fmt.Sprintf("%d", snap.Filter.Len)},
 		{"mpcbfd_wal_records_total", fmt.Sprintf("%d", snap.WAL.Records)},
 		{"mpcbfd_replayed_records", fmt.Sprintf("%d", snap.WAL.ReplayedRecords)},
 		{`mpcbfd_requests_total{op="insert_batch"}`, fmt.Sprintf("%d", snap.Ops["insert_batch"])},
+		{"mpcbfd_ns_count", fmt.Sprintf("%d", snap.Namespaces.Totals.Count)},
+		{`mpcbfd_ns_items{ns="drift-ns"}`, fmt.Sprintf("%d", nsEntry.Items)},
 	} {
 		if want := pair[0] + " " + pair[1]; !strings.Contains(metrics, want) {
 			t.Errorf("/metrics disagrees with /debug/vars: missing %q", want)
@@ -210,6 +242,9 @@ func TestExpvarMatchesProm(t *testing.T) {
 	}
 	if snap.Filter.Len != 200 {
 		t.Errorf("expvar filter len = %d, want 200", snap.Filter.Len)
+	}
+	if nsEntry.Name != "drift-ns" || nsEntry.Items != 50 || !nsEntry.Resident {
+		t.Errorf("expvar namespace entry = %+v, want drift-ns with 50 resident items", nsEntry)
 	}
 	if !snap.Ready {
 		t.Error("expvar snapshot not ready on a live server")

@@ -119,6 +119,9 @@ func (s *Store) ReplicaApply(seq uint64, off int64, n uint32, raw []byte) error 
 			if err := s.wal.RotateTo(seq); err != nil {
 				return err
 			}
+			// Mirror the primary's per-segment selection reset: the new
+			// segment opens in the default context on both sides.
+			s.walCtx = nil
 			wsize = 0
 		} else {
 			return fmt.Errorf("server: replica desync: frame (%d, %d), mirror (%d, %d)", seq, off, wseq, wsize)
@@ -154,19 +157,28 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 		return errors.New("server: ReplicaBootstrap on a non-replica store")
 	}
 	// The mirror adopts whatever state the primary ships — windowed or
-	// not — the same way OpenStore adopts a replica's local snapshot.
+	// not, bare or namespace container — the same way OpenStore adopts a
+	// replica's local snapshot.
 	var (
-		f *mpcbf.Sharded
-		w *window.Filter
+		f         *mpcbf.Sharded
+		w         *window.Filter
+		nsEntries []nsSnapEntry
 	)
-	if window.IsWindowed(data) {
+	base := data
+	if isNsContainer(base) {
 		var err error
-		if w, err = window.UnmarshalFilter(data); err != nil {
+		if base, nsEntries, err = decodeNsContainer(base); err != nil {
+			return fmt.Errorf("server: bootstrap snapshot: %w", err)
+		}
+	}
+	if window.IsWindowed(base) {
+		var err error
+		if w, err = window.UnmarshalFilter(base); err != nil {
 			return fmt.Errorf("server: bootstrap snapshot: %w", err)
 		}
 	} else {
 		var err error
-		if f, err = mpcbf.UnmarshalSharded(data); err != nil {
+		if f, err = mpcbf.UnmarshalSharded(base); err != nil {
 			return fmt.Errorf("server: bootstrap snapshot: %w", err)
 		}
 	}
@@ -197,6 +209,14 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 			}
 		}
 	}
+	// Local evict files describe the divergent history being wiped;
+	// InstallSnapshot below rewrites the surviving ones from the shipped
+	// container so tail replay starts from the container's exact bytes.
+	for _, path := range listNsSnapFiles(s.opts.Dir) {
+		if err := os.Remove(path); err != nil {
+			s.opts.Log.Warn("bootstrap: remove ns evict file", "path", path, "error", err)
+		}
+	}
 
 	final := snapshotPath(s.opts.Dir, seq)
 	tmp := final + ".tmp"
@@ -214,6 +234,16 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	}
 	nw.setBaseline(cumRecords, cumBytes)
 	s.wal = nw
+	s.walCtx = nil
+	s.reg.Reset()
+	for _, en := range nsEntries {
+		if err := s.reg.InstallSnapshot(en.name, en.cfg, en.resident, en.items, en.data); err != nil {
+			return fmt.Errorf("server: bootstrap namespace: %w", err)
+		}
+	}
+	if err := s.reg.EnsureQuota(nil); err != nil {
+		return fmt.Errorf("server: bootstrap namespace quota: %w", err)
+	}
 	if w != nil {
 		s.win.Store(w)
 		s.filter.Store(nil)

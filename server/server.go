@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/server/wire"
+	"repro/window"
 )
 
 // StatsSource supplies extra observability state appended to both the
@@ -458,6 +459,13 @@ func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []by
 	if s.cfg.ReadOnly && wire.IsMutation(req.Op) {
 		return wire.AppendReadOnly(dst, s.cfg.PrimaryAddr), 0, true
 	}
+	// A namespaced request (NAMESPACED envelope or a named admin op)
+	// routes through the namespace table; an empty name is the default
+	// alias and falls straight through to the original paths below — the
+	// non-namespaced hot path pays one length check.
+	if len(req.NS) != 0 {
+		return s.dispatchNS(req, dst, tr)
+	}
 	switch req.Op {
 	case wire.OpInsert:
 		ticket, err := s.store.insertEnq(req.Key, tr)
@@ -524,19 +532,139 @@ func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []by
 		if err != nil {
 			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		ws := wire.WindowStats{
-			Generations:      uint32(st.Generations),
-			Head:             uint32(st.Head),
-			Rotations:        st.Rotations,
-			SpanNanos:        uint64(st.Span),
-			RotateEveryNanos: uint64(st.RotateEvery),
-			PendingExpiries:  uint64(st.PendingExpiries),
-			GenItems:         make([]uint64, len(st.GenItems)),
+		return appendWindowStats(dst, st), 0, false
+	case wire.OpNsCreate, wire.OpNsDrop:
+		// Reachable only with a 0-length name (named requests took the
+		// namespace branch above): creating or dropping the default state
+		// is meaningless.
+		return wire.AppendErr(dst, "namespace name required"), 0, true
+	case wire.OpNsList:
+		return wire.AppendNsList(wire.AppendOK(dst), s.store.NsList()), 0, false
+	case wire.OpNsStats:
+		// 0-length name: the default-state alias.
+		return wire.AppendNsStats(wire.AppendOK(dst), s.store.DefaultNsStats()), 0, false
+	}
+	return wire.AppendErr(dst, "unknown opcode"), 0, true
+}
+
+// appendWindowStats encodes an OK + window-stats response.
+func appendWindowStats(dst []byte, st window.Stats) []byte {
+	ws := wire.WindowStats{
+		Generations:      uint32(st.Generations),
+		Head:             uint32(st.Head),
+		Rotations:        st.Rotations,
+		SpanNanos:        uint64(st.Span),
+		RotateEveryNanos: uint64(st.RotateEvery),
+		PendingExpiries:  uint64(st.PendingExpiries),
+		GenItems:         make([]uint64, len(st.GenItems)),
+	}
+	for i, n := range st.GenItems {
+		ws.GenItems[i] = uint64(n)
+	}
+	return wire.AppendWindowStats(wire.AppendOK(dst), ws)
+}
+
+// dispatchNS executes a request addressed to a named namespace. The
+// name is validated here at operation level — a bad name fails one
+// request with ERR, never the connection (the wire decoder accepts any
+// u8-length name so framing stays intact).
+func (s *Server) dispatchNS(req wire.Request, dst []byte, tr *reqTrace) (resp []byte, ticket uint64, opFailed bool) {
+	if err := wire.ValidateNamespace(string(req.NS)); err != nil {
+		return wire.AppendErr(dst, err.Error()), 0, true
+	}
+	switch req.Op {
+	case wire.OpNsCreate:
+		ticket, err := s.store.nsCreateEnq(req.NS, req.NsCfg, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		for i, n := range st.GenItems {
-			ws.GenItems[i] = uint64(n)
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpNsDrop:
+		ticket, err := s.store.nsDropEnq(req.NS, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
 		}
-		return wire.AppendWindowStats(wire.AppendOK(dst), ws), 0, false
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpNsStats:
+		st, err := s.store.NsStats(req.NS)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendNsStats(wire.AppendOK(dst), st), 0, false
+	case wire.OpInsert:
+		ticket, err := s.store.nsInsertEnq(req.NS, req.Key, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpDelete:
+		ticket, err := s.store.nsDeleteEnq(req.NS, req.Key, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpContains:
+		t0 := tr.now()
+		ok, err := s.store.NsContains(req.NS, req.Key)
+		tr.addFilter(t0)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendBool(wire.AppendOK(dst), ok), 0, false
+	case wire.OpEstimate:
+		t0 := tr.now()
+		n, err := s.store.NsEstimateCount(req.NS, req.Key)
+		tr.addFilter(t0)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendU64(wire.AppendOK(dst), uint64(n)), 0, false
+	case wire.OpLen:
+		return wire.AppendU64(wire.AppendOK(dst), uint64(s.store.NsLen(req.NS))), 0, false
+	case wire.OpInsertBatch:
+		ticket, err := s.store.nsInsertBatchEnq(req.NS, req.Keys, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpDeleteBatch:
+		ok, ticket, err := s.store.nsDeleteBatchEnq(req.NS, req.Keys, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendBools(wire.AppendOK(dst), ok), ticket, false
+	case wire.OpContainsBatch:
+		t0 := tr.now()
+		flags, err := s.store.NsContainsBatch(req.NS, req.Keys)
+		tr.addFilter(t0)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendBools(wire.AppendOK(dst), flags), 0, false
+	case wire.OpDump:
+		data, err := s.store.NsMarshal(req.NS)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return append(wire.AppendOK(dst), data...), 0, false
+	case wire.OpInsertTTL:
+		ticket, err := s.store.nsInsertTTLEnq(req.NS, req.Key, durationFromNanos(req.TTL), tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpInsertTTLBatch:
+		ticket, err := s.store.nsInsertTTLBatchEnq(req.NS, req.Keys, durationFromNanos(req.TTL), tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpWindowStats:
+		st, err := s.store.NsWindowStats(req.NS)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return appendWindowStats(dst, st), 0, false
 	}
 	return wire.AppendErr(dst, "unknown opcode"), 0, true
 }

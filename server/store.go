@@ -14,6 +14,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/server/ns"
 	"repro/server/wire"
 	"repro/window"
 )
@@ -53,6 +54,14 @@ type Store struct {
 	filter atomic.Pointer[mpcbf.Sharded]
 	win    atomic.Pointer[window.Filter] // non-nil in windowed mode; filter is nil then
 	wal    *wal
+
+	// reg holds the named namespaces (see ns_store.go); walCtx is the
+	// WAL's current selection context — the namespace the last NS_SELECT
+	// record named (nil = the default state). Guarded by s.mu on the
+	// append path and by apply-path serialization during replay, and
+	// reset to nil at every segment boundary.
+	reg    *ns.Registry
+	walCtx *ns.Entry
 
 	rotHist Histogram // windowed mode: rotation latency (ns)
 
@@ -95,6 +104,16 @@ type StoreOptions struct {
 	Window time.Duration
 	// Generations is the window ring size G (default 4; windowed only).
 	Generations int
+	// NsDefaults is the default per-namespace filter configuration; zero
+	// fields get the ns package's hard fallbacks. Per-namespace CREATE_NS
+	// overrides resolve against it.
+	NsDefaults ns.Config
+	// NsQuota bounds the summed resident bytes of all named namespaces;
+	// least-recently-touched namespaces are evicted (snapshot-on-evict,
+	// recover-on-touch) to fit. <= 0: unlimited.
+	NsQuota int64
+	// NsIdleAfter evicts namespaces untouched for this long (0: off).
+	NsIdleAfter time.Duration
 	// Replica opens the store as a replication target: its WAL mirrors a
 	// primary's segment files byte-for-byte (via ReplicaApply /
 	// ReplicaBootstrap), so the store never snapshots on its own — a
@@ -174,18 +193,25 @@ func listSnapshots(dir string) ([]uint64, error) {
 
 // loadSnapshot reads, checksums, and unmarshals one snapshot file into
 // whichever state type its payload encodes; exactly one of the returned
-// filters is non-nil.
-func loadSnapshot(path string) (*mpcbf.Sharded, *window.Filter, error) {
+// filters is non-nil. A namespace container additionally yields its
+// decoded namespace entries for registry installation.
+func loadSnapshot(path string) (*mpcbf.Sharded, *window.Filter, []nsSnapEntry, error) {
 	data, err := readSnapshotData(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	var entries []nsSnapEntry
+	if isNsContainer(data) {
+		if data, entries, err = decodeNsContainer(data); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	if window.IsWindowed(data) {
 		w, err := window.UnmarshalFilter(data)
-		return nil, w, err
+		return nil, w, entries, err
 	}
 	f, err := mpcbf.UnmarshalSharded(data)
-	return f, nil, err
+	return f, nil, entries, err
 }
 
 // OpenStore opens (or initializes) the store in opts.Dir: newest valid
@@ -201,9 +227,10 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		return nil, err
 	}
 	var (
-		filter  *mpcbf.Sharded
-		winf    *window.Filter
-		snapSeq uint64 // replay segments >= snapSeq
+		filter    *mpcbf.Sharded
+		winf      *window.Filter
+		nsEntries []nsSnapEntry
+		snapSeq   uint64 // replay segments >= snapSeq
 	)
 	// Newest snapshot that unmarshals cleanly wins; a corrupt one is
 	// logged and skipped so a bad final snapshot degrades to the previous
@@ -211,9 +238,9 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	// exist but all fail to load are a hard error: silently starting from
 	// an empty filter would masquerade as data loss.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		f, w, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
+		f, w, nse, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
 		if err == nil {
-			filter, winf, snapSeq = f, w, snaps[i]
+			filter, winf, nsEntries, snapSeq = f, w, nse, snaps[i]
 			break
 		}
 		opts.Log.Warn("skipping corrupt snapshot", "seq", snaps[i], "error", err)
@@ -255,6 +282,19 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		s.win.Store(winf)
 	} else {
 		s.filter.Store(filter)
+	}
+	// The registry must exist before replay: the replayed tail can carry
+	// NS_CREATE/NS_SELECT records, and every snapshot-installed namespace
+	// must start in its snapshot state (InstallSnapshot rewrites evict
+	// files from the container) so tail replay lands on the right bytes.
+	s.reg = ns.NewRegistry(s.nsRegistryOptions())
+	for _, en := range nsEntries {
+		if err := s.reg.InstallSnapshot(en.name, en.cfg, en.resident, en.items, en.data); err != nil {
+			return nil, fmt.Errorf("server: restore namespace: %w", err)
+		}
+	}
+	if err := s.reg.EnsureQuota(nil); err != nil {
+		return nil, fmt.Errorf("server: namespace quota at open: %w", err)
 	}
 
 	segs, err := listWALSegments(opts.Dir)
@@ -312,6 +352,17 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		s.bg.Add(1)
 		go s.rotateLoop(w.RotateEvery())
 	}
+	// Windowed namespaces get their own deadline-driven rotation loop
+	// (primaries only, same reason as above); idle eviction runs on
+	// primaries and replicas alike — residency is local policy.
+	if !opts.Replica {
+		s.bg.Add(1)
+		go s.nsRotateLoop()
+	}
+	if opts.NsIdleAfter > 0 {
+		s.bg.Add(1)
+		go s.nsIdleLoop()
+	}
 	return s, nil
 }
 
@@ -343,7 +394,11 @@ func (a *batchApplier) add(op byte, key []byte) error {
 		}
 		a.keys = append(a.keys, key)
 	case walOpInsertTTL:
-		if a.s.w() == nil {
+		if e := a.s.walCtx; e != nil {
+			if !e.Windowed() {
+				return fmt.Errorf("ttl record for non-windowed namespace %q", e.Name())
+			}
+		} else if a.s.w() == nil {
 			return fmt.Errorf("ttl record in a non-windowed store")
 		}
 		r, k, err := decodeTTLBody(key)
@@ -356,15 +411,36 @@ func (a *batchApplier) add(op byte, key []byte) error {
 		}
 		a.keys = append(a.keys, k)
 	case walOpWindowRotate:
+		// A rotation is a batch boundary: everything logged before it must
+		// land in the pre-rotation ring position.
+		a.flush()
+		if e := a.s.walCtx; e != nil {
+			if !e.Windowed() {
+				return fmt.Errorf("rotate record for non-windowed namespace %q", e.Name())
+			}
+			if err := a.s.nsResidentLocked(e); err != nil {
+				return err
+			}
+			e.Window().Rotate()
+			return nil
+		}
 		w := a.s.w()
 		if w == nil {
 			return fmt.Errorf("rotate record in a non-windowed store")
 		}
-		// A rotation is a batch boundary: everything logged before it must
-		// land in the pre-rotation ring position.
-		a.flush()
 		w.Rotate()
 		return nil
+	case walOpNsCreate:
+		// Namespace lifecycle records are flush barriers too: pending keys
+		// belong to the pre-event selection context.
+		a.flush()
+		return a.s.applyNsCreate(key)
+	case walOpNsDrop:
+		a.flush()
+		return a.s.applyNsDrop(key)
+	case walOpNsSelect:
+		a.flush()
+		return a.s.applyNsSelect(key)
 	default:
 		return fmt.Errorf("unknown wal op 0x%02x", op)
 	}
@@ -376,6 +452,10 @@ func (a *batchApplier) add(op byte, key []byte) error {
 
 func (a *batchApplier) flush() {
 	if len(a.keys) == 0 {
+		return
+	}
+	if e := a.s.walCtx; e != nil {
+		a.flushNS(e)
 		return
 	}
 	w := a.s.w()
@@ -409,7 +489,13 @@ func (a *batchApplier) flush() {
 }
 
 // replaySegment re-applies one segment's records through a batchApplier.
+// Each segment opens in the default selection context — the primary's
+// append side resets at every rotation — and the context surviving the
+// last replayed segment stays live: appends continue into that segment,
+// so the next mutation sees the same selection state the WAL tail ends
+// in.
 func (s *Store) replaySegment(path string) (int, int64, error) {
+	s.walCtx = nil
 	a := &batchApplier{s: s, context: "replay"}
 	n, valid, err := replayWAL(path, a.add)
 	a.flush()
@@ -448,6 +534,9 @@ func (s *Store) insertEnq(key []byte, tr *reqTrace) (uint64, error) {
 		return 0, err
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
 	return s.wal.Enqueue(wire.OpInsert, key, tr)
 }
 
@@ -483,6 +572,9 @@ func (s *Store) deleteEnq(key []byte, tr *reqTrace) (uint64, error) {
 		return 0, err
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
 	return s.wal.Enqueue(wire.OpDelete, key, tr)
 }
 
@@ -514,6 +606,9 @@ func (s *Store) insertBatchEnq(keys [][]byte, tr *reqTrace) (uint64, error) {
 		return 0, err
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
 	return s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
 }
 
@@ -544,6 +639,9 @@ func (s *Store) deleteBatchEnq(keys [][]byte, tr *reqTrace) ([]bool, uint64, err
 		ok, _ = s.f().DeleteBatch(keys, s.opts.BatchWorkers)
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return ok, 0, err
+	}
 	// Log exactly the subset that succeeded, straight from the flags — no
 	// intermediate key slice.
 	ticket, err := s.wal.EnqueueBatchFlags(wire.OpDelete, keys, ok, tr)
@@ -659,6 +757,9 @@ func (s *Store) snapshot() (data []byte, newSeq uint64, cumRecords, cumBytes uin
 	newSeq, err = s.wal.Rotate()
 	if err == nil {
 		cumRecords, cumBytes = s.wal.CumPos()
+		// A fresh segment opens in the default selection context; the next
+		// namespaced mutation re-emits its SELECT.
+		s.walCtx = nil
 	}
 	s.mu.Unlock()
 	if err != nil {

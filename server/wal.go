@@ -122,19 +122,19 @@ type wal struct {
 
 	// mu guards the enqueue state: the pending buffer, tickets, logical
 	// position, and counters. It is never held across disk IO.
-	mu      sync.Mutex
-	cond    sync.Cond // signaled when durTicket advances or pending drains
-	f       *os.File
-	pending []byte // framed records enqueued but not yet written
-	spare   []byte // recycled swap buffer for pending
-	seq         uint64
-	size        int64 // logical bytes in the current segment, incl. pending
-	dirty       bool  // written or pending bytes not yet fsynced
-	records     uint64
-	syncs       uint64
-	enqTicket   uint64 // ticket of the newest enqueued group
-	durTicket   uint64 // tickets <= this are committed per policy
-	commitErr   error  // sticky: first commit IO failure poisons the log
+	mu        sync.Mutex
+	cond      sync.Cond // signaled when durTicket advances or pending drains
+	f         *os.File
+	pending   []byte // framed records enqueued but not yet written
+	spare     []byte // recycled swap buffer for pending
+	seq       uint64
+	size      int64 // logical bytes in the current segment, incl. pending
+	dirty     bool  // written or pending bytes not yet fsynced
+	records   uint64
+	syncs     uint64
+	enqTicket uint64 // ticket of the newest enqueued group
+	durTicket uint64 // tickets <= this are committed per policy
+	commitErr error  // sticky: first commit IO failure poisons the log
 
 	// commitMu serializes commit IO (write+fsync) and rotation. Taken
 	// before mu; WaitDurable only TryLocks it while holding mu.
@@ -151,7 +151,7 @@ type wal struct {
 
 	// Committer goroutine (async policies only): kicked on the
 	// empty→non-empty pending transition.
-	kick     chan struct{}
+	kick      chan struct{}
 	stopDrain chan struct{}
 	drainDone chan struct{}
 

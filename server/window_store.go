@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"os"
 	"time"
 
@@ -95,6 +96,9 @@ func (s *Store) insertTTLEnq(key []byte, ttl time.Duration, tr *reqTrace) (uint6
 		return 0, err
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
 	return s.wal.EnqueueTTL(walOpInsertTTL, uint32(r), key, tr)
 }
 
@@ -128,6 +132,9 @@ func (s *Store) insertTTLBatchEnq(keys [][]byte, ttl time.Duration, tr *reqTrace
 		return 0, err
 	}
 	tr.addFilter(t0)
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
 	return s.wal.EnqueueTTLBatch(walOpInsertTTL, uint32(r), keys, tr)
 }
 
@@ -151,7 +158,10 @@ func (s *Store) rotate() error {
 	t0 := time.Now()
 	s.mu.Lock()
 	w.Rotate()
-	err := s.wal.Append(walOpWindowRotate, nil, nil)
+	err := s.selectLocked(nil)
+	if err == nil {
+		err = s.wal.Append(walOpWindowRotate, nil, nil)
+	}
 	s.mu.Unlock()
 	s.rotHist.ObserveDuration(time.Since(t0))
 	return err
@@ -178,8 +188,20 @@ func (s *Store) rotateLoop(every time.Duration) {
 }
 
 // marshalLocked encodes the store's state — windowed or not — for
-// snapshots, DUMP, and replication bootstrap. Caller holds s.mu.
+// snapshots, DUMP, and replication bootstrap. With namespaces present
+// the encoding is the self-contained container of ns_store.go; without
+// them it stays the bare filter encoding old tooling understands.
+// Caller holds s.mu.
 func (s *Store) marshalLocked() ([]byte, error) {
+	base, err := s.marshalBaseLocked()
+	if err != nil || s.reg == nil || s.reg.Len() == 0 {
+		return base, err
+	}
+	return s.encodeNsContainerLocked(base)
+}
+
+// marshalBaseLocked encodes only the default (anonymous) state.
+func (s *Store) marshalBaseLocked() ([]byte, error) {
 	if w := s.w(); w != nil {
 		return w.MarshalBinary()
 	}
@@ -197,11 +219,24 @@ func readSnapshotData(path string) ([]byte, error) {
 	return decodeSnapshot(blob)
 }
 
-// verifySnapshot confirms a just-written snapshot file loads cleanly.
+// verifySnapshot confirms a just-written snapshot file loads cleanly —
+// the default state and, for a namespace container, every embedded
+// namespace.
 func verifySnapshot(path string) error {
 	data, err := readSnapshotData(path)
 	if err != nil {
 		return err
+	}
+	if isNsContainer(data) {
+		var entries []nsSnapEntry
+		if data, entries, err = decodeNsContainer(data); err != nil {
+			return err
+		}
+		for i := range entries {
+			if err := verifyNsState(entries[i].data); err != nil {
+				return fmt.Errorf("ns %q: %w", entries[i].name, err)
+			}
+		}
 	}
 	if window.IsWindowed(data) {
 		_, err = window.UnmarshalFilter(data)

@@ -29,6 +29,23 @@ func FuzzDecodeRequest(f *testing.F) {
 	// Oversized TTL frames: absurd key length / key count.
 	f.Add(append(append([]byte{OpInsertTTL}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F, 'x'))
 	f.Add(append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F))
+	// Namespace ops and the NAMESPACED envelope.
+	f.Add(AppendNsCreateRequest(nil, []byte("tenant"), NsConfig{MemoryBits: 1 << 20, Shards: 4}))
+	f.Add(AppendNsDropRequest(nil, []byte("tenant")))
+	f.Add(AppendNsListRequest(nil))
+	f.Add(AppendNsStatsRequest(nil, []byte("tenant")))
+	f.Add(AppendKeyRequest(AppendNamespaced(nil, []byte("t")), OpInsert, []byte("key")))
+	f.Add(AppendBatchRequest(AppendNamespaced(nil, nil), OpContainsBatch, [][]byte{[]byte("a")}))
+	// Truncated namespace frames: mid-name, mid-config, empty inner.
+	f.Add([]byte{OpNsCreate, 9, 'a'})
+	f.Add(append([]byte{OpNsCreate, 1, 'a'}, make([]byte, NsConfigSize-2)...))
+	f.Add([]byte{OpNamespaced, 3, 'a', 'b'})
+	f.Add([]byte{OpNamespaced, 1, 'a'})
+	// Oversized / hostile namespace frames: max name length, nested
+	// envelope, enveloped replicate.
+	f.Add(append([]byte{OpNsDrop, 0xFF}, make([]byte, 0xFF)...))
+	f.Add([]byte{OpNamespaced, 1, 'a', OpNamespaced, 1, 'b', OpLen})
+	f.Add(append([]byte{OpNamespaced, 1, 'a'}, AppendReplicateRequest(nil, 1, 2)...))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err != nil {
@@ -56,6 +73,8 @@ func FuzzDecodeStatus(f *testing.F) {
 	f.Add(AppendReadOnly(nil, "127.0.0.1:7070"))
 	f.Add(AppendBools(AppendOK(nil), []bool{true, false}))
 	f.Add(AppendU64(AppendOK(nil), 1<<63))
+	f.Add(AppendNsList(AppendOK(nil), []string{"a", "tenant-b"}))
+	f.Add(AppendNsStats(AppendOK(nil), NsStats{Resident: true, Items: 42}))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		status, body, err := DecodeStatus(payload)
 		if err != nil {
@@ -69,6 +88,10 @@ func FuzzDecodeStatus(f *testing.F) {
 		DecodeU64(body)
 		if vs, err := DecodeBools(body); err == nil && len(vs) > len(body) {
 			t.Fatalf("bools: %d values from %d bytes", len(vs), len(body))
+		}
+		DecodeNsStats(body)
+		if names, err := DecodeNsList(body); err == nil && len(names) > len(body) {
+			t.Fatalf("ns list: %d names from %d bytes", len(names), len(body))
 		}
 	})
 }

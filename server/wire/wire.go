@@ -19,6 +19,10 @@
 //	INSERT_TTL:                             [op][u64 ttlNanos][key]
 //	INSERT_TTL_BATCH:                       [op][u64 ttlNanos][u32 n][key]*n
 //	REPLICATE:                              [op][u64 seq][u64 off]
+//	CREATE_NS:                              [op][u8 nsLen][ns][NsConfig block]
+//	DROP_NS / NS_STATS:                     [op][u8 nsLen][ns]
+//	LIST_NS:                                [op]
+//	NAMESPACED:                             [op][u8 nsLen][ns][inner request payload]
 //
 // Responses (status OK):
 //
@@ -30,10 +34,32 @@
 //	WINDOW_STATS:                    [u32 G][u32 head][u64 rotations]
 //	                                 [u64 spanNanos][u64 rotateEveryNanos]
 //	                                 [u64 pendingExpiries][u64 items]*G
+//	CREATE_NS / DROP_NS:             empty
+//	LIST_NS:                         [u32 n]([u8 len][name])*n
+//	NS_STATS:                        [u8 resident][u8 windowed][u64 items]
+//	                                 [u64 memoryBits][u64 evictions][u64 recoveries]
 //
 // The TTL ops and WINDOW_STATS are only meaningful against a daemon
-// started in windowed mode (-window); a non-windowed server answers them
-// with ERR and keeps the connection usable.
+// started in windowed mode (-window) or, through the NAMESPACED
+// envelope, against a windowed namespace; otherwise the server answers
+// them with ERR and keeps the connection usable.
+//
+// # Namespaces (protocol version 2)
+//
+// The NAMESPACED envelope addresses any data-plane request (insert,
+// delete, contains, estimate, len, batches, TTL ops, window stats, dump)
+// at a named namespace: an independent filter with its own geometry,
+// lazily created on first mutation. The envelope wraps a complete inner
+// request payload and decodes to the inner request with Request.NS set.
+// A zero-length name aliases the default namespace — the filter that
+// version-1 requests address — so old clients interoperate unchanged and
+// new clients can envelope unconditionally. REPLICATE and the namespace
+// admin ops carry their own addressing and cannot be enveloped; neither
+// can a second envelope. CREATE_NS is optional (first mutation creates
+// with daemon defaults) but is the only way to set per-namespace
+// overrides; creating an existing namespace succeeds only if the
+// resolved configuration is identical. DROP_NS discards the namespace's
+// state everywhere, including replicas.
 //
 // Responses (status ERR): [error message bytes]. An ERR response reports
 // an operation-level failure (e.g. deleting an absent key, a word
@@ -101,11 +127,63 @@ const (
 	OpInsertTTLBatch = 0x0C
 	OpWindowStats    = 0x0D
 
+	// Namespace ops (protocol version 2).
+	OpNsCreate = 0x0E
+	OpNsDrop   = 0x0F
+	OpNsList   = 0x10
+	OpNsStats  = 0x11
+	// OpNamespaced is an envelope, not an operation: its body is a
+	// namespace name followed by a complete inner request payload, and it
+	// decodes to the inner request with Request.NS set. A zero-length
+	// name aliases the default namespace, so a version-2 client can send
+	// every request through the envelope unconditionally.
+	OpNamespaced = 0x12
+
 	// MaxOp is the highest assigned opcode. Every opcode in (0, MaxOp]
 	// must have an OpName/OpNames entry; a table test enforces it so a
 	// future opcode cannot ship unnamed.
-	MaxOp = OpWindowStats
+	MaxOp = OpNamespaced
 )
+
+// Protocol versions. Version 1 is the pre-namespace protocol (opcodes
+// through WINDOW_STATS); version 2 adds the namespace ops and the
+// NAMESPACED envelope. The protocol is forward-compatible by opcode: a
+// version-1 client's frames are valid version-2 frames and address the
+// default namespace, so the version is informational (exposed in stats),
+// not negotiated.
+const (
+	ProtocolVersion1 = 1
+	ProtocolVersion2 = 2
+	ProtocolVersion  = ProtocolVersion2
+)
+
+// MaxNamespaceLen bounds a namespace name's byte length. The wire format
+// itself allows up to 255 (u8 length prefix); the tighter bound keeps
+// names usable as filenames and metric label values.
+const MaxNamespaceLen = 64
+
+// ValidateNamespace checks that a namespace name is non-empty, at most
+// MaxNamespaceLen bytes, and uses only [a-zA-Z0-9_.-]. Both sides
+// enforce it: names are embedded in snapshot filenames and metric
+// labels, so the charset is deliberately conservative.
+func ValidateNamespace(name string) error {
+	if len(name) == 0 {
+		return errors.New("wire: empty namespace name")
+	}
+	if len(name) > MaxNamespaceLen {
+		return fmt.Errorf("wire: namespace name %d bytes exceeds %d", len(name), MaxNamespaceLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '.', c == '-':
+		default:
+			return fmt.Errorf("wire: namespace name contains invalid byte 0x%02x (allowed: [a-zA-Z0-9_.-])", c)
+		}
+	}
+	return nil
+}
 
 // Response statuses.
 const (
@@ -127,9 +205,14 @@ const (
 
 // IsMutation reports whether an opcode changes filter state (and is
 // therefore rejected by a read-only replica and logged to the WAL).
+// OpNamespaced counts as a mutation conservatively: the envelope's inner
+// opcode decides for a decoded request (Request.Op is always the inner
+// op), so this entry only matters to callers classifying raw opcodes
+// before decoding — and an undecoded envelope may wrap a mutation.
 func IsMutation(op byte) bool {
 	switch op {
-	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch, OpInsertTTL, OpInsertTTLBatch:
+	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch, OpInsertTTL, OpInsertTTLBatch,
+		OpNsCreate, OpNsDrop, OpNamespaced:
 		return true
 	}
 	return false
@@ -174,6 +257,16 @@ func OpName(op byte) string {
 		return "insert_ttl_batch"
 	case OpWindowStats:
 		return "window_stats"
+	case OpNsCreate:
+		return "ns_create"
+	case OpNsDrop:
+		return "ns_drop"
+	case OpNsList:
+		return "ns_list"
+	case OpNsStats:
+		return "ns_stats"
+	case OpNamespaced:
+		return "namespaced"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
 }
@@ -209,6 +302,12 @@ func OpNames() map[byte]string {
 		OpInsertTTL:      "insert_ttl",
 		OpInsertTTLBatch: "insert_ttl_batch",
 		OpWindowStats:    "window_stats",
+
+		OpNsCreate:   "ns_create",
+		OpNsDrop:     "ns_drop",
+		OpNsList:     "ns_list",
+		OpNsStats:    "ns_stats",
+		OpNamespaced: "namespaced",
 	}
 }
 
@@ -355,15 +454,107 @@ func AppendReplicateRequest(dst []byte, seq, off uint64) []byte {
 	return appendU64(dst, off)
 }
 
-// Request is a decoded request payload. Key and Keys alias the frame
-// buffer; handlers must not retain them past the request.
+// AppendNamespaced begins a NAMESPACED envelope addressing ns; the
+// caller appends a complete inner request payload after it. Callers must
+// bound len(ns) to 255 (the u8 length prefix) — the client enforces the
+// tighter MaxNamespaceLen.
+func AppendNamespaced(dst []byte, ns []byte) []byte {
+	dst = append(dst, OpNamespaced, byte(len(ns)))
+	return append(dst, ns...)
+}
+
+func appendNsName(dst []byte, ns []byte) []byte {
+	dst = append(dst, byte(len(ns)))
+	return append(dst, ns...)
+}
+
+// AppendNsCreateRequest encodes a CREATE_NS request: create namespace ns
+// with the given configuration overrides (zero fields use daemon
+// defaults).
+func AppendNsCreateRequest(dst []byte, ns []byte, cfg NsConfig) []byte {
+	dst = append(dst, OpNsCreate)
+	dst = appendNsName(dst, ns)
+	return AppendNsConfig(dst, cfg)
+}
+
+// AppendNsDropRequest encodes a DROP_NS request.
+func AppendNsDropRequest(dst []byte, ns []byte) []byte {
+	dst = append(dst, OpNsDrop)
+	return appendNsName(dst, ns)
+}
+
+// AppendNsListRequest encodes the body-less LIST_NS request payload.
+func AppendNsListRequest(dst []byte) []byte { return append(dst, OpNsList) }
+
+// AppendNsStatsRequest encodes an NS_STATS request; a zero-length ns
+// reports the default namespace.
+func AppendNsStatsRequest(dst []byte, ns []byte) []byte {
+	dst = append(dst, OpNsStats)
+	return appendNsName(dst, ns)
+}
+
+// NsConfig carries a namespace's per-tenant configuration overrides in
+// CREATE_NS requests. A zero field means "use the daemon's default";
+// WindowNanos > 0 makes the namespace a sliding-window filter with that
+// span. The wire encoding is a fixed NsConfigSize-byte little-endian
+// block.
+type NsConfig struct {
+	MemoryBits     uint64 // total filter memory in bits
+	ExpectedItems  uint64 // expected distinct items (sizes buckets)
+	HashFunctions  uint8  // k
+	MemoryAccesses uint8  // paper's u (words touched per op)
+	Shards         uint16 // concurrent shard count
+	Seed           uint32 // base hash seed
+	WindowNanos    uint64 // > 0: windowed namespace with this span
+	Generations    uint16 // windowed: generation ring size
+}
+
+// NsConfigSize is the encoded size of an NsConfig block.
+const NsConfigSize = 8 + 8 + 1 + 1 + 2 + 4 + 8 + 2
+
+// AppendNsConfig encodes an NsConfig block.
+func AppendNsConfig(dst []byte, c NsConfig) []byte {
+	dst = appendU64(dst, c.MemoryBits)
+	dst = appendU64(dst, c.ExpectedItems)
+	dst = append(dst, c.HashFunctions, c.MemoryAccesses)
+	dst = append(dst, byte(c.Shards), byte(c.Shards>>8))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], c.Seed)
+	dst = append(dst, u32[:]...)
+	dst = appendU64(dst, c.WindowNanos)
+	return append(dst, byte(c.Generations), byte(c.Generations>>8))
+}
+
+// DecodeNsConfig parses an NsConfig block from the start of b and
+// returns the remaining bytes.
+func DecodeNsConfig(b []byte) (NsConfig, []byte, error) {
+	if len(b) < NsConfigSize {
+		return NsConfig{}, nil, fmt.Errorf("wire: ns config has %d bytes, want %d", len(b), NsConfigSize)
+	}
+	c := NsConfig{
+		MemoryBits:     binary.LittleEndian.Uint64(b[0:8]),
+		ExpectedItems:  binary.LittleEndian.Uint64(b[8:16]),
+		HashFunctions:  b[16],
+		MemoryAccesses: b[17],
+		Shards:         binary.LittleEndian.Uint16(b[18:20]),
+		Seed:           binary.LittleEndian.Uint32(b[20:24]),
+		WindowNanos:    binary.LittleEndian.Uint64(b[24:32]),
+		Generations:    binary.LittleEndian.Uint16(b[32:34]),
+	}
+	return c, b[NsConfigSize:], nil
+}
+
+// Request is a decoded request payload. Key, Keys, and NS alias the
+// frame buffer; handlers must not retain them past the request.
 type Request struct {
-	Op   byte
-	Key  []byte   // single-key ops
-	Keys [][]byte // batch ops
-	TTL  uint64   // INSERT_TTL / INSERT_TTL_BATCH: lifetime in nanoseconds
-	Seq  uint64   // REPLICATE: resume segment
-	Off  uint64   // REPLICATE: resume byte offset
+	Op    byte
+	Key   []byte   // single-key ops
+	Keys  [][]byte // batch ops
+	TTL   uint64   // INSERT_TTL / INSERT_TTL_BATCH: lifetime in nanoseconds
+	Seq   uint64   // REPLICATE: resume segment
+	Off   uint64   // REPLICATE: resume byte offset
+	NS    []byte   // namespace name (nil/empty: default namespace)
+	NsCfg NsConfig // CREATE_NS: configuration overrides
 }
 
 // DecodeRequest parses a request payload.
@@ -463,10 +654,72 @@ func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
 		req.Keys = keys
+	case OpNsCreate:
+		name, rest, err := readNsName(body)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: ns_create: %w", err)
+		}
+		cfg, rest, err := DecodeNsConfig(rest)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: ns_create: %w", err)
+		}
+		if len(rest) != 0 {
+			return Request{}, errors.New("wire: ns_create: trailing bytes")
+		}
+		req.NS = name
+		req.NsCfg = cfg
+	case OpNsDrop, OpNsStats:
+		name, rest, err := readNsName(body)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: %s: %w", OpName(req.Op), err)
+		}
+		if len(rest) != 0 {
+			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
+		}
+		req.NS = name
+	case OpNsList:
+		if len(body) != 0 {
+			return Request{}, errors.New("wire: ns_list: trailing bytes")
+		}
+	case OpNamespaced:
+		name, inner, err := readNsName(body)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: namespaced: %w", err)
+		}
+		if len(inner) == 0 {
+			return Request{}, errors.New("wire: namespaced: empty inner request")
+		}
+		switch inner[0] {
+		case OpNamespaced:
+			return Request{}, errors.New("wire: namespaced: nested envelope")
+		case OpReplicate, OpNsCreate, OpNsDrop, OpNsList, OpNsStats:
+			return Request{}, fmt.Errorf("wire: namespaced: %s cannot be enveloped", OpName(inner[0]))
+		}
+		req, err = DecodeRequestInto(inner, scratch)
+		if err != nil {
+			return Request{}, err
+		}
+		req.NS = name
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode 0x%02x", req.Op)
 	}
 	return req, nil
+}
+
+// readNsName reads a [u8 len][bytes] namespace name. Length-only
+// validation happens here; the charset and MaxNamespaceLen bound are
+// enforced operation-level by the server (via ValidateNamespace) so a
+// bad name fails one request without killing the connection.
+func readNsName(b []byte) (name, rest []byte, err error) {
+	if len(b) < 1 {
+		return nil, nil, errors.New("truncated namespace length")
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n > len(b) {
+		return nil, nil, fmt.Errorf("namespace length %d exceeds body", n)
+	}
+	return b[:n], b[n:], nil
 }
 
 func readKey(b []byte) (key, rest []byte, err error) {
@@ -696,6 +949,80 @@ func DecodeWindowStats(body []byte) (WindowStats, error) {
 		s.GenItems[i] = binary.LittleEndian.Uint64(rest[i*8:])
 	}
 	return s, nil
+}
+
+// NsStats is the decoded NS_STATS response body: one namespace's
+// lifecycle and occupancy counters.
+type NsStats struct {
+	Resident   bool   // filter state in memory (false: evicted to its snapshot file)
+	Windowed   bool   // sliding-window namespace
+	Items      uint64 // element count (last marshaled count while evicted)
+	MemoryBits uint64 // configured filter memory in bits
+	Evictions  uint64 // times this namespace was evicted
+	Recoveries uint64 // times this namespace was recovered on touch
+}
+
+// AppendNsStats encodes an NS_STATS response body.
+func AppendNsStats(dst []byte, s NsStats) []byte {
+	dst = AppendBool(dst, s.Resident)
+	dst = AppendBool(dst, s.Windowed)
+	dst = appendU64(dst, s.Items)
+	dst = appendU64(dst, s.MemoryBits)
+	dst = appendU64(dst, s.Evictions)
+	return appendU64(dst, s.Recoveries)
+}
+
+// DecodeNsStats parses an NS_STATS response body.
+func DecodeNsStats(body []byte) (NsStats, error) {
+	if len(body) != 2+4*8 {
+		return NsStats{}, fmt.Errorf("wire: ns_stats response has %d bytes, want %d", len(body), 2+4*8)
+	}
+	return NsStats{
+		Resident:   body[0] != 0,
+		Windowed:   body[1] != 0,
+		Items:      binary.LittleEndian.Uint64(body[2:10]),
+		MemoryBits: binary.LittleEndian.Uint64(body[10:18]),
+		Evictions:  binary.LittleEndian.Uint64(body[18:26]),
+		Recoveries: binary.LittleEndian.Uint64(body[26:34]),
+	}, nil
+}
+
+// AppendNsList encodes a LIST_NS response body: [u32 n]([u8 len][name])*n.
+func AppendNsList(dst []byte, names []string) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(names)))
+	dst = append(dst, n[:]...)
+	for _, name := range names {
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst
+}
+
+// DecodeNsList parses a LIST_NS response body.
+func DecodeNsList(body []byte) ([]string, error) {
+	if len(body) < 4 {
+		return nil, errors.New("wire: truncated ns_list response")
+	}
+	n := int(binary.LittleEndian.Uint32(body[:4]))
+	body = body[4:]
+	// Each name costs at least its 1-byte length prefix.
+	if n > len(body)+1 {
+		return nil, fmt.Errorf("wire: ns_list: implausible namespace count %d", n)
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name, rest, err := readNsName(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: ns_list name %d: %w", i, err)
+		}
+		names = append(names, string(name))
+		body = rest
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: ns_list: trailing bytes")
+	}
+	return names, nil
 }
 
 // DecodeBools parses a [u32 n][bool]*n response body.

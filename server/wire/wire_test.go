@@ -59,6 +59,63 @@ func TestRequestRoundTrip(t *testing.T) {
 		{"insert_ttl", AppendInsertTTLRequest(nil, key, 5e9), Request{Op: OpInsertTTL, Key: key, TTL: 5e9}},
 		{"insert_ttl_batch", AppendInsertTTLBatchRequest(nil, keys, 7e9), Request{Op: OpInsertTTLBatch, Keys: keys, TTL: 7e9}},
 		{"window_stats", AppendWindowStatsRequest(nil), Request{Op: OpWindowStats}},
+		{"ns_drop", AppendNsDropRequest(nil, []byte("tenant-a")), Request{Op: OpNsDrop, NS: []byte("tenant-a")}},
+		{"ns_list", AppendNsListRequest(nil), Request{Op: OpNsList}},
+		{"ns_stats", AppendNsStatsRequest(nil, []byte("tenant-a")), Request{Op: OpNsStats, NS: []byte("tenant-a")}},
+		{"ns_stats default", AppendNsStatsRequest(nil, nil), Request{Op: OpNsStats}},
+		{
+			"namespaced insert",
+			AppendKeyRequest(AppendNamespaced(nil, []byte("t1")), OpInsert, key),
+			Request{Op: OpInsert, Key: key, NS: []byte("t1")},
+		},
+		{
+			"namespaced batch",
+			AppendBatchRequest(AppendNamespaced(nil, []byte("t2")), OpContainsBatch, keys),
+			Request{Op: OpContainsBatch, Keys: keys, NS: []byte("t2")},
+		},
+		{
+			"namespaced ttl",
+			AppendInsertTTLRequest(AppendNamespaced(nil, []byte("t3")), key, 5e9),
+			Request{Op: OpInsertTTL, Key: key, TTL: 5e9, NS: []byte("t3")},
+		},
+		{
+			"namespaced default alias",
+			AppendKeyRequest(AppendNamespaced(nil, nil), OpContains, key),
+			Request{Op: OpContains, Key: key},
+		},
+		{
+			"namespaced dump",
+			AppendDumpRequest(AppendNamespaced(nil, []byte("t4"))),
+			Request{Op: OpDump, NS: []byte("t4")},
+		},
+		{
+			"ns_create",
+			AppendNsCreateRequest(nil, []byte("tenant-b"), NsConfig{
+				MemoryBits:     1 << 22,
+				ExpectedItems:  5000,
+				HashFunctions:  3,
+				MemoryAccesses: 1,
+				Shards:         8,
+				Seed:           99,
+				WindowNanos:    60e9,
+				Generations:    4,
+			}),
+			Request{Op: OpNsCreate, NS: []byte("tenant-b"), NsCfg: NsConfig{
+				MemoryBits:     1 << 22,
+				ExpectedItems:  5000,
+				HashFunctions:  3,
+				MemoryAccesses: 1,
+				Shards:         8,
+				Seed:           99,
+				WindowNanos:    60e9,
+				Generations:    4,
+			}},
+		},
+		{
+			"ns_create defaults",
+			AppendNsCreateRequest(nil, []byte("t"), NsConfig{}),
+			Request{Op: OpNsCreate, NS: []byte("t")},
+		},
 	}
 	for _, c := range cases {
 		got, err := DecodeRequest(c.payload)
@@ -67,6 +124,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.Op != c.want.Op || !bytes.Equal(got.Key, c.want.Key) || got.TTL != c.want.TTL {
 			t.Fatalf("%s: got %+v", c.name, got)
+		}
+		if !bytes.Equal(got.NS, c.want.NS) || got.NsCfg != c.want.NsCfg {
+			t.Fatalf("%s: namespace %q cfg %+v, want %q %+v", c.name, got.NS, got.NsCfg, c.want.NS, c.want.NsCfg)
 		}
 		if got.Seq != c.want.Seq || got.Off != c.want.Off {
 			t.Fatalf("%s: position (%d, %d), want (%d, %d)", c.name, got.Seq, got.Off, c.want.Seq, c.want.Off)
@@ -84,30 +144,50 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestDecodeRequestRejectsMalformed(t *testing.T) {
 	bad := map[string][]byte{
-		"empty":                {},
-		"unknown op":           {0xEE},
-		"zeroed":               make([]byte, 16),
-		"insert no key":        {OpInsert},
-		"insert short len":     {OpInsert, 1, 0},
-		"insert key overrun":   {OpInsert, 10, 0, 0, 0, 'x'},
-		"insert trailing":      append(AppendKeyRequest(nil, OpInsert, []byte("k")), 0xFF),
-		"len trailing":         {OpLen, 0},
-		"batch no count":       {OpInsertBatch, 1},
-		"batch absurd count":   {OpInsertBatch, 0xFF, 0xFF, 0xFF, 0x7F},
-		"batch truncated keys": {OpInsertBatch, 2, 0, 0, 0, 1, 0, 0, 0, 'a'},
-		"batch trailing":       append(AppendBatchRequest(nil, OpContainsBatch, [][]byte{[]byte("k")}), 0x01),
-		"dump trailing":        {OpDump, 0},
-		"replicate short":      {OpReplicate, 1, 2, 3},
-		"replicate long":       append(AppendReplicateRequest(nil, 1, 2), 0xFF),
-		"ttl no ttl":           {OpInsertTTL, 1, 2, 3},
-		"ttl no key":           append([]byte{OpInsertTTL}, make([]byte, 8)...),
-		"ttl key overrun":      append(append([]byte{OpInsertTTL}, make([]byte, 8)...), 10, 0, 0, 0, 'x'),
-		"ttl trailing":         append(AppendInsertTTLRequest(nil, []byte("k"), 1), 0xFF),
-		"ttl batch short":      {OpInsertTTLBatch, 1, 2, 3, 4, 5, 6, 7, 8, 9},
-		"ttl batch absurd":     append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F),
-		"ttl batch truncated":  append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 2, 0, 0, 0, 1, 0, 0, 0, 'a'),
-		"ttl batch trailing":   append(AppendInsertTTLBatchRequest(nil, [][]byte{[]byte("k")}, 1), 0x01),
-		"window stats body":    {OpWindowStats, 0},
+		"empty":                  {},
+		"unknown op":             {0xEE},
+		"zeroed":                 make([]byte, 16),
+		"insert no key":          {OpInsert},
+		"insert short len":       {OpInsert, 1, 0},
+		"insert key overrun":     {OpInsert, 10, 0, 0, 0, 'x'},
+		"insert trailing":        append(AppendKeyRequest(nil, OpInsert, []byte("k")), 0xFF),
+		"len trailing":           {OpLen, 0},
+		"batch no count":         {OpInsertBatch, 1},
+		"batch absurd count":     {OpInsertBatch, 0xFF, 0xFF, 0xFF, 0x7F},
+		"batch truncated keys":   {OpInsertBatch, 2, 0, 0, 0, 1, 0, 0, 0, 'a'},
+		"batch trailing":         append(AppendBatchRequest(nil, OpContainsBatch, [][]byte{[]byte("k")}), 0x01),
+		"dump trailing":          {OpDump, 0},
+		"replicate short":        {OpReplicate, 1, 2, 3},
+		"replicate long":         append(AppendReplicateRequest(nil, 1, 2), 0xFF),
+		"ttl no ttl":             {OpInsertTTL, 1, 2, 3},
+		"ttl no key":             append([]byte{OpInsertTTL}, make([]byte, 8)...),
+		"ttl key overrun":        append(append([]byte{OpInsertTTL}, make([]byte, 8)...), 10, 0, 0, 0, 'x'),
+		"ttl trailing":           append(AppendInsertTTLRequest(nil, []byte("k"), 1), 0xFF),
+		"ttl batch short":        {OpInsertTTLBatch, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"ttl batch absurd":       append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 0xFF, 0xFF, 0xFF, 0x7F),
+		"ttl batch truncated":    append(append([]byte{OpInsertTTLBatch}, make([]byte, 8)...), 2, 0, 0, 0, 1, 0, 0, 0, 'a'),
+		"ttl batch trailing":     append(AppendInsertTTLBatchRequest(nil, [][]byte{[]byte("k")}, 1), 0x01),
+		"window stats body":      {OpWindowStats, 0},
+		"ns create no name":      {OpNsCreate},
+		"ns create name overrun": {OpNsCreate, 5, 'a', 'b'},
+		"ns create short cfg":    append([]byte{OpNsCreate, 1, 'a'}, make([]byte, NsConfigSize-1)...),
+		"ns create trailing":     append(AppendNsCreateRequest(nil, []byte("a"), NsConfig{}), 0xFF),
+		"ns drop no name":        {OpNsDrop},
+		"ns drop name overrun":   {OpNsDrop, 9, 'a'},
+		"ns drop trailing":       append(AppendNsDropRequest(nil, []byte("a")), 0xFF),
+		"ns stats overrun":       {OpNsStats, 2, 'a'},
+		"ns list trailing":       {OpNsList, 0},
+		"envelope no name":       {OpNamespaced},
+		"envelope name overrun":  {OpNamespaced, 4, 'a', 'b'},
+		"envelope empty inner":   {OpNamespaced, 1, 'a'},
+		"envelope nested":        {OpNamespaced, 1, 'a', OpNamespaced, 0, OpLen},
+		"envelope replicate":     append([]byte{OpNamespaced, 1, 'a'}, AppendReplicateRequest(nil, 1, 2)...),
+		"envelope ns_create":     append([]byte{OpNamespaced, 1, 'a'}, AppendNsCreateRequest(nil, []byte("b"), NsConfig{})...),
+		"envelope ns_drop":       append([]byte{OpNamespaced, 1, 'a'}, AppendNsDropRequest(nil, []byte("b"))...),
+		"envelope ns_list":       {OpNamespaced, 1, 'a', OpNsList},
+		"envelope ns_stats":      append([]byte{OpNamespaced, 1, 'a'}, AppendNsStatsRequest(nil, []byte("b"))...),
+		"envelope bad inner":     {OpNamespaced, 1, 'a', OpInsert, 9, 0, 0, 0, 'x'},
+		"envelope unknown op":    {OpNamespaced, 1, 'a', 0xEE},
 	}
 	for name, payload := range bad {
 		if _, err := DecodeRequest(payload); err == nil {
@@ -168,6 +248,96 @@ func TestWindowStatsRoundTrip(t *testing.T) {
 		if _, err := DecodeWindowStats(body); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestNsStatsRoundTrip(t *testing.T) {
+	in := NsStats{
+		Resident:   true,
+		Windowed:   true,
+		Items:      12345,
+		MemoryBits: 1 << 23,
+		Evictions:  7,
+		Recoveries: 6,
+	}
+	out, err := DecodeNsStats(AppendNsStats(nil, in))
+	if err != nil || out != in {
+		t.Fatalf("ns stats: %+v %v", out, err)
+	}
+	bad := map[string][]byte{
+		"empty":    {},
+		"short":    make([]byte, 10),
+		"trailing": append(AppendNsStats(nil, in), 0xFF),
+	}
+	for name, body := range bad {
+		if _, err := DecodeNsStats(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNsListRoundTrip(t *testing.T) {
+	for _, names := range [][]string{nil, {"a"}, {"alpha", "beta-2", "x_y.z"}} {
+		out, err := DecodeNsList(AppendNsList(nil, names))
+		if err != nil || len(out) != len(names) {
+			t.Fatalf("ns list %v: %v %v", names, out, err)
+		}
+		for i := range names {
+			if out[i] != names[i] {
+				t.Fatalf("ns list: got %v, want %v", out, names)
+			}
+		}
+	}
+	bad := map[string][]byte{
+		"empty":        {},
+		"short count":  {1, 0},
+		"absurd count": {0xFF, 0xFF, 0xFF, 0x7F},
+		"name overrun": {1, 0, 0, 0, 5, 'a'},
+		"trailing":     append(AppendNsList(nil, []string{"a"}), 0xFF),
+	}
+	for name, body := range bad {
+		if _, err := DecodeNsList(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateNamespace(t *testing.T) {
+	good := []string{"a", "tenant-1", "A.B_c-9", strings.Repeat("x", MaxNamespaceLen)}
+	for _, name := range good {
+		if err := ValidateNamespace(name); err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+		}
+	}
+	bad := []string{"", strings.Repeat("x", MaxNamespaceLen+1), "has space", "sl/ash", "nul\x00", "ütf8"}
+	for _, name := range bad {
+		if err := ValidateNamespace(name); err == nil {
+			t.Errorf("%q accepted", name)
+		}
+	}
+}
+
+func TestNsConfigRoundTrip(t *testing.T) {
+	in := NsConfig{
+		MemoryBits:     1 << 30,
+		ExpectedItems:  1e6,
+		HashFunctions:  5,
+		MemoryAccesses: 2,
+		Shards:         1024,
+		Seed:           0xDEADBEEF,
+		WindowNanos:    3600e9,
+		Generations:    16,
+	}
+	enc := AppendNsConfig(nil, in)
+	if len(enc) != NsConfigSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), NsConfigSize)
+	}
+	out, rest, err := DecodeNsConfig(append(enc, 0xAA))
+	if err != nil || out != in || len(rest) != 1 || rest[0] != 0xAA {
+		t.Fatalf("round trip: %+v rest=%x err=%v", out, rest, err)
+	}
+	if _, _, err := DecodeNsConfig(enc[:NsConfigSize-1]); err == nil {
+		t.Fatal("short config accepted")
 	}
 }
 

@@ -515,10 +515,10 @@ type expiry struct {
 // expiryHeap is a min-heap on expiry time.
 type expiryHeap []*expiry
 
-func (h expiryHeap) Len() int            { return len(h) }
-func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any)         { *h = append(*h, x.(*expiry)) }
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(*expiry)) }
 func (h *expiryHeap) Pop() any {
 	old := *h
 	n := len(old)
