@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race race-serving bench bench-json bench-saturation fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e ns-e2e obs-smoke ci
+.PHONY: build test vet lint race race-serving bench bench-json bench-saturation bench-cluster fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e ns-e2e obs-smoke sim-multi-seed loadgen-smoke ci
 
 build:
 	$(GO) build ./...
@@ -138,6 +138,71 @@ window-e2e:
 ns-e2e:
 	$(GO) test -race -count=1 -run 'TestIntegrationNamespaces' -v ./server
 
+# sim-multi-seed runs the deterministic fault-schedule harness: for
+# each seed in MPCBF_SIM_SEEDS, a generated schedule (primary
+# kill+restart, replica-link partition+heal, slow-fsync fault+repair)
+# is replayed twice against a live primary/replica pair under loadgen
+# traffic. Each replay asserts zero acked-write loss and a
+# byte-identical replica dump; the two replays' event logs must match
+# byte for byte. MPCBF_SIM_ARTIFACTS (a directory) collects per-seed
+# event logs; MPCBF_SIM_DURATION scales the traffic window.
+MPCBF_SIM_SEEDS ?= 1,2,3
+MPCBF_SIM_ARTIFACTS ?=
+sim-multi-seed:
+	MPCBF_SIM_SEEDS=$(MPCBF_SIM_SEEDS) MPCBF_SIM_ARTIFACTS=$(MPCBF_SIM_ARTIFACTS) \
+		$(GO) test -count=1 -run 'TestSimMultiSeed' -v ./cluster
+
+# loadgen-smoke boots a windowed daemon on a loopback port and drives a
+# short mpcbf-loadgen run in each loop model (closed, open, pipelined);
+# a nonzero exit or any op error in the JSON results fails the target.
+LOADGEN_SMOKE_ADDR ?= 127.0.0.1:46511
+loadgen-smoke:
+	$(GO) build -o /tmp/mpcbfd-smoke ./cmd/mpcbfd
+	$(GO) build -o /tmp/mpcbf-loadgen ./cmd/mpcbf-loadgen
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/mpcbfd-smoke -addr $(LOADGEN_SMOKE_ADDR) -dir $$dir/data \
+		-window 30s -snapshot-interval 0 >$$dir/daemon.log 2>&1 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true; rm -rf $$dir" EXIT; \
+	ok=; for i in $$(seq 50); do \
+	  if /tmp/mpcbf-loadgen -addrs $(LOADGEN_SMOKE_ADDR) -duration 2s -c 4 \
+	      -seed 11 -json $$dir/closed.json 2>/dev/null; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; test -n "$$ok" || { cat $$dir/daemon.log; exit 1; }; \
+	/tmp/mpcbf-loadgen -addrs $(LOADGEN_SMOKE_ADDR) -mode open -rate 2000 \
+		-duration 2s -c 4 -seed 12 -json $$dir/open.json; \
+	/tmp/mpcbf-loadgen -addrs $(LOADGEN_SMOKE_ADDR) -pipeline 16 \
+		-duration 2s -c 2 -seed 13 -json $$dir/pipe.json; \
+	! grep -E '"errors": [1-9]' $$dir/closed.json $$dir/open.json $$dir/pipe.json
+
+# bench-cluster boots a primary plus one WAL-shipping replica and
+# records reproducible loadgen runs (closed-loop, open-loop, pipelined,
+# and replica-routed reads) in BENCH_cluster.json; every entry embeds
+# the manifest that regenerates its workload.
+BENCH_CLUSTER_DURATION ?= 5s
+bench-cluster:
+	$(GO) build -o /tmp/mpcbfd-bench ./cmd/mpcbfd
+	$(GO) build -o /tmp/mpcbf-loadgen ./cmd/mpcbf-loadgen
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/mpcbfd-bench -addr 127.0.0.1:46521 -dir $$dir/p -window 30s \
+		-snapshot-interval 0 >$$dir/p.log 2>&1 & p=$$!; \
+	sleep 1; \
+	/tmp/mpcbfd-bench -addr 127.0.0.1:46522 -dir $$dir/r \
+		-replicate-from 127.0.0.1:46521 >$$dir/r.log 2>&1 & r=$$!; \
+	trap "kill $$p $$r 2>/dev/null || true; rm -rf $$dir" EXIT; \
+	sleep 1; \
+	/tmp/mpcbf-loadgen -addrs 127.0.0.1:46521 -duration $(BENCH_CLUSTER_DURATION) \
+		-c 8 -zipf 1.1 -seed 42 -bench BENCH_cluster.json -bench-name closed_c8; \
+	/tmp/mpcbf-loadgen -addrs 127.0.0.1:46521 -mode open -rate 5000 \
+		-duration $(BENCH_CLUSTER_DURATION) -c 8 -zipf 1.1 -seed 42 \
+		-bench BENCH_cluster.json -bench-name open_5k; \
+	/tmp/mpcbf-loadgen -addrs 127.0.0.1:46521 -pipeline 32 \
+		-duration $(BENCH_CLUSTER_DURATION) -c 4 -zipf 1.1 -seed 42 \
+		-bench BENCH_cluster.json -bench-name pipelined_d32; \
+	/tmp/mpcbf-loadgen -addrs 127.0.0.1:46521/127.0.0.1:46522 -mix contains=100 \
+		-duration $(BENCH_CLUSTER_DURATION) -c 8 -zipf 1.1 -seed 42 \
+		-bench BENCH_cluster.json -bench-name reads_replica_routed
+	@cat BENCH_cluster.json
+
 # obs-smoke boots the daemon with tracing, JSON logs, and the pprof
 # listener enabled, then scrapes /metrics, /debug/vars, /readyz,
 # /debug/requests, and /debug/pprof/goroutine — failing on any non-200
@@ -145,5 +210,5 @@ ns-e2e:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./server
 
-ci: build lint race integration window-e2e cluster-e2e ns-e2e obs-smoke
+ci: build lint race integration window-e2e cluster-e2e ns-e2e obs-smoke loadgen-smoke sim-multi-seed
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

@@ -7,109 +7,29 @@ package cluster
 // and byte-identical filter dumps across the fleet. A read-scaling
 // smoke follows: a bounded connection pool per endpoint across the
 // three nodes must beat the same pool against the primary alone by 2x.
+// The build/spawn/kill plumbing lives in repro/internal/e2e.
 
 import (
 	"bytes"
 	"fmt"
-	"net"
-	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/e2e"
 )
-
-func buildDaemonE2E(t *testing.T) string {
-	t.Helper()
-	root, err := filepath.Abs("..")
-	if err != nil {
-		t.Fatal(err)
-	}
-	bin := filepath.Join(t.TempDir(), "mpcbfd")
-	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mpcbfd")
-	cmd.Dir = root
-	if out, err := cmd.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
-	}
-	return bin
-}
-
-func freePortE2E(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
-
-type daemonE2E struct {
-	cmd *exec.Cmd
-	out *bytes.Buffer
-	mu  sync.Mutex
-}
-
-func (d *daemonE2E) Write(p []byte) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.out.Write(p)
-}
-
-func (d *daemonE2E) Output() string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.out.String()
-}
 
 // startNode launches one daemon; replicateFrom == "" makes it a
 // primary.
-func startNode(t *testing.T, bin, dir, addr, replicateFrom string) *daemonE2E {
+func startNode(t *testing.T, bin, dir, addr, replicateFrom string) *e2e.Daemon {
 	t.Helper()
-	args := []string{
-		"-addr", addr, "-http", "", "-dir", dir,
-		"-mem", "2097152", "-n", "20000", "-shards", "4",
-		"-fsync", "always", "-snapshot-interval", "0",
-		"-drain-timeout", "5s",
-	}
-	if replicateFrom != "" {
-		args = append(args, "-replicate-from", replicateFrom)
-	}
-	cmd := exec.Command(bin, args...)
-	d := &daemonE2E{cmd: cmd, out: &bytes.Buffer{}}
-	cmd.Stdout = d
-	cmd.Stderr = d
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		if cmd.Process != nil {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
+	return e2e.StartDaemon(t, e2e.DaemonConfig{
+		Bin: bin, Dir: dir, Addr: addr, ReplicateFrom: replicateFrom,
 	})
-	return d
-}
-
-func dialRetryE2E(t *testing.T, addr string) *client.Client {
-	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		c, err := client.Dial(addr, client.WithTimeout(5*time.Second))
-		if err == nil {
-			return c
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never came up on %s: %v", addr, err)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
 }
 
 func e2eKey(writer, i int) []byte {
@@ -158,24 +78,24 @@ func TestClusterE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e test builds and runs the daemon binary")
 	}
-	bin := buildDaemonE2E(t)
+	bin := e2e.BuildDaemon(t)
 
-	paddr := freePortE2E(t)
-	r1addr := freePortE2E(t)
-	r2addr := freePortE2E(t)
+	paddr := e2e.FreePort(t)
+	r1addr := e2e.FreePort(t)
+	r2addr := e2e.FreePort(t)
 	pdir := filepath.Join(t.TempDir(), "primary")
 	r1dir := filepath.Join(t.TempDir(), "replica1")
 	r2dir := filepath.Join(t.TempDir(), "replica2")
 
 	primary := startNode(t, bin, pdir, paddr, "")
-	pc := dialRetryE2E(t, paddr)
+	pc := e2e.DialRetry(t, paddr)
 	defer pc.Close()
 
 	startNode(t, bin, r1dir, r1addr, paddr)
 	r2 := startNode(t, bin, r2dir, r2addr, paddr)
-	rc1 := dialRetryE2E(t, r1addr)
+	rc1 := e2e.DialRetry(t, r1addr)
 	defer rc1.Close()
-	dialRetryE2E(t, r2addr).Close()
+	e2e.DialRetry(t, r2addr).Close()
 
 	// Concurrent writers: every nil-error return is an acknowledged,
 	// fsync'd mutation the whole fleet must eventually serve.
@@ -209,12 +129,9 @@ func TestClusterE2E(t *testing.T) {
 	for acked.Load() < writers*perWriter/4 {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := r2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	r2.cmd.Wait()
+	r2.Kill()
 	startNode(t, bin, r2dir, r2addr, paddr)
-	rc2 := dialRetryE2E(t, r2addr)
+	rc2 := e2e.DialRetry(t, r2addr)
 	defer rc2.Close()
 
 	wg.Wait()

@@ -41,6 +41,13 @@
 //     (plus /debug/vars and /debug/requests), kept off the operational
 //     sidecar so profiling exposure is an explicit opt-in.
 //
+// With -chaos the HTTP sidecar additionally mounts /chaos, the WAL
+// failpoint control endpoint (fsync_delay=DURATION injects latency
+// into every WAL fsync; disk_full=true|false makes WAL writes fail with
+// ENOSPC until cleared or restarted). It exists for the deterministic
+// fault-schedule harness (internal/chaos, `make sim-multi-seed`) and
+// must never be enabled on an operational daemon.
+//
 // Usage:
 //
 //	mpcbfd -addr :7070 -http :7071 -dir /var/lib/mpcbfd \
@@ -101,6 +108,8 @@ func main() {
 
 		replicateFrom = flag.String("replicate-from", "", "primary address to mirror; implies -read-only and disables snapshots")
 		readOnly      = flag.Bool("read-only", false, "reject mutations with a READONLY redirect")
+
+		chaos = flag.Bool("chaos", false, "expose the WAL failpoint control endpoint (/chaos) on the HTTP sidecar; fault-injection harness use only")
 
 		logFormat   = flag.String("log-format", "text", "log output format: text|json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
@@ -171,7 +180,11 @@ func main() {
 		PrimaryAddr:   *replicateFrom,
 		TraceSample:   *traceSample,
 		SlowOp:        *slowOp,
+		Chaos:         *chaos,
 		Log:           log,
+	}
+	if *chaos {
+		log.Warn("chaos failpoint endpoint enabled", "path", "/chaos")
 	}
 
 	var rep *cluster.Replica

@@ -1,0 +1,323 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var genCfg = GenConfig{
+	Duration:  3 * time.Second,
+	Kill:      []string{"primary"},
+	Partition: []string{"replica-link"},
+	SlowFsync: []string{"primary"},
+}
+
+// TestScheduleDeterminism: same seed, byte-identical schedule; any two
+// of the first 32 seeds diverge somewhere.
+func TestScheduleDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		a := Generate(seed, genCfg).Format()
+		b := Generate(seed, genCfg).Format()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two expansions differ:\n%s\n--- vs ---\n%s", seed, a, b)
+		}
+	}
+	logs := map[string]uint64{}
+	for seed := uint64(1); seed <= 32; seed++ {
+		l := string(Generate(seed, genCfg).Format())
+		if prev, dup := logs[l]; dup {
+			t.Fatalf("seeds %d and %d generated identical schedules:\n%s", prev, seed, l)
+		}
+		logs[l] = seed
+	}
+}
+
+// TestScheduleShape: generated schedules validate, are ordered, pair
+// every fault with its repair, and keep repairs inside the window with
+// convergence slack.
+func TestScheduleShape(t *testing.T) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		s := Generate(seed, genCfg)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s) != 6 {
+			t.Fatalf("seed %d: %d events, want 6 (3 fault/repair pairs)", seed, len(s))
+		}
+		repair := map[Action]Action{ActionKill: ActionRestart, ActionPartition: ActionHeal, ActionSlowFsync: ActionFsyncOK}
+		for fault, rep := range repair {
+			var fAt, rAt time.Duration = -1, -1
+			for _, e := range s {
+				switch e.Action {
+				case fault:
+					fAt = e.At
+				case rep:
+					rAt = e.At
+				}
+			}
+			if fAt < 0 || rAt < 0 {
+				t.Fatalf("seed %d: missing %s/%s pair", seed, fault, rep)
+			}
+			if rAt <= fAt {
+				t.Fatalf("seed %d: %s at %v not after %s at %v", seed, rep, rAt, fault, fAt)
+			}
+			if rAt > (genCfg.Duration*3)/4 {
+				t.Fatalf("seed %d: repair at %v leaves no convergence slack in %v", seed, rAt, genCfg.Duration)
+			}
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{{At: 10 * time.Millisecond, Target: "x", Action: ActionKill}, {At: 5 * time.Millisecond, Target: "x", Action: ActionRestart}},
+		{{Target: "", Action: ActionKill}},
+		{{Target: "x", Action: Action("explode")}},
+		{{Target: "x", Action: ActionSlowFsync, Arg: "banana"}},
+		{{Target: "x", Action: ActionKill, Arg: "9"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad schedule %d validated", i)
+		}
+	}
+	good := Schedule{
+		{At: 0, Target: "a", Action: ActionDiskFull},
+		{At: time.Millisecond, Target: "a", Action: ActionDiskOK},
+		{At: time.Millisecond, Target: "a", Action: ActionSlowFsync, Arg: "2ms"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunnerReplay: two runs of one schedule produce byte-identical
+// event logs equal to the schedule's own canonical rendering, applied
+// in order and roughly on time.
+func TestRunnerReplay(t *testing.T) {
+	s := Schedule{
+		{At: 0, Target: "a", Action: ActionPartition},
+		{At: 30 * time.Millisecond, Target: "a", Action: ActionHeal},
+		{At: 60 * time.Millisecond, Target: "b", Action: ActionSlowFsync, Arg: "2ms"},
+	}
+	run := func() ([]byte, []string) {
+		var applied []string
+		r := &Runner{Apply: func(e Event) error {
+			applied = append(applied, string(e.Action))
+			return nil
+		}}
+		if err := r.Run(context.Background(), s); err != nil {
+			t.Fatal(err)
+		}
+		return r.EventLog(), applied
+	}
+	log1, applied1 := run()
+	log2, _ := run()
+	if !bytes.Equal(log1, log2) {
+		t.Fatalf("two replays diverge:\n%s--- vs ---\n%s", log1, log2)
+	}
+	if !bytes.Equal(log1, s.Format()) {
+		t.Fatalf("event log differs from schedule rendering:\n%s--- vs ---\n%s", log1, s.Format())
+	}
+	want := []string{"partition", "heal", "slow-fsync"}
+	for i := range want {
+		if applied1[i] != want[i] {
+			t.Fatalf("apply order %v, want %v", applied1, want)
+		}
+	}
+}
+
+func TestRunnerAbortsOnApplyError(t *testing.T) {
+	s := Schedule{
+		{At: 0, Target: "a", Action: ActionKill},
+		{At: time.Millisecond, Target: "a", Action: ActionRestart},
+	}
+	boom := fmt.Errorf("no such process")
+	calls := 0
+	r := &Runner{Apply: func(e Event) error { calls++; return boom }}
+	err := r.Run(context.Background(), s)
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want wrapped error after first apply", err, calls)
+	}
+	if len(r.EventLog()) != 0 {
+		t.Fatalf("failed event logged: %s", r.EventLog())
+	}
+}
+
+func TestRunnerContextCancel(t *testing.T) {
+	s := Schedule{{At: time.Hour, Target: "a", Action: ActionKill}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	r := &Runner{Apply: func(Event) error { t.Fatal("applied despite cancel"); return nil }}
+	if err := r.Run(ctx, s); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); <-done }
+}
+
+// roundTrip sends one byte through the proxy and expects the echo.
+func roundTrip(addr string) error {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte{'x'}); err != nil {
+		return err
+	}
+	var b [1]byte
+	if _, err := c.Read(b[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TestProxyPartitionHeal: traffic flows, a partition kills live and new
+// connections, healing restores flow, and teardown leaks nothing — the
+// goroutine count returns to baseline.
+func TestProxyPartitionHeal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+
+	before := runtime.NumGoroutine()
+
+	p, err := NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(p.Addr()); err != nil {
+		t.Fatalf("pass-through round trip: %v", err)
+	}
+
+	// A held-open connection dies when the partition lands.
+	held, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	if _, err := held.Write([]byte{'x'}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	held.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := held.Read(b[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetDrop(true)
+	held.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := held.Read(b[:]); err == nil {
+		t.Fatal("held connection survived the partition")
+	}
+	if err := roundTrip(p.Addr()); err == nil {
+		t.Fatal("new connection succeeded through a partition")
+	}
+
+	p.SetDrop(false)
+	if err := roundTrip(p.Addr()); err != nil {
+		t.Fatalf("round trip after heal: %v", err)
+	}
+
+	// Delay mode: a 20ms one-way delay makes the echo round trip >= 40ms.
+	p.SetDelay(20 * time.Millisecond)
+	t0 := time.Now()
+	if err := roundTrip(p.Addr()); err != nil {
+		t.Fatalf("delayed round trip: %v", err)
+	}
+	if d := time.Since(t0); d < 40*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= 40ms", d)
+	}
+	p.SetDelay(0)
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.ActiveConns(); n != 0 {
+		t.Fatalf("%d connection halves still tracked after Close", n)
+	}
+
+	// Leak check: Close waits on the proxy's WaitGroup, so every relay
+	// and accept goroutine is gone; give unrelated runtime goroutines a
+	// beat to settle and require the count back at (or below) baseline
+	// plus slack for the test's own echo handlers that are unwinding.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProxyCloseIdempotent: Close twice is safe, and a proxy with live
+// traffic in flight still unwinds.
+func TestProxyCloseIdempotent(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte{'x'})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(p.Addr()); err == nil {
+		t.Fatal("round trip succeeded through a closed proxy")
+	}
+}

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is an in-process TCP proxy used to fault one link of a cluster:
+// a client (or replica) connects to the proxy's address instead of the
+// real endpoint, and the schedule partitions the link by dropping live
+// connections and refusing new ones, or degrades it by delaying every
+// forwarded write. All goroutines it starts are tracked, so Close
+// returns only once the proxy has fully unwound — the leak check in the
+// tests relies on that.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	drop    atomic.Bool
+	delayNs atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both halves of every live relay
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy listens on 127.0.0.1 (an ephemeral port) and forwards each
+// accepted connection to target until dropped, healed, or closed.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the faulted side dials
+// instead of the real target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDrop partitions (true) or heals (false) the link. Partitioning
+// kills every live relayed connection and makes new accepts be closed
+// immediately — the dialing side sees connection resets, exactly like a
+// black-holed route with RST generation (the aggressive partition that
+// flushes out reconnect bugs fastest).
+func (p *Proxy) SetDrop(on bool) {
+	p.drop.Store(on)
+	if on {
+		p.killConns()
+	}
+}
+
+// Dropped reports whether the link is currently partitioned.
+func (p *Proxy) Dropped() bool { return p.drop.Load() }
+
+// SetDelay sleeps d before every forwarded write in both directions
+// (0 disables) — a slow link rather than a dead one.
+func (p *Proxy) SetDelay(d time.Duration) { p.delayNs.Store(int64(d)) }
+
+// ActiveConns returns the number of live relay halves (two per proxied
+// connection).
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close shuts the listener, kills live connections, and waits for every
+// proxy goroutine to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+	return err
+}
+
+// killConns closes every registered connection half.
+func (p *Proxy) killConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// track registers a connection unless the proxy is already closed or
+// dropped (in which case it is closed immediately and not registered).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.drop.Load() {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, c)
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if p.drop.Load() {
+			down.Close()
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		if !p.track(down) {
+			up.Close()
+			continue
+		}
+		if !p.track(up) {
+			p.untrack(down)
+			down.Close()
+			continue
+		}
+		p.wg.Add(2)
+		go p.relay(down, up)
+		go p.relay(up, down)
+	}
+}
+
+// relay copies src to dst, applying the configured write delay, until
+// either side dies; it then closes both so the peer relay unwinds too.
+func (p *Proxy) relay(dst, src net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if d := p.delayNs.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	src.Close()
+	dst.Close()
+	p.untrack(src)
+	p.untrack(dst)
+}

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Runner replays a Schedule against live targets. The caller supplies
+// Apply, the hook that carries out one event (kill this process,
+// partition that proxy, arm this failpoint); the runner owns the clock
+// and the event log. The log records schedule-derived fields only, so
+// two replays of one schedule produce byte-identical logs — see the
+// package determinism contract.
+type Runner struct {
+	// Apply carries out one event. An error aborts the run: a fault
+	// schedule whose actions fail is not reproducing anything.
+	Apply func(Event) error
+
+	mu  sync.Mutex
+	log strings.Builder
+}
+
+// Run replays the schedule: each event is applied once its offset from
+// the run's start has elapsed, in schedule order. Returns the first
+// apply error, or ctx's error if cancelled mid-schedule.
+func (r *Runner) Run(ctx context.Context, s Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, e := range s {
+		if wait := e.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := r.Apply(e); err != nil {
+			return fmt.Errorf("chaos: apply %s: %w", e.String(), err)
+		}
+		r.mu.Lock()
+		r.log.WriteString(e.String())
+		r.log.WriteByte('\n')
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// EventLog returns the canonical log of every event applied so far.
+func (r *Runner) EventLog() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return []byte(r.log.String())
+}
+
+// SetFailpoint posts the given failpoint parameters to a daemon's
+// -chaos control endpoint (repro/server.ChaosHandler) at httpAddr
+// (host:port of the HTTP sidecar).
+func SetFailpoint(httpAddr string, params url.Values) error {
+	u := url.URL{Scheme: "http", Host: httpAddr, Path: "/chaos", RawQuery: params.Encode()}
+	resp, err := http.Post(u.String(), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chaos: %s -> %s", u.String(), resp.Status)
+	}
+	return nil
+}
+
+// SlowFsync arms (or, with d == 0, disarms) the WAL fsync delay on the
+// daemon behind httpAddr.
+func SlowFsync(httpAddr string, d time.Duration) error {
+	return SetFailpoint(httpAddr, url.Values{"fsync_delay": {d.String()}})
+}
+
+// DiskFull arms or clears the WAL disk-full failpoint on the daemon
+// behind httpAddr.
+func DiskFull(httpAddr string, on bool) error {
+	return SetFailpoint(httpAddr, url.Values{"disk_full": {fmt.Sprint(on)}})
+}

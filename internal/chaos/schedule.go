@@ -1,0 +1,181 @@
+// Package chaos is the deterministic fault-schedule harness under the
+// cluster simulation (`make sim-multi-seed`): a declarative schedule of
+// fault events, a seeded generator that expands a seed into a schedule,
+// a replaying runner whose event log is byte-identical across runs of
+// the same seed, and the in-process TCP partition proxy the network
+// faults act through. Process faults (kill/restart) are applied by the
+// caller's hooks; disk faults (slow-fsync, disk-full) reach a live
+// daemon through the failpoint endpoint mpcbfd exposes under -chaos
+// (see repro/server.ChaosHandler).
+//
+// # Determinism contract
+//
+// Everything that enters the event log is derived from (seed, GenConfig)
+// alone: event times are schedule offsets (never wall-clock), targets
+// and arguments come from the seeded RNG, and the runner logs events in
+// schedule order. Two runs of the same seed therefore produce
+// byte-identical logs even though their wall-clock interleaving with
+// live traffic differs — which is exactly what makes a failure
+// reproducible from its manifest seed.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/hashing"
+)
+
+// Action names one fault (or its repair).
+type Action string
+
+const (
+	// ActionKill SIGKILLs the target process.
+	ActionKill Action = "kill"
+	// ActionRestart restarts the target process on its data directory.
+	ActionRestart Action = "restart"
+	// ActionPartition drops the target link: the proxy kills live
+	// connections and refuses new ones.
+	ActionPartition Action = "partition"
+	// ActionHeal restores the target link.
+	ActionHeal Action = "heal"
+	// ActionSlowFsync arms the target's WAL fsync delay; Arg is the
+	// delay (time.Duration string).
+	ActionSlowFsync Action = "slow-fsync"
+	// ActionFsyncOK disarms the target's fsync delay.
+	ActionFsyncOK Action = "fsync-ok"
+	// ActionDiskFull makes the target's WAL writes fail with ENOSPC.
+	ActionDiskFull Action = "disk-full"
+	// ActionDiskOK clears the target's disk-full failpoint. The WAL
+	// stays poisoned until the target is restarted — pair with
+	// kill/restart to recover write availability.
+	ActionDiskOK Action = "disk-ok"
+)
+
+// Event is one scheduled fault: at offset At from the run's start,
+// apply Action to Target. Arg carries the action parameter (the
+// slow-fsync delay); it is empty otherwise.
+type Event struct {
+	At     time.Duration
+	Target string
+	Action Action
+	Arg    string
+}
+
+// String renders the canonical event-log line (without newline):
+// fixed-width millisecond offset, target, action, and argument. This
+// rendering IS the determinism contract — it contains no wall-clock
+// component.
+func (e Event) String() string {
+	if e.Arg == "" {
+		return fmt.Sprintf("%08dms %s %s", e.At.Milliseconds(), e.Target, e.Action)
+	}
+	return fmt.Sprintf("%08dms %s %s %s", e.At.Milliseconds(), e.Target, e.Action, e.Arg)
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule []Event
+
+// Validate checks ordering and action arguments.
+func (s Schedule) Validate() error {
+	for i, e := range s {
+		if i > 0 && e.At < s[i-1].At {
+			return fmt.Errorf("chaos: schedule out of order at %d: %v after %v", i, e.At, s[i-1].At)
+		}
+		if e.Target == "" {
+			return fmt.Errorf("chaos: event %d has no target", i)
+		}
+		switch e.Action {
+		case ActionKill, ActionRestart, ActionPartition, ActionHeal,
+			ActionFsyncOK, ActionDiskFull, ActionDiskOK:
+			if e.Arg != "" {
+				return fmt.Errorf("chaos: event %d (%s) takes no argument, got %q", i, e.Action, e.Arg)
+			}
+		case ActionSlowFsync:
+			if _, err := time.ParseDuration(e.Arg); err != nil {
+				return fmt.Errorf("chaos: event %d slow-fsync arg %q: %w", i, e.Arg, err)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d has unknown action %q", i, e.Action)
+		}
+	}
+	return nil
+}
+
+// Format renders the whole schedule as canonical event-log text, one
+// line per event. Runner.EventLog of a completed run equals Format of
+// its schedule.
+func (s Schedule) Format() []byte {
+	var b strings.Builder
+	for _, e := range s {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// GenConfig bounds the seeded schedule generator. Each named target
+// contributes one fault/repair pair; the generator places the fault in
+// the first 40% of the duration and the repair 15-35% of the duration
+// later, so every fault is both live under traffic and healed with
+// slack for convergence before the run ends.
+type GenConfig struct {
+	// Duration is the traffic window events are placed in.
+	Duration time.Duration
+	// Kill targets get a kill + restart pair.
+	Kill []string
+	// Partition targets (links) get a partition + heal pair.
+	Partition []string
+	// SlowFsync targets get a slow-fsync + fsync-ok pair; the delay is
+	// drawn from 1-5ms.
+	SlowFsync []string
+}
+
+// Generate expands a seed into a concrete schedule: same seed and
+// config, same schedule, byte for byte. Pairs are placed independently
+// per target, then the whole schedule is sorted by (At, Target, Action)
+// so the order is total and reproducible.
+func Generate(seed uint64, cfg GenConfig) Schedule {
+	rng := hashing.NewRNG(seed)
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 3 * time.Second
+	}
+	// Quantize to milliseconds: the log renders milliseconds, and two
+	// events a microsecond apart would order by a digit the log never
+	// shows.
+	ms := func(frac float64) time.Duration {
+		return (time.Duration(frac*float64(dur)) / time.Millisecond) * time.Millisecond
+	}
+	place := func(target string, fault, repair Action, arg string) []Event {
+		at := ms(0.05 + 0.35*rng.Float64())        // fault in [5%, 40%]
+		healAt := at + ms(0.15+0.20*rng.Float64()) // repair 15-35% later
+		return []Event{
+			{At: at, Target: target, Action: fault, Arg: arg},
+			{At: healAt, Target: target, Action: repair},
+		}
+	}
+	var s Schedule
+	for _, t := range cfg.Kill {
+		s = append(s, place(t, ActionKill, ActionRestart, "")...)
+	}
+	for _, t := range cfg.Partition {
+		s = append(s, place(t, ActionPartition, ActionHeal, "")...)
+	}
+	for _, t := range cfg.SlowFsync {
+		delay := time.Duration(1+rng.Intn(5)) * time.Millisecond
+		s = append(s, place(t, ActionSlowFsync, ActionFsyncOK, delay.String())...)
+	}
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Target != s[j].Target {
+			return s[i].Target < s[j].Target
+		}
+		return s[i].Action < s[j].Action
+	})
+	return s
+}

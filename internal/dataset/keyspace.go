@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/hashing"
+)
+
+// Keyspace is the seeded key generator behind the load generator and the
+// cluster simulation: a fixed population of N distinct keys with a
+// Zipf(s) popularity distribution over ranks, the same skew shape the
+// trace synthesizer uses for flow sizes. Two properties matter to its
+// callers:
+//
+//   - Deterministic: the key bytes for a rank, and the sequence of ranks
+//     drawn from a given RNG, depend only on (Seed, N, ZipfS). Replaying
+//     a run from its manifest seed reproduces the exact byte stream.
+//   - Allocation-light: AppendKey writes into a caller buffer and rank
+//     sampling is a binary search over a table built once, so the
+//     per-operation path allocates nothing.
+//
+// A Keyspace is immutable after construction and safe for concurrent
+// use; per-worker draw state lives in the *hashing.RNG each worker owns
+// (derive them with WorkerRNG so distinct workers get disjoint streams).
+type Keyspace struct {
+	n      int
+	seed   uint64
+	zipfS  float64
+	prefix string
+	cum    []float64 // cumulative rank weights, normalized to [0, 1]
+}
+
+// KeyspaceConfig sizes a Keyspace. ZipfS <= 0 selects a uniform
+// popularity distribution; ZipfS around 1 matches heavy-tailed Internet
+// workloads (and the trace synthesizer's default).
+type KeyspaceConfig struct {
+	N      int
+	ZipfS  float64
+	Seed   uint64
+	Prefix string // prepended to every key; defaults to "k"
+}
+
+// NewKeyspace builds the rank-weight table (the only allocation the
+// generator ever performs).
+func NewKeyspace(cfg KeyspaceConfig) (*Keyspace, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: keyspace needs N > 0, got %d", cfg.N)
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "k"
+	}
+	ks := &Keyspace{n: cfg.N, seed: cfg.Seed, zipfS: cfg.ZipfS, prefix: cfg.Prefix}
+	if cfg.ZipfS > 0 {
+		cum := make([]float64, cfg.N)
+		sum := 0.0
+		for r := 0; r < cfg.N; r++ {
+			sum += math.Pow(float64(r+1), -cfg.ZipfS)
+			cum[r] = sum
+		}
+		for r := range cum {
+			cum[r] /= sum
+		}
+		ks.cum = cum
+	}
+	return ks, nil
+}
+
+// N returns the population size.
+func (ks *Keyspace) N() int { return ks.n }
+
+// Seed returns the seed the keyspace was built from.
+func (ks *Keyspace) Seed() uint64 { return ks.seed }
+
+// WorkerRNG derives the draw stream for one worker: disjoint across
+// workers, reproducible across runs for a given (seed, worker).
+func (ks *Keyspace) WorkerRNG(worker int) *hashing.RNG {
+	return hashing.NewRNG(hashing.SplitMix64(ks.seed ^ uint64(worker)*0x9E3779B97F4A7C15))
+}
+
+// Rank draws a popularity-distributed rank in [0, N) from rng.
+func (ks *Keyspace) Rank(rng *hashing.RNG) int {
+	if ks.cum == nil {
+		return rng.Intn(ks.n)
+	}
+	u := rng.Float64()
+	return sort.SearchFloat64s(ks.cum, u)
+}
+
+// AppendKey appends rank's key bytes to dst and returns the extended
+// slice. Keys are distinct per rank and seed-dependent: the layout is
+// <prefix><rank>-<mix16> where mix16 is 16 hex digits of
+// SplitMix64(seed, rank), so two seeds share no keys and key bytes do
+// not correlate with filter hash inputs trivially.
+func (ks *Keyspace) AppendKey(dst []byte, rank int) []byte {
+	dst = append(dst, ks.prefix...)
+	dst = strconv.AppendUint(dst, uint64(rank), 10)
+	dst = append(dst, '-')
+	m := hashing.SplitMix64(ks.seed ^ (uint64(rank)+1)*0xBF58476D1CE4E5B9)
+	const hex = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hex[(m>>uint(shift))&0xF])
+	}
+	return dst
+}
+
+// Key returns rank's key as a fresh slice — the convenience form for
+// tests and setup paths that do not care about allocation.
+func (ks *Keyspace) Key(rank int) []byte {
+	return ks.AppendKey(nil, rank)
+}
+
+// Draw samples a rank from rng and appends its key to dst — the
+// steady-state load-generator call.
+func (ks *Keyspace) Draw(dst []byte, rng *hashing.RNG) []byte {
+	return ks.AppendKey(dst, ks.Rank(rng))
+}

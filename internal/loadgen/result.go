@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Manifest is the reproducibility record embedded in every Result:
+// re-running the generator with these parameters regenerates the same
+// per-worker op and key streams.
+type Manifest struct {
+	Seed        uint64   `json:"seed"`
+	Mode        string   `json:"mode"` // "closed", "open", or "pipelined"
+	Rate        float64  `json:"rate,omitempty"`
+	Concurrency int      `json:"concurrency"`
+	Duration    string   `json:"duration"`
+	Mix         Mix      `json:"mix"`
+	Batch       int      `json:"batch,omitempty"`
+	Pipeline    int      `json:"pipeline,omitempty"`
+	Addrs       []string `json:"addrs"`
+	Namespaces  []string `json:"namespaces,omitempty"`
+	Keys        int      `json:"keys"`
+	ZipfS       float64  `json:"zipf_s,omitempty"`
+	TTL         string   `json:"ttl"`
+}
+
+func (c *Config) manifest() Manifest {
+	mode := "closed"
+	switch {
+	case c.PipelineDepth > 0:
+		mode = "pipelined"
+	case c.OpenLoop:
+		mode = "open"
+	}
+	return Manifest{
+		Seed:        c.Seed,
+		Mode:        mode,
+		Rate:        c.Rate,
+		Concurrency: c.Concurrency,
+		Duration:    c.Duration.String(),
+		Mix:         c.Mix,
+		Batch:       c.Batch,
+		Pipeline:    c.PipelineDepth,
+		Addrs:       c.Addrs,
+		Namespaces:  c.Namespaces,
+		Keys:        c.Keyspace.N,
+		ZipfS:       c.Keyspace.ZipfS,
+		TTL:         c.TTL.String(),
+	}
+}
+
+// OpStats is one op kind's outcome: counts and latency summary. For
+// batch mode, Count is the number of batch calls while Errors and
+// MaybeApplied count keys; latencies are per call. For pipelined mode,
+// each op's latency is its flush's round trip.
+type OpStats struct {
+	Count        uint64  `json:"count"`
+	Errors       uint64  `json:"errors"`
+	MaybeApplied uint64  `json:"maybe_applied,omitempty"`
+	MeanUs       float64 `json:"mean_us"`
+	P50Us        float64 `json:"p50_us"`
+	P90Us        float64 `json:"p90_us"`
+	P99Us        float64 `json:"p99_us"`
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Manifest     Manifest           `json:"manifest"`
+	Elapsed      float64            `json:"elapsed_sec"`
+	TotalOps     uint64             `json:"total_ops"`
+	Throughput   float64            `json:"ops_per_sec"`
+	Errors       uint64             `json:"errors"`
+	MaybeApplied uint64             `json:"maybe_applied"`
+	Ops          map[string]OpStats `json:"ops"`
+}
+
+// WriteHuman renders the run summary as aligned text.
+func (r *Result) WriteHuman(w io.Writer) {
+	fmt.Fprintf(w, "mode=%s seed=%d concurrency=%d elapsed=%.2fs\n",
+		r.Manifest.Mode, r.Manifest.Seed, r.Manifest.Concurrency, r.Elapsed)
+	fmt.Fprintf(w, "total %d ops, %.0f ops/s, %d errors, %d maybe-applied\n",
+		r.TotalOps, r.Throughput, r.Errors, r.MaybeApplied)
+	fmt.Fprintf(w, "%-12s %10s %8s %10s %10s %10s %10s\n",
+		"op", "count", "errs", "mean_us", "p50_us", "p90_us", "p99_us")
+	for _, name := range r.sortedOps() {
+		st := r.Ops[name]
+		fmt.Fprintf(w, "%-12s %10d %8d %10.1f %10.1f %10.1f %10.1f\n",
+			name, st.Count, st.Errors, st.MeanUs, st.P50Us, st.P90Us, st.P99Us)
+	}
+}
+
+// benchFile is the BENCH_cluster.json shape: named runs, most recent
+// write wins per name.
+type benchFile struct {
+	Runs map[string]*Result `json:"runs"`
+}
+
+// MergeBenchFile inserts the result under name into the JSON bench file
+// at path, creating it if absent and preserving other entries.
+func (r *Result) MergeBenchFile(path, name string) error {
+	var doc benchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("loadgen: %s exists but is not a bench file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if doc.Runs == nil {
+		doc.Runs = map[string]*Result{}
+	}
+	doc.Runs[name] = r
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

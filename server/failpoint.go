@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Failpoints inject disk faults under the WAL's file seam, the substrate
+// the chaos harness (internal/chaos) schedules against:
+//
+//   - fsync delay — every WAL fsync sleeps the configured duration
+//     first, simulating a slow or contended disk. Group commit must keep
+//     amortizing and acked writes stay durable; only latency moves.
+//   - disk full — every WAL write fails with ENOSPC. The commit path's
+//     sticky error poisons the log exactly as a real full disk would:
+//     mutations fail loudly, reads keep serving, and a restart with
+//     space available recovers every previously acked write.
+//
+// The state is process-global (the WAL wraps its segment files
+// unconditionally; disabled failpoints cost one atomic load per IO
+// call, noise next to the syscall) but only reachable from outside the
+// process when the daemon opts in with -chaos, which exposes the
+// ChaosHandler endpoint on the HTTP sidecar.
+type Failpoints struct {
+	fsyncDelayNs atomic.Int64
+	diskFull     atomic.Bool
+}
+
+var walFailpoints Failpoints
+
+// WALFailpoints returns the process-global failpoint switchboard.
+func WALFailpoints() *Failpoints { return &walFailpoints }
+
+// SetFsyncDelay makes every subsequent WAL fsync sleep d first
+// (0 disables).
+func (fp *Failpoints) SetFsyncDelay(d time.Duration) { fp.fsyncDelayNs.Store(int64(d)) }
+
+// FsyncDelay returns the configured fsync sleep.
+func (fp *Failpoints) FsyncDelay() time.Duration { return time.Duration(fp.fsyncDelayNs.Load()) }
+
+// SetDiskFull makes every subsequent WAL write fail with ENOSPC.
+// Clearing it stops new failures, but a WAL that already failed a write
+// stays poisoned until the process restarts — the same contract as a
+// real disk that filled up.
+func (fp *Failpoints) SetDiskFull(on bool) { fp.diskFull.Store(on) }
+
+// DiskFull reports whether WAL writes are failing.
+func (fp *Failpoints) DiskFull() bool { return fp.diskFull.Load() }
+
+// Reset clears every failpoint.
+func (fp *Failpoints) Reset() {
+	fp.SetFsyncDelay(0)
+	fp.SetDiskFull(false)
+}
+
+// FailpointState is the JSON view served and accepted by ChaosHandler.
+type FailpointState struct {
+	FsyncDelay string `json:"fsync_delay"`
+	DiskFull   bool   `json:"disk_full"`
+}
+
+// State returns the current switchboard settings.
+func (fp *Failpoints) State() FailpointState {
+	return FailpointState{
+		FsyncDelay: fp.FsyncDelay().String(),
+		DiskFull:   fp.DiskFull(),
+	}
+}
+
+// ChaosHandler serves the failpoint control endpoint:
+//
+//	GET  /chaos                                  — current state as JSON
+//	POST /chaos?fsync_delay=2ms&disk_full=true   — set the named failpoints
+//
+// Only parameters present in the query change; fsync_delay=0 and
+// disk_full=false clear their respective faults. The daemon registers
+// this on the sidecar only under -chaos: it exists for fault-schedule
+// harnesses, never for production.
+func ChaosHandler() http.Handler {
+	fp := WALFailpoints()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			q := r.URL.Query()
+			if v := q.Get("fsync_delay"); v != "" {
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					http.Error(w, fmt.Sprintf("bad fsync_delay %q", v), http.StatusBadRequest)
+					return
+				}
+				fp.SetFsyncDelay(d)
+			}
+			if v := q.Get("disk_full"); v != "" {
+				switch v {
+				case "true", "1":
+					fp.SetDiskFull(true)
+				case "false", "0":
+					fp.SetDiskFull(false)
+				default:
+					http.Error(w, fmt.Sprintf("bad disk_full %q", v), http.StatusBadRequest)
+					return
+				}
+			}
+		} else if r.Method != http.MethodGet {
+			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fp.State())
+	})
+}
+
+// walFile is the WAL's view of a segment file: the seam the failpoints
+// sit under. Everything else the WAL does to a file (stat, truncate)
+// happens on the raw *os.File during open, before wrapping.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// wrapWALFile threads a segment file through the failpoint seam.
+func wrapWALFile(f *os.File) walFile { return failpointFile{f} }
+
+// failpointFile applies the global failpoints in front of a real
+// segment file.
+type failpointFile struct {
+	*os.File
+}
+
+func (f failpointFile) Write(p []byte) (int, error) {
+	if walFailpoints.diskFull.Load() {
+		return 0, &os.PathError{Op: "write", Path: f.Name(), Err: syscall.ENOSPC}
+	}
+	return f.File.Write(p)
+}
+
+func (f failpointFile) Sync() error {
+	if d := walFailpoints.fsyncDelayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return f.File.Sync()
+}

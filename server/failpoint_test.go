@@ -1,0 +1,193 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	mpcbf "repro"
+)
+
+func failpointStoreOpts(dir string) StoreOptions {
+	return StoreOptions{
+		Dir:    dir,
+		Filter: mpcbf.Options{MemoryBits: 1 << 20, ExpectedItems: 10_000},
+		Shards: 2,
+		Sync:   SyncAlways,
+		Log:    discardLog(),
+	}
+}
+
+// TestFailpointSlowFsync: an armed fsync delay shows up in mutation
+// latency (the ack gate is the fsync) and disarming restores it, with
+// no durability change — the slow writes are still acked-durable.
+func TestFailpointSlowFsync(t *testing.T) {
+	fp := WALFailpoints()
+	defer fp.Reset()
+
+	dir := t.TempDir()
+	st, err := OpenStore(failpointStoreOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const delay = 20 * time.Millisecond
+	fp.SetFsyncDelay(delay)
+	t0 := time.Now()
+	if err := st.Insert([]byte("slow-key")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < delay {
+		t.Fatalf("insert under %v fsync delay returned in %v", delay, d)
+	}
+
+	fp.Reset()
+	t0 = time.Now()
+	if err := st.Insert([]byte("fast-key")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > delay {
+		t.Fatalf("insert after reset still slow: %v", d)
+	}
+	if !st.Contains([]byte("slow-key")) || !st.Contains([]byte("fast-key")) {
+		t.Fatal("keys written under the failpoint lost")
+	}
+}
+
+// TestFailpointDiskFull: WAL writes fail with ENOSPC, mutations error,
+// reads keep serving, the poisoning is sticky (clearing the failpoint
+// does not resurrect the log — same as a real disk), and a restart with
+// the failpoint clear recovers every previously acked write.
+func TestFailpointDiskFull(t *testing.T) {
+	fp := WALFailpoints()
+	defer fp.Reset()
+
+	dir := t.TempDir()
+	st, err := OpenStore(failpointStoreOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Insert([]byte("acked-before")); err != nil {
+		t.Fatal(err)
+	}
+
+	fp.SetDiskFull(true)
+	err = st.Insert([]byte("doomed"))
+	if err == nil {
+		t.Fatal("insert succeeded on a full disk")
+	}
+	if !errors.Is(err, syscall.ENOSPC) && !strings.Contains(err.Error(), "no space") {
+		t.Fatalf("disk-full insert error = %v, want ENOSPC", err)
+	}
+
+	// Reads are unaffected: the filter still serves.
+	if !st.Contains([]byte("acked-before")) {
+		t.Fatal("read path broken by disk-full failpoint")
+	}
+
+	// Sticky: space coming back does not un-poison a log whose durable
+	// position is unknown; the process must restart.
+	fp.SetDiskFull(false)
+	if err := st.Insert([]byte("still-poisoned")); err == nil {
+		t.Fatal("insert succeeded on a poisoned WAL without restart")
+	}
+
+	// Close errors (the final snapshot/drain hits the poisoned log);
+	// discard it — the crash-recovery path is what the restart exercises.
+	st.Close()
+
+	st2, err := OpenStore(failpointStoreOpts(dir))
+	if err != nil {
+		t.Fatalf("reopen after disk-full: %v", err)
+	}
+	defer st2.Close()
+	if !st2.Contains([]byte("acked-before")) {
+		t.Fatal("acked pre-fault key lost across restart")
+	}
+	if err := st2.Insert([]byte("after-restart")); err != nil {
+		t.Fatalf("insert after restart: %v", err)
+	}
+	if !st2.Contains([]byte("after-restart")) {
+		t.Fatal("post-restart insert not visible")
+	}
+}
+
+// TestChaosHandler drives the HTTP control surface: GET reflects state,
+// POST sets and clears failpoints, bad input is rejected.
+func TestChaosHandler(t *testing.T) {
+	fp := WALFailpoints()
+	defer fp.Reset()
+	h := ChaosHandler()
+
+	get := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/chaos", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /chaos = %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+	post := func(query string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/chaos?"+query, nil))
+		return rec.Code
+	}
+
+	if body := get(); !strings.Contains(body, `"fsync_delay":"0s"`) || !strings.Contains(body, `"disk_full":false`) {
+		t.Fatalf("initial state = %s", body)
+	}
+	if code := post("fsync_delay=5ms&disk_full=true"); code != 200 {
+		t.Fatalf("POST = %d", code)
+	}
+	if fp.FsyncDelay() != 5*time.Millisecond || !fp.DiskFull() {
+		t.Fatalf("state after POST: delay=%v full=%v", fp.FsyncDelay(), fp.DiskFull())
+	}
+	if body := get(); !strings.Contains(body, `"fsync_delay":"5ms"`) || !strings.Contains(body, `"disk_full":true`) {
+		t.Fatalf("state after POST = %s", body)
+	}
+	if code := post("fsync_delay=0s&disk_full=false"); code != 200 {
+		t.Fatalf("clearing POST = %d", code)
+	}
+	if fp.FsyncDelay() != 0 || fp.DiskFull() {
+		t.Fatal("failpoints not cleared")
+	}
+	if code := post("fsync_delay=banana"); code != 400 {
+		t.Fatalf("bad duration accepted: %d", code)
+	}
+	if code := post("disk_full=maybe"); code != 400 {
+		t.Fatalf("bad bool accepted: %d", code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/chaos", nil))
+	if rec.Code != 405 {
+		t.Fatalf("DELETE = %d, want 405", rec.Code)
+	}
+}
+
+// TestFailpointFileENOSPCShape: the injected error unwraps to ENOSPC so
+// callers matching errno behave as with a real full disk.
+func TestFailpointFileENOSPCShape(t *testing.T) {
+	fp := WALFailpoints()
+	defer fp.Reset()
+	f, err := os.CreateTemp(t.TempDir(), "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wf := wrapWALFile(f)
+	fp.SetDiskFull(true)
+	_, err = wf.Write([]byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	fp.SetDiskFull(false)
+	if _, err := wf.Write([]byte("x")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+}

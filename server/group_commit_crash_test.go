@@ -15,11 +15,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/e2e"
 )
 
 func gcKey(writer, i int) []byte {
@@ -30,12 +30,13 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
+	bin := e2e.BuildDaemon(t)
 	dir := t.TempDir()
-	addr, httpAddr := freePort(t), freePort(t)
+	addr, httpAddr := e2e.FreePort(t), e2e.FreePort(t)
+	cfg := e2e.DaemonConfig{Bin: bin, Dir: dir, Addr: addr, HTTPAddr: httpAddr}
 
-	d1 := startDaemon(t, bin, dir, addr, httpAddr)
-	dialRetry(t, addr).Close() // wait for accept
+	d1 := e2e.StartDaemon(t, cfg)
+	e2e.DialRetry(t, addr).Close() // wait for accept
 
 	const (
 		writers   = 8
@@ -90,7 +91,7 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 	deadline := time.Now().Add(30 * time.Second)
 	for ackedTotal.Load() < killAfter {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d inserts acked before deadline\n%s", ackedTotal.Load(), d1.out)
+			t.Fatalf("only %d inserts acked before deadline\n%s", ackedTotal.Load(), d1)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -102,10 +103,7 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 		t.Errorf("group commit not coalescing: %d commits for %d records", commits, records)
 	}
 
-	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	d1.cmd.Wait()
+	d1.Kill()
 	wg.Wait()
 	if t.Failed() {
 		t.FailNow()
@@ -119,8 +117,8 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 
 	// Recovery: every acked insert present, population bounded by the
 	// possibly-sent set.
-	d2 := startDaemon(t, bin, dir, addr, httpAddr)
-	c2 := dialRetry(t, addr)
+	d2 := e2e.StartDaemon(t, cfg)
+	c2 := e2e.DialRetry(t, addr)
 	defer c2.Close()
 
 	got, err := c2.Len()
@@ -128,7 +126,7 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got < nAcked || got > nPossible {
-		t.Fatalf("recovered Len = %d, want within [%d, %d]\n%s", got, nAcked, nPossible, d2.out)
+		t.Fatalf("recovered Len = %d, want within [%d, %d]\n%s", got, nAcked, nPossible, d2)
 	}
 	for w := 0; w < writers; w++ {
 		keys := make([][]byte, acked[w])
@@ -150,8 +148,8 @@ func TestIntegrationCrashDuringGroupCommit(t *testing.T) {
 	}
 	// The replay log line proves recovery came from the WAL, not an
 	// fsync that happened to cover unacked bytes.
-	if !strings.Contains(d2.out.String(), "replayed=") {
-		t.Errorf("no replay marker in restart log:\n%s", d2.out)
+	if !strings.Contains(d2.Output(), "replayed=") {
+		t.Errorf("no replay marker in restart log:\n%s", d2)
 	}
 }
 

@@ -66,6 +66,9 @@ func (s *Server) HTTPHandler() http.Handler {
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/requests", s.tracer.serveHTTP)
+	if s.cfg.Chaos {
+		mux.Handle("/chaos", ChaosHandler())
+	}
 	return mux
 }
 

@@ -5,112 +5,19 @@ package server
 // the same data directory, and require every acknowledged mutation back.
 // This is the durability contract (SyncAlways: ack implies fsync'd WAL
 // record) exercised the only honest way — across a process boundary.
+// The build/spawn/kill plumbing lives in repro/internal/e2e.
 
 import (
-	"bytes"
 	"fmt"
-	"net"
-	"os/exec"
 	"path/filepath"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
 
-	"repro/client"
+	"repro/internal/e2e"
 )
-
-func buildDaemon(t *testing.T) string {
-	t.Helper()
-	root, err := filepath.Abs("..")
-	if err != nil {
-		t.Fatal(err)
-	}
-	bin := filepath.Join(t.TempDir(), "mpcbfd")
-	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mpcbfd")
-	cmd.Dir = root
-	if out, err := cmd.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
-	}
-	return bin
-}
-
-func freePort(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
-
-// syncBuffer guards daemon output: exec's pipe goroutine writes while
-// the test reads for assertions and failure dumps.
-type syncBuffer struct {
-	mu sync.Mutex
-	b  bytes.Buffer
-}
-
-func (s *syncBuffer) Write(p []byte) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.b.Write(p)
-}
-
-func (s *syncBuffer) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.b.String()
-}
-
-type daemon struct {
-	cmd *exec.Cmd
-	out *syncBuffer
-}
-
-func startDaemon(t *testing.T, bin, dir, addr, httpAddr string, extra ...string) *daemon {
-	t.Helper()
-	args := []string{
-		"-addr", addr, "-http", httpAddr, "-dir", dir,
-		"-mem", "2097152", "-n", "20000", "-shards", "4",
-		"-fsync", "always", "-snapshot-interval", "0",
-		"-drain-timeout", "5s"}
-	cmd := exec.Command(bin, append(args, extra...)...)
-	out := &syncBuffer{}
-	cmd.Stdout = out
-	cmd.Stderr = out
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	d := &daemon{cmd: cmd, out: out}
-	t.Cleanup(func() {
-		if cmd.Process != nil {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
-	})
-	return d
-}
-
-// dialRetry waits for the daemon to accept connections.
-func dialRetry(t *testing.T, addr string) *client.Client {
-	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		c, err := client.Dial(addr, client.WithTimeout(5*time.Second))
-		if err == nil {
-			return c
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never came up on %s: %v", addr, err)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
 
 func intKey(i int) []byte { return []byte(fmt.Sprintf("crash-key-%06d", i)) }
 
@@ -118,13 +25,14 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
+	bin := e2e.BuildDaemon(t)
 	dir := t.TempDir()
-	addr, httpAddr := freePort(t), freePort(t)
+	addr, httpAddr := e2e.FreePort(t), e2e.FreePort(t)
+	cfg := e2e.DaemonConfig{Bin: bin, Dir: dir, Addr: addr, HTTPAddr: httpAddr}
 
 	// Phase 1: serve, stream inserts, SIGKILL mid-stream.
-	d1 := startDaemon(t, bin, dir, addr, httpAddr)
-	c := dialRetry(t, addr)
+	d1 := e2e.StartDaemon(t, cfg)
+	c := e2e.DialRetry(t, addr)
 
 	var acked atomic.Int64
 	insertDone := make(chan struct{})
@@ -142,14 +50,11 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 	deadline := time.Now().Add(20 * time.Second)
 	for acked.Load() < killAfter {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d inserts acked before deadline\n%s", acked.Load(), d1.out)
+			t.Fatalf("only %d inserts acked before deadline\n%s", acked.Load(), d1)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	d1.cmd.Wait()
+	d1.Kill()
 	<-insertDone
 	c.Close()
 	n := int(acked.Load())
@@ -158,8 +63,8 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 	// Phase 2: restart on the same directory; every acked insert must be
 	// present (zero false negatives — acked means fsync'd under
 	// -fsync always).
-	d2 := startDaemon(t, bin, dir, addr, httpAddr)
-	c2 := dialRetry(t, addr)
+	d2 := e2e.StartDaemon(t, cfg)
+	c2 := e2e.DialRetry(t, addr)
 	defer c2.Close()
 
 	got, err := c2.Len()
@@ -169,7 +74,7 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 	// Len may exceed acked by at most one: an insert can be applied and
 	// logged but killed before the ack reached the client.
 	if got < n || got > n+1 {
-		t.Fatalf("recovered Len = %d, want %d or %d\n%s", got, n, n+1, d2.out)
+		t.Fatalf("recovered Len = %d, want %d or %d\n%s", got, n, n+1, d2)
 	}
 	keys := make([][]byte, n)
 	for i := range keys {
@@ -212,27 +117,27 @@ func TestIntegrationCrashRecovery(t *testing.T) {
 
 	// Phase 3: graceful SIGTERM writes a final snapshot; a third start
 	// recovers from it with nothing to replay.
-	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := d2.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	if err := d2.cmd.Wait(); err != nil {
-		t.Fatalf("SIGTERM exit: %v\n%s", err, d2.out)
+	if err := d2.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v\n%s", err, d2)
 	}
-	if !strings.Contains(d2.out.String(), "clean shutdown") {
-		t.Fatalf("no clean shutdown marker:\n%s", d2.out)
+	if !strings.Contains(d2.Output(), "clean shutdown") {
+		t.Fatalf("no clean shutdown marker:\n%s", d2)
 	}
 	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
 	if err != nil || len(snaps) == 0 {
 		t.Fatalf("no final snapshot: %v %v", snaps, err)
 	}
 
-	d3 := startDaemon(t, bin, dir, addr, httpAddr)
-	c3 := dialRetry(t, addr)
+	d3 := e2e.StartDaemon(t, cfg)
+	c3 := e2e.DialRetry(t, addr)
 	defer c3.Close()
 	if got3, err := c3.Len(); err != nil || got3 != got {
 		t.Fatalf("post-snapshot Len = %d, %v, want %d", got3, err, got)
 	}
-	if !strings.Contains(d3.out.String(), "replayed=0") {
-		t.Fatalf("third start should replay nothing:\n%s", d3.out)
+	if !strings.Contains(d3.Output(), "replayed=0") {
+		t.Fatalf("third start should replay nothing:\n%s", d3)
 	}
 }

@@ -66,6 +66,83 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// values by linear interpolation inside the power-of-two bucket the
+// target count falls in: bucket i spans [2^(i-1), 2^i) (bucket 0 is
+// [0, 1)), so the estimate is exact at bucket boundaries and off by at
+// most a factor of two inside a bucket — plenty for p50/p99 latency
+// reporting without a full sample recording. Returns 0 on an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			lo, hi := histBucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	_, hi := histBucketBounds(len(s.Buckets) - 1)
+	return hi
+}
+
+// histBucketBounds returns bucket i's value range [lo, hi).
+func histBucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// HistSummary is the compact roll-up the load generator and the
+// saturation bench report per operation: counts plus interpolated
+// latency quantiles. Values carry whatever unit was observed
+// (nanoseconds for the latency histograms).
+type HistSummary struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary rolls the snapshot up into count/mean/p50/p90/p99.
+func (s HistSnapshot) Summary() HistSummary {
+	sum := HistSummary{
+		Count: s.Count,
+		Sum:   s.Sum,
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		sum.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return sum
+}
+
+// Quantile estimates the q-quantile of the live histogram; see
+// HistSnapshot.Quantile for the interpolation contract.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Summary rolls the live histogram up into count/mean/p50/p90/p99.
+func (h *Histogram) Summary() HistSummary { return h.Snapshot().Summary() }
+
 // WritePromSeconds renders a nanosecond-valued HistSnapshot as a
 // Prometheus histogram in seconds.
 func (s HistSnapshot) WritePromSeconds(w io.Writer, name, help string) {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	if s := h.Summary(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+
+	// 100 observations of exactly 1000ns: every quantile must land inside
+	// 1000's bucket [512, 1024).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 512 || got > 1024 {
+			t.Fatalf("q=%v = %v, want within bucket [512, 1024]", q, got)
+		}
+	}
+
+	// A bimodal distribution: 90 fast (~100ns bucket) + 10 slow (~1e6
+	// bucket). p50 must report the fast mode, p99 the slow mode.
+	var b Histogram
+	for i := 0; i < 90; i++ {
+		b.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(1 << 20)
+	}
+	p50, p99 := b.Quantile(0.5), b.Quantile(0.99)
+	if p50 < 64 || p50 > 128 {
+		t.Fatalf("bimodal p50 = %v, want in fast bucket [64, 128]", p50)
+	}
+	if p99 < float64(1<<19) || p99 > float64(1<<21) {
+		t.Fatalf("bimodal p99 = %v, want in slow bucket [2^19, 2^21]", p99)
+	}
+	sum := b.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("summary count = %d, want 100", sum.Count)
+	}
+	wantMean := float64(90*100+10*(1<<20)) / 100
+	if math.Abs(sum.Mean-wantMean) > 1e-9 {
+		t.Fatalf("summary mean = %v, want %v", sum.Mean, wantMean)
+	}
+	if sum.P50 != p50 || sum.P99 != p99 {
+		t.Fatalf("summary quantiles %+v disagree with direct calls (%v, %v)", sum, p50, p99)
+	}
+}
+
+// TestHistogramQuantileInterpolation: within one bucket the estimate
+// moves linearly with q, and bucket boundaries are exact.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 10 in bucket [4,8), 10 in bucket [8,16).
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(9)
+	}
+	// q=0.5 is the boundary between the two buckets: 8.
+	if got := h.Quantile(0.5); got != 8 {
+		t.Fatalf("p50 = %v, want exactly 8 at the bucket boundary", got)
+	}
+	// q=0.25 is halfway through the first bucket: 4 + 0.5*(8-4) = 6.
+	if got := h.Quantile(0.25); got != 6 {
+		t.Fatalf("p25 = %v, want 6 (linear inside bucket)", got)
+	}
+	// q=0.75 is halfway through the second: 8 + 0.5*(16-8) = 12.
+	if got := h.Quantile(0.75); got != 12 {
+		t.Fatalf("p75 = %v, want 12 (linear inside bucket)", got)
+	}
+	// Out-of-range q clamps.
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo != 4 || hi != 16 {
+		t.Fatalf("clamped quantiles = %v, %v; want 4, 16", lo, hi)
+	}
+
+	// Zero observations land in bucket 0 = [0,1).
+	var z Histogram
+	z.Observe(0)
+	if got := z.Quantile(1); got > 1 {
+		t.Fatalf("all-zero p100 = %v, want <= 1", got)
+	}
+
+	// Oversized observations saturate into the last bucket and still
+	// produce a finite quantile.
+	var o Histogram
+	o.Observe(math.MaxUint64)
+	if got := o.Quantile(0.5); math.IsInf(got, 0) || got <= 0 {
+		t.Fatalf("saturated p50 = %v, want finite positive", got)
+	}
+}

@@ -19,11 +19,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/e2e"
 	"repro/server/wire"
 )
 
@@ -35,23 +35,13 @@ const (
 
 func nsE2EName(i int) string { return fmt.Sprintf("t%03d", i) }
 
-// nsE2EDial is dialRetry with the response frame cap raised past the
-// largest namespace dump (the 1 MiB-geometry tenants marshal to just
-// over the client's 1 MiB default) and a timeout generous enough for
-// dumps that first recover an evicted namespace on a loaded daemon.
+// nsE2EDial is e2e.DialRetry with the response frame cap raised past
+// the largest namespace dump (the 1 MiB-geometry tenants marshal to
+// just over the client's 1 MiB default) and a timeout generous enough
+// for dumps that first recover an evicted namespace on a loaded daemon.
 func nsE2EDial(t *testing.T, addr string) *client.Client {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		c, err := client.Dial(addr, client.WithTimeout(15*time.Second), client.WithMaxFrame(8<<20))
-		if err == nil {
-			return c
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never came up on %s: %v", addr, err)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	return e2e.DialRetry(t, addr, client.WithTimeout(15*time.Second), client.WithMaxFrame(8<<20))
 }
 
 func nsE2EKeys(ns, batch int) [][]byte {
@@ -66,17 +56,18 @@ func TestIntegrationNamespaces(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
+	bin := e2e.BuildDaemon(t)
 	dir := t.TempDir()
-	addr, httpAddr := freePort(t), freePort(t)
-	quotaArgs := []string{"-ns-quota", "67108864"} // 64 MiB
+	addr, httpAddr := e2e.FreePort(t), e2e.FreePort(t)
+	cfg := e2e.DaemonConfig{Bin: bin, Dir: dir, Addr: addr, HTTPAddr: httpAddr,
+		Extra: []string{"-ns-quota", "67108864"}} // 64 MiB
 
 	// Phase 1: create 200 namespaces with mixed geometries. The summed
 	// footprint (≈116 MiB) exceeds the quota, so roughly half are
 	// resident at any moment and every workload phase exercises
 	// eviction and recover-on-touch.
-	d1 := startDaemon(t, bin, dir, addr, httpAddr, quotaArgs...)
-	admin := dialRetry(t, addr)
+	d1 := e2e.StartDaemon(t, cfg)
+	admin := e2e.DialRetry(t, addr)
 	for i := 0; i < nsE2ECount; i++ {
 		cfg := wire.NsConfig{MemoryBits: 1 << (21 + uint(i%3)), ExpectedItems: 10000}
 		if err := admin.CreateNamespace(nsE2EName(i), cfg); err != nil {
@@ -132,14 +123,11 @@ func TestIntegrationNamespaces(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("writers too slow before kill\n%s", d1.out)
+			t.Fatalf("writers too slow before kill\n%s", d1)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	d1.cmd.Wait()
+	d1.Kill()
 	wg.Wait()
 	mu.Lock()
 	total := len(acked)
@@ -147,7 +135,7 @@ func TestIntegrationNamespaces(t *testing.T) {
 	t.Logf("killed daemon with %d acked batches (%d keys)", total, total*nsE2EBatch)
 
 	// Phase 3: restart and require every acked (namespace, key) back.
-	startDaemon(t, bin, dir, addr, httpAddr, quotaArgs...)
+	e2e.StartDaemon(t, cfg)
 	c2 := nsE2EDial(t, addr)
 	defer c2.Close()
 
@@ -192,9 +180,9 @@ func TestIntegrationNamespaces(t *testing.T) {
 
 	// Phase 4: attach a byte-mirror replica and require per-namespace
 	// DUMPs to converge to byte equality, polled with a deadline.
-	raddr, rhttp := freePort(t), freePort(t)
-	startDaemon(t, bin, t.TempDir(), raddr, rhttp,
-		append([]string{"-replicate-from", addr}, quotaArgs...)...)
+	raddr, rhttp := e2e.FreePort(t), e2e.FreePort(t)
+	e2e.StartDaemon(t, e2e.DaemonConfig{Bin: bin, Dir: t.TempDir(), Addr: raddr, HTTPAddr: rhttp,
+		ReplicateFrom: addr, Extra: cfg.Extra})
 	rc := nsE2EDial(t, raddr)
 	defer func() { rc.Close() }()
 

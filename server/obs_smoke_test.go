@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/e2e"
 )
 
 // httpGetStatus fetches a URL with retries (the sidecar may lag the TCP
@@ -40,14 +42,15 @@ func TestObsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
-	addr, httpAddr, debugAddr := freePort(t), freePort(t), freePort(t)
-	d := startDaemon(t, bin, t.TempDir(), addr, httpAddr,
-		"-debug-addr", debugAddr,
-		"-trace-sample", "1", "-slow-op", "1ns",
-		"-log-format", "json", "-log-level", "debug")
+	bin := e2e.BuildDaemon(t)
+	addr, httpAddr, debugAddr := e2e.FreePort(t), e2e.FreePort(t), e2e.FreePort(t)
+	d := e2e.StartDaemon(t, e2e.DaemonConfig{Bin: bin, Dir: t.TempDir(), Addr: addr, HTTPAddr: httpAddr,
+		Extra: []string{
+			"-debug-addr", debugAddr,
+			"-trace-sample", "1", "-slow-op", "1ns",
+			"-log-format", "json", "-log-level", "debug"}})
 
-	c := dialRetry(t, addr)
+	c := e2e.DialRetry(t, addr)
 	defer c.Close()
 	keys := make([][]byte, 100)
 	for i := range keys {
@@ -63,7 +66,7 @@ func TestObsSmoke(t *testing.T) {
 	// /metrics: 200 and a well-formed Prometheus text document.
 	code, metrics := httpGetStatus(t, "http://"+httpAddr+"/metrics")
 	if code != http.StatusOK {
-		t.Fatalf("/metrics = %d\n%s", code, d.out)
+		t.Fatalf("/metrics = %d\n%s", code, d)
 	}
 	if p := parseProm(t, metrics); p.samples == 0 {
 		t.Fatal("/metrics had no samples")
@@ -119,7 +122,7 @@ func TestObsSmoke(t *testing.T) {
 	// output must be machine-parseable, including slow-request warnings
 	// (forced by -slow-op 1ns).
 	sawSlow := false
-	for _, line := range strings.Split(strings.TrimSpace(d.out.String()), "\n") {
+	for _, line := range strings.Split(strings.TrimSpace(d.Output()), "\n") {
 		var obj map[string]any
 		if err := json.Unmarshal([]byte(line), &obj); err != nil {
 			t.Fatalf("daemon emitted non-JSON log line %q: %v", line, err)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -372,6 +374,25 @@ func TestDebugRequestsJSON(t *testing.T) {
 	if len(rep.SlowRecent) == 0 {
 		t.Error("slow ring empty with a 1ns threshold")
 	}
+}
+
+// syncBuffer guards log output written by server goroutines while the
+// test reads it for assertions.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // TestSlogRequestLifecycle captures the structured log of one request

@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -163,7 +162,10 @@ func runSaturationPoint(t *testing.T, addr string, conns, opsPerConn int, mode s
 	}
 
 	var gate sync.Mutex // serialized mode: one in-flight mutation, like per-request fsync
-	lats := make([][]time.Duration, conns)
+	// The exported lock-free Histogram absorbs latencies from every
+	// worker concurrently; p50/p99 come from its Quantile interpolation —
+	// the same machinery the load generator reports through.
+	var lat Histogram
 	ops := make([]int, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -172,7 +174,6 @@ func runSaturationPoint(t *testing.T, addr string, conns, opsPerConn int, mode s
 		go func(w int) {
 			defer wg.Done()
 			c := clients[w]
-			lat := make([]time.Duration, 0, opsPerConn)
 			if mode == "pipelined" {
 				p := c.Pipeline()
 				for i := 0; i < opsPerConn; i += saturationPipeDepth {
@@ -193,7 +194,7 @@ func runSaturationPoint(t *testing.T, addr string, conns, opsPerConn int, mode s
 					}
 					// Per-flush latency: the time a caller waits for a whole
 					// in-flight window, an upper bound for each op in it.
-					lat = append(lat, time.Since(t0))
+					lat.ObserveDuration(time.Since(t0))
 					ops[w] += len(res)
 				}
 			} else {
@@ -212,11 +213,10 @@ func runSaturationPoint(t *testing.T, addr string, conns, opsPerConn int, mode s
 						t.Errorf("insert: %v", err)
 						return
 					}
-					lat = append(lat, d)
+					lat.ObserveDuration(d)
 					ops[w]++
 				}
 			}
-			lats[w] = lat
 		}(w)
 	}
 	wg.Wait()
@@ -225,19 +225,17 @@ func runSaturationPoint(t *testing.T, addr string, conns, opsPerConn int, mode s
 		t.FailNow()
 	}
 
-	var all []time.Duration
 	total := 0
-	for w, l := range lats {
-		all = append(all, l...)
-		total += ops[w]
+	for _, n := range ops {
+		total += n
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sum := lat.Summary()
 	return saturationPoint{
 		Conns:     conns,
 		Mode:      mode,
 		Ops:       total,
 		OpsPerSec: float64(total) / wall.Seconds(),
-		P50Us:     float64(all[len(all)/2]) / float64(time.Microsecond),
-		P99Us:     float64(all[len(all)*99/100]) / float64(time.Microsecond),
+		P50Us:     sum.P50 / float64(time.Microsecond),
+		P99Us:     sum.P99 / float64(time.Microsecond),
 	}
 }

@@ -66,6 +66,9 @@ type Config struct {
 	// SlowOp records any request slower than this in the slow ring at
 	// /debug/requests and logs a warning (0 disables).
 	SlowOp time.Duration
+	// Chaos exposes the WAL failpoint control endpoint (/chaos) on the
+	// HTTP sidecar — fault-schedule harness use only, never production.
+	Chaos bool
 	// Log receives structured operational messages (default
 	// slog.Default()). The server logs with component=server attached.
 	Log *slog.Logger

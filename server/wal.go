@@ -124,9 +124,9 @@ type wal struct {
 	// position, and counters. It is never held across disk IO.
 	mu        sync.Mutex
 	cond      sync.Cond // signaled when durTicket advances or pending drains
-	f         *os.File
-	pending   []byte // framed records enqueued but not yet written
-	spare     []byte // recycled swap buffer for pending
+	f         walFile   // segment file behind the failpoint seam (see failpoint.go)
+	pending   []byte    // framed records enqueued but not yet written
+	spare     []byte    // recycled swap buffer for pending
 	seq       uint64
 	size      int64 // logical bytes in the current segment, incl. pending
 	dirty     bool  // written or pending bytes not yet fsynced
@@ -206,7 +206,7 @@ func openWAL(dir string, seq uint64, policy SyncPolicy, validBytes int64) (*wal,
 	w := &wal{
 		dir:    dir,
 		policy: policy,
-		f:      f,
+		f:      wrapWALFile(f),
 		seq:    seq,
 		size:   size,
 	}
@@ -758,7 +758,7 @@ func (w *wal) rotateToLocked(seq uint64, extraFlag int) (uint64, error) {
 		w.cond.Broadcast()
 		return 0, err
 	}
-	w.f = f
+	w.f = wrapWALFile(f)
 	w.size = 0
 	w.notifyLocked()
 	return w.seq, nil

@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/e2e"
 	"repro/server/wire"
 )
 
@@ -49,19 +49,20 @@ func TestIntegrationWindowExpiry(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
+	bin := e2e.BuildDaemon(t)
 	dir := t.TempDir()
-	addr, httpAddr := freePort(t), freePort(t)
+	addr, httpAddr := e2e.FreePort(t), e2e.FreePort(t)
 
 	// span 2s over 4 generations: one rotation every 500ms, staleness
 	// bound 500ms, guaranteed lifetime at least span-span/G = 1.5s.
-	d := startDaemon(t, bin, dir, addr, httpAddr, "-window", "2s", "-generations", "4")
-	c := dialRetry(t, addr)
+	d := e2e.StartDaemon(t, e2e.DaemonConfig{Bin: bin, Dir: dir, Addr: addr, HTTPAddr: httpAddr,
+		Extra: []string{"-window", "2s", "-generations", "4"}})
+	c := e2e.DialRetry(t, addr)
 	defer c.Close()
 
 	st, err := c.WindowStats()
 	if err != nil {
-		t.Fatalf("WINDOW_STATS: %v\n%s", err, d.out)
+		t.Fatalf("WINDOW_STATS: %v\n%s", err, d)
 	}
 	if st.Generations != 4 || st.SpanNanos != uint64(2*time.Second) {
 		t.Fatalf("WindowStats = %+v, want G=4 span=2s", st)
@@ -135,16 +136,17 @@ func TestIntegrationWindowCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the daemon binary")
 	}
-	bin := buildDaemon(t)
+	bin := e2e.BuildDaemon(t)
 	dir := t.TempDir()
-	addr, httpAddr := freePort(t), freePort(t)
+	addr, httpAddr := e2e.FreePort(t), e2e.FreePort(t)
 
 	// span 6s over 3 generations: rotation every 2s. Long enough that
 	// kill + restart (well under a second) fits inside one rotation
 	// period; short enough that the test sees expiry end to end.
-	winArgs := []string{"-window", "6s", "-generations", "3"}
-	d1 := startDaemon(t, bin, dir, addr, httpAddr, winArgs...)
-	c := dialRetry(t, addr)
+	cfg := e2e.DaemonConfig{Bin: bin, Dir: dir, Addr: addr, HTTPAddr: httpAddr,
+		Extra: []string{"-window", "6s", "-generations", "3"}}
+	d1 := e2e.StartDaemon(t, cfg)
+	c := e2e.DialRetry(t, addr)
 
 	// Cohort A lands pre-rotation; wait until at least one rotation is
 	// in the WAL so recovery has a ring to reconstruct, not just keys.
@@ -168,43 +170,40 @@ func TestIntegrationWindowCrashRecovery(t *testing.T) {
 	deadline := time.Now().Add(20 * time.Second)
 	for acked.Load() < 300 {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d inserts acked before deadline\n%s", acked.Load(), d1.out)
+			t.Fatalf("only %d inserts acked before deadline\n%s", acked.Load(), d1)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	// Snapshot the ring as close to the kill as possible; a rotation
 	// may still sneak between the read and the signal, so recovery is
 	// allowed to land one past it.
-	c2 := dialRetry(t, addr)
+	c2 := e2e.DialRetry(t, addr)
 	pre, err := c2.WindowStats()
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2.Close()
-	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	d1.cmd.Wait()
+	d1.Kill()
 	<-insertDone
 	c.Close()
 	n := int(acked.Load())
 	t.Logf("killed daemon with %d acked inserts, ring at head=%d rotations=%d", n, pre.Head, pre.Rotations)
 
 	// Restart: the generation ring is rebuilt from snapshot + WAL.
-	d2 := startDaemon(t, bin, dir, addr, httpAddr, winArgs...)
-	c3 := dialRetry(t, addr)
+	d2 := e2e.StartDaemon(t, cfg)
+	c3 := e2e.DialRetry(t, addr)
 	defer c3.Close()
 
 	post, err := c3.WindowStats()
 	if err != nil {
-		t.Fatalf("WINDOW_STATS after recovery: %v\n%s", err, d2.out)
+		t.Fatalf("WINDOW_STATS after recovery: %v\n%s", err, d2)
 	}
 	if post.Generations != 3 {
 		t.Fatalf("recovered ring has %d generations, want 3", post.Generations)
 	}
 	if post.Rotations != pre.Rotations && post.Rotations != pre.Rotations+1 {
 		t.Fatalf("recovered rotations = %d, want %d or %d\n%s",
-			post.Rotations, pre.Rotations, pre.Rotations+1, d2.out)
+			post.Rotations, pre.Rotations, pre.Rotations+1, d2)
 	}
 	if want := uint32((uint64(pre.Head) + post.Rotations - pre.Rotations) % 3); post.Head != want {
 		t.Fatalf("recovered head = %d, want %d (pre head %d, rotations %d->%d)",
