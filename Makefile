@@ -26,8 +26,10 @@ race:
 
 # race-serving focuses the race detector on the concurrent serving stack
 # (server, replication, clients) without the -short gating CI applies to
-# the full tree.
+# the full tree, and compiles every CLI (including mpcbf-trace) under
+# the race detector so instrumented builds stay green.
 race-serving:
+	$(GO) build -race ./cmd/...
 	$(GO) test -race -count=1 ./server/... ./cluster/... ./client/... ./window/...
 
 bench:
@@ -119,9 +121,12 @@ integration:
 # cluster-e2e builds the daemon and runs the replication end-to-end
 # test: 1 primary + 2 replicas, concurrent writers, a replica SIGKILLed
 # and restarted mid-stream, convergence to byte-identical filters, and
-# a read-scaling throughput smoke.
+# a read-scaling throughput smoke. The tracing e2e rides along: one
+# TRACE-enveloped batch fanned out over two primaries, spans with
+# commit-round attribution on both, the replica apply joined by WAL
+# offset, and the quiesced lag-in-time gauge ≈ 0.
 cluster-e2e:
-	$(GO) test -race -count=1 -run 'TestClusterE2E' -v ./cluster
+	$(GO) test -race -count=1 -run 'TestClusterE2E|TestClusterTraceE2E' -v ./cluster
 
 # window-e2e builds the daemon with -window and verifies the sliding
 # window end to end: keys expire after span + one rotation, in-window
@@ -205,10 +210,35 @@ bench-cluster:
 
 # obs-smoke boots the daemon with tracing, JSON logs, and the pprof
 # listener enabled, then scrapes /metrics, /debug/vars, /readyz,
-# /debug/requests, and /debug/pprof/goroutine — failing on any non-200
-# or unparseable body.
+# /debug/requests, /debug/traces, and /debug/pprof/goroutine — failing
+# on any non-200 or unparseable body. It then boots a 3-node fixture
+# (two primaries + a replica of the first), drives traced load through
+# the cluster-aware loadgen, and requires mpcbf-trace to stitch at
+# least one cross-node trace out of the /debug/traces rings.
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./server
+	$(GO) build -o /tmp/mpcbfd-obs ./cmd/mpcbfd
+	$(GO) build -o /tmp/mpcbf-loadgen ./cmd/mpcbf-loadgen
+	$(GO) build -o /tmp/mpcbf-trace ./cmd/mpcbf-trace
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/mpcbfd-obs -addr 127.0.0.1:46531 -http 127.0.0.1:46541 \
+		-dir $$dir/p1 >$$dir/p1.log 2>&1 & p1=$$!; \
+	/tmp/mpcbfd-obs -addr 127.0.0.1:46532 -http 127.0.0.1:46542 \
+		-dir $$dir/p2 >$$dir/p2.log 2>&1 & p2=$$!; \
+	trap "kill $$p1 $$p2 $$r1 2>/dev/null || true; rm -rf $$dir" EXIT; \
+	sleep 1; \
+	/tmp/mpcbfd-obs -addr 127.0.0.1:46533 -http 127.0.0.1:46543 \
+		-dir $$dir/r1 -replicate-from 127.0.0.1:46531 >$$dir/r1.log 2>&1 & r1=$$!; \
+	ok=; for i in $$(seq 50); do \
+	  if /tmp/mpcbf-loadgen -addrs 127.0.0.1:46531,127.0.0.1:46532 -duration 2s \
+	      -c 4 -batch 8 -trace-sample 10 -seed 21 -json $$dir/load.json 2>/dev/null; \
+	      then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; test -n "$$ok" || { cat $$dir/p1.log $$dir/p2.log; exit 1; }; \
+	sleep 1.2; \
+	/tmp/mpcbf-trace -nodes 127.0.0.1:46541,127.0.0.1:46542,127.0.0.1:46543 \
+		| tee $$dir/traces.txt; \
+	grep -q '^trace ' $$dir/traces.txt
 
 ci: build lint race integration window-e2e cluster-e2e ns-e2e obs-smoke loadgen-smoke sim-multi-seed
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

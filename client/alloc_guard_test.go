@@ -25,7 +25,7 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 	dst := make([]byte, 0, 2048)
 
 	single := func() {
-		dst = encodeRequest(dst[:0], wire.OpInsert, nil, key, nil, 0, wire.NsConfig{})
+		dst = encodeRequest(dst[:0], wire.OpInsert, nil, key, nil, 0, wire.NsConfig{}, Trace{})
 	}
 	single()
 	if avg := testing.AllocsPerRun(100, single); avg != 0 {
@@ -34,7 +34,7 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 
 	ns := []byte("tenant-a")
 	namespaced := func() {
-		dst = encodeRequest(dst[:0], wire.OpInsert, ns, key, nil, 0, wire.NsConfig{})
+		dst = encodeRequest(dst[:0], wire.OpInsert, ns, key, nil, 0, wire.NsConfig{}, Trace{})
 	}
 	namespaced()
 	if avg := testing.AllocsPerRun(100, namespaced); avg != 0 {
@@ -42,7 +42,7 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 	}
 
 	batch := func() {
-		dst = encodeRequest(dst[:0], wire.OpContainsBatch, nil, nil, keys, 0, wire.NsConfig{})
+		dst = encodeRequest(dst[:0], wire.OpContainsBatch, nil, nil, keys, 0, wire.NsConfig{}, Trace{})
 	}
 	batch()
 	if avg := testing.AllocsPerRun(100, batch); avg != 0 {
@@ -50,11 +50,20 @@ func TestClientEncodeZeroAllocs(t *testing.T) {
 	}
 
 	ttlBatch := func() {
-		dst = encodeRequest(dst[:0], wire.OpInsertTTLBatch, nil, nil, keys, 1e9, wire.NsConfig{})
+		dst = encodeRequest(dst[:0], wire.OpInsertTTLBatch, nil, nil, keys, 1e9, wire.NsConfig{}, Trace{})
 	}
 	ttlBatch()
 	if avg := testing.AllocsPerRun(100, ttlBatch); avg != 0 {
 		t.Errorf("encode ttl batch: %.1f allocs/op, want 0", avg)
+	}
+
+	tc := Trace{ID: [wire.TraceIDLen]byte{1, 2, 3}, Parent: 7}
+	traced := func() {
+		dst = encodeRequest(dst[:0], wire.OpInsert, ns, key, nil, 0, wire.NsConfig{}, tc)
+	}
+	traced()
+	if avg := testing.AllocsPerRun(100, traced); avg != 0 {
+		t.Errorf("encode traced namespaced: %.1f allocs/op, want 0", avg)
 	}
 
 	flags := make([]bool, len(keys))

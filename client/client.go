@@ -15,6 +15,8 @@ package client
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -183,13 +185,48 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// Trace is a distributed-trace context. An active Trace wraps the
+// request in the wire TRACE envelope (outermost, before any NAMESPACED
+// wrap), so the daemon upgrades it to a full per-stage span carrying
+// these ids — visible at /debug/traces and stitchable across nodes by
+// mpcbf-trace. The zero Trace is inactive and adds zero wire bytes.
+type Trace struct {
+	// ID is the 16-byte trace id shared by every span of one logical
+	// operation, including all sub-batches of a cluster fan-out.
+	ID [wire.TraceIDLen]byte
+	// Parent is the client-side span id the request is a child of (0 for
+	// a root span).
+	Parent uint64
+}
+
+// NewTrace returns a Trace with a fresh random id.
+func NewTrace() Trace {
+	var t Trace
+	if _, err := rand.Read(t.ID[:]); err != nil {
+		panic("mpcbfd: trace id entropy unavailable: " + err.Error())
+	}
+	return t
+}
+
+// Active reports whether the Trace carries an id (the zero Trace does
+// not and encodes nothing).
+func (t Trace) Active() bool { return t.ID != [wire.TraceIDLen]byte{} }
+
+// String renders the trace id as hex — the spelling /debug/traces and
+// mpcbf-trace use.
+func (t Trace) String() string { return hex.EncodeToString(t.ID[:]) }
+
 // encodeRequest encodes one request payload into dst from plain
 // arguments — no per-call closure, so the steady-state encode path does
 // not allocate. Exactly one of key/keys is meaningful per opcode; ttl is
 // read only by the TTL ops, cfg only by CREATE_NS. A non-empty ns wraps
 // data ops in the NAMESPACED envelope; the namespace admin ops carry
-// their name inline instead.
-func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig) []byte {
+// their name inline instead. An active tc prepends the TRACE envelope
+// outermost — before NAMESPACED and around the admin ops too.
+func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig, tc Trace) []byte {
+	if tc.Active() {
+		dst = wire.AppendTrace(dst, tc.ID, tc.Parent)
+	}
 	switch op {
 	case wire.OpNsCreate:
 		return wire.AppendNsCreateRequest(dst, ns, cfg)
@@ -217,9 +254,9 @@ func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint6
 	}
 }
 
-// do runs one non-namespaced operation; see doNS.
+// do runs one non-namespaced, untraced operation; see doNS.
 func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, error) {
-	return c.doNS(op, nil, key, keys, ttl, wire.NsConfig{})
+	return c.doNS(op, nil, key, keys, ttl, wire.NsConfig{}, Trace{})
 }
 
 // doNS runs one operation, re-encoding the request from its arguments on
@@ -228,7 +265,7 @@ func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, err
 // connections; transport failures retry idempotent ops with backoff and
 // convert mutation interruptions to ErrMaybeApplied. Callers must not
 // hold c.mu.
-func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig) ([]byte, error) {
+func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig, tc Trace) ([]byte, error) {
 	if len(ns) > wire.MaxNamespaceLen {
 		return nil, fmt.Errorf("mpcbfd: namespace name %d bytes long (max %d)", len(ns), wire.MaxNamespaceLen)
 	}
@@ -252,7 +289,7 @@ func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wi
 				continue
 			}
 		}
-		payload := encodeRequest(c.scratch(), op, ns, key, keys, ttl, cfg)
+		payload := encodeRequest(c.scratch(), op, ns, key, keys, ttl, cfg, tc)
 		// Keep the grown buffer: encodeRequest appends into scratch, and
 		// without writing the result back every call would regrow from the
 		// response-sized buffer and allocate forever.
@@ -477,3 +514,88 @@ func (c *Client) Dump() ([]byte, error) {
 
 // scratch hands out the reused request buffer; callers hold c.mu.
 func (c *Client) scratch() []byte { return c.buf[:0] }
+
+// Traced returns a view of the client whose every request is wrapped in
+// the TRACE envelope carrying tc. The view shares the connection; it is
+// a cheap value, built per call site, so one Client can serve many
+// concurrent traces.
+func (c *Client) Traced(tc Trace) TracedClient { return TracedClient{c: c, tc: tc} }
+
+// TracedClient issues data operations inside a TRACE envelope,
+// optionally namespaced (see Namespace.Traced). It is a value-type
+// view: copying it is cheap and all copies share the connection.
+type TracedClient struct {
+	c  *Client
+	tc Trace
+	ns []byte
+}
+
+// Insert adds key, traced.
+func (t TracedClient) Insert(key []byte) error {
+	_, err := t.c.doNS(wire.OpInsert, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
+	return err
+}
+
+// Delete removes a previously inserted key, traced.
+func (t TracedClient) Delete(key []byte) error {
+	_, err := t.c.doNS(wire.OpDelete, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
+	return err
+}
+
+// Contains reports whether key may be in the set, traced.
+func (t TracedClient) Contains(key []byte) (bool, error) {
+	body, err := t.c.doNS(wire.OpContains, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
+	if err != nil {
+		return false, err
+	}
+	return wire.DecodeBool(body)
+}
+
+// EstimateCount returns an upper bound on key's multiplicity, traced.
+func (t TracedClient) EstimateCount(key []byte) (int, error) {
+	body, err := t.c.doNS(wire.OpEstimate, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
+	if err != nil {
+		return 0, err
+	}
+	v, err := wire.DecodeU64(body)
+	return int(v), err
+}
+
+// InsertBatch inserts keys as one traced request.
+func (t TracedClient) InsertBatch(keys [][]byte) error {
+	_, err := t.c.doNS(wire.OpInsertBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
+	return err
+}
+
+// DeleteBatch deletes keys as one traced request, returning
+// order-preserving removal flags.
+func (t TracedClient) DeleteBatch(keys [][]byte) ([]bool, error) {
+	body, err := t.c.doNS(wire.OpDeleteBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBoolsInto(body, nil)
+}
+
+// ContainsBatch answers membership for keys, traced, order-preserving.
+func (t TracedClient) ContainsBatch(keys [][]byte) ([]bool, error) {
+	body, err := t.c.doNS(wire.OpContainsBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBoolsInto(body, nil)
+}
+
+// InsertTTL inserts key with a per-key lifetime, traced (windowed
+// daemons only).
+func (t TracedClient) InsertTTL(key []byte, ttl time.Duration) error {
+	_, err := t.c.doNS(wire.OpInsertTTL, t.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc)
+	return err
+}
+
+// InsertTTLBatch inserts keys sharing one TTL as a single traced
+// request (windowed daemons only).
+func (t TracedClient) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	_, err := t.c.doNS(wire.OpInsertTTLBatch, t.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc)
+	return err
+}

@@ -22,14 +22,14 @@ import (
 // effective configuration succeeds idempotently; with a different
 // configuration it fails with *ServerError.
 func (c *Client) CreateNamespace(name string, cfg wire.NsConfig) error {
-	_, err := c.doNS(wire.OpNsCreate, []byte(name), nil, nil, 0, cfg)
+	_, err := c.doNS(wire.OpNsCreate, []byte(name), nil, nil, 0, cfg, Trace{})
 	return err
 }
 
 // DropNamespace deletes the named filter and everything in it.
 // Dropping a name that does not exist succeeds (idempotent).
 func (c *Client) DropNamespace(name string) error {
-	_, err := c.doNS(wire.OpNsDrop, []byte(name), nil, nil, 0, wire.NsConfig{})
+	_, err := c.doNS(wire.OpNsDrop, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{})
 	return err
 }
 
@@ -46,7 +46,7 @@ func (c *Client) ListNamespaces() ([]string, error) {
 // eviction/recovery counters. The empty name reports the default
 // (anonymous) namespace.
 func (c *Client) NamespaceStats(name string) (wire.NsStats, error) {
-	body, err := c.doNS(wire.OpNsStats, []byte(name), nil, nil, 0, wire.NsConfig{})
+	body, err := c.doNS(wire.OpNsStats, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return wire.NsStats{}, err
 	}
@@ -72,21 +72,27 @@ type Namespace struct {
 // Name returns the namespace name this view targets.
 func (n Namespace) Name() string { return string(n.ns) }
 
+// Traced returns a view issuing this namespace's data operations inside
+// a TRACE envelope carrying tc; see Client.Traced.
+func (n Namespace) Traced(tc Trace) TracedClient {
+	return TracedClient{c: n.c, tc: tc, ns: n.ns}
+}
+
 // Insert adds key to the namespace.
 func (n Namespace) Insert(key []byte) error {
-	_, err := n.c.doNS(wire.OpInsert, n.ns, key, nil, 0, wire.NsConfig{})
+	_, err := n.c.doNS(wire.OpInsert, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
 	return err
 }
 
 // Delete removes a previously inserted key from the namespace.
 func (n Namespace) Delete(key []byte) error {
-	_, err := n.c.doNS(wire.OpDelete, n.ns, key, nil, 0, wire.NsConfig{})
+	_, err := n.c.doNS(wire.OpDelete, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
 	return err
 }
 
 // Contains reports whether key may be in the namespace.
 func (n Namespace) Contains(key []byte) (bool, error) {
-	body, err := n.c.doNS(wire.OpContains, n.ns, key, nil, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpContains, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return false, err
 	}
@@ -96,7 +102,7 @@ func (n Namespace) Contains(key []byte) (bool, error) {
 // EstimateCount returns an upper bound on key's multiplicity in the
 // namespace.
 func (n Namespace) EstimateCount(key []byte) (int, error) {
-	body, err := n.c.doNS(wire.OpEstimate, n.ns, key, nil, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpEstimate, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return 0, err
 	}
@@ -106,7 +112,7 @@ func (n Namespace) EstimateCount(key []byte) (int, error) {
 
 // Len returns the namespace's current element count.
 func (n Namespace) Len() (int, error) {
-	body, err := n.c.doNS(wire.OpLen, n.ns, nil, nil, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpLen, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return 0, err
 	}
@@ -116,7 +122,7 @@ func (n Namespace) Len() (int, error) {
 
 // InsertBatch inserts keys into the namespace as one request.
 func (n Namespace) InsertBatch(keys [][]byte) error {
-	_, err := n.c.doNS(wire.OpInsertBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	_, err := n.c.doNS(wire.OpInsertBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
 	return err
 }
 
@@ -128,7 +134,7 @@ func (n Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
 
 // DeleteBatchInto is DeleteBatch decoding into dst's backing array.
 func (n Namespace) DeleteBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := n.c.doNS(wire.OpDeleteBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpDeleteBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +148,7 @@ func (n Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
 
 // ContainsBatchInto is ContainsBatch decoding into dst's backing array.
 func (n Namespace) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := n.c.doNS(wire.OpContainsBatch, n.ns, nil, keys, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpContainsBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return nil, err
 	}
@@ -152,20 +158,20 @@ func (n Namespace) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) 
 // InsertTTL inserts key with a per-key lifetime (windowed namespaces
 // only; a non-windowed namespace answers with *ServerError).
 func (n Namespace) InsertTTL(key []byte, ttl time.Duration) error {
-	_, err := n.c.doNS(wire.OpInsertTTL, n.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{})
+	_, err := n.c.doNS(wire.OpInsertTTL, n.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{})
 	return err
 }
 
 // InsertTTLBatch inserts keys sharing one TTL as a single request
 // (windowed namespaces only).
 func (n Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	_, err := n.c.doNS(wire.OpInsertTTLBatch, n.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{})
+	_, err := n.c.doNS(wire.OpInsertTTLBatch, n.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{})
 	return err
 }
 
 // WindowStats reports a windowed namespace's generation ring.
 func (n Namespace) WindowStats() (wire.WindowStats, error) {
-	body, err := n.c.doNS(wire.OpWindowStats, n.ns, nil, nil, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpWindowStats, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return wire.WindowStats{}, err
 	}
@@ -182,7 +188,7 @@ func (n Namespace) Stats() (wire.NsStats, error) {
 // window.UnmarshalFilter when window.IsWindowed reports a windowed
 // encoding). The returned slice is the caller's to keep.
 func (n Namespace) Dump() ([]byte, error) {
-	body, err := n.c.doNS(wire.OpDump, n.ns, nil, nil, 0, wire.NsConfig{})
+	body, err := n.c.doNS(wire.OpDump, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
 	if err != nil {
 		return nil, err
 	}

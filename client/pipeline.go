@@ -38,6 +38,7 @@ type Pipeline struct {
 	buf     []byte // queued frames: [u32 len][payload]...
 	reqs    []pipeReq
 	results []PipeResult
+	tc      Trace // applied to every subsequently queued request
 }
 
 type pipeReq struct {
@@ -63,6 +64,11 @@ func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
 // Pending returns the number of queued, unflushed requests.
 func (p *Pipeline) Pending() int { return len(p.reqs) }
 
+// SetTrace sets the trace context wrapped around every subsequently
+// queued request (the TRACE envelope, outermost). The zero Trace turns
+// tracing back off. Requests already queued are unaffected.
+func (p *Pipeline) SetTrace(tc Trace) { p.tc = tc }
+
 func (p *Pipeline) add(op byte, ns, key []byte, keys [][]byte, ttl uint64) {
 	p.addCfg(op, ns, key, keys, ttl, wire.NsConfig{})
 }
@@ -76,7 +82,7 @@ func (p *Pipeline) addCfg(op byte, ns, key []byte, keys [][]byte, ttl uint64, cf
 	}
 	start := len(p.buf)
 	p.buf = append(p.buf, 0, 0, 0, 0)
-	p.buf = encodeRequest(p.buf, op, ns, key, keys, ttl, cfg)
+	p.buf = encodeRequest(p.buf, op, ns, key, keys, ttl, cfg, p.tc)
 	binary.LittleEndian.PutUint32(p.buf[start:], uint32(len(p.buf)-start-4))
 	// The recorded op is the INNER op even under a namespace envelope:
 	// Flush decodes responses and attributes transport failures by what

@@ -232,26 +232,34 @@ func (n *node) read(op func(*client.Client) error) error {
 
 // Insert adds key on its owning primary.
 func (c *Client) Insert(key []byte) error {
+	return c.insert(key, client.Trace{})
+}
+
+func (c *Client) insert(key []byte, tc client.Trace) error {
 	n := c.owner(key)
 	n.requests.Add(1)
 	cl, err := n.primaryClient()
 	if err != nil {
 		return err
 	}
-	err = cl.Insert(key)
+	err = cl.Traced(tc).Insert(key)
 	n.noteMutation(err)
 	return err
 }
 
 // Delete removes key on its owning primary.
 func (c *Client) Delete(key []byte) error {
+	return c.delete(key, client.Trace{})
+}
+
+func (c *Client) delete(key []byte, tc client.Trace) error {
 	n := c.owner(key)
 	n.requests.Add(1)
 	cl, err := n.primaryClient()
 	if err != nil {
 		return err
 	}
-	err = cl.Delete(key)
+	err = cl.Traced(tc).Delete(key)
 	n.noteMutation(err)
 	return err
 }
@@ -259,23 +267,31 @@ func (c *Client) Delete(key []byte) error {
 // InsertTTL adds key on its owning primary with a time-to-live. The
 // node must be serving a windowed store.
 func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
+	return c.insertTTL(key, ttl, client.Trace{})
+}
+
+func (c *Client) insertTTL(key []byte, ttl time.Duration, tc client.Trace) error {
 	n := c.owner(key)
 	n.requests.Add(1)
 	cl, err := n.primaryClient()
 	if err != nil {
 		return err
 	}
-	err = cl.InsertTTL(key, ttl)
+	err = cl.Traced(tc).InsertTTL(key, ttl)
 	n.noteMutation(err)
 	return err
 }
 
 // Contains answers membership from the owning node's read set.
 func (c *Client) Contains(key []byte) (bool, error) {
+	return c.contains(key, client.Trace{})
+}
+
+func (c *Client) contains(key []byte, tc client.Trace) (bool, error) {
 	var ok bool
 	err := c.owner(key).read(func(cl *client.Client) error {
 		var err error
-		ok, err = cl.Contains(key)
+		ok, err = cl.Traced(tc).Contains(key)
 		return err
 	})
 	return ok, err
@@ -284,10 +300,14 @@ func (c *Client) Contains(key []byte) (bool, error) {
 // EstimateCount returns the multiplicity upper bound from the owning
 // node's read set.
 func (c *Client) EstimateCount(key []byte) (int, error) {
+	return c.estimateCount(key, client.Trace{})
+}
+
+func (c *Client) estimateCount(key []byte, tc client.Trace) (int, error) {
 	var v int
 	err := c.owner(key).read(func(cl *client.Client) error {
 		var err error
-		v, err = cl.EstimateCount(key)
+		v, err = cl.Traced(tc).EstimateCount(key)
 		return err
 	})
 	return v, err
@@ -349,6 +369,10 @@ func (c *Client) fanOut(perNode [][][]byte, fn func(n *node, keys [][]byte) erro
 // and others not: each sub-batch is atomic per node, the whole batch is
 // not.
 func (c *Client) InsertBatch(keys [][]byte) error {
+	return c.insertBatch(keys, client.Trace{})
+}
+
+func (c *Client) insertBatch(keys [][]byte, tc client.Trace) error {
 	perNode, _ := c.split(keys)
 	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
 		n.requests.Add(1)
@@ -358,7 +382,7 @@ func (c *Client) InsertBatch(keys [][]byte) error {
 		if err != nil {
 			return err
 		}
-		err = cl.InsertBatch(sub)
+		err = cl.Traced(tc).InsertBatch(sub)
 		n.noteMutation(err)
 		return err
 	})
@@ -368,6 +392,10 @@ func (c *Client) InsertBatch(keys [][]byte) error {
 // owning primary like InsertBatch. The same partial-application caveat
 // applies: each node's sub-batch is atomic, the whole batch is not.
 func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	return c.insertTTLBatch(keys, ttl, client.Trace{})
+}
+
+func (c *Client) insertTTLBatch(keys [][]byte, ttl time.Duration, tc client.Trace) error {
 	perNode, _ := c.split(keys)
 	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
 		n.requests.Add(1)
@@ -377,7 +405,7 @@ func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
 		if err != nil {
 			return err
 		}
-		err = cl.InsertTTLBatch(sub, ttl)
+		err = cl.Traced(tc).InsertTTLBatch(sub, ttl)
 		n.noteMutation(err)
 		return err
 	})
@@ -422,6 +450,10 @@ func (c *Client) WindowStats() (map[string]wire.WindowStats, error) {
 // DeleteBatch deletes keys across the cluster and re-stitches the
 // per-key removal flags in input order.
 func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
+	return c.deleteBatch(keys, client.Trace{})
+}
+
+func (c *Client) deleteBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
 	perNode, perNodeIdx := c.split(keys)
 	out := make([]bool, len(keys))
 	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
@@ -432,7 +464,7 @@ func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 		if err != nil {
 			return err
 		}
-		flags, err := cl.DeleteBatch(sub)
+		flags, err := cl.Traced(tc).DeleteBatch(sub)
 		if err != nil {
 			n.noteMutation(err)
 			return err
@@ -449,6 +481,10 @@ func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 // re-stitched in input order. Each node's sub-batch goes to its read
 // set with failover.
 func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
+	return c.containsBatch(keys, client.Trace{})
+}
+
+func (c *Client) containsBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
 	perNode, perNodeIdx := c.split(keys)
 	out := make([]bool, len(keys))
 	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
@@ -457,7 +493,7 @@ func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 		var flags []bool
 		rerr := n.read(func(cl *client.Client) error {
 			var err error
-			flags, err = cl.ContainsBatch(sub)
+			flags, err = cl.Traced(tc).ContainsBatch(sub)
 			return err
 		})
 		if rerr != nil {
@@ -489,6 +525,65 @@ func (c *Client) stitch(out []bool, perNodeIdx [][]int, n *node, flags []bool) e
 		out[pos] = flags[i]
 	}
 	return nil
+}
+
+// Traced returns a view whose operations all carry the trace context
+// tc. Every sub-batch of a fanned-out batch is sent inside a TRACE
+// envelope bearing the same trace id, so the /debug/traces rings of
+// every node that handled part of the batch hold spans with that id —
+// the mpcbf-trace stitcher joins them back into one fan-out tree.
+// Create one context per logical operation with client.NewTrace.
+func (c *Client) Traced(tc client.Trace) TracedCluster {
+	return TracedCluster{c: c, tc: tc}
+}
+
+// TracedCluster is a view of a cluster Client whose operations carry a
+// trace context; see Client.Traced. It holds no state of its own and is
+// safe for concurrent use (though sharing one trace id across unrelated
+// operations makes stitched traces ambiguous).
+type TracedCluster struct {
+	c  *Client
+	tc client.Trace
+}
+
+// Context returns the trace context this view stamps on operations.
+func (t TracedCluster) Context() client.Trace { return t.tc }
+
+// Insert adds key on its owning primary, traced.
+func (t TracedCluster) Insert(key []byte) error { return t.c.insert(key, t.tc) }
+
+// Delete removes key on its owning primary, traced.
+func (t TracedCluster) Delete(key []byte) error { return t.c.delete(key, t.tc) }
+
+// InsertTTL adds key with a time-to-live on its owning primary, traced.
+func (t TracedCluster) InsertTTL(key []byte, ttl time.Duration) error {
+	return t.c.insertTTL(key, ttl, t.tc)
+}
+
+// Contains answers membership from the owning node's read set, traced.
+func (t TracedCluster) Contains(key []byte) (bool, error) { return t.c.contains(key, t.tc) }
+
+// EstimateCount returns the multiplicity upper bound, traced.
+func (t TracedCluster) EstimateCount(key []byte) (int, error) { return t.c.estimateCount(key, t.tc) }
+
+// InsertBatch inserts keys with every per-node sub-batch carrying the
+// view's trace id.
+func (t TracedCluster) InsertBatch(keys [][]byte) error { return t.c.insertBatch(keys, t.tc) }
+
+// InsertTTLBatch inserts keys sharing one TTL, every sub-batch traced.
+func (t TracedCluster) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
+	return t.c.insertTTLBatch(keys, ttl, t.tc)
+}
+
+// DeleteBatch deletes keys across the cluster, every sub-batch traced.
+func (t TracedCluster) DeleteBatch(keys [][]byte) ([]bool, error) {
+	return t.c.deleteBatch(keys, t.tc)
+}
+
+// ContainsBatch answers membership across the cluster, every sub-batch
+// traced.
+func (t TracedCluster) ContainsBatch(keys [][]byte) ([]bool, error) {
+	return t.c.containsBatch(keys, t.tc)
 }
 
 // NodeStats is a point-in-time view of one node's routing counters plus

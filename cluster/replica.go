@@ -83,6 +83,7 @@ type Replica struct {
 	frames     atomic.Uint64 // stream frames applied (records + snapshots)
 	lagRecords atomic.Uint64 // primary cum records - local, per last frame
 	lagBytes   atomic.Uint64
+	lagNanos   atomic.Int64 // time lag per the last stamped frame, see noteTimeLag
 	lastFrame  atomic.Int64 // unix nanos of the last frame, 0 = never
 
 	applyHist server.Histogram // latency of applying one non-heartbeat frame
@@ -212,6 +213,7 @@ func (r *Replica) apply(f wire.RepFrame) error {
 		return fmt.Errorf("unknown stream frame type 0x%02x", f.Type)
 	}
 	r.noteLag(f.CumRecords, f.CumBytes)
+	r.noteTimeLag(f.SentUnixNanos)
 	r.connected.Store(true)
 	r.lastFrame.Store(time.Now().UnixNano())
 	return nil
@@ -234,6 +236,25 @@ func sub64(a, b uint64) uint64 {
 	return a - b
 }
 
+// noteTimeLag records replication lag in time: the interval between the
+// primary stamping a frame (heartbeats included) and the replica fully
+// applying it. Because heartbeats keep flowing on an idle stream, a
+// quiesced but healthy pair converges to ≈ 0 s — unlike the byte/record
+// lag gauges, which cannot distinguish "caught up" from "nothing ever
+// written". Frames from pre-stamp primaries (SentUnixNanos 0) are
+// skipped, and clock skew that would make the lag negative clamps to 0
+// rather than reporting time travel.
+func (r *Replica) noteTimeLag(sentUnixNanos uint64) {
+	if sentUnixNanos == 0 {
+		return
+	}
+	lag := time.Now().UnixNano() - int64(sentUnixNanos)
+	if lag < 0 {
+		lag = 0
+	}
+	r.lagNanos.Store(lag)
+}
+
 // ReplicaStats is a point-in-time view of a Replica's sync state.
 type ReplicaStats struct {
 	Connected  bool      `json:"connected"`
@@ -241,6 +262,7 @@ type ReplicaStats struct {
 	Frames     uint64    `json:"frames"`
 	LagRecords uint64    `json:"lag_records"` // records behind the primary, per the last frame
 	LagBytes   uint64    `json:"lag_bytes"`   // WAL bytes behind the primary, per the last frame
+	LagSeconds float64   `json:"lag_seconds"` // stamp-to-apply delay of the last stamped frame
 	LastFrame  time.Time `json:"last_frame"`
 
 	ApplyNs server.HistSnapshot `json:"apply_ns"` // per-frame apply latency
@@ -254,6 +276,7 @@ func (r *Replica) Stats() ReplicaStats {
 		Frames:     r.frames.Load(),
 		LagRecords: r.lagRecords.Load(),
 		LagBytes:   r.lagBytes.Load(),
+		LagSeconds: time.Duration(r.lagNanos.Load()).Seconds(),
 	}
 	if ns := r.lastFrame.Load(); ns != 0 {
 		st.LastFrame = time.Unix(0, ns)
@@ -286,6 +309,9 @@ func (r *Replica) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP mpcbfd_replica_lag_bytes WAL bytes behind the primary, per the last stream frame.\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_lag_bytes gauge\n")
 	fmt.Fprintf(w, "mpcbfd_replica_lag_bytes %d\n", st.LagBytes)
+	fmt.Fprintf(w, "# HELP mpcbfd_replica_lag_seconds Stamp-to-apply delay of the last stamped frame; ≈0 on an idle healthy pair.\n")
+	fmt.Fprintf(w, "# TYPE mpcbfd_replica_lag_seconds gauge\n")
+	fmt.Fprintf(w, "mpcbfd_replica_lag_seconds %g\n", st.LagSeconds)
 	fmt.Fprintf(w, "# HELP mpcbfd_replica_bootstraps_total Snapshot bootstraps consumed.\n")
 	fmt.Fprintf(w, "# TYPE mpcbfd_replica_bootstraps_total counter\n")
 	fmt.Fprintf(w, "mpcbfd_replica_bootstraps_total %d\n", st.Bootstraps)

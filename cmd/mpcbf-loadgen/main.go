@@ -16,7 +16,8 @@
 // JSON result (-json), and -bench merges the result into a named entry
 // of a bench file such as BENCH_cluster.json. Same seed, same workload:
 // every worker's op and key stream is a pure function of (seed, worker
-// id).
+// id). -trace-sample N wraps 1 in N ops in a TRACE envelope and prints
+// the slowest sampled trace ids, ready for mpcbf-trace.
 package main
 
 import (
@@ -56,6 +57,7 @@ func main() {
 		nsBits   = flag.Uint64("ns-mem", 1<<21, "memory bits per created namespace")
 		nsItems  = flag.Uint64("ns-items", 10_000, "expected items per created namespace")
 		recon    = flag.Bool("reconnect", false, "redial transparently on connection loss")
+		traceN   = flag.Int("trace-sample", 0, "trace 1 in N ops per worker; slowest trace ids land in the summary (0 = off)")
 		jsonOut  = flag.String("json", "", "write the JSON result here ('-' = stdout)")
 		bench    = flag.String("bench", "", "merge the result into this bench JSON file")
 		benchKey = flag.String("bench-name", "", "entry name inside -bench (required with -bench)")
@@ -84,6 +86,7 @@ func main() {
 		Seed:          *seed,
 		TTL:           *ttl,
 		Reconnect:     *recon,
+		TraceSample:   *traceN,
 	}
 	switch *mode {
 	case "closed", "open":

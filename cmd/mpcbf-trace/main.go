@@ -1,0 +1,247 @@
+// Command mpcbf-trace stitches distributed traces out of the
+// /debug/traces rings of a set of mpcbfd nodes.
+//
+//	mpcbf-trace -nodes 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103
+//
+// Each node's ring holds the spans of requests that arrived inside a
+// TRACE envelope (client-propagated 16-byte trace id) plus, on
+// replicas, the WAL apply spans. The stitcher groups spans by trace id
+// across every scraped node — a batch fanned out by the cluster client
+// appears once per owning primary under the same id — and joins each
+// primary mutation span to the replica apply span covering its WAL
+// position ([wal_off, wal_end) containment within the same segment).
+//
+// Output is a per-trace tree: the client fan-out at the root, one
+// request span per node with the server's stage breakdown
+// (decode/filter/wal/fsync/encode) and group-commit attribution (which
+// round made it durable and how many records shared the fsync), and the
+// joined replica applies indented underneath. -trace narrows to one id
+// (prefix match), -slow keeps only traces whose slowest span is at
+// least the given duration, and -json emits the stitched structure for
+// tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/server"
+)
+
+// span is one TraceEntry tagged with the node it was scraped from.
+type span struct {
+	Node string `json:"node"`
+	server.TraceEntry
+}
+
+// stitched is one cross-node trace: the request spans sharing a trace
+// id, each with the replica applies joined by WAL-offset containment.
+type stitched struct {
+	TraceID    string         `json:"trace_id"`
+	ParentSpan uint64         `json:"parent_span,omitempty"` // client-side root span id
+	Nodes      int            `json:"nodes"`                 // distinct nodes with request spans
+	SlowestNs  int64          `json:"slowest_ns"`            // slowest request span
+	Spans      []stitchedSpan `json:"spans"`
+}
+
+// stitchedSpan is one node's request span plus its joined applies.
+type stitchedSpan struct {
+	span
+	Applies []span `json:"replica_applies,omitempty"`
+}
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated debug-HTTP addresses to scrape (host:port)")
+		traceID = flag.String("trace", "", "only the trace whose id starts with this hex prefix")
+		slow    = flag.Duration("slow", 0, "only traces whose slowest span is at least this long")
+		jsonOut = flag.Bool("json", false, "emit stitched traces as JSON")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-node scrape timeout")
+	)
+	flag.Parse()
+	addrs := splitList(*nodes)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-nodes required (comma-separated host:port debug addresses)"))
+	}
+
+	var spans, applies []span
+	scraped := 0
+	hc := &http.Client{Timeout: *timeout}
+	for _, addr := range addrs {
+		rep, err := scrape(hc, addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcbf-trace: scrape %s: %v\n", addr, err)
+			continue
+		}
+		scraped++
+		for _, e := range rep.Spans {
+			if e.TraceID != "" {
+				spans = append(spans, span{Node: addr, TraceEntry: e})
+			}
+		}
+		for _, e := range rep.ReplicaApplies {
+			applies = append(applies, span{Node: addr, TraceEntry: e})
+		}
+	}
+	if scraped == 0 {
+		fatal(fmt.Errorf("no node could be scraped"))
+	}
+
+	traces := stitch(spans, applies)
+	traces = filter(traces, *traceID, *slow)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(traces)
+		return
+	}
+	if len(traces) == 0 {
+		fmt.Printf("no stitched traces across %d node(s) (rings empty or filtered out)\n", scraped)
+		os.Exit(1)
+	}
+	for _, t := range traces {
+		render(os.Stdout, t)
+	}
+}
+
+// scrape fetches one node's /debug/traces document.
+func scrape(hc *http.Client, addr string) (server.TracesReport, error) {
+	var rep server.TracesReport
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := hc.Get(url + "/debug/traces")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return rep, fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("decode: %w", err)
+	}
+	return rep, nil
+}
+
+// stitch groups request spans by trace id and joins each mutation span
+// to the replica applies whose WAL range contains its position.
+func stitch(spans, applies []span) []stitched {
+	byID := map[string][]span{}
+	for _, s := range spans {
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	out := make([]stitched, 0, len(byID))
+	for id, group := range byID {
+		// Oldest first within a trace: fan-out order is not recoverable,
+		// but arrival time reads naturally.
+		sort.Slice(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		st := stitched{TraceID: id, ParentSpan: group[0].ParentSpan}
+		nodes := map[string]bool{}
+		for _, s := range group {
+			nodes[s.Node] = true
+			if s.TotalNs > st.SlowestNs {
+				st.SlowestNs = s.TotalNs
+			}
+			st.Spans = append(st.Spans, stitchedSpan{span: s, Applies: joinApplies(s, applies)})
+		}
+		st.Nodes = len(nodes)
+		out = append(out, st)
+	}
+	// Newest trace first, matching the rings.
+	sort.Slice(out, func(i, j int) bool { return out[i].Spans[0].Start.After(out[j].Spans[0].Start) })
+	return out
+}
+
+// joinApplies returns the replica apply spans covering s's WAL
+// position: same segment, offset within [wal_off, wal_end). Read-only
+// spans (no WAL position) join nothing.
+func joinApplies(s span, applies []span) []span {
+	if s.WALSeq == 0 && s.WALOff == 0 {
+		return nil
+	}
+	var out []span
+	for _, a := range applies {
+		if a.WALSeq == s.WALSeq && a.WALEnd > a.WALOff && s.WALOff >= a.WALOff && s.WALOff < a.WALEnd {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// filter applies -trace and -slow.
+func filter(traces []stitched, idPrefix string, slow time.Duration) []stitched {
+	out := traces[:0]
+	for _, t := range traces {
+		if idPrefix != "" && !strings.HasPrefix(t.TraceID, idPrefix) {
+			continue
+		}
+		if slow > 0 && t.SlowestNs < slow.Nanoseconds() {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// render prints one stitched trace as a tree.
+func render(w io.Writer, t stitched) {
+	fmt.Fprintf(w, "trace %s — %d span(s) on %d node(s), slowest %s\n",
+		t.TraceID, len(t.Spans), t.Nodes, ns(t.SlowestNs))
+	if t.ParentSpan != 0 {
+		fmt.Fprintf(w, "  client root span %d\n", t.ParentSpan)
+	}
+	for _, s := range t.Spans {
+		fmt.Fprintf(w, "  ├─ %s %s id=%d", s.Node, s.Op, s.ID)
+		if s.NS != "" {
+			fmt.Fprintf(w, " ns=%s", s.NS)
+		}
+		fmt.Fprintf(w, " keys=%d total=%s", s.Keys, ns(s.TotalNs))
+		if s.Failed {
+			fmt.Fprintf(w, " FAILED")
+		}
+		fmt.Fprintln(w)
+		if s.DecodeNs+s.FilterNs+s.WALNs+s.FsyncNs+s.EncodeNs > 0 {
+			fmt.Fprintf(w, "  │    stages: decode %s | filter %s | wal %s | fsync %s | encode %s\n",
+				ns(s.DecodeNs), ns(s.FilterNs), ns(s.WALNs), ns(s.FsyncNs), ns(s.EncodeNs))
+		}
+		if s.RoundSeq != 0 {
+			fmt.Fprintf(w, "  │    commit round %d (%d record(s) shared the fsync), wal %d@%d\n",
+				s.RoundSeq, s.RoundRecs, s.WALSeq, s.WALOff)
+		}
+		for _, a := range s.Applies {
+			fmt.Fprintf(w, "  │    └─ replica %s apply %d@[%d,%d) recs=%d total=%s\n",
+				a.Node, a.WALSeq, a.WALOff, a.WALEnd, a.Keys, ns(a.TotalNs))
+		}
+	}
+}
+
+// ns renders a nanosecond count with time.Duration formatting.
+func ns(v int64) string { return time.Duration(v).String() }
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpcbf-trace:", err)
+	os.Exit(1)
+}

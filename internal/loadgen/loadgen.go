@@ -164,6 +164,11 @@ type Config struct {
 	// key slice is only valid during the call. Used by the fault
 	// simulation for acked-loss accounting.
 	OnMutation func(op Op, key []byte, err error)
+	// TraceSample > 0 wraps 1 in every TraceSample ops (per worker) in a
+	// TRACE envelope with a fresh trace id; the slowest traced ops come
+	// back in Result.SlowTraces, ready to paste into mpcbf-trace. 0
+	// disables tracing.
+	TraceSample int
 }
 
 func (c *Config) setDefaults() error {
@@ -196,63 +201,98 @@ func (c *Config) setDefaults() error {
 }
 
 // target is the minimal op surface a worker drives; implemented by the
-// single-node client, a namespace view, and the cluster client.
+// single-node client, a namespace view, and the cluster client. Every
+// method takes the op's trace context (zero = untraced); a zero context
+// costs nothing on any implementation.
 type target interface {
-	insert(key []byte) error
-	del(key []byte) error
-	contains(key []byte) error
-	insertTTL(key []byte, ttl time.Duration) error
-	insertBatch(keys [][]byte) error
-	deleteBatch(keys [][]byte) error
-	containsBatch(keys [][]byte) error
+	insert(tc client.Trace, key []byte) error
+	del(tc client.Trace, key []byte) error
+	contains(tc client.Trace, key []byte) error
+	insertTTL(tc client.Trace, key []byte, ttl time.Duration) error
+	insertBatch(tc client.Trace, keys [][]byte) error
+	deleteBatch(tc client.Trace, keys [][]byte) error
+	containsBatch(tc client.Trace, keys [][]byte) error
 }
 
 type singleTarget struct{ c *client.Client }
 
-func (t singleTarget) insert(k []byte) error { return t.c.Insert(k) }
+func (t singleTarget) insert(tc client.Trace, k []byte) error { return t.c.Traced(tc).Insert(k) }
 
 // del goes through the flag-returning batch op: deleting a key that is
 // not (or no longer) present is a legitimate workload outcome, not an
 // error — the single-key DELETE wire op rejects it.
-func (t singleTarget) del(k []byte) error      { _, err := t.c.DeleteBatch([][]byte{k}); return err }
-func (t singleTarget) contains(k []byte) error { _, err := t.c.Contains(k); return err }
-func (t singleTarget) insertTTL(k []byte, ttl time.Duration) error {
-	return t.c.InsertTTL(k, ttl)
+func (t singleTarget) del(tc client.Trace, k []byte) error {
+	_, err := t.c.Traced(tc).DeleteBatch([][]byte{k})
+	return err
 }
-func (t singleTarget) insertBatch(ks [][]byte) error { return t.c.InsertBatch(ks) }
-func (t singleTarget) deleteBatch(ks [][]byte) error { _, err := t.c.DeleteBatch(ks); return err }
-func (t singleTarget) containsBatch(ks [][]byte) error {
-	_, err := t.c.ContainsBatch(ks)
+func (t singleTarget) contains(tc client.Trace, k []byte) error {
+	_, err := t.c.Traced(tc).Contains(k)
+	return err
+}
+func (t singleTarget) insertTTL(tc client.Trace, k []byte, ttl time.Duration) error {
+	return t.c.Traced(tc).InsertTTL(k, ttl)
+}
+func (t singleTarget) insertBatch(tc client.Trace, ks [][]byte) error {
+	return t.c.Traced(tc).InsertBatch(ks)
+}
+func (t singleTarget) deleteBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.c.Traced(tc).DeleteBatch(ks)
+	return err
+}
+func (t singleTarget) containsBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.c.Traced(tc).ContainsBatch(ks)
 	return err
 }
 
 type nsTarget struct{ ns client.Namespace }
 
-func (t nsTarget) insert(k []byte) error   { return t.ns.Insert(k) }
-func (t nsTarget) del(k []byte) error      { _, err := t.ns.DeleteBatch([][]byte{k}); return err }
-func (t nsTarget) contains(k []byte) error { _, err := t.ns.Contains(k); return err }
-func (t nsTarget) insertTTL(k []byte, ttl time.Duration) error {
-	return t.ns.InsertTTL(k, ttl)
+func (t nsTarget) insert(tc client.Trace, k []byte) error { return t.ns.Traced(tc).Insert(k) }
+func (t nsTarget) del(tc client.Trace, k []byte) error {
+	_, err := t.ns.Traced(tc).DeleteBatch([][]byte{k})
+	return err
 }
-func (t nsTarget) insertBatch(ks [][]byte) error { return t.ns.InsertBatch(ks) }
-func (t nsTarget) deleteBatch(ks [][]byte) error { _, err := t.ns.DeleteBatch(ks); return err }
-func (t nsTarget) containsBatch(ks [][]byte) error {
-	_, err := t.ns.ContainsBatch(ks)
+func (t nsTarget) contains(tc client.Trace, k []byte) error {
+	_, err := t.ns.Traced(tc).Contains(k)
+	return err
+}
+func (t nsTarget) insertTTL(tc client.Trace, k []byte, ttl time.Duration) error {
+	return t.ns.Traced(tc).InsertTTL(k, ttl)
+}
+func (t nsTarget) insertBatch(tc client.Trace, ks [][]byte) error {
+	return t.ns.Traced(tc).InsertBatch(ks)
+}
+func (t nsTarget) deleteBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.ns.Traced(tc).DeleteBatch(ks)
+	return err
+}
+func (t nsTarget) containsBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.ns.Traced(tc).ContainsBatch(ks)
 	return err
 }
 
 type clusterTarget struct{ c *cluster.Client }
 
-func (t clusterTarget) insert(k []byte) error   { return t.c.Insert(k) }
-func (t clusterTarget) del(k []byte) error      { _, err := t.c.DeleteBatch([][]byte{k}); return err }
-func (t clusterTarget) contains(k []byte) error { _, err := t.c.Contains(k); return err }
-func (t clusterTarget) insertTTL(k []byte, ttl time.Duration) error {
-	return t.c.InsertTTL(k, ttl)
+func (t clusterTarget) insert(tc client.Trace, k []byte) error { return t.c.Traced(tc).Insert(k) }
+func (t clusterTarget) del(tc client.Trace, k []byte) error {
+	_, err := t.c.Traced(tc).DeleteBatch([][]byte{k})
+	return err
 }
-func (t clusterTarget) insertBatch(ks [][]byte) error { return t.c.InsertBatch(ks) }
-func (t clusterTarget) deleteBatch(ks [][]byte) error { _, err := t.c.DeleteBatch(ks); return err }
-func (t clusterTarget) containsBatch(ks [][]byte) error {
-	_, err := t.c.ContainsBatch(ks)
+func (t clusterTarget) contains(tc client.Trace, k []byte) error {
+	_, err := t.c.Traced(tc).Contains(k)
+	return err
+}
+func (t clusterTarget) insertTTL(tc client.Trace, k []byte, ttl time.Duration) error {
+	return t.c.Traced(tc).InsertTTL(k, ttl)
+}
+func (t clusterTarget) insertBatch(tc client.Trace, ks [][]byte) error {
+	return t.c.Traced(tc).InsertBatch(ks)
+}
+func (t clusterTarget) deleteBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.c.Traced(tc).DeleteBatch(ks)
+	return err
+}
+func (t clusterTarget) containsBatch(tc client.Trace, ks [][]byte) error {
+	_, err := t.c.Traced(tc).ContainsBatch(ks)
 	return err
 }
 
@@ -272,6 +312,48 @@ type worker struct {
 	maybe    [numOps]*counter
 	keyBuf   []byte
 	batchBuf [][]byte
+
+	opSeq uint64      // ops issued, for 1-in-TraceSample selection
+	slow  []SlowTrace // worker-local slowest traced ops, merged by Run
+}
+
+// maxSlowTraces bounds how many slow traced ops a Result reports.
+const maxSlowTraces = 8
+
+// sampleTrace returns a fresh trace context for 1 in every TraceSample
+// ops issued by this worker, the zero (untraced) context otherwise.
+func (w *worker) sampleTrace() client.Trace {
+	if w.cfg.TraceSample <= 0 {
+		return client.Trace{}
+	}
+	w.opSeq++
+	if w.opSeq%uint64(w.cfg.TraceSample) != 0 {
+		return client.Trace{}
+	}
+	return client.NewTrace()
+}
+
+// noteSlow keeps the worker's slowest traced ops, trimming lazily so the
+// hot path stays an append.
+func (w *worker) noteSlow(op Op, tc client.Trace, lat time.Duration) {
+	if !tc.Active() {
+		return
+	}
+	w.slow = append(w.slow, SlowTrace{Op: op.String(), LatencyUs: round2(float64(lat) / 1e3), TraceID: tc.String()})
+	if len(w.slow) > 4*maxSlowTraces {
+		sortSlowTraces(w.slow)
+		w.slow = w.slow[:maxSlowTraces]
+	}
+}
+
+// sortSlowTraces orders slowest-first (ties by id for determinism).
+func sortSlowTraces(s []SlowTrace) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].LatencyUs != s[j].LatencyUs {
+			return s[i].LatencyUs > s[j].LatencyUs
+		}
+		return s[i].TraceID < s[j].TraceID
+	})
 }
 
 type counter struct {
@@ -370,6 +452,7 @@ func (w *worker) observe(op Op, lat time.Duration, keys int, err error) {
 // latency and error.
 func (w *worker) issue(rng *hashing.RNG, op Op, t target) {
 	cfg := w.cfg
+	tc := w.sampleTrace()
 	if cfg.Batch > 1 {
 		w.batchBuf = w.batchBuf[:0]
 		for i := 0; i < cfg.Batch; i++ {
@@ -379,18 +462,19 @@ func (w *worker) issue(rng *hashing.RNG, op Op, t target) {
 		var err error
 		switch op {
 		case OpInsert:
-			err = t.insertBatch(w.batchBuf)
+			err = t.insertBatch(tc, w.batchBuf)
 		case OpDelete:
-			err = t.deleteBatch(w.batchBuf)
+			err = t.deleteBatch(tc, w.batchBuf)
 		case OpContains:
-			err = t.containsBatch(w.batchBuf)
+			err = t.containsBatch(tc, w.batchBuf)
 		case OpInsertTTL:
 			// InsertTTLBatch exists only on the direct client; fold TTL
 			// batches into plain insert batches for simplicity.
-			err = t.insertBatch(w.batchBuf)
+			err = t.insertBatch(tc, w.batchBuf)
 		}
 		lat := time.Since(start)
 		w.observe(op, lat, cfg.Batch, err)
+		w.noteSlow(op, tc, lat)
 		if cfg.OnMutation != nil && op.IsMutation() {
 			for _, k := range w.batchBuf {
 				cfg.OnMutation(op, k, err)
@@ -403,16 +487,17 @@ func (w *worker) issue(rng *hashing.RNG, op Op, t target) {
 	var err error
 	switch op {
 	case OpInsert:
-		err = t.insert(w.keyBuf)
+		err = t.insert(tc, w.keyBuf)
 	case OpDelete:
-		err = t.del(w.keyBuf)
+		err = t.del(tc, w.keyBuf)
 	case OpContains:
-		err = t.contains(w.keyBuf)
+		err = t.contains(tc, w.keyBuf)
 	case OpInsertTTL:
-		err = t.insertTTL(w.keyBuf, cfg.TTL)
+		err = t.insertTTL(tc, w.keyBuf, cfg.TTL)
 	}
 	lat := time.Since(start)
 	w.observe(op, lat, 1, err)
+	w.noteSlow(op, tc, lat)
 	if cfg.OnMutation != nil && op.IsMutation() {
 		cfg.OnMutation(op, w.keyBuf, err)
 	}
@@ -464,19 +549,22 @@ func (w *worker) runOpen(ctx context.Context, start time.Time, deadline time.Tim
 // actual call start.
 func (w *worker) issueTimed(rng *hashing.RNG, op Op, t target, sched time.Time) {
 	cfg := w.cfg
+	tc := w.sampleTrace()
 	w.keyBuf = w.ks.Draw(w.keyBuf[:0], rng)
 	var err error
 	switch op {
 	case OpInsert:
-		err = t.insert(w.keyBuf)
+		err = t.insert(tc, w.keyBuf)
 	case OpDelete:
-		err = t.del(w.keyBuf)
+		err = t.del(tc, w.keyBuf)
 	case OpContains:
-		err = t.contains(w.keyBuf)
+		err = t.contains(tc, w.keyBuf)
 	case OpInsertTTL:
-		err = t.insertTTL(w.keyBuf, cfg.TTL)
+		err = t.insertTTL(tc, w.keyBuf, cfg.TTL)
 	}
-	w.observe(op, time.Since(sched), 1, err)
+	lat := time.Since(sched)
+	w.observe(op, lat, 1, err)
+	w.noteSlow(op, tc, lat)
 	if cfg.OnMutation != nil && op.IsMutation() {
 		cfg.OnMutation(op, w.keyBuf, err)
 	}
@@ -489,14 +577,21 @@ func (w *worker) runPipelined(ctx context.Context, deadline time.Time) {
 	cfg := w.cfg
 	ops := make([]Op, 0, cfg.PipelineDepth)
 	keys := make([][]byte, 0, cfg.PipelineDepth)
+	tcs := make([]client.Trace, 0, cfg.PipelineDepth)
 	for time.Now().Before(deadline) && ctx.Err() == nil {
 		ops = ops[:0]
 		keys = keys[:0]
+		tcs = tcs[:0]
 		for i := 0; i < cfg.PipelineDepth; i++ {
 			op := w.drawOp(rng.Float64())
 			key := w.ks.Key(w.ks.Rank(rng))
+			tc := w.sampleTrace()
 			ops = append(ops, op)
 			keys = append(keys, key)
+			tcs = append(tcs, tc)
+			// Sampled ops in the pipeline get their own envelope; the
+			// context resets right after so neighbors stay untraced.
+			w.pipe.SetTrace(tc)
 			switch op {
 			case OpInsert:
 				w.pipe.Insert(key)
@@ -509,6 +604,7 @@ func (w *worker) runPipelined(ctx context.Context, deadline time.Time) {
 			case OpInsertTTL:
 				w.pipe.InsertTTL(key, cfg.TTL)
 			}
+			w.pipe.SetTrace(client.Trace{})
 		}
 		start := time.Now()
 		res, _ := w.pipe.Flush()
@@ -521,6 +617,7 @@ func (w *worker) runPipelined(ctx context.Context, deadline time.Time) {
 				err = client.ErrMaybeApplied // flush died before this op's reply
 			}
 			w.observe(op, lat, 1, err)
+			w.noteSlow(op, tcs[i], lat)
 			if cfg.OnMutation != nil && op.IsMutation() {
 				cfg.OnMutation(op, keys[i], err)
 			}
@@ -612,6 +709,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if elapsed > 0 {
 		res.Throughput = round2(float64(res.TotalOps) / elapsed.Seconds())
+	}
+	var slow []SlowTrace
+	for _, w := range workers {
+		slow = append(slow, w.slow...)
+	}
+	if len(slow) > 0 {
+		sortSlowTraces(slow)
+		if len(slow) > maxSlowTraces {
+			slow = slow[:maxSlowTraces]
+		}
+		res.SlowTraces = slow
 	}
 	return res, nil
 }

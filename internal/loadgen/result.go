@@ -24,6 +24,7 @@ type Manifest struct {
 	Keys        int      `json:"keys"`
 	ZipfS       float64  `json:"zipf_s,omitempty"`
 	TTL         string   `json:"ttl"`
+	TraceSample int      `json:"trace_sample,omitempty"`
 }
 
 func (c *Config) manifest() Manifest {
@@ -48,6 +49,7 @@ func (c *Config) manifest() Manifest {
 		Keys:        c.Keyspace.N,
 		ZipfS:       c.Keyspace.ZipfS,
 		TTL:         c.TTL.String(),
+		TraceSample: c.TraceSample,
 	}
 }
 
@@ -65,6 +67,15 @@ type OpStats struct {
 	P99Us        float64 `json:"p99_us"`
 }
 
+// SlowTrace identifies one of the run's slowest traced operations: feed
+// the id to `mpcbf-trace -trace <id>` (or find it in /debug/traces) to
+// see where the time went.
+type SlowTrace struct {
+	Op        string  `json:"op"`
+	LatencyUs float64 `json:"latency_us"`
+	TraceID   string  `json:"trace_id"`
+}
+
 // Result is one run's outcome.
 type Result struct {
 	Manifest     Manifest           `json:"manifest"`
@@ -74,6 +85,8 @@ type Result struct {
 	Errors       uint64             `json:"errors"`
 	MaybeApplied uint64             `json:"maybe_applied"`
 	Ops          map[string]OpStats `json:"ops"`
+	// SlowTraces lists the slowest sampled-traced ops (TraceSample > 0).
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
 }
 
 // WriteHuman renders the run summary as aligned text.
@@ -88,6 +101,12 @@ func (r *Result) WriteHuman(w io.Writer) {
 		st := r.Ops[name]
 		fmt.Fprintf(w, "%-12s %10d %8d %10.1f %10.1f %10.1f %10.1f\n",
 			name, st.Count, st.Errors, st.MeanUs, st.P50Us, st.P90Us, st.P99Us)
+	}
+	if len(r.SlowTraces) > 0 {
+		fmt.Fprintf(w, "slowest traced ops (mpcbf-trace -trace <id>):\n")
+		for _, st := range r.SlowTraces {
+			fmt.Fprintf(w, "  %-12s %10.1fus  %s\n", st.Op, st.LatencyUs, st.TraceID)
+		}
 	}
 }
 

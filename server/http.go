@@ -17,6 +17,7 @@ import (
 //	GET /metrics         — Prometheus text exposition
 //	GET /debug/vars      — expvar JSON (stdlib convention)
 //	GET /debug/requests  — recent and slow request traces as JSON
+//	GET /debug/traces    — distributed-trace spans and replica applies
 //
 // Both /metrics and /debug/vars render the same ServerSnapshot, so the
 // two views cannot drift.
@@ -66,6 +67,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/requests", s.tracer.serveHTTP)
+	mux.HandleFunc("/debug/traces", s.tracer.serveTracesHTTP)
 	if s.cfg.Chaos {
 		mux.Handle("/chaos", ChaosHandler())
 	}
@@ -84,5 +86,6 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/requests", s.tracer.serveHTTP)
+	mux.HandleFunc("/debug/traces", s.tracer.serveTracesHTTP)
 	return mux
 }

@@ -96,3 +96,39 @@ func TestHistogramQuantileInterpolation(t *testing.T) {
 		t.Fatalf("saturated p50 = %v, want finite positive", got)
 	}
 }
+
+// TestHistogramQuantileEdges pins the extremes: q=0 and q=1 on empty
+// and single-bucket histograms never step outside the occupied bucket.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty q=%v = %v, want 0", q, got)
+		}
+	}
+
+	// One observation: a single occupied bucket [512, 1024). q=0 must
+	// answer the bucket's low edge, q=1 its high edge; nothing outside.
+	var one Histogram
+	one.Observe(1000)
+	if got := one.Quantile(0); got != 512 {
+		t.Fatalf("single-bucket q=0 = %v, want low edge 512", got)
+	}
+	if got := one.Quantile(1); got != 1024 {
+		t.Fatalf("single-bucket q=1 = %v, want high edge 1024", got)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		if got := one.Quantile(q); got < 512 || got > 1024 {
+			t.Fatalf("single-bucket q=%v = %v, want within [512, 1024]", q, got)
+		}
+	}
+
+	// Many observations, still one bucket: the edges stay pinned.
+	var many Histogram
+	for i := 0; i < 1000; i++ {
+		many.Observe(700)
+	}
+	if lo, hi := many.Quantile(0), many.Quantile(1); lo != 512 || hi != 1024 {
+		t.Fatalf("single-bucket edges = %v, %v; want 512, 1024", lo, hi)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/e2e"
 )
 
@@ -103,6 +104,37 @@ func TestObsSmoke(t *testing.T) {
 	}
 	if rep.Sampled == 0 || len(rep.Recent) == 0 {
 		t.Errorf("no sampled traces with -trace-sample 1: %+v", rep)
+	}
+
+	// /debug/traces: a TRACE-enveloped request must land a span keyed by
+	// its propagated trace id, with WAL position and commit-round
+	// attribution for the mutation.
+	tc := client.NewTrace()
+	if err := c.Traced(tc).Insert([]byte("traced-smoke-key")); err != nil {
+		t.Fatal(err)
+	}
+	code, traces := httpGetStatus(t, "http://"+httpAddr+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var trep TracesReport
+	if err := json.Unmarshal([]byte(traces), &trep); err != nil {
+		t.Fatalf("/debug/traces unparseable: %v", err)
+	}
+	foundSpan := false
+	for _, sp := range trep.Spans {
+		if sp.TraceID == tc.String() {
+			foundSpan = true
+			if sp.RoundSeq == 0 {
+				t.Errorf("traced insert span missing commit-round attribution: %+v", sp)
+			}
+			if sp.WALSeq == 0 {
+				t.Errorf("traced insert span missing WAL position: %+v", sp)
+			}
+		}
+	}
+	if !foundSpan {
+		t.Errorf("no span with trace id %s in /debug/traces (traced=%d)", tc, trep.Traced)
 	}
 
 	// Debug listener: pprof goroutine dump must mention this process's

@@ -133,6 +133,7 @@ func (s *Store) ReplicaApply(seq uint64, off int64, n uint32, raw []byte) error 
 
 	// Validate every record before applying any: a truncated or corrupt
 	// frame must not half-apply.
+	t0 := time.Now()
 	a := &batchApplier{s: s, context: "replicate"}
 	count, valid, err := scanRecords(bytes.NewReader(raw), a.add)
 	if err != nil {
@@ -142,7 +143,13 @@ func (s *Store) ReplicaApply(seq uint64, off int64, n uint32, raw []byte) error 
 		return fmt.Errorf("server: replica frame corrupt: %d/%d bytes valid, %d/%d records", valid, len(raw), count, n)
 	}
 	a.flush()
-	return s.wal.AppendRaw(raw, count)
+	if err := s.wal.AppendRaw(raw, count); err != nil {
+		return err
+	}
+	if s.onApply != nil {
+		s.onApply(seq, off, len(raw), count, time.Since(t0))
+	}
+	return nil
 }
 
 // ReplicaBootstrap resets the mirror to a primary-supplied snapshot: the

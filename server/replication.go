@@ -247,7 +247,7 @@ func (s *Server) serveReplication(conn net.Conn, w *bufio.Writer, req wire.Reque
 		// Caught up: heartbeat, then wait for the next append.
 		if time.Since(lastHeartbeat) >= s.cfg.HeartbeatEvery {
 			cumR, cumB := s.store.WALCum()
-			payload = wire.AppendRepHeartbeat(payload[:0], liveSeq, uint64(liveSize), cumR, cumB)
+			payload = wire.AppendRepHeartbeat(payload[:0], liveSeq, uint64(liveSize), cumR, cumB, uint64(time.Now().UnixNano()))
 			if !s.writeRepFrame(conn, w, payload) {
 				return
 			}

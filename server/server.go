@@ -125,7 +125,7 @@ func New(store *Store, cfg Config, metrics *Metrics) *Server {
 	if metrics == nil {
 		metrics = &Metrics{}
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		store:   store,
 		metrics: metrics,
@@ -133,6 +133,12 @@ func New(store *Store, cfg Config, metrics *Metrics) *Server {
 		conns:   make(map[net.Conn]struct{}),
 		stop:    make(chan struct{}),
 	}
+	if store.opts.Replica {
+		// Replica-apply spans join primary mutation spans by WAL offset
+		// range; see /debug/traces.
+		store.SetApplyObserver(s.tracer.recordApply)
+	}
+	return s
 }
 
 // Tracer returns the server's request tracer.
@@ -354,6 +360,14 @@ func (s *Server) connReader(conn net.Conn, r *bufio.Reader, log *slog.Logger, it
 			return false, wire.Request{}
 		}
 		tr.addDecode(tDec)
+		if req.Traced {
+			// A TRACE envelope upgrades the request to a full trace and
+			// carries the client's ids into its span. Untraced requests
+			// never reach this branch.
+			tr = s.tracer.force(id, tr)
+			tr.setContext(req.TraceID, req.ParentSpan)
+		}
+		tr.setNS(req.NS)
 
 		if req.Op == wire.OpReplicate {
 			return true, req

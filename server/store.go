@@ -69,9 +69,24 @@ type Store struct {
 	lastSnapshot atomic.Int64 // unix nanos, 0 = never
 	replayed     int          // records replayed at open
 
+	// onApply, when set, observes each replicated WAL range applied to a
+	// replica store: segment seq, byte range [off, off+n), record count,
+	// and apply duration. The serving layer points it at the tracer so
+	// replica-apply spans land in /debug/traces without the store
+	// importing the tracing types.
+	onApply func(seq uint64, off int64, n int, recs int, d time.Duration)
+
 	bg     sync.WaitGroup
 	stop   chan struct{}
 	closed atomic.Bool
+}
+
+// SetApplyObserver installs the replica-apply observer. Call before
+// serving; nil disables.
+func (s *Store) SetApplyObserver(fn func(seq uint64, off int64, n int, recs int, d time.Duration)) {
+	s.mu.Lock()
+	s.onApply = fn
+	s.mu.Unlock()
 }
 
 // f returns the current filter; safe without the mutation lock.

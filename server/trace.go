@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"log/slog"
 	"net/http"
@@ -19,36 +20,58 @@ import (
 // when they were sampled) and emit a slog warning. Both rings are
 // served as JSON at /debug/requests.
 //
+// Distributed tracing rides the same machinery: a request that arrives
+// inside a TRACE envelope is always upgraded to a full trace (force),
+// its span lands in a third ring keyed by the propagated trace id, and
+// replica-side WAL applies land in a fourth; both are served at
+// /debug/traces for the mpcbf-trace stitcher.
+//
 // Hot-path cost when sampling and the slow threshold are both off: one
 // atomic Add (the request ID) and two predictable branches — no clock
 // reads beyond the one the latency histogram already takes, no locks,
 // no allocation. The rings take a mutex, but only sampled or slow
 // requests ever reach them.
 
-// TraceEntry is one traced request as exposed at /debug/requests.
-// Stage fields are zero for slow-but-unsampled requests (only the total
-// was measured).
+// TraceEntry is one traced request as exposed at /debug/requests and
+// /debug/traces. Stage fields are zero for slow-but-unsampled requests
+// (only the total was measured). Requests that arrived inside a TRACE
+// envelope carry the propagated trace id and parent span; the server's
+// request ID doubles as this span's id. Mutations additionally record
+// where they landed in the WAL (segment sequence plus byte offset) and
+// which group-commit round made them durable, so a primary span can be
+// joined to the replica-apply span covering the same offset range.
 type TraceEntry struct {
-	ID       uint64    `json:"id"`
-	Op       string    `json:"op"`
-	Start    time.Time `json:"start"`
-	TotalNs  int64     `json:"total_ns"`
-	DecodeNs int64     `json:"decode_ns,omitempty"`
-	FilterNs int64     `json:"filter_ns,omitempty"`
-	WALNs    int64     `json:"wal_ns,omitempty"`
-	FsyncNs  int64     `json:"fsync_ns,omitempty"`
-	EncodeNs int64     `json:"encode_ns,omitempty"`
-	Keys     int       `json:"keys"`
-	KeyBytes int       `json:"key_bytes"`
-	Failed   bool      `json:"failed,omitempty"`
-	Sampled  bool      `json:"sampled"`
+	ID         uint64    `json:"id"`
+	Op         string    `json:"op"`
+	TraceID    string    `json:"trace_id,omitempty"`    // hex, propagated by the client
+	ParentSpan uint64    `json:"parent_span,omitempty"` // client-side parent span id
+	NS         string    `json:"ns,omitempty"`          // namespace for enveloped requests
+	Start      time.Time `json:"start"`
+	TotalNs    int64     `json:"total_ns"`
+	DecodeNs   int64     `json:"decode_ns,omitempty"`
+	FilterNs   int64     `json:"filter_ns,omitempty"`
+	WALNs      int64     `json:"wal_ns,omitempty"`
+	FsyncNs    int64     `json:"fsync_ns,omitempty"`
+	EncodeNs   int64     `json:"encode_ns,omitempty"`
+	RoundSeq   uint64    `json:"round_seq,omitempty"`  // group-commit round that covered this op
+	RoundRecs  int       `json:"round_recs,omitempty"` // records committed in that round
+	WALSeq     uint64    `json:"wal_seq,omitempty"`    // WAL segment the op appended to
+	WALOff     uint64    `json:"wal_off,omitempty"`    // byte offset of the op's first record
+	WALEnd     uint64    `json:"wal_end,omitempty"`    // replica apply: end of the applied range
+	Keys       int       `json:"keys"`
+	KeyBytes   int       `json:"key_bytes"`
+	Failed     bool      `json:"failed,omitempty"`
+	Sampled    bool      `json:"sampled"`
+	Replica    bool      `json:"replica,omitempty"` // replica-side WAL apply span
 }
 
 // reqTrace accumulates stage timings for one sampled request. A nil
 // *reqTrace is valid everywhere and records nothing, so the store and
 // WAL plumbing never branch on "is tracing on" themselves.
 type reqTrace struct {
-	entry TraceEntry
+	entry   TraceEntry
+	traceID [wire.TraceIDLen]byte
+	traced  bool
 }
 
 // now returns the stage clock, or the zero Time when tr is nil so the
@@ -81,6 +104,43 @@ func (tr *reqTrace) addWAL(t0 time.Time) {
 func (tr *reqTrace) addFsync(d time.Duration) {
 	if tr != nil {
 		tr.entry.FsyncNs += d.Nanoseconds()
+	}
+}
+
+// setContext records the propagated trace id and parent span from a
+// TRACE envelope. Hex formatting is deferred to finish so the hot path
+// only copies bytes.
+func (tr *reqTrace) setContext(id [wire.TraceIDLen]byte, parent uint64) {
+	if tr != nil {
+		tr.traceID = id
+		tr.traced = true
+		tr.entry.ParentSpan = parent
+	}
+}
+
+// setNS records the namespace name for an enveloped request.
+func (tr *reqTrace) setNS(name []byte) {
+	if tr != nil && len(name) != 0 {
+		tr.entry.NS = string(name)
+	}
+}
+
+// setWALPos records where the op's first record landed in the WAL: the
+// segment sequence and the byte offset the append started at. This is
+// the join key to the replica-apply span covering the same range.
+func (tr *reqTrace) setWALPos(seq uint64, off int64) {
+	if tr != nil {
+		tr.entry.WALSeq = seq
+		tr.entry.WALOff = uint64(off)
+	}
+}
+
+// setRound records the group-commit round that made the op durable and
+// how many records shared that round.
+func (tr *reqTrace) setRound(seq uint64, recs int) {
+	if tr != nil && tr.entry.RoundSeq == 0 {
+		tr.entry.RoundSeq = seq
+		tr.entry.RoundRecs = recs
 	}
 }
 
@@ -126,9 +186,11 @@ type Tracer struct {
 	slowNs      int64  // slow threshold; 0 = off
 	log         *slog.Logger
 
-	seq    atomic.Uint64
-	recent traceRing
-	slow   traceRing
+	seq     atomic.Uint64
+	recent  traceRing
+	slow    traceRing
+	traced  traceRing // requests that arrived with a client trace id
+	applies traceRing // replica-side WAL apply spans
 }
 
 func newTracer(sampleEvery int, slow time.Duration, log *slog.Logger) *Tracer {
@@ -141,6 +203,8 @@ func newTracer(sampleEvery int, slow time.Duration, log *slog.Logger) *Tracer {
 	}
 	t.recent.buf = make([]TraceEntry, traceRingSize)
 	t.slow.buf = make([]TraceEntry, traceRingSize)
+	t.traced.buf = make([]TraceEntry, traceRingSize)
+	t.applies.buf = make([]TraceEntry, traceRingSize)
 	return t
 }
 
@@ -158,6 +222,37 @@ func (t *Tracer) begin() (id uint64, tr *reqTrace) {
 	return id, tr
 }
 
+// force upgrades an unsampled request to a full trace. Requests that
+// arrive inside a TRACE envelope always record stage detail — the
+// client asked for it — independent of the sampling rate; Sampled stays
+// false so the recent ring remains a faithful 1-in-N sample.
+func (t *Tracer) force(id uint64, tr *reqTrace) *reqTrace {
+	if tr != nil {
+		return tr
+	}
+	tr = &reqTrace{}
+	tr.entry.ID = id
+	tr.entry.Start = time.Now()
+	return tr
+}
+
+// recordApply pushes one replica-side WAL apply span: the offset range
+// [off, off+n) of segment seq was applied to the local filter in d.
+// Joined to primary mutation spans by offset containment.
+func (t *Tracer) recordApply(seq uint64, off int64, n int, recs int, d time.Duration) {
+	t.applies.push(TraceEntry{
+		ID:      t.seq.Add(1),
+		Op:      "replica_apply",
+		Start:   time.Now().Add(-d),
+		TotalNs: d.Nanoseconds(),
+		WALSeq:  seq,
+		WALOff:  uint64(off),
+		WALEnd:  uint64(off) + uint64(n),
+		Keys:    recs,
+		Replica: true,
+	})
+}
+
 // finish completes one request: sampled entries go to the recent ring;
 // entries over the slow threshold go to the slow ring and warn. No-op
 // (two branches) for the common unsampled-and-fast case.
@@ -173,6 +268,9 @@ func (t *Tracer) finish(id uint64, tr *reqTrace, op byte, keys, keyBytes int, to
 		if rest := total.Nanoseconds() - e.DecodeNs - e.FilterNs - e.WALNs - e.FsyncNs; rest > 0 {
 			e.EncodeNs = rest
 		}
+		if tr.traced {
+			e.TraceID = hex.EncodeToString(tr.traceID[:])
+		}
 	} else {
 		e.ID = id
 		e.Start = time.Now().Add(-total)
@@ -182,7 +280,10 @@ func (t *Tracer) finish(id uint64, tr *reqTrace, op byte, keys, keyBytes int, to
 	e.Keys = keys
 	e.KeyBytes = keyBytes
 	e.Failed = failed
-	if tr != nil {
+	if tr != nil && tr.traced {
+		t.traced.push(e)
+	}
+	if tr != nil && e.Sampled {
 		t.recent.push(e)
 	}
 	if slow {
@@ -229,4 +330,40 @@ func (t *Tracer) serveHTTP(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(t.Report())
+}
+
+// TracesReport is the JSON document served at /debug/traces: spans that
+// belong to distributed traces. Spans holds requests that arrived with
+// a client trace id; ReplicaApplies holds replica-side WAL apply spans
+// (joined to primary spans by offset containment). Both follow the same
+// fixed-ring discipline as /debug/requests.
+type TracesReport struct {
+	Requests       uint64       `json:"requests"` // IDs assigned so far
+	Traced         uint64       `json:"traced"`   // spans pushed, ever
+	Applies        uint64       `json:"applies"`  // apply spans pushed, ever
+	Spans          []TraceEntry `json:"spans"`
+	ReplicaApplies []TraceEntry `json:"replica_applies"`
+}
+
+// TracesReport returns the distributed-tracing rings, newest first.
+func (t *Tracer) TracesReport() TracesReport {
+	rep := TracesReport{
+		Requests:       t.seq.Load(),
+		Spans:          t.traced.entries(),
+		ReplicaApplies: t.applies.entries(),
+	}
+	t.traced.mu.Lock()
+	rep.Traced = t.traced.total
+	t.traced.mu.Unlock()
+	t.applies.mu.Lock()
+	rep.Applies = t.applies.total
+	t.applies.mu.Unlock()
+	return rep
+}
+
+func (t *Tracer) serveTracesHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t.TracesReport())
 }

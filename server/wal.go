@@ -136,6 +136,16 @@ type wal struct {
 	durTicket uint64 // tickets <= this are committed per policy
 	commitErr error  // sticky: first commit IO failure poisons the log
 
+	// Commit-round attribution for tracing (guarded by mu): the sequence
+	// number (groupCommits value), record count, and covered ticket of
+	// the most recent round that wrote bytes. A waiter released by a
+	// round reads these immediately after the broadcast, so they name
+	// the round that covered its ticket (or a successor — attribution is
+	// best-effort under races, never blocking).
+	lastRoundSeq    uint64
+	lastRoundRecs   int
+	lastRoundTicket uint64
+
 	// commitMu serializes commit IO (write+fsync) and rotation. Taken
 	// before mu; WaitDurable only TryLocks it while holding mu.
 	commitMu sync.Mutex
@@ -298,6 +308,7 @@ func (w *wal) Enqueue(op byte, key []byte, tr *reqTrace) (uint64, error) {
 		return 0, err
 	}
 	t0 := tr.now()
+	tr.setWALPos(w.seq, w.size)
 	before := len(w.pending)
 	w.frameRecordLocked(op, nil, key)
 	return w.finishEnqueueLocked(1, len(w.pending)-before, tr, t0), nil
@@ -315,6 +326,7 @@ func (w *wal) EnqueueBatch(op byte, keys [][]byte, tr *reqTrace) (uint64, error)
 		return 0, err
 	}
 	t0 := tr.now()
+	tr.setWALPos(w.seq, w.size)
 	before := len(w.pending)
 	for _, k := range keys {
 		w.frameRecordLocked(op, nil, k)
@@ -341,6 +353,7 @@ func (w *wal) EnqueueBatchFlags(op byte, keys [][]byte, flags []bool, tr *reqTra
 		return 0, err
 	}
 	t0 := tr.now()
+	tr.setWALPos(w.seq, w.size)
 	before := len(w.pending)
 	for i, k := range keys {
 		if flags[i] {
@@ -359,6 +372,7 @@ func (w *wal) EnqueueTTL(op byte, rot uint32, key []byte, tr *reqTrace) (uint64,
 		return 0, err
 	}
 	t0 := tr.now()
+	tr.setWALPos(w.seq, w.size)
 	before := len(w.pending)
 	var rb [4]byte
 	binary.LittleEndian.PutUint32(rb[:], rot)
@@ -378,6 +392,7 @@ func (w *wal) EnqueueTTLBatch(op byte, rot uint32, keys [][]byte, tr *reqTrace) 
 		return 0, err
 	}
 	t0 := tr.now()
+	tr.setWALPos(w.seq, w.size)
 	before := len(w.pending)
 	var rb [4]byte
 	binary.LittleEndian.PutUint32(rb[:], rot)
@@ -444,6 +459,9 @@ func (w *wal) WaitDurable(ticket uint64, tr *reqTrace) error {
 	err := w.commitErr
 	if err == nil && w.f == nil && w.durTicket < ticket {
 		err = errors.New("server: wal closed")
+	}
+	if err == nil && tr != nil && w.lastRoundTicket >= ticket {
+		tr.setRound(w.lastRoundSeq, w.lastRoundRecs)
 	}
 	w.mu.Unlock()
 	if tr != nil {
@@ -544,9 +562,14 @@ func (w *wal) commitRound(sync bool, tr *reqTrace) {
 		}
 	}
 	if wrote {
-		w.groupCommits.Add(1)
+		round := w.groupCommits.Add(1)
 		w.groupHist.Observe(uint64(recs))
 		w.commitHist.ObserveDuration(time.Since(t0))
+		w.lastRoundSeq = round
+		w.lastRoundRecs = recs
+		w.lastRoundTicket = ticket
+		// The leader's own ticket is always covered by its round.
+		tr.setRound(round, recs)
 	}
 	w.cond.Broadcast()
 	w.mu.Unlock()

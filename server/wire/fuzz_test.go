@@ -46,6 +46,19 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(append([]byte{OpNsDrop, 0xFF}, make([]byte, 0xFF)...))
 	f.Add([]byte{OpNamespaced, 1, 'a', OpNamespaced, 1, 'b', OpLen})
 	f.Add(append([]byte{OpNamespaced, 1, 'a'}, AppendReplicateRequest(nil, 1, 2)...))
+	// TRACE envelope: full form, zero-length form, traced NAMESPACED,
+	// truncated id block, bad id length, nested trace, traced replicate,
+	// trace inside namespaced (must be outermost).
+	f.Add(AppendKeyRequest(AppendTrace(nil, [TraceIDLen]byte{1, 2, 3}, 42), OpInsert, []byte("key")))
+	f.Add(AppendKeyRequest(AppendTraceUntraced(nil), OpContains, []byte("key")))
+	f.Add(AppendKeyRequest(AppendNamespaced(AppendTrace(nil, [TraceIDLen]byte{9}, 7), []byte("t")), OpInsert, []byte("key")))
+	f.Add([]byte{OpTrace})
+	f.Add([]byte{OpTrace, 24, 1, 2, 3})
+	f.Add([]byte{OpTrace, 7, 1, 2, 3, 4, 5, 6, 7, OpLen})
+	f.Add(AppendTrace(AppendTraceUntraced(nil)[:0], [TraceIDLen]byte{}, 0))
+	f.Add(append(AppendTraceUntraced(nil), AppendTraceUntraced(nil)...))
+	f.Add(append(AppendTraceUntraced(nil), AppendReplicateRequest(nil, 1, 2)...))
+	f.Add(append(AppendNamespaced(nil, []byte("t")), AppendKeyRequest(AppendTraceUntraced(nil), OpInsert, []byte("k"))...))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err != nil {
@@ -103,7 +116,9 @@ func FuzzRepFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(AppendRepSnapshot(nil, 1, 10, 100, []byte("filter")))
 	f.Add(AppendRepRecords(nil, 2, 64, 11, 132, 1, []byte("rawrecord")))
-	f.Add(AppendRepHeartbeat(nil, 2, 96, 12, 164))
+	f.Add(AppendRepHeartbeat(nil, 2, 96, 12, 164, 1700000000000000000))
+	f.Add([]byte{RepHeartbeat, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+		17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32}) // legacy 32-byte body
 	f.Add([]byte{RepRecords, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		fr, err := DecodeRepFrame(payload)
@@ -117,7 +132,15 @@ func FuzzRepFrameRoundTrip(f *testing.F) {
 		case RepRecords:
 			again = AppendRepRecords(nil, fr.Seq, fr.Off, fr.CumRecords, fr.CumBytes, fr.NumRecords, fr.Data)
 		case RepHeartbeat:
-			again = AppendRepHeartbeat(nil, fr.Seq, fr.Off, fr.CumRecords, fr.CumBytes)
+			again = AppendRepHeartbeat(nil, fr.Seq, fr.Off, fr.CumRecords, fr.CumBytes, fr.SentUnixNanos)
+			// A legacy 32-byte heartbeat re-encodes in the 40-byte form
+			// with a zero timestamp appended; the prefix must still match.
+			if len(payload) == 33 {
+				if fr.SentUnixNanos != 0 {
+					t.Fatalf("legacy heartbeat decoded timestamp %d", fr.SentUnixNanos)
+				}
+				again = again[:33]
+			}
 		default:
 			t.Fatalf("decoded unknown frame type 0x%02x", fr.Type)
 		}

@@ -23,6 +23,7 @@
 //	DROP_NS / NS_STATS:                     [op][u8 nsLen][ns]
 //	LIST_NS:                                [op]
 //	NAMESPACED:                             [op][u8 nsLen][ns][inner request payload]
+//	TRACE:                                  [op][u8 idLen][16B trace id][8B parent span][inner request payload]
 //
 // Responses (status OK):
 //
@@ -60,6 +61,19 @@
 // overrides; creating an existing namespace succeeds only if the
 // resolved configuration is identical. DROP_NS discards the namespace's
 // state everywhere, including replicas.
+//
+// # Distributed tracing (protocol version 3)
+//
+// The TRACE envelope prefixes any client request with a propagated
+// trace identity: a 16-byte trace id plus the caller's 8-byte span id.
+// It composes OUTSIDE the NAMESPACED envelope — TRACE[NAMESPACED[op]]
+// is the fully dressed form — and decodes to the inner request with
+// Request.TraceID/ParentSpan/Traced set. The id block is length-
+// prefixed with a single byte that must be 0 (the zero-length form:
+// envelope present, request untraced) or 24; TRACE cannot nest and
+// REPLICATE cannot be traced. Old servers reject the unknown opcode
+// with ERR and keep the connection usable; old clients simply never
+// send it.
 //
 // Responses (status ERR): [error message bytes]. An ERR response reports
 // an operation-level failure (e.g. deleting an absent key, a word
@@ -139,22 +153,36 @@ const (
 	// every request through the envelope unconditionally.
 	OpNamespaced = 0x12
 
+	// OpTrace is the distributed-tracing envelope (protocol version 3):
+	// [0x13][u8 idLen][16B trace id][8B parent span id][inner request].
+	// idLen is 0 (untraced passthrough — the zero-length form, so a
+	// proxy can strip or ignore tracing) or TraceIDLen+8. TRACE is
+	// always the outermost envelope: it may wrap a NAMESPACED request,
+	// but NAMESPACED may not wrap TRACE, TRACE may not nest, and
+	// REPLICATE cannot be traced.
+	OpTrace = 0x13
+
 	// MaxOp is the highest assigned opcode. Every opcode in (0, MaxOp]
 	// must have an OpName/OpNames entry; a table test enforces it so a
 	// future opcode cannot ship unnamed.
-	MaxOp = OpNamespaced
+	MaxOp = OpTrace
 )
+
+// TraceIDLen is the byte length of a trace id. A TRACE envelope's id
+// block is TraceIDLen trace-id bytes followed by 8 parent-span bytes.
+const TraceIDLen = 16
 
 // Protocol versions. Version 1 is the pre-namespace protocol (opcodes
 // through WINDOW_STATS); version 2 adds the namespace ops and the
-// NAMESPACED envelope. The protocol is forward-compatible by opcode: a
-// version-1 client's frames are valid version-2 frames and address the
-// default namespace, so the version is informational (exposed in stats),
-// not negotiated.
+// NAMESPACED envelope; version 3 adds the TRACE envelope. The protocol
+// is forward-compatible by opcode: an older client's frames are valid
+// newer frames (untraced, default namespace), so the version is
+// informational (exposed in stats), not negotiated.
 const (
 	ProtocolVersion1 = 1
 	ProtocolVersion2 = 2
-	ProtocolVersion  = ProtocolVersion2
+	ProtocolVersion3 = 3
+	ProtocolVersion  = ProtocolVersion3
 )
 
 // MaxNamespaceLen bounds a namespace name's byte length. The wire format
@@ -212,7 +240,7 @@ const (
 func IsMutation(op byte) bool {
 	switch op {
 	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch, OpInsertTTL, OpInsertTTLBatch,
-		OpNsCreate, OpNsDrop, OpNamespaced:
+		OpNsCreate, OpNsDrop, OpNamespaced, OpTrace:
 		return true
 	}
 	return false
@@ -267,6 +295,8 @@ func OpName(op byte) string {
 		return "ns_stats"
 	case OpNamespaced:
 		return "namespaced"
+	case OpTrace:
+		return "trace"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
 }
@@ -308,6 +338,7 @@ func OpNames() map[byte]string {
 		OpNsList:     "ns_list",
 		OpNsStats:    "ns_stats",
 		OpNamespaced: "namespaced",
+		OpTrace:      "trace",
 	}
 }
 
@@ -463,6 +494,23 @@ func AppendNamespaced(dst []byte, ns []byte) []byte {
 	return append(dst, ns...)
 }
 
+// AppendTrace begins a TRACE envelope carrying a trace id and parent
+// span id; the caller appends a complete inner request payload (which
+// may itself be a NAMESPACED envelope) after it.
+func AppendTrace(dst []byte, traceID [TraceIDLen]byte, parentSpan uint64) []byte {
+	dst = append(dst, OpTrace, TraceIDLen+8)
+	dst = append(dst, traceID[:]...)
+	return appendU64(dst, parentSpan)
+}
+
+// AppendTraceUntraced begins the zero-length TRACE form: the envelope
+// is present but carries no ids, and the inner request is handled
+// untraced. Exists so an envelope-unconditional sender costs two bytes
+// when tracing is off.
+func AppendTraceUntraced(dst []byte) []byte {
+	return append(dst, OpTrace, 0)
+}
+
 func appendNsName(dst []byte, ns []byte) []byte {
 	dst = append(dst, byte(len(ns)))
 	return append(dst, ns...)
@@ -555,6 +603,12 @@ type Request struct {
 	Off   uint64   // REPLICATE: resume byte offset
 	NS    []byte   // namespace name (nil/empty: default namespace)
 	NsCfg NsConfig // CREATE_NS: configuration overrides
+
+	// Tracing (TRACE envelope). Traced is set only by the full form;
+	// the zero-length form decodes as an untraced request.
+	TraceID    [TraceIDLen]byte // propagated trace id
+	ParentSpan uint64           // caller's span id
+	Traced     bool             // request arrived inside a full TRACE envelope
 }
 
 // DecodeRequest parses a request payload.
@@ -692,6 +746,10 @@ func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 		switch inner[0] {
 		case OpNamespaced:
 			return Request{}, errors.New("wire: namespaced: nested envelope")
+		case OpTrace:
+			// TRACE is always outermost: TRACE[NAMESPACED[op]] is legal,
+			// NAMESPACED[TRACE[op]] is not.
+			return Request{}, errors.New("wire: namespaced: trace envelope must be outermost")
 		case OpReplicate, OpNsCreate, OpNsDrop, OpNsList, OpNsStats:
 			return Request{}, fmt.Errorf("wire: namespaced: %s cannot be enveloped", OpName(inner[0]))
 		}
@@ -700,6 +758,37 @@ func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 			return Request{}, err
 		}
 		req.NS = name
+	case OpTrace:
+		if len(body) < 1 {
+			return Request{}, errors.New("wire: trace: truncated id length")
+		}
+		idLen := int(body[0])
+		if idLen != 0 && idLen != TraceIDLen+8 {
+			return Request{}, fmt.Errorf("wire: trace: id length %d, want 0 or %d", idLen, TraceIDLen+8)
+		}
+		if len(body) < 1+idLen {
+			return Request{}, errors.New("wire: trace: truncated id block")
+		}
+		ids, inner := body[1:1+idLen], body[1+idLen:]
+		if len(inner) == 0 {
+			return Request{}, errors.New("wire: trace: empty inner request")
+		}
+		switch inner[0] {
+		case OpTrace:
+			return Request{}, errors.New("wire: trace: nested trace envelope")
+		case OpReplicate:
+			return Request{}, errors.New("wire: trace: replicate cannot be traced")
+		}
+		req, err := DecodeRequestInto(inner, scratch)
+		if err != nil {
+			return Request{}, err
+		}
+		if idLen != 0 {
+			copy(req.TraceID[:], ids[:TraceIDLen])
+			req.ParentSpan = binary.LittleEndian.Uint64(ids[TraceIDLen:])
+			req.Traced = true
+		}
+		return req, nil
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode 0x%02x", req.Op)
 	}
@@ -816,6 +905,13 @@ type RepFrame struct {
 	CumBytes   uint64 // primary's cumulative WAL bytes when the frame was sent
 	NumRecords uint32 // records in Data (RepRecords only)
 	Data       []byte // marshaled filter (RepSnapshot) or raw records (RepRecords)
+
+	// SentUnixNanos is the primary's clock when a heartbeat was sent
+	// (RepHeartbeat only; 0 on legacy 32-byte heartbeats). It converts
+	// replication lag to the time domain: a caught-up replica's lag is
+	// its receive time minus SentUnixNanos — ≈ clock skew + one network
+	// hop when idle — instead of a stale "time since last apply".
+	SentUnixNanos uint64
 }
 
 // AppendRepSnapshot encodes a bootstrap frame: the complete filter state
@@ -843,13 +939,15 @@ func AppendRepRecords(dst []byte, seq, off, cumRecords, cumBytes uint64, n uint3
 }
 
 // AppendRepHeartbeat encodes a caught-up heartbeat reporting the
-// primary's current end position.
-func AppendRepHeartbeat(dst []byte, seq, off, cumRecords, cumBytes uint64) []byte {
+// primary's current end position and send time (unix nanos). Decoders
+// also accept the legacy 32-byte timestamp-less form.
+func AppendRepHeartbeat(dst []byte, seq, off, cumRecords, cumBytes, sentUnixNanos uint64) []byte {
 	dst = append(dst, RepHeartbeat)
 	dst = appendU64(dst, seq)
 	dst = appendU64(dst, off)
 	dst = appendU64(dst, cumRecords)
-	return appendU64(dst, cumBytes)
+	dst = appendU64(dst, cumBytes)
+	return appendU64(dst, sentUnixNanos)
 }
 
 // DecodeRepFrame parses one replication stream frame payload.
@@ -884,13 +982,17 @@ func DecodeRepFrame(payload []byte) (RepFrame, error) {
 			return RepFrame{}, fmt.Errorf("wire: implausible record count %d for %d bytes", f.NumRecords, len(f.Data))
 		}
 	case RepHeartbeat:
-		if len(body) != 32 {
-			return RepFrame{}, fmt.Errorf("wire: heartbeat frame has %d bytes, want 32", len(body))
+		// 32 bytes: legacy timestamp-less heartbeat; 40: with send time.
+		if len(body) != 32 && len(body) != 40 {
+			return RepFrame{}, fmt.Errorf("wire: heartbeat frame has %d bytes, want 32 or 40", len(body))
 		}
 		f.Seq = binary.LittleEndian.Uint64(body[0:8])
 		f.Off = binary.LittleEndian.Uint64(body[8:16])
 		f.CumRecords = binary.LittleEndian.Uint64(body[16:24])
 		f.CumBytes = binary.LittleEndian.Uint64(body[24:32])
+		if len(body) == 40 {
+			f.SentUnixNanos = binary.LittleEndian.Uint64(body[32:40])
+		}
 	default:
 		return RepFrame{}, fmt.Errorf("wire: unknown replication frame type 0x%02x", f.Type)
 	}

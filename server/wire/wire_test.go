@@ -116,6 +116,26 @@ func TestRequestRoundTrip(t *testing.T) {
 			AppendNsCreateRequest(nil, []byte("t"), NsConfig{}),
 			Request{Op: OpNsCreate, NS: []byte("t")},
 		},
+		{
+			"traced insert",
+			AppendKeyRequest(AppendTrace(nil, [TraceIDLen]byte{0xAA, 1, 2, 3}, 77), OpInsert, key),
+			Request{Op: OpInsert, Key: key, TraceID: [TraceIDLen]byte{0xAA, 1, 2, 3}, ParentSpan: 77, Traced: true},
+		},
+		{
+			"traced namespaced batch",
+			AppendBatchRequest(AppendNamespaced(AppendTrace(nil, [TraceIDLen]byte{9}, 1<<40), []byte("t5")), OpContainsBatch, keys),
+			Request{Op: OpContainsBatch, Keys: keys, NS: []byte("t5"), TraceID: [TraceIDLen]byte{9}, ParentSpan: 1 << 40, Traced: true},
+		},
+		{
+			"trace zero-length form",
+			AppendKeyRequest(AppendTraceUntraced(nil), OpContains, key),
+			Request{Op: OpContains, Key: key},
+		},
+		{
+			"traced ttl",
+			AppendInsertTTLRequest(AppendTrace(nil, [TraceIDLen]byte{7, 7}, 3), key, 5e9),
+			Request{Op: OpInsertTTL, Key: key, TTL: 5e9, TraceID: [TraceIDLen]byte{7, 7}, ParentSpan: 3, Traced: true},
+		},
 	}
 	for _, c := range cases {
 		got, err := DecodeRequest(c.payload)
@@ -130,6 +150,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.Seq != c.want.Seq || got.Off != c.want.Off {
 			t.Fatalf("%s: position (%d, %d), want (%d, %d)", c.name, got.Seq, got.Off, c.want.Seq, c.want.Off)
+		}
+		if got.TraceID != c.want.TraceID || got.ParentSpan != c.want.ParentSpan || got.Traced != c.want.Traced {
+			t.Fatalf("%s: trace %x/%d/%v, want %x/%d/%v", c.name,
+				got.TraceID, got.ParentSpan, got.Traced, c.want.TraceID, c.want.ParentSpan, c.want.Traced)
 		}
 		if len(got.Keys) != len(c.want.Keys) {
 			t.Fatalf("%s: %d keys, want %d", c.name, len(got.Keys), len(c.want.Keys))
@@ -188,6 +212,16 @@ func TestDecodeRequestRejectsMalformed(t *testing.T) {
 		"envelope ns_stats":      append([]byte{OpNamespaced, 1, 'a'}, AppendNsStatsRequest(nil, []byte("b"))...),
 		"envelope bad inner":     {OpNamespaced, 1, 'a', OpInsert, 9, 0, 0, 0, 'x'},
 		"envelope unknown op":    {OpNamespaced, 1, 'a', 0xEE},
+		"trace no id len":        {OpTrace},
+		"trace bad id len":       {OpTrace, 7, 1, 2, 3, 4, 5, 6, 7, OpLen},
+		"trace short id block":   {OpTrace, 24, 1, 2, 3},
+		"trace empty inner":      AppendTrace(nil, [TraceIDLen]byte{1}, 2),
+		"trace nested":           append(AppendTraceUntraced(nil), AppendTraceUntraced(nil)...),
+		"trace nested full":      AppendKeyRequest(AppendTrace(AppendTrace(nil, [TraceIDLen]byte{1}, 2), [TraceIDLen]byte{3}, 4), OpInsert, []byte("k")),
+		"trace replicate":        append(AppendTrace(nil, [TraceIDLen]byte{1}, 2), AppendReplicateRequest(nil, 1, 2)...),
+		"trace inside envelope":  append(AppendNamespaced(nil, []byte("a")), AppendKeyRequest(AppendTraceUntraced(nil), OpInsert, []byte("k"))...),
+		"trace bad inner":        AppendKeyRequest(AppendTrace(nil, [TraceIDLen]byte{1}, 2), OpInsert, nil)[:28],
+		"trace unknown op":       append(AppendTraceUntraced(nil), 0xEE),
 	}
 	for name, payload := range bad {
 		if _, err := DecodeRequest(payload); err == nil {
@@ -392,7 +426,13 @@ func TestRepFrameRoundTrip(t *testing.T) {
 		},
 		{
 			"heartbeat",
-			AppendRepHeartbeat(nil, 5, 1<<40, 7, 9),
+			AppendRepHeartbeat(nil, 5, 1<<40, 7, 9, 1700000000000000042),
+			RepFrame{Type: RepHeartbeat, Seq: 5, Off: 1 << 40, CumRecords: 7, CumBytes: 9, SentUnixNanos: 1700000000000000042},
+		},
+		{
+			// Legacy 32-byte heartbeat body (no send timestamp) still decodes.
+			"heartbeat legacy",
+			AppendRepHeartbeat(nil, 5, 1<<40, 7, 9, 0)[:33],
 			RepFrame{Type: RepHeartbeat, Seq: 5, Off: 1 << 40, CumRecords: 7, CumBytes: 9},
 		},
 	}
@@ -403,7 +443,8 @@ func TestRepFrameRoundTrip(t *testing.T) {
 		}
 		if got.Type != c.want.Type || got.Seq != c.want.Seq || got.Off != c.want.Off ||
 			got.CumRecords != c.want.CumRecords || got.CumBytes != c.want.CumBytes ||
-			got.NumRecords != c.want.NumRecords || !bytes.Equal(got.Data, c.want.Data) {
+			got.NumRecords != c.want.NumRecords || got.SentUnixNanos != c.want.SentUnixNanos ||
+			!bytes.Equal(got.Data, c.want.Data) {
 			t.Fatalf("%s: got %+v, want %+v", c.name, got, c.want)
 		}
 	}
@@ -418,7 +459,8 @@ func TestDecodeRepFrameRejectsMalformed(t *testing.T) {
 		"records short":      append([]byte{RepRecords}, make([]byte, 35)...),
 		"records bad count":  AppendRepRecords(nil, 1, 0, 0, 0, 1<<30, []byte("tiny")),
 		"heartbeat short":    {RepHeartbeat, 1},
-		"heartbeat trailing": append(AppendRepHeartbeat(nil, 1, 2, 3, 4), 0xFF),
+		"heartbeat odd size": AppendRepHeartbeat(nil, 1, 2, 3, 4, 5)[:37],
+		"heartbeat trailing": append(AppendRepHeartbeat(nil, 1, 2, 3, 4, 5), 0xFF),
 	}
 	for name, payload := range bad {
 		if _, err := DecodeRepFrame(payload); err == nil {
