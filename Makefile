@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: build test vet lint race race-serving bench bench-json bench-saturation bench-cluster fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e ns-e2e obs-smoke sim-multi-seed loadgen-smoke ci
+.PHONY: build test vet lint race race-serving bench bench-json bench-saturation bench-cluster fuzz-kernel fuzz-wire serve integration cluster-e2e window-e2e ns-e2e elastic-e2e reshard-e2e obs-smoke sim-multi-seed loadgen-smoke ci
 
 build:
 	$(GO) build ./...
@@ -143,14 +143,33 @@ window-e2e:
 ns-e2e:
 	$(GO) test -race -count=1 -run 'TestIntegrationNamespaces' -v ./server
 
+# elastic-e2e builds the daemon with -elastic and SIGKILLs it while
+# concurrent writers push the default chain, an elastic namespace, and
+# a windowed namespace past their seed geometries: recovery must keep
+# every acked insert, preserve the chain shape, and replay byte-exactly
+# a second time.
+elastic-e2e:
+	$(GO) test -race -count=1 -run 'TestIntegrationElasticCrashMidGrowth' -v ./server
+
+# reshard-e2e grows a live 2-primary elastic cluster to three primaries
+# under concurrent writers: the coordinator pushes the joint (dual-write)
+# ring, snapshot-transfers both donors into the new node (DUMP->IMPORT
+# with durable acks), and cuts over. Zero acked-insert loss, reads
+# correct throughout, and every node's post-cutover DUMP byte-identical
+# across a SIGKILL + replay.
+reshard-e2e:
+	$(GO) test -race -count=1 -run 'TestReshardE2E' -v ./cluster
+
 # sim-multi-seed runs the deterministic fault-schedule harness: for
 # each seed in MPCBF_SIM_SEEDS, a generated schedule (primary
 # kill+restart, replica-link partition+heal, slow-fsync fault+repair)
 # is replayed twice against a live primary/replica pair under loadgen
 # traffic. Each replay asserts zero acked-write loss and a
 # byte-identical replica dump; the two replays' event logs must match
-# byte for byte. MPCBF_SIM_ARTIFACTS (a directory) collects per-seed
-# event logs; MPCBF_SIM_DURATION scales the traffic window.
+# byte for byte. The first seed additionally replays as an elastic pair
+# under a grow-mode keyspace ramp, so ELASTIC_GROW barriers replicate
+# through the same faults. MPCBF_SIM_ARTIFACTS (a directory) collects
+# per-seed event logs; MPCBF_SIM_DURATION scales the traffic window.
 MPCBF_SIM_SEEDS ?= 1,2,3
 MPCBF_SIM_ARTIFACTS ?=
 sim-multi-seed:
@@ -240,5 +259,5 @@ obs-smoke:
 		| tee $$dir/traces.txt; \
 	grep -q '^trace ' $$dir/traces.txt
 
-ci: build lint race integration window-e2e cluster-e2e ns-e2e obs-smoke loadgen-smoke sim-multi-seed
+ci: build lint race integration window-e2e cluster-e2e ns-e2e elastic-e2e reshard-e2e obs-smoke loadgen-smoke sim-multi-seed
 	$(GO) test -run '^$$' -bench 'Ops' -benchtime 100x .

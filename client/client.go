@@ -241,8 +241,12 @@ func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint6
 		dst = wire.AppendNamespaced(dst, ns)
 	}
 	switch op {
-	case wire.OpLen, wire.OpDump, wire.OpWindowStats:
+	case wire.OpLen, wire.OpDump, wire.OpWindowStats, wire.OpElasticStats, wire.OpRingGet:
 		return append(dst, op)
+	case wire.OpRingSet, wire.OpImport:
+		// key carries the pre-encoded payload (ring descriptor / filter
+		// blob); both ops are op-byte-plus-raw-bytes on the wire.
+		return append(append(dst, op), key...)
 	case wire.OpInsertBatch, wire.OpDeleteBatch, wire.OpContainsBatch:
 		return wire.AppendBatchRequest(dst, op, keys)
 	case wire.OpInsertTTL:
@@ -255,8 +259,8 @@ func encodeRequest(dst []byte, op byte, ns, key []byte, keys [][]byte, ttl uint6
 }
 
 // do runs one non-namespaced, untraced operation; see doNS.
-func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, error) {
-	return c.doNS(op, nil, key, keys, ttl, wire.NsConfig{}, Trace{})
+func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64, dec func([]byte) error) error {
+	return c.doNS(op, nil, key, keys, ttl, wire.NsConfig{}, Trace{}, dec)
 }
 
 // doNS runs one operation, re-encoding the request from its arguments on
@@ -265,9 +269,15 @@ func (c *Client) do(op byte, key []byte, keys [][]byte, ttl uint64) ([]byte, err
 // connections; transport failures retry idempotent ops with backoff and
 // convert mutation interruptions to ErrMaybeApplied. Callers must not
 // hold c.mu.
-func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig, tc Trace) ([]byte, error) {
+//
+// dec, when non-nil, is invoked on the OK response body while the
+// connection lock is still held: the body aliases the client's reused
+// buffer, which the next request on this connection overwrites, so it
+// must be decoded (or copied) before the lock is released — never
+// retained.
+func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wire.NsConfig, tc Trace, dec func([]byte) error) error {
 	if len(ns) > wire.MaxNamespaceLen {
-		return nil, fmt.Errorf("mpcbfd: namespace name %d bytes long (max %d)", len(ns), wire.MaxNamespaceLen)
+		return fmt.Errorf("mpcbfd: namespace name %d bytes long (max %d)", len(ns), wire.MaxNamespaceLen)
 	}
 	c.stRequests.Add(1)
 	c.mu.Lock()
@@ -275,14 +285,14 @@ func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wi
 	for attempt := 0; ; attempt++ {
 		if c.err != nil {
 			if c.closed {
-				return nil, errors.New("mpcbfd: client closed")
+				return errors.New("mpcbfd: client closed")
 			}
 			if !c.reconnect {
-				return nil, fmt.Errorf("mpcbfd: client broken by earlier error: %w", c.err)
+				return fmt.Errorf("mpcbfd: client broken by earlier error: %w", c.err)
 			}
 			if err := c.redial(); err != nil {
 				if attempt+1 >= c.attempts {
-					return nil, err
+					return err
 				}
 				c.stRetries.Add(1)
 				c.backoff(attempt)
@@ -296,25 +306,28 @@ func (c *Client) doNS(op byte, ns, key []byte, keys [][]byte, ttl uint64, cfg wi
 		c.buf = payload
 		body, err := c.roundTrip(payload)
 		if err == nil {
-			return body, nil
+			if dec != nil {
+				return dec(body)
+			}
+			return nil
 		}
 		var se *ServerError
 		var ro *ReadOnlyError
 		if errors.As(err, &se) || errors.As(err, &ro) {
-			return nil, err // operation-level: the stream is still in sync
+			return err // operation-level: the stream is still in sync
 		}
 		if !c.reconnect {
-			return nil, err
+			return err
 		}
 		if wire.IsMutation(op) {
 			// The request may have been applied before the connection
 			// died; retrying could double-count. The broken connection is
 			// left for the next call to redial.
 			c.stMaybeApplied.Add(1)
-			return nil, fmt.Errorf("%w (%v)", ErrMaybeApplied, err)
+			return fmt.Errorf("%w (%v)", ErrMaybeApplied, err)
 		}
 		if attempt+1 >= c.attempts {
-			return nil, err
+			return err
 		}
 		c.stRetries.Add(1)
 		c.backoff(attempt)
@@ -398,49 +411,47 @@ func (c *Client) fail(err error) error {
 // Insert adds key. A nil return means the daemon acknowledged the
 // mutation under its configured durability policy.
 func (c *Client) Insert(key []byte) error {
-	_, err := c.do(wire.OpInsert, key, nil, 0)
-	return err
+	return c.do(wire.OpInsert, key, nil, 0, nil)
 }
 
 // Delete removes a previously inserted key.
 func (c *Client) Delete(key []byte) error {
-	_, err := c.do(wire.OpDelete, key, nil, 0)
-	return err
+	return c.do(wire.OpDelete, key, nil, 0, nil)
 }
 
 // Contains reports whether key may be in the set.
 func (c *Client) Contains(key []byte) (bool, error) {
-	body, err := c.do(wire.OpContains, key, nil, 0)
-	if err != nil {
-		return false, err
-	}
-	return wire.DecodeBool(body)
+	var ok bool
+	err := c.do(wire.OpContains, key, nil, 0, func(body []byte) (err error) {
+		ok, err = wire.DecodeBool(body)
+		return err
+	})
+	return ok, err
 }
 
 // EstimateCount returns an upper bound on key's multiplicity.
 func (c *Client) EstimateCount(key []byte) (int, error) {
-	body, err := c.do(wire.OpEstimate, key, nil, 0)
-	if err != nil {
-		return 0, err
-	}
-	v, err := wire.DecodeU64(body)
+	var v uint64
+	err := c.do(wire.OpEstimate, key, nil, 0, func(body []byte) (err error) {
+		v, err = wire.DecodeU64(body)
+		return err
+	})
 	return int(v), err
 }
 
 // Len returns the daemon's current element count.
 func (c *Client) Len() (int, error) {
-	body, err := c.do(wire.OpLen, nil, nil, 0)
-	if err != nil {
-		return 0, err
-	}
-	v, err := wire.DecodeU64(body)
+	var v uint64
+	err := c.do(wire.OpLen, nil, nil, 0, func(body []byte) (err error) {
+		v, err = wire.DecodeU64(body)
+		return err
+	})
 	return int(v), err
 }
 
 // InsertBatch inserts keys as one request (one WAL commit server-side).
 func (c *Client) InsertBatch(keys [][]byte) error {
-	_, err := c.do(wire.OpInsertBatch, nil, keys, 0)
-	return err
+	return c.do(wire.OpInsertBatch, nil, keys, 0, nil)
 }
 
 // DeleteBatch deletes keys as one request, returning order-preserving
@@ -452,11 +463,15 @@ func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 // DeleteBatchInto is DeleteBatch decoding into dst's backing array:
 // a caller reusing the returned slice across batches stops allocating.
 func (c *Client) DeleteBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := c.do(wire.OpDeleteBatch, nil, keys, 0)
+	var out []bool
+	err := c.do(wire.OpDeleteBatch, nil, keys, 0, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, dst)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, dst)
+	return out, nil
 }
 
 // ContainsBatch answers membership for keys, order-preserving.
@@ -467,11 +482,15 @@ func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 // ContainsBatchInto is ContainsBatch decoding into dst's backing array:
 // a caller reusing the returned slice across batches stops allocating.
 func (c *Client) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := c.do(wire.OpContainsBatch, nil, keys, 0)
+	var out []bool
+	err := c.do(wire.OpContainsBatch, nil, keys, 0, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, dst)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, dst)
+	return out, nil
 }
 
 // InsertTTL inserts key with a per-key lifetime: against a windowed
@@ -479,25 +498,24 @@ func (c *Client) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
 // window span, at rotation granularity. A non-windowed daemon answers
 // with a *ServerError.
 func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
-	_, err := c.do(wire.OpInsertTTL, key, nil, uint64(max(ttl, 0)))
-	return err
+	return c.do(wire.OpInsertTTL, key, nil, uint64(max(ttl, 0)), nil)
 }
 
 // InsertTTLBatch inserts keys sharing one TTL as a single request (one
 // WAL commit server-side). Windowed daemons only.
 func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	_, err := c.do(wire.OpInsertTTLBatch, nil, keys, uint64(max(ttl, 0)))
-	return err
+	return c.do(wire.OpInsertTTLBatch, nil, keys, uint64(max(ttl, 0)), nil)
 }
 
 // WindowStats reports a windowed daemon's generation ring: size, head
 // slot, rotation count, span, and per-slot item counts.
 func (c *Client) WindowStats() (wire.WindowStats, error) {
-	body, err := c.do(wire.OpWindowStats, nil, nil, 0)
-	if err != nil {
-		return wire.WindowStats{}, err
-	}
-	return wire.DecodeWindowStats(body)
+	var st wire.WindowStats
+	err := c.do(wire.OpWindowStats, nil, nil, 0, func(body []byte) (err error) {
+		st, err = wire.DecodeWindowStats(body)
+		return err
+	})
+	return st, err
 }
 
 // Dump fetches a consistent point-in-time binary encoding of the
@@ -505,11 +523,64 @@ func (c *Client) WindowStats() (wire.WindowStats, error) {
 // window.UnmarshalFilter when window.IsWindowed reports a windowed
 // daemon's encoding). The returned slice is the caller's to keep.
 func (c *Client) Dump() ([]byte, error) {
-	body, err := c.do(wire.OpDump, nil, nil, 0)
+	var blob []byte
+	err := c.do(wire.OpDump, nil, nil, 0, func(body []byte) error {
+		blob = append([]byte(nil), body...)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return append([]byte(nil), body...), nil
+	return blob, nil
+}
+
+// Import hands the daemon a complete marshaled filter (Sharded or an
+// elastic chain's encoding) to absorb as frozen generation(s) of its
+// elastic filter — the snapshot-transfer half of resharding. The nil
+// return means every imported generation is durable on the daemon.
+func (c *Client) Import(blob []byte) error {
+	return c.do(wire.OpImport, blob, nil, 0, nil)
+}
+
+// ElasticStats reports an elastic daemon's chain shape: generation
+// count, growth/import counters, and per-generation fill and FPR
+// budget. Non-elastic daemons answer with a *ServerError.
+func (c *Client) ElasticStats() (wire.ElasticStats, error) {
+	var st wire.ElasticStats
+	err := c.do(wire.OpElasticStats, nil, nil, 0, func(body []byte) (err error) {
+		st, err = wire.DecodeElasticStats(body)
+		return err
+	})
+	return st, err
+}
+
+// RingSet pushes a cluster ring descriptor to the daemon, which adopts
+// it iff the epoch is newer than what it holds and answers OK either
+// way — pushing an old descriptor is harmless, so retries are safe.
+func (c *Client) RingSet(r wire.Ring) error {
+	return c.do(wire.OpRingSet, wire.AppendRing(nil, r), nil, 0, nil)
+}
+
+// RingGet reads back the daemon's current ring descriptor. Epoch 0
+// means no ring has been installed.
+func (c *Client) RingGet() (wire.Ring, error) {
+	var r wire.Ring
+	err := c.do(wire.OpRingGet, nil, nil, 0, func(body []byte) error {
+		var rest []byte
+		var err error
+		r, rest, err = wire.DecodeRing(body)
+		if err != nil {
+			return fmt.Errorf("mpcbfd: ring_get response: %w", err)
+		}
+		if len(rest) != 0 {
+			return errors.New("mpcbfd: ring_get response: trailing bytes")
+		}
+		return nil
+	})
+	if err != nil {
+		return wire.Ring{}, err
+	}
+	return r, nil
 }
 
 // scratch hands out the reused request buffer; callers hold c.mu.
@@ -532,70 +603,74 @@ type TracedClient struct {
 
 // Insert adds key, traced.
 func (t TracedClient) Insert(key []byte) error {
-	_, err := t.c.doNS(wire.OpInsert, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
-	return err
+	return t.c.doNS(wire.OpInsert, t.ns, key, nil, 0, wire.NsConfig{}, t.tc, nil)
 }
 
 // Delete removes a previously inserted key, traced.
 func (t TracedClient) Delete(key []byte) error {
-	_, err := t.c.doNS(wire.OpDelete, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
-	return err
+	return t.c.doNS(wire.OpDelete, t.ns, key, nil, 0, wire.NsConfig{}, t.tc, nil)
 }
 
 // Contains reports whether key may be in the set, traced.
 func (t TracedClient) Contains(key []byte) (bool, error) {
-	body, err := t.c.doNS(wire.OpContains, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
-	if err != nil {
-		return false, err
-	}
-	return wire.DecodeBool(body)
+	var ok bool
+	err := t.c.doNS(wire.OpContains, t.ns, key, nil, 0, wire.NsConfig{}, t.tc, func(body []byte) (err error) {
+		ok, err = wire.DecodeBool(body)
+		return err
+	})
+	return ok, err
 }
 
 // EstimateCount returns an upper bound on key's multiplicity, traced.
 func (t TracedClient) EstimateCount(key []byte) (int, error) {
-	body, err := t.c.doNS(wire.OpEstimate, t.ns, key, nil, 0, wire.NsConfig{}, t.tc)
-	if err != nil {
-		return 0, err
-	}
-	v, err := wire.DecodeU64(body)
+	var v uint64
+	err := t.c.doNS(wire.OpEstimate, t.ns, key, nil, 0, wire.NsConfig{}, t.tc, func(body []byte) (err error) {
+		v, err = wire.DecodeU64(body)
+		return err
+	})
 	return int(v), err
 }
 
 // InsertBatch inserts keys as one traced request.
 func (t TracedClient) InsertBatch(keys [][]byte) error {
-	_, err := t.c.doNS(wire.OpInsertBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
-	return err
+	return t.c.doNS(wire.OpInsertBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc, nil)
 }
 
 // DeleteBatch deletes keys as one traced request, returning
 // order-preserving removal flags.
 func (t TracedClient) DeleteBatch(keys [][]byte) ([]bool, error) {
-	body, err := t.c.doNS(wire.OpDeleteBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
+	var out []bool
+	err := t.c.doNS(wire.OpDeleteBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, nil)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, nil)
+	return out, nil
 }
 
 // ContainsBatch answers membership for keys, traced, order-preserving.
 func (t TracedClient) ContainsBatch(keys [][]byte) ([]bool, error) {
-	body, err := t.c.doNS(wire.OpContainsBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc)
+	var out []bool
+	err := t.c.doNS(wire.OpContainsBatch, t.ns, nil, keys, 0, wire.NsConfig{}, t.tc, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, nil)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, nil)
+	return out, nil
 }
 
 // InsertTTL inserts key with a per-key lifetime, traced (windowed
 // daemons only).
 func (t TracedClient) InsertTTL(key []byte, ttl time.Duration) error {
-	_, err := t.c.doNS(wire.OpInsertTTL, t.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc)
-	return err
+	return t.c.doNS(wire.OpInsertTTL, t.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc, nil)
 }
 
 // InsertTTLBatch inserts keys sharing one TTL as a single traced
 // request (windowed daemons only).
 func (t TracedClient) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	_, err := t.c.doNS(wire.OpInsertTTLBatch, t.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc)
-	return err
+	return t.c.doNS(wire.OpInsertTTLBatch, t.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, t.tc, nil)
 }

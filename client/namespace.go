@@ -22,35 +22,38 @@ import (
 // effective configuration succeeds idempotently; with a different
 // configuration it fails with *ServerError.
 func (c *Client) CreateNamespace(name string, cfg wire.NsConfig) error {
-	_, err := c.doNS(wire.OpNsCreate, []byte(name), nil, nil, 0, cfg, Trace{})
-	return err
+	return c.doNS(wire.OpNsCreate, []byte(name), nil, nil, 0, cfg, Trace{}, nil)
 }
 
 // DropNamespace deletes the named filter and everything in it.
 // Dropping a name that does not exist succeeds (idempotent).
 func (c *Client) DropNamespace(name string) error {
-	_, err := c.doNS(wire.OpNsDrop, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{})
-	return err
+	return c.doNS(wire.OpNsDrop, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{}, nil)
 }
 
 // ListNamespaces returns the daemon's namespace names, sorted.
 func (c *Client) ListNamespaces() ([]string, error) {
-	body, err := c.do(wire.OpNsList, nil, nil, 0)
+	var names []string
+	err := c.do(wire.OpNsList, nil, nil, 0, func(body []byte) (err error) {
+		names, err = wire.DecodeNsList(body)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeNsList(body)
+	return names, nil
 }
 
 // NamespaceStats reports one namespace's residency, occupancy, and
 // eviction/recovery counters. The empty name reports the default
 // (anonymous) namespace.
 func (c *Client) NamespaceStats(name string) (wire.NsStats, error) {
-	body, err := c.doNS(wire.OpNsStats, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{})
-	if err != nil {
-		return wire.NsStats{}, err
-	}
-	return wire.DecodeNsStats(body)
+	var st wire.NsStats
+	err := c.doNS(wire.OpNsStats, []byte(name), nil, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		st, err = wire.DecodeNsStats(body)
+		return err
+	})
+	return st, err
 }
 
 // Namespace returns a view whose data operations all target the named
@@ -80,50 +83,48 @@ func (n Namespace) Traced(tc Trace) TracedClient {
 
 // Insert adds key to the namespace.
 func (n Namespace) Insert(key []byte) error {
-	_, err := n.c.doNS(wire.OpInsert, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
-	return err
+	return n.c.doNS(wire.OpInsert, n.ns, key, nil, 0, wire.NsConfig{}, Trace{}, nil)
 }
 
 // Delete removes a previously inserted key from the namespace.
 func (n Namespace) Delete(key []byte) error {
-	_, err := n.c.doNS(wire.OpDelete, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
-	return err
+	return n.c.doNS(wire.OpDelete, n.ns, key, nil, 0, wire.NsConfig{}, Trace{}, nil)
 }
 
 // Contains reports whether key may be in the namespace.
 func (n Namespace) Contains(key []byte) (bool, error) {
-	body, err := n.c.doNS(wire.OpContains, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
-	if err != nil {
-		return false, err
-	}
-	return wire.DecodeBool(body)
+	var ok bool
+	err := n.c.doNS(wire.OpContains, n.ns, key, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		ok, err = wire.DecodeBool(body)
+		return err
+	})
+	return ok, err
 }
 
 // EstimateCount returns an upper bound on key's multiplicity in the
 // namespace.
 func (n Namespace) EstimateCount(key []byte) (int, error) {
-	body, err := n.c.doNS(wire.OpEstimate, n.ns, key, nil, 0, wire.NsConfig{}, Trace{})
-	if err != nil {
-		return 0, err
-	}
-	v, err := wire.DecodeU64(body)
+	var v uint64
+	err := n.c.doNS(wire.OpEstimate, n.ns, key, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		v, err = wire.DecodeU64(body)
+		return err
+	})
 	return int(v), err
 }
 
 // Len returns the namespace's current element count.
 func (n Namespace) Len() (int, error) {
-	body, err := n.c.doNS(wire.OpLen, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
-	if err != nil {
-		return 0, err
-	}
-	v, err := wire.DecodeU64(body)
+	var v uint64
+	err := n.c.doNS(wire.OpLen, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		v, err = wire.DecodeU64(body)
+		return err
+	})
 	return int(v), err
 }
 
 // InsertBatch inserts keys into the namespace as one request.
 func (n Namespace) InsertBatch(keys [][]byte) error {
-	_, err := n.c.doNS(wire.OpInsertBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
-	return err
+	return n.c.doNS(wire.OpInsertBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{}, nil)
 }
 
 // DeleteBatch deletes keys from the namespace as one request, returning
@@ -134,11 +135,15 @@ func (n Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
 
 // DeleteBatchInto is DeleteBatch decoding into dst's backing array.
 func (n Namespace) DeleteBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := n.c.doNS(wire.OpDeleteBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
+	var out []bool
+	err := n.c.doNS(wire.OpDeleteBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, dst)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, dst)
+	return out, nil
 }
 
 // ContainsBatch answers membership in the namespace, order-preserving.
@@ -148,34 +153,37 @@ func (n Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
 
 // ContainsBatchInto is ContainsBatch decoding into dst's backing array.
 func (n Namespace) ContainsBatchInto(keys [][]byte, dst []bool) ([]bool, error) {
-	body, err := n.c.doNS(wire.OpContainsBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{})
+	var out []bool
+	err := n.c.doNS(wire.OpContainsBatch, n.ns, nil, keys, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		out, err = wire.DecodeBoolsInto(body, dst)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBoolsInto(body, dst)
+	return out, nil
 }
 
 // InsertTTL inserts key with a per-key lifetime (windowed namespaces
 // only; a non-windowed namespace answers with *ServerError).
 func (n Namespace) InsertTTL(key []byte, ttl time.Duration) error {
-	_, err := n.c.doNS(wire.OpInsertTTL, n.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{})
-	return err
+	return n.c.doNS(wire.OpInsertTTL, n.ns, key, nil, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{}, nil)
 }
 
 // InsertTTLBatch inserts keys sharing one TTL as a single request
 // (windowed namespaces only).
 func (n Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	_, err := n.c.doNS(wire.OpInsertTTLBatch, n.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{})
-	return err
+	return n.c.doNS(wire.OpInsertTTLBatch, n.ns, nil, keys, uint64(max(ttl, 0)), wire.NsConfig{}, Trace{}, nil)
 }
 
 // WindowStats reports a windowed namespace's generation ring.
 func (n Namespace) WindowStats() (wire.WindowStats, error) {
-	body, err := n.c.doNS(wire.OpWindowStats, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
-	if err != nil {
-		return wire.WindowStats{}, err
-	}
-	return wire.DecodeWindowStats(body)
+	var st wire.WindowStats
+	err := n.c.doNS(wire.OpWindowStats, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) (err error) {
+		st, err = wire.DecodeWindowStats(body)
+		return err
+	})
+	return st, err
 }
 
 // Stats reports the namespace's residency, occupancy, and counters.
@@ -188,9 +196,13 @@ func (n Namespace) Stats() (wire.NsStats, error) {
 // window.UnmarshalFilter when window.IsWindowed reports a windowed
 // encoding). The returned slice is the caller's to keep.
 func (n Namespace) Dump() ([]byte, error) {
-	body, err := n.c.doNS(wire.OpDump, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{})
+	var blob []byte
+	err := n.c.doNS(wire.OpDump, n.ns, nil, nil, 0, wire.NsConfig{}, Trace{}, func(body []byte) error {
+		blob = append([]byte(nil), body...)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return append([]byte(nil), body...), nil
+	return blob, nil
 }

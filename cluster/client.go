@@ -43,10 +43,36 @@ type ClientConfig struct {
 // in input order. Reads prefer replicas (round-robin) and fail over to
 // the primary; writes always go to the primary. Safe for concurrent
 // use.
+//
+// Routing is governed by a ring descriptor (wire.Ring) the client
+// adopts whenever it sees a newer epoch — via UpdateRing, PollRing, or
+// StartRingPoll. The initial membership is the configured primaries at
+// epoch 0. During a joint (dual-write) epoch a mutation goes to the
+// key's owner under BOTH memberships and acks only when both succeed,
+// reads OR both owners, and deletes stay on the pre-change side (the
+// authoritative population until cutover) so a counting filter is never
+// decremented for a key one side never held.
 type Client struct {
-	cfg   ClientConfig
-	nodes []*node
+	cfg ClientConfig
+
+	mu     sync.Mutex       // guards nodes/byAddr growth on ring adoption
+	nodes  []*node          // every node ever known, append-only
+	byAddr map[string]*node // primary address -> node
+
+	ring atomic.Pointer[ringView]
 }
+
+// ringView resolves a ring descriptor's address lists to live nodes.
+// On a stable ring old and new hold the same membership.
+type ringView struct {
+	epoch uint64
+	joint bool
+	old   []*node // membership before the change
+	new   []*node // membership after the change
+}
+
+// rendezvousSalt seeds the per-node score-stream hash; see NewClient.
+const rendezvousSalt = 0x9e3779b97f4a7c15
 
 // node is one shard's connection state: addresses, their rendezvous
 // seed, and lazily dialed connections.
@@ -86,33 +112,181 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
-	c := &Client{cfg: cfg}
-	seen := map[string]bool{}
+	c := &Client{cfg: cfg, byAddr: map[string]*node{}}
 	for _, n := range cfg.Nodes {
 		if n.Primary == "" {
 			return nil, errors.New("cluster: node with empty primary address")
 		}
-		if seen[n.Primary] {
+		if c.byAddr[n.Primary] != nil {
 			return nil, fmt.Errorf("cluster: duplicate primary %s", n.Primary)
 		}
-		seen[n.Primary] = true
-		c.nodes = append(c.nodes, &node{
+		nd := &node{
 			cfg:      &c.cfg,
 			primary:  n.Primary,
 			replicas: append([]string(nil), n.Replicas...),
 			// Seeding the score hash with a hash of the address makes the
 			// per-node score streams independent; the key's placement is a
 			// pure function of (key, set of primary addresses).
-			seed: hashing.XXHash64([]byte(n.Primary), 0x9e3779b97f4a7c15),
-		})
+			seed: hashing.XXHash64([]byte(n.Primary), rendezvousSalt),
+		}
+		c.byAddr[n.Primary] = nd
+		c.nodes = append(c.nodes, nd)
 	}
+	c.ring.Store(&ringView{old: c.nodes, new: c.nodes})
 	return c, nil
+}
+
+// allNodes returns a stable copy of every node ever known — for
+// Close/Snapshot, which must cover nodes a past ring introduced.
+func (c *Client) allNodes() []*node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*node(nil), c.nodes...)
+}
+
+// serving returns the membership authoritative for single-homed
+// operations: the stable membership, or the pre-change side during a
+// joint epoch (the incoming side is still being backfilled).
+func (c *Client) serving() []*node {
+	v := c.ring.Load()
+	if v.joint {
+		return v.old
+	}
+	return v.new
+}
+
+// members returns the union of both ring sides — the set admin
+// operations must reach so an incoming node is not skipped during the
+// joint window.
+func (c *Client) members() []*node {
+	v := c.ring.Load()
+	if !v.joint {
+		return v.new
+	}
+	out := append([]*node(nil), v.old...)
+	for _, n := range v.new {
+		found := false
+		for _, o := range v.old {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// UpdateRing offers a ring descriptor; the client adopts it iff the
+// epoch is newer than the view it routes by, and reports whether it
+// did. Unseen addresses get fresh nodes (primaries only — a ring
+// carries no replica topology); addresses present in both views keep
+// their connections.
+func (c *Client) UpdateRing(r wire.Ring) (bool, error) {
+	if len(r.Old) == 0 || len(r.New) == 0 {
+		return false, errors.New("cluster: ring with an empty membership side")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.ring.Load(); r.Epoch <= cur.epoch {
+		return false, nil
+	}
+	c.ring.Store(&ringView{
+		epoch: r.Epoch,
+		joint: r.Joint,
+		old:   c.sideLocked(r.Old),
+		new:   c.sideLocked(r.New),
+	})
+	return true, nil
+}
+
+// sideLocked resolves one ring side's addresses to nodes, creating
+// nodes for addresses the client has never routed to. Callers hold
+// c.mu.
+func (c *Client) sideLocked(addrs []string) []*node {
+	out := make([]*node, 0, len(addrs))
+	for _, a := range addrs {
+		n := c.byAddr[a]
+		if n == nil {
+			n = &node{cfg: &c.cfg, primary: a, seed: hashing.XXHash64([]byte(a), rendezvousSalt)}
+			c.byAddr[a] = n
+			c.nodes = append(c.nodes, n)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Ring returns the descriptor the client currently routes by. Epoch 0
+// is the configured bootstrap membership.
+func (c *Client) Ring() wire.Ring {
+	v := c.ring.Load()
+	r := wire.Ring{Epoch: v.epoch, Joint: v.joint}
+	for _, n := range v.old {
+		r.Old = append(r.Old, n.primary)
+	}
+	for _, n := range v.new {
+		r.New = append(r.New, n.primary)
+	}
+	return r
+}
+
+// PollRing asks every known node for its ring descriptor and adopts
+// the newest. Unreachable nodes and nodes predating the RING ops are
+// skipped, so polling a cluster that never resharded is a no-op.
+// Reports whether a newer ring was adopted.
+func (c *Client) PollRing() bool {
+	var newest wire.Ring
+	for _, n := range c.allNodes() {
+		cl, err := n.primaryClient()
+		if err != nil {
+			continue
+		}
+		r, err := cl.RingGet()
+		if err != nil {
+			continue
+		}
+		if r.Epoch > newest.Epoch {
+			newest = r
+		}
+	}
+	if newest.Epoch == 0 {
+		return false
+	}
+	adopted, _ := c.UpdateRing(newest)
+	return adopted
+}
+
+// StartRingPoll polls the cluster's ring at interval on a background
+// goroutine — the push path for live resharding. Call the returned
+// function to stop; it is idempotent.
+func (c *Client) StartRingPoll(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.PollRing()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Close closes every open connection.
 func (c *Client) Close() error {
 	var first error
-	for _, n := range c.nodes {
+	for _, n := range c.allNodes() {
 		n.mu.Lock()
 		if n.primaryC != nil {
 			if err := n.primaryC.Close(); err != nil && first == nil {
@@ -131,18 +305,51 @@ func (c *Client) Close() error {
 	return first
 }
 
-// route returns the index of the node owning key.
-func (c *Client) route(key []byte) int {
+// routeIn returns the index within side of the node owning key under
+// the namespace seed perturbation nsH (0 for the default namespace).
+func routeIn(side []*node, nsH uint64, key []byte) int {
 	best, bestScore := 0, uint64(0)
-	for i, n := range c.nodes {
-		if s := hashing.XXHash64(key, n.seed); i == 0 || s > bestScore {
+	for i, n := range side {
+		if s := hashing.XXHash64(key, n.seed^nsH); i == 0 || s > bestScore {
 			best, bestScore = i, s
 		}
 	}
 	return best
 }
 
-func (c *Client) owner(key []byte) *node { return c.nodes[c.route(key)] }
+// route returns the index of the node owning key within the serving
+// membership.
+func (c *Client) route(key []byte) int { return routeIn(c.serving(), 0, key) }
+
+// owners returns the node(s) a write to key must reach: its owner
+// under the serving membership and, during a joint epoch, its owner
+// under the incoming membership when that differs.
+func (c *Client) owners(key []byte) (primary, dual *node) {
+	v := c.ring.Load()
+	if !v.joint {
+		side := v.new
+		return side[routeIn(side, 0, key)], nil
+	}
+	o := v.old[routeIn(v.old, 0, key)]
+	n := v.new[routeIn(v.new, 0, key)]
+	if o == n {
+		return o, nil
+	}
+	return o, n
+}
+
+// mutate runs one mutation against the node's primary, tallying the
+// routing counters.
+func (n *node) mutate(fn func(*client.Client) error) error {
+	n.requests.Add(1)
+	cl, err := n.primaryClient()
+	if err != nil {
+		return err
+	}
+	err = fn(cl)
+	n.noteMutation(err)
+	return err
+}
 
 func (n *node) dialOpts() []client.Option {
 	return []client.Option{
@@ -230,66 +437,79 @@ func (n *node) read(op func(*client.Client) error) error {
 	return last
 }
 
-// Insert adds key on its owning primary.
+// Insert adds key on its owning primary — on both owners, ack-both,
+// during a joint epoch. A joint-window error means the insert may be
+// present on one side only; as with client.ErrMaybeApplied, blindly
+// retrying can double-count.
 func (c *Client) Insert(key []byte) error {
 	return c.insert(key, client.Trace{})
 }
 
 func (c *Client) insert(key []byte, tc client.Trace) error {
-	n := c.owner(key)
-	n.requests.Add(1)
-	cl, err := n.primaryClient()
-	if err != nil {
+	o, dual := c.owners(key)
+	if err := o.mutate(func(cl *client.Client) error { return cl.Traced(tc).Insert(key) }); err != nil {
 		return err
 	}
-	err = cl.Traced(tc).Insert(key)
-	n.noteMutation(err)
-	return err
+	if dual == nil {
+		return nil
+	}
+	return dual.mutate(func(cl *client.Client) error { return cl.Traced(tc).Insert(key) })
 }
 
-// Delete removes key on its owning primary.
+// Delete removes key on its owning primary. During a joint epoch
+// deletes stay on the pre-change owner: it is the authoritative
+// population until cutover, and decrementing a counter the incoming
+// side never incremented would corrupt it. A key dual-written during
+// the window may leave a residual count on the incoming side — benign
+// Bloom residue (possible false positive, never a false negative).
 func (c *Client) Delete(key []byte) error {
 	return c.delete(key, client.Trace{})
 }
 
 func (c *Client) delete(key []byte, tc client.Trace) error {
-	n := c.owner(key)
-	n.requests.Add(1)
-	cl, err := n.primaryClient()
-	if err != nil {
-		return err
-	}
-	err = cl.Traced(tc).Delete(key)
-	n.noteMutation(err)
-	return err
+	side := c.serving()
+	n := side[routeIn(side, 0, key)]
+	return n.mutate(func(cl *client.Client) error { return cl.Traced(tc).Delete(key) })
 }
 
-// InsertTTL adds key on its owning primary with a time-to-live. The
-// node must be serving a windowed store.
+// InsertTTL adds key on its owning primary with a time-to-live (on
+// both owners during a joint epoch). The node must be serving a
+// windowed store.
 func (c *Client) InsertTTL(key []byte, ttl time.Duration) error {
 	return c.insertTTL(key, ttl, client.Trace{})
 }
 
 func (c *Client) insertTTL(key []byte, ttl time.Duration, tc client.Trace) error {
-	n := c.owner(key)
-	n.requests.Add(1)
-	cl, err := n.primaryClient()
-	if err != nil {
+	o, dual := c.owners(key)
+	if err := o.mutate(func(cl *client.Client) error { return cl.Traced(tc).InsertTTL(key, ttl) }); err != nil {
 		return err
 	}
-	err = cl.Traced(tc).InsertTTL(key, ttl)
-	n.noteMutation(err)
-	return err
+	if dual == nil {
+		return nil
+	}
+	return dual.mutate(func(cl *client.Client) error { return cl.Traced(tc).InsertTTL(key, ttl) })
 }
 
-// Contains answers membership from the owning node's read set.
+// Contains answers membership from the owning node's read set. During
+// a joint epoch both owners are consulted and the answers ORed: a key
+// written before the window lives only on the pre-change side, one
+// written during it on both.
 func (c *Client) Contains(key []byte) (bool, error) {
 	return c.contains(key, client.Trace{})
 }
 
 func (c *Client) contains(key []byte, tc client.Trace) (bool, error) {
+	o, dual := c.owners(key)
 	var ok bool
-	err := c.owner(key).read(func(cl *client.Client) error {
+	err := o.read(func(cl *client.Client) error {
+		var err error
+		ok, err = cl.Traced(tc).Contains(key)
+		return err
+	})
+	if err != nil || ok || dual == nil {
+		return ok, err
+	}
+	err = dual.read(func(cl *client.Client) error {
 		var err error
 		ok, err = cl.Traced(tc).Contains(key)
 		return err
@@ -298,26 +518,39 @@ func (c *Client) contains(key []byte, tc client.Trace) (bool, error) {
 }
 
 // EstimateCount returns the multiplicity upper bound from the owning
-// node's read set.
+// node's read set — the max over both owners during a joint epoch
+// (dual-written keys count on both sides; max never double-counts).
 func (c *Client) EstimateCount(key []byte) (int, error) {
 	return c.estimateCount(key, client.Trace{})
 }
 
 func (c *Client) estimateCount(key []byte, tc client.Trace) (int, error) {
+	o, dual := c.owners(key)
 	var v int
-	err := c.owner(key).read(func(cl *client.Client) error {
+	err := o.read(func(cl *client.Client) error {
 		var err error
 		v, err = cl.Traced(tc).EstimateCount(key)
 		return err
 	})
-	return v, err
+	if err != nil || dual == nil {
+		return v, err
+	}
+	var v2 int
+	err = dual.read(func(cl *client.Client) error {
+		var err error
+		v2, err = cl.Traced(tc).EstimateCount(key)
+		return err
+	})
+	return max(v, v2), err
 }
 
-// Len sums the element counts of all primaries. Keys are partitioned by
-// the routing, so the sum is the cluster population.
+// Len sums the element counts of the serving membership's primaries.
+// Keys are partitioned by the routing, so the sum is the cluster
+// population; the incoming side of a joint epoch is excluded because
+// its dual-written and imported keys would double-count.
 func (c *Client) Len() (int, error) {
 	total := 0
-	for _, n := range c.nodes {
+	for _, n := range c.serving() {
 		var v int
 		err := n.read(func(cl *client.Client) error {
 			var err error
@@ -332,24 +565,26 @@ func (c *Client) Len() (int, error) {
 	return total, nil
 }
 
-// split partitions keys by owning node, remembering each key's input
-// position for re-stitching.
-func (c *Client) split(keys [][]byte) (perNode [][][]byte, perNodeIdx [][]int) {
-	perNode = make([][][]byte, len(c.nodes))
-	perNodeIdx = make([][]int, len(c.nodes))
+// split partitions keys by owning node within side under the namespace
+// seed nsH, remembering each key's input position for re-stitching.
+func split(side []*node, nsH uint64, keys [][]byte) (perNode [][][]byte, perNodeIdx [][]int) {
+	perNode = make([][][]byte, len(side))
+	perNodeIdx = make([][]int, len(side))
 	for i, key := range keys {
-		n := c.route(key)
+		n := routeIn(side, nsH, key)
 		perNode[n] = append(perNode[n], key)
 		perNodeIdx[n] = append(perNodeIdx[n], i)
 	}
 	return perNode, perNodeIdx
 }
 
-// fanOut runs fn once per node that owns a non-empty slice of keys,
-// concurrently, and returns the first error.
-func (c *Client) fanOut(perNode [][][]byte, fn func(n *node, keys [][]byte) error) error {
+// fanOut runs fn once per side node that owns a non-empty slice of
+// keys, concurrently, and joins the errors. fn receives the node's
+// index within side so callers can reach the matching perNodeIdx
+// slice.
+func fanOut(side []*node, perNode [][][]byte, fn func(i int, n *node, keys [][]byte) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.nodes))
+	errs := make([]error, len(side))
 	for i, keys := range perNode {
 		if len(keys) == 0 {
 			continue
@@ -357,58 +592,97 @@ func (c *Client) fanOut(perNode [][][]byte, fn func(n *node, keys [][]byte) erro
 		wg.Add(1)
 		go func(i int, n *node, keys [][]byte) {
 			defer wg.Done()
-			errs[i] = fn(n, keys)
-		}(i, c.nodes[i], keys)
+			errs[i] = fn(i, n, keys)
+		}(i, side[i], keys)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
+// sendBatch splits keys over side and fans each sub-batch out to its
+// owning primary with fn.
+func sendBatch(side []*node, keys [][]byte, fn func(cl *client.Client, sub [][]byte) error) error {
+	perNode, _ := split(side, 0, keys)
+	return fanOut(side, perNode, func(_ int, n *node, sub [][]byte) error {
+		n.requests.Add(1)
+		n.batches.Add(1)
+		n.batchKeys.Add(uint64(len(sub)))
+		cl, err := n.primaryClient()
+		if err != nil {
+			return err
+		}
+		err = fn(cl, sub)
+		n.noteMutation(err)
+		return err
+	})
+}
+
+// dualKeys returns the subset of keys whose owner under the incoming
+// membership differs from their owner under the pre-change one — the
+// keys a joint-epoch batch must write twice.
+func dualKeys(v *ringView, keys [][]byte) [][]byte {
+	var out [][]byte
+	for _, key := range keys {
+		if v.old[routeIn(v.old, 0, key)] != v.new[routeIn(v.new, 0, key)] {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
 // InsertBatch inserts keys, split per owning primary and fanned out
 // concurrently. On error some nodes' sub-batches may have been applied
 // and others not: each sub-batch is atomic per node, the whole batch is
-// not.
+// not. During a joint epoch, keys whose ownership is moving are written
+// under both memberships and the batch acks only when both sides did.
 func (c *Client) InsertBatch(keys [][]byte) error {
 	return c.insertBatch(keys, client.Trace{})
 }
 
 func (c *Client) insertBatch(keys [][]byte, tc client.Trace) error {
-	perNode, _ := c.split(keys)
-	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
-		n.requests.Add(1)
-		n.batches.Add(1)
-		n.batchKeys.Add(uint64(len(sub)))
-		cl, err := n.primaryClient()
-		if err != nil {
-			return err
-		}
-		err = cl.Traced(tc).InsertBatch(sub)
-		n.noteMutation(err)
+	v := c.ring.Load()
+	send := func(side []*node, ks [][]byte) error {
+		return sendBatch(side, ks, func(cl *client.Client, sub [][]byte) error {
+			return cl.Traced(tc).InsertBatch(sub)
+		})
+	}
+	if !v.joint {
+		return send(v.new, keys)
+	}
+	if err := send(v.old, keys); err != nil {
 		return err
-	})
+	}
+	if dual := dualKeys(v, keys); len(dual) > 0 {
+		return send(v.new, dual)
+	}
+	return nil
 }
 
 // InsertTTLBatch inserts keys with a shared time-to-live, split per
-// owning primary like InsertBatch. The same partial-application caveat
-// applies: each node's sub-batch is atomic, the whole batch is not.
+// owning primary like InsertBatch (including joint-epoch dual-write).
+// The same partial-application caveat applies: each node's sub-batch is
+// atomic, the whole batch is not.
 func (c *Client) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
 	return c.insertTTLBatch(keys, ttl, client.Trace{})
 }
 
 func (c *Client) insertTTLBatch(keys [][]byte, ttl time.Duration, tc client.Trace) error {
-	perNode, _ := c.split(keys)
-	return c.fanOut(perNode, func(n *node, sub [][]byte) error {
-		n.requests.Add(1)
-		n.batches.Add(1)
-		n.batchKeys.Add(uint64(len(sub)))
-		cl, err := n.primaryClient()
-		if err != nil {
-			return err
-		}
-		err = cl.Traced(tc).InsertTTLBatch(sub, ttl)
-		n.noteMutation(err)
+	v := c.ring.Load()
+	send := func(side []*node, ks [][]byte) error {
+		return sendBatch(side, ks, func(cl *client.Client, sub [][]byte) error {
+			return cl.Traced(tc).InsertTTLBatch(sub, ttl)
+		})
+	}
+	if !v.joint {
+		return send(v.new, keys)
+	}
+	if err := send(v.old, keys); err != nil {
 		return err
-	})
+	}
+	if dual := dualKeys(v, keys); len(dual) > 0 {
+		return send(v.new, dual)
+	}
+	return nil
 }
 
 // WindowStats collects the sliding-window state of every node's
@@ -416,11 +690,12 @@ func (c *Client) insertTTLBatch(keys [][]byte, ttl time.Duration, tc client.Trac
 // or not serving a windowed store, so callers never mistake a partial
 // view for the whole cluster.
 func (c *Client) WindowStats() (map[string]wire.WindowStats, error) {
+	nodes := c.serving()
 	var mu sync.Mutex
-	out := make(map[string]wire.WindowStats, len(c.nodes))
+	out := make(map[string]wire.WindowStats, len(nodes))
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.nodes))
-	for i, n := range c.nodes {
+	errs := make([]error, len(nodes))
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -448,15 +723,17 @@ func (c *Client) WindowStats() (map[string]wire.WindowStats, error) {
 }
 
 // DeleteBatch deletes keys across the cluster and re-stitches the
-// per-key removal flags in input order.
+// per-key removal flags in input order. During a joint epoch deletes
+// stay on the pre-change membership; see Delete.
 func (c *Client) DeleteBatch(keys [][]byte) ([]bool, error) {
 	return c.deleteBatch(keys, client.Trace{})
 }
 
 func (c *Client) deleteBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
-	perNode, perNodeIdx := c.split(keys)
+	side := c.serving()
+	perNode, perNodeIdx := split(side, 0, keys)
 	out := make([]bool, len(keys))
-	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
+	err := fanOut(side, perNode, func(i int, n *node, sub [][]byte) error {
 		n.requests.Add(1)
 		n.batches.Add(1)
 		n.batchKeys.Add(uint64(len(sub)))
@@ -469,7 +746,7 @@ func (c *Client) deleteBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
 			n.noteMutation(err)
 			return err
 		}
-		return c.stitch(out, perNodeIdx, n, flags)
+		return stitch(out, perNodeIdx[i], flags, n.primary, false)
 	})
 	if err != nil {
 		return nil, err
@@ -479,50 +756,80 @@ func (c *Client) deleteBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
 
 // ContainsBatch answers membership for keys across the cluster,
 // re-stitched in input order. Each node's sub-batch goes to its read
-// set with failover.
+// set with failover. During a joint epoch, keys whose ownership is
+// moving are also asked of their incoming owner and the flags ORed.
 func (c *Client) ContainsBatch(keys [][]byte) ([]bool, error) {
 	return c.containsBatch(keys, client.Trace{})
 }
 
 func (c *Client) containsBatch(keys [][]byte, tc client.Trace) ([]bool, error) {
-	perNode, perNodeIdx := c.split(keys)
+	v := c.ring.Load()
 	out := make([]bool, len(keys))
-	err := c.fanOut(perNode, func(n *node, sub [][]byte) error {
-		n.batches.Add(1)
-		n.batchKeys.Add(uint64(len(sub)))
-		var flags []bool
-		rerr := n.read(func(cl *client.Client) error {
-			var err error
-			flags, err = cl.Traced(tc).ContainsBatch(sub)
-			return err
+	ask := func(side []*node, ks [][]byte, positions []int) error {
+		perNode, perNodeIdx := split(side, 0, ks)
+		return fanOut(side, perNode, func(i int, n *node, sub [][]byte) error {
+			n.batches.Add(1)
+			n.batchKeys.Add(uint64(len(sub)))
+			var flags []bool
+			rerr := n.read(func(cl *client.Client) error {
+				var err error
+				flags, err = cl.Traced(tc).ContainsBatch(sub)
+				return err
+			})
+			if rerr != nil {
+				return rerr
+			}
+			idx := perNodeIdx[i]
+			if positions != nil {
+				// ks is a subset; map subset positions back to the input's.
+				mapped := make([]int, len(idx))
+				for j, p := range idx {
+					mapped[j] = positions[p]
+				}
+				idx = mapped
+			}
+			return stitch(out, idx, flags, n.primary, positions != nil)
 		})
-		if rerr != nil {
-			return rerr
+	}
+	if !v.joint {
+		if err := ask(v.new, keys, nil); err != nil {
+			return nil, err
 		}
-		return c.stitch(out, perNodeIdx, n, flags)
-	})
-	if err != nil {
+		return out, nil
+	}
+	if err := ask(v.old, keys, nil); err != nil {
 		return nil, err
+	}
+	var dual [][]byte
+	var positions []int
+	for i, key := range keys {
+		if v.old[routeIn(v.old, 0, key)] != v.new[routeIn(v.new, 0, key)] {
+			dual = append(dual, key)
+			positions = append(positions, i)
+		}
+	}
+	if len(dual) > 0 {
+		if err := ask(v.new, dual, positions); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 // stitch scatters one node's order-preserving flags back to the input
-// positions recorded by split. Disjoint index sets per node make the
-// concurrent writes race-free.
-func (c *Client) stitch(out []bool, perNodeIdx [][]int, n *node, flags []bool) error {
-	var idx []int
-	for i, cand := range c.nodes {
-		if cand == n {
-			idx = perNodeIdx[i]
-			break
-		}
-	}
+// positions recorded by split. Disjoint index sets per pass-and-node
+// make the concurrent writes race-free (the OR pass of a joint-epoch
+// ContainsBatch runs after the first pass completed).
+func stitch(out []bool, idx []int, flags []bool, primary string, or bool) error {
 	if len(flags) != len(idx) {
-		return fmt.Errorf("cluster: node %s answered %d flags for %d keys", n.primary, len(flags), len(idx))
+		return fmt.Errorf("cluster: node %s answered %d flags for %d keys", primary, len(flags), len(idx))
 	}
 	for i, pos := range idx {
-		out[pos] = flags[i]
+		if or {
+			out[pos] = out[pos] || flags[i]
+		} else {
+			out[pos] = flags[i]
+		}
 	}
 	return nil
 }
@@ -603,13 +910,23 @@ type NodeStats struct {
 
 // ClientStats is a point-in-time view of the cluster client's routing.
 type ClientStats struct {
-	Nodes []NodeStats `json:"nodes"`
+	// RingEpoch and RingJoint describe the membership descriptor the
+	// client routes by (epoch 0 = configured bootstrap membership).
+	RingEpoch uint64      `json:"ring_epoch"`
+	RingJoint bool        `json:"ring_joint"`
+	Nodes     []NodeStats `json:"nodes"`
 }
 
 // Snapshot returns per-node routing and connection counters.
 func (c *Client) Snapshot() ClientStats {
-	st := ClientStats{Nodes: make([]NodeStats, 0, len(c.nodes))}
-	for _, n := range c.nodes {
+	nodes := c.allNodes()
+	v := c.ring.Load()
+	st := ClientStats{
+		RingEpoch: v.epoch,
+		RingJoint: v.joint,
+		Nodes:     make([]NodeStats, 0, len(nodes)),
+	}
+	for _, n := range nodes {
 		ns := NodeStats{
 			Primary:      n.primary,
 			Requests:     n.requests.Load(),
@@ -658,4 +975,10 @@ func (c *Client) WriteProm(w io.Writer) {
 		func(ns NodeStats) uint64 { return ns.Failovers })
 	emit("mpcbf_cluster_maybe_applied_total", "Mutations interrupted in transit (ErrMaybeApplied), by node.",
 		func(ns NodeStats) uint64 { return ns.MaybeApplied })
+	fmt.Fprintf(w, "# HELP mpcbf_cluster_ring_epoch Membership descriptor epoch the client routes by.\n# TYPE mpcbf_cluster_ring_epoch gauge\nmpcbf_cluster_ring_epoch %d\n", st.RingEpoch)
+	joint := 0
+	if st.RingJoint {
+		joint = 1
+	}
+	fmt.Fprintf(w, "# HELP mpcbf_cluster_ring_joint Whether the client is inside a dual-write (joint) epoch.\n# TYPE mpcbf_cluster_ring_joint gauge\nmpcbf_cluster_ring_joint %d\n", joint)
 }

@@ -33,38 +33,26 @@ func nsSeed(ns []byte) uint64 {
 	return hashing.XXHash64(ns, nsRouteSalt)
 }
 
-// routeNS returns the index of the node owning key within the namespace
-// whose seed perturbation is nsH.
+// routeNS returns the index of the node owning key within the
+// namespace whose seed perturbation is nsH, over the serving
+// membership. Namespaces route single-homed even during a joint epoch:
+// resharding transfers only the default filter (importing a namespace
+// container is refused), so namespaced keyspaces move only with an
+// explicit per-tenant migration.
 func (c *Client) routeNS(nsH uint64, key []byte) int {
-	best, bestScore := 0, uint64(0)
-	for i, n := range c.nodes {
-		if s := hashing.XXHash64(key, n.seed^nsH); i == 0 || s > bestScore {
-			best, bestScore = i, s
-		}
-	}
-	return best
+	return routeIn(c.serving(), nsH, key)
 }
 
-// splitNS partitions keys by owning node under a namespace seed,
-// remembering each key's input position for re-stitching.
-func (c *Client) splitNS(nsH uint64, keys [][]byte) (perNode [][][]byte, perNodeIdx [][]int) {
-	perNode = make([][][]byte, len(c.nodes))
-	perNodeIdx = make([][]int, len(c.nodes))
-	for i, key := range keys {
-		n := c.routeNS(nsH, key)
-		perNode[n] = append(perNode[n], key)
-		perNodeIdx[n] = append(perNodeIdx[n], i)
-	}
-	return perNode, perNodeIdx
-}
-
-// eachPrimary runs fn against every node's primary concurrently and
-// joins the errors: all-or-error, so callers never mistake a partial
-// cluster answer for a complete one.
+// eachPrimary runs fn against every member node's primary concurrently
+// and joins the errors: all-or-error, so callers never mistake a
+// partial cluster answer for a complete one. During a joint epoch the
+// incoming membership is included — an admin op must reach a node that
+// is about to start owning keys.
 func (c *Client) eachPrimary(fn func(n *node, cl *client.Client) error) error {
+	nodes := c.members()
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.nodes))
-	for i, n := range c.nodes {
+	errs := make([]error, len(nodes))
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -183,7 +171,10 @@ type Namespace struct {
 // Name returns the namespace name this view targets.
 func (v Namespace) Name() string { return v.name }
 
-func (v Namespace) owner(key []byte) *node { return v.c.nodes[v.c.routeNS(v.h, key)] }
+func (v Namespace) owner(key []byte) *node {
+	side := v.c.serving()
+	return side[routeIn(side, v.h, key)]
+}
 
 // Insert adds key on its owning primary within the namespace.
 func (v Namespace) Insert(key []byte) error {
@@ -247,10 +238,11 @@ func (v Namespace) EstimateCount(key []byte) (int, error) {
 	return est, err
 }
 
-// Len sums the namespace's element counts across all primaries.
+// Len sums the namespace's element counts across the serving
+// membership's primaries.
 func (v Namespace) Len() (int, error) {
 	total := 0
-	for _, n := range v.c.nodes {
+	for _, n := range v.c.serving() {
 		var sub int
 		err := n.read(func(cl *client.Client) error {
 			var err error
@@ -269,8 +261,9 @@ func (v Namespace) Len() (int, error) {
 // and fanned out concurrently. Each node's sub-batch is atomic; the
 // whole batch is not.
 func (v Namespace) InsertBatch(keys [][]byte) error {
-	perNode, _ := v.c.splitNS(v.h, keys)
-	return v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+	side := v.c.serving()
+	perNode, _ := split(side, v.h, keys)
+	return fanOut(side, perNode, func(_ int, n *node, sub [][]byte) error {
 		n.requests.Add(1)
 		n.batches.Add(1)
 		n.batchKeys.Add(uint64(len(sub)))
@@ -287,8 +280,9 @@ func (v Namespace) InsertBatch(keys [][]byte) error {
 // InsertTTLBatch inserts keys sharing one TTL, split per owning primary
 // (windowed namespaces only).
 func (v Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
-	perNode, _ := v.c.splitNS(v.h, keys)
-	return v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+	side := v.c.serving()
+	perNode, _ := split(side, v.h, keys)
+	return fanOut(side, perNode, func(_ int, n *node, sub [][]byte) error {
 		n.requests.Add(1)
 		n.batches.Add(1)
 		n.batchKeys.Add(uint64(len(sub)))
@@ -305,9 +299,10 @@ func (v Namespace) InsertTTLBatch(keys [][]byte, ttl time.Duration) error {
 // DeleteBatch deletes keys from the namespace across the cluster and
 // re-stitches the per-key removal flags in input order.
 func (v Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
-	perNode, perNodeIdx := v.c.splitNS(v.h, keys)
+	side := v.c.serving()
+	perNode, perNodeIdx := split(side, v.h, keys)
 	out := make([]bool, len(keys))
-	err := v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+	err := fanOut(side, perNode, func(i int, n *node, sub [][]byte) error {
 		n.requests.Add(1)
 		n.batches.Add(1)
 		n.batchKeys.Add(uint64(len(sub)))
@@ -320,7 +315,7 @@ func (v Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
 			n.noteMutation(err)
 			return err
 		}
-		return v.c.stitch(out, perNodeIdx, n, flags)
+		return stitch(out, perNodeIdx[i], flags, n.primary, false)
 	})
 	if err != nil {
 		return nil, err
@@ -332,9 +327,10 @@ func (v Namespace) DeleteBatch(keys [][]byte) ([]bool, error) {
 // cluster, re-stitched in input order; each node's sub-batch goes to
 // its read set with failover.
 func (v Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
-	perNode, perNodeIdx := v.c.splitNS(v.h, keys)
+	side := v.c.serving()
+	perNode, perNodeIdx := split(side, v.h, keys)
 	out := make([]bool, len(keys))
-	err := v.c.fanOut(perNode, func(n *node, sub [][]byte) error {
+	err := fanOut(side, perNode, func(i int, n *node, sub [][]byte) error {
 		n.batches.Add(1)
 		n.batchKeys.Add(uint64(len(sub)))
 		var flags []bool
@@ -346,7 +342,7 @@ func (v Namespace) ContainsBatch(keys [][]byte) ([]bool, error) {
 		if rerr != nil {
 			return rerr
 		}
-		return v.c.stitch(out, perNodeIdx, n, flags)
+		return stitch(out, perNodeIdx[i], flags, n.primary, false)
 	})
 	if err != nil {
 		return nil, err

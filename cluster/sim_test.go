@@ -142,16 +142,28 @@ func (s *simCluster) slowFsync(d time.Duration) error {
 	}
 }
 
+// simElasticArgs makes the sim pair elastic with a seed geometry small
+// enough that the grow-mode loadgen ramp forces several growth events
+// mid-schedule: ELASTIC_GROW barriers land in the replicated WAL while
+// kills, partitions, and slow fsyncs are in flight.
+var simElasticArgs = []string{"-elastic", "-mem", "262144", "-n", "800"}
+
 // runSim executes one live replay of seed's schedule — fresh data
 // dirs, fresh daemons, loadgen traffic throughout — verifies zero
 // acked loss and replica convergence, and returns the event log.
-func runSim(t *testing.T, bin string, seed uint64, dur time.Duration) []byte {
+// elastic runs the pair as elastic chains under a growing keyspace.
+func runSim(t *testing.T, bin string, seed uint64, dur time.Duration, elastic bool) []byte {
 	paddr, haddr, raddr := e2e.FreePort(t), e2e.FreePort(t), e2e.FreePort(t)
+	var extra []string
+	if elastic {
+		extra = simElasticArgs
+	}
 	sim := &simCluster{
 		t:        t,
 		httpAddr: haddr,
 		cfg: e2e.DaemonConfig{
 			Bin: bin, Dir: t.TempDir(), Addr: paddr, HTTPAddr: haddr, Chaos: true,
+			Extra: extra,
 		},
 	}
 	sim.primary = e2e.StartDaemon(t, sim.cfg)
@@ -166,6 +178,7 @@ func runSim(t *testing.T, bin string, seed uint64, dur time.Duration) []byte {
 	sim.proxy = proxy
 	e2e.StartDaemon(t, e2e.DaemonConfig{
 		Bin: bin, Dir: t.TempDir(), Addr: raddr, ReplicateFrom: proxy.Addr(),
+		Extra: extra,
 	})
 	rc := e2e.DialRetry(t, raddr)
 	defer rc.Close()
@@ -185,6 +198,8 @@ func runSim(t *testing.T, bin string, seed uint64, dur time.Duration) []byte {
 		Mix:         loadgen.Mix{Insert: 50, Contains: 50},
 		Keyspace:    dataset.KeyspaceConfig{N: 4000, ZipfS: 1.05, Prefix: fmt.Sprintf("sim%d", seed)},
 		Seed:        seed,
+		Grow:        elastic, // ramp the keyspace so the chain grows mid-schedule
+		GrowSteps:   2,
 		Reconnect:   true,
 		OnMutation: func(op loadgen.Op, key []byte, err error) {
 			if err == nil && op == loadgen.OpInsert {
@@ -234,6 +249,19 @@ func runSim(t *testing.T, bin string, seed uint64, dur time.Duration) []byte {
 
 	pc := e2e.DialRetry(t, paddr)
 	defer pc.Close()
+
+	if elastic {
+		// Enough distinct keys saturate the 800-item seed generation, so
+		// the chain must have grown — and those growth events replicated.
+		st, err := pc.ElasticStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: elastic chain %d generations, %d grows", seed, len(st.Gens), st.Grows)
+		if len(keys) > 1200 && st.Grows == 0 {
+			t.Fatalf("%d distinct keys but the chain never grew: %+v", len(keys), st)
+		}
+	}
 
 	// Convergence: the replica must mirror the primary byte for byte,
 	// even across the primary kill (a replica that outlived unsynced
@@ -285,26 +313,35 @@ func TestSimMultiSeed(t *testing.T) {
 	bin := e2e.BuildDaemon(t)
 	dur := simDuration(t)
 	artifacts := os.Getenv("MPCBF_SIM_ARTIFACTS")
-	for _, seed := range simSeeds(t) {
+	replay := func(t *testing.T, seed uint64, elastic bool, name string) {
+		want := chaos.Generate(seed, simGenConfig(dur)).Format()
+		log1 := runSim(t, bin, seed, dur, elastic)
+		log2 := runSim(t, bin, seed, dur, elastic)
+		if !bytes.Equal(log1, log2) {
+			t.Fatalf("replays diverged:\n--- first\n%s--- second\n%s", log1, log2)
+		}
+		if !bytes.Equal(log1, want) {
+			t.Fatalf("event log differs from the schedule:\n--- log\n%s--- schedule\n%s", log1, want)
+		}
+		if artifacts != "" {
+			if err := os.MkdirAll(artifacts, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(artifacts, fmt.Sprintf("sim_%s.events.log", name))
+			if err := os.WriteFile(path, log1, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seeds := simSeeds(t)
+	for _, seed := range seeds {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			want := chaos.Generate(seed, simGenConfig(dur)).Format()
-			log1 := runSim(t, bin, seed, dur)
-			log2 := runSim(t, bin, seed, dur)
-			if !bytes.Equal(log1, log2) {
-				t.Fatalf("replays diverged:\n--- first\n%s--- second\n%s", log1, log2)
-			}
-			if !bytes.Equal(log1, want) {
-				t.Fatalf("event log differs from the schedule:\n--- log\n%s--- schedule\n%s", log1, want)
-			}
-			if artifacts != "" {
-				if err := os.MkdirAll(artifacts, 0o755); err != nil {
-					t.Fatal(err)
-				}
-				path := filepath.Join(artifacts, fmt.Sprintf("sim_seed%d.events.log", seed))
-				if err := os.WriteFile(path, log1, 0o644); err != nil {
-					t.Fatal(err)
-				}
-			}
+			replay(t, seed, false, fmt.Sprintf("seed%d", seed))
 		})
 	}
+	// One seed rides the schedule as an elastic pair under a growing
+	// keyspace: ELASTIC_GROW barriers replicate through the same faults.
+	t.Run("elastic-growth", func(t *testing.T) {
+		replay(t, seeds[0], true, fmt.Sprintf("elastic_seed%d", seeds[0]))
+	})
 }

@@ -18,6 +18,13 @@
 // every worker's op and key stream is a pure function of (seed, worker
 // id). -trace-sample N wraps 1 in N ops in a TRACE envelope and prints
 // the slowest sampled trace ids, ready for mpcbf-trace.
+//
+// -grow ramps the keyspace for elastic-capacity experiments: ops draw
+// from a prefix of the keyspace that starts at keys>>grow-steps and
+// doubles at each of grow-steps evenly spaced phase boundaries, ending
+// at the full -keys. The phase schedule is recorded in the manifest's
+// grow_curve so results can be aligned against the server's elastic
+// generation metrics.
 package main
 
 import (
@@ -39,29 +46,31 @@ import (
 
 func main() {
 	var (
-		addrs    = flag.String("addrs", "127.0.0.1:4650", "comma-separated targets, each primary[/replica...]")
-		mode     = flag.String("mode", "closed", "loop model: closed or open")
-		rate     = flag.Float64("rate", 0, "aggregate target ops/sec (open loop)")
-		conc     = flag.Int("c", 8, "concurrent workers (connections)")
-		duration = flag.Duration("duration", 5*time.Second, "run length")
-		mixFlag  = flag.String("mix", "insert=45,contains=45,delete=5,insert_ttl=5", "op mix as name=weight terms")
-		batch    = flag.Int("batch", 0, "issue ops as batches of this many keys")
-		pipeline = flag.Int("pipeline", 0, "pipeline depth (single node, single-key only)")
-		keys     = flag.Int("keys", 100_000, "keyspace size")
-		zipf     = flag.Float64("zipf", 0, "Zipf skew exponent s (0 = uniform)")
-		prefix   = flag.String("prefix", "lg", "key prefix")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		ttl      = flag.Duration("ttl", time.Minute, "TTL for insert_ttl ops")
-		nsFlag   = flag.String("ns", "", "comma-separated namespaces to fan out across")
-		nsCreate = flag.Bool("ns-create", false, "create the -ns namespaces before the run")
-		nsBits   = flag.Uint64("ns-mem", 1<<21, "memory bits per created namespace")
-		nsItems  = flag.Uint64("ns-items", 10_000, "expected items per created namespace")
-		recon    = flag.Bool("reconnect", false, "redial transparently on connection loss")
-		traceN   = flag.Int("trace-sample", 0, "trace 1 in N ops per worker; slowest trace ids land in the summary (0 = off)")
-		jsonOut  = flag.String("json", "", "write the JSON result here ('-' = stdout)")
-		bench    = flag.String("bench", "", "merge the result into this bench JSON file")
-		benchKey = flag.String("bench-name", "", "entry name inside -bench (required with -bench)")
-		quiet    = flag.Bool("quiet", false, "suppress the human-readable summary")
+		addrs     = flag.String("addrs", "127.0.0.1:4650", "comma-separated targets, each primary[/replica...]")
+		mode      = flag.String("mode", "closed", "loop model: closed or open")
+		rate      = flag.Float64("rate", 0, "aggregate target ops/sec (open loop)")
+		conc      = flag.Int("c", 8, "concurrent workers (connections)")
+		duration  = flag.Duration("duration", 5*time.Second, "run length")
+		mixFlag   = flag.String("mix", "insert=45,contains=45,delete=5,insert_ttl=5", "op mix as name=weight terms")
+		batch     = flag.Int("batch", 0, "issue ops as batches of this many keys")
+		pipeline  = flag.Int("pipeline", 0, "pipeline depth (single node, single-key only)")
+		keys      = flag.Int("keys", 100_000, "keyspace size")
+		zipf      = flag.Float64("zipf", 0, "Zipf skew exponent s (0 = uniform)")
+		prefix    = flag.String("prefix", "lg", "key prefix")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		grow      = flag.Bool("grow", false, "grow mode: keyspace prefix doubles each phase up to -keys")
+		growSteps = flag.Int("grow-steps", 3, "number of keyspace doublings over the run (-grow)")
+		ttl       = flag.Duration("ttl", time.Minute, "TTL for insert_ttl ops")
+		nsFlag    = flag.String("ns", "", "comma-separated namespaces to fan out across")
+		nsCreate  = flag.Bool("ns-create", false, "create the -ns namespaces before the run")
+		nsBits    = flag.Uint64("ns-mem", 1<<21, "memory bits per created namespace")
+		nsItems   = flag.Uint64("ns-items", 10_000, "expected items per created namespace")
+		recon     = flag.Bool("reconnect", false, "redial transparently on connection loss")
+		traceN    = flag.Int("trace-sample", 0, "trace 1 in N ops per worker; slowest trace ids land in the summary (0 = off)")
+		jsonOut   = flag.String("json", "", "write the JSON result here ('-' = stdout)")
+		bench     = flag.String("bench", "", "merge the result into this bench JSON file")
+		benchKey  = flag.String("bench-name", "", "entry name inside -bench (required with -bench)")
+		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
 
@@ -84,6 +93,8 @@ func main() {
 		PipelineDepth: *pipeline,
 		Keyspace:      dataset.KeyspaceConfig{N: *keys, ZipfS: *zipf, Prefix: *prefix},
 		Seed:          *seed,
+		Grow:          *grow,
+		GrowSteps:     *growSteps,
 		TTL:           *ttl,
 		Reconnect:     *recon,
 		TraceSample:   *traceN,

@@ -93,6 +93,9 @@ func main() {
 		windowSpan  = flag.Duration("window", 0, "sliding-window span; 0 serves a plain counting filter")
 		generations = flag.Int("generations", 4, "generations in the sliding window (with -window)")
 
+		elasticMode = flag.Bool("elastic", false, "serve an elastic filter chain that grows new generations as the head saturates (mutually exclusive with -window)")
+		elasticFPR  = flag.Float64("elastic-fpr", 0, "chain-wide false positive bound with -elastic (0: derived from the seed geometry)")
+
 		nsQuota = flag.Int64("ns-quota", 0, "memory budget in bytes across all named namespaces (0: unlimited); least-recently-used namespaces are evicted to disk under pressure")
 		nsIdle  = flag.Duration("ns-idle", 0, "evict namespaces untouched for this long (0: never)")
 		nsMem   = flag.Int("ns-mem", 0, "default per-namespace memory budget in bits (0: built-in default)")
@@ -148,6 +151,8 @@ func main() {
 		Shards:      *shards,
 		Window:      *windowSpan,
 		Generations: *generations,
+		Elastic:     *elasticMode,
+		ElasticFPR:  *elasticFPR,
 		NsDefaults: ns.Config{
 			MemoryBits:    *nsMem,
 			ExpectedItems: *nsItems,
@@ -167,6 +172,9 @@ func main() {
 	if w := store.Window(); w != nil {
 		log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords,
 			"window", w.Span(), "generations", w.Generations(), "rotate_every", w.RotateEvery())
+	} else if el := store.Elastic(); el != nil {
+		log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords,
+			"elastic_generations", el.Generations(), "target_fpr", el.TargetFPR())
 	} else {
 		log.Info("store open", "dir", *dir, "elements", store.Len(), "replayed", st.ReplayedRecords)
 	}

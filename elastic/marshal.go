@@ -1,0 +1,162 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	mpcbf "repro"
+)
+
+// Chain snapshot format (all little-endian), fully self-describing so
+// UnmarshalFilter needs no out-of-band Options:
+//
+//	[u32 magic "MPCE"] [u32 version]
+//	[u64 seed memoryBits] [u64 seed expectedItems]
+//	[u8 k] [u8 g] [u8 wordBits] [u32 hash seed] [u16 shards]
+//	[f64 targetFPR] [u32 growthFactor] [f64 tighteningRatio] [f64 growAt]
+//	[u16 maxGenerations]
+//	[u32 grows] [u64 imports] [u32 nGens]
+//	per generation (oldest first):
+//	  [u8 imported] [u32 growIdx] [u64 capacity] [f64 budget]
+//	  [u32 blobLen] [Sharded snapshot blob]
+//
+// The per-generation Sharded blobs embed their own geometry and seeds,
+// so a decoded chain is byte-for-byte re-marshalable.
+const (
+	elasticMagic   = 0x4D504345 // "ECPM" little-endian
+	elasticVersion = 1
+
+	headerSize = 4 + 4 + 8 + 8 + 3 + 4 + 2 + 8 + 4 + 8 + 8 + 2 + 4 + 8 + 4
+	genHdrSize = 1 + 4 + 8 + 8 + 4
+)
+
+// IsElastic reports whether data begins with the elastic chain magic.
+func IsElastic(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == elasticMagic
+}
+
+// MarshalBinary snapshots the whole chain.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	blobs := make([][]byte, len(f.gens))
+	size := headerSize
+	for i, g := range f.gens {
+		b, err := g.f.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("elastic: marshal generation %d: %w", i, err)
+		}
+		blobs[i] = b
+		size += genHdrSize + len(b)
+	}
+	buf := make([]byte, 0, size)
+	o := f.opts
+	buf = binary.LittleEndian.AppendUint32(buf, elasticMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, elasticVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(o.Filter.MemoryBits))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(o.Filter.ExpectedItems))
+	buf = append(buf, byte(o.Filter.HashFunctions), byte(o.Filter.MemoryAccesses), byte(o.Filter.WordBits))
+	buf = binary.LittleEndian.AppendUint32(buf, o.Filter.Seed)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(o.Shards))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.TargetFPR))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(o.GrowthFactor))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.TighteningRatio))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.GrowAt))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(o.MaxGenerations))
+	buf = binary.LittleEndian.AppendUint32(buf, f.grows)
+	buf = binary.LittleEndian.AppendUint64(buf, f.imports)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.gens)))
+	for i, g := range f.gens {
+		var imp byte
+		if g.imported {
+			imp = 1
+		}
+		buf = append(buf, imp)
+		buf = binary.LittleEndian.AppendUint32(buf, g.growIdx)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.capacity))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.budget))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blobs[i])))
+		buf = append(buf, blobs[i]...)
+	}
+	return buf, nil
+}
+
+// UnmarshalFilter reconstructs a chain from a MarshalBinary snapshot.
+func UnmarshalFilter(data []byte) (*Filter, error) {
+	if len(data) < headerSize {
+		return nil, errors.New("elastic: snapshot too short")
+	}
+	if binary.LittleEndian.Uint32(data) != elasticMagic {
+		return nil, errors.New("elastic: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != elasticVersion {
+		return nil, fmt.Errorf("elastic: unsupported snapshot version %d", v)
+	}
+	p := 8
+	var o Options
+	o.Filter.MemoryBits = int(binary.LittleEndian.Uint64(data[p:]))
+	o.Filter.ExpectedItems = int(binary.LittleEndian.Uint64(data[p+8:]))
+	p += 16
+	o.Filter.HashFunctions = int(data[p])
+	o.Filter.MemoryAccesses = int(data[p+1])
+	o.Filter.WordBits = int(data[p+2])
+	p += 3
+	o.Filter.Seed = binary.LittleEndian.Uint32(data[p:])
+	p += 4
+	o.Shards = int(binary.LittleEndian.Uint16(data[p:]))
+	p += 2
+	o.TargetFPR = math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	o.GrowthFactor = int(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	o.TighteningRatio = math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	o.GrowAt = math.Float64frombits(binary.LittleEndian.Uint64(data[p:]))
+	p += 8
+	o.MaxGenerations = int(binary.LittleEndian.Uint16(data[p:]))
+	p += 2
+	grows := binary.LittleEndian.Uint32(data[p:])
+	imports := binary.LittleEndian.Uint64(data[p+4:])
+	nGens := binary.LittleEndian.Uint32(data[p+12:])
+	p += 16
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
+	if nGens == 0 || nGens > 1<<16 {
+		return nil, fmt.Errorf("elastic: implausible generation count %d", nGens)
+	}
+	f := &Filter{opts: o, grows: grows, imports: imports}
+	f.gens = make([]*generation, 0, nGens)
+	for i := uint32(0); i < nGens; i++ {
+		if len(data)-p < genHdrSize {
+			return nil, errors.New("elastic: truncated generation header")
+		}
+		g := &generation{
+			imported: data[p] == 1,
+			growIdx:  binary.LittleEndian.Uint32(data[p+1:]),
+			capacity: int(binary.LittleEndian.Uint64(data[p+5:])),
+			budget:   math.Float64frombits(binary.LittleEndian.Uint64(data[p+13:])),
+		}
+		blobLen := int(binary.LittleEndian.Uint32(data[p+21:]))
+		p += genHdrSize
+		if blobLen < 0 || len(data)-p < blobLen {
+			return nil, errors.New("elastic: truncated generation blob")
+		}
+		s, err := mpcbf.UnmarshalSharded(data[p : p+blobLen])
+		if err != nil {
+			return nil, fmt.Errorf("elastic: generation %d: %w", i, err)
+		}
+		g.f = s
+		p += blobLen
+		f.gens = append(f.gens, g)
+	}
+	if p != len(data) {
+		return nil, fmt.Errorf("elastic: %d trailing bytes after chain", len(data)-p)
+	}
+	if f.gens[len(f.gens)-1].imported {
+		return nil, errors.New("elastic: head generation marked imported")
+	}
+	return f, nil
+}

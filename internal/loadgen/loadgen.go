@@ -169,6 +169,16 @@ type Config struct {
 	// back in Result.SlowTraces, ready to paste into mpcbf-trace. 0
 	// disables tracing.
 	TraceSample int
+	// Grow ramps the drawn keyspace through doublings over the run: ops
+	// draw from a prefix of the keyspace that starts at
+	// Keyspace.N >> GrowSteps and doubles at each phase boundary until
+	// the final phase spans the whole keyspace. Against an elastic
+	// daemon the ramp pushes the filter through generation growth
+	// mid-run; the phase curve is recorded in the manifest.
+	Grow bool
+	// GrowSteps is the number of doublings (default 3: the run's final
+	// phase draws from 8x its initial prefix).
+	GrowSteps int
 }
 
 func (c *Config) setDefaults() error {
@@ -196,6 +206,14 @@ func (c *Config) setDefaults() error {
 	}
 	if len(c.Namespaces) > 0 && routed {
 		return errors.New("loadgen: namespace fan-out targets a single unreplicated node")
+	}
+	if c.Grow {
+		if c.GrowSteps <= 0 {
+			c.GrowSteps = 3
+		}
+		if c.Keyspace.N>>c.GrowSteps < 1 {
+			return fmt.Errorf("loadgen: keyspace of %d keys cannot ramp through %d doublings", c.Keyspace.N, c.GrowSteps)
+		}
 	}
 	return nil
 }
@@ -303,7 +321,8 @@ type worker struct {
 	cfg     *Config
 	ks      *dataset.Keyspace
 	cum     [numOps]float64
-	targets []target // default ns at [0]; one per namespace otherwise
+	start   time.Time // run start, anchors the grow-mode phase clock
+	targets []target  // default ns at [0]; one per namespace otherwise
 	closeFn func()
 	pipe    *client.Pipeline
 
@@ -426,6 +445,37 @@ func (w *worker) dial() error {
 	return nil
 }
 
+// growLimit returns the keyspace prefix size for the run phase at now:
+// N>>GrowSteps during the first phase, doubling at each boundary, the
+// whole keyspace in the last.
+func (w *worker) growLimit(now time.Time) int {
+	cfg := w.cfg
+	phases := cfg.GrowSteps + 1
+	phase := int(float64(now.Sub(w.start)) / float64(cfg.Duration) * float64(phases))
+	if phase < 0 {
+		phase = 0
+	}
+	if phase > cfg.GrowSteps {
+		phase = cfg.GrowSteps
+	}
+	return w.ks.N() >> (cfg.GrowSteps - phase)
+}
+
+// rank samples a key rank, folded into the current grow prefix when
+// the ramp is active.
+func (w *worker) rank(rng *hashing.RNG) int {
+	r := w.ks.Rank(rng)
+	if !w.cfg.Grow {
+		return r
+	}
+	return r % w.growLimit(time.Now())
+}
+
+// drawKey appends one sampled key to dst, honoring the grow ramp.
+func (w *worker) drawKey(dst []byte, rng *hashing.RNG) []byte {
+	return w.ks.AppendKey(dst, w.rank(rng))
+}
+
 // drawOp maps one uniform draw to an op via the cumulative mix.
 func (w *worker) drawOp(u float64) Op {
 	for op := Op(0); op < numOps-1; op++ {
@@ -456,7 +506,7 @@ func (w *worker) issue(rng *hashing.RNG, op Op, t target) {
 	if cfg.Batch > 1 {
 		w.batchBuf = w.batchBuf[:0]
 		for i := 0; i < cfg.Batch; i++ {
-			w.batchBuf = append(w.batchBuf, w.ks.Key(w.ks.Rank(rng)))
+			w.batchBuf = append(w.batchBuf, w.ks.Key(w.rank(rng)))
 		}
 		start := time.Now()
 		var err error
@@ -482,7 +532,7 @@ func (w *worker) issue(rng *hashing.RNG, op Op, t target) {
 		}
 		return
 	}
-	w.keyBuf = w.ks.Draw(w.keyBuf[:0], rng)
+	w.keyBuf = w.drawKey(w.keyBuf[:0], rng)
 	start := time.Now()
 	var err error
 	switch op {
@@ -550,7 +600,7 @@ func (w *worker) runOpen(ctx context.Context, start time.Time, deadline time.Tim
 func (w *worker) issueTimed(rng *hashing.RNG, op Op, t target, sched time.Time) {
 	cfg := w.cfg
 	tc := w.sampleTrace()
-	w.keyBuf = w.ks.Draw(w.keyBuf[:0], rng)
+	w.keyBuf = w.drawKey(w.keyBuf[:0], rng)
 	var err error
 	switch op {
 	case OpInsert:
@@ -584,7 +634,7 @@ func (w *worker) runPipelined(ctx context.Context, deadline time.Time) {
 		tcs = tcs[:0]
 		for i := 0; i < cfg.PipelineDepth; i++ {
 			op := w.drawOp(rng.Float64())
-			key := w.ks.Key(w.ks.Rank(rng))
+			key := w.ks.Key(w.rank(rng))
 			tc := w.sampleTrace()
 			ops = append(ops, op)
 			keys = append(keys, key)
@@ -666,6 +716,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for _, w := range workers {
+		w.start = start
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()

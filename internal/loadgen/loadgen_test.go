@@ -275,3 +275,70 @@ func TestMergeBenchFile(t *testing.T) {
 		t.Fatal("temp file left behind")
 	}
 }
+
+func TestGrowLimitRamp(t *testing.T) {
+	cfg := Config{
+		Grow:      true,
+		GrowSteps: 2,
+		Duration:  900 * time.Millisecond,
+		Keyspace:  dataset.KeyspaceConfig{N: 800},
+	}
+	ks, err := dataset.NewKeyspace(cfg.Keyspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(1000, 0)
+	w := &worker{cfg: &cfg, ks: ks, start: start}
+	// Three phases over 900ms: [0,300)ms -> 200 keys, [300,600)ms -> 400,
+	// [600,...] -> 800; past the end clamps at the full keyspace.
+	cases := []struct {
+		at   time.Duration
+		want int
+	}{
+		{0, 200}, {299 * time.Millisecond, 200},
+		{300 * time.Millisecond, 400}, {599 * time.Millisecond, 400},
+		{600 * time.Millisecond, 800}, {2 * time.Second, 800},
+	}
+	for _, tc := range cases {
+		if got := w.growLimit(start.Add(tc.at)); got != tc.want {
+			t.Errorf("growLimit(+%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestRunGrowManifest(t *testing.T) {
+	addr := startServer(t)
+	cfg := testConfig(addr)
+	cfg.Grow = true
+	cfg.GrowSteps = 2
+	cfg.Keyspace.N = 800
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 || res.Errors != 0 {
+		t.Fatalf("grow run unhealthy: %+v", res)
+	}
+	want := []GrowPhase{
+		{At: "0s", Keys: 200},
+		{At: "100ms", Keys: 400},
+		{At: "200ms", Keys: 800},
+	}
+	if len(res.Manifest.GrowCurve) != len(want) {
+		t.Fatalf("grow curve = %+v, want %+v", res.Manifest.GrowCurve, want)
+	}
+	for i, w := range want {
+		if res.Manifest.GrowCurve[i] != w {
+			t.Fatalf("grow curve[%d] = %+v, want %+v", i, res.Manifest.GrowCurve[i], w)
+		}
+	}
+}
+
+func TestGrowValidation(t *testing.T) {
+	cfg := testConfig("127.0.0.1:1")
+	cfg.Grow = true
+	cfg.GrowSteps = 20 // 1000 >> 20 == 0: no keys in the first phase
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("want error for keyspace smaller than the grow ramp")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Manifest is the reproducibility record embedded in every Result:
@@ -25,6 +26,15 @@ type Manifest struct {
 	ZipfS       float64  `json:"zipf_s,omitempty"`
 	TTL         string   `json:"ttl"`
 	TraceSample int      `json:"trace_sample,omitempty"`
+	// GrowCurve, present in grow mode, is the keyspace ramp: each phase
+	// says from when (offset into the run) ops drew from how many keys.
+	GrowCurve []GrowPhase `json:"grow_curve,omitempty"`
+}
+
+// GrowPhase is one step of a grow-mode run's keyspace ramp.
+type GrowPhase struct {
+	At   string `json:"at"`   // offset into the run when the phase begins
+	Keys int    `json:"keys"` // keyspace prefix drawn from during the phase
 }
 
 func (c *Config) manifest() Manifest {
@@ -35,7 +45,7 @@ func (c *Config) manifest() Manifest {
 	case c.OpenLoop:
 		mode = "open"
 	}
-	return Manifest{
+	m := Manifest{
 		Seed:        c.Seed,
 		Mode:        mode,
 		Rate:        c.Rate,
@@ -51,6 +61,17 @@ func (c *Config) manifest() Manifest {
 		TTL:         c.TTL.String(),
 		TraceSample: c.TraceSample,
 	}
+	if c.Grow {
+		phases := c.GrowSteps + 1
+		m.GrowCurve = make([]GrowPhase, phases)
+		for i := 0; i < phases; i++ {
+			m.GrowCurve[i] = GrowPhase{
+				At:   (c.Duration * time.Duration(i) / time.Duration(phases)).String(),
+				Keys: c.Keyspace.N >> (c.GrowSteps - i),
+			}
+		}
+	}
+	return m
 }
 
 // OpStats is one op kind's outcome: counts and latency summary. For

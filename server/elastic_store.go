@@ -1,0 +1,371 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	mpcbf "repro"
+	"repro/elastic"
+	"repro/server/ns"
+	"repro/server/wire"
+	"repro/window"
+)
+
+// Elastic mode: when StoreOptions.Elastic is set, the store's state is
+// an elastic.Filter — a chain of Sharded MPCBF generations that grows
+// when the head saturates — instead of a single fixed-capacity filter.
+// Two WAL-only record types make the chain's shape durable:
+//
+//	ELASTIC_GROW:   body = [0xE5]         — a new head generation was appended
+//	ELASTIC_IMPORT: body = [0xE6][blob]   — blob (a Sharded encoding) spliced
+//	                                        in as a frozen generation
+//
+// Like ROTATE, the opcodes live outside the wire protocol's space:
+// growth is never a client request — the head's fill ratio drives it —
+// and an import's durable form is the exact generation bytes, so replay
+// and byte-mirror replicas rebuild the identical chain. Both are flush
+// barriers in the batch applier: keys logged before a growth event must
+// land in the pre-growth head, or replay would spread them across
+// generations the live filter never used.
+//
+// Growth ordering: the insert that tips the head over GrowAt applies and
+// enqueues first, then the GROW record — both under the mutation lock,
+// in one commit round. The chain is therefore a pure function of the
+// durable record sequence: a crash after the insert but before the GROW
+// is durable replays to a head one insert fuller, recovery re-detects
+// NeedsGrow on the next insert, and the regrown chain has the same
+// geometry because generation geometry depends only on the growth index
+// (see elastic.Filter.Grow).
+const (
+	walOpElasticGrow   = 0xE5
+	walOpElasticImport = 0xE6
+)
+
+// elf returns the elastic chain, nil when the store is not elastic; safe
+// without the mutation lock.
+func (s *Store) elf() *elastic.Filter { return s.el.Load() }
+
+// IsElastic reports whether the store runs in elastic (generational
+// growth) mode.
+func (s *Store) IsElastic() bool { return s.elf() != nil }
+
+// Elastic exposes the elastic chain for read-only inspection (nil when
+// not elastic).
+func (s *Store) Elastic() *elastic.Filter { return s.elf() }
+
+var errNotElastic = errors.New("server: not an elastic store (start mpcbfd with -elastic)")
+
+func elasticOptionsFrom(opts StoreOptions) elastic.Options {
+	return elastic.Options{
+		Filter:    opts.Filter,
+		Shards:    opts.Shards,
+		TargetFPR: opts.ElasticFPR,
+	}
+}
+
+// growEnqLocked checks the default chain's growth trigger after an
+// insert has been applied and enqueued, and — when due — grows the chain
+// and logs the GROW record. It returns the grow ticket (0 when nothing
+// grew): the caller replaces its data ticket with it so the ack also
+// covers the growth event. Errors are logged, not returned: the
+// triggering insert already succeeded and must be acknowledged; a chain
+// that failed to grow keeps absorbing inserts into its head and retries
+// on the next one. Caller holds s.mu with walCtx == nil.
+func (s *Store) growEnqLocked() uint64 {
+	el := s.elf()
+	if el == nil || !el.NeedsGrow() {
+		return 0
+	}
+	if err := el.Grow(); err != nil {
+		s.opts.Log.Error("elastic grow failed", "error", err)
+		return 0
+	}
+	ticket, err := s.wal.Enqueue(walOpElasticGrow, nil, nil)
+	if err != nil {
+		s.opts.Log.Error("elastic grow log failed", "error", err)
+		return 0
+	}
+	s.opts.Log.Info("elastic growth", "generations", el.Generations())
+	return ticket
+}
+
+// nsGrowEnqLocked is growEnqLocked for a namespaced chain: the GROW
+// record rides the selection context the data record just established
+// (walCtx == e), and the registry's resident-byte accounting is rebased
+// to the grown chain before the quota re-check. Caller holds s.mu.
+func (s *Store) nsGrowEnqLocked(e *ns.Entry) uint64 {
+	el := e.Elastic()
+	if el == nil || !el.NeedsGrow() {
+		return 0
+	}
+	if err := el.Grow(); err != nil {
+		s.opts.Log.Error("elastic grow failed", "ns", e.Name(), "error", err)
+		return 0
+	}
+	ticket, err := s.wal.Enqueue(walOpElasticGrow, nil, nil)
+	if err != nil {
+		s.opts.Log.Error("elastic grow log failed", "ns", e.Name(), "error", err)
+		return 0
+	}
+	s.reg.Rebase(e)
+	if err := s.reg.EnsureQuota(e); err != nil {
+		s.opts.Log.Warn("namespace quota after elastic growth", "ns", e.Name(), "error", err)
+	}
+	s.opts.Log.Info("elastic growth", "ns", e.Name(), "generations", el.Generations())
+	return ticket
+}
+
+// applyElasticGrow replays one ELASTIC_GROW record into the selected
+// chain (recovery and replication).
+func (s *Store) applyElasticGrow() error {
+	if e := s.walCtx; e != nil {
+		if !e.IsElastic() {
+			return fmt.Errorf("elastic grow record for non-elastic namespace %q", e.Name())
+		}
+		if err := s.nsResidentLocked(e); err != nil {
+			return err
+		}
+		if err := e.Elastic().Grow(); err != nil {
+			return err
+		}
+		s.reg.Rebase(e)
+		return nil
+	}
+	el := s.elf()
+	if el == nil {
+		return errors.New("elastic grow record in a non-elastic store")
+	}
+	return el.Grow()
+}
+
+// applyElasticImport replays one ELASTIC_IMPORT record: the body is the
+// exact Sharded encoding the primary logged, spliced in as a frozen
+// generation just below the head.
+func (s *Store) applyElasticImport(body []byte) error {
+	g, err := mpcbf.UnmarshalSharded(body)
+	if err != nil {
+		return fmt.Errorf("elastic import record: %w", err)
+	}
+	if e := s.walCtx; e != nil {
+		if !e.IsElastic() {
+			return fmt.Errorf("elastic import record for non-elastic namespace %q", e.Name())
+		}
+		if err := s.nsResidentLocked(e); err != nil {
+			return err
+		}
+		e.Elastic().ImportGeneration(g)
+		s.reg.Rebase(e)
+		return nil
+	}
+	el := s.elf()
+	if el == nil {
+		return errors.New("elastic import record in a non-elastic store")
+	}
+	el.ImportGeneration(g)
+	return nil
+}
+
+// --- IMPORT (the resharding receive path) ---------------------------------
+
+// importGen pairs a decoded generation with the exact bytes its WAL
+// record will carry, so replay decodes the same bytes back.
+type importGen struct {
+	f    *mpcbf.Sharded
+	blob []byte
+}
+
+// importGenerations decides what an IMPORT blob splices into the chain.
+// A bare Sharded encoding becomes one frozen generation; a dumped
+// elastic chain is flattened into one frozen generation per non-empty
+// source generation (a chain import during resharding must not graft the
+// source's growth schedule onto the destination's). Windowed state and
+// namespace containers are refused: their keys carry expiry or tenancy
+// the flat chain cannot represent.
+func importGenerations(blob []byte) ([]importGen, error) {
+	switch {
+	case isNsContainer(blob):
+		return nil, errors.New("server: IMPORT of a namespace container (dump one filter or one namespace)")
+	case window.IsWindowed(blob):
+		return nil, errors.New("server: IMPORT of a windowed filter (its generations expire on the source's clock)")
+	case elastic.IsElastic(blob):
+		src, err := elastic.UnmarshalFilter(blob)
+		if err != nil {
+			return nil, fmt.Errorf("server: IMPORT blob: %w", err)
+		}
+		blobs, err := src.ExportGenerations()
+		if err != nil {
+			return nil, err
+		}
+		gens := make([]importGen, 0, len(blobs))
+		for _, b := range blobs {
+			g, err := mpcbf.UnmarshalSharded(b)
+			if err != nil {
+				return nil, fmt.Errorf("server: IMPORT blob: %w", err)
+			}
+			if g.Len() == 0 {
+				continue // an empty generation buys probe cost, not keys
+			}
+			gens = append(gens, importGen{f: g, blob: b})
+		}
+		return gens, nil
+	default:
+		g, err := mpcbf.UnmarshalSharded(blob)
+		if err != nil {
+			return nil, fmt.Errorf("server: IMPORT blob: %w", err)
+		}
+		if g.Len() == 0 {
+			return nil, nil
+		}
+		return []importGen{{f: g, blob: blob}}, nil
+	}
+}
+
+// checkImportRecordSizes rejects an import whose generations would not
+// fit in WAL records BEFORE anything is applied: an oversize record
+// would append fine but be discarded as corruption at the next replay.
+func checkImportRecordSizes(gens []importGen) error {
+	for _, g := range gens {
+		if 1+len(g.blob) > wireMaxWALRecord {
+			return fmt.Errorf("server: imported generation (%d bytes) exceeds the %d-byte WAL record bound; reshard with smaller source generations", len(g.blob), wireMaxWALRecord)
+		}
+	}
+	return nil
+}
+
+// Import splices a dumped filter into the default elastic chain as
+// frozen generation(s), durably. The ack is the reshard handoff
+// watermark: once Import returns nil, every imported key survives a
+// crash here.
+func (s *Store) Import(blob []byte) error { return s.importFilter(blob, nil) }
+
+func (s *Store) importFilter(blob []byte, tr *reqTrace) error {
+	ticket, err := s.importEnq(blob, tr)
+	if err != nil {
+		return err
+	}
+	return s.wal.WaitDurable(ticket, tr)
+}
+
+// importEnq applies an import and logs one ELASTIC_IMPORT record per
+// generation, returning the last record's commit ticket (0 when the
+// blob held no keys).
+func (s *Store) importEnq(blob []byte, tr *reqTrace) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.elf()
+	if el == nil {
+		return 0, errNotElastic
+	}
+	gens, err := importGenerations(blob)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkImportRecordSizes(gens); err != nil {
+		return 0, err
+	}
+	if err := s.selectLocked(nil); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	var ticket uint64
+	for _, g := range gens {
+		el.ImportGeneration(g.f)
+		tk, err := s.wal.Enqueue(walOpElasticImport, g.blob, tr)
+		if err != nil {
+			return 0, err
+		}
+		ticket = tk
+	}
+	tr.addFilter(t0)
+	return ticket, nil
+}
+
+// nsImportEnq is importEnq against a named namespace. The target must
+// already exist and be elastic — an import must not lazily create a
+// namespace whose geometry the source never saw.
+func (s *Store) nsImportEnq(name, blob []byte, tr *reqTrace) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.nsEntryLocked(name, false)
+	if err != nil {
+		return 0, err
+	}
+	if e == nil {
+		return 0, fmt.Errorf("server: unknown namespace %q", name)
+	}
+	el := e.Elastic()
+	if el == nil {
+		return 0, fmt.Errorf("server: namespace %q is not elastic", name)
+	}
+	gens, err := importGenerations(blob)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkImportRecordSizes(gens); err != nil {
+		return 0, err
+	}
+	if err := s.selectLocked(e); err != nil {
+		return 0, err
+	}
+	t0 := tr.now()
+	var ticket uint64
+	for _, g := range gens {
+		el.ImportGeneration(g.f)
+		tk, err := s.wal.Enqueue(walOpElasticImport, g.blob, tr)
+		if err != nil {
+			return 0, err
+		}
+		ticket = tk
+	}
+	tr.addFilter(t0)
+	s.reg.Rebase(e)
+	if err := s.reg.EnsureQuota(e); err != nil {
+		s.opts.Log.Warn("namespace quota after import", "ns", e.Name(), "error", err)
+	}
+	return ticket, nil
+}
+
+// --- ELASTIC_STATS --------------------------------------------------------
+
+// elasticWireStats converts the chain's stats into their wire shape.
+func elasticWireStats(st elastic.Stats) wire.ElasticStats {
+	out := wire.ElasticStats{
+		Grows:     st.Grows,
+		Imports:   st.Imports,
+		TargetFPR: st.TargetFPR,
+		Gens:      make([]wire.ElasticGenStats, len(st.Gens)),
+	}
+	for i, g := range st.Gens {
+		out.Gens[i] = wire.ElasticGenStats{
+			Items:      uint64(g.Items),
+			Capacity:   uint64(g.Capacity),
+			FillRatio:  g.FillRatio,
+			Budget:     g.Budget,
+			MemoryBits: uint64(g.MemoryBits),
+			Imported:   g.Imported,
+		}
+	}
+	return out
+}
+
+// ElasticStats reports the default chain's shape. Elastic stores only.
+func (s *Store) ElasticStats() (wire.ElasticStats, error) {
+	el := s.elf()
+	if el == nil {
+		return wire.ElasticStats{}, errNotElastic
+	}
+	return elasticWireStats(el.Stats()), nil
+}
+
+// NsElasticStats reports a named elastic namespace's chain shape.
+func (s *Store) NsElasticStats(name []byte) (wire.ElasticStats, error) {
+	e := s.reg.Lookup(name)
+	if e == nil {
+		return wire.ElasticStats{}, fmt.Errorf("server: unknown namespace %q", name)
+	}
+	el := e.Elastic()
+	if el == nil {
+		return wire.ElasticStats{}, fmt.Errorf("server: namespace %q is not elastic", name)
+	}
+	return elasticWireStats(el.Stats()), nil
+}

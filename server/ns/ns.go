@@ -10,14 +10,17 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/server/wire"
 	"repro/window"
 )
 
 // Config is a namespace's resolved filter configuration. Window > 0
-// makes the namespace a sliding-window filter of that span; otherwise
-// it is a plain counting filter. The zero value of any field means
-// "inherit the default" until Resolve fills it in.
+// makes the namespace a sliding-window filter of that span; Elastic
+// makes it a generational elastic chain (repro/elastic) that grows
+// past its seed capacity; otherwise it is a plain counting filter.
+// The zero value of any field means "inherit the default" until
+// Resolve fills it in.
 type Config struct {
 	MemoryBits     int
 	ExpectedItems  int
@@ -27,6 +30,7 @@ type Config struct {
 	Seed           uint32
 	Window         time.Duration
 	Generations    int
+	Elastic        bool
 }
 
 // Configuration bounds. Geometry arrives from the network (CREATE_NS),
@@ -54,12 +58,17 @@ func ConfigFromWire(c wire.NsConfig) Config {
 		Seed:           c.Seed,
 		Window:         time.Duration(c.WindowNanos),
 		Generations:    int(c.Generations),
+		Elastic:        c.Elastic(),
 	}
 }
 
 // Wire converts a Config to its wire encoding (used when logging
 // NS_CREATE records, which carry the resolved configuration).
 func (c Config) Wire() wire.NsConfig {
+	var flags uint8
+	if c.Elastic {
+		flags |= wire.NsFlagElastic
+	}
 	return wire.NsConfig{
 		MemoryBits:     uint64(c.MemoryBits),
 		ExpectedItems:  uint64(c.ExpectedItems),
@@ -69,6 +78,7 @@ func (c Config) Wire() wire.NsConfig {
 		Seed:           c.Seed,
 		WindowNanos:    uint64(max(c.Window, 0)),
 		Generations:    uint16(c.Generations),
+		Flags:          flags,
 	}
 }
 
@@ -101,6 +111,9 @@ func (c Config) resolve(d Config) Config {
 	if c.Window > 0 && c.Generations == 0 {
 		c.Generations = 4
 	}
+	if !c.Elastic {
+		c.Elastic = d.Elastic
+	}
 	return c
 }
 
@@ -120,6 +133,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("ns: negative window %v", c.Window)
 	case c.Window > 0 && (c.Generations < 1 || c.Generations > maxGens):
 		return fmt.Errorf("ns: generations %d outside [1, %d]", c.Generations, maxGens)
+	case c.Elastic && c.Window > 0:
+		return errors.New("ns: a namespace cannot be both elastic and windowed (growth would duplicate keys across expiring generations)")
 	}
 	return nil
 }
@@ -127,6 +142,16 @@ func (c Config) validate() error {
 // Windowed reports whether the configuration describes a sliding-window
 // namespace.
 func (c Config) Windowed() bool { return c.Window > 0 }
+
+// elasticOptions derives the elastic chain configuration: the resolved
+// filter geometry seeds generation 0 and the chain target FPR derives
+// from it (the elastic package's default).
+func (c Config) elasticOptions() elastic.Options {
+	return elastic.Options{
+		Filter: c.filterOptions(),
+		Shards: c.Shards,
+	}
+}
 
 func (c Config) filterOptions() mpcbf.Options {
 	return mpcbf.Options{
@@ -145,8 +170,8 @@ var (
 )
 
 // Entry is one namespace: its resolved configuration plus its filter
-// state, which is either resident (exactly one of the two pointers
-// non-nil) or evicted (both nil, state in the evict file). The pointers
+// state, which is either resident (exactly one of the three pointers
+// non-nil) or evicted (all nil, state in the evict file). The pointers
 // are atomic so reads race-free against eviction; state transitions are
 // serialized by the registry's caller.
 type Entry struct {
@@ -156,8 +181,9 @@ type Entry struct {
 
 	filter atomic.Pointer[mpcbf.Sharded]
 	win    atomic.Pointer[window.Filter]
+	el     atomic.Pointer[elastic.Filter]
 
-	memBytes   int64        // resident footprint (set at attach, constant per config)
+	memBytes   int64        // resident footprint (set at attach; elastic growth updates it via Rebase)
 	lastTouch  atomic.Int64 // UnixNano of last access, the LRU key
 	nextRotate atomic.Int64 // windowed: UnixNano of the next due rotation (primary's ticker)
 	items      atomic.Int64 // element count at last marshal (authoritative while evicted)
@@ -185,14 +211,22 @@ func (e *Entry) Config() Config { return e.cfg }
 // Windowed reports whether this is a sliding-window namespace.
 func (e *Entry) Windowed() bool { return e.cfg.Windowed() }
 
+// IsElastic reports whether this is an elastic-chain namespace.
+func (e *Entry) IsElastic() bool { return e.cfg.Elastic }
+
 // Resident reports whether filter state is in memory.
-func (e *Entry) Resident() bool { return e.filter.Load() != nil || e.win.Load() != nil }
+func (e *Entry) Resident() bool {
+	return e.filter.Load() != nil || e.win.Load() != nil || e.el.Load() != nil
+}
 
 // Filter returns the resident plain filter, or nil.
 func (e *Entry) Filter() *mpcbf.Sharded { return e.filter.Load() }
 
 // Window returns the resident window filter, or nil.
 func (e *Entry) Window() *window.Filter { return e.win.Load() }
+
+// Elastic returns the resident elastic chain, or nil.
+func (e *Entry) Elastic() *elastic.Filter { return e.el.Load() }
 
 // Touch records an access at now (UnixNano) for LRU/idle accounting.
 func (e *Entry) Touch(now int64) { e.lastTouch.Store(now) }
@@ -213,6 +247,9 @@ func (e *Entry) Insert(key []byte) error {
 	if w := e.win.Load(); w != nil {
 		return w.Insert(key)
 	}
+	if el := e.el.Load(); el != nil {
+		return el.Insert(key)
+	}
 	return ErrNotResident
 }
 
@@ -223,6 +260,9 @@ func (e *Entry) Delete(key []byte) error {
 	}
 	if w := e.win.Load(); w != nil {
 		return w.Delete(key)
+	}
+	if el := e.el.Load(); el != nil {
+		return el.Delete(key)
 	}
 	return ErrNotResident
 }
@@ -236,6 +276,9 @@ func (e *Entry) InsertBatch(keys [][]byte, workers int) error {
 	if w := e.win.Load(); w != nil {
 		return w.InsertBatch(keys)
 	}
+	if el := e.el.Load(); el != nil {
+		return el.InsertBatch(keys, workers)
+	}
 	return ErrNotResident
 }
 
@@ -246,6 +289,9 @@ func (e *Entry) DeleteBatch(keys [][]byte, workers int) ([]bool, error) {
 	}
 	if w := e.win.Load(); w != nil {
 		return w.DeleteBatch(keys)
+	}
+	if el := e.el.Load(); el != nil {
+		return el.DeleteBatch(keys, workers)
 	}
 	return nil, ErrNotResident
 }
@@ -260,6 +306,9 @@ func (e *Entry) Contains(key []byte) (v, ok bool) {
 	if w := e.win.Load(); w != nil {
 		return w.Contains(key), true
 	}
+	if el := e.el.Load(); el != nil {
+		return el.Contains(key), true
+	}
 	return false, false
 }
 
@@ -270,6 +319,9 @@ func (e *Entry) ContainsBatch(keys [][]byte, workers int) (vs []bool, ok bool) {
 	}
 	if w := e.win.Load(); w != nil {
 		return w.ContainsBatch(keys), true
+	}
+	if el := e.el.Load(); el != nil {
+		return el.ContainsBatch(keys, workers), true
 	}
 	return nil, false
 }
@@ -282,6 +334,9 @@ func (e *Entry) EstimateCount(key []byte) (n int, ok bool) {
 	if w := e.win.Load(); w != nil {
 		return w.EstimateCount(key), true
 	}
+	if el := e.el.Load(); el != nil {
+		return el.EstimateCount(key), true
+	}
 	return 0, false
 }
 
@@ -293,6 +348,9 @@ func (e *Entry) Len() int {
 	}
 	if w := e.win.Load(); w != nil {
 		return w.Len()
+	}
+	if el := e.el.Load(); el != nil {
+		return el.Len()
 	}
 	return int(e.items.Load())
 }
@@ -315,6 +373,9 @@ func (e *Entry) Marshal() ([]byte, error) {
 	if w := e.win.Load(); w != nil {
 		return w.MarshalBinary()
 	}
+	if el := e.el.Load(); el != nil {
+		return el.MarshalBinary()
+	}
 	return nil, ErrNotResident
 }
 
@@ -323,6 +384,10 @@ func (e *Entry) Stats() wire.NsStats {
 	memBits := uint64(e.cfg.MemoryBits)
 	if e.cfg.Windowed() {
 		memBits *= uint64(e.cfg.Generations)
+	}
+	// An elastic chain's footprint is live state, not config: it grows.
+	if el := e.el.Load(); el != nil {
+		memBits = uint64(el.MemoryBits())
 	}
 	return wire.NsStats{
 		Resident:   e.Resident(),
@@ -336,6 +401,15 @@ func (e *Entry) Stats() wire.NsStats {
 
 // attachFresh builds and attaches empty filter state.
 func (e *Entry) attachFresh(workers int) error {
+	if e.cfg.Elastic {
+		el, err := elastic.New(e.cfg.elasticOptions())
+		if err != nil {
+			return fmt.Errorf("ns %q: %w", e.name, err)
+		}
+		e.memBytes = int64(el.MemoryBits() / 8)
+		e.el.Store(el)
+		return nil
+	}
 	if e.cfg.Windowed() {
 		w, err := window.New(window.Options{
 			Span:        e.cfg.Window,
@@ -363,6 +437,21 @@ func (e *Entry) attachFresh(workers int) error {
 // attachData unmarshals and attaches marshaled state, checking that its
 // mode matches the configuration.
 func (e *Entry) attachData(data []byte) error {
+	if elastic.IsElastic(data) {
+		if !e.cfg.Elastic {
+			return fmt.Errorf("ns %q: elastic state for a non-elastic namespace", e.name)
+		}
+		el, err := elastic.UnmarshalFilter(data)
+		if err != nil {
+			return fmt.Errorf("ns %q: %w", e.name, err)
+		}
+		e.memBytes = int64(el.MemoryBits() / 8)
+		e.el.Store(el)
+		return nil
+	}
+	if e.cfg.Elastic {
+		return fmt.Errorf("ns %q: non-elastic state for an elastic namespace", e.name)
+	}
 	if window.IsWindowed(data) {
 		if !e.cfg.Windowed() {
 			return fmt.Errorf("ns %q: windowed state for a non-windowed namespace", e.name)
@@ -390,6 +479,7 @@ func (e *Entry) attachData(data []byte) error {
 func (e *Entry) detach() {
 	e.filter.Store(nil)
 	e.win.Store(nil)
+	e.el.Store(nil)
 }
 
 // Options configures a Registry.
@@ -622,6 +712,20 @@ func (r *Registry) Recover(e *Entry) error {
 	return nil
 }
 
+// Rebase recomputes an elastic entry's resident footprint from its live
+// chain — called after growth or a generation import changed the chain's
+// memory — and folds the delta into the registry's resident-bytes
+// accounting. No-op for non-elastic or evicted entries.
+func (r *Registry) Rebase(e *Entry) {
+	el := e.el.Load()
+	if el == nil {
+		return
+	}
+	nb := int64(el.MemoryBits() / 8)
+	r.residentBytes.Add(nb - e.memBytes)
+	e.memBytes = nb
+}
+
 // EnsureQuota evicts least-recently-touched resident entries (never
 // keep) until resident bytes fit the quota. A single entry over quota
 // by itself stays resident: the quota bounds the aggregate, residency
@@ -774,6 +878,8 @@ type EntrySnapshot struct {
 	MemoryBytes uint64 `json:"memory_bytes"`
 	Resident    bool   `json:"resident"`
 	Windowed    bool   `json:"windowed"`
+	Elastic     bool   `json:"elastic"`
+	Generations int    `json:"generations,omitempty"` // elastic chain length (resident only)
 	Evictions   uint64 `json:"evictions"`
 	Recoveries  uint64 `json:"recoveries"`
 }
@@ -799,12 +905,19 @@ func (r *Registry) Snapshot() ([]EntrySnapshot, Totals) {
 		if e.cfg.Windowed() {
 			memBits *= uint64(e.cfg.Generations)
 		}
+		gens := 0
+		if el := e.el.Load(); el != nil {
+			memBits = uint64(el.MemoryBits())
+			gens = el.Generations()
+		}
 		out = append(out, EntrySnapshot{
 			Name:        e.name,
 			Items:       uint64(e.Len()),
 			MemoryBytes: memBits / 8,
 			Resident:    resident,
 			Windowed:    e.cfg.Windowed(),
+			Elastic:     e.cfg.Elastic,
+			Generations: gens,
 			Evictions:   e.evictions.Load(),
 			Recoveries:  e.recoveries.Load(),
 		})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/server/ns"
 	"repro/server/wire"
 	"repro/window"
@@ -20,7 +21,7 @@ import (
 // the one replication stream. Three WAL-only record types make the
 // namespace map and the per-record targeting durable:
 //
-//	NS_CREATE: body = [0xE2][u8 len][name][34-byte resolved config]
+//	NS_CREATE: body = [0xE2][u8 len][name][NsConfigSize-byte resolved config]
 //	NS_DROP:   body = [0xE3][u8 len][name]
 //	NS_SELECT: body = [0xE4][u8 len][name]   (len 0 = the default state)
 //
@@ -247,7 +248,16 @@ func (s *Store) nsInsertEnq(name, key []byte, tr *reqTrace) (uint64, error) {
 	if err := s.selectLocked(e); err != nil {
 		return 0, err
 	}
-	return s.wal.Enqueue(wire.OpInsert, key, tr)
+	ticket, err := s.wal.Enqueue(wire.OpInsert, key, tr)
+	if err != nil {
+		return 0, err
+	}
+	// The GROW record (if due) rides the selection this insert just
+	// established; its ticket supersedes the data ticket.
+	if gt := s.nsGrowEnqLocked(e); gt != 0 {
+		ticket = gt
+	}
+	return ticket, nil
 }
 
 func (s *Store) nsDeleteEnq(name, key []byte, tr *reqTrace) (uint64, error) {
@@ -283,7 +293,14 @@ func (s *Store) nsInsertBatchEnq(name []byte, keys [][]byte, tr *reqTrace) (uint
 	if err := s.selectLocked(e); err != nil {
 		return 0, err
 	}
-	return s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
+	ticket, err := s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
+	if err != nil {
+		return 0, err
+	}
+	if gt := s.nsGrowEnqLocked(e); gt != 0 {
+		ticket = gt
+	}
+	return ticket, nil
 }
 
 func (s *Store) nsDeleteBatchEnq(name []byte, keys [][]byte, tr *reqTrace) ([]bool, uint64, error) {
@@ -537,6 +554,9 @@ func (s *Store) DefaultNsStats() wire.NsStats {
 		st.Windowed = true
 		st.Items = uint64(w.Len())
 		st.MemoryBits = uint64(w.MemoryBits())
+	} else if el := s.elf(); el != nil {
+		st.Items = uint64(el.Len())
+		st.MemoryBits = uint64(el.MemoryBits())
 	} else {
 		f := s.f()
 		st.Items = uint64(f.Len())
@@ -654,10 +674,14 @@ func (a *batchApplier) flushNS(e *ns.Entry) {
 // default state plus every namespace — resolved config, residency,
 // items, and marshaled state:
 //
-//	[u32 magic][u32 version=1]
+//	[u32 magic][u32 version=2]
 //	[u64 len][default state]
 //	[u32 count] then per namespace, sorted by name:
-//	  [u8 len][name][34-byte config][u8 resident][u64 items][u64 len][state]
+//	  [u8 len][name][NsConfigSize-byte config][u8 resident][u64 items][u64 len][state]
+//
+// Version 2 widened the per-namespace config by the flags byte
+// (NsConfigSize 34 -> 35); version-1 containers are refused with an
+// explicit version error rather than misparsed.
 //
 // The container is self-contained: an evicted namespace's state is
 // embedded by reading its evict file at snapshot time (safe — evicted
@@ -666,7 +690,10 @@ func (a *batchApplier) flushNS(e *ns.Entry) {
 // every namespace starts in its snapshot state, and a local file
 // written after this snapshot may already include tail mutations —
 // replaying the tail on top would double-apply on a counting filter.
-const nsContainerMagic = 0x4D50534E // "NSPM" little-endian
+const (
+	nsContainerMagic   = 0x4D50534E // "NSPM" little-endian
+	nsContainerVersion = 2
+)
 
 // nsSnapEntry is one decoded container entry.
 type nsSnapEntry struct {
@@ -689,7 +716,7 @@ func (s *Store) encodeNsContainerLocked(base []byte) ([]byte, error) {
 	entries := s.reg.Entries()
 	out := make([]byte, 0, 16+len(base)+4)
 	out = binary.LittleEndian.AppendUint32(out, nsContainerMagic)
-	out = binary.LittleEndian.AppendUint32(out, 1)
+	out = binary.LittleEndian.AppendUint32(out, nsContainerVersion)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(base)))
 	out = append(out, base...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
@@ -726,7 +753,7 @@ func decodeNsContainer(blob []byte) (base []byte, entries []nsSnapEntry, err err
 	if len(blob) < 16 {
 		return nil, nil, errBadNsContainer
 	}
-	if v := binary.LittleEndian.Uint32(blob[4:8]); v != 1 {
+	if v := binary.LittleEndian.Uint32(blob[4:8]); v != nsContainerVersion {
 		return nil, nil, fmt.Errorf("server: namespace container version %d not supported", v)
 	}
 	baseLen := binary.LittleEndian.Uint64(blob[8:16])
@@ -780,6 +807,10 @@ func decodeNsContainer(blob []byte) (base []byte, entries []nsSnapEntry, err err
 func verifyNsState(data []byte) error {
 	if window.IsWindowed(data) {
 		_, err := window.UnmarshalFilter(data)
+		return err
+	}
+	if elastic.IsElastic(data) {
+		_, err := elastic.UnmarshalFilter(data)
 		return err
 	}
 	_, err := mpcbf.UnmarshalSharded(data)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/server/ns"
 	"repro/server/wire"
 )
@@ -32,6 +33,11 @@ type ServerSnapshot struct {
 	Shards []mpcbf.ShardStats `json:"shards"`
 	// Window is present only when the store runs in sliding-window mode.
 	Window *WindowSnapshot `json:"window,omitempty"`
+	// Elastic is present only when the store runs in elastic mode.
+	Elastic *ElasticSnapshot `json:"elastic,omitempty"`
+	// Ring is present once a reshard coordinator has pushed a partition
+	// map (RING_SET) to this node.
+	Ring *RingSnapshot `json:"ring,omitempty"`
 
 	// Namespaces is present only when named namespaces exist: the
 	// registry totals plus one entry per namespace, sorted by name.
@@ -77,6 +83,38 @@ type WindowSnapshot struct {
 	GenItems        []int        `json:"gen_items"`
 	PendingExpiries int          `json:"pending_expiries"`
 	RotationNs      HistSnapshot `json:"rotation_ns"`
+}
+
+// ElasticSnapshot is the generational-growth slice of a ServerSnapshot:
+// the chain's shape, its FPR budget accounting, and per-generation
+// occupancy (oldest first; the last entry is the head).
+type ElasticSnapshot struct {
+	Generations int    `json:"generations"`
+	Grows       uint32 `json:"grows"`
+	Imports     uint64 `json:"imports"`
+	// ImportedKeys/ImportedBytes total the current population and memory
+	// of the imported (frozen) generations — how much resharded state
+	// this node is carrying. Derived from the chain, so they survive
+	// restarts with it.
+	ImportedKeys  int                `json:"imported_keys"`
+	ImportedBytes int64              `json:"imported_bytes"`
+	TargetFPR     float64            `json:"target_fpr"`
+	ExpectedFPR   float64            `json:"expected_fpr"`
+	Gens          []elastic.GenStats `json:"gens"`
+}
+
+// RingSnapshot summarizes the cluster partition map this node last
+// adopted: reshard progress reads as epoch advancing and the joint
+// (dual-write) flag clearing at cutover.
+type RingSnapshot struct {
+	Epoch    uint64 `json:"epoch"`
+	Joint    bool   `json:"joint"`
+	OldNodes int    `json:"old_nodes"`
+	NewNodes int    `json:"new_nodes"`
+	// JointSeconds is how long this node has been in the current joint
+	// (dual-write) epoch, 0 outside one — a reshard stuck mid-flight
+	// reads as this gauge climbing without the joint flag clearing.
+	JointSeconds float64 `json:"joint_seconds"`
 }
 
 // WALSnapshot is the durability slice of a ServerSnapshot. The
@@ -160,6 +198,31 @@ func (s *Server) Snapshot() ServerSnapshot {
 			PendingExpiries: st.PendingExpiries,
 			RotationNs:      s.store.RotationHist(),
 		}
+	} else if el := s.store.Elastic(); el != nil {
+		st := el.Stats()
+		snap.Filter = FilterSnapshot{
+			Len:            el.Len(),
+			FillRatio:      el.FillRatio(), // head generation: the live insert target
+			SaturatedWords: el.SaturatedWords(),
+			MemoryBits:     el.MemoryBits(),
+			Shards:         len(el.HeadShardStats()),
+		}
+		snap.Shards = el.HeadShardStats()
+		es := &ElasticSnapshot{
+			Generations: st.Generations,
+			Grows:       st.Grows,
+			Imports:     st.Imports,
+			TargetFPR:   st.TargetFPR,
+			ExpectedFPR: el.ExpectedFPR(),
+			Gens:        st.Gens,
+		}
+		for _, g := range st.Gens {
+			if g.Imported {
+				es.ImportedKeys += g.Items
+				es.ImportedBytes += int64(g.MemoryBits / 8)
+			}
+		}
+		snap.Elastic = es
 	} else {
 		f := s.store.Filter()
 		snap.Filter = FilterSnapshot{
@@ -170,6 +233,15 @@ func (s *Server) Snapshot() ServerSnapshot {
 			Shards:         f.Shards(),
 		}
 		snap.Shards = f.ShardStats()
+	}
+	if r := s.ring.Load(); r != nil {
+		rs := &RingSnapshot{Epoch: r.Epoch, Joint: r.Joint, OldNodes: len(r.Old), NewNodes: len(r.New)}
+		if r.Joint {
+			if at := s.ringAdopted.Load(); at != 0 {
+				rs.JointSeconds = time.Since(time.Unix(0, at)).Seconds()
+			}
+		}
+		snap.Ring = rs
 	}
 
 	if reg := s.store.Namespaces(); reg != nil && reg.Len() > 0 {
@@ -289,6 +361,40 @@ func (snap ServerSnapshot) WriteProm(w io.Writer) {
 		win.RotationNs.WritePromSeconds(w, "mpcbfd_window_rotation_duration_seconds", "Time holding the mutation lock per ring rotation.")
 	}
 
+	if el := snap.Elastic; el != nil {
+		promGaugeInt(w, "mpcbfd_elastic_generations", "Generations in the elastic chain (including imports).", int64(el.Generations))
+		promCounter(w, "mpcbfd_elastic_grows_total", "Growth events: new head generations appended since the chain was created.", uint64(el.Grows))
+		promCounter(w, "mpcbfd_elastic_imports_total", "Frozen generations spliced in by IMPORT (resharding).", el.Imports)
+		promGaugeInt(w, "mpcbfd_elastic_imported_keys", "Population of the imported (frozen) generations — keys moved here by resharding.", int64(el.ImportedKeys))
+		promGaugeInt(w, "mpcbfd_elastic_imported_bytes", "Memory held by imported generations.", el.ImportedBytes)
+		promGaugeFloat(w, "mpcbfd_elastic_target_fpr", "Chain-wide false positive bound the growth schedule maintains.", el.TargetFPR)
+		promGaugeFloat(w, "mpcbfd_elastic_expected_fpr", "Analytic chain FPR at current occupancy (union bound over generations).", el.ExpectedFPR)
+		emitGen := func(name, help string, val func(g elastic.GenStats) string) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for i, g := range el.Gens {
+				fmt.Fprintf(w, "%s{gen=\"%d\"} %s\n", name, i, val(g))
+			}
+		}
+		emitGen("mpcbfd_elastic_generation_items", "Elements per chain generation (oldest first).",
+			func(g elastic.GenStats) string { return fmt.Sprintf("%d", g.Items) })
+		emitGen("mpcbfd_elastic_generation_fill_ratio", "Fill ratio per chain generation (0..1).",
+			func(g elastic.GenStats) string { return fmt.Sprintf("%g", g.FillRatio) })
+		emitGen("mpcbfd_elastic_generation_fpr_budget", "Tightened FPR budget per generation (0 for imported generations).",
+			func(g elastic.GenStats) string { return fmt.Sprintf("%g", g.Budget) })
+	}
+
+	if r := snap.Ring; r != nil {
+		promGaugeInt(w, "mpcbfd_ring_epoch", "Cluster partition-map epoch this node last adopted.", int64(r.Epoch))
+		joint := int64(0)
+		if r.Joint {
+			joint = 1
+		}
+		promGaugeInt(w, "mpcbfd_ring_joint", "1 during a reshard's dual-write window, 0 after cutover.", joint)
+		promGaugeInt(w, "mpcbfd_ring_old_nodes", "Primaries in the outgoing partition map.", int64(r.OldNodes))
+		promGaugeInt(w, "mpcbfd_ring_new_nodes", "Primaries in the incoming partition map.", int64(r.NewNodes))
+		promGaugeFloat(w, "mpcbfd_ring_joint_seconds", "Seconds spent in the current dual-write window (0 outside one).", r.JointSeconds)
+	}
+
 	if n := snap.Namespaces; n != nil {
 		writeNamespaceProm(w, n)
 	}
@@ -358,6 +464,8 @@ func writeNamespaceProm(w io.Writer, n *NamespacesSnapshot) {
 		func(e ns.EntrySnapshot) uint64 { return e.Evictions })
 	emit("mpcbfd_ns_recoveries_total", "counter", "Times each namespace was recovered from its snapshot file.",
 		func(e ns.EntrySnapshot) uint64 { return e.Recoveries })
+	emit("mpcbfd_ns_elastic_generations", "gauge", "Elastic chain length per namespace (0: not elastic).",
+		func(e ns.EntrySnapshot) uint64 { return uint64(e.Generations) })
 }
 
 // writeShardProm renders the per-shard gauge families, one HELP/TYPE

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/server/wire"
 )
 
 // promParser validates the Prometheus text exposition format (0.0.4):
@@ -519,5 +521,102 @@ func TestTracerDisabledIsCheap(t *testing.T) {
 	}
 	if rep.Sampled != 0 || rep.Slow != 0 || len(rep.Recent) != 0 || len(rep.SlowRecent) != 0 {
 		t.Errorf("tracing off but rings populated: %+v", rep)
+	}
+}
+
+// TestExpvarMatchesPromElasticRing extends the anti-drift check to the
+// elastic-chain and partition-ring families: both expositions render
+// from the same ServerSnapshot, so every number must agree, and the new
+// families must keep the /metrics document format-valid.
+func TestExpvarMatchesPromElasticRing(t *testing.T) {
+	srv, c := startTestServer(t, testElasticStoreOptions(t.TempDir()), Config{})
+	// Push past the seed generation so a grow event is on the books.
+	if err := c.InsertBatch(storeKeys("elastic-drift", 1200)); err != nil {
+		t.Fatal(err)
+	}
+	// Adopt a joint ring so the mpcbfd_ring_* family renders.
+	err := c.RingSet(wire.Ring{Epoch: 9, Joint: true,
+		Old: []string{"a:1", "b:1"}, New: []string{"a:1", "b:1", "c:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Import the node's own dump so imported-generation gauges are live.
+	blob, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+	var doc struct {
+		Mpcbfd struct {
+			Server ServerSnapshot `json:"server"`
+		} `json:"mpcbfd"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, ts.URL+"/debug/vars")), &doc); err != nil {
+		t.Fatalf("/debug/vars unparseable: %v", err)
+	}
+	snap := doc.Mpcbfd.Server
+	if snap.Elastic == nil || snap.Elastic.Grows == 0 {
+		t.Fatalf("expvar elastic snapshot missing or never grew: %+v", snap.Elastic)
+	}
+	if snap.Ring == nil {
+		t.Fatal("expvar ring snapshot missing after RING_SET")
+	}
+	if snap.Ring.JointSeconds <= 0 {
+		t.Fatalf("joint ring adopted but JointSeconds = %g", snap.Ring.JointSeconds)
+	}
+	if snap.Elastic.Imports == 0 || snap.Elastic.ImportedKeys == 0 || snap.Elastic.ImportedBytes == 0 {
+		t.Fatalf("import left no trace in the snapshot: %+v", snap.Elastic)
+	}
+
+	metrics := httpGet(t, ts.URL+"/metrics")
+	pairs := [][2]string{
+		{"mpcbfd_elastic_generations", fmt.Sprintf("%d", snap.Elastic.Generations)},
+		{"mpcbfd_elastic_grows_total", fmt.Sprintf("%d", snap.Elastic.Grows)},
+		{"mpcbfd_elastic_imports_total", fmt.Sprintf("%d", snap.Elastic.Imports)},
+		{"mpcbfd_elastic_imported_keys", fmt.Sprintf("%d", snap.Elastic.ImportedKeys)},
+		{"mpcbfd_elastic_imported_bytes", fmt.Sprintf("%d", snap.Elastic.ImportedBytes)},
+		{"mpcbfd_elastic_target_fpr", fmt.Sprintf("%g", snap.Elastic.TargetFPR)},
+		{"mpcbfd_ring_epoch", "9"},
+		{"mpcbfd_ring_joint", "1"},
+		{"mpcbfd_ring_old_nodes", "2"},
+		{"mpcbfd_ring_new_nodes", "3"},
+	}
+	for i, g := range snap.Elastic.Gens {
+		pairs = append(pairs, [2]string{
+			fmt.Sprintf(`mpcbfd_elastic_generation_items{gen="%d"}`, i),
+			fmt.Sprintf("%d", g.Items),
+		})
+	}
+	for _, pair := range pairs {
+		if want := pair[0] + " " + pair[1]; !strings.Contains(metrics, want) {
+			t.Errorf("/metrics disagrees with /debug/vars: missing %q", want)
+		}
+	}
+	p := parseProm(t, metrics)
+	for _, fam := range []string{
+		"mpcbfd_elastic_generations",
+		"mpcbfd_elastic_grows_total",
+		"mpcbfd_elastic_imports_total",
+		"mpcbfd_elastic_imported_keys",
+		"mpcbfd_elastic_imported_bytes",
+		"mpcbfd_elastic_target_fpr",
+		"mpcbfd_elastic_expected_fpr",
+		"mpcbfd_elastic_generation_items",
+		"mpcbfd_elastic_generation_fill_ratio",
+		"mpcbfd_elastic_generation_fpr_budget",
+		"mpcbfd_ring_epoch",
+		"mpcbfd_ring_joint",
+		"mpcbfd_ring_old_nodes",
+		"mpcbfd_ring_new_nodes",
+		"mpcbfd_ring_joint_seconds",
+	} {
+		if _, ok := p.typeOf[fam]; !ok {
+			t.Errorf("/metrics missing family %s", fam)
+		}
 	}
 }

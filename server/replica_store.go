@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/window"
 )
 
@@ -169,6 +170,7 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	var (
 		f         *mpcbf.Sharded
 		w         *window.Filter
+		el        *elastic.Filter
 		nsEntries []nsSnapEntry
 	)
 	base := data
@@ -178,12 +180,18 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 			return fmt.Errorf("server: bootstrap snapshot: %w", err)
 		}
 	}
-	if window.IsWindowed(base) {
+	switch {
+	case window.IsWindowed(base):
 		var err error
 		if w, err = window.UnmarshalFilter(base); err != nil {
 			return fmt.Errorf("server: bootstrap snapshot: %w", err)
 		}
-	} else {
+	case elastic.IsElastic(base):
+		var err error
+		if el, err = elastic.UnmarshalFilter(base); err != nil {
+			return fmt.Errorf("server: bootstrap snapshot: %w", err)
+		}
+	default:
 		var err error
 		if f, err = mpcbf.UnmarshalSharded(base); err != nil {
 			return fmt.Errorf("server: bootstrap snapshot: %w", err)
@@ -251,12 +259,19 @@ func (s *Store) ReplicaBootstrap(seq uint64, cumRecords, cumBytes uint64, data [
 	if err := s.reg.EnsureQuota(nil); err != nil {
 		return fmt.Errorf("server: bootstrap namespace quota: %w", err)
 	}
-	if w != nil {
+	switch {
+	case w != nil:
 		s.win.Store(w)
+		s.el.Store(nil)
 		s.filter.Store(nil)
-	} else {
+	case el != nil:
+		s.el.Store(el)
+		s.win.Store(nil)
+		s.filter.Store(nil)
+	default:
 		s.filter.Store(f)
 		s.win.Store(nil)
+		s.el.Store(nil)
 	}
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())

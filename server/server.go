@@ -116,6 +116,16 @@ type Server struct {
 	// reads) at shutdown; subs tracks them for the metrics gauges.
 	stop chan struct{}
 	subs sync.Map // *replSub -> struct{}
+
+	// ring is the cluster partition map a reshard coordinator last pushed
+	// (RING_SET). The server itself never routes by it — clients do — it
+	// only stores and republishes it (RING_GET) so every client polling
+	// any node converges on the newest epoch. Accepted on replicas too:
+	// the ring is coordination metadata, not durable store state.
+	ring atomic.Pointer[wire.Ring]
+	// ringAdopted is when (unix nanos) the current ring epoch was
+	// adopted, feeding the dual-write-window duration gauge.
+	ringAdopted atomic.Int64
 }
 
 // New builds a server over store. metrics may be nil (a private instance
@@ -560,8 +570,49 @@ func (s *Server) dispatch(req wire.Request, dst []byte, tr *reqTrace) (resp []by
 	case wire.OpNsStats:
 		// 0-length name: the default-state alias.
 		return wire.AppendNsStats(wire.AppendOK(dst), s.store.DefaultNsStats()), 0, false
+	case wire.OpImport:
+		ticket, err := s.store.importEnq(req.Blob, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpElasticStats:
+		st, err := s.store.ElasticStats()
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendElasticStats(wire.AppendOK(dst), st), 0, false
+	case wire.OpRingSet:
+		return s.ringSet(req.Ring, dst), 0, false
+	case wire.OpRingGet:
+		var r wire.Ring
+		if cur := s.ring.Load(); cur != nil {
+			r = *cur
+		}
+		return wire.AppendRing(wire.AppendOK(dst), r), 0, false
 	}
 	return wire.AppendErr(dst, "unknown opcode"), 0, true
+}
+
+// ringSet adopts a pushed partition map if its epoch is newer than the
+// one held; a stale push answers OK too (idempotent — the coordinator
+// retries pushes, and racing pushes resolve by epoch everywhere).
+func (s *Server) ringSet(r wire.Ring, dst []byte) []byte {
+	for {
+		cur := s.ring.Load()
+		if cur != nil && r.Epoch <= cur.Epoch {
+			return wire.AppendOK(dst)
+		}
+		cp := r
+		cp.Old = append([]string(nil), r.Old...)
+		cp.New = append([]string(nil), r.New...)
+		if s.ring.CompareAndSwap(cur, &cp) {
+			s.ringAdopted.Store(time.Now().UnixNano())
+			s.cfg.Log.Info("ring adopted", "epoch", cp.Epoch, "joint", cp.Joint,
+				"old", len(cp.Old), "new", len(cp.New))
+			return wire.AppendOK(dst)
+		}
+	}
 }
 
 // appendWindowStats encodes an OK + window-stats response.
@@ -682,6 +733,18 @@ func (s *Server) dispatchNS(req wire.Request, dst []byte, tr *reqTrace) (resp []
 			return wire.AppendErr(dst, err.Error()), 0, true
 		}
 		return appendWindowStats(dst, st), 0, false
+	case wire.OpImport:
+		ticket, err := s.store.nsImportEnq(req.NS, req.Blob, tr)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendOK(dst), ticket, false
+	case wire.OpElasticStats:
+		st, err := s.store.NsElasticStats(req.NS)
+		if err != nil {
+			return wire.AppendErr(dst, err.Error()), 0, true
+		}
+		return wire.AppendElasticStats(wire.AppendOK(dst), st), 0, false
 	}
 	return wire.AppendErr(dst, "unknown opcode"), 0, true
 }

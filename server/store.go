@@ -14,6 +14,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/server/ns"
 	"repro/server/wire"
 	"repro/window"
@@ -52,7 +53,8 @@ type Store struct {
 	// reads are in flight.
 	mu     sync.Mutex
 	filter atomic.Pointer[mpcbf.Sharded]
-	win    atomic.Pointer[window.Filter] // non-nil in windowed mode; filter is nil then
+	win    atomic.Pointer[window.Filter]  // non-nil in windowed mode; filter is nil then
+	el     atomic.Pointer[elastic.Filter] // non-nil in elastic mode; filter is nil then
 	wal    *wal
 
 	// reg holds the named namespaces (see ns_store.go); walCtx is the
@@ -119,6 +121,16 @@ type StoreOptions struct {
 	Window time.Duration
 	// Generations is the window ring size G (default 4; windowed only).
 	Generations int
+	// Elastic runs the store in elastic mode: state is an elastic.Filter
+	// chain that grows a new generation when the head saturates, and the
+	// WAL additionally records growth and import events (see
+	// elastic_store.go). Sticky like Window, and mutually exclusive with
+	// it: a window expires whole generations on a clock, which a growing
+	// chain cannot reconcile with.
+	Elastic bool
+	// ElasticFPR is the chain-wide false positive bound (elastic only;
+	// 0 derives it from the seed geometry — see elastic.Options).
+	ElasticFPR float64
 	// NsDefaults is the default per-namespace filter configuration; zero
 	// fields get the ns package's hard fallbacks. Per-namespace CREATE_NS
 	// overrides resolve against it.
@@ -210,23 +222,27 @@ func listSnapshots(dir string) ([]uint64, error) {
 // whichever state type its payload encodes; exactly one of the returned
 // filters is non-nil. A namespace container additionally yields its
 // decoded namespace entries for registry installation.
-func loadSnapshot(path string) (*mpcbf.Sharded, *window.Filter, []nsSnapEntry, error) {
+func loadSnapshot(path string) (*mpcbf.Sharded, *window.Filter, *elastic.Filter, []nsSnapEntry, error) {
 	data, err := readSnapshotData(path)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var entries []nsSnapEntry
 	if isNsContainer(data) {
 		if data, entries, err = decodeNsContainer(data); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 	if window.IsWindowed(data) {
 		w, err := window.UnmarshalFilter(data)
-		return nil, w, entries, err
+		return nil, w, nil, entries, err
+	}
+	if elastic.IsElastic(data) {
+		el, err := elastic.UnmarshalFilter(data)
+		return nil, nil, el, entries, err
 	}
 	f, err := mpcbf.UnmarshalSharded(data)
-	return f, nil, entries, err
+	return f, nil, nil, entries, err
 }
 
 // OpenStore opens (or initializes) the store in opts.Dir: newest valid
@@ -241,9 +257,13 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Elastic && opts.Window > 0 {
+		return nil, errors.New("server: -elastic and -window are mutually exclusive (a window expires whole generations on a clock; a growing chain cannot reconcile with that)")
+	}
 	var (
 		filter    *mpcbf.Sharded
 		winf      *window.Filter
+		elf       *elastic.Filter
 		nsEntries []nsSnapEntry
 		snapSeq   uint64 // replay segments >= snapSeq
 	)
@@ -253,49 +273,66 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	// exist but all fail to load are a hard error: silently starting from
 	// an empty filter would masquerade as data loss.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		f, w, nse, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
+		f, w, el, nse, err := loadSnapshot(snapshotPath(opts.Dir, snaps[i]))
 		if err == nil {
-			filter, winf, nsEntries, snapSeq = f, w, nse, snaps[i]
+			filter, winf, elf, nsEntries, snapSeq = f, w, el, nse, snaps[i]
 			break
 		}
 		opts.Log.Warn("skipping corrupt snapshot", "seq", snaps[i], "error", err)
 	}
-	if filter == nil && winf == nil {
+	if filter == nil && winf == nil && elf == nil {
 		if len(snaps) > 0 {
 			return nil, fmt.Errorf("server: %d snapshot file(s) in %s but none loads cleanly; refusing to start from an empty filter (restore a snapshot or clear the directory to reinitialize)", len(snaps), opts.Dir)
 		}
-		if opts.Window > 0 {
+		switch {
+		case opts.Window > 0:
 			winf, err = window.New(windowOptionsFrom(opts))
 			if err != nil {
 				return nil, fmt.Errorf("server: fresh window: %w", err)
 			}
-		} else {
+		case opts.Elastic:
+			elf, err = elastic.New(elasticOptionsFrom(opts))
+			if err != nil {
+				return nil, fmt.Errorf("server: fresh elastic chain: %w", err)
+			}
+		default:
 			filter, err = mpcbf.NewSharded(opts.Filter, opts.Shards)
 			if err != nil {
 				return nil, fmt.Errorf("server: fresh filter: %w", err)
 			}
 		}
 	}
-	// Windowed-ness is a property of the durable state, like the filter
-	// geometry: flipping -window against an existing store of the other
-	// kind is a configuration error, not a migration. A replica adopts
-	// whatever its local snapshot (mirrored from the primary) encodes,
-	// since its next bootstrap would overwrite the mode anyway.
+	// The mode — plain, windowed, or elastic — is a property of the
+	// durable state, like the filter geometry: flipping -window or
+	// -elastic against an existing store of another kind is a
+	// configuration error, not a migration. A replica adopts whatever its
+	// local snapshot (mirrored from the primary) encodes, since its next
+	// bootstrap would overwrite the mode anyway.
 	if !opts.Replica {
-		if opts.Window > 0 && filter != nil {
+		if opts.Window > 0 && winf == nil && (filter != nil || elf != nil) {
 			return nil, fmt.Errorf("server: store in %s is not windowed; drop -window or use a fresh directory", opts.Dir)
 		}
 		if opts.Window <= 0 && winf != nil {
 			return nil, fmt.Errorf("server: store in %s is windowed; pass -window or use a fresh directory", opts.Dir)
 		}
-	} else if (opts.Window > 0) != (winf != nil) && (filter != nil || winf != nil) {
-		opts.Log.Warn("replica adopting snapshot mode over flags", "windowed", winf != nil)
+		if opts.Elastic && elf == nil && (filter != nil || winf != nil) {
+			return nil, fmt.Errorf("server: store in %s is not elastic; drop -elastic or use a fresh directory", opts.Dir)
+		}
+		if !opts.Elastic && elf != nil {
+			return nil, fmt.Errorf("server: store in %s is elastic; pass -elastic or use a fresh directory", opts.Dir)
+		}
+	} else if (filter != nil || winf != nil || elf != nil) &&
+		((opts.Window > 0) != (winf != nil) || opts.Elastic != (elf != nil)) {
+		opts.Log.Warn("replica adopting snapshot mode over flags", "windowed", winf != nil, "elastic", elf != nil)
 	}
 
 	s := &Store{opts: opts, stop: make(chan struct{})}
-	if winf != nil {
+	switch {
+	case winf != nil:
 		s.win.Store(winf)
-	} else {
+	case elf != nil:
+		s.el.Store(elf)
+	default:
 		s.filter.Store(filter)
 	}
 	// The registry must exist before replay: the replayed tail can carry
@@ -456,6 +493,14 @@ func (a *batchApplier) add(op byte, key []byte) error {
 	case walOpNsSelect:
 		a.flush()
 		return a.s.applyNsSelect(key)
+	case walOpElasticGrow:
+		// Growth is a flush barrier for the same reason rotation is:
+		// everything logged before it must land in the pre-growth head.
+		a.flush()
+		return a.s.applyElasticGrow()
+	case walOpElasticImport:
+		a.flush()
+		return a.s.applyElasticImport(key)
 	default:
 		return fmt.Errorf("unknown wal op 0x%02x", op)
 	}
@@ -473,13 +518,16 @@ func (a *batchApplier) flush() {
 		a.flushNS(e)
 		return
 	}
-	w := a.s.w()
+	w, el := a.s.w(), a.s.elf()
 	switch a.op {
 	case wire.OpInsert:
 		var err error
-		if w != nil {
+		switch {
+		case w != nil:
 			err = w.InsertBatch(a.keys)
-		} else {
+		case el != nil:
+			err = el.InsertBatch(a.keys, a.s.opts.BatchWorkers)
+		default:
 			err = a.s.f().InsertBatch(a.keys, a.s.opts.BatchWorkers)
 		}
 		if err != nil {
@@ -487,9 +535,12 @@ func (a *batchApplier) flush() {
 		}
 	case wire.OpDelete:
 		var err error
-		if w != nil {
+		switch {
+		case w != nil:
 			_, err = w.DeleteBatch(a.keys)
-		} else {
+		case el != nil:
+			_, err = el.DeleteBatch(a.keys, a.s.opts.BatchWorkers)
+		default:
 			_, err = a.s.f().DeleteBatch(a.keys, a.s.opts.BatchWorkers)
 		}
 		if err != nil {
@@ -542,6 +593,8 @@ func (s *Store) insertEnq(key []byte, tr *reqTrace) (uint64, error) {
 	var err error
 	if w := s.w(); w != nil {
 		err = w.Insert(key)
+	} else if el := s.elf(); el != nil {
+		err = el.Insert(key)
 	} else {
 		err = s.f().Insert(key)
 	}
@@ -552,7 +605,17 @@ func (s *Store) insertEnq(key []byte, tr *reqTrace) (uint64, error) {
 	if err := s.selectLocked(nil); err != nil {
 		return 0, err
 	}
-	return s.wal.Enqueue(wire.OpInsert, key, tr)
+	ticket, err := s.wal.Enqueue(wire.OpInsert, key, tr)
+	if err != nil {
+		return 0, err
+	}
+	// An insert that tipped the head past its growth trigger grows the
+	// chain in the same commit round; the grow ticket supersedes the data
+	// ticket so the ack covers both.
+	if gt := s.growEnqLocked(); gt != 0 {
+		ticket = gt
+	}
+	return ticket, nil
 }
 
 // waitDurable blocks until the ticket's WAL records are durable per the
@@ -580,6 +643,8 @@ func (s *Store) deleteEnq(key []byte, tr *reqTrace) (uint64, error) {
 	var err error
 	if w := s.w(); w != nil {
 		err = w.Delete(key)
+	} else if el := s.elf(); el != nil {
+		err = el.Delete(key)
 	} else {
 		err = s.f().Delete(key)
 	}
@@ -614,6 +679,8 @@ func (s *Store) insertBatchEnq(keys [][]byte, tr *reqTrace) (uint64, error) {
 	var err error
 	if w := s.w(); w != nil {
 		err = w.InsertBatch(keys)
+	} else if el := s.elf(); el != nil {
+		err = el.InsertBatch(keys, s.opts.BatchWorkers)
 	} else {
 		err = s.f().InsertBatch(keys, s.opts.BatchWorkers)
 	}
@@ -624,7 +691,14 @@ func (s *Store) insertBatchEnq(keys [][]byte, tr *reqTrace) (uint64, error) {
 	if err := s.selectLocked(nil); err != nil {
 		return 0, err
 	}
-	return s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
+	ticket, err := s.wal.EnqueueBatch(wire.OpInsert, keys, tr)
+	if err != nil {
+		return 0, err
+	}
+	if gt := s.growEnqLocked(); gt != 0 {
+		ticket = gt
+	}
+	return ticket, nil
 }
 
 // DeleteBatch applies a batch of deletes and logs exactly the subset
@@ -650,6 +724,8 @@ func (s *Store) deleteBatchEnq(keys [][]byte, tr *reqTrace) ([]bool, uint64, err
 	var ok []bool
 	if w := s.w(); w != nil {
 		ok, _ = w.DeleteBatch(keys)
+	} else if el := s.elf(); el != nil {
+		ok, _ = el.DeleteBatch(keys, s.opts.BatchWorkers)
 	} else {
 		ok, _ = s.f().DeleteBatch(keys, s.opts.BatchWorkers)
 	}
@@ -665,11 +741,14 @@ func (s *Store) deleteBatchEnq(keys [][]byte, tr *reqTrace) ([]bool, uint64, err
 
 // Contains answers membership; lock-free at the store level. Checked
 // filter-first: in non-windowed mode (the common case) the hot path
-// costs exactly one atomic load, same as before windowed stores
-// existed; only windowed stores fall through to the ring.
+// costs exactly one atomic load, same as before windowed or elastic
+// stores existed; only the other modes pay the extra nil check.
 func (s *Store) Contains(key []byte) bool {
 	if f := s.f(); f != nil {
 		return f.Contains(key)
+	}
+	if el := s.elf(); el != nil {
+		return el.Contains(key)
 	}
 	return s.w().Contains(key)
 }
@@ -679,6 +758,9 @@ func (s *Store) ContainsBatch(keys [][]byte) []bool {
 	if f := s.f(); f != nil {
 		return f.ContainsBatch(keys, s.opts.BatchWorkers)
 	}
+	if el := s.elf(); el != nil {
+		return el.ContainsBatch(keys, s.opts.BatchWorkers)
+	}
 	return s.w().ContainsBatch(keys)
 }
 
@@ -686,6 +768,9 @@ func (s *Store) ContainsBatch(keys [][]byte) []bool {
 func (s *Store) EstimateCount(key []byte) int {
 	if f := s.f(); f != nil {
 		return f.EstimateCount(key)
+	}
+	if el := s.elf(); el != nil {
+		return el.EstimateCount(key)
 	}
 	return s.w().EstimateCount(key)
 }
@@ -695,12 +780,15 @@ func (s *Store) Len() int {
 	if f := s.f(); f != nil {
 		return f.Len()
 	}
+	if el := s.elf(); el != nil {
+		return el.Len()
+	}
 	return s.w().Len()
 }
 
 // Filter exposes the underlying sharded filter for read-only inspection
 // (metrics: fill ratio, saturated words, memory bits). Nil in windowed
-// mode — use Window instead.
+// and elastic modes — use Window or Elastic instead.
 func (s *Store) Filter() *mpcbf.Sharded { return s.f() }
 
 // StoreStats is a point-in-time durability report.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	mpcbf "repro"
+	"repro/elastic"
 	"repro/window"
 )
 
@@ -205,6 +206,9 @@ func (s *Store) marshalBaseLocked() ([]byte, error) {
 	if w := s.w(); w != nil {
 		return w.MarshalBinary()
 	}
+	if el := s.elf(); el != nil {
+		return el.MarshalBinary()
+	}
 	return s.f().MarshalBinary()
 }
 
@@ -240,6 +244,10 @@ func verifySnapshot(path string) error {
 	}
 	if window.IsWindowed(data) {
 		_, err = window.UnmarshalFilter(data)
+		return err
+	}
+	if elastic.IsElastic(data) {
+		_, err = elastic.UnmarshalFilter(data)
 		return err
 	}
 	_, err = mpcbf.UnmarshalSharded(data)

@@ -59,6 +59,19 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(append(AppendTraceUntraced(nil), AppendTraceUntraced(nil)...))
 	f.Add(append(AppendTraceUntraced(nil), AppendReplicateRequest(nil, 1, 2)...))
 	f.Add(append(AppendNamespaced(nil, []byte("t")), AppendKeyRequest(AppendTraceUntraced(nil), OpInsert, []byte("k"))...))
+	// Ring / import / elastic stats ops (protocol version 4): well-formed,
+	// truncated mid-ring, oversized member count, empty import, enveloped
+	// import and elastic stats, forbidden enveloped ring.
+	f.Add(AppendRingSetRequest(nil, Ring{Epoch: 3, Joint: true, Old: []string{"a:1", "b:2"}, New: []string{"a:1", "b:2", "c:3"}}))
+	f.Add(AppendRingGetRequest(nil))
+	f.Add(AppendElasticStatsRequest(nil))
+	f.Add(AppendImportRequest(nil, []byte("blobby")))
+	f.Add(AppendRingSetRequest(nil, Ring{Epoch: 1, Old: []string{"x:1"}, New: []string{"x:1"}})[:12])
+	f.Add([]byte{OpRingSet, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Add([]byte{OpImport})
+	f.Add(AppendImportRequest(AppendNamespaced(nil, []byte("t")), []byte("blob")))
+	f.Add(AppendElasticStatsRequest(AppendNamespaced(nil, []byte("t"))))
+	f.Add(append([]byte{OpNamespaced, 1, 'a'}, AppendRingGetRequest(nil)...))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err != nil {
@@ -88,6 +101,11 @@ func FuzzDecodeStatus(f *testing.F) {
 	f.Add(AppendU64(AppendOK(nil), 1<<63))
 	f.Add(AppendNsList(AppendOK(nil), []string{"a", "tenant-b"}))
 	f.Add(AppendNsStats(AppendOK(nil), NsStats{Resident: true, Items: 42}))
+	f.Add(AppendRing(AppendOK(nil), Ring{Epoch: 5, Joint: true, Old: []string{"a:1"}, New: []string{"a:1", "b:2"}}))
+	f.Add(AppendElasticStats(AppendOK(nil), ElasticStats{
+		Grows: 2, TargetFPR: 0.01,
+		Gens: []ElasticGenStats{{Items: 10, Capacity: 100, FillRatio: 0.1, Budget: 0.005, MemoryBits: 4096}},
+	}))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		status, body, err := DecodeStatus(payload)
 		if err != nil {
@@ -105,6 +123,12 @@ func FuzzDecodeStatus(f *testing.F) {
 		DecodeNsStats(body)
 		if names, err := DecodeNsList(body); err == nil && len(names) > len(body) {
 			t.Fatalf("ns list: %d names from %d bytes", len(names), len(body))
+		}
+		if r, _, err := DecodeRing(body); err == nil && len(r.Old)+len(r.New) > len(body) {
+			t.Fatalf("ring: %d members from %d bytes", len(r.Old)+len(r.New), len(body))
+		}
+		if es, err := DecodeElasticStats(body); err == nil && len(es.Gens) > len(body) {
+			t.Fatalf("elastic stats: %d generations from %d bytes", len(es.Gens), len(body))
 		}
 	})
 }

@@ -24,6 +24,9 @@
 //	LIST_NS:                                [op]
 //	NAMESPACED:                             [op][u8 nsLen][ns][inner request payload]
 //	TRACE:                                  [op][u8 idLen][16B trace id][8B parent span][inner request payload]
+//	RING_SET:                               [op][ring descriptor]
+//	RING_GET / ELASTIC_STATS:               [op]
+//	IMPORT:                                 [op][marshaled filter bytes]
 //
 // Responses (status OK):
 //
@@ -39,6 +42,9 @@
 //	LIST_NS:                         [u32 n]([u8 len][name])*n
 //	NS_STATS:                        [u8 resident][u8 windowed][u64 items]
 //	                                 [u64 memoryBits][u64 evictions][u64 recoveries]
+//	RING_SET / IMPORT:               empty
+//	RING_GET:                        [ring descriptor] (epoch 0: none installed)
+//	ELASTIC_STATS:                   see AppendElasticStats
 //
 // The TTL ops and WINDOW_STATS are only meaningful against a daemon
 // started in windowed mode (-window) or, through the NAMESPACED
@@ -162,10 +168,30 @@ const (
 	// REPLICATE cannot be traced.
 	OpTrace = 0x13
 
+	// Elasticity / resharding ops (protocol version 4).
+	//
+	// RING_SET pushes a cluster ring descriptor (epoch, membership,
+	// dual-write flag) to a node; RING_GET reads back the node's current
+	// descriptor so clients and late joiners converge on the newest
+	// epoch. The ring is coordination metadata, not filter state: it is
+	// not WAL-logged and not a mutation, so replicas accept it too.
+	OpRingSet = 0x14
+	OpRingGet = 0x15
+	// IMPORT hands the receiving node a complete marshaled filter
+	// (Sharded or elastic chain) to absorb as frozen generation(s) of
+	// its elastic filter — the snapshot-transfer half of resharding.
+	// It is a WAL-logged mutation; the OK ack means the import is
+	// durable, which is the handoff watermark cutover waits for.
+	OpImport = 0x16
+	// ELASTIC_STATS reports the elastic chain's shape (generations,
+	// per-generation fill and FPR budget); meaningful only against an
+	// elastic store or, enveloped, an elastic namespace.
+	OpElasticStats = 0x17
+
 	// MaxOp is the highest assigned opcode. Every opcode in (0, MaxOp]
 	// must have an OpName/OpNames entry; a table test enforces it so a
 	// future opcode cannot ship unnamed.
-	MaxOp = OpTrace
+	MaxOp = OpElasticStats
 )
 
 // TraceIDLen is the byte length of a trace id. A TRACE envelope's id
@@ -182,7 +208,8 @@ const (
 	ProtocolVersion1 = 1
 	ProtocolVersion2 = 2
 	ProtocolVersion3 = 3
-	ProtocolVersion  = ProtocolVersion3
+	ProtocolVersion4 = 4
+	ProtocolVersion  = ProtocolVersion4
 )
 
 // MaxNamespaceLen bounds a namespace name's byte length. The wire format
@@ -240,7 +267,7 @@ const (
 func IsMutation(op byte) bool {
 	switch op {
 	case OpInsert, OpDelete, OpInsertBatch, OpDeleteBatch, OpInsertTTL, OpInsertTTLBatch,
-		OpNsCreate, OpNsDrop, OpNamespaced, OpTrace:
+		OpNsCreate, OpNsDrop, OpNamespaced, OpTrace, OpImport:
 		return true
 	}
 	return false
@@ -297,6 +324,14 @@ func OpName(op byte) string {
 		return "namespaced"
 	case OpTrace:
 		return "trace"
+	case OpRingSet:
+		return "ring_set"
+	case OpRingGet:
+		return "ring_get"
+	case OpImport:
+		return "import"
+	case OpElasticStats:
+		return "elastic_stats"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
 }
@@ -339,6 +374,11 @@ func OpNames() map[byte]string {
 		OpNsStats:    "ns_stats",
 		OpNamespaced: "namespaced",
 		OpTrace:      "trace",
+
+		OpRingSet:      "ring_set",
+		OpRingGet:      "ring_get",
+		OpImport:       "import",
+		OpElasticStats: "elastic_stats",
 	}
 }
 
@@ -555,10 +595,19 @@ type NsConfig struct {
 	Seed           uint32 // base hash seed
 	WindowNanos    uint64 // > 0: windowed namespace with this span
 	Generations    uint16 // windowed: generation ring size
+	Flags          uint8  // NsFlag* bits
 }
 
+// NsFlagElastic makes the namespace an elastic chain: the configured
+// geometry becomes the seed generation and the filter grows when it
+// fills. Mutually exclusive with WindowNanos > 0.
+const NsFlagElastic = 1 << 0
+
+// Elastic reports whether the NsFlagElastic bit is set.
+func (c NsConfig) Elastic() bool { return c.Flags&NsFlagElastic != 0 }
+
 // NsConfigSize is the encoded size of an NsConfig block.
-const NsConfigSize = 8 + 8 + 1 + 1 + 2 + 4 + 8 + 2
+const NsConfigSize = 8 + 8 + 1 + 1 + 2 + 4 + 8 + 2 + 1
 
 // AppendNsConfig encodes an NsConfig block.
 func AppendNsConfig(dst []byte, c NsConfig) []byte {
@@ -570,7 +619,8 @@ func AppendNsConfig(dst []byte, c NsConfig) []byte {
 	binary.LittleEndian.PutUint32(u32[:], c.Seed)
 	dst = append(dst, u32[:]...)
 	dst = appendU64(dst, c.WindowNanos)
-	return append(dst, byte(c.Generations), byte(c.Generations>>8))
+	dst = append(dst, byte(c.Generations), byte(c.Generations>>8))
+	return append(dst, c.Flags)
 }
 
 // DecodeNsConfig parses an NsConfig block from the start of b and
@@ -588,6 +638,7 @@ func DecodeNsConfig(b []byte) (NsConfig, []byte, error) {
 		Seed:           binary.LittleEndian.Uint32(b[20:24]),
 		WindowNanos:    binary.LittleEndian.Uint64(b[24:32]),
 		Generations:    binary.LittleEndian.Uint16(b[32:34]),
+		Flags:          b[34],
 	}
 	return c, b[NsConfigSize:], nil
 }
@@ -603,6 +654,8 @@ type Request struct {
 	Off   uint64   // REPLICATE: resume byte offset
 	NS    []byte   // namespace name (nil/empty: default namespace)
 	NsCfg NsConfig // CREATE_NS: configuration overrides
+	Blob  []byte   // IMPORT: marshaled filter bytes (aliases the frame)
+	Ring  Ring     // RING_SET: pushed ring descriptor (addrs alias the frame)
 
 	// Tracing (TRACE envelope). Traced is set only by the full form;
 	// the zero-length form decodes as an untraced request.
@@ -638,10 +691,24 @@ func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
 		req.Key = key
-	case OpLen, OpDump, OpWindowStats:
+	case OpLen, OpDump, OpWindowStats, OpElasticStats, OpRingGet:
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("wire: %s: trailing bytes", OpName(req.Op))
 		}
+	case OpRingSet:
+		ring, rest, err := DecodeRing(body)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: ring_set: %w", err)
+		}
+		if len(rest) != 0 {
+			return Request{}, errors.New("wire: ring_set: trailing bytes")
+		}
+		req.Ring = ring
+	case OpImport:
+		if len(body) == 0 {
+			return Request{}, errors.New("wire: import: empty filter blob")
+		}
+		req.Blob = body
 	case OpInsertTTL:
 		if len(body) < 8 {
 			return Request{}, errors.New("wire: insert_ttl: truncated ttl")
@@ -750,7 +817,7 @@ func DecodeRequestInto(payload []byte, scratch [][]byte) (Request, error) {
 			// TRACE is always outermost: TRACE[NAMESPACED[op]] is legal,
 			// NAMESPACED[TRACE[op]] is not.
 			return Request{}, errors.New("wire: namespaced: trace envelope must be outermost")
-		case OpReplicate, OpNsCreate, OpNsDrop, OpNsList, OpNsStats:
+		case OpReplicate, OpNsCreate, OpNsDrop, OpNsList, OpNsStats, OpRingSet, OpRingGet:
 			return Request{}, fmt.Errorf("wire: namespaced: %s cannot be enveloped", OpName(inner[0]))
 		}
 		req, err = DecodeRequestInto(inner, scratch)

@@ -361,6 +361,7 @@ func TestNsConfigRoundTrip(t *testing.T) {
 		Seed:           0xDEADBEEF,
 		WindowNanos:    3600e9,
 		Generations:    16,
+		Flags:          NsFlagElastic,
 	}
 	enc := AppendNsConfig(nil, in)
 	if len(enc) != NsConfigSize {
